@@ -1,0 +1,28 @@
+// E26 — Bias in word embeddings (Section 4.1, [72]): the WEAT effect
+// size tracks injected association bias, and hard debiasing removes it.
+
+#include <cstdio>
+
+#include "src/fairness/embedding_bias.h"
+
+int main() {
+  using namespace dlsys;
+  std::printf("E26: WEAT effect size vs injected bias "
+              "(64-D embeddings, 64 words per set)\n");
+  std::printf("%-8s %14s %14s\n", "bias", "effect_before", "effect_after");
+  for (double bias : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    Rng rng(109);
+    EmbeddingSpace space = MakeBiasedEmbeddings(64, 64, bias, &rng);
+    auto before = WeatEffectSize(space);
+    if (!before.ok()) return 1;
+    if (!HardDebias(&space).ok()) return 1;
+    auto after = WeatEffectSize(space);
+    if (!after.ok()) return 1;
+    std::printf("%-8.1f %14.3f %14.3f\n", bias, *before, *after);
+  }
+  std::printf("\nexpected shape: the effect size grows monotonically with "
+              "injected bias (saturating near 2, the Cohen's-d ceiling); "
+              "after projecting out the bias direction it collapses to "
+              "~0 at every level.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E15 — Bias in training data propagates to models; mitigation at each
+// intervention point restores parity at bounded accuracy cost
+// (Section 4.1).
+
+#include <cstdio>
+
+#include "src/fairness/loan_data.h"
+#include "src/fairness/metrics.h"
+#include "src/fairness/mitigation.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace {
+
+using namespace dlsys;
+
+struct Outcome {
+  double dp_gap, eo_gap, di_ratio, accuracy;
+};
+
+Outcome Run(const LoanData& train, const LoanData& test, const char* mode) {
+  Sequential net = MakeMlp(5, {16}, 2);
+  Rng rng(7);
+  net.Init(&rng);
+  const std::string m(mode);
+  if (m == "adversarial") {
+    AdversarialConfig config;
+    config.lambda = 0.5;
+    config.epochs = 30;
+    AdversarialDebias(&net, train.data, train.group, config);
+  } else {
+    Dataset data = train.data;
+    if (m == "reweigh") {
+      auto rw = ReweighDataset(train.data, train.group, 55);
+      if (rw.ok()) data = rw->data;
+    }
+    Sgd opt(0.05, 0.9);
+    TrainConfig tc;
+    tc.epochs = 30;
+    Train(&net, &opt, data, tc);
+    if (m == "ablate") {
+      AblateCorrelatedNeurons(&net, train.data, train.group, 4);
+    }
+  }
+  std::vector<int64_t> pred = Predict(&net, test.data.x);
+  auto report = AuditFairness(pred, test.fair_label, test.group);
+  int64_t hits = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == test.fair_label[i]) ++hits;
+  }
+  return {report->DemographicParityGap(), report->EqualOpportunityGap(),
+          report->DisparateImpactRatio(),
+          static_cast<double>(hits) / static_cast<double>(pred.size())};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E15: fairness under injected label bias "
+              "(metrics vs bias-free ground truth)\n");
+  std::printf("%-6s %-12s %8s %8s %9s %9s\n", "bias", "mitigation",
+              "dp_gap", "eo_gap", "di_ratio", "accuracy");
+  for (double bias : {0.0, 0.3, 0.6, 0.9}) {
+    LoanDataConfig train_config;
+    train_config.n = 5000;
+    train_config.bias_strength = bias;
+    train_config.seed = 1;
+    LoanData train = MakeLoanData(train_config);
+    LoanDataConfig test_config = train_config;
+    test_config.n = 2500;
+    test_config.seed = 2;
+    LoanData test = MakeLoanData(test_config);
+    for (const char* mode : {"none", "reweigh", "adversarial", "ablate"}) {
+      Outcome o = Run(train, test, mode);
+      std::printf("%-6.1f %-12s %8.3f %8.3f %9.3f %9.3f\n", bias, mode,
+                  o.dp_gap, o.eo_gap, o.di_ratio, o.accuracy);
+    }
+  }
+  std::printf("\nexpected shape: with no injected bias all variants are "
+              "fair; gaps grow with bias strength for the unmitigated "
+              "model; every mitigation shrinks the gaps, reweighing "
+              "cheapest in accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E24 — Learned join ordering (Part 2: plan generation with neural
+// networks): plan quality vs Selinger DP (optimal), greedy, and random,
+// plus planning-time scaling where exhaustive enumeration explodes.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/metrics.h"
+#include "src/db/join.h"
+#include "src/learned/join_order.h"
+
+int main() {
+  using namespace dlsys;
+  std::printf("E24: learned join ordering (value network trained on 200 "
+              "random queries)\n");
+  JoinOptimizerConfig config;
+  config.training_queries = 200;
+  Stopwatch train_watch;
+  auto learned = LearnedJoinOptimizer::Train(config);
+  if (!learned.ok()) {
+    std::fprintf(stderr, "%s\n", learned.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("training time: %.1f s, model %lld bytes\n\n",
+              train_watch.Seconds(),
+              static_cast<long long>(learned->MemoryBytes()));
+
+  std::printf("E24a: mean log10(plan cost / optimal) on 30 held-out "
+              "queries per size\n");
+  std::printf("%-10s %10s %10s %10s\n", "relations", "learned", "greedy",
+              "random");
+  for (int64_t n : {5, 8, 11, 14}) {
+    Rng rng(200 + static_cast<uint64_t>(n));
+    double learned_gap = 0.0, greedy_gap = 0.0, random_gap = 0.0;
+    const int trials = 30;
+    for (int i = 0; i < trials; ++i) {
+      JoinQuery q = MakeJoinQuery(n, 0.25, &rng);
+      auto best = OptimalLeftDeep(q);
+      if (!best.ok()) return 1;
+      const double opt_cost = std::log10(PlanCost(q, *best));
+      learned_gap += std::log10(PlanCost(q, learned->PlanFor(q))) - opt_cost;
+      greedy_gap += std::log10(PlanCost(q, GreedyLeftDeep(q))) - opt_cost;
+      random_gap += std::log10(PlanCost(q, RandomOrder(q, &rng))) - opt_cost;
+    }
+    std::printf("%-10lld %10.2f %10.2f %10.2f\n", static_cast<long long>(n),
+                learned_gap / trials, greedy_gap / trials,
+                random_gap / trials);
+  }
+
+  std::printf("\nE24b: planning time per query (ms)\n");
+  std::printf("%-10s %12s %12s %12s\n", "relations", "dp_optimal",
+              "learned", "greedy");
+  for (int64_t n : {8, 12, 16, 20}) {
+    Rng rng(300 + static_cast<uint64_t>(n));
+    JoinQuery q = MakeJoinQuery(n, 0.25, &rng);
+    Stopwatch dp_watch;
+    auto best = OptimalLeftDeep(q);
+    const double dp_ms = dp_watch.Seconds() * 1e3;
+    Stopwatch learned_watch;
+    learned->PlanFor(q);
+    const double learned_ms = learned_watch.Seconds() * 1e3;
+    Stopwatch greedy_watch;
+    GreedyLeftDeep(q);
+    const double greedy_ms = greedy_watch.Seconds() * 1e3;
+    std::printf("%-10lld %12.2f %12.2f %12.2f\n", static_cast<long long>(n),
+                best.ok() ? dp_ms : -1.0, learned_ms, greedy_ms);
+  }
+  std::printf("\nexpected shape: the learned planner lands within a small "
+              "gap of the DP optimum (far below random, near greedy) while "
+              "its planning time stays flat as DP's explodes "
+              "exponentially — the case for learned optimizers.\n");
+  return 0;
+}

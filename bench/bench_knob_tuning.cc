@@ -1,0 +1,54 @@
+// E13 — RL knob tuning converges to near-optimal configurations with
+// fewer evaluations than grid search (Part 2, QTune/CDBTune-flavoured).
+
+#include <cstdio>
+
+#include "src/db/tunable_db.h"
+#include "src/learned/knob_tuning.h"
+
+namespace {
+double BestAt(const dlsys::TuningResult& r, size_t evals) {
+  if (r.best_so_far.empty()) return 1e300;
+  return r.best_so_far[std::min(evals, r.best_so_far.size()) - 1];
+}
+}  // namespace
+
+int main() {
+  using namespace dlsys;
+  std::printf("E13: knob tuning on the simulated DB (288 configurations)\n");
+  struct Workload {
+    const char* name;
+    DbWorkload profile;
+  };
+  const Workload workloads[] = {
+      {"read-heavy", {0.95, 0.2, 2048}},
+      {"scan-heavy", {0.9, 0.8, 1024}},
+      {"write-heavy", {0.3, 0.1, 512}},
+  };
+  for (const auto& w : workloads) {
+    TunableDb db(w.profile);
+    const double optimal = db.BestLatencyMs();
+    QTunerConfig q_config;
+    q_config.episodes = 60;
+    q_config.steps_per_episode = 30;
+    TuningResult q = QLearningTune(db, q_config);
+    TuningResult grid = GridSearchTune(db, db.NumConfigs());
+    TuningResult random = RandomSearchTune(db, 1800, 71);
+    std::printf("\nworkload %s: exhaustive optimum %.3f ms (%s)\n", w.name,
+                optimal, db.Describe(db.BestKnobs()).c_str());
+    std::printf("%-8s %12s %12s %12s\n", "evals", "qlearn_ms", "grid_ms",
+                "random_ms");
+    for (size_t evals : {30, 60, 120, 288, 900, 1800}) {
+      std::printf("%-8zu %12.3f %12.3f %12.3f\n", evals, BestAt(q, evals),
+                  BestAt(grid, evals), BestAt(random, evals));
+    }
+    std::printf("final q-learning config: %s (%.3f ms, %.1f%% above "
+                "optimum)\n",
+                db.Describe(q.best).c_str(), q.best_latency_ms,
+                100.0 * (q.best_latency_ms / optimal - 1.0));
+  }
+  std::printf("\nexpected shape: q-learning reaches near-optimal latency "
+              "in far fewer evaluations than grid enumeration; random "
+              "search sits between.\n");
+  return 0;
+}

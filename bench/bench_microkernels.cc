@@ -1,0 +1,119 @@
+// E22 (infrastructure) — google-benchmark microkernels for the
+// substrate: GEMM, conv, B+-tree and RMI lookups, bloom probes. These
+// are the latency primitives behind every experiment table.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/core/rng.h"
+#include "src/db/bloom.h"
+#include "src/db/btree.h"
+#include "src/learned/learned_index.h"
+#include "src/nn/conv.h"
+#include "src/nn/layers.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  a.FillGaussian(&rng, 1.0f);
+  b.FillGaussian(&rng, 1.0f);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  const int64_t channels = state.range(0);
+  Conv2D conv(channels, channels, 3, 1, 1);
+  Rng rng(2);
+  conv.Init(&rng);
+  Tensor x({4, channels, 16, 16});
+  x.FillGaussian(&rng, 1.0f);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, CacheMode::kNoCache);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2DForward)->Arg(4)->Arg(16);
+
+void BM_DenseForwardBackward(benchmark::State& state) {
+  const int64_t width = state.range(0);
+  Dense dense(width, width);
+  Rng rng(3);
+  dense.Init(&rng);
+  Tensor x({32, width});
+  x.FillGaussian(&rng, 1.0f);
+  for (auto _ : state) {
+    Tensor y = dense.Forward(x, CacheMode::kCache);
+    Tensor dx = dense.Backward(y);
+    dense.ZeroGrads();
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_DenseForwardBackward)->Arg(64)->Arg(256);
+
+std::vector<int64_t> BenchKeys(int64_t n) {
+  Rng rng(4);
+  std::set<int64_t> keys;
+  while (static_cast<int64_t>(keys.size()) < n) {
+    keys.insert(static_cast<int64_t>(rng.Next() >> 16));
+  }
+  return {keys.begin(), keys.end()};
+}
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<int64_t> keys = BenchKeys(n);
+  BTree tree(128);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], static_cast<int64_t>(i));
+  }
+  size_t probe = 0;
+  for (auto _ : state) {
+    auto v = tree.Find(keys[probe]);
+    benchmark::DoNotOptimize(v);
+    probe = (probe + 7919) % keys.size();
+  }
+}
+BENCHMARK(BM_BTreeLookup)->Arg(100000)->Arg(1000000);
+
+void BM_RmiLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<int64_t> keys = BenchKeys(n);
+  auto rmi = LearnedIndex::Build(keys, n / 400);
+  size_t probe = 0;
+  for (auto _ : state) {
+    auto v = rmi->Find(keys[probe]);
+    benchmark::DoNotOptimize(v);
+    probe = (probe + 7919) % keys.size();
+  }
+}
+BENCHMARK(BM_RmiLookup)->Arg(100000)->Arg(1000000);
+
+void BM_BloomProbe(benchmark::State& state) {
+  BloomFilter bloom = BloomFilter::ForKeys(100000, 10.0);
+  std::vector<int64_t> keys = BenchKeys(100000);
+  for (int64_t key : keys) bloom.Insert(key);
+  size_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.MayContain(keys[probe]));
+    probe = (probe + 7919) % keys.size();
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+}  // namespace
+}  // namespace dlsys
+
+BENCHMARK_MAIN();

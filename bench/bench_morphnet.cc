@@ -1,0 +1,56 @@
+// E23 — MorphNet-style inference optimization (Section 2.2): an
+// optimization step tailors the network structure to a FLOP budget;
+// compare against uniform scaling at equal budget and training effort.
+
+#include <cstdio>
+
+#include "src/data/synthetic.h"
+#include "src/nnopt/morphnet.h"
+
+int main() {
+  using namespace dlsys;
+  Rng rng(101);
+  // High-dimensional input: the first layer deserves more capacity than
+  // a uniform allocation gives it.
+  Dataset data = MakeGaussianBlobs(3000, 32, 10, 1.0, &rng);
+  TrainTestSplit split = Split(data, 0.8);
+
+  std::printf("E23: structure optimization under FLOP budgets "
+              "(32-D input, 10 close classes)\n");
+  std::printf("%-13s %-10s %10s %12s %14s %-18s\n", "budget_flops",
+              "method", "accuracy", "real_flops", "optimize_s", "widths");
+  for (double budget : {8000.0, 4000.0, 2000.0, 1000.0}) {
+    MorphConfig config;
+    config.flop_budget = budget;
+    config.iterations = 3;
+    config.train_epochs = 8;
+    auto morph = MorphNetOptimize(32, 10, {32, 32}, split.train, split.test,
+                                  config);
+    auto uniform = UniformScaleBaseline(32, 10, {32, 32}, split.train,
+                                        split.test, config);
+    if (!morph.ok() || !uniform.ok()) return 1;
+    auto widths_str = [](const std::vector<int64_t>& widths) {
+      std::string s;
+      for (int64_t w : widths) {
+        s += std::to_string(w);
+        s += " ";
+      }
+      return s;
+    };
+    std::printf("%-13.0f %-10s %10.3f %12.0f %14.2f %-18s\n", budget,
+                "morphnet", morph->report.Get(metric::kAccuracy),
+                morph->report.Get(metric::kFlops),
+                morph->report.Get("optimize_seconds"),
+                widths_str(morph->widths).c_str());
+    std::printf("%-13.0f %-10s %10.3f %12.0f %14.2f %-18s\n", budget,
+                "uniform", uniform->report.Get(metric::kAccuracy),
+                uniform->report.Get(metric::kFlops),
+                uniform->report.Get("optimize_seconds"),
+                widths_str(uniform->widths).c_str());
+  }
+  std::printf("\nexpected shape: at generous budgets both match; as the "
+              "budget tightens the structure-optimized allocation "
+              "(non-uniform widths) holds accuracy longer than uniform "
+              "scaling — optimization time buys inference efficiency.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E27 — Natural-language querying (Part 2): an RNN maps NL sentences to
+// query predicates; the task is order-sensitive, so the bag-of-words
+// baseline is capped near 50% on the column slot while the RNN solves
+// it. Sweeps training-set size (the data-efficiency curve).
+
+#include <cstdio>
+
+#include "src/nlq/query_language.h"
+#include "src/nlq/rnn.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+int main() {
+  using namespace dlsys;
+  Rng rng(113);
+  SequenceDataset test = MakeNlqData(600, &rng);
+
+  std::printf("E27: NL-to-predicate accuracy vs training sentences "
+              "(8 classes: 4 columns x 2 comparators)\n");
+  std::printf("%-12s %10s %14s %12s\n", "sentences", "rnn", "bag-of-words",
+              "rnn_train_s");
+  for (int64_t n : {100, 300, 1000, 3000}) {
+    Rng drng(200 + static_cast<uint64_t>(n));
+    SequenceDataset train = MakeNlqData(n, &drng);
+
+    RnnClassifier rnn(kNlqVocabSize, 8, 24, kNlqNumClasses);
+    Rng mrng(7);
+    rnn.Init(&mrng);
+    MetricsReport report = rnn.Train(train, 30, 32, 0.1, 7);
+
+    Dataset bow_train;
+    bow_train.x = NlqBagOfWords(train);
+    bow_train.y = train.labels;
+    Dataset bow_test;
+    bow_test.x = NlqBagOfWords(test);
+    bow_test.y = test.labels;
+    Sequential bow = MakeMlp(kNlqVocabSize, {32}, kNlqNumClasses);
+    bow.Init(&mrng);
+    Adam opt(0.01);
+    TrainConfig tc;
+    tc.epochs = 40;
+    Train(&bow, &opt, bow_train, tc);
+
+    std::printf("%-12lld %10.3f %14.3f %12.2f\n", static_cast<long long>(n),
+                rnn.Accuracy(test), Evaluate(&bow, bow_test).accuracy,
+                report.Get(metric::kTrainSeconds));
+  }
+  // A few rendered examples with predictions.
+  std::printf("\nsample parses:\n");
+  RnnClassifier rnn(kNlqVocabSize, 8, 24, kNlqNumClasses);
+  Rng mrng(7);
+  rnn.Init(&mrng);
+  Rng drng(99);
+  SequenceDataset train = MakeNlqData(2000, &drng);
+  rnn.Train(train, 30, 32, 0.1, 7);
+  SequenceDataset sample = MakeNlqData(4, &rng);
+  Tensor logits = rnn.Forward(sample);
+  for (int64_t i = 0; i < sample.size(); ++i) {
+    int64_t best = 0;
+    for (int64_t c = 1; c < kNlqNumClasses; ++c) {
+      if (logits[i * kNlqNumClasses + c] >
+          logits[i * kNlqNumClasses + best]) {
+        best = c;
+      }
+    }
+    std::printf("  \"%s\" -> predicate(c%lld %s ...)  [truth c%lld %s]\n",
+                NlqToString(sample, i).c_str(),
+                static_cast<long long>(best / kNlqNumOps),
+                best % kNlqNumOps == 1 ? ">" : "<",
+                static_cast<long long>(
+                    sample.labels[static_cast<size_t>(i)] / kNlqNumOps),
+                sample.labels[static_cast<size_t>(i)] % kNlqNumOps == 1
+                    ? ">"
+                    : "<");
+  }
+  std::printf("\nexpected shape: bag-of-words plateaus near 50%% (it sees "
+              "both columns but not which is left of the comparator); the "
+              "RNN climbs to ~100%% with enough sentences.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E7 — Optimize-then-parallelize (Section 2.2, FlexFlow): spending
+// optimization time on strategy search buys training throughput.
+// Sweeps device counts and search budgets against data-parallel,
+// greedy, and random baselines.
+
+#include <cstdio>
+
+#include "src/parallel/strategy.h"
+
+namespace {
+// A 12-layer stack alternating parameter-heavy and activation-heavy
+// layers, the regime where neither pure data nor pure model parallelism
+// is optimal.
+std::vector<dlsys::ParLayerCost> Workload() {
+  std::vector<dlsys::ParLayerCost> out;
+  for (int64_t i = 0; i < 12; ++i) {
+    dlsys::ParLayerCost c;
+    c.forward_flops = 3'000'000'000;
+    c.backward_flops = 6'000'000'000;
+    if (i % 2 == 0) {
+      c.param_bytes = 96 << 20;
+      c.activation_bytes = 2 << 20;
+    } else {
+      c.param_bytes = 2 << 20;
+      c.activation_bytes = 24 << 20;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+int main() {
+  using namespace dlsys;
+
+  std::printf("E7a: strategy quality by device count "
+              "(step time in ms, lower is better)\n");
+  std::printf("%-9s %12s %10s %10s %10s %12s\n", "devices", "data-par",
+              "greedy", "random", "mcmc", "mcmc_gain");
+  for (int64_t devices : {2, 4, 8, 16}) {
+    DeviceGraph graph{devices, 1e12, 1e10, 1e-6};
+    ParallelSimulator sim(graph, Workload());
+    const double baseline = sim.StepSeconds(sim.DataParallelBaseline());
+    SearchResult greedy = GreedyStrategy(sim);
+    SearchConfig config;
+    config.iterations = 4000;
+    SearchResult random = RandomStrategy(sim, config);
+    SearchResult mcmc = OptimizeStrategy(sim, config);
+    std::printf("%-9lld %12.2f %10.2f %10.2f %10.2f %11.2fx\n",
+                static_cast<long long>(devices), baseline * 1e3,
+                greedy.step_seconds * 1e3, random.step_seconds * 1e3,
+                mcmc.step_seconds * 1e3, baseline / mcmc.step_seconds);
+  }
+
+  std::printf("\nE7b: search-budget sweep on 8 devices "
+              "(optimize time vs achieved step time)\n");
+  std::printf("%-10s %14s %14s %12s\n", "budget", "optimize_ms",
+              "step_ms", "vs_data-par");
+  DeviceGraph graph{8, 1e12, 1e10, 1e-6};
+  ParallelSimulator sim(graph, Workload());
+  const double baseline = sim.StepSeconds(sim.DataParallelBaseline());
+  for (int64_t budget : {10, 50, 200, 1000, 5000, 20000}) {
+    SearchConfig config;
+    config.iterations = budget;
+    SearchResult result = OptimizeStrategy(sim, config);
+    std::printf("%-10lld %14.2f %14.2f %11.2fx\n",
+                static_cast<long long>(budget),
+                result.optimize_seconds * 1e3, result.step_seconds * 1e3,
+                baseline / result.step_seconds);
+  }
+  std::printf("\nexpected shape: the optimized strategy beats pure data "
+              "parallelism more as devices grow; quality improves with "
+              "budget then saturates — milliseconds of search buy a "
+              "persistent per-step speedup (the FlexFlow thesis).\n");
+  return 0;
+}

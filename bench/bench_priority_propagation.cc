@@ -1,0 +1,50 @@
+// E21 (ablation) — Priority-based parameter propagation (Section 2.1,
+// P3): overlapping communication with compute, and sending the layers
+// the next forward pass needs first, shortens the iteration boundary.
+
+#include <cstdio>
+
+#include "src/distributed/priority.h"
+
+namespace {
+std::vector<dlsys::LayerCost> Network(int64_t layers, double comm_ratio) {
+  // comm_ratio scales transfer volume relative to compute.
+  std::vector<dlsys::LayerCost> out;
+  for (int64_t i = 0; i < layers; ++i) {
+    dlsys::LayerCost c;
+    c.backward_seconds = 0.004;
+    c.forward_seconds = 0.002;
+    c.gradient_bytes =
+        static_cast<int64_t>(comm_ratio * 0.006 * 1.25e9);  // bytes
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+int main() {
+  using namespace dlsys;
+  NetworkModel link{1e-5, 1.25e9};
+  std::printf("E21: iteration-boundary makespan (ms) by scheduling policy\n");
+  std::printf("%-8s %-12s %12s %10s %10s %12s\n", "layers", "comm/comp",
+              "no-overlap", "fifo", "priority", "prio_gain");
+  for (int64_t layers : {8, 24, 48}) {
+    for (double ratio : {0.25, 1.0, 4.0}) {
+      auto net = Network(layers, ratio);
+      const double none =
+          SimulatePropagation(net, link, PropagationPolicy::kNoOverlap);
+      const double fifo =
+          SimulatePropagation(net, link, PropagationPolicy::kFifo);
+      const double prio =
+          SimulatePropagation(net, link, PropagationPolicy::kPriority);
+      std::printf("%-8lld %-12.2f %12.2f %10.2f %10.2f %11.2fx\n",
+                  static_cast<long long>(layers), ratio, none * 1e3,
+                  fifo * 1e3, prio * 1e3, none / prio);
+    }
+  }
+  std::printf("\nexpected shape: overlap alone (fifo) removes up to half "
+              "the boundary; priority scheduling adds most on comm-bound "
+              "configurations where the forward pass would otherwise wait "
+              "for early layers queued last.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E2 — Pruning removes unnecessary parameters with little accuracy loss
+// until a cliff (tutorial Section 2.1). Sweeps sparsity x criterion,
+// with and without masked finetuning.
+
+#include <cstdio>
+
+#include "src/compress/pruning.h"
+#include "src/data/synthetic.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace {
+
+double PruneAndEvaluate(const dlsys::Sequential& base,
+                        const dlsys::Dataset& train,
+                        const dlsys::Dataset& test,
+                        dlsys::PruneCriterion criterion, double sparsity,
+                        bool finetune, long long* sparse_bytes) {
+  using namespace dlsys;
+  Sequential net = base.Clone();
+  Rng rng(31);
+  auto mask = BuildPruneMask(&net, criterion, sparsity, &train, &rng);
+  if (!mask.ok()) return -1.0;
+  mask->Apply(&net);
+  if (finetune) {
+    Sgd opt(0.02, 0.9);
+    TrainConfig tc;
+    tc.epochs = 5;
+    tc.on_step = [&](int64_t, int64_t, double) { mask->Apply(&net); };
+    Train(&net, &opt, train, tc);
+  }
+  *sparse_bytes = SparseModelBytes(&net, *mask);
+  return Evaluate(&net, test).accuracy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dlsys;
+  Rng rng(19);
+  Dataset data = MakeGaussianBlobs(4000, 16, 8, 1.5, &rng);
+  TrainTestSplit split = Split(data, 0.8);
+  Sequential base = MakeMlp(16, {96, 64}, 8);
+  base.Init(&rng);
+  Sgd opt(0.05, 0.9);
+  TrainConfig tc;
+  tc.epochs = 25;
+  Train(&base, &opt, split.train, tc);
+  std::printf("E2: pruning sweep (dense baseline acc=%.3f, %lld bytes)\n",
+              Evaluate(&base, split.test).accuracy,
+              static_cast<long long>(base.ModelBytes()));
+  std::printf("%-9s %-16s %12s %14s %12s\n", "sparsity", "criterion",
+              "acc_raw", "acc_finetuned", "sparse_B");
+  struct Row {
+    PruneCriterion criterion;
+    const char* name;
+  };
+  const Row rows[] = {
+      {PruneCriterion::kMagnitude, "magnitude"},
+      {PruneCriterion::kLossSensitivity, "loss-sensitivity"},
+      {PruneCriterion::kRandom, "random"},
+  };
+  for (double sparsity : {0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
+    for (const Row& row : rows) {
+      long long bytes = 0;
+      const double raw =
+          PruneAndEvaluate(base, split.train, split.test, row.criterion,
+                           sparsity, false, &bytes);
+      const double tuned =
+          PruneAndEvaluate(base, split.train, split.test, row.criterion,
+                           sparsity, true, &bytes);
+      std::printf("%-9.2f %-16s %12.3f %14.3f %12lld\n", sparsity, row.name,
+                  raw, tuned, bytes);
+    }
+  }
+  std::printf("\nexpected shape: magnitude/sensitivity hold accuracy past "
+              "70-80%% sparsity (finetuned), random collapses first; "
+              "structured finetuning recovers most raw-prune loss.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E1 — Quantization trades size for accuracy (tutorial Section 2.1).
+// Sweeps bit width x quantizer kind on a trained MLP; prints accuracy,
+// packed bytes, and Huffman-coded bytes per cell.
+
+#include <cstdio>
+
+#include "src/compress/quantization.h"
+#include "src/data/synthetic.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+int main() {
+  using namespace dlsys;
+  Rng rng(17);
+  Dataset data = MakeGaussianBlobs(4000, 16, 8, 3.0, &rng);
+  TrainTestSplit split = Split(data, 0.8);
+  Sequential base = MakeMlp(16, {96, 64}, 8);
+  base.Init(&rng);
+  Sgd opt(0.05, 0.9);
+  TrainConfig tc;
+  tc.epochs = 25;
+  Train(&base, &opt, split.train, tc);
+  const double fp32_acc = Evaluate(&base, split.test).accuracy;
+
+  std::printf("E1: quantization bit-width sweep "
+              "(fp32 baseline: acc=%.3f, %lld bytes)\n",
+              fp32_acc, static_cast<long long>(base.ModelBytes()));
+  std::printf("%-10s %5s %10s %12s %13s %10s\n", "quantizer", "bits",
+              "accuracy", "packed_B", "huffman_B", "max_err");
+
+  struct Cell {
+    QuantizerKind kind;
+    const char* name;
+    int64_t bits;
+  };
+  std::vector<Cell> cells;
+  for (int64_t bits : {16, 8, 4, 2, 1}) {
+    cells.push_back({QuantizerKind::kUniform, "uniform", bits});
+    cells.push_back({QuantizerKind::kKMeans, "kmeans", bits});
+  }
+  cells.push_back({QuantizerKind::kBinary, "binary", 1});
+
+  for (const Cell& cell : cells) {
+    Sequential net = base.Clone();
+    auto nq = QuantizeNetwork(&net, cell.kind, cell.bits);
+    if (!nq.ok()) {
+      std::fprintf(stderr, "quantize failed: %s\n",
+                   nq.status().ToString().c_str());
+      return 1;
+    }
+    const double acc = Evaluate(&net, split.test).accuracy;
+    std::printf("%-10s %5lld %10.3f %12lld %13lld %10.4f\n", cell.name,
+                static_cast<long long>(cell.bits), acc,
+                static_cast<long long>(nq->packed_bytes),
+                static_cast<long long>(nq->huffman_bytes),
+                nq->max_abs_error);
+  }
+  std::printf("\nexpected shape: accuracy flat down to ~4 bits, cliff at "
+              "1-2 bits; kmeans >= uniform at equal bits; size ~ bits/32.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E25 — Data-Canopy-style statistics cache (Part 2 data exploration):
+// chunk-level basic aggregates make repeated exploratory statistics
+// queries orders of magnitude cheaper than rescanning.
+
+#include <cstdio>
+
+#include "src/core/metrics.h"
+#include "src/db/stats_cache.h"
+
+int main() {
+  using namespace dlsys;
+  Rng rng(103);
+  Table t = MakeCorrelatedTable(1000000, 4, 0.5, &rng);
+
+  std::printf("E25a: 200 random range-statistic queries over 1M rows\n");
+  std::printf("%-11s %-13s %12s %12s %10s\n", "statistic", "mode",
+              "total_ms", "per_query", "speedup");
+  Rng qrng(107);
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t lo = static_cast<int64_t>(qrng.Index(900000));
+    ranges.push_back({lo, lo + 50000 + static_cast<int64_t>(
+                                           qrng.Index(50000))});
+  }
+  StatsCache cache(&t, 1024);
+  // Warm the one pair used below.
+  cache.RangeCorrelation(0, 1, 0, t.rows);
+
+  auto run = [&](const char* stat, auto cached, auto scan) {
+    Stopwatch cw;
+    double sink = 0.0;
+    for (const auto& [lo, hi] : ranges) sink += cached(lo, hi);
+    const double cached_ms = cw.Seconds() * 1e3;
+    Stopwatch sw;
+    for (const auto& [lo, hi] : ranges) sink -= scan(lo, hi);
+    const double scan_ms = sw.Seconds() * 1e3;
+    std::printf("%-11s %-13s %12.2f %12.4f %10s\n", stat, "cached",
+                cached_ms, cached_ms / 200.0, "");
+    std::printf("%-11s %-13s %12.2f %12.4f %9.0fx   [sink %.3g]\n", stat,
+                "scan", scan_ms, scan_ms / 200.0, scan_ms / cached_ms,
+                sink);
+  };
+  run("mean",
+      [&](int64_t lo, int64_t hi) { return *cache.RangeMean(1, lo, hi); },
+      [&](int64_t lo, int64_t hi) {
+        return StatsCache::ScanMean(t, 1, lo, hi);
+      });
+  run("variance",
+      [&](int64_t lo, int64_t hi) {
+        return *cache.RangeVariance(1, lo, hi);
+      },
+      [&](int64_t lo, int64_t hi) {
+        return StatsCache::ScanVariance(t, 1, lo, hi);
+      });
+  run("correlation",
+      [&](int64_t lo, int64_t hi) {
+        return *cache.RangeCorrelation(0, 1, lo, hi);
+      },
+      [&](int64_t lo, int64_t hi) {
+        return StatsCache::ScanCorrelation(t, 0, 1, lo, hi);
+      });
+
+  std::printf("\nE25b: chunk-size sweep (cache bytes vs mean-query time)\n");
+  std::printf("%-12s %14s %14s\n", "chunk_rows", "cache_KB", "per_query_us");
+  for (int64_t chunk : {64, 256, 1024, 4096, 16384}) {
+    StatsCache c(&t, chunk);
+    Stopwatch w;
+    double sink = 0.0;
+    for (const auto& [lo, hi] : ranges) sink += *c.RangeMean(0, lo, hi);
+    std::printf("%-12lld %14.1f %14.3f\n", static_cast<long long>(chunk),
+                static_cast<double>(c.MemoryBytes()) / 1e3,
+                w.Seconds() * 1e6 / 200.0);
+  }
+  std::printf("\nexpected shape: cached statistics 10-1000x faster than "
+              "scans on large ranges; smaller chunks cost memory and edge "
+              "scans shrink, with a sweet spot in the middle — the Data "
+              "Canopy tradeoff.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// The Part 2 pipeline: build classic database components (B+-tree, Bloom
+// filter, histograms) over synthetic data, then swap in their learned
+// counterparts and compare size, speed, and estimation error.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "src/core/metrics.h"
+#include "src/db/bloom.h"
+#include "src/db/btree.h"
+#include "src/db/histogram.h"
+#include "src/db/table.h"
+#include "src/learned/cardinality.h"
+#include "src/learned/learned_bloom.h"
+#include "src/learned/learned_index.h"
+
+int main() {
+  using namespace dlsys;
+  Rng rng(11);
+
+  // ---------------------------------------------------------------
+  // 1. Learned index vs B+-tree on 200k lognormal keys.
+  // ---------------------------------------------------------------
+  std::printf("=== learned index vs B+-tree ===\n");
+  std::set<int64_t> key_set;
+  while (key_set.size() < 200000) {
+    key_set.insert(
+        static_cast<int64_t>(std::exp(rng.Gaussian() * 1.5 + 12.0)));
+  }
+  std::vector<int64_t> keys(key_set.begin(), key_set.end());
+
+  BTree btree(128);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    btree.Insert(keys[i], static_cast<int64_t>(i));
+  }
+  auto rmi = LearnedIndex::Build(keys, 2048);
+  if (!rmi.ok()) {
+    std::fprintf(stderr, "%s\n", rmi.status().ToString().c_str());
+    return 1;
+  }
+  Stopwatch bt_watch;
+  int64_t checksum = 0;
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    checksum += *btree.Find(keys[i]);
+  }
+  const double bt_ms = bt_watch.Seconds() * 1e3;
+  Stopwatch rmi_watch;
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    checksum -= *rmi->Find(keys[i]);
+  }
+  const double rmi_ms = rmi_watch.Seconds() * 1e3;
+  std::printf("  b+tree: %8.2f ms lookups, %9lld bytes\n", bt_ms,
+              static_cast<long long>(btree.MemoryBytes()));
+  std::printf("  rmi:    %8.2f ms lookups, %9lld bytes "
+              "(mean search window %.1f)  [checksum %lld]\n",
+              rmi_ms, static_cast<long long>(rmi->MemoryBytes()),
+              rmi->MeanSearchWindow(), static_cast<long long>(checksum));
+
+  // ---------------------------------------------------------------
+  // 2. Learned Bloom filter vs classic at matched memory.
+  // ---------------------------------------------------------------
+  std::printf("\n=== learned bloom filter vs classic ===\n");
+  MembershipData membership =
+      MakeClusteredMembership(4000, 8000, 1 << 22, 4, &rng);
+  std::vector<int64_t> train_nm(membership.non_members.begin(),
+                                membership.non_members.begin() + 4000);
+  std::vector<int64_t> test_nm(membership.non_members.begin() + 4000,
+                               membership.non_members.end());
+  LearnedBloomConfig lb_config;
+  lb_config.epochs = 30;
+  lb_config.member_recall = 0.7;
+  auto learned_bloom = LearnedBloomFilter::Train(
+      membership.members, train_nm, 0, 1 << 22, lb_config);
+  if (!learned_bloom.ok()) {
+    std::fprintf(stderr, "%s\n", learned_bloom.status().ToString().c_str());
+    return 1;
+  }
+  const double matched_bits_per_key =
+      static_cast<double>(learned_bloom->MemoryBytes() * 8) /
+      static_cast<double>(membership.members.size());
+  BloomFilter classic = BloomFilter::ForKeys(
+      static_cast<int64_t>(membership.members.size()), matched_bits_per_key);
+  for (int64_t k : membership.members) classic.Insert(k);
+  std::printf("  classic: %6lld bytes, fpr %.4f\n",
+              static_cast<long long>(classic.MemoryBytes()),
+              classic.MeasureFpr(test_nm));
+  std::printf("  learned: %6lld bytes, fpr %.4f (%lld keys in backup)\n",
+              static_cast<long long>(learned_bloom->MemoryBytes()),
+              learned_bloom->MeasureFpr(test_nm),
+              static_cast<long long>(learned_bloom->backup_keys()));
+
+  // ---------------------------------------------------------------
+  // 3. Learned cardinality vs histogram AVI on correlated attributes.
+  // ---------------------------------------------------------------
+  std::printf("\n=== learned cardinality vs histogram AVI ===\n");
+  Table table = MakeCorrelatedTable(10000, 4, 0.9, &rng);
+  auto train_queries = MakeWorkload(table, 500, &rng);
+  auto test_queries = MakeWorkload(table, 100, &rng);
+  CardinalityConfig card_config;
+  card_config.epochs = 80;
+  auto learned_card =
+      LearnedCardinality::Train(table, train_queries, card_config);
+  if (!learned_card.ok()) {
+    std::fprintf(stderr, "%s\n", learned_card.status().ToString().c_str());
+    return 1;
+  }
+  AviEstimator avi(table, 64);
+  double avi_qerr = 0.0, learned_qerr = 0.0;
+  for (const auto& q : test_queries) {
+    const double truth = TrueSelectivity(table, q);
+    avi_qerr += QError(avi.Estimate(q), truth);
+    learned_qerr += QError(learned_card->Estimate(q), truth);
+  }
+  avi_qerr /= static_cast<double>(test_queries.size());
+  learned_qerr /= static_cast<double>(test_queries.size());
+  std::printf("  histogram AVI: mean q-error %6.2f  (%lld bytes)\n",
+              avi_qerr, static_cast<long long>(avi.MemoryBytes()));
+  std::printf("  learned MLP:   mean q-error %6.2f  (%lld bytes)\n",
+              learned_qerr,
+              static_cast<long long>(learned_card->MemoryBytes()));
+  return 0;
+}

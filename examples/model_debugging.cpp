@@ -1,0 +1,110 @@
+// The Section 4.2 interpretability workbench: train a model, embed its
+// data with t-SNE, generate a datasheet, capture activations into a
+// Mistique-style store, run DeepBase-style hypothesis queries, and
+// synthesize class prototypes with activation maximization.
+
+#include <cstdio>
+
+#include "src/data/synthetic.h"
+#include "src/fairness/datasheet.h"
+#include "src/fairness/loan_data.h"
+#include "src/interpret/inspector.h"
+#include "src/interpret/model_store.h"
+#include "src/interpret/saliency.h"
+#include "src/interpret/tsne.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+int main() {
+  using namespace dlsys;
+
+  // 1. Data + datasheet (know what you are training on).
+  LoanDataConfig data_config;
+  data_config.n = 1500;
+  data_config.bias_strength = 0.5;
+  LoanData loans = MakeLoanData(data_config);
+  auto sheet = GenerateDatasheet(loans.data, loans.group);
+  if (sheet.ok()) {
+    std::printf("=== datasheet ===\n%s\n", sheet->ToString().c_str());
+  }
+
+  // 2. Train the model under inspection.
+  Sequential net = MakeMlp(5, {16, 16}, 2);
+  Rng rng(3);
+  net.Init(&rng);
+  Sgd opt(0.05, 0.9);
+  TrainConfig tc;
+  tc.epochs = 20;
+  Train(&net, &opt, loans.data, tc);
+  std::printf("model accuracy on observed labels: %.3f\n\n",
+              Evaluate(&net, loans.data).accuracy);
+
+  // 3. t-SNE of a data sample, scored by label purity.
+  Dataset sample = Batch(loans.data, 0, 300);
+  TsneConfig tsne_config;
+  tsne_config.perplexity = 20.0;
+  tsne_config.iterations = 250;
+  auto embedding = Tsne(sample.x, tsne_config);
+  if (embedding.ok()) {
+    std::printf("=== t-SNE ===\nembedded 300 x 5 -> 300 x 2, label "
+                "purity@10 = %.3f\n\n",
+                EmbeddingPurity(*embedding, sample.y, 10));
+  }
+
+  // 4. Activation store: capture all intermediates, compare storage.
+  auto exact = ModelStore::Capture(&net, sample.x, StorageMode::kExact);
+  auto compact =
+      ModelStore::Capture(&net, sample.x, StorageMode::kQuantizedDedup);
+  if (exact.ok() && compact.ok()) {
+    std::printf("=== activation store ===\nexact: %lld B, "
+                "8-bit+dedup: %lld B\n",
+                static_cast<long long>(exact->StoredBytes()),
+                static_cast<long long>(compact->StoredBytes()));
+    auto top = compact->TopUnits(1, 0, 3);
+    if (top.ok()) {
+      std::printf("top-3 hidden units for example 0: %lld %lld %lld\n\n",
+                  static_cast<long long>((*top)[0]),
+                  static_cast<long long>((*top)[1]),
+                  static_cast<long long>((*top)[2]));
+    }
+  }
+
+  // 5. DeepBase-style hypothesis: which units encode the label? the
+  //    protected group?
+  ModelInspector inspector(&net, loans.data.x);
+  std::vector<double> label_prop, group_prop;
+  for (size_t i = 0; i < loans.data.y.size(); ++i) {
+    label_prop.push_back(static_cast<double>(loans.data.y[i]));
+    group_prop.push_back(static_cast<double>(loans.group[i]));
+  }
+  auto label_profile = inspector.LayerProfile(label_prop);
+  auto group_profile = inspector.LayerProfile(group_prop);
+  if (label_profile.ok() && group_profile.ok()) {
+    std::printf("=== hypothesis queries (per-layer affinity) ===\n");
+    std::printf("%-8s %-28s %10s %10s\n", "layer", "name", "label",
+                "group");
+    for (int64_t l = 0; l < net.size(); ++l) {
+      std::printf("%-8lld %-28s %10.3f %10.3f\n", static_cast<long long>(l),
+                  net.layer(l)->name().c_str(),
+                  (*label_profile)[static_cast<size_t>(l)],
+                  (*group_profile)[static_cast<size_t>(l)]);
+    }
+    std::printf("\n");
+  }
+
+  // 6. Class prototypes via activation maximization + saliency.
+  const char* feature_names[5] = {"income", "credit_hist", "debt_ratio",
+                                  "savings", "recent_defaults"};
+  for (int64_t target : {0, 1}) {
+    ActMaxConfig am_config;
+    auto prototype = ActivationMaximization(&net, {1, 5}, target, am_config);
+    if (!prototype.ok()) continue;
+    std::printf("=== prototype for class %lld (%s) ===\n",
+                static_cast<long long>(target),
+                target == 1 ? "approve" : "deny");
+    for (int64_t f = 0; f < 5; ++f) {
+      std::printf("  %-16s %+.3f\n", feature_names[f], (*prototype)[f]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "src/compress/distill.h"
+
+#include "src/nn/loss.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+Result<MetricsReport> Distill(Sequential* teacher, Sequential* student,
+                              Optimizer* opt, const Dataset& data,
+                              const DistillConfig& config) {
+  if (data.size() == 0) {
+    return Status::InvalidArgument("distillation data is empty");
+  }
+  if (config.temperature <= 0.0) {
+    return Status::InvalidArgument("temperature must be positive");
+  }
+  if (config.alpha < 0.0 || config.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  MetricsReport report;
+  Stopwatch watch;
+  Rng shuffle_rng(config.shuffle_seed);
+  Dataset shuffled = data;
+  const float inv_t = static_cast<float>(1.0 / config.temperature);
+  const float t2 = static_cast<float>(config.temperature * config.temperature);
+  const auto params = student->Params();
+  const auto grads = student->Grads();
+  double last_loss = 0.0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    ShuffleDataset(&shuffled, &shuffle_rng);
+    for (BatchIterator it(shuffled, config.batch_size); !it.Done();
+         it.Next()) {
+      Dataset batch = it.Get();
+      // Teacher's softened target distribution (no caching needed).
+      Tensor t_logits = teacher->Forward(batch.x, CacheMode::kNoCache);
+      Tensor t_soft = t_logits;
+      Scale(inv_t, &t_soft);
+      Tensor targets = RowSoftmax(t_soft);
+
+      student->ZeroGrads();
+      Tensor s_logits = student->Forward(batch.x, CacheMode::kCache);
+
+      // Soft term at temperature T: CE(s/T, targets), chain rule gives an
+      // extra 1/T on the logit gradient which the T^2 factor compensates.
+      Tensor s_soft = s_logits;
+      Scale(inv_t, &s_soft);
+      LossGrad soft = SoftCrossEntropy(s_soft, targets);
+      Scale(inv_t, &soft.grad);
+
+      LossGrad hard = SoftmaxCrossEntropy(s_logits, batch.y);
+
+      Tensor grad = hard.grad;
+      Scale(static_cast<float>(1.0 - config.alpha), &grad);
+      Axpy(static_cast<float>(config.alpha) * t2, soft.grad, &grad);
+      const double loss = config.alpha * t2 * soft.loss +
+                          (1.0 - config.alpha) * hard.loss;
+
+      student->Backward(grad);
+      opt->Step(params, grads);
+      last_loss = loss;
+    }
+  }
+  report.Set(metric::kTrainSeconds, watch.Seconds());
+  report.Set(metric::kLoss, last_loss);
+  report.Set(metric::kModelBytes, static_cast<double>(student->ModelBytes()));
+  return report;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,44 @@
+#ifndef DLSYS_COMPRESS_DISTILL_H_
+#define DLSYS_COMPRESS_DISTILL_H_
+
+#include <cstdint>
+
+#include "src/core/metrics.h"
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/optim/optimizer.h"
+
+/// \file distill.h
+/// \brief Knowledge distillation (tutorial Section 2.1, Hinton et al.).
+///
+/// Transfers the function learned by a large teacher into a smaller
+/// student by training the student against the teacher's
+/// temperature-softened output distribution, optionally mixed with the
+/// hard labels.
+
+namespace dlsys {
+
+/// \brief Distillation hyperparameters.
+struct DistillConfig {
+  double temperature = 4.0;  ///< softening of teacher/student logits
+  double alpha = 0.7;        ///< weight on the soft (teacher) loss term
+  int64_t epochs = 20;
+  int64_t batch_size = 32;
+  uint64_t shuffle_seed = 7;
+};
+
+/// \brief Trains \p student to mimic \p teacher on \p data.
+///
+/// Loss = alpha * T^2 * CE(student_logits / T, softmax(teacher/T))
+///      + (1 - alpha) * CE(student_logits, labels).
+/// The T^2 factor keeps soft-gradient magnitudes comparable across
+/// temperatures (as in the original paper). Returns a report with train
+/// time and final mixed loss.
+Result<MetricsReport> Distill(Sequential* teacher, Sequential* student,
+                              Optimizer* opt, const Dataset& data,
+                              const DistillConfig& config);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_COMPRESS_DISTILL_H_

@@ -1,0 +1,239 @@
+#include "src/compress/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/loss.h"
+
+namespace dlsys {
+
+namespace {
+// Weight tensors (maskable) are rank >= 2; biases are rank 1.
+bool IsWeight(const Tensor& t) { return t.rank() >= 2; }
+
+// Collects pointers to the network's weight tensors in layer order.
+std::vector<Tensor*> WeightTensors(Sequential* net) {
+  std::vector<Tensor*> out;
+  for (Tensor* p : net->Params()) {
+    if (IsWeight(*p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> WeightGrads(Sequential* net) {
+  std::vector<Tensor*> out;
+  auto params = net->Params();
+  auto grads = net->Grads();
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (IsWeight(*params[i])) out.push_back(grads[i]);
+  }
+  return out;
+}
+}  // namespace
+
+PruneMask::PruneMask(Sequential* net) {
+  for (Tensor* w : WeightTensors(net)) {
+    masks_.emplace_back(w->shape(), 1.0f);
+  }
+}
+
+void PruneMask::Apply(Sequential* net) const {
+  auto weights = WeightTensors(net);
+  DLSYS_CHECK(weights.size() == masks_.size(), "mask/network mismatch");
+  for (size_t i = 0; i < weights.size(); ++i) {
+    Tensor& w = *weights[i];
+    const Tensor& m = masks_[i];
+    DLSYS_CHECK(w.size() == m.size(), "mask shape mismatch");
+    for (int64_t j = 0; j < w.size(); ++j) w[j] *= m[j];
+  }
+}
+
+void PruneMask::ApplyToGrads(Sequential* net) const {
+  auto grads = WeightGrads(net);
+  DLSYS_CHECK(grads.size() == masks_.size(), "mask/network mismatch");
+  for (size_t i = 0; i < grads.size(); ++i) {
+    Tensor& g = *grads[i];
+    const Tensor& m = masks_[i];
+    for (int64_t j = 0; j < g.size(); ++j) g[j] *= m[j];
+  }
+}
+
+double PruneMask::Sparsity() const {
+  int64_t total = 0, zeros = 0;
+  for (const Tensor& m : masks_) {
+    total += m.size();
+    for (int64_t j = 0; j < m.size(); ++j) {
+      if (m[j] == 0.0f) ++zeros;
+    }
+  }
+  return total > 0 ? static_cast<double>(zeros) / static_cast<double>(total)
+                   : 0.0;
+}
+
+int64_t PruneMask::NumAlive() const {
+  int64_t alive = 0;
+  for (const Tensor& m : masks_) {
+    for (int64_t j = 0; j < m.size(); ++j) {
+      if (m[j] != 0.0f) ++alive;
+    }
+  }
+  return alive;
+}
+
+Result<PruneMask> BuildPruneMask(Sequential* net, PruneCriterion criterion,
+                                 double sparsity, const Dataset* calibration,
+                                 Rng* rng) {
+  if (sparsity < 0.0 || sparsity >= 1.0) {
+    return Status::InvalidArgument("sparsity must be in [0, 1)");
+  }
+  PruneMask mask(net);
+  auto weights = WeightTensors(net);
+  if (weights.empty()) {
+    return Status::FailedPrecondition("network has no weight tensors");
+  }
+
+  // Score every weight coordinate; lower score = pruned first.
+  std::vector<std::vector<float>> scores(weights.size());
+  switch (criterion) {
+    case PruneCriterion::kMagnitude: {
+      for (size_t i = 0; i < weights.size(); ++i) {
+        const Tensor& w = *weights[i];
+        scores[i].resize(static_cast<size_t>(w.size()));
+        for (int64_t j = 0; j < w.size(); ++j) {
+          scores[i][static_cast<size_t>(j)] = std::abs(w[j]);
+        }
+      }
+      break;
+    }
+    case PruneCriterion::kLossSensitivity: {
+      if (calibration == nullptr || calibration->size() == 0) {
+        return Status::InvalidArgument(
+            "loss-sensitivity pruning needs calibration data");
+      }
+      net->ZeroGrads();
+      Tensor logits = net->Forward(calibration->x, CacheMode::kCache);
+      LossGrad lg = SoftmaxCrossEntropy(logits, calibration->y);
+      net->Backward(lg.grad);
+      auto grads = WeightGrads(net);
+      for (size_t i = 0; i < weights.size(); ++i) {
+        const Tensor& w = *weights[i];
+        const Tensor& g = *grads[i];
+        scores[i].resize(static_cast<size_t>(w.size()));
+        for (int64_t j = 0; j < w.size(); ++j) {
+          // First-order Taylor estimate of loss change when zeroing w_j.
+          scores[i][static_cast<size_t>(j)] = std::abs(w[j] * g[j]);
+        }
+      }
+      net->ZeroGrads();
+      break;
+    }
+    case PruneCriterion::kRandom: {
+      if (rng == nullptr) {
+        return Status::InvalidArgument("random pruning needs an rng");
+      }
+      for (size_t i = 0; i < weights.size(); ++i) {
+        scores[i].resize(static_cast<size_t>(weights[i]->size()));
+        for (float& s : scores[i]) s = static_cast<float>(rng->Uniform());
+      }
+      break;
+    }
+  }
+
+  // Global threshold: the sparsity-quantile of all scores.
+  std::vector<float> all;
+  for (const auto& s : scores) all.insert(all.end(), s.begin(), s.end());
+  const int64_t cut =
+      static_cast<int64_t>(std::llround(sparsity * static_cast<double>(all.size())));
+  if (cut > 0) {
+    std::nth_element(all.begin(), all.begin() + (cut - 1), all.end());
+    const float threshold = all[static_cast<size_t>(cut - 1)];
+    int64_t pruned = 0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+      Tensor& m = mask.masks()[i];
+      for (int64_t j = 0; j < m.size(); ++j) {
+        if (scores[i][static_cast<size_t>(j)] <= threshold && pruned < cut) {
+          m[j] = 0.0f;
+          ++pruned;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+Result<PruneMask> BuildFilterPruneMask(Sequential* net, double sparsity) {
+  if (sparsity < 0.0 || sparsity >= 1.0) {
+    return Status::InvalidArgument("sparsity must be in [0, 1)");
+  }
+  PruneMask mask(net);
+  auto weights = WeightTensors(net);
+  if (weights.empty()) {
+    return Status::FailedPrecondition("network has no weight tensors");
+  }
+  // A "unit" is an output column of a Dense weight (in x out, column j)
+  // or an output filter of a Conv weight (out_ch first dimension).
+  struct Unit {
+    size_t tensor;
+    int64_t index;   ///< column (dense) or filter (conv)
+    int64_t weights; ///< coordinates removed if pruned
+    double norm;
+  };
+  std::vector<Unit> units;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const Tensor& w = *weights[i];
+    if (w.rank() == 2) {
+      const int64_t in = w.dim(0), out = w.dim(1);
+      for (int64_t j = 0; j < out; ++j) {
+        double norm = 0.0;
+        for (int64_t r = 0; r < in; ++r) {
+          norm += static_cast<double>(w[r * out + j]) * w[r * out + j];
+        }
+        units.push_back({i, j, in, std::sqrt(norm)});
+      }
+    } else if (w.rank() == 4) {
+      const int64_t oc = w.dim(0);
+      const int64_t per = w.size() / oc;
+      for (int64_t f = 0; f < oc; ++f) {
+        double norm = 0.0;
+        for (int64_t r = 0; r < per; ++r) {
+          norm += static_cast<double>(w[f * per + r]) * w[f * per + r];
+        }
+        units.push_back({i, f, per, std::sqrt(norm)});
+      }
+    }
+  }
+  std::sort(units.begin(), units.end(),
+            [](const Unit& a, const Unit& b) { return a.norm < b.norm; });
+  int64_t total = 0;
+  for (Tensor* w : weights) total += w->size();
+  const int64_t target =
+      static_cast<int64_t>(std::llround(sparsity * static_cast<double>(total)));
+  int64_t pruned = 0;
+  for (const Unit& u : units) {
+    if (pruned >= target) break;
+    Tensor& m = mask.masks()[u.tensor];
+    const Tensor& w = *weights[u.tensor];
+    if (w.rank() == 2) {
+      const int64_t out = w.dim(1);
+      for (int64_t r = 0; r < w.dim(0); ++r) m[r * out + u.index] = 0.0f;
+    } else {
+      const int64_t per = w.size() / w.dim(0);
+      for (int64_t r = 0; r < per; ++r) m[u.index * per + r] = 0.0f;
+    }
+    pruned += u.weights;
+  }
+  return mask;
+}
+
+int64_t SparseModelBytes(Sequential* net, const PruneMask& mask) {
+  int64_t bytes = 0;
+  // Surviving weights: value + COO index.
+  bytes += mask.NumAlive() * 8;
+  // Biases stay dense.
+  for (Tensor* p : net->Params()) {
+    if (!IsWeight(*p)) bytes += p->bytes();
+  }
+  return bytes;
+}
+
+}  // namespace dlsys

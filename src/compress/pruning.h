@@ -1,0 +1,75 @@
+#ifndef DLSYS_COMPRESS_PRUNING_H_
+#define DLSYS_COMPRESS_PRUNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+
+/// \file pruning.h
+/// \brief Parameter pruning (tutorial Section 2.1).
+///
+/// Pruning removes parameters judged unnecessary. This module implements
+/// the three signal families the tutorial surveys — magnitude, loss
+/// sensitivity (first-order Taylor |w * dL/dw|), and a random baseline —
+/// plus filter-level (structured) pruning, and mask-preserving finetuning
+/// so pruned weights stay zero during retraining.
+
+namespace dlsys {
+
+/// \brief What evidence decides which parameters go.
+enum class PruneCriterion {
+  kMagnitude,        ///< prune smallest |w|
+  kLossSensitivity,  ///< prune smallest |w * dL/dw| on calibration data
+  kRandom,           ///< prune uniformly at random (ablation baseline)
+};
+
+/// \brief A 0/1 mask per weight tensor; 0 marks pruned coordinates.
+///
+/// Only weight matrices/filters are maskable; biases are never pruned.
+class PruneMask {
+ public:
+  /// \brief Builds an all-ones mask shaped like \p net's weight tensors.
+  explicit PruneMask(Sequential* net);
+
+  /// \brief Zeroes masked coordinates of the network's weights.
+  void Apply(Sequential* net) const;
+  /// \brief Zeroes masked coordinates of the network's *gradients*, so a
+  /// finetuning step cannot revive pruned weights.
+  void ApplyToGrads(Sequential* net) const;
+  /// \brief Fraction of maskable weights currently pruned.
+  double Sparsity() const;
+  /// \brief Number of surviving (unpruned) weights.
+  int64_t NumAlive() const;
+  /// \brief Mutable mask tensors (one per weight tensor, in layer order).
+  std::vector<Tensor>& masks() { return masks_; }
+  const std::vector<Tensor>& masks() const { return masks_; }
+
+ private:
+  std::vector<Tensor> masks_;
+};
+
+/// \brief Builds a mask pruning the \p sparsity fraction of weights with
+/// the globally smallest score under \p criterion.
+///
+/// kLossSensitivity requires \p calibration (a batch to measure gradients
+/// on); the others ignore it. \p rng is used by kRandom only.
+Result<PruneMask> BuildPruneMask(Sequential* net, PruneCriterion criterion,
+                                 double sparsity, const Dataset* calibration,
+                                 Rng* rng);
+
+/// \brief Builds a structured mask that removes whole output units
+/// (columns of Dense weights / filters of Conv weights) with the smallest
+/// L2 norm, until at least \p sparsity of weights are pruned.
+Result<PruneMask> BuildFilterPruneMask(Sequential* net, double sparsity);
+
+/// \brief Sparse storage estimate for the pruned model: 4 bytes per
+/// surviving weight + 4 bytes per index (COO) + dense biases.
+int64_t SparseModelBytes(Sequential* net, const PruneMask& mask);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_COMPRESS_PRUNING_H_

@@ -1,0 +1,78 @@
+#ifndef DLSYS_COMPRESS_QUANTIZATION_H_
+#define DLSYS_COMPRESS_QUANTIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/nn/sequential.h"
+#include "src/tensor/tensor.h"
+
+/// \file quantization.h
+/// \brief Weight quantization (tutorial Section 2.1).
+///
+/// Quantization replaces float parameters with low-bit codes plus a
+/// codebook. The codebook may be lossless in its effect on size only
+/// (entropy/Huffman coding of the codes) or lossy (uniform fixed-point,
+/// k-means, binary). This module implements all three families and
+/// reports honest compressed byte sizes (codes + codebook).
+
+namespace dlsys {
+
+/// \brief How codewords are chosen.
+enum class QuantizerKind {
+  kUniform,  ///< evenly spaced levels over [min, max] (fixed-point style)
+  kKMeans,   ///< Lloyd-optimized scalar codebook
+  kBinary,   ///< one bit: sign(w) * mean(|w|), per tensor
+};
+
+/// \brief A tensor stored as per-element codes plus a codebook.
+struct QuantizedTensor {
+  Shape shape;
+  int64_t bits = 8;                 ///< bits per code
+  std::vector<uint32_t> codes;      ///< one code per element
+  std::vector<float> codebook;      ///< 2^bits (or fewer) centroids
+  /// True when the codebook is an affine grid (uniform/binary): such a
+  /// codebook ships as just scale+offset (8 bytes), not a full table.
+  bool affine_codebook = false;
+
+  /// \brief Reconstructs the dense float tensor.
+  Tensor Dequantize() const;
+  /// \brief Raw storage cost: packed codes + float codebook.
+  int64_t PackedBytes() const;
+  /// \brief Storage cost if codes were Huffman coded (lossless entropy
+  /// coding of the code stream) plus codebook and code-length table.
+  int64_t HuffmanBytes() const;
+};
+
+/// \brief Quantizes \p t to \p bits using \p kind.
+///
+/// kBinary ignores \p bits (always 1). kKMeans runs Lloyd iterations
+/// seeded from uniform levels. Returns InvalidArgument for bits outside
+/// [1, 16].
+Result<QuantizedTensor> Quantize(const Tensor& t, QuantizerKind kind,
+                                 int64_t bits);
+
+/// \brief Outcome of quantizing a whole network.
+struct NetworkQuantization {
+  int64_t original_bytes = 0;
+  int64_t packed_bytes = 0;
+  int64_t huffman_bytes = 0;
+  double max_abs_error = 0.0;   ///< max |w - w_hat| over all params
+  double mean_sq_error = 0.0;   ///< mean (w - w_hat)^2 over all params
+};
+
+/// \brief Quantize-dequantizes every parameter of \p net in place
+/// (weights and biases), simulating deployment of the compressed model,
+/// and reports size/error statistics.
+Result<NetworkQuantization> QuantizeNetwork(Sequential* net,
+                                            QuantizerKind kind, int64_t bits);
+
+/// \brief Exact Huffman-coded bit length of a code stream with the given
+/// code frequency histogram (canonical Huffman, no stream overhead).
+int64_t HuffmanBitLength(const std::vector<int64_t>& frequencies);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_COMPRESS_QUANTIZATION_H_

@@ -1,0 +1,28 @@
+#include "src/core/metrics.h"
+
+#include <cstdio>
+
+namespace dlsys {
+
+void MetricsReport::Merge(const MetricsReport& other,
+                          const std::string& prefix) {
+  for (const auto& [key, value] : other.values_) {
+    if (prefix.empty()) {
+      values_[key] = value;
+    } else {
+      values_[prefix + "." + key] = value;
+    }
+  }
+}
+
+std::string MetricsReport::ToString() const {
+  std::string out;
+  char line[256];
+  for (const auto& [key, value] : values_) {
+    std::snprintf(line, sizeof(line), "%-32s = %.6g\n", key.c_str(), value);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dlsys

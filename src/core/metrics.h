@@ -1,0 +1,81 @@
+#ifndef DLSYS_CORE_METRICS_H_
+#define DLSYS_CORE_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+/// \file metrics.h
+/// \brief The metric vocabulary of the tutorial's Part 1.
+///
+/// The paper organises all of deep-learning systems research around two
+/// metric families: quality-related (accuracy, robustness) and
+/// resource-related (training time, inference time, memory, energy).
+/// MetricsReport is the uniform container every technique in this library
+/// reports into, so that benches can place techniques on tradeoff axes.
+
+namespace dlsys {
+
+/// \brief Wall-clock stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  /// Starts the stopwatch.
+  Stopwatch() : start_(Clock::now()) {}
+  /// \brief Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+  /// \brief Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief A named bag of scalar metrics produced by one technique run.
+///
+/// Keys follow the convention "<family>.<name>", e.g. "quality.accuracy",
+/// "resource.train_seconds", "resource.peak_bytes", "resource.energy_j".
+class MetricsReport {
+ public:
+  /// \brief Sets (or overwrites) metric \p key to \p value.
+  void Set(const std::string& key, double value) { values_[key] = value; }
+  /// \brief Adds \p delta to metric \p key (starting from 0).
+  void Add(const std::string& key, double delta) { values_[key] += delta; }
+  /// \brief Returns the metric, or \p fallback if absent.
+  double Get(const std::string& key, double fallback = 0.0) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  /// \brief True iff the metric has been set.
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  /// \brief All metrics, ordered by key.
+  const std::map<std::string, double>& values() const { return values_; }
+  /// \brief Merges \p other into this report, prefixing keys with
+  /// "<prefix>." when \p prefix is non-empty.
+  void Merge(const MetricsReport& other, const std::string& prefix = "");
+  /// \brief Multi-line "key = value" rendering, ordered by key.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Canonical metric keys (the tutorial's core metrics).
+namespace metric {
+inline constexpr const char* kAccuracy = "quality.accuracy";
+inline constexpr const char* kLoss = "quality.loss";
+inline constexpr const char* kTrainSeconds = "resource.train_seconds";
+inline constexpr const char* kInferSeconds = "resource.infer_seconds";
+inline constexpr const char* kPeakBytes = "resource.peak_bytes";
+inline constexpr const char* kModelBytes = "resource.model_bytes";
+inline constexpr const char* kCommBytes = "resource.comm_bytes";
+inline constexpr const char* kEnergyJoules = "resource.energy_joules";
+inline constexpr const char* kFlops = "resource.flops";
+}  // namespace metric
+
+}  // namespace dlsys
+
+#endif  // DLSYS_CORE_METRICS_H_

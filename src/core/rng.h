@@ -1,0 +1,69 @@
+#ifndef DLSYS_CORE_RNG_H_
+#define DLSYS_CORE_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+/// \file rng.h
+/// \brief Seeded random number generation used throughout the library.
+///
+/// Every stochastic component in dlsys takes an explicit Rng (or seed) so
+/// that experiments and tests are reproducible bit-for-bit.
+
+namespace dlsys {
+
+/// \brief A seeded pseudo-random generator with convenience draws.
+///
+/// Thin wrapper over std::mt19937_64. Not thread-safe; use one per thread
+/// (see Fork()).
+class Rng {
+ public:
+  /// Constructs a generator from \p seed.
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// \brief Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+  /// \brief Uniform integer in [0, n). Requires n > 0.
+  uint64_t Index(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+  /// \brief Standard normal draw.
+  double Gaussian() { return normal_(engine_); }
+  /// \brief Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+  /// \brief Bernoulli draw with success probability \p p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+  /// \brief Raw 64-bit draw.
+  uint64_t Next() { return engine_(); }
+
+  /// \brief Deterministically derives an independent child generator.
+  ///
+  /// Useful for giving each worker/module its own stream from one seed.
+  Rng Fork() { return Rng(engine_() ^ 0x9E3779B97F4A7C15ULL); }
+
+  /// \brief Fisher-Yates shuffles \p v in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Index(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// \brief Underlying engine, for interop with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_CORE_RNG_H_

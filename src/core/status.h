@@ -1,0 +1,175 @@
+#ifndef DLSYS_CORE_STATUS_H_
+#define DLSYS_CORE_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// \brief Error model for the dlsys library.
+///
+/// Public APIs never throw. Operations that can fail return a Status, or a
+/// Result<T> when they also produce a value, in the style of Apache Arrow
+/// and RocksDB. Programmer errors (violated preconditions) abort via
+/// DLSYS_CHECK.
+
+namespace dlsys {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kIOError = 9,
+};
+
+/// \brief Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation: either OK, or a code plus message.
+///
+/// Cheap to copy in the OK case (no allocation); error construction
+/// allocates for the message. Mirrors rocksdb::Status / arrow::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// \brief Returns the singleton-like OK status.
+  static Status OK() { return Status(); }
+  /// \brief Constructs an InvalidArgument error with \p msg.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// \brief Constructs an OutOfRange error with \p msg.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// \brief Constructs a NotFound error with \p msg.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// \brief Constructs an AlreadyExists error with \p msg.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// \brief Constructs a FailedPrecondition error with \p msg.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// \brief Constructs a ResourceExhausted error with \p msg.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// \brief Constructs an Unimplemented error with \p msg.
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// \brief Constructs an Internal error with \p msg.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// \brief Constructs an IOError with \p msg.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// \brief The status code.
+  StatusCode code() const { return code_; }
+  /// \brief The error message; empty for OK.
+  const std::string& message() const { return message_; }
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief A value of type T or an error Status.
+///
+/// Accessing the value of an errored Result is a programmer error and
+/// aborts. Use ok()/status() to branch.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, to allow `return value;`).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a non-OK status (implicit, to allow `return status;`).
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  /// \brief True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  /// \brief The status; OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+  /// \brief The held value. Aborts if !ok().
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  /// \brief Moves the held value out. Aborts if !ok().
+  T&& value() && {
+    CheckOk();
+    return std::move(std::get<T>(data_));
+  }
+  /// \brief Alias of value() for structured-flow readability.
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(data_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace dlsys
+
+/// \brief Aborts with a message if \p cond is false. For programmer errors
+/// (precondition violations), not data-dependent failures.
+#define DLSYS_CHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "DLSYS_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, (msg));                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+/// \brief Returns early if the expression produces a non-OK Status.
+#define DLSYS_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::dlsys::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#endif  // DLSYS_CORE_STATUS_H_

@@ -1,0 +1,82 @@
+#include "src/core/tradeoff.h"
+
+#include <algorithm>
+
+namespace dlsys {
+
+const char* TradeoffClassName(TradeoffClass c) {
+  switch (c) {
+    case TradeoffClass::kAccuracyVsEfficiency:
+      return "accuracy-vs-efficiency";
+    case TradeoffClass::kOptimizationVsRuntime:
+      return "optimization-vs-runtime";
+    case TradeoffClass::kTimeVsMemory:
+      return "time-vs-memory";
+  }
+  return "unknown";
+}
+
+Status TradeoffRegistry::Register(TechniqueProfile profile) {
+  for (const auto& p : profiles_) {
+    if (p.name == profile.name) {
+      return Status::AlreadyExists("technique already registered: " +
+                                   profile.name);
+    }
+  }
+  profiles_.push_back(std::move(profile));
+  return Status::OK();
+}
+
+Result<TechniqueProfile*> TradeoffRegistry::Find(const std::string& name) {
+  for (auto& p : profiles_) {
+    if (p.name == name) return &p;
+  }
+  return Status::NotFound("technique not registered: " + name);
+}
+
+Status TradeoffRegistry::Record(const std::string& name, MetricsReport run) {
+  auto found = Find(name);
+  if (!found.ok()) return found.status();
+  (*found)->runs.push_back(std::move(run));
+  return Status::OK();
+}
+
+std::vector<const TechniqueProfile*> TradeoffRegistry::InClass(
+    TradeoffClass c) const {
+  std::vector<const TechniqueProfile*> out;
+  for (const auto& p : profiles_) {
+    if (p.tradeoff == c) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<FrontierPoint> TradeoffRegistry::Points(
+    const std::string& x_key, const std::string& y_key) const {
+  std::vector<FrontierPoint> out;
+  for (const auto& p : profiles_) {
+    if (p.runs.empty()) continue;
+    const MetricsReport& run = p.runs.back();
+    if (!run.Has(x_key) || !run.Has(y_key)) continue;
+    out.push_back({p.name, run.Get(x_key), run.Get(y_key)});
+  }
+  return out;
+}
+
+std::vector<FrontierPoint> ParetoFrontier(std::vector<FrontierPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              if (a.x != b.x) return a.x < b.x;
+              return a.y > b.y;
+            });
+  std::vector<FrontierPoint> frontier;
+  double best_y = -1e300;
+  for (const auto& p : points) {
+    if (p.y > best_y) {
+      frontier.push_back(p);
+      best_y = p.y;
+    }
+  }
+  return frontier;
+}
+
+}  // namespace dlsys

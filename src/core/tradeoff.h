@@ -1,0 +1,82 @@
+#ifndef DLSYS_CORE_TRADEOFF_H_
+#define DLSYS_CORE_TRADEOFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/status.h"
+
+/// \file tradeoff.h
+/// \brief The tutorial's technique-classification framework (Part 1).
+///
+/// The paper's central organising idea is that every efficiency technique
+/// in deep learning *trades* between metrics, and techniques can be
+/// classified by which tradeoff they navigate:
+///   (i)   accuracy vs. time/memory efficiency          (Section 2.1)
+///   (ii)  optimization time vs. train/inference time    (Section 2.2)
+///   (iii) training time vs. memory                      (Section 2.3)
+/// TradeoffRegistry is a queryable catalog of technique profiles; benches
+/// append measured MetricsReports to their profile, and FrontierPoints /
+/// ParetoFrontier compute which techniques are dominated on chosen axes.
+
+namespace dlsys {
+
+/// \brief The three tradeoff classes of the tutorial's Section 2.
+enum class TradeoffClass {
+  /// Sacrifice (possibly zero) accuracy for train/infer time and memory.
+  kAccuracyVsEfficiency,
+  /// Spend setup/optimization time to reduce train/inference time.
+  kOptimizationVsRuntime,
+  /// Spend training time to reduce memory.
+  kTimeVsMemory,
+};
+
+/// \brief Human-readable name of a tradeoff class.
+const char* TradeoffClassName(TradeoffClass c);
+
+/// \brief A technique's identity, classification, and measured runs.
+struct TechniqueProfile {
+  std::string name;            ///< e.g. "quantization/kmeans-4bit"
+  TradeoffClass tradeoff;      ///< which tradeoff it navigates
+  std::string paper_section;   ///< e.g. "2.1"
+  std::vector<MetricsReport> runs;  ///< measurements appended by benches
+};
+
+/// \brief One point on a two-metric tradeoff plane.
+struct FrontierPoint {
+  std::string technique;
+  double x = 0.0;  ///< cost metric (lower is better)
+  double y = 0.0;  ///< quality metric (higher is better)
+};
+
+/// \brief Catalog of technique profiles, keyed by name.
+class TradeoffRegistry {
+ public:
+  /// \brief Registers a technique. Fails with AlreadyExists on duplicates.
+  Status Register(TechniqueProfile profile);
+  /// \brief Looks up a technique by exact name.
+  Result<TechniqueProfile*> Find(const std::string& name);
+  /// \brief Appends a measured run to technique \p name.
+  Status Record(const std::string& name, MetricsReport run);
+  /// \brief All techniques in a tradeoff class.
+  std::vector<const TechniqueProfile*> InClass(TradeoffClass c) const;
+  /// \brief All registered techniques.
+  const std::vector<TechniqueProfile>& profiles() const { return profiles_; }
+
+  /// \brief Extracts (cost=\p x_key, quality=\p y_key) points from the
+  /// latest run of each technique that has both metrics.
+  std::vector<FrontierPoint> Points(const std::string& x_key,
+                                    const std::string& y_key) const;
+
+ private:
+  std::vector<TechniqueProfile> profiles_;
+};
+
+/// \brief Returns the subset of \p points not Pareto-dominated
+/// (lower x is better, higher y is better), sorted by x.
+std::vector<FrontierPoint> ParetoFrontier(std::vector<FrontierPoint> points);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_CORE_TRADEOFF_H_

@@ -1,0 +1,95 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/status.h"
+
+namespace dlsys {
+
+int64_t Dataset::NumClasses() const {
+  int64_t mx = -1;
+  for (int64_t v : y) mx = std::max(mx, v);
+  return mx + 1;
+}
+
+namespace {
+// Copies example i of src features into slot j of dst features.
+void CopyExample(const Tensor& src, int64_t i, Tensor* dst, int64_t j) {
+  int64_t stride = 1;
+  for (int64_t d = 1; d < src.rank(); ++d) stride *= src.dim(d);
+  std::copy(src.data() + i * stride, src.data() + (i + 1) * stride,
+            dst->data() + j * stride);
+}
+
+Shape WithRows(const Shape& s, int64_t rows) {
+  Shape out = s;
+  out[0] = rows;
+  return out;
+}
+}  // namespace
+
+TrainTestSplit Split(const Dataset& data, double train_fraction) {
+  DLSYS_CHECK(train_fraction >= 0.0 && train_fraction <= 1.0,
+              "train_fraction out of range");
+  const int64_t n = data.size();
+  const int64_t n_train =
+      static_cast<int64_t>(std::llround(train_fraction * n));
+  TrainTestSplit out;
+  out.train = Batch(data, 0, n_train);
+  out.test = Batch(data, n_train, n);
+  return out;
+}
+
+void ShuffleDataset(Dataset* data, Rng* rng) {
+  const int64_t n = data->size();
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&perm);
+  Tensor x(data->x.shape());
+  std::vector<int64_t> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    CopyExample(data->x, perm[static_cast<size_t>(i)], &x, i);
+    y[static_cast<size_t>(i)] = data->y[static_cast<size_t>(perm[i])];
+  }
+  data->x = std::move(x);
+  data->y = std::move(y);
+}
+
+std::vector<std::pair<float, float>> Standardize(Dataset* data) {
+  DLSYS_CHECK(data->x.rank() == 2, "Standardize requires rank-2 features");
+  const int64_t n = data->x.dim(0), d = data->x.dim(1);
+  std::vector<std::pair<float, float>> stats(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < n; ++i) mean += data->x[i * d + j];
+    mean /= std::max<int64_t>(n, 1);
+    double var = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double dv = data->x[i * d + j] - mean;
+      var += dv * dv;
+    }
+    var /= std::max<int64_t>(n, 1);
+    const float stddev = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
+    stats[static_cast<size_t>(j)] = {static_cast<float>(mean), stddev};
+    for (int64_t i = 0; i < n; ++i) {
+      data->x[i * d + j] =
+          (data->x[i * d + j] - static_cast<float>(mean)) / stddev;
+    }
+  }
+  return stats;
+}
+
+Dataset Batch(const Dataset& data, int64_t begin, int64_t end) {
+  DLSYS_CHECK(begin >= 0 && begin <= end && end <= data.size(),
+              "batch range invalid");
+  Dataset out;
+  out.x = Tensor(WithRows(data.x.shape(), end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    CopyExample(data.x, i, &out.x, i - begin);
+  }
+  out.y.assign(data.y.begin() + begin, data.y.begin() + end);
+  return out;
+}
+
+}  // namespace dlsys

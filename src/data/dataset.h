@@ -1,0 +1,74 @@
+#ifndef DLSYS_DATA_DATASET_H_
+#define DLSYS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/tensor/tensor.h"
+
+/// \file dataset.h
+/// \brief Labeled datasets and batching.
+
+namespace dlsys {
+
+/// \brief A labeled classification dataset: features x (N x d or
+/// N x C x H x W) and integer labels y (length N).
+struct Dataset {
+  Tensor x;
+  std::vector<int64_t> y;
+
+  /// \brief Number of examples.
+  int64_t size() const { return x.empty() ? 0 : x.dim(0); }
+  /// \brief Number of distinct label values (max + 1).
+  int64_t NumClasses() const;
+};
+
+/// \brief Splits \p data into train/test with the first
+/// round(train_fraction * N) examples in train (shuffle first if order
+/// matters).
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit Split(const Dataset& data, double train_fraction);
+
+/// \brief Shuffles examples (features and labels together).
+void ShuffleDataset(Dataset* data, Rng* rng);
+
+/// \brief Standardizes each feature column of a rank-2 x to zero mean and
+/// unit variance (in place); returns the per-column (mean, stddev) pairs.
+std::vector<std::pair<float, float>> Standardize(Dataset* data);
+
+/// \brief Extracts examples [begin, end) as a batch (any feature rank).
+Dataset Batch(const Dataset& data, int64_t begin, int64_t end);
+
+/// \brief Iterates over a dataset in fixed-size batches.
+///
+/// The last batch may be smaller. Usage:
+///   for (BatchIterator it(data, 32); !it.Done(); it.Next()) {
+///     Dataset b = it.Get(); ...
+///   }
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& data, int64_t batch_size)
+      : data_(data), batch_size_(batch_size) {}
+  /// \brief True when all examples were yielded.
+  bool Done() const { return pos_ >= data_.size(); }
+  /// \brief Advances to the next batch.
+  void Next() { pos_ += batch_size_; }
+  /// \brief Materializes the current batch.
+  Dataset Get() const {
+    const int64_t end = std::min(pos_ + batch_size_, data_.size());
+    return Batch(data_, pos_, end);
+  }
+
+ private:
+  const Dataset& data_;
+  int64_t batch_size_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DATA_DATASET_H_

@@ -1,0 +1,108 @@
+#include "src/data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/status.h"
+
+namespace dlsys {
+
+Dataset MakeGaussianBlobs(int64_t n, int64_t dims, int64_t classes,
+                          double separation, Rng* rng) {
+  DLSYS_CHECK(n > 0 && dims > 0 && classes > 1, "invalid blob config");
+  // Draw one random unit-ish center per class, scaled by separation.
+  std::vector<std::vector<float>> centers(static_cast<size_t>(classes));
+  for (auto& c : centers) {
+    c.resize(static_cast<size_t>(dims));
+    for (float& v : c) {
+      v = static_cast<float>(rng->Gaussian() * separation);
+    }
+  }
+  Dataset out;
+  out.x = Tensor({n, dims});
+  out.y.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t cls = static_cast<int64_t>(rng->Index(classes));
+    out.y[static_cast<size_t>(i)] = cls;
+    const auto& c = centers[static_cast<size_t>(cls)];
+    for (int64_t j = 0; j < dims; ++j) {
+      out.x[i * dims + j] =
+          c[static_cast<size_t>(j)] + static_cast<float>(rng->Gaussian());
+    }
+  }
+  return out;
+}
+
+Dataset MakeTwoMoons(int64_t n, double noise, Rng* rng) {
+  DLSYS_CHECK(n > 0, "invalid moon config");
+  Dataset out;
+  out.x = Tensor({n, 2});
+  out.y.resize(static_cast<size_t>(n));
+  const double pi = 3.14159265358979323846;
+  for (int64_t i = 0; i < n; ++i) {
+    const bool upper = rng->Bernoulli(0.5);
+    const double t = rng->Uniform() * pi;
+    double x, y;
+    if (upper) {
+      x = std::cos(t);
+      y = std::sin(t);
+    } else {
+      x = 1.0 - std::cos(t);
+      y = 0.5 - std::sin(t);
+    }
+    out.x[i * 2 + 0] = static_cast<float>(x + rng->Gaussian() * noise);
+    out.x[i * 2 + 1] = static_cast<float>(y + rng->Gaussian() * noise);
+    out.y[static_cast<size_t>(i)] = upper ? 0 : 1;
+  }
+  return out;
+}
+
+Dataset MakeDigitGrid(int64_t n, int64_t img, int64_t classes, double noise,
+                      Rng* rng) {
+  DLSYS_CHECK(n > 0 && img >= 4 && classes > 1 && classes <= 16,
+              "invalid digit-grid config");
+  // Each class gets a deterministic stroke pattern: a horizontal bar, a
+  // vertical bar, and a diagonal whose positions depend on the class id.
+  Dataset out;
+  out.x = Tensor({n, 1, img, img});
+  out.y.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t cls = static_cast<int64_t>(rng->Index(classes));
+    out.y[static_cast<size_t>(i)] = cls;
+    float* px = out.x.data() + i * img * img;
+    // Background noise.
+    for (int64_t p = 0; p < img * img; ++p) {
+      px[p] = static_cast<float>(rng->Gaussian() * noise);
+    }
+    const int64_t row = (cls * 7 + 1) % img;
+    const int64_t col = (cls * 3 + 2) % img;
+    for (int64_t j = 0; j < img; ++j) {
+      px[row * img + j] += 1.0f;                     // horizontal bar
+      if (cls % 2 == 0) px[j * img + col] += 1.0f;   // vertical bar
+      if (cls % 3 == 0) px[j * img + j] += 1.0f;     // main diagonal
+    }
+  }
+  return out;
+}
+
+RegressionData MakeRegression(int64_t n, int64_t dims, double noise,
+                              Rng* rng) {
+  DLSYS_CHECK(n > 0 && dims > 0, "invalid regression config");
+  std::vector<float> w(static_cast<size_t>(dims));
+  for (float& v : w) v = static_cast<float>(rng->Gaussian());
+  RegressionData out;
+  out.x = Tensor({n, dims});
+  out.y = Tensor({n, 1});
+  for (int64_t i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (int64_t j = 0; j < dims; ++j) {
+      const float xv = static_cast<float>(rng->Uniform(-2.0, 2.0));
+      out.x[i * dims + j] = xv;
+      dot += w[static_cast<size_t>(j)] * xv;
+    }
+    out.y[i] = static_cast<float>(std::sin(dot) + rng->Gaussian() * noise);
+  }
+  return out;
+}
+
+}  // namespace dlsys

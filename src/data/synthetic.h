@@ -1,0 +1,44 @@
+#ifndef DLSYS_DATA_SYNTHETIC_H_
+#define DLSYS_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+
+/// \file synthetic.h
+/// \brief Seeded synthetic dataset generators.
+///
+/// Substitutes for the image/NLP corpora the tutorial's techniques are
+/// usually demonstrated on: laptop-scale, deterministic, and with
+/// controllable difficulty so accuracy deltas between techniques are
+/// visible above noise.
+
+namespace dlsys {
+
+/// \brief Gaussian mixture classification: \p classes isotropic blobs in
+/// \p dims dimensions at distance controlled by \p separation (larger is
+/// easier). Labels are the blob index.
+Dataset MakeGaussianBlobs(int64_t n, int64_t dims, int64_t classes,
+                          double separation, Rng* rng);
+
+/// \brief Two interleaved half-moons in 2-D with Gaussian noise; binary
+/// labels. A classic nonlinear benchmark.
+Dataset MakeTwoMoons(int64_t n, double noise, Rng* rng);
+
+/// \brief Synthetic "digit" images: class-dependent stroke patterns on an
+/// \p img x \p img grid with pixel noise, shaped [N, 1, img, img].
+/// A stand-in for MNIST-like CNN workloads.
+Dataset MakeDigitGrid(int64_t n, int64_t img, int64_t classes, double noise,
+                      Rng* rng);
+
+/// \brief Nonlinear scalar regression y = sin(w.x) + noise packaged as
+/// features x (N x dims) and targets (N x 1) in the returned pair.
+struct RegressionData {
+  Tensor x;
+  Tensor y;
+};
+RegressionData MakeRegression(int64_t n, int64_t dims, double noise, Rng* rng);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DATA_SYNTHETIC_H_

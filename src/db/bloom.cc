@@ -1,0 +1,63 @@
+#include "src/db/bloom.h"
+
+#include <cmath>
+
+namespace dlsys {
+
+BloomFilter::BloomFilter(int64_t bits, int64_t num_hashes)
+    : table_(static_cast<size_t>(bits), false), num_hashes_(num_hashes) {
+  DLSYS_CHECK(bits > 0, "bloom filter needs at least one bit");
+  DLSYS_CHECK(num_hashes > 0, "bloom filter needs at least one hash");
+}
+
+BloomFilter BloomFilter::ForKeys(int64_t expected_keys, double bits_per_key) {
+  DLSYS_CHECK(expected_keys > 0 && bits_per_key > 0.0,
+              "invalid bloom sizing");
+  const int64_t bits = std::max<int64_t>(
+      64, static_cast<int64_t>(std::llround(
+              bits_per_key * static_cast<double>(expected_keys))));
+  const int64_t k = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(bits_per_key * 0.6931)));
+  return BloomFilter(bits, k);
+}
+
+uint64_t BloomFilter::HashBase(int64_t key) const {
+  // SplitMix64 finalizer: well-mixed 64 bits from the key.
+  uint64_t x = static_cast<uint64_t>(key) + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void BloomFilter::Insert(int64_t key) {
+  const uint64_t h = HashBase(key);
+  const uint64_t h1 = h & 0xFFFFFFFFULL;
+  const uint64_t h2 = (h >> 32) | 1ULL;  // odd => full-cycle double hashing
+  const uint64_t m = static_cast<uint64_t>(table_.size());
+  for (int64_t i = 0; i < num_hashes_; ++i) {
+    table_[(h1 + static_cast<uint64_t>(i) * h2) % m] = true;
+  }
+}
+
+bool BloomFilter::MayContain(int64_t key) const {
+  const uint64_t h = HashBase(key);
+  const uint64_t h1 = h & 0xFFFFFFFFULL;
+  const uint64_t h2 = (h >> 32) | 1ULL;
+  const uint64_t m = static_cast<uint64_t>(table_.size());
+  for (int64_t i = 0; i < num_hashes_; ++i) {
+    if (!table_[(h1 + static_cast<uint64_t>(i) * h2) % m]) return false;
+  }
+  return true;
+}
+
+double BloomFilter::MeasureFpr(const std::vector<int64_t>& non_members) const {
+  if (non_members.empty()) return 0.0;
+  int64_t positives = 0;
+  for (int64_t key : non_members) {
+    if (MayContain(key)) ++positives;
+  }
+  return static_cast<double>(positives) /
+         static_cast<double>(non_members.size());
+}
+
+}  // namespace dlsys

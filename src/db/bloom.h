@@ -1,0 +1,50 @@
+#ifndef DLSYS_DB_BLOOM_H_
+#define DLSYS_DB_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+
+/// \file bloom.h
+/// \brief Classic Bloom filter: the baseline access-method helper that
+/// learned Bloom filters (tutorial Part 2) improve on.
+
+namespace dlsys {
+
+/// \brief Bloom filter over int64 keys with double hashing.
+class BloomFilter {
+ public:
+  /// Constructs with \p bits total bits and \p num_hashes probes.
+  BloomFilter(int64_t bits, int64_t num_hashes);
+
+  /// \brief Sizes a filter for \p expected_keys at \p bits_per_key,
+  /// with the standard optimal hash count k = bits_per_key * ln 2.
+  static BloomFilter ForKeys(int64_t expected_keys, double bits_per_key);
+
+  /// \brief Inserts a key.
+  void Insert(int64_t key);
+  /// \brief True if the key may be present; false means definitely absent.
+  bool MayContain(int64_t key) const;
+
+  /// \brief Bits in the table.
+  int64_t bits() const { return static_cast<int64_t>(table_.size()); }
+  /// \brief Bytes of the bit table.
+  int64_t MemoryBytes() const { return (bits() + 7) / 8; }
+  /// \brief Hash probes per operation.
+  int64_t num_hashes() const { return num_hashes_; }
+
+  /// \brief Measured false-positive rate over \p probes keys drawn from
+  /// \p non_members (keys known absent).
+  double MeasureFpr(const std::vector<int64_t>& non_members) const;
+
+ private:
+  uint64_t HashBase(int64_t key) const;
+
+  std::vector<bool> table_;
+  int64_t num_hashes_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DB_BLOOM_H_

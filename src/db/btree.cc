@@ -1,0 +1,130 @@
+#include "src/db/btree.h"
+
+#include <algorithm>
+
+namespace dlsys {
+
+BTree::BTree(int64_t fanout) : fanout_(fanout) {
+  DLSYS_CHECK(fanout >= 4, "fanout must be >= 4");
+  root_ = std::make_unique<Node>();
+}
+
+void BTree::SplitChild(Node* parent, int64_t idx) {
+  Node* child = parent->children[static_cast<size_t>(idx)].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  const size_t mid = child->keys.size() / 2;
+  int64_t separator;
+  if (child->leaf) {
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->values.assign(child->values.begin() + mid, child->values.end());
+    child->keys.resize(mid);
+    child->values.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+  } else {
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->keys.insert(parent->keys.begin() + idx, separator);
+  parent->children.insert(parent->children.begin() + idx + 1,
+                          std::move(right));
+}
+
+void BTree::InsertNonFull(Node* node, int64_t key, int64_t value) {
+  while (!node->leaf) {
+    // Descend; split full children on the way down.
+    int64_t idx = static_cast<int64_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    Node* child = node->children[static_cast<size_t>(idx)].get();
+    if (static_cast<int64_t>(child->keys.size()) >= fanout_) {
+      SplitChild(node, idx);
+      if (key >= node->keys[static_cast<size_t>(idx)]) ++idx;
+      child = node->children[static_cast<size_t>(idx)].get();
+    }
+    node = child;
+  }
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  const int64_t pos = static_cast<int64_t>(it - node->keys.begin());
+  if (it != node->keys.end() && *it == key) {
+    node->values[static_cast<size_t>(pos)] = value;  // overwrite
+    return;
+  }
+  node->keys.insert(it, key);
+  node->values.insert(node->values.begin() + pos, value);
+  ++size_;
+}
+
+void BTree::Insert(int64_t key, int64_t value) {
+  if (static_cast<int64_t>(root_->keys.size()) >= fanout_) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+    ++height_;
+  }
+  InsertNonFull(root_.get(), key, value);
+}
+
+Result<int64_t> BTree::Find(int64_t key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    const int64_t idx = static_cast<int64_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[static_cast<size_t>(idx)].get();
+  }
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  if (it != node->keys.end() && *it == key) {
+    return node->values[static_cast<size_t>(it - node->keys.begin())];
+  }
+  return Status::NotFound("key " + std::to_string(key));
+}
+
+std::vector<int64_t> BTree::RangeScan(int64_t lo, int64_t hi) const {
+  std::vector<int64_t> out;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    const int64_t idx = static_cast<int64_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), lo) -
+        node->keys.begin());
+    node = node->children[static_cast<size_t>(idx)].get();
+  }
+  while (node != nullptr) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (node->keys[i] < lo) continue;
+      if (node->keys[i] > hi) return out;
+      out.push_back(node->values[i]);
+    }
+    node = node->next;
+  }
+  return out;
+}
+
+int64_t BTree::NodeBytes(const Node* node) const {
+  int64_t bytes = static_cast<int64_t>(sizeof(Node));
+  bytes += static_cast<int64_t>(node->keys.size()) * 8;
+  bytes += static_cast<int64_t>(node->values.size()) * 8;
+  bytes += static_cast<int64_t>(node->children.size()) * 8;
+  for (const auto& c : node->children) bytes += NodeBytes(c.get());
+  return bytes;
+}
+
+int64_t BTree::MemoryBytes() const { return NodeBytes(root_.get()); }
+
+BTree BTree::BulkLoad(
+    const std::vector<std::pair<int64_t, int64_t>>& sorted, int64_t fanout) {
+  BTree tree(fanout);
+  for (const auto& [k, v] : sorted) tree.Insert(k, v);
+  return tree;
+}
+
+}  // namespace dlsys

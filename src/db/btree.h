@@ -1,0 +1,71 @@
+#ifndef DLSYS_DB_BTREE_H_
+#define DLSYS_DB_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/status.h"
+
+/// \file btree.h
+/// \brief In-memory B+-tree index: the classic access method that
+/// learned indexes (tutorial Part 2, Kraska et al.) replace or enhance.
+///
+/// int64 keys map to int64 payloads (row positions). Leaves are linked
+/// for range scans. Built from scratch as the baseline the learned index
+/// must beat on size and compete with on lookup latency.
+
+namespace dlsys {
+
+/// \brief A B+-tree with configurable fanout.
+class BTree {
+ public:
+  /// Constructs an empty tree. \p fanout is the max children per inner
+  /// node (and max keys per leaf); must be >= 4.
+  explicit BTree(int64_t fanout = 64);
+
+  /// \brief Inserts (or overwrites) \p key -> \p value.
+  void Insert(int64_t key, int64_t value);
+
+  /// \brief Point lookup; NotFound if absent.
+  Result<int64_t> Find(int64_t key) const;
+
+  /// \brief All values with key in [lo, hi], in key order.
+  std::vector<int64_t> RangeScan(int64_t lo, int64_t hi) const;
+
+  /// \brief Number of stored keys.
+  int64_t size() const { return size_; }
+  /// \brief Height of the tree (1 = just a leaf).
+  int64_t height() const { return height_; }
+  /// \brief Approximate heap bytes of all nodes (keys + values +
+  /// child pointers), the size the learned index competes against.
+  int64_t MemoryBytes() const;
+
+  /// \brief Bulk-loads from sorted (key, value) pairs; keys must be
+  /// strictly increasing. Faster and produces dense leaves.
+  static BTree BulkLoad(const std::vector<std::pair<int64_t, int64_t>>& sorted,
+                        int64_t fanout = 64);
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<int64_t> keys;
+    std::vector<int64_t> values;                 // leaf payloads
+    std::vector<std::unique_ptr<Node>> children; // inner children
+    Node* next = nullptr;                        // leaf chain
+  };
+
+  // Splits child \p idx of \p parent, which must be full.
+  void SplitChild(Node* parent, int64_t idx);
+  void InsertNonFull(Node* node, int64_t key, int64_t value);
+  int64_t NodeBytes(const Node* node) const;
+
+  std::unique_ptr<Node> root_;
+  int64_t fanout_;
+  int64_t size_ = 0;
+  int64_t height_ = 1;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DB_BTREE_H_

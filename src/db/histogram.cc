@@ -1,0 +1,96 @@
+#include "src/db/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlsys {
+
+Histogram Histogram::EquiWidth(const std::vector<double>& column,
+                               int64_t buckets) {
+  DLSYS_CHECK(!column.empty() && buckets > 0, "invalid histogram input");
+  Histogram h;
+  const double lo = *std::min_element(column.begin(), column.end());
+  double hi = *std::max_element(column.begin(), column.end());
+  if (hi == lo) hi = lo + 1e-12;
+  h.bounds_.resize(static_cast<size_t>(buckets + 1));
+  for (int64_t b = 0; b <= buckets; ++b) {
+    h.bounds_[static_cast<size_t>(b)] =
+        lo + (hi - lo) * static_cast<double>(b) / static_cast<double>(buckets);
+  }
+  h.counts_.assign(static_cast<size_t>(buckets), 0.0);
+  for (double v : column) {
+    int64_t b = static_cast<int64_t>((v - lo) / (hi - lo) *
+                                     static_cast<double>(buckets));
+    b = std::clamp<int64_t>(b, 0, buckets - 1);
+    h.counts_[static_cast<size_t>(b)] += 1.0;
+  }
+  for (double& c : h.counts_) c /= static_cast<double>(column.size());
+  h.total_ = static_cast<int64_t>(column.size());
+  return h;
+}
+
+Histogram Histogram::EquiDepth(const std::vector<double>& column,
+                               int64_t buckets) {
+  DLSYS_CHECK(!column.empty() && buckets > 0, "invalid histogram input");
+  std::vector<double> sorted = column;
+  std::sort(sorted.begin(), sorted.end());
+  Histogram h;
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  h.bounds_.push_back(sorted.front());
+  h.counts_.clear();
+  int64_t start = 0;
+  for (int64_t b = 1; b <= buckets; ++b) {
+    int64_t end = (n * b) / buckets;
+    if (end <= start) continue;
+    double bound = b == buckets ? sorted.back()
+                                : sorted[static_cast<size_t>(end - 1)];
+    // Guarantee strictly increasing bounds under ties.
+    if (bound <= h.bounds_.back()) {
+      bound = std::nextafter(h.bounds_.back(), 1e300);
+    }
+    h.bounds_.push_back(bound);
+    h.counts_.push_back(static_cast<double>(end - start) /
+                        static_cast<double>(n));
+    start = end;
+  }
+  h.total_ = n;
+  return h;
+}
+
+double Histogram::EstimateRange(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  double total = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const double blo = bounds_[b];
+    const double bhi = bounds_[b + 1];
+    const double width = std::max(bhi - blo, 1e-300);
+    const double overlap =
+        std::max(0.0, std::min(hi, bhi) - std::max(lo, blo));
+    if (overlap > 0.0) total += counts_[b] * (overlap / width);
+  }
+  return std::min(total, 1.0);
+}
+
+AviEstimator::AviEstimator(const Table& t, int64_t buckets_per_column) {
+  for (int64_t c = 0; c < t.num_columns(); ++c) {
+    histograms_.push_back(Histogram::EquiDepth(
+        t.columns[static_cast<size_t>(c)], buckets_per_column));
+  }
+}
+
+double AviEstimator::Estimate(const RangeQuery& q) const {
+  DLSYS_CHECK(q.lo.size() == histograms_.size(), "query arity mismatch");
+  double sel = 1.0;
+  for (size_t c = 0; c < histograms_.size(); ++c) {
+    sel *= histograms_[c].EstimateRange(q.lo[c], q.hi[c]);
+  }
+  return sel;
+}
+
+int64_t AviEstimator::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const auto& h : histograms_) bytes += h.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,66 @@
+#ifndef DLSYS_DB_HISTOGRAM_H_
+#define DLSYS_DB_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/db/table.h"
+
+/// \file histogram.h
+/// \brief Classic histogram statistics and the
+/// attribute-value-independence (AVI) selectivity estimator: the baseline
+/// learned cardinality estimation (tutorial Part 2) is measured against.
+
+namespace dlsys {
+
+/// \brief A 1-D histogram over a column.
+class Histogram {
+ public:
+  /// \brief Builds an equi-width histogram with \p buckets buckets.
+  static Histogram EquiWidth(const std::vector<double>& column,
+                             int64_t buckets);
+  /// \brief Builds an equi-depth histogram with \p buckets buckets
+  /// (bucket boundaries at quantiles; resolves ties by value).
+  static Histogram EquiDepth(const std::vector<double>& column,
+                             int64_t buckets);
+
+  /// \brief Estimated fraction of values in [lo, hi], with linear
+  /// interpolation inside partially-covered buckets.
+  double EstimateRange(double lo, double hi) const;
+
+  /// \brief Number of buckets.
+  int64_t buckets() const {
+    return static_cast<int64_t>(counts_.size());
+  }
+  /// \brief Bytes: boundaries + counts.
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(bounds_.size() + counts_.size()) * 8;
+  }
+
+ private:
+  std::vector<double> bounds_;  ///< buckets()+1 boundaries, increasing
+  std::vector<double> counts_;  ///< fraction of rows per bucket
+  int64_t total_ = 0;
+};
+
+/// \brief Per-column histograms combined under the independence
+/// assumption: sel(q) = prod_j sel_j(q_j).
+class AviEstimator {
+ public:
+  /// \brief Builds per-column equi-depth histograms over \p t.
+  AviEstimator(const Table& t, int64_t buckets_per_column);
+
+  /// \brief AVI selectivity estimate for a conjunctive range query.
+  double Estimate(const RangeQuery& q) const;
+
+  /// \brief Total statistics bytes.
+  int64_t MemoryBytes() const;
+
+ private:
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DB_HISTOGRAM_H_

@@ -1,0 +1,161 @@
+#include "src/db/join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dlsys {
+
+JoinQuery MakeJoinQuery(int64_t relations, double extra_edge_prob,
+                        Rng* rng) {
+  DLSYS_CHECK(relations >= 2, "need at least two relations");
+  JoinQuery q;
+  q.cardinality.resize(static_cast<size_t>(relations));
+  for (double& c : q.cardinality) {
+    c = std::pow(10.0, rng->Uniform(2.0, 7.0));
+  }
+  q.selectivity.assign(
+      static_cast<size_t>(relations),
+      std::vector<double>(static_cast<size_t>(relations), 1.0));
+  auto set_edge = [&](int64_t a, int64_t b) {
+    const double sel = std::pow(10.0, rng->Uniform(-6.0, -1.0));
+    q.selectivity[static_cast<size_t>(a)][static_cast<size_t>(b)] = sel;
+    q.selectivity[static_cast<size_t>(b)][static_cast<size_t>(a)] = sel;
+  };
+  // Random spanning tree keeps the graph connected.
+  for (int64_t r = 1; r < relations; ++r) {
+    set_edge(r, static_cast<int64_t>(rng->Index(static_cast<uint64_t>(r))));
+  }
+  for (int64_t a = 0; a < relations; ++a) {
+    for (int64_t b = a + 1; b < relations; ++b) {
+      if (q.selectivity[static_cast<size_t>(a)][static_cast<size_t>(b)] ==
+              1.0 &&
+          rng->Bernoulli(extra_edge_prob)) {
+        set_edge(a, b);
+      }
+    }
+  }
+  return q;
+}
+
+double SubsetCardinality(const JoinQuery& q,
+                         const std::vector<int64_t>& subset) {
+  double log_card = 0.0;
+  for (size_t i = 0; i < subset.size(); ++i) {
+    log_card += std::log(q.cardinality[static_cast<size_t>(subset[i])]);
+    for (size_t j = i + 1; j < subset.size(); ++j) {
+      log_card += std::log(
+          q.selectivity[static_cast<size_t>(subset[i])]
+                       [static_cast<size_t>(subset[j])]);
+    }
+  }
+  return std::exp(log_card);
+}
+
+double PlanCost(const JoinQuery& q, const std::vector<int64_t>& order) {
+  DLSYS_CHECK(static_cast<int64_t>(order.size()) == q.num_relations(),
+              "order must include every relation");
+  double cost = 0.0;
+  std::vector<int64_t> prefix;
+  prefix.push_back(order[0]);
+  for (size_t p = 1; p < order.size(); ++p) {
+    prefix.push_back(order[p]);
+    cost += SubsetCardinality(q, prefix);
+  }
+  return cost;
+}
+
+Result<std::vector<int64_t>> OptimalLeftDeep(const JoinQuery& q) {
+  const int64_t n = q.num_relations();
+  if (n > 20) {
+    return Status::InvalidArgument(
+        "DP limited to 20 relations (exponential state)");
+  }
+  const int64_t states = int64_t{1} << n;
+  // Precompute subset cardinalities incrementally via bit tricks.
+  std::vector<double> best(static_cast<size_t>(states),
+                           std::numeric_limits<double>::infinity());
+  std::vector<int64_t> last(static_cast<size_t>(states), -1);
+  std::vector<double> subset_card(static_cast<size_t>(states), 0.0);
+  for (int64_t mask = 1; mask < states; ++mask) {
+    std::vector<int64_t> subset;
+    for (int64_t r = 0; r < n; ++r) {
+      if (mask & (int64_t{1} << r)) subset.push_back(r);
+    }
+    subset_card[static_cast<size_t>(mask)] = SubsetCardinality(q, subset);
+  }
+  for (int64_t r = 0; r < n; ++r) {
+    best[static_cast<size_t>(int64_t{1} << r)] = 0.0;  // single relation
+    last[static_cast<size_t>(int64_t{1} << r)] = r;
+  }
+  for (int64_t mask = 1; mask < states; ++mask) {
+    if (__builtin_popcountll(static_cast<unsigned long long>(mask)) < 2) {
+      continue;
+    }
+    for (int64_t r = 0; r < n; ++r) {
+      const int64_t bit = int64_t{1} << r;
+      if (!(mask & bit)) continue;
+      const int64_t prev = mask ^ bit;
+      const double cost = best[static_cast<size_t>(prev)] +
+                          subset_card[static_cast<size_t>(mask)];
+      if (cost < best[static_cast<size_t>(mask)]) {
+        best[static_cast<size_t>(mask)] = cost;
+        last[static_cast<size_t>(mask)] = r;
+      }
+    }
+  }
+  // Reconstruct the order.
+  std::vector<int64_t> order;
+  int64_t mask = states - 1;
+  while (mask != 0) {
+    const int64_t r = last[static_cast<size_t>(mask)];
+    order.push_back(r);
+    mask ^= int64_t{1} << r;
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<int64_t> GreedyLeftDeep(const JoinQuery& q) {
+  const int64_t n = q.num_relations();
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  std::vector<int64_t> order;
+  // Start from the smallest relation.
+  int64_t first = 0;
+  for (int64_t r = 1; r < n; ++r) {
+    if (q.cardinality[static_cast<size_t>(r)] <
+        q.cardinality[static_cast<size_t>(first)]) {
+      first = r;
+    }
+  }
+  order.push_back(first);
+  used[static_cast<size_t>(first)] = true;
+  while (static_cast<int64_t>(order.size()) < n) {
+    int64_t pick = -1;
+    double pick_card = std::numeric_limits<double>::infinity();
+    for (int64_t r = 0; r < n; ++r) {
+      if (used[static_cast<size_t>(r)]) continue;
+      std::vector<int64_t> trial = order;
+      trial.push_back(r);
+      const double card = SubsetCardinality(q, trial);
+      if (card < pick_card) {
+        pick_card = card;
+        pick = r;
+      }
+    }
+    order.push_back(pick);
+    used[static_cast<size_t>(pick)] = true;
+  }
+  return order;
+}
+
+std::vector<int64_t> RandomOrder(const JoinQuery& q, Rng* rng) {
+  std::vector<int64_t> order(static_cast<size_t>(q.num_relations()));
+  for (int64_t r = 0; r < q.num_relations(); ++r) {
+    order[static_cast<size_t>(r)] = r;
+  }
+  rng->Shuffle(&order);
+  return order;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,57 @@
+#ifndef DLSYS_DB_JOIN_H_
+#define DLSYS_DB_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+
+/// \file join.h
+/// \brief Join-ordering substrate (tutorial Part 2): synthetic join
+/// queries, a C_out cost model over left-deep plans, the classic
+/// Selinger dynamic program (optimal, exponential), and greedy/random
+/// baselines — everything the learned plan generator competes against.
+
+namespace dlsys {
+
+/// \brief A join query: relation cardinalities plus a pairwise
+/// selectivity matrix (1.0 where no join predicate exists).
+struct JoinQuery {
+  std::vector<double> cardinality;            ///< rows per relation
+  std::vector<std::vector<double>> selectivity;  ///< symmetric, 1.0 diag
+
+  int64_t num_relations() const {
+    return static_cast<int64_t>(cardinality.size());
+  }
+};
+
+/// \brief Random query generator: cardinalities are lognormal over
+/// [1e2, 1e7]; the join graph is a random spanning tree plus extra
+/// predicates with probability \p extra_edge_prob; selectivities are
+/// log-uniform in [1e-6, 1e-1].
+JoinQuery MakeJoinQuery(int64_t relations, double extra_edge_prob, Rng* rng);
+
+/// \brief Cardinality of the intermediate joining the given relation
+/// subset: prod(cards) * prod(pairwise selectivities inside the set).
+double SubsetCardinality(const JoinQuery& q,
+                         const std::vector<int64_t>& subset);
+
+/// \brief C_out cost of a left-deep plan: the sum of every intermediate
+/// result's cardinality (prefixes of length 2..n).
+double PlanCost(const JoinQuery& q, const std::vector<int64_t>& order);
+
+/// \brief Selinger-style DP over relation subsets; exact optimum among
+/// left-deep plans. Exponential in relations; rejects > 20 relations.
+Result<std::vector<int64_t>> OptimalLeftDeep(const JoinQuery& q);
+
+/// \brief Greedy baseline: start from the smallest relation, repeatedly
+/// append the relation minimizing the next intermediate cardinality.
+std::vector<int64_t> GreedyLeftDeep(const JoinQuery& q);
+
+/// \brief Random-order baseline.
+std::vector<int64_t> RandomOrder(const JoinQuery& q, Rng* rng);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DB_JOIN_H_

@@ -1,0 +1,171 @@
+#include "src/db/stats_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlsys {
+
+StatsCache::StatsCache(const Table* t, int64_t chunk_rows)
+    : table_(t), chunk_rows_(chunk_rows) {
+  DLSYS_CHECK(t != nullptr && t->rows > 0, "empty table");
+  DLSYS_CHECK(chunk_rows > 0, "chunk_rows must be positive");
+  num_chunks_ = (t->rows + chunk_rows - 1) / chunk_rows;
+  const int64_t cols = t->num_columns();
+  sums_.assign(static_cast<size_t>(cols),
+               std::vector<double>(static_cast<size_t>(num_chunks_), 0.0));
+  sq_sums_ = sums_;
+  for (int64_t c = 0; c < cols; ++c) {
+    const auto& col = t->columns[static_cast<size_t>(c)];
+    for (int64_t r = 0; r < t->rows; ++r) {
+      const int64_t chunk = r / chunk_rows_;
+      const double v = col[static_cast<size_t>(r)];
+      sums_[static_cast<size_t>(c)][static_cast<size_t>(chunk)] += v;
+      sq_sums_[static_cast<size_t>(c)][static_cast<size_t>(chunk)] += v * v;
+    }
+  }
+}
+
+Status StatsCache::CheckRange(int64_t col, int64_t lo, int64_t hi) const {
+  if (col < 0 || col >= table_->num_columns()) {
+    return Status::OutOfRange("column index");
+  }
+  if (lo < 0 || hi > table_->rows || lo >= hi) {
+    return Status::InvalidArgument("row range [" + std::to_string(lo) +
+                                   ", " + std::to_string(hi) + ") invalid");
+  }
+  return Status::OK();
+}
+
+template <typename ScanFn>
+double StatsCache::RangedSum(const std::vector<double>& chunk_totals,
+                             int64_t lo, int64_t hi, ScanFn scan) const {
+  double total = 0.0;
+  const int64_t first_full = (lo + chunk_rows_ - 1) / chunk_rows_;
+  const int64_t last_full = hi / chunk_rows_;  // exclusive chunk bound
+  if (first_full >= last_full) {
+    // Range inside one or two partial chunks: scan directly.
+    for (int64_t r = lo; r < hi; ++r) total += scan(r);
+    return total;
+  }
+  // Leading edge.
+  for (int64_t r = lo; r < first_full * chunk_rows_; ++r) total += scan(r);
+  // Interior chunks from the cache.
+  for (int64_t c = first_full; c < last_full; ++c) {
+    total += chunk_totals[static_cast<size_t>(c)];
+  }
+  // Trailing edge.
+  for (int64_t r = last_full * chunk_rows_; r < hi; ++r) total += scan(r);
+  return total;
+}
+
+Result<double> StatsCache::RangeMean(int64_t col, int64_t lo,
+                                     int64_t hi) const {
+  DLSYS_RETURN_NOT_OK(CheckRange(col, lo, hi));
+  const auto& column = table_->columns[static_cast<size_t>(col)];
+  const double sum =
+      RangedSum(sums_[static_cast<size_t>(col)], lo, hi,
+                [&](int64_t r) { return column[static_cast<size_t>(r)]; });
+  return sum / static_cast<double>(hi - lo);
+}
+
+Result<double> StatsCache::RangeVariance(int64_t col, int64_t lo,
+                                         int64_t hi) const {
+  DLSYS_RETURN_NOT_OK(CheckRange(col, lo, hi));
+  const auto& column = table_->columns[static_cast<size_t>(col)];
+  const double n = static_cast<double>(hi - lo);
+  const double sum =
+      RangedSum(sums_[static_cast<size_t>(col)], lo, hi,
+                [&](int64_t r) { return column[static_cast<size_t>(r)]; });
+  const double sq =
+      RangedSum(sq_sums_[static_cast<size_t>(col)], lo, hi, [&](int64_t r) {
+        const double v = column[static_cast<size_t>(r)];
+        return v * v;
+      });
+  const double mean = sum / n;
+  return std::max(0.0, sq / n - mean * mean);
+}
+
+Result<double> StatsCache::RangeCorrelation(int64_t a, int64_t b, int64_t lo,
+                                            int64_t hi) {
+  DLSYS_RETURN_NOT_OK(CheckRange(a, lo, hi));
+  DLSYS_RETURN_NOT_OK(CheckRange(b, lo, hi));
+  if (a == b) return 1.0;
+  const auto key = std::minmax(a, b);
+  auto it = pair_sums_.find(key);
+  if (it == pair_sums_.end()) {
+    // Lazily build the pair's chunked product aggregates.
+    std::vector<double> products(static_cast<size_t>(num_chunks_), 0.0);
+    const auto& ca = table_->columns[static_cast<size_t>(key.first)];
+    const auto& cb = table_->columns[static_cast<size_t>(key.second)];
+    for (int64_t r = 0; r < table_->rows; ++r) {
+      products[static_cast<size_t>(r / chunk_rows_)] +=
+          ca[static_cast<size_t>(r)] * cb[static_cast<size_t>(r)];
+    }
+    it = pair_sums_.emplace(key, std::move(products)).first;
+  }
+  const auto& ca = table_->columns[static_cast<size_t>(a)];
+  const auto& cb = table_->columns[static_cast<size_t>(b)];
+  const double n = static_cast<double>(hi - lo);
+  const double sum_ab =
+      RangedSum(it->second, lo, hi, [&](int64_t r) {
+        return ca[static_cast<size_t>(r)] * cb[static_cast<size_t>(r)];
+      });
+  auto mean_a = RangeMean(a, lo, hi);
+  auto mean_b = RangeMean(b, lo, hi);
+  auto var_a = RangeVariance(a, lo, hi);
+  auto var_b = RangeVariance(b, lo, hi);
+  const double cov = sum_ab / n - *mean_a * *mean_b;
+  const double denom = std::sqrt(*var_a * *var_b);
+  if (denom < 1e-300) return 0.0;
+  return cov / denom;
+}
+
+int64_t StatsCache::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const auto& v : sums_) bytes += static_cast<int64_t>(v.size()) * 8;
+  for (const auto& v : sq_sums_) bytes += static_cast<int64_t>(v.size()) * 8;
+  for (const auto& [key, v] : pair_sums_) {
+    bytes += static_cast<int64_t>(v.size()) * 8 + 16;
+  }
+  return bytes;
+}
+
+double StatsCache::ScanMean(const Table& t, int64_t col, int64_t lo,
+                            int64_t hi) {
+  double sum = 0.0;
+  const auto& column = t.columns[static_cast<size_t>(col)];
+  for (int64_t r = lo; r < hi; ++r) sum += column[static_cast<size_t>(r)];
+  return sum / static_cast<double>(hi - lo);
+}
+
+double StatsCache::ScanVariance(const Table& t, int64_t col, int64_t lo,
+                                int64_t hi) {
+  const double mean = ScanMean(t, col, lo, hi);
+  double var = 0.0;
+  const auto& column = t.columns[static_cast<size_t>(col)];
+  for (int64_t r = lo; r < hi; ++r) {
+    const double d = column[static_cast<size_t>(r)] - mean;
+    var += d * d;
+  }
+  return var / static_cast<double>(hi - lo);
+}
+
+double StatsCache::ScanCorrelation(const Table& t, int64_t a, int64_t b,
+                                   int64_t lo, int64_t hi) {
+  const double ma = ScanMean(t, a, lo, hi);
+  const double mb = ScanMean(t, b, lo, hi);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  const auto& ca = t.columns[static_cast<size_t>(a)];
+  const auto& cb = t.columns[static_cast<size_t>(b)];
+  for (int64_t r = lo; r < hi; ++r) {
+    const double da = ca[static_cast<size_t>(r)] - ma;
+    const double db = cb[static_cast<size_t>(r)] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  const double denom = std::sqrt(saa * sbb);
+  return denom < 1e-300 ? 0.0 : sab / denom;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,77 @@
+#ifndef DLSYS_DB_STATS_CACHE_H_
+#define DLSYS_DB_STATS_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/db/table.h"
+
+/// \file stats_cache.h
+/// \brief Data-Canopy-style statistics cache (tutorial Part 2 / data
+/// exploration, Wasay et al. SIGMOD'17): decompose descriptive
+/// statistics into chunk-level basic aggregates (counts, sums, sums of
+/// squares, sums of products), cache those once, and synthesize any
+/// range statistic from cached chunks instead of rescanning the data.
+///
+/// Interior chunks are served from the cache; the partial chunks at the
+/// range edges are scanned. Pairwise product aggregates are built
+/// lazily on the first correlation over a column pair and cached for
+/// every later query.
+
+namespace dlsys {
+
+/// \brief The cache over one table.
+class StatsCache {
+ public:
+  /// \brief Builds chunk aggregates for every column of \p t.
+  /// \p chunk_rows is the chunk granularity (smaller = finer ranges
+  /// served fully from cache, more cache memory).
+  StatsCache(const Table* t, int64_t chunk_rows);
+
+  /// \brief Mean of column \p col over rows [lo, hi).
+  Result<double> RangeMean(int64_t col, int64_t lo, int64_t hi) const;
+  /// \brief Population variance of column \p col over rows [lo, hi).
+  Result<double> RangeVariance(int64_t col, int64_t lo, int64_t hi) const;
+  /// \brief Pearson correlation of two columns over rows [lo, hi).
+  /// Builds (and caches) the pair's product aggregates on first use.
+  Result<double> RangeCorrelation(int64_t a, int64_t b, int64_t lo,
+                                  int64_t hi);
+
+  /// \brief Cache memory in bytes (chunk aggregates + cached pairs).
+  int64_t MemoryBytes() const;
+  /// \brief Number of column pairs with cached product aggregates.
+  int64_t cached_pairs() const {
+    return static_cast<int64_t>(pair_sums_.size());
+  }
+
+  /// \brief Naive baselines that scan the raw rows (for benches/tests).
+  static double ScanMean(const Table& t, int64_t col, int64_t lo,
+                         int64_t hi);
+  static double ScanVariance(const Table& t, int64_t col, int64_t lo,
+                             int64_t hi);
+  static double ScanCorrelation(const Table& t, int64_t a, int64_t b,
+                                int64_t lo, int64_t hi);
+
+ private:
+  // Sum of f(row) over [lo, hi) where interior chunks come from
+  // \p chunk_totals and edges are scanned via \p scan (returning the
+  // per-row value).
+  template <typename ScanFn>
+  double RangedSum(const std::vector<double>& chunk_totals, int64_t lo,
+                   int64_t hi, ScanFn scan) const;
+
+  Status CheckRange(int64_t col, int64_t lo, int64_t hi) const;
+
+  const Table* table_;
+  int64_t chunk_rows_;
+  int64_t num_chunks_;
+  std::vector<std::vector<double>> sums_;     ///< per column, per chunk
+  std::vector<std::vector<double>> sq_sums_;  ///< per column, per chunk
+  std::map<std::pair<int64_t, int64_t>, std::vector<double>> pair_sums_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DB_STATS_CACHE_H_

@@ -1,0 +1,95 @@
+#include "src/db/table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlsys {
+
+Table MakeCorrelatedTable(int64_t rows, int64_t cols, double correlation,
+                          Rng* rng) {
+  DLSYS_CHECK(rows > 0 && cols > 0, "invalid table shape");
+  DLSYS_CHECK(correlation >= 0.0 && correlation <= 1.0,
+              "correlation must be in [0, 1]");
+  Table t;
+  t.rows = rows;
+  t.columns.assign(static_cast<size_t>(cols),
+                   std::vector<double>(static_cast<size_t>(rows)));
+  const double a = std::sqrt(correlation);
+  const double b = std::sqrt(1.0 - correlation);
+  for (int64_t r = 0; r < rows; ++r) {
+    const double z = rng->Gaussian();
+    for (int64_t c = 0; c < cols; ++c) {
+      const double raw = a * z + b * rng->Gaussian();
+      // Column-specific monotone map: shifts/scales plus a mild
+      // nonlinearity so marginals differ across columns.
+      const double mapped =
+          std::tanh(raw * (0.5 + 0.1 * static_cast<double>(c))) +
+          0.05 * static_cast<double>(c);
+      t.columns[static_cast<size_t>(c)][static_cast<size_t>(r)] = mapped;
+    }
+  }
+  return t;
+}
+
+double TrueSelectivity(const Table& t, const RangeQuery& q) {
+  DLSYS_CHECK(static_cast<int64_t>(q.lo.size()) == t.num_columns() &&
+                  q.lo.size() == q.hi.size(),
+              "query arity mismatch");
+  int64_t hits = 0;
+  for (int64_t r = 0; r < t.rows; ++r) {
+    bool match = true;
+    for (int64_t c = 0; c < t.num_columns(); ++c) {
+      const double v = t.value(r, c);
+      if (v < q.lo[static_cast<size_t>(c)] ||
+          v > q.hi[static_cast<size_t>(c)]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(t.rows);
+}
+
+std::vector<RangeQuery> MakeWorkload(const Table& t, int64_t n, Rng* rng) {
+  const int64_t cols = t.num_columns();
+  // Column min/max for wildcard bounds.
+  std::vector<double> cmin(static_cast<size_t>(cols));
+  std::vector<double> cmax(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    const auto& col = t.columns[static_cast<size_t>(c)];
+    cmin[static_cast<size_t>(c)] = *std::min_element(col.begin(), col.end());
+    cmax[static_cast<size_t>(c)] = *std::max_element(col.begin(), col.end());
+  }
+  std::vector<RangeQuery> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    RangeQuery q;
+    q.lo = cmin;
+    q.hi = cmax;
+    // Constrain a random non-empty subset of columns around a random
+    // existing row (so queries land where the data lives).
+    const int64_t center_row = static_cast<int64_t>(rng->Index(t.rows));
+    int64_t constrained = 0;
+    for (int64_t c = 0; c < cols; ++c) {
+      if (!rng->Bernoulli(0.6) && constrained > 0) continue;
+      const double center = t.value(center_row, c);
+      const double width =
+          (cmax[static_cast<size_t>(c)] - cmin[static_cast<size_t>(c)]) *
+          std::pow(10.0, rng->Uniform(-1.6, -0.1));
+      q.lo[static_cast<size_t>(c)] = center - width / 2;
+      q.hi[static_cast<size_t>(c)] = center + width / 2;
+      ++constrained;
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+double QError(double estimate, double truth, double floor_sel) {
+  const double e = std::max(estimate, floor_sel);
+  const double t = std::max(truth, floor_sel);
+  return std::max(e / t, t / e);
+}
+
+}  // namespace dlsys

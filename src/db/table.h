@@ -1,0 +1,62 @@
+#ifndef DLSYS_DB_TABLE_H_
+#define DLSYS_DB_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+
+/// \file table.h
+/// \brief Synthetic relational tables and range-query workloads: the
+/// evaluation substrate for learned cardinality estimation and semantic
+/// compression (tutorial Part 2).
+///
+/// Columns are generated from a latent-factor model so inter-column
+/// correlation is *controllable* — the regime where histogram estimators
+/// with independence assumptions break and learned estimators shine.
+
+namespace dlsys {
+
+/// \brief A column-major numeric table.
+struct Table {
+  int64_t rows = 0;
+  std::vector<std::vector<double>> columns;
+
+  int64_t num_columns() const {
+    return static_cast<int64_t>(columns.size());
+  }
+  double value(int64_t row, int64_t col) const {
+    return columns[static_cast<size_t>(col)][static_cast<size_t>(row)];
+  }
+};
+
+/// \brief Generates a table whose columns share \p correlation of their
+/// variance through a single latent factor: col_j = corr * z + (1 -
+/// corr) * noise_j, then squashed through column-specific monotone maps
+/// so marginals differ.
+Table MakeCorrelatedTable(int64_t rows, int64_t cols, double correlation,
+                          Rng* rng);
+
+/// \brief A conjunctive range predicate: lo[j] <= col_j <= hi[j] for all
+/// j in a subset of columns (wildcards span the column's full range).
+struct RangeQuery {
+  std::vector<double> lo;
+  std::vector<double> hi;
+};
+
+/// \brief True selectivity of \p q on \p t (fraction of matching rows).
+double TrueSelectivity(const Table& t, const RangeQuery& q);
+
+/// \brief Draws \p n random conjunctive range queries: each bounds a
+/// random subset of columns around random data-space centers, with
+/// selectivities spread over several orders of magnitude.
+std::vector<RangeQuery> MakeWorkload(const Table& t, int64_t n, Rng* rng);
+
+/// \brief q-error of an estimate against truth: max(est/true, true/est)
+/// with both floored at \p floor_sel to avoid division blowups.
+double QError(double estimate, double truth, double floor_sel = 1e-5);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DB_TABLE_H_

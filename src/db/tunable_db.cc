@@ -1,0 +1,111 @@
+#include "src/db/tunable_db.h"
+
+#include <cmath>
+
+namespace dlsys {
+
+TunableDb::TunableDb(DbWorkload workload, uint64_t seed)
+    : workload_(workload), seed_(seed) {
+  buffer_mb_grid_ = {64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  page_kb_grid_ = {4, 8, 16, 32, 64, 128};
+  threads_grid_ = {1, 2, 4, 8, 16, 32};
+}
+
+std::vector<int64_t> TunableDb::GridSizes() const {
+  return {static_cast<int64_t>(buffer_mb_grid_.size()),
+          static_cast<int64_t>(page_kb_grid_.size()),
+          static_cast<int64_t>(threads_grid_.size())};
+}
+
+int64_t TunableDb::NumConfigs() const {
+  return static_cast<int64_t>(buffer_mb_grid_.size() * page_kb_grid_.size() *
+                              threads_grid_.size());
+}
+
+Status TunableDb::Validate(const DbKnobs& k) const {
+  const auto sizes = GridSizes();
+  if (k.buffer_idx < 0 || k.buffer_idx >= sizes[0] || k.page_idx < 0 ||
+      k.page_idx >= sizes[1] || k.threads_idx < 0 ||
+      k.threads_idx >= sizes[2]) {
+    return Status::OutOfRange("knob index outside grid");
+  }
+  return Status::OK();
+}
+
+double TunableDb::LatencyMs(const DbKnobs& k) const {
+  DLSYS_CHECK(Validate(k).ok(), "invalid knobs");
+  const double buffer_mb = buffer_mb_grid_[static_cast<size_t>(k.buffer_idx)];
+  const double page_kb = page_kb_grid_[static_cast<size_t>(k.page_idx)];
+  const double threads = threads_grid_[static_cast<size_t>(k.threads_idx)];
+
+  // Buffer pool: miss rate decays with pool size relative to the working
+  // set; each miss costs a disk read whose time scales with page size.
+  const double hit_rate =
+      1.0 - std::exp(-1.2 * buffer_mb / workload_.working_set_mb);
+  const double miss_rate = 1.0 - hit_rate;
+  const double disk_read_ms = 0.1 + page_kb * 0.01;
+  const double point_read_ms = 0.02 + miss_rate * disk_read_ms;
+
+  // Scans: larger pages amortize per-page overhead.
+  const double scan_ms = 2.0 * (4.0 / page_kb + 0.25) +
+                         miss_rate * disk_read_ms * 4.0;
+
+  // Writes: large pages amplify write cost; large buffers defer flushes.
+  const double write_ms =
+      0.05 + page_kb * 0.004 + 0.3 * std::exp(-buffer_mb / 2048.0);
+
+  double per_query =
+      workload_.read_ratio * ((1.0 - workload_.scan_fraction) * point_read_ms +
+                              workload_.scan_fraction * scan_ms) +
+      (1.0 - workload_.read_ratio) * write_ms;
+
+  // Threads: speedup saturates (Amdahl-ish), contention past the knee.
+  const double speedup = threads / (1.0 + 0.08 * threads * threads / 8.0);
+  per_query /= std::max(speedup, 0.1);
+
+  // Deterministic ruggedness: small knob-interaction term so the surface
+  // is not perfectly separable per knob.
+  uint64_t h = seed_ ^ (static_cast<uint64_t>(k.buffer_idx) * 73856093ULL) ^
+               (static_cast<uint64_t>(k.page_idx) * 19349663ULL) ^
+               (static_cast<uint64_t>(k.threads_idx) * 83492791ULL);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  const double rugged =
+      0.04 * (static_cast<double>(h % 1000) / 1000.0 - 0.5);
+  return per_query * (1.0 + rugged);
+}
+
+DbKnobs TunableDb::BestKnobs() const {
+  DbKnobs best;
+  double best_latency = 1e300;
+  const auto sizes = GridSizes();
+  for (int64_t b = 0; b < sizes[0]; ++b) {
+    for (int64_t p = 0; p < sizes[1]; ++p) {
+      for (int64_t t = 0; t < sizes[2]; ++t) {
+        DbKnobs k{b, p, t};
+        const double lat = LatencyMs(k);
+        if (lat < best_latency) {
+          best_latency = lat;
+          best = k;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double TunableDb::BestLatencyMs() const { return LatencyMs(BestKnobs()); }
+
+std::string TunableDb::Describe(const DbKnobs& k) const {
+  return "buffer=" +
+         std::to_string(
+             static_cast<int64_t>(buffer_mb_grid_[static_cast<size_t>(
+                 k.buffer_idx)])) +
+         "MB page=" +
+         std::to_string(static_cast<int64_t>(
+             page_kb_grid_[static_cast<size_t>(k.page_idx)])) +
+         "KB threads=" +
+         std::to_string(static_cast<int64_t>(
+             threads_grid_[static_cast<size_t>(k.threads_idx)]));
+}
+
+}  // namespace dlsys

@@ -1,0 +1,69 @@
+#ifndef DLSYS_DB_TUNABLE_DB_H_
+#define DLSYS_DB_TUNABLE_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+
+/// \file tunable_db.h
+/// \brief A simulated database with tunable knobs: the environment for
+/// deep-RL-style knob tuning (tutorial Part 2, QTune/CDBTune-flavoured).
+///
+/// Substitution (DESIGN.md): instead of a production DBMS we expose an
+/// analytic latency response surface over three discrete knobs with
+/// realistic structure — buffer-pool hit curves, page-size/scan
+/// interaction, thread contention — plus deterministic knob-dependent
+/// ruggedness so the optimum is not trivially separable per knob.
+
+namespace dlsys {
+
+/// \brief A knob configuration, as indices into each knob's grid.
+struct DbKnobs {
+  int64_t buffer_idx = 0;   ///< buffer pool size grid index
+  int64_t page_idx = 0;     ///< page size grid index
+  int64_t threads_idx = 0;  ///< worker thread count grid index
+};
+
+/// \brief Workload profile the simulated DB serves.
+struct DbWorkload {
+  double read_ratio = 0.8;       ///< reads vs writes
+  double scan_fraction = 0.3;    ///< fraction of reads that are scans
+  double working_set_mb = 512;   ///< hot data size
+};
+
+/// \brief The simulated tunable database.
+class TunableDb {
+ public:
+  explicit TunableDb(DbWorkload workload, uint64_t seed = 7);
+
+  /// \brief Mean query latency (ms) at a knob setting. Deterministic.
+  double LatencyMs(const DbKnobs& knobs) const;
+
+  /// \brief Grid sizes: {buffer, page, threads}.
+  std::vector<int64_t> GridSizes() const;
+  /// \brief Total number of configurations.
+  int64_t NumConfigs() const;
+  /// \brief Validates knob indices against the grids.
+  Status Validate(const DbKnobs& knobs) const;
+
+  /// \brief Exhaustive-search optimum (ground truth for evaluation).
+  DbKnobs BestKnobs() const;
+  /// \brief Latency at the exhaustive optimum.
+  double BestLatencyMs() const;
+
+  /// \brief Human-readable rendering of a configuration.
+  std::string Describe(const DbKnobs& knobs) const;
+
+ private:
+  DbWorkload workload_;
+  uint64_t seed_;
+  std::vector<double> buffer_mb_grid_;
+  std::vector<double> page_kb_grid_;
+  std::vector<double> threads_grid_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DB_TUNABLE_DB_H_

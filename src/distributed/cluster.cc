@@ -1,0 +1,208 @@
+#include "src/distributed/cluster.h"
+
+#include <algorithm>
+
+#include "src/nn/loss.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+std::vector<Dataset> ShardDataset(const Dataset& data, int64_t shards) {
+  DLSYS_CHECK(shards > 0, "shard count must be positive");
+  std::vector<Dataset> out(static_cast<size_t>(shards));
+  int64_t stride = 1;
+  for (int64_t d = 1; d < data.x.rank(); ++d) stride *= data.x.dim(d);
+  // Count rows per shard, then copy round-robin.
+  std::vector<int64_t> counts(static_cast<size_t>(shards), 0);
+  for (int64_t i = 0; i < data.size(); ++i) counts[i % shards] += 1;
+  for (int64_t s = 0; s < shards; ++s) {
+    Shape shape = data.x.shape();
+    shape[0] = counts[static_cast<size_t>(s)];
+    out[static_cast<size_t>(s)].x = Tensor(shape);
+    out[static_cast<size_t>(s)].y.reserve(
+        static_cast<size_t>(counts[static_cast<size_t>(s)]));
+  }
+  std::vector<int64_t> cursor(static_cast<size_t>(shards), 0);
+  for (int64_t i = 0; i < data.size(); ++i) {
+    const int64_t s = i % shards;
+    Dataset& shard = out[static_cast<size_t>(s)];
+    std::copy(data.x.data() + i * stride, data.x.data() + (i + 1) * stride,
+              shard.x.data() + cursor[static_cast<size_t>(s)] * stride);
+    shard.y.push_back(data.y[static_cast<size_t>(i)]);
+    cursor[static_cast<size_t>(s)] += 1;
+  }
+  return out;
+}
+
+namespace {
+
+// One worker: replica, shard, batch cursor, codec, optimizer.
+struct Worker {
+  Sequential model;
+  Dataset shard;
+  int64_t cursor = 0;
+  std::unique_ptr<GradientCompressor> codec;
+  std::unique_ptr<Optimizer> opt;
+  Rng rng{0};
+};
+
+Dataset NextBatch(Worker* w, int64_t batch_size) {
+  if (w->cursor + batch_size > w->shard.size()) {
+    ShuffleDataset(&w->shard, &w->rng);
+    w->cursor = 0;
+  }
+  const int64_t end = std::min(w->cursor + batch_size, w->shard.size());
+  Dataset b = Batch(w->shard, w->cursor, end);
+  w->cursor = end;
+  return b;
+}
+
+// Flattens a network's gradient tensors into one vector.
+std::vector<float> FlatGrads(Sequential* net) {
+  std::vector<float> out;
+  for (Tensor* g : net->Grads()) {
+    out.insert(out.end(), g->data(), g->data() + g->size());
+  }
+  return out;
+}
+
+// Applies a flat gradient vector as an SGD step via the worker optimizer.
+void ApplyFlatGrad(Sequential* net, Optimizer* opt,
+                   const std::vector<float>& flat) {
+  auto grads = net->Grads();
+  size_t offset = 0;
+  for (Tensor* g : grads) {
+    std::copy(flat.begin() + offset, flat.begin() + offset + g->size(),
+              g->data());
+    offset += static_cast<size_t>(g->size());
+  }
+  opt->Step(net->Params(), grads);
+}
+
+}  // namespace
+
+Result<ClusterResult> TrainOnCluster(const Sequential& arch,
+                                     const Dataset& data,
+                                     const ClusterConfig& config,
+                                     const GradientCompressor* compressor) {
+  if (config.workers <= 0) {
+    return Status::InvalidArgument("worker count must be positive");
+  }
+  if (data.size() < config.workers) {
+    return Status::InvalidArgument("fewer examples than workers");
+  }
+  if (config.strategy == SyncStrategy::kLocalSgd && config.local_steps <= 0) {
+    return Status::InvalidArgument("local_steps must be positive");
+  }
+
+  IdentityCompressor identity;
+  const GradientCompressor* codec_template =
+      compressor != nullptr ? compressor : &identity;
+
+  std::vector<Dataset> shards = ShardDataset(data, config.workers);
+  std::vector<Worker> workers(static_cast<size_t>(config.workers));
+  for (int64_t w = 0; w < config.workers; ++w) {
+    Worker& worker = workers[static_cast<size_t>(w)];
+    worker.model = arch.Clone();
+    worker.shard = std::move(shards[static_cast<size_t>(w)]);
+    worker.codec = codec_template->CloneFresh();
+    worker.opt = std::make_unique<Sgd>(config.lr);
+    worker.rng = Rng(config.seed + static_cast<uint64_t>(w) * 101ULL);
+  }
+
+  const int64_t model_bytes = workers[0].model.ModelBytes();
+  int64_t comm_bytes = 0;
+  double comm_seconds = 0.0;
+  Stopwatch compute_watch;
+
+  if (config.strategy == SyncStrategy::kSyncSgd) {
+    for (int64_t round = 0; round < config.rounds; ++round) {
+      std::vector<std::vector<float>> decompressed;
+      int64_t max_upload = 0;
+      for (auto& w : workers) {
+        Dataset batch = NextBatch(&w, config.batch_size);
+        w.model.ZeroGrads();
+        Tensor logits = w.model.Forward(batch.x, CacheMode::kCache);
+        LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
+        w.model.Backward(lg.grad);
+        CompressedGrad cg = w.codec->Compress(FlatGrads(&w.model));
+        comm_bytes += cg.wire_bytes;
+        max_upload = std::max(max_upload, cg.wire_bytes);
+        decompressed.push_back(std::move(cg.values));
+      }
+      // Server averages the reconstructed gradients.
+      std::vector<float> mean = decompressed[0];
+      for (size_t w = 1; w < decompressed.size(); ++w) {
+        for (size_t i = 0; i < mean.size(); ++i) {
+          mean[i] += decompressed[w][i];
+        }
+      }
+      for (float& v : mean) v /= static_cast<float>(config.workers);
+      // Broadcast: the averaged gradient goes back down (dense size of
+      // the average's own encoding under the same codec family — we
+      // charge the uncompressed-average upper bound for identity, or the
+      // mean upload size otherwise, a standard PS accounting).
+      const int64_t download =
+          compressor == nullptr ? model_bytes : max_upload;
+      comm_bytes += download * config.workers;
+      comm_seconds += config.network.TransferSeconds(max_upload) +
+                      config.network.TransferSeconds(download);
+      for (auto& w : workers) {
+        ApplyFlatGrad(&w.model, w.opt.get(), mean);
+      }
+    }
+  } else {
+    // Local SGD: rounds of H local steps followed by parameter averaging.
+    const int64_t avg_rounds =
+        (config.rounds + config.local_steps - 1) / config.local_steps;
+    for (int64_t round = 0; round < avg_rounds; ++round) {
+      for (auto& w : workers) {
+        for (int64_t h = 0; h < config.local_steps; ++h) {
+          Dataset batch = NextBatch(&w, config.batch_size);
+          w.model.ZeroGrads();
+          Tensor logits = w.model.Forward(batch.x, CacheMode::kCache);
+          LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
+          w.model.Backward(lg.grad);
+          w.opt->Step(w.model.Params(), w.model.Grads());
+        }
+      }
+      // All-reduce the parameters.
+      std::vector<float> mean = workers[0].model.GetParameterVector();
+      for (int64_t w = 1; w < config.workers; ++w) {
+        std::vector<float> p =
+            workers[static_cast<size_t>(w)].model.GetParameterVector();
+        for (size_t i = 0; i < mean.size(); ++i) mean[i] += p[i];
+      }
+      for (float& v : mean) v /= static_cast<float>(config.workers);
+      for (auto& w : workers) w.model.SetParameterVector(mean);
+      comm_bytes += 2 * model_bytes * config.workers;
+      comm_seconds +=
+          config.network.AllReduceSeconds(model_bytes, config.workers);
+    }
+  }
+
+  // Workers compute in parallel in a real cluster: simulated parallel
+  // compute time is total single-thread compute divided by worker count.
+  const double compute_seconds =
+      compute_watch.Seconds() / static_cast<double>(config.workers);
+
+  ClusterResult out;
+  // Final model: average of replicas (identical already in sync mode).
+  std::vector<float> mean = workers[0].model.GetParameterVector();
+  for (int64_t w = 1; w < config.workers; ++w) {
+    std::vector<float> p =
+        workers[static_cast<size_t>(w)].model.GetParameterVector();
+    for (size_t i = 0; i < mean.size(); ++i) mean[i] += p[i];
+  }
+  for (float& v : mean) v /= static_cast<float>(config.workers);
+  out.model = arch.Clone();
+  out.model.SetParameterVector(mean);
+  out.report.Set(metric::kCommBytes, static_cast<double>(comm_bytes));
+  out.report.Set("resource.comm_seconds", comm_seconds);
+  out.report.Set("resource.compute_seconds", compute_seconds);
+  out.report.Set(metric::kTrainSeconds, comm_seconds + compute_seconds);
+  return out;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,71 @@
+#ifndef DLSYS_DISTRIBUTED_CLUSTER_H_
+#define DLSYS_DISTRIBUTED_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/distributed/compressor.h"
+#include "src/distributed/network_model.h"
+#include "src/nn/sequential.h"
+
+/// \file cluster.h
+/// \brief Simulated data-parallel training cluster (tutorial Section 2.1).
+///
+/// N logical workers each hold a model replica and a shard of the data.
+/// Computation runs for real (single-threaded, per worker in turn);
+/// communication is *accounted*: every transfer's bytes are counted and
+/// converted to simulated seconds by the NetworkModel. This preserves
+/// exactly what Local SGD and gradient compression change — the volume
+/// and frequency of communication — without needing real hardware.
+
+namespace dlsys {
+
+/// \brief How workers keep replicas consistent.
+enum class SyncStrategy {
+  kSyncSgd,   ///< average gradients every step (bulk-synchronous)
+  kLocalSgd,  ///< run local_steps local updates, then average parameters
+};
+
+/// \brief Cluster and training configuration.
+struct ClusterConfig {
+  int64_t workers = 4;
+  int64_t rounds = 200;      ///< global steps (sync) or local steps total
+  int64_t batch_size = 32;   ///< per-worker batch
+  double lr = 0.05;
+  SyncStrategy strategy = SyncStrategy::kSyncSgd;
+  int64_t local_steps = 8;   ///< H, used by kLocalSgd
+  NetworkModel network;
+  uint64_t seed = 1;
+};
+
+/// \brief Outcome of a simulated cluster run.
+struct ClusterResult {
+  Sequential model;       ///< the final (averaged) model
+  MetricsReport report;   ///< comm bytes, simulated times, rounds
+};
+
+/// \brief Trains \p arch (already initialized) on \p data across a
+/// simulated cluster.
+///
+/// \p compressor (nullable -> identity) is cloned per worker so error
+/// feedback state is worker-local; it applies to gradient traffic in
+/// kSyncSgd only. Report keys:
+///   resource.comm_bytes          total bytes across all links
+///   resource.comm_seconds        simulated communication time
+///   resource.compute_seconds     simulated parallel compute time
+///   resource.train_seconds       comm + compute (simulated wall clock)
+Result<ClusterResult> TrainOnCluster(const Sequential& arch,
+                                     const Dataset& data,
+                                     const ClusterConfig& config,
+                                     const GradientCompressor* compressor);
+
+/// \brief Splits \p data into \p shards round-robin shards.
+std::vector<Dataset> ShardDataset(const Dataset& data, int64_t shards);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DISTRIBUTED_CLUSTER_H_

@@ -1,0 +1,96 @@
+#include "src/distributed/compressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlsys {
+
+CompressedGrad IdentityCompressor::Compress(const std::vector<float>& grad) {
+  CompressedGrad out;
+  out.values = grad;
+  out.wire_bytes = static_cast<int64_t>(grad.size()) * 4;
+  return out;
+}
+
+TopKCompressor::TopKCompressor(double keep_fraction, bool error_feedback)
+    : keep_fraction_(keep_fraction), error_feedback_(error_feedback) {
+  DLSYS_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0,
+              "keep_fraction must be in (0, 1]");
+}
+
+CompressedGrad TopKCompressor::Compress(const std::vector<float>& grad) {
+  const size_t n = grad.size();
+  if (error_feedback_ && residual_.size() != n) residual_.assign(n, 0.0f);
+  std::vector<float> effective = grad;
+  if (error_feedback_) {
+    for (size_t i = 0; i < n; ++i) effective[i] += residual_[i];
+  }
+  const int64_t keep = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(keep_fraction_ * n)));
+  // Threshold = magnitude of the keep-th largest coordinate.
+  std::vector<float> mags(n);
+  for (size_t i = 0; i < n; ++i) mags[i] = std::abs(effective[i]);
+  std::vector<float> sorted = mags;
+  std::nth_element(sorted.begin(), sorted.begin() + (keep - 1), sorted.end(),
+                   std::greater<float>());
+  const float threshold = sorted[static_cast<size_t>(keep - 1)];
+
+  CompressedGrad out;
+  out.values.assign(n, 0.0f);
+  int64_t sent = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (mags[i] >= threshold && sent < keep) {
+      out.values[i] = effective[i];
+      ++sent;
+      if (error_feedback_) residual_[i] = 0.0f;
+    } else if (error_feedback_) {
+      residual_[i] = effective[i];
+    }
+  }
+  out.wire_bytes = sent * 8;  // 4-byte value + 4-byte index
+  return out;
+}
+
+std::string TopKCompressor::name() const {
+  return "topk(" + std::to_string(keep_fraction_) + ")";
+}
+
+QuantizingCompressor::QuantizingCompressor(int64_t bits, bool error_feedback)
+    : bits_(bits), error_feedback_(error_feedback) {
+  DLSYS_CHECK(bits >= 1 && bits <= 16, "bits must be in [1, 16]");
+}
+
+CompressedGrad QuantizingCompressor::Compress(const std::vector<float>& grad) {
+  const size_t n = grad.size();
+  if (error_feedback_ && residual_.size() != n) residual_.assign(n, 0.0f);
+  std::vector<float> effective = grad;
+  if (error_feedback_) {
+    for (size_t i = 0; i < n; ++i) effective[i] += residual_[i];
+  }
+  float lo = effective.empty() ? 0.0f : effective[0];
+  float hi = lo;
+  for (float v : effective) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi == lo) hi = lo + 1e-12f;
+  const int64_t levels = int64_t{1} << bits_;
+  const float step = (hi - lo) / static_cast<float>(levels - 1);
+  CompressedGrad out;
+  out.values.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t code =
+        static_cast<int64_t>(std::lround((effective[i] - lo) / step));
+    code = std::clamp<int64_t>(code, 0, levels - 1);
+    out.values[i] = lo + step * static_cast<float>(code);
+    if (error_feedback_) residual_[i] = effective[i] - out.values[i];
+  }
+  out.wire_bytes = (static_cast<int64_t>(n) * bits_ + 7) / 8 + 8;
+  return out;
+}
+
+std::string QuantizingCompressor::name() const {
+  return "quantize(" + std::to_string(bits_) + "bit)";
+}
+
+}  // namespace dlsys

@@ -1,0 +1,88 @@
+#ifndef DLSYS_DISTRIBUTED_COMPRESSOR_H_
+#define DLSYS_DISTRIBUTED_COMPRESSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+
+/// \file compressor.h
+/// \brief Gradient compression for communication-efficient training
+/// (tutorial Section 2.1: Deep Gradient Compression and b-bit
+/// quantization of communicated gradients).
+
+namespace dlsys {
+
+/// \brief Result of compressing one gradient vector: the bytes that would
+/// cross the wire and the values the receiver reconstructs.
+struct CompressedGrad {
+  int64_t wire_bytes = 0;
+  std::vector<float> values;  ///< same length as the input gradient
+};
+
+/// \brief Interface for lossy/lossless gradient codecs.
+///
+/// Stateful codecs (error feedback) keep per-worker residuals; create one
+/// compressor per worker via CloneFresh().
+class GradientCompressor {
+ public:
+  virtual ~GradientCompressor() = default;
+  /// \brief Compresses \p grad; returns wire bytes + reconstruction.
+  virtual CompressedGrad Compress(const std::vector<float>& grad) = 0;
+  /// \brief Codec name for reports.
+  virtual std::string name() const = 0;
+  /// \brief Fresh codec with the same config and empty residual state.
+  virtual std::unique_ptr<GradientCompressor> CloneFresh() const = 0;
+};
+
+/// \brief No compression: 4 bytes per coordinate (the baseline).
+class IdentityCompressor : public GradientCompressor {
+ public:
+  CompressedGrad Compress(const std::vector<float>& grad) override;
+  std::string name() const override { return "identity"; }
+  std::unique_ptr<GradientCompressor> CloneFresh() const override {
+    return std::make_unique<IdentityCompressor>();
+  }
+};
+
+/// \brief Top-k sparsification with error feedback: sends the largest
+/// \p keep_fraction of coordinates (value + 4-byte index); the rest
+/// accumulate locally and are added to the next gradient (DGC-style
+/// momentum-free residual).
+class TopKCompressor : public GradientCompressor {
+ public:
+  explicit TopKCompressor(double keep_fraction, bool error_feedback = true);
+  CompressedGrad Compress(const std::vector<float>& grad) override;
+  std::string name() const override;
+  std::unique_ptr<GradientCompressor> CloneFresh() const override {
+    return std::make_unique<TopKCompressor>(keep_fraction_, error_feedback_);
+  }
+
+ private:
+  double keep_fraction_;
+  bool error_feedback_;
+  std::vector<float> residual_;
+};
+
+/// \brief Uniform b-bit quantization of the gradient with error feedback;
+/// sends bits-per-coordinate plus an 8-byte affine codebook.
+class QuantizingCompressor : public GradientCompressor {
+ public:
+  explicit QuantizingCompressor(int64_t bits, bool error_feedback = true);
+  CompressedGrad Compress(const std::vector<float>& grad) override;
+  std::string name() const override;
+  std::unique_ptr<GradientCompressor> CloneFresh() const override {
+    return std::make_unique<QuantizingCompressor>(bits_, error_feedback_);
+  }
+
+ private:
+  int64_t bits_;
+  bool error_feedback_;
+  std::vector<float> residual_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DISTRIBUTED_COMPRESSOR_H_

@@ -1,0 +1,40 @@
+#ifndef DLSYS_DISTRIBUTED_NETWORK_MODEL_H_
+#define DLSYS_DISTRIBUTED_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+/// \file network_model.h
+/// \brief Analytic cost model of the interconnect in a simulated cluster.
+///
+/// Substitution for real multi-node hardware (see DESIGN.md): the
+/// communication-efficiency techniques of Section 2.1 act purely on the
+/// *volume and frequency* of transfers, which an alpha-beta (latency +
+/// bandwidth) model captures exactly.
+
+namespace dlsys {
+
+/// \brief Alpha-beta link model: time = latency + bytes / bandwidth.
+struct NetworkModel {
+  double latency_seconds = 1e-4;          ///< per-message latency (alpha)
+  double bandwidth_bytes_per_s = 1.25e9;  ///< link bandwidth (beta), 10 Gbps
+
+  /// \brief Seconds to move \p bytes point-to-point.
+  double TransferSeconds(int64_t bytes) const {
+    return latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+
+  /// \brief Seconds for a ring all-reduce of \p bytes across \p workers:
+  /// 2(N-1) message steps moving bytes/N each.
+  double AllReduceSeconds(int64_t bytes, int64_t workers) const {
+    if (workers <= 1) return 0.0;
+    const double steps = 2.0 * static_cast<double>(workers - 1);
+    const double chunk =
+        static_cast<double>(bytes) / static_cast<double>(workers);
+    return steps * (latency_seconds + chunk / bandwidth_bytes_per_s);
+  }
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DISTRIBUTED_NETWORK_MODEL_H_

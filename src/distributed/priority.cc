@@ -1,0 +1,89 @@
+#include "src/distributed/priority.h"
+
+#include <algorithm>
+
+#include "src/core/status.h"
+
+namespace dlsys {
+
+double SimulatePropagation(const std::vector<LayerCost>& layers,
+                           const NetworkModel& network,
+                           PropagationPolicy policy) {
+  const int64_t n = static_cast<int64_t>(layers.size());
+  DLSYS_CHECK(n > 0, "no layers to simulate");
+
+  // Gradient availability times: backward walks L-1 .. 0.
+  std::vector<double> grad_ready(static_cast<size_t>(n));
+  double t = 0.0;
+  for (int64_t i = n - 1; i >= 0; --i) {
+    t += layers[static_cast<size_t>(i)].backward_seconds;
+    grad_ready[static_cast<size_t>(i)] = t;
+  }
+  const double backward_done = t;
+
+  // Schedule transfers on the single link.
+  std::vector<double> transfer_done(static_cast<size_t>(n));
+  std::vector<bool> sent(static_cast<size_t>(n), false);
+  double link_free = 0.0;
+  if (policy == PropagationPolicy::kNoOverlap) {
+    // Naive bulk-synchronous baseline: the whole gradient is exchanged
+    // after backward completes, and the next forward pass starts only
+    // once every transfer has finished.
+    link_free = backward_done;
+    for (int64_t i = 0; i < n; ++i) {
+      link_free += network.TransferSeconds(
+          layers[static_cast<size_t>(i)].gradient_bytes);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      transfer_done[static_cast<size_t>(i)] = link_free;
+    }
+  } else {
+    // Event loop: repeatedly pick the next transfer among available
+    // gradients according to policy; if none available, idle to the next
+    // availability.
+    int64_t remaining = n;
+    while (remaining > 0) {
+      // Gradients available at or before link_free.
+      int64_t pick = -1;
+      double earliest_ready = 1e300;
+      for (int64_t i = 0; i < n; ++i) {
+        if (sent[static_cast<size_t>(i)]) continue;
+        earliest_ready =
+            std::min(earliest_ready, grad_ready[static_cast<size_t>(i)]);
+        if (grad_ready[static_cast<size_t>(i)] <= link_free) {
+          if (pick == -1) {
+            pick = i;
+          } else if (policy == PropagationPolicy::kPriority) {
+            if (i < pick) pick = i;  // lowest layer index wins
+          } else {  // kFifo: earliest availability wins; ties by higher
+                    // layer index (produced first in backward)
+            if (grad_ready[static_cast<size_t>(i)] <
+                grad_ready[static_cast<size_t>(pick)]) {
+              pick = i;
+            }
+          }
+        }
+      }
+      if (pick == -1) {
+        link_free = earliest_ready;
+        continue;
+      }
+      link_free += network.TransferSeconds(
+          layers[static_cast<size_t>(pick)].gradient_bytes);
+      transfer_done[static_cast<size_t>(pick)] = link_free;
+      sent[static_cast<size_t>(pick)] = true;
+      --remaining;
+    }
+  }
+
+  // Next forward pass: layer i needs its transfer and layer i-1 forward.
+  double forward_clock = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    forward_clock = std::max(forward_clock,
+                             transfer_done[static_cast<size_t>(i)]) +
+                    layers[static_cast<size_t>(i)].forward_seconds;
+  }
+  return forward_clock;
+}
+
+}  // namespace dlsys

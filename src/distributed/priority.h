@@ -1,0 +1,50 @@
+#ifndef DLSYS_DISTRIBUTED_PRIORITY_H_
+#define DLSYS_DISTRIBUTED_PRIORITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/distributed/network_model.h"
+
+/// \file priority.h
+/// \brief Priority-based parameter propagation (tutorial Section 2.1,
+/// P3 / Jayarajan et al.): overlap gradient communication with compute
+/// and send the layers the *next forward pass needs first* first.
+///
+/// An event-driven simulation of one training-iteration boundary:
+/// backward produces per-layer gradients last-layer-first; a single
+/// shared link transfers them; the next forward pass consumes updated
+/// layers first-layer-first. Scheduling policy decides the transfer
+/// order, which determines how much communication hides behind compute.
+
+namespace dlsys {
+
+/// \brief Per-layer costs for the propagation simulation.
+struct LayerCost {
+  double backward_seconds = 0.0;  ///< compute to produce this layer's grad
+  double forward_seconds = 0.0;   ///< compute of this layer's forward
+  int64_t gradient_bytes = 0;     ///< parameter-gradient size
+};
+
+/// \brief Transfer scheduling policy at the link.
+enum class PropagationPolicy {
+  kNoOverlap,  ///< transfer only after the whole backward pass finishes
+  kFifo,       ///< transfer in gradient-availability order (last layer first)
+  kPriority,   ///< P3: lowest layer index first among available gradients
+};
+
+/// \brief Simulates one iteration boundary and returns the makespan:
+/// time from backward start until the next forward pass completes.
+///
+/// Layer 0 is the input layer. Backward runs layers (L-1 .. 0); layer i's
+/// gradient is available when backward reaches it. The link is busy
+/// non-preemptively. Next-iteration forward runs layers (0 .. L-1);
+/// layer i's forward may start once layer i's transfer completed and
+/// layer i-1's forward finished.
+double SimulatePropagation(const std::vector<LayerCost>& layers,
+                           const NetworkModel& network,
+                           PropagationPolicy policy);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DISTRIBUTED_PRIORITY_H_

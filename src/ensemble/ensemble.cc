@@ -1,0 +1,262 @@
+#include "src/ensemble/ensemble.h"
+
+#include "src/nn/layers.h"
+#include "src/optim/optimizer.h"
+#include "src/optim/schedule.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+Tensor Ensemble::PredictProbs(const Tensor& x) {
+  DLSYS_CHECK(!members_.empty(), "empty ensemble");
+  Tensor mean;
+  for (auto& m : members_) {
+    Tensor probs = RowSoftmax(m.Forward(x, CacheMode::kNoCache));
+    if (mean.empty()) {
+      mean = std::move(probs);
+    } else {
+      Axpy(1.0f, probs, &mean);
+    }
+  }
+  Scale(1.0f / static_cast<float>(members_.size()), &mean);
+  return mean;
+}
+
+double Ensemble::Accuracy(const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  int64_t hits = 0;
+  for (BatchIterator it(data, 256); !it.Done(); it.Next()) {
+    Dataset batch = it.Get();
+    Tensor probs = PredictProbs(batch.x);
+    std::vector<int64_t> pred = ArgMaxRows(probs);
+    for (size_t i = 0; i < batch.y.size(); ++i) {
+      if (pred[i] == batch.y[i]) ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+int64_t Ensemble::ModelBytes() const {
+  int64_t bytes = 0;
+  for (const auto& m : members_) bytes += m.ModelBytes();
+  return bytes;
+}
+
+double Ensemble::MeasureInferenceSeconds(const Dataset& data) {
+  Stopwatch watch;
+  for (BatchIterator it(data, 256); !it.Done(); it.Next()) {
+    Dataset batch = it.Get();
+    PredictProbs(batch.x);
+  }
+  return watch.Seconds();
+}
+
+Result<EnsembleRun> TrainFullEnsemble(const MemberBuilder& builder, int64_t k,
+                                      const Dataset& data,
+                                      const TrainConfig& config, double lr,
+                                      uint64_t seed) {
+  if (k <= 0) return Status::InvalidArgument("ensemble size must be positive");
+  EnsembleRun out;
+  Stopwatch watch;
+  MemoryTracker::Global().ResetPeak();
+  for (int64_t i = 0; i < k; ++i) {
+    Sequential net = builder(i);
+    Rng rng(seed + static_cast<uint64_t>(i) * 1000003ULL);
+    net.Init(&rng);
+    Sgd opt(lr, 0.9);
+    TrainConfig member_config = config;
+    member_config.shuffle_seed = seed + static_cast<uint64_t>(i) * 17ULL;
+    Train(&net, &opt, data, member_config);
+    out.ensemble.Add(std::move(net));
+  }
+  out.report.Set(metric::kTrainSeconds, watch.Seconds());
+  out.report.Set(metric::kModelBytes,
+                 static_cast<double>(out.ensemble.ModelBytes()));
+  out.report.Set(metric::kPeakBytes,
+                 static_cast<double>(MemoryTracker::Global().peak_bytes()));
+  return out;
+}
+
+Result<EnsembleRun> TrainSnapshotEnsemble(const MemberBuilder& builder,
+                                          int64_t k,
+                                          int64_t epochs_per_cycle,
+                                          const Dataset& data,
+                                          int64_t batch_size, double lr0,
+                                          uint64_t seed) {
+  if (k <= 0) return Status::InvalidArgument("ensemble size must be positive");
+  if (epochs_per_cycle <= 0) {
+    return Status::InvalidArgument("epochs_per_cycle must be positive");
+  }
+  EnsembleRun out;
+  Stopwatch watch;
+  MemoryTracker::Global().ResetPeak();
+  Sequential net = builder(0);
+  Rng rng(seed);
+  net.Init(&rng);
+  Sgd opt(lr0, 0.9);
+  const int64_t steps_per_epoch = (data.size() + batch_size - 1) / batch_size;
+  const int64_t cycle_steps = steps_per_epoch * epochs_per_cycle;
+  CosineCyclicLr schedule(lr0, cycle_steps);
+  TrainConfig config;
+  config.epochs = k * epochs_per_cycle;
+  config.batch_size = batch_size;
+  config.shuffle_seed = seed;
+  config.schedule = &schedule;
+  config.on_step = [&](int64_t step, int64_t, double) {
+    if (schedule.EndOfCycle(step)) {
+      out.ensemble.Add(net.Clone());
+    }
+  };
+  Train(&net, &opt, data, config);
+  // Guard against rounding: if fewer than k snapshots fired, add final.
+  while (out.ensemble.size() < k) out.ensemble.Add(net.Clone());
+  out.report.Set(metric::kTrainSeconds, watch.Seconds());
+  out.report.Set(metric::kModelBytes,
+                 static_cast<double>(out.ensemble.ModelBytes()));
+  out.report.Set(metric::kPeakBytes,
+                 static_cast<double>(MemoryTracker::Global().peak_bytes()));
+  return out;
+}
+
+Result<EnsembleRun> TrainFastGeometricEnsemble(
+    const MemberBuilder& builder, int64_t k, int64_t base_epochs,
+    int64_t cycle_epochs, const Dataset& data, int64_t batch_size,
+    double base_lr, double explore_lr_hi, double explore_lr_lo,
+    uint64_t seed) {
+  if (k <= 0) return Status::InvalidArgument("ensemble size must be positive");
+  if (base_epochs <= 0 || cycle_epochs <= 0) {
+    return Status::InvalidArgument("epoch counts must be positive");
+  }
+  if (explore_lr_hi < explore_lr_lo || explore_lr_lo <= 0.0) {
+    return Status::InvalidArgument("need explore_lr_hi >= explore_lr_lo > 0");
+  }
+  EnsembleRun out;
+  Stopwatch watch;
+  MemoryTracker::Global().ResetPeak();
+
+  // Phase 1: converge the base model.
+  Sequential net = builder(0);
+  Rng rng(seed);
+  net.Init(&rng);
+  Sgd opt(base_lr, 0.9);
+  TrainConfig base_config;
+  base_config.epochs = base_epochs;
+  base_config.batch_size = batch_size;
+  base_config.shuffle_seed = seed;
+  Train(&net, &opt, data, base_config);
+  out.ensemble.Add(net.Clone());  // the converged base is member 0
+
+  // Phase 2: k-1 short triangular exploration cycles; capture at each
+  // mid-cycle low point.
+  if (k > 1) {
+    const int64_t steps_per_epoch =
+        (data.size() + batch_size - 1) / batch_size;
+    const int64_t cycle_steps = steps_per_epoch * cycle_epochs;
+    TriangularCyclicLr schedule(explore_lr_hi, explore_lr_lo, cycle_steps);
+    TrainConfig explore;
+    explore.epochs = (k - 1) * cycle_epochs;
+    explore.batch_size = batch_size;
+    explore.shuffle_seed = seed + 1;
+    explore.schedule = &schedule;
+    explore.on_step = [&](int64_t step, int64_t, double) {
+      if (schedule.MidCycle(step) && out.ensemble.size() < k) {
+        out.ensemble.Add(net.Clone());
+      }
+    };
+    Train(&net, &opt, data, explore);
+  }
+  while (out.ensemble.size() < k) out.ensemble.Add(net.Clone());
+
+  out.report.Set(metric::kTrainSeconds, watch.Seconds());
+  out.report.Set(metric::kModelBytes,
+                 static_cast<double>(out.ensemble.ModelBytes()));
+  out.report.Set(metric::kPeakBytes,
+                 static_cast<double>(MemoryTracker::Global().peak_bytes()));
+  return out;
+}
+
+Status HatchParameters(Sequential* src, Sequential* dst) {
+  if (src->size() != dst->size()) {
+    return Status::InvalidArgument("hatch: layer count mismatch");
+  }
+  for (int64_t i = 0; i < src->size(); ++i) {
+    auto* src_dense = dynamic_cast<Dense*>(src->layer(i));
+    auto* dst_dense = dynamic_cast<Dense*>(dst->layer(i));
+    if ((src_dense == nullptr) != (dst_dense == nullptr)) {
+      return Status::InvalidArgument("hatch: layer type mismatch at " +
+                                     std::to_string(i));
+    }
+    if (src_dense == nullptr) continue;
+    const int64_t in = std::min(src_dense->in_features(),
+                                dst_dense->in_features());
+    const int64_t out = std::min(src_dense->out_features(),
+                                 dst_dense->out_features());
+    const int64_t src_out = src_dense->out_features();
+    const int64_t dst_out = dst_dense->out_features();
+    for (int64_t r = 0; r < in; ++r) {
+      for (int64_t c = 0; c < out; ++c) {
+        dst_dense->weight()[r * dst_out + c] =
+            src_dense->weight()[r * src_out + c];
+      }
+    }
+    for (int64_t c = 0; c < out; ++c) {
+      dst_dense->bias()[c] = src_dense->bias()[c];
+    }
+  }
+  return Status::OK();
+}
+
+Result<EnsembleRun> TrainMotherNets(int64_t in, int64_t out_classes,
+                                    const std::vector<int64_t>& member_hidden,
+                                    int64_t mother_epochs,
+                                    int64_t finetune_epochs,
+                                    const Dataset& data, int64_t batch_size,
+                                    double lr, uint64_t seed) {
+  if (member_hidden.empty()) {
+    return Status::InvalidArgument("no ensemble members requested");
+  }
+  EnsembleRun run;
+  Stopwatch watch;
+  MemoryTracker::Global().ResetPeak();
+
+  // The mother is the structural intersection: the narrowest member.
+  int64_t mother_hidden = member_hidden[0];
+  for (int64_t h : member_hidden) mother_hidden = std::min(mother_hidden, h);
+  Sequential mother = MakeMlp(in, {mother_hidden}, out_classes);
+  Rng rng(seed);
+  mother.Init(&rng);
+  Sgd mother_opt(lr, 0.9);
+  TrainConfig mother_config;
+  mother_config.epochs = mother_epochs;
+  mother_config.batch_size = batch_size;
+  mother_config.shuffle_seed = seed;
+  Train(&mother, &mother_opt, data, mother_config);
+
+  // Hatch each member from the mother and finetune briefly.
+  for (size_t m = 0; m < member_hidden.size(); ++m) {
+    Sequential member = MakeMlp(in, {member_hidden[m]}, out_classes);
+    Rng member_rng(seed + 31ULL * (m + 1));
+    member.Init(&member_rng);
+    // Start the expansion weights near zero so the hatched function is
+    // close to the mother's (function-preserving-ish initialization).
+    for (Tensor* p : member.Params()) {
+      Scale(0.05f, p);
+    }
+    DLSYS_RETURN_NOT_OK(HatchParameters(&mother, &member));
+    Sgd opt(lr * 0.5, 0.9);
+    TrainConfig finetune;
+    finetune.epochs = finetune_epochs;
+    finetune.batch_size = batch_size;
+    finetune.shuffle_seed = seed + 1000ULL * (m + 1);
+    Train(&member, &opt, data, finetune);
+    run.ensemble.Add(std::move(member));
+  }
+  run.report.Set(metric::kTrainSeconds, watch.Seconds());
+  run.report.Set(metric::kModelBytes,
+                 static_cast<double>(run.ensemble.ModelBytes()));
+  run.report.Set(metric::kPeakBytes,
+                 static_cast<double>(MemoryTracker::Global().peak_bytes()));
+  return run;
+}
+
+}  // namespace dlsys

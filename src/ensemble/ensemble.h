@@ -1,0 +1,112 @@
+#ifndef DLSYS_ENSEMBLE_ENSEMBLE_H_
+#define DLSYS_ENSEMBLE_ENSEMBLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/nn/train.h"
+
+/// \file ensemble.h
+/// \brief Deep ensemble training strategies (tutorial Section 2.1).
+///
+/// The tutorial contrasts the baseline — train every member from scratch —
+/// with accelerated strategies: Snapshot Ensembles (one training run with
+/// a cyclic learning rate, capturing a member at the end of each cycle),
+/// and MotherNets/TreeNets (train shared structure once, then hatch and
+/// finetune the members). All strategies produce an Ensemble whose
+/// quality/resource metrics benches compare.
+
+namespace dlsys {
+
+/// \brief A set of trained member networks with averaged-probability
+/// inference.
+class Ensemble {
+ public:
+  /// \brief Adds a member (takes ownership by move).
+  void Add(Sequential member) { members_.push_back(std::move(member)); }
+  /// \brief Number of members.
+  int64_t size() const { return static_cast<int64_t>(members_.size()); }
+  /// \brief Member \p i.
+  Sequential& member(int64_t i) { return members_[static_cast<size_t>(i)]; }
+
+  /// \brief Mean of member softmax outputs for a feature batch.
+  Tensor PredictProbs(const Tensor& x);
+  /// \brief Accuracy of the averaged prediction on \p data.
+  double Accuracy(const Dataset& data);
+  /// \brief Total parameter bytes across members.
+  int64_t ModelBytes() const;
+  /// \brief Seconds to run PredictProbs over \p data once.
+  double MeasureInferenceSeconds(const Dataset& data);
+
+ private:
+  std::vector<Sequential> members_;
+};
+
+/// \brief Builds a fresh, uninitialized member network; strategies call
+/// this once per member (index passed for heterogeneous ensembles).
+using MemberBuilder = std::function<Sequential(int64_t member_index)>;
+
+/// \brief Result of an ensemble training strategy.
+struct EnsembleRun {
+  Ensemble ensemble;
+  MetricsReport report;  ///< train_seconds, model_bytes, peak_bytes
+};
+
+/// \brief Baseline: trains \p k members independently from scratch with
+/// different init seeds.
+Result<EnsembleRun> TrainFullEnsemble(const MemberBuilder& builder, int64_t k,
+                                      const Dataset& data,
+                                      const TrainConfig& config, double lr,
+                                      uint64_t seed);
+
+/// \brief Snapshot Ensembles: trains ONE network for k cycles of a
+/// cosine-annealed cyclic rate, snapshotting the model at each cycle end.
+///
+/// Total epochs = k * epochs_per_cycle — roughly the budget of training a
+/// single model, not k models.
+Result<EnsembleRun> TrainSnapshotEnsemble(const MemberBuilder& builder,
+                                          int64_t k,
+                                          int64_t epochs_per_cycle,
+                                          const Dataset& data,
+                                          int64_t batch_size, double lr0,
+                                          uint64_t seed);
+
+/// \brief Fast Geometric Ensembles (Garipov et al.): converges a base
+/// model first, then explores along low-loss curves with short
+/// triangular learning-rate cycles, capturing a member at each
+/// mid-cycle low point. Cheaper than snapshots per extra member because
+/// exploration cycles are short.
+Result<EnsembleRun> TrainFastGeometricEnsemble(
+    const MemberBuilder& builder, int64_t k, int64_t base_epochs,
+    int64_t cycle_epochs, const Dataset& data, int64_t batch_size,
+    double base_lr, double explore_lr_hi, double explore_lr_lo,
+    uint64_t seed);
+
+/// \brief MotherNets-style: trains a small shared "mother" MLP first,
+/// hatches its parameters into each (wider) member, then finetunes each
+/// member briefly.
+///
+/// \p member_hidden lists each member's hidden width; the mother uses the
+/// smallest. Members are two-layer MLPs (in -> hidden -> out). Hatching
+/// copies the mother's weights into the top-left blocks of the member's
+/// weight matrices.
+Result<EnsembleRun> TrainMotherNets(int64_t in, int64_t out,
+                                    const std::vector<int64_t>& member_hidden,
+                                    int64_t mother_epochs,
+                                    int64_t finetune_epochs,
+                                    const Dataset& data, int64_t batch_size,
+                                    double lr, uint64_t seed);
+
+/// \brief Copies overlapping Dense blocks from \p src into \p dst
+/// (both must be alternating Dense/ReLU MLPs with equal depth).
+/// Coordinates of \p dst outside the overlap keep their initialization.
+Status HatchParameters(Sequential* src, Sequential* dst);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_ENSEMBLE_ENSEMBLE_H_

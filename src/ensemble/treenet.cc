@@ -1,0 +1,102 @@
+#include "src/ensemble/treenet.h"
+
+#include "src/nn/loss.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+TreeNet::TreeNet(Sequential trunk, const Sequential& head_template, int64_t k,
+                 uint64_t seed)
+    : trunk_(std::move(trunk)) {
+  DLSYS_CHECK(k > 0, "TreeNet needs at least one head");
+  for (int64_t i = 0; i < k; ++i) {
+    Sequential head = head_template.Clone();
+    Rng rng(seed + static_cast<uint64_t>(i) * 7919ULL);
+    head.Init(&rng);  // independent head initializations drive diversity
+    heads_.push_back(std::move(head));
+  }
+}
+
+int64_t TreeNet::NumParams() {
+  int64_t n = trunk_.NumParams();
+  for (auto& h : heads_) n += h.NumParams();
+  return n;
+}
+
+double TreeNet::TrainStep(const Dataset& batch, double lr) {
+  trunk_.ZeroGrads();
+  Tensor features = trunk_.Forward(batch.x, CacheMode::kCache);
+  Tensor trunk_grad(features.shape());
+  double mean_loss = 0.0;
+  for (auto& head : heads_) {
+    head.ZeroGrads();
+    Tensor logits = head.Forward(features, CacheMode::kCache);
+    LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
+    mean_loss += lg.loss;
+    Tensor g = head.Backward(lg.grad);
+    Axpy(1.0f, g, &trunk_grad);
+    // Per-head SGD step.
+    Sgd opt(lr);
+    opt.Step(head.Params(), head.Grads());
+  }
+  // Average the head gradients into the trunk so trunk updates don't
+  // scale with head count.
+  Scale(1.0f / static_cast<float>(heads_.size()), &trunk_grad);
+  trunk_.Backward(trunk_grad);
+  Sgd opt(lr);
+  opt.Step(trunk_.Params(), trunk_.Grads());
+  return mean_loss / static_cast<double>(heads_.size());
+}
+
+Tensor TreeNet::PredictProbs(const Tensor& x) {
+  Tensor features = trunk_.Forward(x, CacheMode::kNoCache);
+  Tensor mean;
+  for (auto& head : heads_) {
+    Tensor probs = RowSoftmax(head.Forward(features, CacheMode::kNoCache));
+    if (mean.empty()) {
+      mean = std::move(probs);
+    } else {
+      Axpy(1.0f, probs, &mean);
+    }
+  }
+  Scale(1.0f / static_cast<float>(heads_.size()), &mean);
+  return mean;
+}
+
+double TreeNet::Accuracy(const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  int64_t hits = 0;
+  for (BatchIterator it(data, 256); !it.Done(); it.Next()) {
+    Dataset batch = it.Get();
+    std::vector<int64_t> pred = ArgMaxRows(PredictProbs(batch.x));
+    for (size_t i = 0; i < batch.y.size(); ++i) {
+      if (pred[i] == batch.y[i]) ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+MetricsReport TrainTreeNet(TreeNet* net, const Dataset& data, int64_t epochs,
+                           int64_t batch_size, double lr, uint64_t seed) {
+  MetricsReport report;
+  Stopwatch watch;
+  MemoryTracker::Global().ResetPeak();
+  Rng shuffle_rng(seed);
+  Dataset shuffled = data;
+  double last_loss = 0.0;
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    ShuffleDataset(&shuffled, &shuffle_rng);
+    for (BatchIterator it(shuffled, batch_size); !it.Done(); it.Next()) {
+      last_loss = net->TrainStep(it.Get(), lr);
+    }
+  }
+  report.Set(metric::kTrainSeconds, watch.Seconds());
+  report.Set(metric::kLoss, last_loss);
+  report.Set(metric::kModelBytes, static_cast<double>(net->ModelBytes()));
+  report.Set(metric::kPeakBytes,
+             static_cast<double>(MemoryTracker::Global().peak_bytes()));
+  return report;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,58 @@
+#ifndef DLSYS_ENSEMBLE_TREENET_H_
+#define DLSYS_ENSEMBLE_TREENET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+
+/// \file treenet.h
+/// \brief TreeNets (tutorial Section 2.1, Lee et al.): an ensemble that
+/// shares a trunk of early layers and branches into per-member heads.
+///
+/// The shared trunk is trained once with gradients summed from all heads,
+/// so the ensemble costs roughly (trunk + k heads) instead of k full
+/// networks in both time and parameters. Heads diverge because they are
+/// initialized independently.
+
+namespace dlsys {
+
+/// \brief A shared-trunk, multi-head ensemble network.
+class TreeNet {
+ public:
+  /// Constructs from a trunk and \p k structurally identical heads built
+  /// by cloning \p head_template (each re-initialized independently).
+  TreeNet(Sequential trunk, const Sequential& head_template, int64_t k,
+          uint64_t seed);
+
+  /// \brief Number of heads.
+  int64_t num_heads() const { return static_cast<int64_t>(heads_.size()); }
+  /// \brief Total parameter count (trunk + all heads).
+  int64_t NumParams();
+  /// \brief Parameter bytes (trunk counted once — the TreeNets saving).
+  int64_t ModelBytes() { return NumParams() * 4; }
+
+  /// \brief One joint training step on a batch; returns mean head loss.
+  double TrainStep(const Dataset& batch, double lr);
+
+  /// \brief Averaged-probability prediction over all heads.
+  Tensor PredictProbs(const Tensor& x);
+  /// \brief Accuracy of the averaged prediction.
+  double Accuracy(const Dataset& data);
+
+ private:
+  Sequential trunk_;
+  std::vector<Sequential> heads_;
+};
+
+/// \brief Trains a TreeNet for \p epochs; returns metrics (train time,
+/// model bytes, peak memory).
+MetricsReport TrainTreeNet(TreeNet* net, const Dataset& data, int64_t epochs,
+                           int64_t batch_size, double lr, uint64_t seed);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_ENSEMBLE_TREENET_H_

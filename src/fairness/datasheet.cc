@@ -1,0 +1,157 @@
+#include "src/fairness/datasheet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dlsys {
+
+std::string Datasheet::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "datasheet: %lld examples, %lld features, %lld classes\n",
+                static_cast<long long>(examples),
+                static_cast<long long>(features),
+                static_cast<long long>(classes));
+  out += line;
+  for (size_t c = 0; c < class_counts.size(); ++c) {
+    std::snprintf(line, sizeof(line), "  class %zu: %lld examples\n", c,
+                  static_cast<long long>(class_counts[c]));
+    out += line;
+  }
+  for (size_t g = 0; g < group_counts.size(); ++g) {
+    std::snprintf(line, sizeof(line),
+                  "  group %zu: %lld examples, positive rate %.3f\n", g,
+                  static_cast<long long>(group_counts[g]),
+                  g < positive_rate_by_group.size()
+                      ? positive_rate_by_group[g]
+                      : 0.0);
+    out += line;
+  }
+  for (size_t f = 0; f < feature_summaries.size(); ++f) {
+    const FeatureSummary& s = feature_summaries[f];
+    std::snprintf(line, sizeof(line),
+                  "  feature %zu: mean=%.3f std=%.3f range=[%.3f, %.3f] "
+                  "group_corr=%.3f\n",
+                  f, s.mean, s.stddev, s.min, s.max, s.group_correlation);
+    out += line;
+  }
+  for (const std::string& w : warnings) {
+    out += "  WARNING: " + w + "\n";
+  }
+  return out;
+}
+
+Result<Datasheet> GenerateDatasheet(const Dataset& data,
+                                    const std::vector<int64_t>& group,
+                                    const DatasheetConfig& config) {
+  if (data.size() == 0) return Status::InvalidArgument("empty dataset");
+  if (data.x.rank() != 2) {
+    return Status::InvalidArgument("datasheet expects rank-2 features");
+  }
+  if (group.size() != static_cast<size_t>(data.size())) {
+    return Status::InvalidArgument("group length mismatch");
+  }
+  for (int64_t g : group) {
+    if (g != 0 && g != 1) {
+      return Status::InvalidArgument("groups must be binary");
+    }
+  }
+  Datasheet sheet;
+  sheet.examples = data.size();
+  sheet.features = data.x.dim(1);
+  sheet.classes = data.NumClasses();
+  sheet.class_counts.assign(static_cast<size_t>(sheet.classes), 0);
+  sheet.group_counts.assign(2, 0);
+  int64_t positives[2] = {0, 0};
+  for (int64_t i = 0; i < data.size(); ++i) {
+    sheet.class_counts[static_cast<size_t>(data.y[static_cast<size_t>(i)])] +=
+        1;
+    sheet.group_counts[static_cast<size_t>(group[static_cast<size_t>(i)])] +=
+        1;
+    if (data.y[static_cast<size_t>(i)] == 1) {
+      positives[group[static_cast<size_t>(i)]] += 1;
+    }
+  }
+  sheet.positive_rate_by_group.resize(2);
+  for (int g = 0; g < 2; ++g) {
+    sheet.positive_rate_by_group[static_cast<size_t>(g)] =
+        sheet.group_counts[static_cast<size_t>(g)] > 0
+            ? static_cast<double>(positives[g]) /
+                  static_cast<double>(sheet.group_counts[static_cast<size_t>(g)])
+            : 0.0;
+  }
+
+  // Per-feature statistics and group correlations.
+  const int64_t n = data.size(), d = sheet.features;
+  double gmean = 0.0;
+  for (int64_t g : group) gmean += static_cast<double>(g);
+  gmean /= static_cast<double>(n);
+  for (int64_t f = 0; f < d; ++f) {
+    FeatureSummary s;
+    s.min = data.x[f];
+    s.max = data.x[f];
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double v = data.x[i * d + f];
+      sum += v;
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(n);
+    double var = 0.0, sfg = 0.0, sgg = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double dv = data.x[i * d + f] - s.mean;
+      const double dg = static_cast<double>(group[static_cast<size_t>(i)]) -
+                        gmean;
+      var += dv * dv;
+      sfg += dv * dg;
+      sgg += dg * dg;
+    }
+    var /= static_cast<double>(n);
+    s.stddev = std::sqrt(std::max(var, 0.0));
+    const double denom = std::sqrt(var * static_cast<double>(n) * sgg);
+    s.group_correlation = denom > 1e-12 ? std::abs(sfg / denom) : 0.0;
+    sheet.feature_summaries.push_back(s);
+  }
+
+  // Warnings.
+  for (int g = 0; g < 2; ++g) {
+    const double fraction =
+        static_cast<double>(sheet.group_counts[static_cast<size_t>(g)]) /
+        static_cast<double>(n);
+    if (fraction < config.min_group_fraction) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "group %d underrepresented (%.1f%% of examples)", g,
+                    fraction * 100.0);
+      sheet.warnings.push_back(buf);
+    }
+  }
+  if (sheet.classes == 2) {
+    const double gap = std::abs(sheet.positive_rate_by_group[0] -
+                                sheet.positive_rate_by_group[1]);
+    if (gap > config.max_label_disparity) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "label disparity across groups: %.3f positive-rate gap",
+                    gap);
+      sheet.warnings.push_back(buf);
+    }
+  }
+  for (size_t f = 0; f < sheet.feature_summaries.size(); ++f) {
+    if (sheet.feature_summaries[f].group_correlation >
+        config.max_group_correlation) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "feature %zu is a proxy for the protected attribute "
+                    "(|corr| = %.2f)",
+                    f, sheet.feature_summaries[f].group_correlation);
+      sheet.warnings.push_back(buf);
+    }
+  }
+  return sheet;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,62 @@
+#ifndef DLSYS_FAIRNESS_DATASHEET_H_
+#define DLSYS_FAIRNESS_DATASHEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+
+/// \file datasheet.h
+/// \brief Datasheets for datasets / nutritional labels (tutorial
+/// Section 4.1, Gebru et al.; Stoyanovich & Howe): machine-generated
+/// metadata describing a dataset's composition so downstream users can
+/// judge fitness and spot bias before training on it.
+
+namespace dlsys {
+
+/// \brief Per-feature summary statistics.
+struct FeatureSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// |Pearson correlation| with the protected attribute — high values
+  /// warn that the attribute is recoverable from this feature (the
+  /// tutorial's retina example).
+  double group_correlation = 0.0;
+};
+
+/// \brief A generated datasheet.
+struct Datasheet {
+  int64_t examples = 0;
+  int64_t features = 0;
+  int64_t classes = 0;
+  std::vector<int64_t> class_counts;
+  std::vector<int64_t> group_counts;          ///< per group (binary)
+  std::vector<double> positive_rate_by_group; ///< P(y=1 | group)
+  std::vector<FeatureSummary> feature_summaries;
+  std::vector<std::string> warnings;          ///< human-readable flags
+
+  /// \brief Multi-line rendering.
+  std::string ToString() const;
+};
+
+/// \brief Thresholds controlling which warnings fire.
+struct DatasheetConfig {
+  double min_group_fraction = 0.2;     ///< representation warning
+  double max_label_disparity = 0.1;    ///< |pos-rate gap| warning
+  double max_group_correlation = 0.5;  ///< proxy-feature warning
+};
+
+/// \brief Generates a datasheet for a binary-group, rank-2-feature
+/// dataset. The labels may be multi-class; positive-rate disparity is
+/// computed for binary labels only.
+Result<Datasheet> GenerateDatasheet(const Dataset& data,
+                                    const std::vector<int64_t>& group,
+                                    const DatasheetConfig& config = {});
+
+}  // namespace dlsys
+
+#endif  // DLSYS_FAIRNESS_DATASHEET_H_

@@ -1,0 +1,139 @@
+#include "src/fairness/embedding_bias.h"
+
+#include <cmath>
+
+namespace dlsys {
+
+EmbeddingSpace MakeBiasedEmbeddings(int64_t dims, int64_t set_size,
+                                    double bias, Rng* rng) {
+  DLSYS_CHECK(dims >= 4 && set_size > 1, "space too small");
+  DLSYS_CHECK(bias >= 0.0 && bias <= 1.0, "bias in [0, 1]");
+  EmbeddingSpace space;
+  const int64_t words = 4 * set_size;
+  space.vectors = Tensor({words, dims});
+  space.vectors.FillGaussian(rng, 1.0f);
+  // Attribute direction: a fixed random unit vector.
+  Tensor direction({dims});
+  direction.FillGaussian(rng, 1.0f);
+  const float norm = static_cast<float>(direction.L2Norm());
+  for (int64_t d = 0; d < dims; ++d) direction[d] /= norm;
+
+  int64_t next = 0;
+  auto take = [&](std::vector<int64_t>* set, double shift) {
+    for (int64_t i = 0; i < set_size; ++i) {
+      set->push_back(next);
+      for (int64_t d = 0; d < dims; ++d) {
+        space.vectors[next * dims + d] +=
+            static_cast<float>(shift) * direction[d];
+      }
+      ++next;
+    }
+  };
+  // Attribute sets sit at opposite ends of the direction; targets lean
+  // toward them proportionally to the bias strength.
+  const double attr_shift = 3.0;
+  take(&space.attribute_a, attr_shift);
+  take(&space.attribute_b, -attr_shift);
+  take(&space.target_x, bias * attr_shift);
+  take(&space.target_y, -bias * attr_shift);
+  return space;
+}
+
+double CosineSimilarity(const Tensor& vectors, int64_t a, int64_t b) {
+  const int64_t dims = vectors.dim(1);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t d = 0; d < dims; ++d) {
+    const double va = vectors[a * dims + d];
+    const double vb = vectors[b * dims + d];
+    dot += va * vb;
+    na += va * va;
+    nb += vb * vb;
+  }
+  const double denom = std::sqrt(na * nb);
+  return denom < 1e-300 ? 0.0 : dot / denom;
+}
+
+namespace {
+// s(w) = mean_a cos(w, a) - mean_b cos(w, b).
+double Association(const EmbeddingSpace& space, int64_t word) {
+  double sa = 0.0, sb = 0.0;
+  for (int64_t a : space.attribute_a) {
+    sa += CosineSimilarity(space.vectors, word, a);
+  }
+  for (int64_t b : space.attribute_b) {
+    sb += CosineSimilarity(space.vectors, word, b);
+  }
+  return sa / static_cast<double>(space.attribute_a.size()) -
+         sb / static_cast<double>(space.attribute_b.size());
+}
+}  // namespace
+
+Result<double> WeatEffectSize(const EmbeddingSpace& space) {
+  if (space.attribute_a.empty() || space.attribute_b.empty() ||
+      space.target_x.empty() || space.target_y.empty()) {
+    return Status::InvalidArgument("all four word sets must be non-empty");
+  }
+  std::vector<double> sx, sy;
+  for (int64_t x : space.target_x) sx.push_back(Association(space, x));
+  for (int64_t y : space.target_y) sy.push_back(Association(space, y));
+  double mx = 0.0, my = 0.0;
+  for (double v : sx) mx += v;
+  for (double v : sy) my += v;
+  mx /= static_cast<double>(sx.size());
+  my /= static_cast<double>(sy.size());
+  // Pooled standard deviation over X u Y.
+  double mean_all = (mx * sx.size() + my * sy.size()) /
+                    static_cast<double>(sx.size() + sy.size());
+  double var = 0.0;
+  for (double v : sx) var += (v - mean_all) * (v - mean_all);
+  for (double v : sy) var += (v - mean_all) * (v - mean_all);
+  var /= static_cast<double>(sx.size() + sy.size() - 1);
+  const double stddev = std::sqrt(std::max(var, 1e-30));
+  return (mx - my) / stddev;
+}
+
+Status HardDebias(EmbeddingSpace* space) {
+  if (space->attribute_a.empty() || space->attribute_b.empty()) {
+    return Status::InvalidArgument("attribute sets must be non-empty");
+  }
+  const int64_t dims = space->vectors.dim(1);
+  // Bias direction: difference of attribute centroids, normalized.
+  std::vector<double> direction(static_cast<size_t>(dims), 0.0);
+  for (int64_t a : space->attribute_a) {
+    for (int64_t d = 0; d < dims; ++d) {
+      direction[static_cast<size_t>(d)] +=
+          space->vectors[a * dims + d] /
+          static_cast<double>(space->attribute_a.size());
+    }
+  }
+  for (int64_t b : space->attribute_b) {
+    for (int64_t d = 0; d < dims; ++d) {
+      direction[static_cast<size_t>(d)] -=
+          space->vectors[b * dims + d] /
+          static_cast<double>(space->attribute_b.size());
+    }
+  }
+  double norm = 0.0;
+  for (double v : direction) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm < 1e-12) {
+    return Status::FailedPrecondition("attribute sets coincide");
+  }
+  for (double& v : direction) v /= norm;
+  // Project every target vector orthogonal to the bias direction.
+  auto debias_word = [&](int64_t w) {
+    double dot = 0.0;
+    for (int64_t d = 0; d < dims; ++d) {
+      dot += space->vectors[w * dims + d] * direction[static_cast<size_t>(d)];
+    }
+    for (int64_t d = 0; d < dims; ++d) {
+      space->vectors[w * dims + d] -=
+          static_cast<float>(dot * direction[static_cast<size_t>(d)]);
+    }
+  };
+  for (int64_t x : space->target_x) debias_word(x);
+  for (int64_t y : space->target_y) debias_word(y);
+  return Status::OK();
+}
+
+}  // namespace dlsys

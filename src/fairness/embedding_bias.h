@@ -1,0 +1,59 @@
+#ifndef DLSYS_FAIRNESS_EMBEDDING_BIAS_H_
+#define DLSYS_FAIRNESS_EMBEDDING_BIAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/tensor/tensor.h"
+
+/// \file embedding_bias.h
+/// \brief Bias in word embeddings (tutorial Section 4.1, citing
+/// Papakyriakopoulos et al.'s "Bias in Word Embeddings"): a WEAT-style
+/// association test quantifying stereotype bias in an embedding space,
+/// plus hard debiasing by projecting out the bias direction.
+///
+/// Substitution (DESIGN.md): instead of trained word2vec vectors we
+/// generate synthetic embeddings with *injected, controllable*
+/// association bias, so the measurement and the mitigation can be
+/// validated against ground truth.
+
+namespace dlsys {
+
+/// \brief A synthetic embedding space with two attribute word sets
+/// (e.g. male/female terms) and two target word sets (e.g. career/
+/// family terms), where targets lean toward attributes with strength
+/// \p bias.
+struct EmbeddingSpace {
+  Tensor vectors;                    ///< (words, dims)
+  std::vector<int64_t> attribute_a;  ///< word ids
+  std::vector<int64_t> attribute_b;
+  std::vector<int64_t> target_x;
+  std::vector<int64_t> target_y;
+};
+
+/// \brief Generates an embedding space of \p dims dimensions with
+/// \p set_size words per set and association bias \p bias in [0, 1]:
+/// at 0 targets are unrelated to attributes; at 1 target-X words align
+/// with attribute-A words and target-Y with B.
+EmbeddingSpace MakeBiasedEmbeddings(int64_t dims, int64_t set_size,
+                                    double bias, Rng* rng);
+
+/// \brief Cosine similarity of rows \p a and \p b of \p vectors.
+double CosineSimilarity(const Tensor& vectors, int64_t a, int64_t b);
+
+/// \brief WEAT effect size (Cohen's d over association differentials):
+/// d = [mean_{x in X} s(x) - mean_{y in Y} s(y)] / std_{w in X u Y} s(w)
+/// where s(w) = mean_a cos(w, a) - mean_b cos(w, b).
+/// Range roughly [-2, 2]; 0 = unbiased.
+Result<double> WeatEffectSize(const EmbeddingSpace& space);
+
+/// \brief Hard debiasing: computes the bias direction (difference of
+/// attribute-set centroids) and removes its component from every
+/// TARGET word vector in place.
+Status HardDebias(EmbeddingSpace* space);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_FAIRNESS_EMBEDDING_BIAS_H_

@@ -1,0 +1,55 @@
+#include "src/fairness/loan_data.h"
+
+#include <cmath>
+
+#include "src/core/status.h"
+
+namespace dlsys {
+
+LoanData MakeLoanData(const LoanDataConfig& config) {
+  DLSYS_CHECK(config.n > 0, "need at least one example");
+  DLSYS_CHECK(config.bias_strength >= 0.0 && config.bias_strength <= 1.0,
+              "bias_strength in [0, 1]");
+  Rng rng(config.seed);
+  LoanData out;
+  const int64_t n = config.n;
+  out.data.x = Tensor({n, 5});
+  out.data.y.resize(static_cast<size_t>(n));
+  out.group.resize(static_cast<size_t>(n));
+  out.fair_label.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const bool protected_group = rng.Bernoulli(config.group1_fraction);
+    out.group[static_cast<size_t>(i)] = protected_group ? 1 : 0;
+    // Latent creditworthiness. The protected group has the SAME latent
+    // distribution: any disparity in observed labels is pure bias.
+    const double credit = rng.Gaussian();
+    // Features correlate with the latent and mildly with group (so a
+    // model CAN infer group from features — the tutorial's retina
+    // example).
+    const double group_shift = protected_group ? -0.3 : 0.0;
+    float* row = out.data.x.data() + i * 5;
+    row[0] = static_cast<float>(credit * 0.8 + rng.Gaussian() * 0.4 +
+                                group_shift);                       // income
+    row[1] = static_cast<float>(credit * 0.6 + rng.Gaussian() * 0.5 +
+                                group_shift * 0.5);  // credit history
+    row[2] = static_cast<float>(-credit * 0.7 + rng.Gaussian() * 0.4);
+    row[3] = static_cast<float>(credit * 0.5 + rng.Gaussian() * 0.6);
+    row[4] = static_cast<float>(-credit * 0.4 + rng.Gaussian() * 0.5 -
+                                group_shift);        // recent defaults
+    // Fair label: approve iff creditworthy (threshold at 0).
+    int64_t fair = credit > 0.0 ? 1 : 0;
+    if (rng.Bernoulli(config.label_noise)) fair = 1 - fair;
+    out.fair_label[static_cast<size_t>(i)] = fair;
+    // Observed label: historical bias denies qualified group-1
+    // applicants with probability bias_strength.
+    int64_t observed = fair;
+    if (protected_group && fair == 1 &&
+        rng.Bernoulli(config.bias_strength)) {
+      observed = 0;
+    }
+    out.data.y[static_cast<size_t>(i)] = observed;
+  }
+  return out;
+}
+
+}  // namespace dlsys

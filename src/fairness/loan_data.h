@@ -1,0 +1,52 @@
+#ifndef DLSYS_FAIRNESS_LOAN_DATA_H_
+#define DLSYS_FAIRNESS_LOAN_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/data/dataset.h"
+
+/// \file loan_data.h
+/// \brief Synthetic loan-approval data with injected, controllable group
+/// bias (tutorial Section 4.1).
+///
+/// Substitution (DESIGN.md): real mortgage/credit data is replaced by a
+/// generator with a known causal structure — a latent creditworthiness
+/// drives both features and the *fair* label, while the observed
+/// (historical) label adds a bias against the protected group whose
+/// strength is a parameter. Because the fair label is known, mitigation
+/// techniques can be scored against ground truth, which no real dataset
+/// allows.
+
+namespace dlsys {
+
+/// \brief Configuration of the biased generator.
+struct LoanDataConfig {
+  int64_t n = 2000;
+  double group1_fraction = 0.4;   ///< prevalence of the protected group
+  double bias_strength = 0.3;     ///< probability a qualified group-1
+                                  ///< applicant is (unfairly) denied
+  double label_noise = 0.05;      ///< symmetric noise on all labels
+  uint64_t seed = 71;
+};
+
+/// \brief The generated data: features, observed labels, group
+/// membership, and the latent fair labels.
+struct LoanData {
+  Dataset data;                    ///< x: 5 features; y: observed labels
+  std::vector<int64_t> group;      ///< 0 = majority, 1 = protected
+  std::vector<int64_t> fair_label; ///< bias-free ground truth
+};
+
+/// \brief Generates loan data per \p config. Features: income, years of
+/// credit history, debt ratio, savings, recent defaults — all driven by
+/// a latent creditworthiness plus noise; the protected attribute is NOT
+/// a feature (bias enters only through labels), mirroring the tutorial's
+/// point that models infer protected attributes from correlated
+/// features.
+LoanData MakeLoanData(const LoanDataConfig& config);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_FAIRNESS_LOAN_DATA_H_

@@ -1,0 +1,92 @@
+#include "src/fairness/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dlsys {
+
+double FairnessReport::DemographicParityGap() const {
+  return std::abs(positive_rate[0] - positive_rate[1]);
+}
+
+double FairnessReport::DisparateImpactRatio() const {
+  const double lo = std::min(positive_rate[0], positive_rate[1]);
+  const double hi = std::max(positive_rate[0], positive_rate[1]);
+  if (hi == 0.0) return 1.0;
+  return lo / hi;
+}
+
+double FairnessReport::EqualOpportunityGap() const {
+  return std::abs(tpr[0] - tpr[1]);
+}
+
+double FairnessReport::EqualizedOddsGap() const {
+  return std::max(std::abs(tpr[0] - tpr[1]), std::abs(fpr[0] - fpr[1]));
+}
+
+double FairnessReport::PredictiveParityGap() const {
+  return std::abs(ppv[0] - ppv[1]);
+}
+
+double FairnessReport::OverallAccuracy() const {
+  const double total = static_cast<double>(count[0] + count[1]);
+  if (total == 0.0) return 0.0;
+  return (accuracy[0] * count[0] + accuracy[1] * count[1]) / total;
+}
+
+std::string FairnessReport::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "pos_rate: %.3f / %.3f  tpr: %.3f / %.3f  fpr: %.3f / %.3f\n"
+                "dp_gap=%.3f  di_ratio=%.3f  eo_gap=%.3f  eodds_gap=%.3f  "
+                "acc=%.3f",
+                positive_rate[0], positive_rate[1], tpr[0], tpr[1], fpr[0],
+                fpr[1], DemographicParityGap(), DisparateImpactRatio(),
+                EqualOpportunityGap(), EqualizedOddsGap(), OverallAccuracy());
+  return buf;
+}
+
+Result<FairnessReport> AuditFairness(const std::vector<int64_t>& predictions,
+                                     const std::vector<int64_t>& labels,
+                                     const std::vector<int64_t>& group) {
+  if (predictions.size() != labels.size() ||
+      labels.size() != group.size()) {
+    return Status::InvalidArgument("prediction/label/group length mismatch");
+  }
+  if (predictions.empty()) {
+    return Status::InvalidArgument("empty audit input");
+  }
+  // Per-group confusion counts.
+  int64_t tp[2] = {0, 0}, fp[2] = {0, 0}, tn[2] = {0, 0}, fn[2] = {0, 0};
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const int64_t p = predictions[i], y = labels[i], g = group[i];
+    if ((p != 0 && p != 1) || (y != 0 && y != 1) || (g != 0 && g != 1)) {
+      return Status::InvalidArgument("audit inputs must be binary");
+    }
+    if (p == 1 && y == 1) ++tp[g];
+    if (p == 1 && y == 0) ++fp[g];
+    if (p == 0 && y == 0) ++tn[g];
+    if (p == 0 && y == 1) ++fn[g];
+  }
+  FairnessReport out;
+  for (int g = 0; g < 2; ++g) {
+    const int64_t n = tp[g] + fp[g] + tn[g] + fn[g];
+    out.count[g] = n;
+    if (n == 0) continue;
+    out.positive_rate[g] =
+        static_cast<double>(tp[g] + fp[g]) / static_cast<double>(n);
+    const int64_t pos = tp[g] + fn[g];
+    const int64_t neg = fp[g] + tn[g];
+    out.tpr[g] = pos > 0 ? static_cast<double>(tp[g]) / pos : 0.0;
+    out.fpr[g] = neg > 0 ? static_cast<double>(fp[g]) / neg : 0.0;
+    const int64_t predicted_pos = tp[g] + fp[g];
+    out.ppv[g] = predicted_pos > 0
+                     ? static_cast<double>(tp[g]) / predicted_pos
+                     : 0.0;
+    out.accuracy[g] = static_cast<double>(tp[g] + tn[g]) / n;
+  }
+  return out;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,53 @@
+#ifndef DLSYS_FAIRNESS_METRICS_H_
+#define DLSYS_FAIRNESS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+
+/// \file metrics.h
+/// \brief Group-fairness metrics (tutorial Section 4.1): the evaluation
+/// vocabulary accuracy metrics miss — whether predictions are equitable
+/// across groups.
+
+namespace dlsys {
+
+/// \brief Per-group confusion statistics and the derived gap metrics for
+/// a binary classifier and a binary protected attribute.
+struct FairnessReport {
+  // Per-group rates, indexed by group id in {0, 1}.
+  double positive_rate[2] = {0, 0};  ///< P(yhat=1 | group)
+  double tpr[2] = {0, 0};            ///< P(yhat=1 | y=1, group)
+  double fpr[2] = {0, 0};            ///< P(yhat=1 | y=0, group)
+  double ppv[2] = {0, 0};            ///< P(y=1 | yhat=1, group)
+  double accuracy[2] = {0, 0};
+  int64_t count[2] = {0, 0};
+
+  /// \brief |P(yhat=1|g=0) - P(yhat=1|g=1)|: demographic parity gap.
+  double DemographicParityGap() const;
+  /// \brief min/max ratio of positive rates (the 80%-rule statistic).
+  double DisparateImpactRatio() const;
+  /// \brief |TPR_0 - TPR_1|: equal-opportunity gap.
+  double EqualOpportunityGap() const;
+  /// \brief max(|TPR gap|, |FPR gap|): equalized-odds gap.
+  double EqualizedOddsGap() const;
+  /// \brief |PPV_0 - PPV_1|: predictive-parity gap.
+  double PredictiveParityGap() const;
+  /// \brief Overall accuracy across both groups.
+  double OverallAccuracy() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Computes the report from predictions, reference labels, and
+/// group membership. Fails unless all vectors share a length and the
+/// values are binary.
+Result<FairnessReport> AuditFairness(const std::vector<int64_t>& predictions,
+                                     const std::vector<int64_t>& labels,
+                                     const std::vector<int64_t>& group);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_FAIRNESS_METRICS_H_

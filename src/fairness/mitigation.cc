@@ -1,0 +1,204 @@
+#include "src/fairness/mitigation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/layers.h"
+#include "src/nn/loss.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+Result<std::vector<double>> ReweighingWeights(
+    const std::vector<int64_t>& labels, const std::vector<int64_t>& group) {
+  if (labels.size() != group.size() || labels.empty()) {
+    return Status::InvalidArgument("label/group size mismatch or empty");
+  }
+  const double n = static_cast<double>(labels.size());
+  double p_group[2] = {0, 0};
+  double p_label[2] = {0, 0};
+  double p_joint[2][2] = {{0, 0}, {0, 0}};
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if ((labels[i] != 0 && labels[i] != 1) ||
+        (group[i] != 0 && group[i] != 1)) {
+      return Status::InvalidArgument("labels and groups must be binary");
+    }
+    p_group[group[i]] += 1.0;
+    p_label[labels[i]] += 1.0;
+    p_joint[group[i]][labels[i]] += 1.0;
+  }
+  for (double& v : p_group) v /= n;
+  for (double& v : p_label) v /= n;
+  std::vector<double> weights(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double joint = p_joint[group[i]][labels[i]] / n;
+    weights[i] =
+        joint > 0.0 ? p_group[group[i]] * p_label[labels[i]] / joint : 0.0;
+  }
+  return weights;
+}
+
+Result<ReweighedData> ReweighDataset(const Dataset& data,
+                                     const std::vector<int64_t>& group,
+                                     uint64_t seed) {
+  auto weights = ReweighingWeights(data.y, group);
+  if (!weights.ok()) return weights.status();
+  const int64_t n = data.size();
+  // Cumulative distribution for weighted sampling.
+  std::vector<double> cdf(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += (*weights)[static_cast<size_t>(i)];
+    cdf[static_cast<size_t>(i)] = total;
+  }
+  Rng rng(seed);
+  ReweighedData out;
+  out.data.x = Tensor(data.x.shape());
+  out.data.y.resize(static_cast<size_t>(n));
+  out.group.resize(static_cast<size_t>(n));
+  int64_t stride = 1;
+  for (int64_t d = 1; d < data.x.rank(); ++d) stride *= data.x.dim(d);
+  for (int64_t i = 0; i < n; ++i) {
+    const double u = rng.Uniform() * total;
+    const int64_t src = static_cast<int64_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const int64_t s = std::min(src, n - 1);
+    std::copy(data.x.data() + s * stride, data.x.data() + (s + 1) * stride,
+              out.data.x.data() + i * stride);
+    out.data.y[static_cast<size_t>(i)] = data.y[static_cast<size_t>(s)];
+    out.group[static_cast<size_t>(i)] = group[static_cast<size_t>(s)];
+  }
+  return out;
+}
+
+Status AdversarialDebias(Sequential* predictor, const Dataset& data,
+                         const std::vector<int64_t>& group,
+                         const AdversarialConfig& config) {
+  if (data.size() == 0 ||
+      group.size() != static_cast<size_t>(data.size())) {
+    return Status::InvalidArgument("data/group size mismatch or empty");
+  }
+  if (config.lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be non-negative");
+  }
+  // Adversary reads the predictor's logits and predicts the group.
+  Sequential adversary =
+      MakeMlp(2, {config.adversary_hidden}, 2);
+  Rng rng(config.seed);
+  adversary.Init(&rng);
+  Sgd pred_opt(config.lr, 0.9);
+  Sgd adv_opt(config.adversary_lr, 0.9);
+
+  Rng shuffle(config.seed + 1);
+  std::vector<int64_t> order(static_cast<size_t>(data.size()));
+  for (int64_t i = 0; i < data.size(); ++i) order[static_cast<size_t>(i)] = i;
+  const int64_t cols = data.x.dim(1);
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle.Shuffle(&order);
+    for (int64_t b = 0; b < data.size(); b += config.batch_size) {
+      const int64_t end = std::min(b + config.batch_size, data.size());
+      Tensor bx({end - b, cols});
+      std::vector<int64_t> by(static_cast<size_t>(end - b));
+      std::vector<int64_t> bg(static_cast<size_t>(end - b));
+      for (int64_t i = b; i < end; ++i) {
+        const int64_t src = order[static_cast<size_t>(i)];
+        std::copy(data.x.data() + src * cols, data.x.data() + (src + 1) * cols,
+                  bx.data() + (i - b) * cols);
+        by[static_cast<size_t>(i - b)] = data.y[static_cast<size_t>(src)];
+        bg[static_cast<size_t>(i - b)] = group[static_cast<size_t>(src)];
+      }
+
+      predictor->ZeroGrads();
+      Tensor logits = predictor->Forward(bx, CacheMode::kCache);
+
+      // Train the adversary one step on the current logits.
+      adversary.ZeroGrads();
+      Tensor adv_out = adversary.Forward(logits, CacheMode::kCache);
+      LossGrad adv_lg = SoftmaxCrossEntropy(adv_out, bg);
+      Tensor dlogits_adv = adversary.Backward(adv_lg.grad);
+      adv_opt.Step(adversary.Params(), adversary.Grads());
+
+      // Predictor: task gradient minus lambda x adversary gradient (the
+      // predictor moves to HURT the adversary). The adversarial term is
+      // off during warmup so the predictor first learns the task.
+      const double lambda =
+          epoch < config.warmup_epochs ? 0.0 : config.lambda;
+      LossGrad task_lg = SoftmaxCrossEntropy(logits, by);
+      Tensor grad = task_lg.grad;
+      Axpy(static_cast<float>(-lambda), dlogits_adv, &grad);
+      predictor->Backward(grad);
+      pred_opt.Step(predictor->Params(), predictor->Grads());
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> AblateCorrelatedNeurons(
+    Sequential* net, const Dataset& data, const std::vector<int64_t>& group,
+    int64_t k) {
+  if (net->size() < 3) {
+    return Status::FailedPrecondition("network too shallow to ablate");
+  }
+  auto* first = dynamic_cast<Dense*>(net->layer(0));
+  auto* relu = dynamic_cast<ReLU*>(net->layer(1));
+  auto* second = dynamic_cast<Dense*>(net->layer(2));
+  if (first == nullptr || relu == nullptr || second == nullptr) {
+    return Status::FailedPrecondition(
+        "expected Dense-ReLU-Dense prefix for neuron ablation");
+  }
+  if (k < 0 || k > first->out_features()) {
+    return Status::InvalidArgument("k outside [0, hidden units]");
+  }
+  // Hidden activations after ReLU for the whole dataset.
+  Tensor h = first->Forward(data.x, CacheMode::kNoCache);
+  h = relu->Forward(h, CacheMode::kNoCache);
+  const int64_t n = h.dim(0), units = h.dim(1);
+
+  // |Pearson correlation| of each unit with the protected attribute.
+  std::vector<std::pair<double, int64_t>> scored;
+  double gmean = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    gmean += static_cast<double>(group[static_cast<size_t>(i)]);
+  }
+  gmean /= static_cast<double>(n);
+  for (int64_t u = 0; u < units; ++u) {
+    double hmean = 0.0;
+    for (int64_t i = 0; i < n; ++i) hmean += h[i * units + u];
+    hmean /= static_cast<double>(n);
+    double shg = 0.0, shh = 0.0, sgg = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double dh = h[i * units + u] - hmean;
+      const double dg =
+          static_cast<double>(group[static_cast<size_t>(i)]) - gmean;
+      shg += dh * dg;
+      shh += dh * dh;
+      sgg += dg * dg;
+    }
+    const double denom = std::sqrt(shh * sgg);
+    const double corr = denom > 1e-12 ? std::abs(shg / denom) : 0.0;
+    scored.push_back({corr, u});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<int64_t> ablated;
+  const int64_t out_features = second->out_features();
+  for (int64_t j = 0; j < k; ++j) {
+    const int64_t u = scored[static_cast<size_t>(j)].second;
+    ablated.push_back(u);
+    // Zero the unit's outgoing weights: row u of the second Dense.
+    for (int64_t c = 0; c < out_features; ++c) {
+      second->weight()[u * out_features + c] = 0.0f;
+    }
+  }
+  return ablated;
+}
+
+std::vector<int64_t> Predict(Sequential* net, const Tensor& x) {
+  Tensor logits = net->Forward(x, CacheMode::kNoCache);
+  return ArgMaxRows(logits);
+}
+
+}  // namespace dlsys

@@ -1,0 +1,73 @@
+#ifndef DLSYS_FAIRNESS_MITIGATION_H_
+#define DLSYS_FAIRNESS_MITIGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+
+/// \file mitigation.h
+/// \brief Bias mitigation at three intervention points (tutorial
+/// Section 4.1): before training (data reweighing), during training
+/// (adversarial debiasing), and after training (ablation of neurons
+/// correlated with the protected attribute).
+
+namespace dlsys {
+
+/// \brief Kamiran-Calders reweighing weights per (group, label) cell:
+/// w(g, y) = P(g) * P(y) / P(g, y) — equalizes the group/label joint to
+/// its independence baseline.
+Result<std::vector<double>> ReweighingWeights(
+    const std::vector<int64_t>& labels, const std::vector<int64_t>& group);
+
+/// \brief Pre-processing mitigation: resamples \p data (with
+/// replacement, proportional to reweighing weights) into an equally
+/// sized, bias-balanced training set. Also permutes \p group in step so
+/// callers can keep auditing.
+struct ReweighedData {
+  Dataset data;
+  std::vector<int64_t> group;
+};
+Result<ReweighedData> ReweighDataset(const Dataset& data,
+                                     const std::vector<int64_t>& group,
+                                     uint64_t seed);
+
+/// \brief In-processing mitigation: adversarial debiasing.
+///
+/// Trains \p predictor against two objectives: classify labels, and
+/// defeat an adversary that tries to recover the protected attribute
+/// from the predictor's logits. \p lambda scales the adversarial term;
+/// 0 reduces to plain training.
+struct AdversarialConfig {
+  int64_t epochs = 30;
+  int64_t warmup_epochs = 5;  ///< plain task training before the
+                              ///< adversarial term switches on
+  int64_t batch_size = 32;
+  double lr = 0.02;
+  double adversary_lr = 0.05;
+  double lambda = 1.0;
+  int64_t adversary_hidden = 8;
+  uint64_t seed = 41;
+};
+Status AdversarialDebias(Sequential* predictor, const Dataset& data,
+                         const std::vector<int64_t>& group,
+                         const AdversarialConfig& config);
+
+/// \brief Post-processing mitigation: ablates (zeroes the outgoing
+/// weights of) the \p k hidden units of the first hidden layer whose
+/// activations correlate most with the protected attribute.
+///
+/// Requires \p net to be an MLP whose layers 0..2 are Dense-ReLU-Dense.
+/// Returns the ablated unit indices.
+Result<std::vector<int64_t>> AblateCorrelatedNeurons(
+    Sequential* net, const Dataset& data, const std::vector<int64_t>& group,
+    int64_t k);
+
+/// \brief Hard predictions (argmax) of a classifier over a dataset.
+std::vector<int64_t> Predict(Sequential* net, const Tensor& x);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_FAIRNESS_MITIGATION_H_

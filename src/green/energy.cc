@@ -1,0 +1,141 @@
+#include "src/green/energy.h"
+
+namespace dlsys {
+
+std::vector<HardwareProfile> StandardHardware() {
+  // Representative public numbers (order of magnitude, not vendor specs).
+  return {
+      {"cpu-32core", 2e12, 250.0, 0.5},
+      {"gpu-mid", 30e12, 250.0, 0.33},
+      {"gpu-high", 120e12, 400.0, 0.35},
+      {"tpu-pod-slice", 400e12, 1200.0, 0.45},
+  };
+}
+
+std::vector<Region> StandardRegions() {
+  // The first entry plays the "default region" a deadline-driven
+  // scheduler lands in; the clean regions follow.
+  return {
+      {"mixed-grid", 1.5, 400.0},
+      {"hydro-north", 1.1, 20.0},
+      {"wind-coast", 1.2, 80.0},
+      {"coal-heavy", 1.6, 820.0},
+  };
+}
+
+TrainingJob TrainingJob::ForNetwork(const Sequential& net, int64_t examples,
+                                    int64_t epochs) {
+  TrainingJob job;
+  job.total_flops = 3.0 * static_cast<double>(net.FlopsPerExample()) *
+                    static_cast<double>(examples) *
+                    static_cast<double>(epochs);
+  return job;
+}
+
+Result<Footprint> EstimateFootprint(const TrainingJob& job,
+                                    const HardwareProfile& hw,
+                                    const Region& region) {
+  if (job.total_flops < 0.0) {
+    return Status::InvalidArgument("negative FLOPs");
+  }
+  if (hw.peak_flops <= 0.0 || hw.utilization <= 0.0 || hw.watts <= 0.0) {
+    return Status::InvalidArgument("invalid hardware profile");
+  }
+  if (region.pue < 1.0 || region.grams_co2_per_kwh < 0.0) {
+    return Status::InvalidArgument("invalid region profile");
+  }
+  Footprint out;
+  out.runtime_seconds = job.total_flops / hw.EffectiveFlops();
+  out.energy_joules = out.runtime_seconds * hw.watts;
+  out.facility_kwh = out.energy_joules * region.pue / 3.6e6;
+  out.co2_grams = out.facility_kwh * region.grams_co2_per_kwh;
+  return out;
+}
+
+Result<Placement> CarbonAwarePlacement(
+    const TrainingJob& job, const std::vector<HardwareProfile>& hardware,
+    const std::vector<Region>& regions, double deadline_seconds) {
+  if (hardware.empty() || regions.empty()) {
+    return Status::InvalidArgument("no placement candidates");
+  }
+  Result<Placement> best = Status::NotFound(
+      "no placement meets the deadline");
+  double best_co2 = 1e300;
+  for (size_t h = 0; h < hardware.size(); ++h) {
+    for (size_t r = 0; r < regions.size(); ++r) {
+      auto fp = EstimateFootprint(job, hardware[h], regions[r]);
+      if (!fp.ok()) return fp.status();
+      if (fp->runtime_seconds > deadline_seconds) continue;
+      if (fp->co2_grams < best_co2) {
+        best_co2 = fp->co2_grams;
+        Placement p;
+        p.hardware_index = static_cast<int64_t>(h);
+        p.region_index = static_cast<int64_t>(r);
+        p.footprint = *fp;
+        best = p;
+      }
+    }
+  }
+  return best;
+}
+
+Result<Placement> FastestPlacement(
+    const TrainingJob& job, const std::vector<HardwareProfile>& hardware,
+    const std::vector<Region>& regions) {
+  if (hardware.empty() || regions.empty()) {
+    return Status::InvalidArgument("no placement candidates");
+  }
+  size_t fastest = 0;
+  for (size_t h = 1; h < hardware.size(); ++h) {
+    if (hardware[h].EffectiveFlops() >
+        hardware[fastest].EffectiveFlops()) {
+      fastest = h;
+    }
+  }
+  auto fp = EstimateFootprint(job, hardware[fastest], regions[0]);
+  if (!fp.ok()) return fp.status();
+  Placement p;
+  p.hardware_index = static_cast<int64_t>(fastest);
+  p.region_index = 0;
+  p.footprint = *fp;
+  return p;
+}
+
+Result<ScheduleChoice> CarbonAwareStartTime(
+    const TrainingJob& job, const HardwareProfile& hw, double pue,
+    const std::vector<double>& intensity_forecast, int64_t deadline_hours) {
+  if (intensity_forecast.empty()) {
+    return Status::InvalidArgument("empty intensity forecast");
+  }
+  if (pue < 1.0) return Status::InvalidArgument("pue must be >= 1");
+  const double runtime_hours = job.total_flops / hw.EffectiveFlops() / 3600.0;
+  const int64_t window = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(runtime_hours)));
+  const int64_t horizon = std::min<int64_t>(
+      deadline_hours, static_cast<int64_t>(intensity_forecast.size()));
+  if (window > horizon) {
+    return Status::NotFound("job cannot finish before the deadline");
+  }
+  const double kwh_per_hour = hw.watts * pue / 1000.0;
+  // Slide the window; pick the minimum-intensity placement.
+  ScheduleChoice best;
+  double best_intensity_sum = 1e300;
+  double rolling = 0.0;
+  for (int64_t h = 0; h < horizon; ++h) {
+    rolling += intensity_forecast[static_cast<size_t>(h)];
+    if (h >= window) {
+      rolling -= intensity_forecast[static_cast<size_t>(h - window)];
+    }
+    if (h >= window - 1 && rolling < best_intensity_sum) {
+      best_intensity_sum = rolling;
+      best.start_hour = h - window + 1;
+    }
+  }
+  // CO2: full hours at the window's intensities, prorated to the true
+  // runtime within the window.
+  best.co2_grams = kwh_per_hour * best_intensity_sum *
+                   (runtime_hours / static_cast<double>(window));
+  return best;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,104 @@
+#ifndef DLSYS_GREEN_ENERGY_H_
+#define DLSYS_GREEN_ENERGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/nn/sequential.h"
+
+/// \file energy.h
+/// \brief Energy and carbon accounting for deep learning (tutorial
+/// Section 4.3): a Machine-Learning-Emissions-Calculator-style model
+/// built from FLOP counts, hardware profiles, datacenter PUE, and
+/// regional carbon intensity.
+///
+/// Substitution (DESIGN.md): the public calculators are deterministic
+/// formulas over published constants; representative constants are baked
+/// in so footprints are reproducible offline.
+
+namespace dlsys {
+
+/// \brief An accelerator/CPU profile.
+struct HardwareProfile {
+  std::string name;
+  double peak_flops = 1e12;   ///< peak FLOP/s
+  double watts = 250.0;       ///< board power at load
+  double utilization = 0.3;   ///< sustained fraction of peak in training
+  /// \brief Effective FLOP/s actually delivered.
+  double EffectiveFlops() const { return peak_flops * utilization; }
+  /// \brief The tutorial's efficiency metric.
+  double FlopsPerWatt() const { return EffectiveFlops() / watts; }
+};
+
+/// \brief A datacenter region: power overhead and carbon intensity.
+struct Region {
+  std::string name;
+  double pue = 1.5;                  ///< power usage effectiveness
+  double grams_co2_per_kwh = 400.0;  ///< grid carbon intensity
+};
+
+/// \brief Built-in representative hardware profiles.
+std::vector<HardwareProfile> StandardHardware();
+/// \brief Built-in representative regions (hydro-heavy to coal-heavy).
+std::vector<Region> StandardRegions();
+
+/// \brief A training job's computational demand.
+struct TrainingJob {
+  double total_flops = 0.0;
+
+  /// \brief Derives the demand of training \p net on \p examples
+  /// examples for \p epochs epochs (forward+backward ~ 3x forward).
+  static TrainingJob ForNetwork(const Sequential& net, int64_t examples,
+                                int64_t epochs);
+};
+
+/// \brief A job's footprint on given hardware in a given region.
+struct Footprint {
+  double runtime_seconds = 0.0;
+  double energy_joules = 0.0;     ///< device energy
+  double facility_kwh = 0.0;      ///< device energy x PUE, in kWh
+  double co2_grams = 0.0;
+};
+
+/// \brief Computes the footprint of \p job on \p hw in \p region.
+Result<Footprint> EstimateFootprint(const TrainingJob& job,
+                                    const HardwareProfile& hw,
+                                    const Region& region);
+
+/// \brief Carbon-aware placement: picks the (hardware, region) pair with
+/// the lowest CO2 for the job, subject to an optional deadline.
+/// Returns the chosen indices and footprint.
+struct Placement {
+  int64_t hardware_index = 0;
+  int64_t region_index = 0;
+  Footprint footprint;
+};
+Result<Placement> CarbonAwarePlacement(
+    const TrainingJob& job, const std::vector<HardwareProfile>& hardware,
+    const std::vector<Region>& regions, double deadline_seconds);
+
+/// \brief Naive placement baseline: fastest hardware, first region.
+Result<Placement> FastestPlacement(
+    const TrainingJob& job, const std::vector<HardwareProfile>& hardware,
+    const std::vector<Region>& regions);
+
+/// \brief Temporal carbon-aware scheduling (the tutorial's [103]:
+/// shifting datacenter work to hours when the grid is clean).
+///
+/// \p intensity_forecast gives gCO2/kWh per hour slot. The job runs
+/// contiguously for ceil(runtime) hours and must finish by
+/// \p deadline_hours. Returns the start hour minimizing total CO2 and
+/// the resulting grams (device kWh spread uniformly over the window).
+struct ScheduleChoice {
+  int64_t start_hour = 0;
+  double co2_grams = 0.0;
+};
+Result<ScheduleChoice> CarbonAwareStartTime(
+    const TrainingJob& job, const HardwareProfile& hw, double pue,
+    const std::vector<double>& intensity_forecast, int64_t deadline_hours);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_GREEN_ENERGY_H_

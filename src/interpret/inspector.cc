@@ -1,0 +1,106 @@
+#include "src/interpret/inspector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlsys {
+
+ModelInspector::ModelInspector(Sequential* model, const Tensor& probe) {
+  DLSYS_CHECK(!probe.empty() && probe.rank() >= 2, "need a probe batch");
+  examples_ = probe.dim(0);
+  Tensor h = probe;
+  for (int64_t li = 0; li < model->size(); ++li) {
+    h = model->layer(li)->Forward(h, CacheMode::kNoCache);
+    // Flatten to rows = examples for uniform unit indexing.
+    int64_t width = h.size() / examples_;
+    activations_.push_back(h.Reshaped({examples_, width}));
+  }
+}
+
+double ModelInspector::UnitCorrelation(
+    int64_t layer, int64_t unit, const std::vector<double>& property) const {
+  const Tensor& acts = activations_[static_cast<size_t>(layer)];
+  const int64_t width = acts.dim(1);
+  double amean = 0.0, pmean = 0.0;
+  for (int64_t i = 0; i < examples_; ++i) {
+    amean += acts[i * width + unit];
+    pmean += property[static_cast<size_t>(i)];
+  }
+  amean /= static_cast<double>(examples_);
+  pmean /= static_cast<double>(examples_);
+  double sap = 0.0, saa = 0.0, spp = 0.0;
+  for (int64_t i = 0; i < examples_; ++i) {
+    const double da = acts[i * width + unit] - amean;
+    const double dp = property[static_cast<size_t>(i)] - pmean;
+    sap += da * dp;
+    saa += da * da;
+    spp += dp * dp;
+  }
+  const double denom = std::sqrt(saa * spp);
+  return denom > 1e-12 ? std::abs(sap / denom) : 0.0;
+}
+
+Result<std::vector<UnitAffinity>> ModelInspector::TopUnitsFor(
+    const std::vector<double>& property, int64_t k) const {
+  if (static_cast<int64_t>(property.size()) != examples_) {
+    return Status::InvalidArgument("property length must match probe size");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  std::vector<UnitAffinity> all;
+  for (int64_t l = 0; l < num_layers(); ++l) {
+    const int64_t width = activations_[static_cast<size_t>(l)].dim(1);
+    for (int64_t u = 0; u < width; ++u) {
+      all.push_back({l, u, UnitCorrelation(l, u, property)});
+    }
+  }
+  const int64_t keep = std::min<int64_t>(k, static_cast<int64_t>(all.size()));
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const UnitAffinity& a, const UnitAffinity& b) {
+                      return a.score > b.score;
+                    });
+  all.resize(static_cast<size_t>(keep));
+  return all;
+}
+
+Result<std::vector<UnitAffinity>> ModelInspector::TopUnitsInLayer(
+    const std::vector<double>& property, int64_t layer, int64_t k) const {
+  if (layer < 0 || layer >= num_layers()) {
+    return Status::OutOfRange("layer index");
+  }
+  if (static_cast<int64_t>(property.size()) != examples_) {
+    return Status::InvalidArgument("property length must match probe size");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  std::vector<UnitAffinity> all;
+  const int64_t width = activations_[static_cast<size_t>(layer)].dim(1);
+  for (int64_t u = 0; u < width; ++u) {
+    all.push_back({layer, u, UnitCorrelation(layer, u, property)});
+  }
+  const int64_t keep = std::min<int64_t>(k, width);
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const UnitAffinity& a, const UnitAffinity& b) {
+                      return a.score > b.score;
+                    });
+  all.resize(static_cast<size_t>(keep));
+  return all;
+}
+
+Result<std::vector<double>> ModelInspector::LayerProfile(
+    const std::vector<double>& property) const {
+  if (static_cast<int64_t>(property.size()) != examples_) {
+    return Status::InvalidArgument("property length must match probe size");
+  }
+  std::vector<double> profile;
+  for (int64_t l = 0; l < num_layers(); ++l) {
+    auto top = TopUnitsInLayer(property, l, 5);
+    if (!top.ok()) return top.status();
+    double mean = 0.0;
+    for (const auto& u : *top) mean += u.score;
+    profile.push_back(top->empty()
+                          ? 0.0
+                          : mean / static_cast<double>(top->size()));
+  }
+  return profile;
+}
+
+}  // namespace dlsys

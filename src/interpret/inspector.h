@@ -1,0 +1,63 @@
+#ifndef DLSYS_INTERPRET_INSPECTOR_H_
+#define DLSYS_INTERPRET_INSPECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/nn/sequential.h"
+
+/// \file inspector.h
+/// \brief DeepBase-style declarative inspection of trained models
+/// (tutorial Section 4.2, Sellam et al.): test hypotheses of the form
+/// "which units encode property P?" by scoring every unit's activation
+/// against a user-supplied per-example property vector, without writing
+/// per-layer plumbing.
+
+namespace dlsys {
+
+/// \brief One unit's affinity to the queried property.
+struct UnitAffinity {
+  int64_t layer = 0;   ///< layer index in the Sequential
+  int64_t unit = 0;    ///< flat unit index within the layer output
+  double score = 0.0;  ///< |Pearson correlation| with the property
+};
+
+/// \brief Runs hypothesis queries against a model over a probe batch.
+class ModelInspector {
+ public:
+  /// \brief Captures every layer's activations of \p model on \p probe.
+  ModelInspector(Sequential* model, const Tensor& probe);
+
+  /// \brief Number of captured layers.
+  int64_t num_layers() const {
+    return static_cast<int64_t>(activations_.size());
+  }
+
+  /// \brief The core hypothesis query: ranks all units of all layers by
+  /// |correlation| between their activation and \p property (one value
+  /// per probe example). Returns the top \p k units.
+  Result<std::vector<UnitAffinity>> TopUnitsFor(
+      const std::vector<double>& property, int64_t k) const;
+
+  /// \brief Restricts the query to one layer.
+  Result<std::vector<UnitAffinity>> TopUnitsInLayer(
+      const std::vector<double>& property, int64_t layer, int64_t k) const;
+
+  /// \brief Aggregate per-layer affinity: mean of the layer's top-5 unit
+  /// scores for the property — "where in the network does P live?".
+  Result<std::vector<double>> LayerProfile(
+      const std::vector<double>& property) const;
+
+ private:
+  double UnitCorrelation(int64_t layer, int64_t unit,
+                         const std::vector<double>& property) const;
+
+  int64_t examples_ = 0;
+  std::vector<Tensor> activations_;  ///< per layer, rows = examples
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_INTERPRET_INSPECTOR_H_

@@ -1,0 +1,164 @@
+#include "src/interpret/lime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+Result<std::vector<double>> WeightedRidge(const std::vector<double>& x,
+                                          int64_t n, int64_t d,
+                                          const std::vector<double>& w,
+                                          const std::vector<double>& y,
+                                          double ridge) {
+  if (static_cast<int64_t>(x.size()) != n * d ||
+      static_cast<int64_t>(w.size()) != n ||
+      static_cast<int64_t>(y.size()) != n) {
+    return Status::InvalidArgument("weighted ridge: size mismatch");
+  }
+  if (n == 0) return Status::InvalidArgument("no samples");
+  // Augment with the intercept column: design has d+1 columns.
+  const int64_t m = d + 1;
+  std::vector<double> a(static_cast<size_t>(m * m), 0.0);   // X'WX + rI
+  std::vector<double> b(static_cast<size_t>(m), 0.0);       // X'Wy
+  for (int64_t i = 0; i < n; ++i) {
+    const double wi = w[static_cast<size_t>(i)];
+    for (int64_t r = 0; r < m; ++r) {
+      const double xr =
+          r < d ? x[static_cast<size_t>(i * d + r)] : 1.0;
+      b[static_cast<size_t>(r)] += wi * xr * y[static_cast<size_t>(i)];
+      for (int64_t c = 0; c < m; ++c) {
+        const double xc =
+            c < d ? x[static_cast<size_t>(i * d + c)] : 1.0;
+        a[static_cast<size_t>(r * m + c)] += wi * xr * xc;
+      }
+    }
+  }
+  for (int64_t r = 0; r < d; ++r) {
+    a[static_cast<size_t>(r * m + r)] += ridge;  // no ridge on intercept
+  }
+  // Gaussian elimination with partial pivoting.
+  for (int64_t col = 0; col < m; ++col) {
+    int64_t pivot = col;
+    for (int64_t r = col + 1; r < m; ++r) {
+      if (std::abs(a[static_cast<size_t>(r * m + col)]) >
+          std::abs(a[static_cast<size_t>(pivot * m + col)])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a[static_cast<size_t>(pivot * m + col)]) < 1e-12) {
+      return Status::FailedPrecondition("singular normal equations");
+    }
+    if (pivot != col) {
+      for (int64_t c = 0; c < m; ++c) {
+        std::swap(a[static_cast<size_t>(col * m + c)],
+                  a[static_cast<size_t>(pivot * m + c)]);
+      }
+      std::swap(b[static_cast<size_t>(col)], b[static_cast<size_t>(pivot)]);
+    }
+    for (int64_t r = col + 1; r < m; ++r) {
+      const double f = a[static_cast<size_t>(r * m + col)] /
+                       a[static_cast<size_t>(col * m + col)];
+      for (int64_t c = col; c < m; ++c) {
+        a[static_cast<size_t>(r * m + c)] -=
+            f * a[static_cast<size_t>(col * m + c)];
+      }
+      b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
+    }
+  }
+  std::vector<double> beta(static_cast<size_t>(m), 0.0);
+  for (int64_t r = m - 1; r >= 0; --r) {
+    double s = b[static_cast<size_t>(r)];
+    for (int64_t c = r + 1; c < m; ++c) {
+      s -= a[static_cast<size_t>(r * m + c)] * beta[static_cast<size_t>(c)];
+    }
+    beta[static_cast<size_t>(r)] = s / a[static_cast<size_t>(r * m + r)];
+  }
+  return beta;
+}
+
+Result<Explanation> ExplainWithLime(Sequential* model, const Tensor& x,
+                                    int64_t target_class,
+                                    const LimeConfig& config) {
+  if (x.rank() != 2 || x.dim(0) != 1) {
+    return Status::InvalidArgument("LIME explains one row (1 x D)");
+  }
+  if (config.num_samples < 8) {
+    return Status::InvalidArgument("need at least 8 samples");
+  }
+  const int64_t d = x.dim(1);
+  Rng rng(config.seed);
+
+  // Perturbation sample around x (the first row is x itself).
+  Tensor samples({config.num_samples, d});
+  for (int64_t j = 0; j < d; ++j) samples[j] = x[j];
+  for (int64_t i = 1; i < config.num_samples; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      samples[i * d + j] = x[j] + static_cast<float>(
+                                      rng.Gaussian() * config.perturb_std);
+    }
+  }
+
+  // Model probabilities for the target class.
+  Tensor logits = model->Forward(samples, CacheMode::kNoCache);
+  if (target_class < 0 || target_class >= logits.dim(1)) {
+    return Status::InvalidArgument("target_class out of range");
+  }
+  Tensor probs = RowSoftmax(logits);
+  std::vector<double> y(static_cast<size_t>(config.num_samples));
+  for (int64_t i = 0; i < config.num_samples; ++i) {
+    y[static_cast<size_t>(i)] = probs[i * logits.dim(1) + target_class];
+  }
+
+  // Proximity kernel weights.
+  std::vector<double> w(static_cast<size_t>(config.num_samples));
+  const double kw2 = config.kernel_width * config.kernel_width;
+  for (int64_t i = 0; i < config.num_samples; ++i) {
+    double dist2 = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double diff = samples[i * d + j] - x[j];
+      dist2 += diff * diff;
+    }
+    w[static_cast<size_t>(i)] = std::exp(-dist2 / kw2);
+  }
+
+  // Surrogate features: offsets from x (so the intercept is f(x)-ish).
+  std::vector<double> xs(static_cast<size_t>(config.num_samples * d));
+  for (int64_t i = 0; i < config.num_samples; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      xs[static_cast<size_t>(i * d + j)] = samples[i * d + j] - x[j];
+    }
+  }
+  auto beta = WeightedRidge(xs, config.num_samples, d, w, y, config.ridge);
+  if (!beta.ok()) return beta.status();
+
+  Explanation out;
+  out.weights.assign(beta->begin(), beta->begin() + d);
+  out.intercept = (*beta)[static_cast<size_t>(d)];
+
+  // Weighted R^2 of the surrogate.
+  double wsum = 0.0, ymean = 0.0;
+  for (int64_t i = 0; i < config.num_samples; ++i) {
+    wsum += w[static_cast<size_t>(i)];
+    ymean += w[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+  }
+  ymean /= wsum;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (int64_t i = 0; i < config.num_samples; ++i) {
+    double pred = out.intercept;
+    for (int64_t j = 0; j < d; ++j) {
+      pred += out.weights[static_cast<size_t>(j)] *
+              xs[static_cast<size_t>(i * d + j)];
+    }
+    const double wi = w[static_cast<size_t>(i)];
+    ss_res += wi * (y[static_cast<size_t>(i)] - pred) *
+              (y[static_cast<size_t>(i)] - pred);
+    ss_tot += wi * (y[static_cast<size_t>(i)] - ymean) *
+              (y[static_cast<size_t>(i)] - ymean);
+  }
+  out.fidelity_r2 = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 1.0;
+  return out;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,57 @@
+#ifndef DLSYS_INTERPRET_LIME_H_
+#define DLSYS_INTERPRET_LIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/nn/sequential.h"
+
+/// \file lime.h
+/// \brief Local Interpretable Model-agnostic Explanations (tutorial
+/// Section 4.2, Ribeiro et al.).
+///
+/// LIME explains one prediction: it samples perturbations around the
+/// input, weights them by proximity, and fits a weighted linear surrogate
+/// whose coefficients are the per-feature contributions to the model's
+/// output for the explained class.
+
+namespace dlsys {
+
+/// \brief LIME configuration.
+struct LimeConfig {
+  int64_t num_samples = 500;
+  double kernel_width = 0.75;   ///< proximity kernel width (feature units)
+  double perturb_std = 0.5;     ///< stddev of Gaussian perturbations
+  double ridge = 1e-3;          ///< L2 regularization of the surrogate
+  uint64_t seed = 51;
+};
+
+/// \brief A local explanation: linear surrogate around one input.
+struct Explanation {
+  std::vector<double> weights;  ///< per-feature contribution
+  double intercept = 0.0;
+  double fidelity_r2 = 0.0;     ///< weighted R^2 of the surrogate on the
+                                ///< perturbation sample
+};
+
+/// \brief Explains \p model's probability of \p target_class at \p x
+/// (a single row tensor, 1 x D).
+Result<Explanation> ExplainWithLime(Sequential* model, const Tensor& x,
+                                    int64_t target_class,
+                                    const LimeConfig& config);
+
+/// \brief Solves the ridge-regularized weighted least squares
+/// (X' W X + ridge I) b = X' W y by Gaussian elimination with partial
+/// pivoting. Exposed for testing. X is n x d (row-major), w length n,
+/// y length n; returns d+1 coefficients (last = intercept).
+Result<std::vector<double>> WeightedRidge(const std::vector<double>& x,
+                                          int64_t n, int64_t d,
+                                          const std::vector<double>& w,
+                                          const std::vector<double>& y,
+                                          double ridge);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_INTERPRET_LIME_H_

@@ -1,0 +1,178 @@
+#include "src/interpret/model_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace dlsys {
+
+namespace {
+// FNV-1a over a row of quantized codes.
+uint64_t HashRow(const uint8_t* row, int64_t width) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int64_t i = 0; i < width; ++i) {
+    h ^= row[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Result<ModelStore> ModelStore::Capture(Sequential* model, const Tensor& x,
+                                       StorageMode mode) {
+  if (x.empty() || x.rank() < 2) {
+    return Status::InvalidArgument("need a non-empty batch");
+  }
+  ModelStore out;
+  Tensor h = x;
+  const int64_t n = x.dim(0);
+  for (int64_t li = 0; li < model->size(); ++li) {
+    h = model->layer(li)->Forward(h, CacheMode::kNoCache);
+    LayerStore store;
+    store.shape = h.shape();
+    store.row_width = h.size() / n;
+    store.mode = mode;
+    if (mode == StorageMode::kExact) {
+      store.exact.assign(h.data(), h.data() + h.size());
+    } else {
+      // Per-layer 8-bit uniform quantization.
+      float lo = h[0], hi = h[0];
+      for (int64_t i = 0; i < h.size(); ++i) {
+        lo = std::min(lo, h[i]);
+        hi = std::max(hi, h[i]);
+      }
+      if (hi == lo) hi = lo + 1e-6f;
+      store.lo = lo;
+      store.step = (hi - lo) / 255.0f;
+      std::vector<uint8_t> codes(static_cast<size_t>(h.size()));
+      for (int64_t i = 0; i < h.size(); ++i) {
+        const int64_t code = std::clamp<int64_t>(
+            static_cast<int64_t>(std::lround((h[i] - lo) / store.step)), 0,
+            255);
+        codes[static_cast<size_t>(i)] = static_cast<uint8_t>(code);
+      }
+      if (mode == StorageMode::kQuantized) {
+        store.codes = std::move(codes);
+      } else {
+        // Deduplicate identical quantized rows.
+        std::unordered_map<uint64_t, std::vector<int32_t>> buckets;
+        store.row_index.resize(static_cast<size_t>(n));
+        for (int64_t r = 0; r < n; ++r) {
+          const uint8_t* row = codes.data() + r * store.row_width;
+          const uint64_t hash = HashRow(row, store.row_width);
+          int32_t found = -1;
+          for (int32_t candidate : buckets[hash]) {
+            const uint8_t* existing =
+                store.codes.data() +
+                static_cast<int64_t>(candidate) * store.row_width;
+            if (std::equal(row, row + store.row_width, existing)) {
+              found = candidate;
+              break;
+            }
+          }
+          if (found < 0) {
+            found = static_cast<int32_t>(store.codes.size() /
+                                         static_cast<size_t>(store.row_width));
+            store.codes.insert(store.codes.end(), row,
+                               row + store.row_width);
+            buckets[hash].push_back(found);
+          }
+          store.row_index[static_cast<size_t>(r)] = found;
+        }
+      }
+    }
+    out.layers_.push_back(std::move(store));
+  }
+  return out;
+}
+
+Result<Tensor> ModelStore::GetLayer(int64_t layer) const {
+  if (layer < 0 || layer >= num_layers()) {
+    return Status::OutOfRange("layer index");
+  }
+  const LayerStore& store = layers_[static_cast<size_t>(layer)];
+  Tensor out(store.shape);
+  const int64_t n = store.shape[0];
+  switch (store.mode) {
+    case StorageMode::kExact:
+      std::copy(store.exact.begin(), store.exact.end(), out.data());
+      break;
+    case StorageMode::kQuantized:
+      for (int64_t i = 0; i < out.size(); ++i) {
+        out[i] = store.lo +
+                 store.step * static_cast<float>(
+                                  store.codes[static_cast<size_t>(i)]);
+      }
+      break;
+    case StorageMode::kQuantizedDedup:
+      for (int64_t r = 0; r < n; ++r) {
+        const int64_t src = static_cast<int64_t>(
+                                store.row_index[static_cast<size_t>(r)]) *
+                            store.row_width;
+        for (int64_t c = 0; c < store.row_width; ++c) {
+          out[r * store.row_width + c] =
+              store.lo +
+              store.step * static_cast<float>(
+                               store.codes[static_cast<size_t>(src + c)]);
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> ModelStore::TopUnits(int64_t layer,
+                                                  int64_t example,
+                                                  int64_t k) const {
+  auto activations = GetLayer(layer);
+  if (!activations.ok()) return activations.status();
+  const LayerStore& store = layers_[static_cast<size_t>(layer)];
+  if (example < 0 || example >= store.shape[0]) {
+    return Status::OutOfRange("example index");
+  }
+  if (k <= 0 || k > store.row_width) {
+    return Status::InvalidArgument("k outside [1, units]");
+  }
+  std::vector<std::pair<float, int64_t>> scored;
+  for (int64_t u = 0; u < store.row_width; ++u) {
+    scored.push_back({(*activations)[example * store.row_width + u], u});
+  }
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < k; ++i) {
+    out.push_back(scored[static_cast<size_t>(i)].second);
+  }
+  return out;
+}
+
+int64_t ModelStore::StoredBytes() const {
+  int64_t bytes = 0;
+  for (const auto& store : layers_) {
+    bytes += static_cast<int64_t>(store.exact.size()) * 4;
+    bytes += static_cast<int64_t>(store.codes.size());
+    bytes += static_cast<int64_t>(store.row_index.size()) * 4;
+    bytes += 8;  // lo + step
+  }
+  return bytes;
+}
+
+Result<double> ModelStore::MaxAbsError(int64_t layer,
+                                       const Tensor& reference) const {
+  auto activations = GetLayer(layer);
+  if (!activations.ok()) return activations.status();
+  if (activations->shape() != reference.shape()) {
+    return Status::InvalidArgument("reference shape mismatch");
+  }
+  double max_err = 0.0;
+  for (int64_t i = 0; i < reference.size(); ++i) {
+    max_err = std::max(
+        max_err,
+        std::abs(static_cast<double>((*activations)[i]) - reference[i]));
+  }
+  return max_err;
+}
+
+}  // namespace dlsys

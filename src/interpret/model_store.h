@@ -1,0 +1,69 @@
+#ifndef DLSYS_INTERPRET_MODEL_STORE_H_
+#define DLSYS_INTERPRET_MODEL_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/nn/sequential.h"
+
+/// \file model_store.h
+/// \brief A Mistique-style store for model intermediates (tutorial
+/// Section 4.2, Vartak et al.): capture every layer's activations for a
+/// diagnostic batch, store them compactly (8-bit quantization and
+/// deduplication of identical quantized rows), and answer inspection
+/// queries without rerunning the model.
+
+namespace dlsys {
+
+/// \brief How activations are persisted.
+enum class StorageMode {
+  kExact,           ///< float32, lossless
+  kQuantized,       ///< per-layer 8-bit uniform quantization
+  kQuantizedDedup,  ///< 8-bit + dedup of identical quantized rows
+};
+
+/// \brief Captured activations of one model over one diagnostic batch.
+class ModelStore {
+ public:
+  /// \brief Runs \p model over \p x and captures the output of every
+  /// layer under the given storage mode.
+  static Result<ModelStore> Capture(Sequential* model, const Tensor& x,
+                                    StorageMode mode);
+
+  /// \brief Number of captured layers.
+  int64_t num_layers() const {
+    return static_cast<int64_t>(layers_.size());
+  }
+  /// \brief Reconstructs the activation matrix (rows = examples) of
+  /// layer \p layer.
+  Result<Tensor> GetLayer(int64_t layer) const;
+  /// \brief Indices of the \p k most active units (by reconstructed
+  /// value) for one example at one layer.
+  Result<std::vector<int64_t>> TopUnits(int64_t layer, int64_t example,
+                                        int64_t k) const;
+  /// \brief Bytes the store holds (codes + codebooks + dedup tables).
+  int64_t StoredBytes() const;
+  /// \brief Max |reconstructed - reference| against a reference layer
+  /// activation matrix.
+  Result<double> MaxAbsError(int64_t layer, const Tensor& reference) const;
+
+ private:
+  struct LayerStore {
+    Shape shape;                      ///< original activation shape
+    int64_t row_width = 0;            ///< flattened per-example width
+    StorageMode mode;
+    // kExact.
+    std::vector<float> exact;
+    // kQuantized / kQuantizedDedup.
+    float lo = 0.0f, step = 1.0f;
+    std::vector<uint8_t> codes;       ///< unique rows (dedup) or all rows
+    std::vector<int32_t> row_index;   ///< dedup: row -> unique row id
+  };
+
+  std::vector<LayerStore> layers_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_INTERPRET_MODEL_STORE_H_

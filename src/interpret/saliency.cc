@@ -1,0 +1,98 @@
+#include "src/interpret/saliency.h"
+
+#include "src/core/rng.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+namespace {
+// Gradient of logit[target] w.r.t. x, via a backward pass seeded with a
+// one-hot output gradient.
+Result<Tensor> LogitInputGrad(Sequential* model, const Tensor& x,
+                              int64_t target_class) {
+  model->ZeroGrads();
+  Tensor logits = model->Forward(x, CacheMode::kCache);
+  if (logits.rank() != 2 || logits.dim(0) != 1) {
+    return Status::InvalidArgument("expected a single example");
+  }
+  if (target_class < 0 || target_class >= logits.dim(1)) {
+    return Status::InvalidArgument("target_class out of range");
+  }
+  Tensor seed(logits.shape());
+  seed[target_class] = 1.0f;
+  Tensor dx = model->Backward(seed);
+  model->ZeroGrads();  // discard parameter gradients: not a training step
+  model->DropCaches();
+  return dx;
+}
+}  // namespace
+
+Result<Tensor> SaliencyMap(Sequential* model, const Tensor& x,
+                           int64_t target_class) {
+  auto dx = LogitInputGrad(model, x, target_class);
+  if (!dx.ok()) return dx.status();
+  Tensor saliency = *dx;
+  for (int64_t i = 0; i < saliency.size(); ++i) {
+    saliency[i] = saliency[i] < 0.0f ? -saliency[i] : saliency[i];
+  }
+  return saliency;
+}
+
+Result<Tensor> ActivationMaximization(Sequential* model, Shape input_shape,
+                                      int64_t target_class,
+                                      const ActMaxConfig& config) {
+  if (input_shape.empty() || input_shape[0] != 1) {
+    return Status::InvalidArgument("input_shape must have batch dim 1");
+  }
+  Rng rng(config.seed);
+  Tensor best;
+  double best_objective = -1e300;
+  for (int64_t restart = 0; restart < std::max<int64_t>(1, config.restarts);
+       ++restart) {
+    Tensor x(input_shape);
+    x.FillGaussian(&rng, restart == 0 ? 0.01f : 0.5f);
+    for (int64_t iter = 0; iter < config.iterations; ++iter) {
+      // Ascend on (target logit - mean of other logits): maximizing the
+      // raw logit alone can grow all logits together and never make the
+      // target the argmax.
+      model->ZeroGrads();
+      Tensor logits = model->Forward(x, CacheMode::kCache);
+      if (logits.rank() != 2 || logits.dim(0) != 1) {
+        return Status::InvalidArgument("expected a single example");
+      }
+      if (target_class < 0 || target_class >= logits.dim(1)) {
+        return Status::InvalidArgument("target_class out of range");
+      }
+      const int64_t classes = logits.dim(1);
+      Tensor seed(logits.shape(),
+                  classes > 1 ? -1.0f / static_cast<float>(classes - 1)
+                              : 0.0f);
+      seed[target_class] = 1.0f;
+      Tensor dx = model->Backward(seed);
+      model->ZeroGrads();
+      model->DropCaches();
+      // Ascent with L2 decay.
+      for (int64_t i = 0; i < x.size(); ++i) {
+        x[i] += static_cast<float>(config.learning_rate) * dx[i] -
+                static_cast<float>(config.l2_decay) * x[i];
+      }
+    }
+    // Score this restart by the discriminative objective.
+    Tensor logits = model->Forward(x, CacheMode::kNoCache);
+    const int64_t classes = logits.dim(1);
+    double others = 0.0;
+    for (int64_t c = 0; c < classes; ++c) {
+      if (c != target_class) others += logits[c];
+    }
+    const double objective =
+        logits[target_class] -
+        (classes > 1 ? others / static_cast<double>(classes - 1) : 0.0);
+    if (objective > best_objective) {
+      best_objective = objective;
+      best = std::move(x);
+    }
+  }
+  return best;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,40 @@
+#ifndef DLSYS_INTERPRET_SALIENCY_H_
+#define DLSYS_INTERPRET_SALIENCY_H_
+
+#include <cstdint>
+
+#include "src/core/status.h"
+#include "src/nn/sequential.h"
+
+/// \file saliency.h
+/// \brief Gradient-based visualization (tutorial Section 4.2): saliency
+/// maps (which inputs move the decision) and Activation Maximization
+/// (synthesize the input a network part responds to most).
+
+namespace dlsys {
+
+/// \brief Gradient of the target-class logit w.r.t. the input features:
+/// |dx| is the saliency map. \p x is 1 x D (or any single-example
+/// shape the network accepts).
+Result<Tensor> SaliencyMap(Sequential* model, const Tensor& x,
+                           int64_t target_class);
+
+/// \brief Activation-maximization configuration.
+struct ActMaxConfig {
+  int64_t iterations = 200;
+  int64_t restarts = 5;     ///< random restarts; best objective wins
+  double learning_rate = 0.1;
+  double l2_decay = 0.01;   ///< keeps the synthesized input bounded
+  uint64_t seed = 61;
+};
+
+/// \brief Synthesizes an input that maximally activates the target
+/// logit by gradient ascent from small random noise.
+/// \p input_shape is the single-example shape with leading batch dim 1.
+Result<Tensor> ActivationMaximization(Sequential* model, Shape input_shape,
+                                      int64_t target_class,
+                                      const ActMaxConfig& config);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_INTERPRET_SALIENCY_H_

@@ -1,0 +1,190 @@
+#include "src/interpret/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/rng.h"
+
+namespace dlsys {
+
+namespace {
+
+// Squared Euclidean distances between all row pairs of x (N x D).
+std::vector<double> PairwiseSq(const Tensor& x) {
+  const int64_t n = x.dim(0), d = x.dim(1);
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        const double diff = x[i * d + k] - x[j * d + k];
+        s += diff * diff;
+      }
+      dist[static_cast<size_t>(i * n + j)] = s;
+      dist[static_cast<size_t>(j * n + i)] = s;
+    }
+  }
+  return dist;
+}
+
+// Row-conditional affinities p_{j|i} at the bandwidth that matches the
+// target perplexity, found by binary search on beta = 1/(2 sigma^2).
+void CalibrateRow(const std::vector<double>& dist, int64_t n, int64_t i,
+                  double perplexity, std::vector<double>* p) {
+  const double target_entropy = std::log(perplexity);
+  double beta_lo = 0.0, beta_hi = 1e300, beta = 1.0;
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0, weighted = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double pij =
+          std::exp(-dist[static_cast<size_t>(i * n + j)] * beta);
+      (*p)[static_cast<size_t>(j)] = pij;
+      sum += pij;
+      weighted += pij * dist[static_cast<size_t>(i * n + j)];
+    }
+    if (sum <= 1e-300) {
+      beta /= 2.0;
+      continue;
+    }
+    // Shannon entropy of the row distribution.
+    const double entropy = std::log(sum) + beta * weighted / sum;
+    if (std::abs(entropy - target_entropy) < 1e-5) break;
+    if (entropy > target_entropy) {
+      beta_lo = beta;
+      beta = beta_hi >= 1e300 ? beta * 2.0 : (beta + beta_hi) / 2.0;
+    } else {
+      beta_hi = beta;
+      beta = (beta + beta_lo) / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    if (j != i) sum += (*p)[static_cast<size_t>(j)];
+  }
+  (*p)[static_cast<size_t>(i)] = 0.0;
+  if (sum > 0.0) {
+    for (int64_t j = 0; j < n; ++j) {
+      (*p)[static_cast<size_t>(j)] /= sum;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Tensor> Tsne(const Tensor& x, const TsneConfig& config) {
+  if (x.rank() != 2) {
+    return Status::InvalidArgument("t-SNE input must be rank 2");
+  }
+  const int64_t n = x.dim(0);
+  if (static_cast<double>(n) <= 3.0 * config.perplexity) {
+    return Status::InvalidArgument(
+        "need more than 3 x perplexity points, got " + std::to_string(n));
+  }
+  const int64_t od = config.output_dims;
+
+  // Symmetric joint affinities P.
+  std::vector<double> dist = PairwiseSq(x);
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  std::vector<double> row(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    std::fill(row.begin(), row.end(), 0.0);
+    CalibrateRow(dist, n, i, config.perplexity, &row);
+    for (int64_t j = 0; j < n; ++j) {
+      p[static_cast<size_t>(i * n + j)] = row[static_cast<size_t>(j)];
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double sym = (p[static_cast<size_t>(i * n + j)] +
+                          p[static_cast<size_t>(j * n + i)]) /
+                         (2.0 * static_cast<double>(n));
+      p[static_cast<size_t>(i * n + j)] = std::max(sym, 1e-12);
+      p[static_cast<size_t>(j * n + i)] = std::max(sym, 1e-12);
+    }
+  }
+
+  // Gradient descent on the embedding.
+  Rng rng(config.seed);
+  Tensor y({n, od});
+  y.FillGaussian(&rng, 1e-2f);
+  std::vector<double> velocity(static_cast<size_t>(n * od), 0.0);
+  std::vector<double> q(static_cast<size_t>(n * n));
+  std::vector<double> grad(static_cast<size_t>(n * od));
+  for (int64_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    // Student-t affinities Q.
+    double qsum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (int64_t k = 0; k < od; ++k) {
+          const double diff = y[i * od + k] - y[j * od + k];
+          s += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + s);
+        q[static_cast<size_t>(i * n + j)] = w;
+        q[static_cast<size_t>(j * n + i)] = w;
+        qsum += 2.0 * w;
+      }
+      q[static_cast<size_t>(i * n + i)] = 0.0;
+    }
+    // Gradient: 4 sum_j (exP_ij - Q_ij) w_ij (y_i - y_j).
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[static_cast<size_t>(i * n + j)];
+        const double qij = std::max(w / qsum, 1e-12);
+        const double mult =
+            (exaggeration * p[static_cast<size_t>(i * n + j)] - qij) * w;
+        for (int64_t k = 0; k < od; ++k) {
+          grad[static_cast<size_t>(i * od + k)] +=
+              4.0 * mult * (y[i * od + k] - y[j * od + k]);
+        }
+      }
+    }
+    for (int64_t i = 0; i < n * od; ++i) {
+      velocity[static_cast<size_t>(i)] =
+          config.momentum * velocity[static_cast<size_t>(i)] -
+          config.learning_rate * grad[static_cast<size_t>(i)];
+      y[i] += static_cast<float>(velocity[static_cast<size_t>(i)]);
+    }
+  }
+  return y;
+}
+
+double EmbeddingPurity(const Tensor& embedding,
+                       const std::vector<int64_t>& labels, int64_t k) {
+  DLSYS_CHECK(embedding.rank() == 2, "embedding must be rank 2");
+  const int64_t n = embedding.dim(0), d = embedding.dim(1);
+  DLSYS_CHECK(n == static_cast<int64_t>(labels.size()),
+              "label count mismatch");
+  DLSYS_CHECK(k > 0 && k < n, "invalid neighbour count");
+  double purity = 0.0;
+  std::vector<std::pair<double, int64_t>> dists(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        const double diff = embedding[i * d + c] - embedding[j * d + c];
+        s += diff * diff;
+      }
+      dists[static_cast<size_t>(j)] = {j == i ? 1e300 : s, j};
+    }
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    int64_t same = 0;
+    for (int64_t m = 0; m < k; ++m) {
+      if (labels[static_cast<size_t>(dists[static_cast<size_t>(m)].second)] ==
+          labels[static_cast<size_t>(i)]) {
+        ++same;
+      }
+    }
+    purity += static_cast<double>(same) / static_cast<double>(k);
+  }
+  return purity / static_cast<double>(n);
+}
+
+}  // namespace dlsys

@@ -1,0 +1,47 @@
+#ifndef DLSYS_INTERPRET_TSNE_H_
+#define DLSYS_INTERPRET_TSNE_H_
+
+#include <cstdint>
+
+#include "src/core/status.h"
+#include "src/tensor/tensor.h"
+
+/// \file tsne.h
+/// \brief Exact t-distributed Stochastic Neighbor Embedding (tutorial
+/// Section 4.2, van der Maaten & Hinton): the dimensionality-reduction
+/// workhorse for understanding high-dimensional training data and
+/// network internals.
+///
+/// Exact O(n^2) affinities — the reproduction operates at laptop scale
+/// where Barnes-Hut approximation is unnecessary.
+
+namespace dlsys {
+
+/// \brief t-SNE hyperparameters.
+struct TsneConfig {
+  int64_t output_dims = 2;
+  double perplexity = 30.0;
+  int64_t iterations = 400;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  double early_exaggeration = 4.0;   ///< P scaling for the first phase
+  int64_t exaggeration_iters = 100;
+  uint64_t seed = 3;
+};
+
+/// \brief Embeds the rows of \p x (N x D) into N x output_dims.
+///
+/// Per-point bandwidths are calibrated by binary search to match the
+/// requested perplexity; the embedding minimizes KL(P || Q) by gradient
+/// descent with momentum. Fails if N <= 3 * perplexity.
+Result<Tensor> Tsne(const Tensor& x, const TsneConfig& config);
+
+/// \brief Quality score for an embedding of labeled data: fraction of
+/// each point's k nearest embedded neighbours sharing its label
+/// (neighbourhood purity). 1.0 = perfectly clustered.
+double EmbeddingPurity(const Tensor& embedding,
+                       const std::vector<int64_t>& labels, int64_t k);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_INTERPRET_TSNE_H_

@@ -1,0 +1,103 @@
+#include "src/learned/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/loss.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+
+Tensor LearnedCardinality::Encode(const RangeQuery& q) const {
+  const int64_t cols = static_cast<int64_t>(col_lo_.size());
+  Tensor x({1, 2 * cols});
+  for (int64_t c = 0; c < cols; ++c) {
+    const double span =
+        std::max(col_hi_[static_cast<size_t>(c)] -
+                     col_lo_[static_cast<size_t>(c)],
+                 1e-12);
+    const double lo = std::clamp(
+        (q.lo[static_cast<size_t>(c)] - col_lo_[static_cast<size_t>(c)]) /
+            span,
+        0.0, 1.0);
+    const double hi = std::clamp(
+        (q.hi[static_cast<size_t>(c)] - col_lo_[static_cast<size_t>(c)]) /
+            span,
+        0.0, 1.0);
+    x[2 * c] = static_cast<float>(lo);
+    x[2 * c + 1] = static_cast<float>(hi);
+  }
+  return x;
+}
+
+Result<LearnedCardinality> LearnedCardinality::Train(
+    const Table& t, const std::vector<RangeQuery>& queries,
+    const CardinalityConfig& config) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("no training queries");
+  }
+  LearnedCardinality out;
+  out.floor_sel_ = config.floor_sel;
+  for (int64_t c = 0; c < t.num_columns(); ++c) {
+    const auto& col = t.columns[static_cast<size_t>(c)];
+    out.col_lo_.push_back(*std::min_element(col.begin(), col.end()));
+    out.col_hi_.push_back(*std::max_element(col.begin(), col.end()));
+  }
+  const int64_t cols = t.num_columns();
+  const int64_t n = static_cast<int64_t>(queries.size());
+
+  // Features: normalized (lo, hi) per column; target: log10 selectivity.
+  Tensor x({n, 2 * cols});
+  Tensor y({n, 1});
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor row = out.Encode(queries[static_cast<size_t>(i)]);
+    std::copy(row.data(), row.data() + 2 * cols, x.data() + i * 2 * cols);
+    const double sel = std::max(
+        TrueSelectivity(t, queries[static_cast<size_t>(i)]),
+        config.floor_sel);
+    y[i] = static_cast<float>(std::log10(sel));
+  }
+
+  out.model_ = MakeMlp(2 * cols, {config.hidden, config.hidden}, 1);
+  Rng rng(config.seed);
+  out.model_.Init(&rng);
+  Adam opt(config.lr);
+
+  // Manual MSE regression loop (Train() is classification-only).
+  Rng shuffle_rng(config.seed + 1);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  const auto params = out.model_.Params();
+  const auto grads = out.model_.Grads();
+  const int64_t batch = 32;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.Shuffle(&order);
+    for (int64_t b = 0; b < n; b += batch) {
+      const int64_t end = std::min(b + batch, n);
+      Tensor bx({end - b, 2 * cols});
+      Tensor by({end - b, 1});
+      for (int64_t i = b; i < end; ++i) {
+        const int64_t src = order[static_cast<size_t>(i)];
+        std::copy(x.data() + src * 2 * cols, x.data() + (src + 1) * 2 * cols,
+                  bx.data() + (i - b) * 2 * cols);
+        by[i - b] = y[src];
+      }
+      out.model_.ZeroGrads();
+      Tensor pred = out.model_.Forward(bx, CacheMode::kCache);
+      LossGrad lg = MeanSquaredError(pred, by);
+      out.model_.Backward(lg.grad);
+      opt.Step(params, grads);
+    }
+  }
+  return out;
+}
+
+double LearnedCardinality::Estimate(const RangeQuery& q) const {
+  Tensor x = Encode(q);
+  Tensor pred = model_.Forward(x, CacheMode::kNoCache);
+  const double log_sel = pred[0];
+  return std::clamp(std::pow(10.0, log_sel), floor_sel_, 1.0);
+}
+
+}  // namespace dlsys

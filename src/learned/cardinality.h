@@ -1,0 +1,54 @@
+#ifndef DLSYS_LEARNED_CARDINALITY_H_
+#define DLSYS_LEARNED_CARDINALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/db/table.h"
+#include "src/nn/sequential.h"
+
+/// \file cardinality.h
+/// \brief Learned multi-attribute selectivity estimation (tutorial
+/// Part 2, Hasan et al.): an MLP maps a conjunctive range predicate to a
+/// selectivity, learning cross-column correlation that histogram
+/// estimators under independence assumptions cannot represent.
+
+namespace dlsys {
+
+/// \brief Training configuration.
+struct CardinalityConfig {
+  int64_t hidden = 64;
+  int64_t epochs = 120;
+  double lr = 0.01;
+  uint64_t seed = 23;
+  double floor_sel = 1e-5;  ///< selectivity floor (log-space target)
+};
+
+/// \brief MLP selectivity estimator over normalized query boxes.
+class LearnedCardinality {
+ public:
+  /// \brief Trains on \p queries labeled with their true selectivities
+  /// on \p t. Inputs are the per-column (lo, hi) bounds normalized to
+  /// [0, 1]; the regression target is log10(selectivity).
+  static Result<LearnedCardinality> Train(
+      const Table& t, const std::vector<RangeQuery>& queries,
+      const CardinalityConfig& config);
+
+  /// \brief Estimated selectivity of \p q in [floor, 1].
+  double Estimate(const RangeQuery& q) const;
+
+  /// \brief Model bytes.
+  int64_t MemoryBytes() const { return model_.ModelBytes(); }
+
+ private:
+  Tensor Encode(const RangeQuery& q) const;
+
+  mutable Sequential model_;
+  std::vector<double> col_lo_, col_hi_;
+  double floor_sel_ = 1e-5;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_LEARNED_CARDINALITY_H_

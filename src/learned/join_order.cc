@@ -1,0 +1,235 @@
+#include "src/learned/join_order.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "src/nn/loss.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+
+namespace {
+double Log10(double v) { return std::log10(std::max(v, 1.0)); }
+}  // namespace
+
+void LearnedJoinOptimizer::Featurize(const JoinQuery& q,
+                                     const std::vector<int64_t>& prefix,
+                                     int64_t candidate, float* out) {
+  const int64_t n = q.num_relations();
+  std::vector<int64_t> next = prefix;
+  next.push_back(candidate);
+  std::vector<bool> in_next(static_cast<size_t>(n), false);
+  for (int64_t r : next) in_next[static_cast<size_t>(r)] = true;
+
+  const double card_next = SubsetCardinality(q, next);
+  const double card_prefix =
+      prefix.empty() ? 1.0 : SubsetCardinality(q, prefix);
+
+  // Remaining-relation statistics.
+  double sum_log_remaining = 0.0;
+  int64_t remaining = 0;
+  int64_t connected = 0;
+  double min_sel_to_next = 0.0;  // log10 of min selectivity, <= 0
+  for (int64_t r = 0; r < n; ++r) {
+    if (in_next[static_cast<size_t>(r)]) continue;
+    ++remaining;
+    sum_log_remaining += Log10(q.cardinality[static_cast<size_t>(r)]);
+    double best_sel = 1.0;
+    for (int64_t s : next) {
+      best_sel = std::min(
+          best_sel,
+          q.selectivity[static_cast<size_t>(r)][static_cast<size_t>(s)]);
+    }
+    if (best_sel < 1.0) ++connected;
+    min_sel_to_next = std::min(min_sel_to_next, std::log10(best_sel));
+  }
+  // Selectivity of the candidate against the existing prefix.
+  double cand_sel = 1.0;
+  for (int64_t s : prefix) {
+    cand_sel = std::min(
+        cand_sel,
+        q.selectivity[static_cast<size_t>(candidate)][static_cast<size_t>(s)]);
+  }
+
+  out[0] = static_cast<float>(Log10(card_next) / 10.0);
+  out[1] = static_cast<float>(Log10(card_prefix) / 10.0);
+  out[2] = static_cast<float>(
+      Log10(q.cardinality[static_cast<size_t>(candidate)]) / 10.0);
+  out[3] = static_cast<float>(static_cast<double>(next.size()) /
+                              static_cast<double>(n));
+  out[4] = static_cast<float>(std::log10(std::max(cand_sel, 1e-12)) / 6.0);
+  out[5] = static_cast<float>(
+      remaining > 0 ? sum_log_remaining / (10.0 * remaining) : 0.0);
+  out[6] = static_cast<float>(
+      remaining > 0 ? static_cast<double>(connected) / remaining : 0.0);
+  out[7] = static_cast<float>(min_sel_to_next / 6.0);
+}
+
+namespace {
+
+// One epsilon-greedy rollout; appends (features, log10 cost-to-go)
+// samples and returns the realized plan cost.
+double Rollout(const JoinQuery& q, Sequential* model, double epsilon,
+               Rng* rng, std::vector<float>* xs, std::vector<float>* ys) {
+  const int64_t n = q.num_relations();
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  std::vector<int64_t> prefix;
+  // Remember each decision's feature row and the intermediates that
+  // followed it, to compute cost-to-go afterwards.
+  std::vector<std::array<float, LearnedJoinOptimizer::kNumFeatures>> rows;
+  std::vector<double> step_costs;  // intermediate card after each append
+
+  // First relation: epsilon-greedy over single-relation "states".
+  while (static_cast<int64_t>(prefix.size()) < n) {
+    int64_t pick = -1;
+    if (rng->Uniform() < epsilon || prefix.empty()) {
+      // Explore (and always randomize the starting relation).
+      std::vector<int64_t> candidates;
+      for (int64_t r = 0; r < n; ++r) {
+        if (!used[static_cast<size_t>(r)]) candidates.push_back(r);
+      }
+      pick = candidates[rng->Index(candidates.size())];
+    } else {
+      double best = std::numeric_limits<double>::infinity();
+      for (int64_t r = 0; r < n; ++r) {
+        if (used[static_cast<size_t>(r)]) continue;
+        Tensor x({1, LearnedJoinOptimizer::kNumFeatures});
+        LearnedJoinOptimizer::Featurize(q, prefix, r, x.data());
+        const double v =
+            model->Forward(x, CacheMode::kNoCache)[0];
+        if (v < best) {
+          best = v;
+          pick = r;
+        }
+      }
+    }
+    if (!prefix.empty()) {
+      std::array<float, LearnedJoinOptimizer::kNumFeatures> row;
+      LearnedJoinOptimizer::Featurize(q, prefix, pick, row.data());
+      rows.push_back(row);
+    }
+    prefix.push_back(pick);
+    used[static_cast<size_t>(pick)] = true;
+    if (prefix.size() >= 2) {
+      step_costs.push_back(SubsetCardinality(q, prefix));
+    }
+  }
+  // Cost-to-go for decision i = sum of step costs from i onward.
+  double total = 0.0;
+  std::vector<double> cost_to_go(step_costs.size());
+  for (int64_t i = static_cast<int64_t>(step_costs.size()) - 1; i >= 0;
+       --i) {
+    total += step_costs[static_cast<size_t>(i)];
+    cost_to_go[static_cast<size_t>(i)] = total;
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    xs->insert(xs->end(), rows[i].begin(), rows[i].end());
+    ys->push_back(static_cast<float>(Log10(cost_to_go[i]) / 10.0));
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<LearnedJoinOptimizer> LearnedJoinOptimizer::Train(
+    const JoinOptimizerConfig& config) {
+  if (config.relations_min < 2 ||
+      config.relations_max < config.relations_min) {
+    return Status::InvalidArgument("bad relation range");
+  }
+  if (config.training_queries <= 0) {
+    return Status::InvalidArgument("need training queries");
+  }
+  LearnedJoinOptimizer out;
+  out.model_ = MakeMlp(kNumFeatures, {32, 32}, 1);
+  Rng rng(config.seed);
+  out.model_.Init(&rng);
+
+  // Collect rollout samples (two passes: random-heavy then model-guided).
+  std::vector<float> xs;
+  std::vector<float> ys;
+  for (int64_t pass = 0; pass < 2; ++pass) {
+    const double epsilon = pass == 0 ? 1.0 : config.epsilon;
+    Rng qrng(config.seed + 100 + static_cast<uint64_t>(pass));
+    for (int64_t i = 0; i < config.training_queries; ++i) {
+      const int64_t relations =
+          config.relations_min +
+          static_cast<int64_t>(qrng.Index(static_cast<uint64_t>(
+              config.relations_max - config.relations_min + 1)));
+      JoinQuery q = MakeJoinQuery(relations, config.extra_edge_prob, &qrng);
+      for (int64_t e = 0; e < config.episodes_per_query; ++e) {
+        Rollout(q, &out.model_, epsilon, &rng, &xs, &ys);
+      }
+    }
+    // Fit the value network on everything collected so far.
+    const int64_t samples = static_cast<int64_t>(ys.size());
+    Tensor x({samples, kNumFeatures}, xs);
+    Tensor y({samples, 1}, ys);
+    Adam opt(config.lr);
+    Rng shuffle(config.seed + 7);
+    std::vector<int64_t> order(static_cast<size_t>(samples));
+    for (int64_t i = 0; i < samples; ++i) order[static_cast<size_t>(i)] = i;
+    const auto params = out.model_.Params();
+    const auto grads = out.model_.Grads();
+    for (int64_t epoch = 0; epoch < config.fit_epochs; ++epoch) {
+      shuffle.Shuffle(&order);
+      for (int64_t b = 0; b < samples; b += 128) {
+        const int64_t end = std::min(b + 128, samples);
+        Tensor bx({end - b, kNumFeatures});
+        Tensor by({end - b, 1});
+        for (int64_t i = b; i < end; ++i) {
+          const int64_t src = order[static_cast<size_t>(i)];
+          std::copy(x.data() + src * kNumFeatures,
+                    x.data() + (src + 1) * kNumFeatures,
+                    bx.data() + (i - b) * kNumFeatures);
+          by[i - b] = y[src];
+        }
+        out.model_.ZeroGrads();
+        Tensor pred = out.model_.Forward(bx, CacheMode::kCache);
+        LossGrad lg = MeanSquaredError(pred, by);
+        out.model_.Backward(lg.grad);
+        opt.Step(params, grads);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> LearnedJoinOptimizer::PlanFor(
+    const JoinQuery& q) const {
+  const int64_t n = q.num_relations();
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  std::vector<int64_t> prefix;
+  // Start from the smallest relation (same convention as greedy).
+  int64_t first = 0;
+  for (int64_t r = 1; r < n; ++r) {
+    if (q.cardinality[static_cast<size_t>(r)] <
+        q.cardinality[static_cast<size_t>(first)]) {
+      first = r;
+    }
+  }
+  prefix.push_back(first);
+  used[static_cast<size_t>(first)] = true;
+  while (static_cast<int64_t>(prefix.size()) < n) {
+    int64_t pick = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int64_t r = 0; r < n; ++r) {
+      if (used[static_cast<size_t>(r)]) continue;
+      Tensor x({1, kNumFeatures});
+      Featurize(q, prefix, r, x.data());
+      const double v = model_.Forward(x, CacheMode::kNoCache)[0];
+      if (v < best) {
+        best = v;
+        pick = r;
+      }
+    }
+    prefix.push_back(pick);
+    used[static_cast<size_t>(pick)] = true;
+  }
+  return prefix;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,68 @@
+#ifndef DLSYS_LEARNED_JOIN_ORDER_H_
+#define DLSYS_LEARNED_JOIN_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/db/join.h"
+#include "src/nn/sequential.h"
+
+/// \file join_order.h
+/// \brief A learned join-order optimizer (tutorial Part 2: "proposals to
+/// use deep neural networks to generate query plans directly").
+///
+/// A value network learns, from featurized partial plans, the log
+/// cost-to-go of appending a candidate relation; plans are built by
+/// greedy rollout. Trained once over a workload of random queries, it
+/// generalizes to unseen queries and sidesteps the exponential Selinger
+/// enumeration — trading plan optimality for constant-time planning,
+/// exactly the optimizer tradeoff the tutorial highlights.
+
+namespace dlsys {
+
+/// \brief Training configuration.
+struct JoinOptimizerConfig {
+  int64_t training_queries = 200;
+  int64_t relations_min = 4;
+  int64_t relations_max = 10;
+  double extra_edge_prob = 0.25;
+  int64_t episodes_per_query = 4;  ///< epsilon-greedy rollouts per query
+  int64_t fit_epochs = 60;         ///< Adam epochs over collected samples
+  double lr = 0.005;
+  double epsilon = 0.25;           ///< exploration rate during collection
+  uint64_t seed = 31;
+};
+
+/// \brief The trained plan generator.
+class LearnedJoinOptimizer {
+ public:
+  /// \brief Trains the value network on a workload of random queries
+  /// (labels come from realized rollout costs).
+  static Result<LearnedJoinOptimizer> Train(
+      const JoinOptimizerConfig& config);
+
+  /// \brief Produces a left-deep order for \p q by greedy rollout
+  /// against the value network.
+  std::vector<int64_t> PlanFor(const JoinQuery& q) const;
+
+  /// \brief Value-network bytes.
+  int64_t MemoryBytes() const { return model_.ModelBytes(); }
+
+  /// \brief Number of features per (state, candidate) decision.
+  static constexpr int64_t kNumFeatures = 8;
+
+  /// \brief Featurizes appending \p candidate to the partial plan
+  /// \p prefix of query \p q. Exposed for tests.
+  static void Featurize(const JoinQuery& q,
+                        const std::vector<int64_t>& prefix,
+                        int64_t candidate, float* out);
+
+ private:
+  mutable Sequential model_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_LEARNED_JOIN_ORDER_H_

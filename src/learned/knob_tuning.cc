@@ -1,0 +1,122 @@
+#include "src/learned/knob_tuning.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+namespace dlsys {
+
+namespace {
+
+int64_t StateId(const DbKnobs& k, const std::vector<int64_t>& sizes) {
+  return (k.buffer_idx * sizes[1] + k.page_idx) * sizes[2] + k.threads_idx;
+}
+
+// Actions: +/-1 on each of the three knobs, plus stay. Invalid moves are
+// clamped (equivalent to stay).
+constexpr int64_t kNumActions = 7;
+
+DbKnobs ApplyAction(DbKnobs k, int64_t action,
+                    const std::vector<int64_t>& sizes) {
+  switch (action) {
+    case 0: k.buffer_idx = std::min(k.buffer_idx + 1, sizes[0] - 1); break;
+    case 1: k.buffer_idx = std::max<int64_t>(k.buffer_idx - 1, 0); break;
+    case 2: k.page_idx = std::min(k.page_idx + 1, sizes[1] - 1); break;
+    case 3: k.page_idx = std::max<int64_t>(k.page_idx - 1, 0); break;
+    case 4: k.threads_idx = std::min(k.threads_idx + 1, sizes[2] - 1); break;
+    case 5: k.threads_idx = std::max<int64_t>(k.threads_idx - 1, 0); break;
+    default: break;  // stay
+  }
+  return k;
+}
+
+void RecordEval(TuningResult* result, const DbKnobs& knobs, double latency) {
+  if (latency < result->best_latency_ms) {
+    result->best_latency_ms = latency;
+    result->best = knobs;
+  }
+  result->best_so_far.push_back(result->best_latency_ms);
+}
+
+}  // namespace
+
+TuningResult QLearningTune(const TunableDb& db, const QTunerConfig& config) {
+  const auto sizes = db.GridSizes();
+  Rng rng(config.seed);
+  // Q-table: state -> action values.
+  std::map<int64_t, std::array<double, kNumActions>> q;
+  auto q_row = [&](int64_t s) -> std::array<double, kNumActions>& {
+    auto it = q.find(s);
+    if (it == q.end()) {
+      it = q.emplace(s, std::array<double, kNumActions>{}).first;
+    }
+    return it->second;
+  };
+
+  TuningResult result;
+  double epsilon = config.epsilon0;
+  for (int64_t ep = 0; ep < config.episodes; ++ep) {
+    // Random start each episode.
+    DbKnobs state{
+        static_cast<int64_t>(rng.Index(static_cast<uint64_t>(sizes[0]))),
+        static_cast<int64_t>(rng.Index(static_cast<uint64_t>(sizes[1]))),
+        static_cast<int64_t>(rng.Index(static_cast<uint64_t>(sizes[2])))};
+    for (int64_t step = 0; step < config.steps_per_episode; ++step) {
+      const int64_t s = StateId(state, sizes);
+      auto& row = q_row(s);
+      int64_t action;
+      if (rng.Uniform() < epsilon) {
+        action = static_cast<int64_t>(rng.Index(kNumActions));
+      } else {
+        action = static_cast<int64_t>(
+            std::max_element(row.begin(), row.end()) - row.begin());
+      }
+      const DbKnobs next = ApplyAction(state, action, sizes);
+      const double latency = db.LatencyMs(next);
+      RecordEval(&result, next, latency);
+      const double reward = -latency;
+      auto& next_row = q_row(StateId(next, sizes));
+      const double best_next =
+          *std::max_element(next_row.begin(), next_row.end());
+      row[static_cast<size_t>(action)] +=
+          config.alpha * (reward + config.gamma * best_next -
+                          row[static_cast<size_t>(action)]);
+      state = next;
+    }
+    epsilon *= config.epsilon_decay;
+  }
+  return result;
+}
+
+TuningResult GridSearchTune(const TunableDb& db, int64_t budget) {
+  const auto sizes = db.GridSizes();
+  TuningResult result;
+  int64_t evaluated = 0;
+  for (int64_t b = 0; b < sizes[0] && evaluated < budget; ++b) {
+    for (int64_t p = 0; p < sizes[1] && evaluated < budget; ++p) {
+      for (int64_t t = 0; t < sizes[2] && evaluated < budget; ++t) {
+        DbKnobs k{b, p, t};
+        RecordEval(&result, k, db.LatencyMs(k));
+        ++evaluated;
+      }
+    }
+  }
+  return result;
+}
+
+TuningResult RandomSearchTune(const TunableDb& db, int64_t budget,
+                              uint64_t seed) {
+  const auto sizes = db.GridSizes();
+  Rng rng(seed);
+  TuningResult result;
+  for (int64_t i = 0; i < budget; ++i) {
+    DbKnobs k{
+        static_cast<int64_t>(rng.Index(static_cast<uint64_t>(sizes[0]))),
+        static_cast<int64_t>(rng.Index(static_cast<uint64_t>(sizes[1]))),
+        static_cast<int64_t>(rng.Index(static_cast<uint64_t>(sizes[2])))};
+    RecordEval(&result, k, db.LatencyMs(k));
+  }
+  return result;
+}
+
+}  // namespace dlsys

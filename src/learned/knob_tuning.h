@@ -1,0 +1,52 @@
+#ifndef DLSYS_LEARNED_KNOB_TUNING_H_
+#define DLSYS_LEARNED_KNOB_TUNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/db/tunable_db.h"
+
+/// \file knob_tuning.h
+/// \brief Reinforcement-learning knob tuning (tutorial Part 2,
+/// QTune/CDBTune-flavoured): an agent walks the knob lattice of the
+/// simulated database, learning a Q-function from latency rewards, and is
+/// compared against grid and random search at equal evaluation budgets.
+
+namespace dlsys {
+
+/// \brief Tuning-run outcome: the best configuration found and the
+/// best-so-far latency after each evaluation (the convergence curve).
+struct TuningResult {
+  DbKnobs best;
+  double best_latency_ms = 1e300;
+  std::vector<double> best_so_far;  ///< one entry per DB evaluation
+};
+
+/// \brief Q-learning configuration.
+struct QTunerConfig {
+  int64_t episodes = 40;
+  int64_t steps_per_episode = 25;
+  double alpha = 0.3;        ///< Q-value learning rate
+  double gamma = 0.9;        ///< discount
+  double epsilon0 = 0.8;     ///< initial exploration rate
+  double epsilon_decay = 0.92;  ///< per-episode decay
+  uint64_t seed = 5;
+};
+
+/// \brief Tabular Q-learning over the knob lattice. Actions move one
+/// knob one grid step (or stay); reward is negative latency.
+TuningResult QLearningTune(const TunableDb& db, const QTunerConfig& config);
+
+/// \brief Baseline: evaluates the first \p budget configurations of a
+/// row-major grid enumeration.
+TuningResult GridSearchTune(const TunableDb& db, int64_t budget);
+
+/// \brief Baseline: evaluates \p budget uniformly random configurations.
+TuningResult RandomSearchTune(const TunableDb& db, int64_t budget,
+                              uint64_t seed);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_LEARNED_KNOB_TUNING_H_

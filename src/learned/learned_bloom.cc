@@ -1,0 +1,180 @@
+#include "src/learned/learned_bloom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/data/dataset.h"
+#include "src/nn/loss.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+namespace {
+constexpr int64_t kNumFeatures = 9;
+constexpr double kPi = 3.14159265358979323846;
+
+// Fourier featurization of the normalized key: lets a small MLP carve
+// the key space into intervals.
+void Featurize(double u, float* out) {
+  out[0] = static_cast<float>(u);
+  int64_t f = 1;
+  for (int64_t h = 1; h < kNumFeatures; h += 2) {
+    out[h] = static_cast<float>(std::sin(2.0 * kPi * f * u));
+    out[h + 1] = static_cast<float>(std::cos(2.0 * kPi * f * u));
+    f *= 2;
+  }
+}
+}  // namespace
+
+Result<LearnedBloomFilter> LearnedBloomFilter::Train(
+    const std::vector<int64_t>& members,
+    const std::vector<int64_t>& non_member_sample, int64_t key_lo,
+    int64_t key_hi, const LearnedBloomConfig& config) {
+  if (members.empty()) {
+    return Status::InvalidArgument("no members");
+  }
+  if (non_member_sample.empty()) {
+    return Status::InvalidArgument("need non-member training sample");
+  }
+  if (key_hi <= key_lo) {
+    return Status::InvalidArgument("empty key universe");
+  }
+  if (config.member_recall <= 0.0 || config.member_recall > 1.0) {
+    return Status::InvalidArgument("member_recall must be in (0, 1]");
+  }
+  LearnedBloomFilter out;
+  out.key_lo_ = static_cast<double>(key_lo);
+  out.key_span_ = static_cast<double>(key_hi - key_lo);
+
+  // Balanced training set.
+  const int64_t n =
+      static_cast<int64_t>(members.size() + non_member_sample.size());
+  Dataset data;
+  data.x = Tensor({n, kNumFeatures});
+  data.y.resize(static_cast<size_t>(n));
+  int64_t row = 0;
+  for (int64_t key : members) {
+    Featurize((static_cast<double>(key) - out.key_lo_) / out.key_span_,
+              data.x.data() + row * kNumFeatures);
+    data.y[static_cast<size_t>(row)] = 1;
+    ++row;
+  }
+  for (int64_t key : non_member_sample) {
+    Featurize((static_cast<double>(key) - out.key_lo_) / out.key_span_,
+              data.x.data() + row * kNumFeatures);
+    data.y[static_cast<size_t>(row)] = 0;
+    ++row;
+  }
+
+  out.classifier_ = MakeMlp(kNumFeatures, {config.hidden, config.hidden}, 2);
+  Rng rng(config.seed);
+  out.classifier_.Init(&rng);
+  Adam opt(config.lr);
+  TrainConfig tc;
+  tc.epochs = config.epochs;
+  tc.batch_size = 64;
+  tc.shuffle_seed = config.seed;
+  dlsys::Train(&out.classifier_, &opt, data, tc);
+
+  // Threshold: the member_recall-quantile of member scores — members
+  // below it go to the backup filter.
+  std::vector<double> member_scores;
+  member_scores.reserve(members.size());
+  for (int64_t key : members) member_scores.push_back(out.Score(key));
+  std::vector<double> sorted_scores = member_scores;
+  std::sort(sorted_scores.begin(), sorted_scores.end());
+  const size_t cut = static_cast<size_t>(
+      std::llround((1.0 - config.member_recall) *
+                   static_cast<double>(sorted_scores.size())));
+  out.threshold_ =
+      sorted_scores[std::min(cut, sorted_scores.size() - 1)];
+
+  // Backup filter over the classifier's false negatives.
+  std::vector<int64_t> backup;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (member_scores[i] < out.threshold_) backup.push_back(members[i]);
+  }
+  out.backup_keys_ = static_cast<int64_t>(backup.size());
+  if (!backup.empty()) {
+    out.backup_ = BloomFilter::ForKeys(static_cast<int64_t>(backup.size()),
+                                       config.backup_bits_per_key);
+    for (int64_t key : backup) out.backup_.Insert(key);
+  } else {
+    out.backup_ = BloomFilter(64, 1);  // empty, rejects everything unseen
+  }
+  return out;
+}
+
+double LearnedBloomFilter::Score(int64_t key) const {
+  Tensor x({1, kNumFeatures});
+  Featurize((static_cast<double>(key) - key_lo_) / key_span_, x.data());
+  Tensor logits = classifier_.Forward(x, CacheMode::kNoCache);
+  Tensor probs = RowSoftmax(logits);
+  return probs[1];
+}
+
+bool LearnedBloomFilter::MayContain(int64_t key) const {
+  if (Score(key) >= threshold_) return true;
+  return backup_.MayContain(key);
+}
+
+int64_t LearnedBloomFilter::MemoryBytes() const {
+  return classifier_.ModelBytes() + backup_.MemoryBytes();
+}
+
+double LearnedBloomFilter::MeasureFpr(
+    const std::vector<int64_t>& non_members) const {
+  if (non_members.empty()) return 0.0;
+  int64_t positives = 0;
+  for (int64_t key : non_members) {
+    if (MayContain(key)) ++positives;
+  }
+  return static_cast<double>(positives) /
+         static_cast<double>(non_members.size());
+}
+
+MembershipData MakeClusteredMembership(int64_t num_members,
+                                       int64_t num_non_members,
+                                       int64_t universe, int64_t clusters,
+                                       Rng* rng) {
+  DLSYS_CHECK(clusters > 0 && universe > clusters * 4, "bad membership config");
+  MembershipData out;
+  // Member intervals covering ~10% of the universe.
+  struct Interval {
+    int64_t lo, hi;
+  };
+  std::vector<Interval> intervals;
+  const int64_t span = universe / (clusters * 10);
+  for (int64_t c = 0; c < clusters; ++c) {
+    const int64_t lo = static_cast<int64_t>(
+        rng->Index(static_cast<uint64_t>(universe - span)));
+    intervals.push_back({lo, lo + span});
+  }
+  auto in_member_region = [&](int64_t key) {
+    for (const auto& iv : intervals) {
+      if (key >= iv.lo && key < iv.hi) return true;
+    }
+    return false;
+  };
+  std::set<int64_t> member_set;
+  while (static_cast<int64_t>(member_set.size()) < num_members) {
+    const Interval& iv = intervals[rng->Index(intervals.size())];
+    member_set.insert(
+        iv.lo + static_cast<int64_t>(rng->Index(
+                    static_cast<uint64_t>(iv.hi - iv.lo))));
+  }
+  out.members.assign(member_set.begin(), member_set.end());
+  while (static_cast<int64_t>(out.non_members.size()) < num_non_members) {
+    const int64_t key =
+        static_cast<int64_t>(rng->Index(static_cast<uint64_t>(universe)));
+    if (!in_member_region(key) && !member_set.count(key)) {
+      out.non_members.push_back(key);
+    }
+  }
+  return out;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,84 @@
+#ifndef DLSYS_LEARNED_LEARNED_BLOOM_H_
+#define DLSYS_LEARNED_LEARNED_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/db/bloom.h"
+#include "src/nn/sequential.h"
+
+/// \file learned_bloom.h
+/// \brief Learned Bloom filter (tutorial Part 2, Kraska et al.): a
+/// classifier screens membership; a small backup Bloom filter catches the
+/// classifier's false negatives, preserving the zero-false-negative
+/// guarantee.
+///
+/// When the member set has learnable structure (here: keys concentrated
+/// in intervals of the key space), the classifier absorbs most of the
+/// work and the combined structure undercuts a classic Bloom filter's
+/// memory at equal false-positive rate.
+
+namespace dlsys {
+
+/// \brief Training configuration.
+struct LearnedBloomConfig {
+  int64_t hidden = 16;             ///< classifier MLP width
+  int64_t epochs = 40;
+  double lr = 0.02;
+  double member_recall = 0.5;      ///< fraction of members the classifier
+                                   ///< must accept (threshold quantile)
+  double backup_bits_per_key = 8;  ///< sizing of the backup filter
+  uint64_t seed = 17;
+};
+
+/// \brief Classifier + backup filter with no false negatives.
+class LearnedBloomFilter {
+ public:
+  /// \brief Trains the classifier on \p members vs \p non_member_sample
+  /// and builds the backup filter over the members the classifier
+  /// rejects at the chosen threshold. \p key_lo / \p key_hi bound the
+  /// key universe (used to normalize features).
+  static Result<LearnedBloomFilter> Train(
+      const std::vector<int64_t>& members,
+      const std::vector<int64_t>& non_member_sample, int64_t key_lo,
+      int64_t key_hi, const LearnedBloomConfig& config);
+
+  /// \brief True if the key may be a member; members always return true.
+  bool MayContain(int64_t key) const;
+
+  /// \brief Classifier bytes + backup-filter bytes.
+  int64_t MemoryBytes() const;
+  /// \brief Number of members routed to the backup filter.
+  int64_t backup_keys() const { return backup_keys_; }
+
+  /// \brief Measured FPR over known non-members.
+  double MeasureFpr(const std::vector<int64_t>& non_members) const;
+
+ private:
+  double Score(int64_t key) const;
+
+  mutable Sequential classifier_;
+  double threshold_ = 0.5;
+  double key_lo_ = 0.0;
+  double key_span_ = 1.0;
+  BloomFilter backup_{64, 1};
+  int64_t backup_keys_ = 0;
+};
+
+/// \brief Generates a structured member set: keys clustered in
+/// \p clusters random intervals of [0, universe), plus uniform
+/// non-members outside the member set. Returns {members, non_members}.
+struct MembershipData {
+  std::vector<int64_t> members;
+  std::vector<int64_t> non_members;
+};
+MembershipData MakeClusteredMembership(int64_t num_members,
+                                       int64_t num_non_members,
+                                       int64_t universe, int64_t clusters,
+                                       Rng* rng);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_LEARNED_LEARNED_BLOOM_H_

@@ -1,0 +1,145 @@
+#include "src/learned/learned_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlsys {
+
+LinearModel LinearModel::Fit(const std::vector<double>& xs,
+                             const std::vector<double>& ys) {
+  DLSYS_CHECK(xs.size() == ys.size(), "x/y size mismatch");
+  LinearModel m;
+  const size_t n = xs.size();
+  if (n == 0) return m;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  if (sxx < 1e-30) {
+    m.slope = 0.0;
+    m.intercept = my;
+  } else {
+    m.slope = sxy / sxx;
+    m.intercept = my - m.slope * mx;
+  }
+  return m;
+}
+
+Result<LearnedIndex> LearnedIndex::Build(std::vector<int64_t> sorted_keys,
+                                         int64_t num_leaves) {
+  if (sorted_keys.empty()) {
+    return Status::InvalidArgument("no keys");
+  }
+  if (num_leaves <= 0) {
+    return Status::InvalidArgument("num_leaves must be positive");
+  }
+  for (size_t i = 1; i < sorted_keys.size(); ++i) {
+    if (sorted_keys[i] <= sorted_keys[i - 1]) {
+      return Status::InvalidArgument(
+          "keys must be strictly increasing (duplicate or unsorted at " +
+          std::to_string(i) + ")");
+    }
+  }
+  LearnedIndex index;
+  index.keys_ = std::move(sorted_keys);
+  const int64_t n = static_cast<int64_t>(index.keys_.size());
+
+  // Root: fit key -> leaf id over all keys (scaled positions).
+  {
+    std::vector<double> xs(static_cast<size_t>(n));
+    std::vector<double> ys(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      xs[static_cast<size_t>(i)] = static_cast<double>(index.keys_[i]);
+      ys[static_cast<size_t>(i)] =
+          static_cast<double>(i) * static_cast<double>(num_leaves) /
+          static_cast<double>(n);
+    }
+    index.root_ = LinearModel::Fit(xs, ys);
+  }
+
+  // Route every key through the root to its leaf, then fit leaf models.
+  index.leaves_.assign(static_cast<size_t>(num_leaves), {});
+  std::vector<std::vector<double>> leaf_xs(static_cast<size_t>(num_leaves));
+  std::vector<std::vector<double>> leaf_ys(static_cast<size_t>(num_leaves));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t leaf = index.LeafFor(index.keys_[i]);
+    leaf_xs[static_cast<size_t>(leaf)].push_back(
+        static_cast<double>(index.keys_[i]));
+    leaf_ys[static_cast<size_t>(leaf)].push_back(static_cast<double>(i));
+  }
+  for (int64_t l = 0; l < num_leaves; ++l) {
+    Leaf& leaf = index.leaves_[static_cast<size_t>(l)];
+    const auto& xs = leaf_xs[static_cast<size_t>(l)];
+    const auto& ys = leaf_ys[static_cast<size_t>(l)];
+    leaf.count = static_cast<int64_t>(xs.size());
+    if (xs.empty()) continue;
+    leaf.begin = static_cast<int64_t>(ys.front());
+    leaf.model = LinearModel::Fit(xs, ys);
+    // Exact residual bounds over this leaf's keys.
+    leaf.min_err = 0;
+    leaf.max_err = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const int64_t predicted =
+          static_cast<int64_t>(std::llround(leaf.model.Predict(xs[i])));
+      const int64_t err = static_cast<int64_t>(ys[i]) - predicted;
+      leaf.min_err = std::min(leaf.min_err, err);
+      leaf.max_err = std::max(leaf.max_err, err);
+    }
+  }
+  return index;
+}
+
+int64_t LearnedIndex::LeafFor(int64_t key) const {
+  int64_t leaf = static_cast<int64_t>(
+      root_.Predict(static_cast<double>(key)));
+  return std::clamp<int64_t>(leaf, 0,
+                             static_cast<int64_t>(leaves_.size()) - 1);
+}
+
+Result<int64_t> LearnedIndex::Find(int64_t key) const {
+  const Leaf& leaf = leaves_[static_cast<size_t>(LeafFor(key))];
+  const int64_t n = static_cast<int64_t>(keys_.size());
+  const int64_t predicted = static_cast<int64_t>(
+      std::llround(leaf.model.Predict(static_cast<double>(key))));
+  int64_t lo = std::clamp<int64_t>(predicted + leaf.min_err, 0, n - 1);
+  int64_t hi = std::clamp<int64_t>(predicted + leaf.max_err, 0, n - 1);
+  // Binary search within the certified window.
+  auto begin = keys_.begin() + lo;
+  auto end = keys_.begin() + hi + 1;
+  auto it = std::lower_bound(begin, end, key);
+  if (it != end && *it == key) {
+    return static_cast<int64_t>(it - keys_.begin());
+  }
+  return Status::NotFound("key " + std::to_string(key));
+}
+
+int64_t LearnedIndex::SearchWindow(int64_t key) const {
+  const Leaf& leaf = leaves_[static_cast<size_t>(LeafFor(key))];
+  return leaf.max_err - leaf.min_err + 1;
+}
+
+int64_t LearnedIndex::MemoryBytes() const {
+  // Root (2 doubles) + per leaf: model (2 doubles) + 2 int64 bounds.
+  return 16 + static_cast<int64_t>(leaves_.size()) * (16 + 16);
+}
+
+double LearnedIndex::MeanSearchWindow() const {
+  double total = 0.0;
+  int64_t keys = 0;
+  for (const auto& leaf : leaves_) {
+    total += static_cast<double>(leaf.max_err - leaf.min_err + 1) *
+             static_cast<double>(leaf.count);
+    keys += leaf.count;
+  }
+  return keys > 0 ? total / static_cast<double>(keys) : 0.0;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,78 @@
+#ifndef DLSYS_LEARNED_LEARNED_INDEX_H_
+#define DLSYS_LEARNED_LEARNED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+
+/// \file learned_index.h
+/// \brief A two-stage Recursive Model Index (tutorial Part 2, Kraska et
+/// al.'s "The Case for Learned Index Structures").
+///
+/// The index learns the cumulative distribution of sorted keys: a root
+/// linear model routes a key to one of S second-stage linear models, each
+/// predicting the key's array position; per-leaf error bounds make the
+/// final binary search provably correct. Its size is a few doubles per
+/// model — orders of magnitude below a B+-tree over the same keys.
+
+namespace dlsys {
+
+/// \brief Simple linear model y = slope * x + intercept fit by least
+/// squares.
+struct LinearModel {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double Predict(double x) const { return slope * x + intercept; }
+  /// \brief Least-squares fit; a single point (or equal xs) yields a
+  /// constant model.
+  static LinearModel Fit(const std::vector<double>& xs,
+                         const std::vector<double>& ys);
+};
+
+/// \brief The two-stage RMI over sorted int64 keys.
+class LearnedIndex {
+ public:
+  /// \brief Builds over \p sorted_keys (strictly increasing; checked)
+  /// with \p num_leaves second-stage models.
+  static Result<LearnedIndex> Build(std::vector<int64_t> sorted_keys,
+                                    int64_t num_leaves);
+
+  /// \brief Position of \p key in the key array; NotFound if absent.
+  /// Guaranteed correct: the search window covers the leaf's worst
+  /// residual seen at build time, so present keys are always found.
+  Result<int64_t> Find(int64_t key) const;
+
+  /// \brief The build-time search-window size for the key's leaf
+  /// (max_err - min_err + 1): the "last-mile" cost of the lookup.
+  int64_t SearchWindow(int64_t key) const;
+
+  /// \brief Model bytes: root + per-leaf (model + 2 error bounds).
+  int64_t MemoryBytes() const;
+
+  /// \brief Mean search window over all leaves, weighted by keys.
+  double MeanSearchWindow() const;
+
+  /// \brief Number of keys.
+  int64_t size() const { return static_cast<int64_t>(keys_.size()); }
+
+ private:
+  struct Leaf {
+    LinearModel model;
+    int64_t min_err = 0;  ///< most negative residual (true - predicted)
+    int64_t max_err = 0;  ///< most positive residual
+    int64_t begin = 0;    ///< first key index routed here (for stats)
+    int64_t count = 0;
+  };
+
+  int64_t LeafFor(int64_t key) const;
+
+  std::vector<int64_t> keys_;
+  LinearModel root_;
+  std::vector<Leaf> leaves_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_LEARNED_LEARNED_INDEX_H_

@@ -1,0 +1,220 @@
+#include "src/learned/semantic_compression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/layers.h"
+#include "src/nn/loss.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+
+namespace {
+// Normalized (zero-mean unit-std) copy of the table as an N x C tensor.
+Tensor NormalizeTable(const Table& t, std::vector<double>* means,
+                      std::vector<double>* stds) {
+  const int64_t rows = t.rows, cols = t.num_columns();
+  Tensor x({rows, cols});
+  means->assign(static_cast<size_t>(cols), 0.0);
+  stds->assign(static_cast<size_t>(cols), 1.0);
+  for (int64_t c = 0; c < cols; ++c) {
+    const auto& col = t.columns[static_cast<size_t>(c)];
+    double mean = 0.0;
+    for (double v : col) mean += v;
+    mean /= static_cast<double>(rows);
+    double var = 0.0;
+    for (double v : col) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(rows);
+    const double stddev = std::sqrt(std::max(var, 1e-12));
+    (*means)[static_cast<size_t>(c)] = mean;
+    (*stds)[static_cast<size_t>(c)] = stddev;
+    for (int64_t r = 0; r < rows; ++r) {
+      x[r * cols + c] = static_cast<float>(
+          (col[static_cast<size_t>(r)] - mean) / stddev);
+    }
+  }
+  return x;
+}
+}  // namespace
+
+Result<CompressedTable> CompressedTable::Compress(
+    const Table& t, const SemanticCompressionConfig& config) {
+  if (t.rows == 0 || t.num_columns() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  if (config.latent_dims <= 0 || config.latent_dims > t.num_columns()) {
+    return Status::InvalidArgument("latent_dims must be in [1, columns]");
+  }
+  if (config.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  CompressedTable out;
+  out.config_ = config;
+  out.rows_ = t.rows;
+  out.cols_ = t.num_columns();
+  Tensor x = NormalizeTable(t, &out.col_mean_, &out.col_std_);
+  const int64_t cols = out.cols_;
+
+  // Autoencoder: cols -> hidden -> latent -> hidden -> cols.
+  Sequential encoder;
+  encoder.Emplace<Dense>(cols, config.hidden)
+      .Emplace<Tanh>()
+      .Emplace<Dense>(config.hidden, config.latent_dims);
+  Sequential decoder;
+  decoder.Emplace<Dense>(config.latent_dims, config.hidden)
+      .Emplace<Tanh>()
+      .Emplace<Dense>(config.hidden, cols);
+  Rng rng(config.seed);
+  encoder.Init(&rng);
+  decoder.Init(&rng);
+  Adam enc_opt(config.lr);
+  Adam dec_opt(config.lr);
+
+  // Joint training: decoder(encoder(x)) ~ x.
+  const int64_t batch = 64;
+  Rng shuffle(config.seed + 1);
+  std::vector<int64_t> order(static_cast<size_t>(t.rows));
+  for (int64_t i = 0; i < t.rows; ++i) order[static_cast<size_t>(i)] = i;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle.Shuffle(&order);
+    for (int64_t b = 0; b < t.rows; b += batch) {
+      const int64_t end = std::min(b + batch, t.rows);
+      Tensor bx({end - b, cols});
+      for (int64_t i = b; i < end; ++i) {
+        const int64_t src = order[static_cast<size_t>(i)];
+        std::copy(x.data() + src * cols, x.data() + (src + 1) * cols,
+                  bx.data() + (i - b) * cols);
+      }
+      encoder.ZeroGrads();
+      decoder.ZeroGrads();
+      Tensor z = encoder.Forward(bx, CacheMode::kCache);
+      Tensor recon = decoder.Forward(z, CacheMode::kCache);
+      LossGrad lg = MeanSquaredError(recon, bx);
+      Tensor dz = decoder.Backward(lg.grad);
+      encoder.Backward(dz);
+      enc_opt.Step(encoder.Params(), encoder.Grads());
+      dec_opt.Step(decoder.Params(), decoder.Grads());
+    }
+  }
+
+  // Encode all rows; quantize latents per dimension.
+  Tensor z = encoder.Forward(x, CacheMode::kNoCache);
+  const int64_t ld = config.latent_dims;
+  const int64_t levels = (int64_t{1} << config.latent_bits) - 1;
+  out.latent_lo_.resize(static_cast<size_t>(ld));
+  out.latent_step_.resize(static_cast<size_t>(ld));
+  for (int64_t d = 0; d < ld; ++d) {
+    float lo = z[d], hi = z[d];
+    for (int64_t r = 0; r < t.rows; ++r) {
+      lo = std::min(lo, z[r * ld + d]);
+      hi = std::max(hi, z[r * ld + d]);
+    }
+    if (hi == lo) hi = lo + 1e-6f;
+    out.latent_lo_[static_cast<size_t>(d)] = lo;
+    out.latent_step_[static_cast<size_t>(d)] =
+        (hi - lo) / static_cast<float>(levels);
+  }
+  out.latent_codes_.resize(static_cast<size_t>(t.rows * ld));
+  Tensor zq({t.rows, ld});
+  for (int64_t r = 0; r < t.rows; ++r) {
+    for (int64_t d = 0; d < ld; ++d) {
+      const float lo = out.latent_lo_[static_cast<size_t>(d)];
+      const float step = out.latent_step_[static_cast<size_t>(d)];
+      int64_t code = static_cast<int64_t>(
+          std::lround((z[r * ld + d] - lo) / step));
+      code = std::clamp<int64_t>(code, 0, levels);
+      out.latent_codes_[static_cast<size_t>(r * ld + d)] =
+          static_cast<uint8_t>(code);
+      zq[r * ld + d] = lo + step * static_cast<float>(code);
+    }
+  }
+
+  // Decode from the quantized latents; store corrections for violations.
+  Tensor recon = decoder.Forward(zq, CacheMode::kNoCache);
+  for (int64_t r = 0; r < t.rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const float err = recon[r * cols + c] - x[r * cols + c];
+      if (std::abs(err) > static_cast<float>(config.epsilon)) {
+        out.corrections_.push_back({static_cast<int32_t>(r),
+                                    static_cast<int16_t>(c),
+                                    x[r * cols + c]});
+      }
+    }
+  }
+  out.decoder_ = std::move(decoder);
+  return out;
+}
+
+Table CompressedTable::Decompress() const {
+  const int64_t ld = config_.latent_dims;
+  Tensor zq({rows_, ld});
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t d = 0; d < ld; ++d) {
+      zq[r * ld + d] =
+          latent_lo_[static_cast<size_t>(d)] +
+          latent_step_[static_cast<size_t>(d)] *
+              static_cast<float>(
+                  latent_codes_[static_cast<size_t>(r * ld + d)]);
+    }
+  }
+  Tensor recon = decoder_.Forward(zq, CacheMode::kNoCache);
+  // Apply corrections (exact values).
+  for (const Correction& c : corrections_) {
+    recon[static_cast<int64_t>(c.row) * cols_ + c.col] = c.value;
+  }
+  Table t;
+  t.rows = rows_;
+  t.columns.assign(static_cast<size_t>(cols_),
+                   std::vector<double>(static_cast<size_t>(rows_)));
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      t.columns[static_cast<size_t>(c)][static_cast<size_t>(r)] =
+          static_cast<double>(recon[r * cols_ + c]) *
+              col_std_[static_cast<size_t>(c)] +
+          col_mean_[static_cast<size_t>(c)];
+    }
+  }
+  return t;
+}
+
+int64_t CompressedTable::CompressedBytes() const {
+  const int64_t latent_bytes =
+      (rows_ * config_.latent_dims * config_.latent_bits + 7) / 8;
+  const int64_t correction_bytes =
+      static_cast<int64_t>(corrections_.size()) * (4 + 2 + 4);
+  const int64_t model_bytes = decoder_.ModelBytes();
+  const int64_t stats_bytes =
+      static_cast<int64_t>(col_mean_.size()) * 16 +
+      static_cast<int64_t>(latent_lo_.size()) * 8;
+  return latent_bytes + correction_bytes + model_bytes + stats_bytes;
+}
+
+int64_t CompressedTable::OriginalBytes() const { return rows_ * cols_ * 8; }
+
+int64_t QuantizationBaselineBytes(const Table& t, double epsilon) {
+  // Per column: uniform quantization of the normalized values needs
+  // step <= 2*epsilon, i.e. ceil(log2(range / (2 eps) + 1)) bits.
+  int64_t total_bits = 0;
+  for (int64_t c = 0; c < t.num_columns(); ++c) {
+    const auto& col = t.columns[static_cast<size_t>(c)];
+    double mean = 0.0;
+    for (double v : col) mean += v;
+    mean /= static_cast<double>(t.rows);
+    double var = 0.0;
+    for (double v : col) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(t.rows);
+    const double stddev = std::sqrt(std::max(var, 1e-12));
+    const double lo = *std::min_element(col.begin(), col.end());
+    const double hi = *std::max_element(col.begin(), col.end());
+    const double norm_range = (hi - lo) / stddev;
+    const double levels = norm_range / (2.0 * epsilon) + 1.0;
+    const int64_t bits = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(std::log2(levels))));
+    total_bits += bits * t.rows;
+  }
+  // Plus per-column dequantization params.
+  return (total_bits + 7) / 8 + t.num_columns() * 16;
+}
+
+}  // namespace dlsys

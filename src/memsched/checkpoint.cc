@@ -1,0 +1,190 @@
+#include "src/memsched/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace dlsys {
+
+int64_t CheckpointPlan::PredictedPeakBytes(
+    const std::vector<LayerMemCost>& costs) const {
+  const int64_t n = static_cast<int64_t>(costs.size());
+  int64_t boundary_bytes = 0;
+  for (int64_t s : segment_starts) {
+    boundary_bytes += costs[static_cast<size_t>(s)].input_bytes;
+  }
+  int64_t max_segment = 0;
+  for (size_t j = 0; j < segment_starts.size(); ++j) {
+    const int64_t begin = segment_starts[j];
+    const int64_t end = j + 1 < segment_starts.size()
+                            ? segment_starts[j + 1]
+                            : n;
+    int64_t seg = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      seg += costs[static_cast<size_t>(i)].cached_bytes;
+    }
+    max_segment = std::max(max_segment, seg);
+  }
+  return boundary_bytes + max_segment;
+}
+
+int64_t CheckpointPlan::RecomputeFlops(
+    const std::vector<LayerMemCost>& costs) const {
+  // Every segment except the last reruns its forward during backward.
+  const int64_t n = static_cast<int64_t>(costs.size());
+  int64_t flops = 0;
+  for (size_t j = 0; j + 1 < segment_starts.size(); ++j) {
+    const int64_t begin = segment_starts[j];
+    const int64_t end = segment_starts[j + 1];
+    for (int64_t i = begin; i < end; ++i) {
+      flops += costs[static_cast<size_t>(i)].flops;
+    }
+  }
+  (void)n;
+  return flops;
+}
+
+std::vector<LayerMemCost> ProbeLayerCosts(Sequential* net, const Tensor& x) {
+  std::vector<LayerMemCost> costs(static_cast<size_t>(net->size()));
+  Tensor h = x;
+  for (int64_t i = 0; i < net->size(); ++i) {
+    LayerMemCost& c = costs[static_cast<size_t>(i)];
+    c.input_bytes = h.bytes();
+    c.flops = net->layer(i)->FlopsPerExample() * x.dim(0);
+    h = net->layer(i)->Forward(h, CacheMode::kCache);
+    c.cached_bytes = net->layer(i)->CachedBytes();
+  }
+  net->DropCaches();
+  return costs;
+}
+
+CheckpointPlan PlanNone(int64_t num_layers) {
+  // One segment spanning everything: CheckpointedStep special-cases a
+  // single segment by caching during the initial forward, so the
+  // baseline is truly recompute-free.
+  (void)num_layers;
+  CheckpointPlan plan;
+  plan.segment_starts.push_back(0);
+  return plan;
+}
+
+CheckpointPlan PlanSqrtN(int64_t num_layers) {
+  CheckpointPlan plan;
+  const int64_t k = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(std::sqrt(
+             static_cast<double>(num_layers)))));
+  const int64_t seg = (num_layers + k - 1) / k;
+  for (int64_t s = 0; s < num_layers; s += seg) {
+    plan.segment_starts.push_back(s);
+  }
+  return plan;
+}
+
+Result<CheckpointPlan> PlanForBudget(const std::vector<LayerMemCost>& costs,
+                                     int64_t memory_budget_bytes) {
+  const int64_t n = static_cast<int64_t>(costs.size());
+  if (n == 0) return Status::InvalidArgument("no layers");
+
+  // Candidate per-segment cache caps: every contiguous-run cache total.
+  std::set<int64_t> caps;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t run = 0;
+    for (int64_t j = i; j < n; ++j) {
+      run += costs[static_cast<size_t>(j)].cached_bytes;
+      caps.insert(run);
+    }
+  }
+
+  Result<CheckpointPlan> best = Status::ResourceExhausted(
+      "memory budget below the minimum achievable peak");
+  int64_t best_segments = n + 1;
+  for (int64_t cap : caps) {
+    // Greedy packing: start a new segment when the cache total would
+    // exceed the cap. Minimizes segment count for this cap.
+    CheckpointPlan plan;
+    plan.segment_starts.push_back(0);
+    int64_t seg = 0;
+    bool feasible = true;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = costs[static_cast<size_t>(i)].cached_bytes;
+      if (c > cap) {
+        feasible = false;
+        break;
+      }
+      if (seg + c > cap) {
+        plan.segment_starts.push_back(i);
+        seg = 0;
+      }
+      seg += c;
+    }
+    if (!feasible) continue;
+    if (plan.PredictedPeakBytes(costs) <= memory_budget_bytes &&
+        plan.NumSegments() < best_segments) {
+      best_segments = plan.NumSegments();
+      best = plan;
+    }
+  }
+  return best;
+}
+
+Result<double> CheckpointedStep(Sequential* net, Optimizer* opt,
+                                const Dataset& batch,
+                                const CheckpointPlan& plan) {
+  const int64_t n = net->size();
+  if (plan.segment_starts.empty() || plan.segment_starts[0] != 0) {
+    return Status::InvalidArgument("plan must start a segment at layer 0");
+  }
+  for (size_t j = 1; j < plan.segment_starts.size(); ++j) {
+    if (plan.segment_starts[j] <= plan.segment_starts[j - 1] ||
+        plan.segment_starts[j] >= n) {
+      return Status::InvalidArgument("segment starts must be increasing "
+                                     "and in range");
+    }
+  }
+  const int64_t k = plan.NumSegments();
+  net->ZeroGrads();
+
+  // Forward: keep only boundary inputs. A single segment degenerates to
+  // plain cached training (no recompute).
+  const bool plain = (k == 1);
+  std::vector<Tensor> boundary_inputs(static_cast<size_t>(k));
+  Tensor h = batch.x;
+  int64_t seg = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (seg < k && plan.segment_starts[static_cast<size_t>(seg)] == i) {
+      boundary_inputs[static_cast<size_t>(seg)] = h;
+      ++seg;
+    }
+    h = net->layer(i)->Forward(
+        h, plain ? CacheMode::kCache : CacheMode::kNoCache);
+  }
+
+  LossGrad lg = SoftmaxCrossEntropy(h, batch.y);
+  Tensor grad = std::move(lg.grad);
+
+  // Backward over segments in reverse; recompute each segment's cached
+  // forward first (skip recompute when plain).
+  for (int64_t j = k - 1; j >= 0; --j) {
+    const int64_t begin = plan.segment_starts[static_cast<size_t>(j)];
+    const int64_t end =
+        j + 1 < k ? plan.segment_starts[static_cast<size_t>(j + 1)] : n;
+    if (!plain) {
+      Tensor r = boundary_inputs[static_cast<size_t>(j)];
+      for (int64_t i = begin; i < end; ++i) {
+        r = net->layer(i)->Forward(r, CacheMode::kCache);
+      }
+    }
+    for (int64_t i = end - 1; i >= begin; --i) {
+      grad = net->layer(i)->Backward(grad);
+    }
+    for (int64_t i = begin; i < end; ++i) {
+      net->layer(i)->DropCache();
+    }
+    boundary_inputs[static_cast<size_t>(j)].Clear();
+  }
+
+  opt->Step(net->Params(), net->Grads());
+  return lg.loss;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,85 @@
+#ifndef DLSYS_MEMSCHED_CHECKPOINT_H_
+#define DLSYS_MEMSCHED_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/nn/loss.h"
+#include "src/nn/sequential.h"
+#include "src/optim/optimizer.h"
+
+/// \file checkpoint.h
+/// \brief Activation checkpointing (tutorial Section 2.3: Chen et al.'s
+/// sublinear-memory training, generalized Checkmate-style planning).
+///
+/// Instead of caching every layer's activations for backward, the network
+/// is cut into segments; only segment-boundary inputs are stored during
+/// forward, and each segment's internal activations are *recomputed* (one
+/// extra forward over that segment) when backward reaches it. Memory
+/// falls from sum-of-all-activations to boundary-inputs + one segment's
+/// activations, at the price of up to one extra forward pass.
+
+namespace dlsys {
+
+/// \brief Per-layer costs gathered by probing one cached forward pass.
+struct LayerMemCost {
+  int64_t cached_bytes = 0;  ///< backward-cache bytes of this layer
+  int64_t input_bytes = 0;   ///< bytes of this layer's input activation
+  int64_t flops = 0;         ///< forward FLOPs (recompute cost proxy)
+};
+
+/// \brief A segmentation of the layer pipeline.
+///
+/// segment_starts is strictly increasing and begins with 0; segment j
+/// spans [segment_starts[j], segment_starts[j+1]).
+struct CheckpointPlan {
+  std::vector<int64_t> segment_starts;
+
+  /// \brief Number of segments.
+  int64_t NumSegments() const {
+    return static_cast<int64_t>(segment_starts.size());
+  }
+  /// \brief Predicted peak of (boundary inputs + largest segment cache).
+  int64_t PredictedPeakBytes(const std::vector<LayerMemCost>& costs) const;
+  /// \brief FLOPs recomputed during backward (all but the last segment
+  /// rerun their forward).
+  int64_t RecomputeFlops(const std::vector<LayerMemCost>& costs) const;
+};
+
+/// \brief Probes \p net with batch \p x to measure per-layer costs.
+/// Leaves no caches behind.
+std::vector<LayerMemCost> ProbeLayerCosts(Sequential* net, const Tensor& x);
+
+/// \brief Plain training: one segment per layer — caches everything,
+/// recomputes nothing (the no-checkpoint baseline).
+CheckpointPlan PlanNone(int64_t num_layers);
+
+/// \brief Equidistant checkpoints: ceil(sqrt(L)) segments of near-equal
+/// length (Chen et al.'s sqrt(n) scheme).
+CheckpointPlan PlanSqrtN(int64_t num_layers);
+
+/// \brief Budget-constrained plan: the fewest segments (least recompute)
+/// whose predicted peak fits \p memory_budget_bytes, found by sweeping
+/// the per-segment cache cap and greedily packing (optimal for the
+/// fewest-segments objective at each cap).
+///
+/// Returns ResourceExhausted if even per-layer segmentation exceeds the
+/// budget.
+Result<CheckpointPlan> PlanForBudget(const std::vector<LayerMemCost>& costs,
+                                     int64_t memory_budget_bytes);
+
+/// \brief One training step with checkpointed backward.
+///
+/// Runs forward storing only segment-boundary inputs, then walks segments
+/// in reverse, recomputing each segment's cached forward before
+/// backpropagating through it. Gradients and the optimizer step are
+/// identical (bit-for-bit) to plain training. Returns the loss.
+Result<double> CheckpointedStep(Sequential* net, Optimizer* opt,
+                                const Dataset& batch,
+                                const CheckpointPlan& plan);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_MEMSCHED_CHECKPOINT_H_

@@ -1,0 +1,64 @@
+#include "src/memsched/offload.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dlsys {
+
+OffloadEstimate EstimateOffload(const std::vector<LayerMemCost>& costs,
+                                const std::vector<bool>& offloaded,
+                                const SlowTier& tier,
+                                double compute_seconds) {
+  DLSYS_CHECK(costs.size() == offloaded.size(),
+              "costs/offloaded size mismatch");
+  OffloadEstimate out;
+  int64_t resident = 0;
+  int64_t largest_offloaded = 0;
+  int64_t offloaded_bytes = 0;
+  int64_t transfers = 0;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    if (offloaded[i]) {
+      offloaded_bytes += costs[i].cached_bytes;
+      largest_offloaded = std::max(largest_offloaded, costs[i].cached_bytes);
+      transfers += 2;  // out (forward) and back (backward)
+    } else {
+      resident += costs[i].cached_bytes;
+    }
+  }
+  out.device_peak_bytes = resident + largest_offloaded;
+  out.transferred_bytes = 2 * offloaded_bytes;
+  out.transfer_seconds =
+      static_cast<double>(out.transferred_bytes) / tier.bandwidth_bytes_per_s +
+      static_cast<double>(transfers) * tier.latency_seconds;
+  out.overhead_seconds = std::max(0.0, out.transfer_seconds - compute_seconds);
+  return out;
+}
+
+Result<std::vector<bool>> ChooseOffloadSet(
+    const std::vector<LayerMemCost>& costs, int64_t device_budget_bytes) {
+  const size_t n = costs.size();
+  std::vector<bool> offloaded(n, false);
+  // Order layers by cache size descending.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return costs[a].cached_bytes > costs[b].cached_bytes;
+  });
+  int64_t resident = 0;
+  for (const auto& c : costs) resident += c.cached_bytes;
+  int64_t largest_offloaded = 0;
+  for (size_t idx : order) {
+    if (resident + largest_offloaded <= device_budget_bytes) break;
+    offloaded[idx] = true;
+    resident -= costs[idx].cached_bytes;
+    largest_offloaded = std::max(largest_offloaded, costs[idx].cached_bytes);
+  }
+  if (resident + largest_offloaded > device_budget_bytes) {
+    return Status::ResourceExhausted(
+        "even full offloading cannot fit the device budget (staging "
+        "buffer floor)");
+  }
+  return offloaded;
+}
+
+}  // namespace dlsys

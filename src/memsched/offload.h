@@ -1,0 +1,58 @@
+#ifndef DLSYS_MEMSCHED_OFFLOAD_H_
+#define DLSYS_MEMSCHED_OFFLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/memsched/checkpoint.h"
+
+/// \file offload.h
+/// \brief Activation offloading to a slower memory tier (tutorial
+/// Section 2.3, vDNN-style).
+///
+/// Substitution note (DESIGN.md): we model the GPU-to-host transfer with
+/// a bandwidth cost model over the byte-accurate per-layer cache sizes
+/// measured by ProbeLayerCosts. Offloading is a pure
+/// capacity-for-transfer-time trade; the model computes both sides
+/// exactly for any offload set.
+
+namespace dlsys {
+
+/// \brief The slower tier activations can be parked in.
+struct SlowTier {
+  double bandwidth_bytes_per_s = 12e9;  ///< e.g. PCIe 3.0 x16
+  double latency_seconds = 5e-6;        ///< per-transfer setup
+};
+
+/// \brief Predicted effect of offloading a set of layers' caches.
+struct OffloadEstimate {
+  int64_t device_peak_bytes = 0;   ///< resident caches + staging buffer
+  int64_t transferred_bytes = 0;   ///< out during forward + back during bwd
+  double transfer_seconds = 0.0;   ///< total transfer time (no overlap)
+  double overhead_seconds = 0.0;   ///< extra wall-clock after overlapping
+                                   ///< transfers with compute
+};
+
+/// \brief Evaluates offloading the caches of \p offloaded layers.
+///
+/// \p compute_seconds is the measured compute time of one training step,
+/// used for the overlap estimate: overhead = max(0, transfer - compute).
+/// Device peak counts every resident (non-offloaded) cache plus a staging
+/// buffer the size of the largest offloaded cache (the transfer must pass
+/// through device memory).
+OffloadEstimate EstimateOffload(const std::vector<LayerMemCost>& costs,
+                                const std::vector<bool>& offloaded,
+                                const SlowTier& tier,
+                                double compute_seconds);
+
+/// \brief Chooses which layer caches to offload to fit
+/// \p device_budget_bytes: largest caches first (they buy the most
+/// capacity per transfer). Returns ResourceExhausted when even full
+/// offloading cannot fit (the staging buffer floor).
+Result<std::vector<bool>> ChooseOffloadSet(
+    const std::vector<LayerMemCost>& costs, int64_t device_budget_bytes);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_MEMSCHED_OFFLOAD_H_

@@ -1,0 +1,80 @@
+#include "src/nlq/query_language.h"
+
+#include "src/core/status.h"
+
+namespace dlsys {
+
+namespace {
+constexpr int32_t kBelow = 4;
+constexpr int32_t kAbove = 5;
+constexpr int32_t kShow = 6;
+constexpr int32_t kRows = 7;
+constexpr int32_t kWhere = 8;
+constexpr int32_t kPlease = 9;
+constexpr int32_t kThe = 10;
+constexpr int32_t kPad = 11;
+constexpr int64_t kSeqLen = 9;
+
+const char* kTokenNames[kNlqVocabSize] = {
+    "c0", "c1", "c2", "c3", "below", "above", "show", "rows", "where",
+    "please", "the", "<pad>"};
+}  // namespace
+
+SequenceDataset MakeNlqData(int64_t n, Rng* rng) {
+  DLSYS_CHECK(n > 0, "need at least one sentence");
+  SequenceDataset out;
+  out.seq_len = kSeqLen;
+  out.tokens.reserve(static_cast<size_t>(n * kSeqLen));
+  out.labels.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t left = static_cast<int32_t>(rng->Index(kNlqNumColumns));
+    int32_t right = static_cast<int32_t>(rng->Index(kNlqNumColumns));
+    if (right == left) right = (right + 1) % kNlqNumColumns;
+    const bool above = rng->Bernoulli(0.5);
+    std::vector<int32_t> sentence;
+    // Optional preamble variants keep lengths/padding varied.
+    if (rng->Bernoulli(0.7)) sentence.push_back(kShow);
+    if (rng->Bernoulli(0.7)) sentence.push_back(kRows);
+    sentence.push_back(kWhere);
+    if (rng->Bernoulli(0.3)) sentence.push_back(kThe);
+    sentence.push_back(left);
+    sentence.push_back(above ? kAbove : kBelow);
+    if (rng->Bernoulli(0.3)) sentence.push_back(kThe);
+    sentence.push_back(right);
+    if (rng->Bernoulli(0.4)) sentence.push_back(kPlease);
+    while (static_cast<int64_t>(sentence.size()) < kSeqLen) {
+      sentence.push_back(kPad);
+    }
+    out.tokens.insert(out.tokens.end(), sentence.begin(),
+                      sentence.begin() + kSeqLen);
+    out.labels.push_back(static_cast<int64_t>(left) * kNlqNumOps +
+                         (above ? 1 : 0));
+  }
+  return out;
+}
+
+std::string NlqToString(const SequenceDataset& data, int64_t index) {
+  std::string out;
+  for (int64_t t = 0; t < data.seq_len; ++t) {
+    const int32_t token =
+        data.tokens[static_cast<size_t>(index * data.seq_len + t)];
+    if (token == kPad) continue;
+    if (!out.empty()) out += " ";
+    out += kTokenNames[token];
+  }
+  return out;
+}
+
+Tensor NlqBagOfWords(const SequenceDataset& data) {
+  const int64_t n = data.size();
+  Tensor bow({n, kNlqVocabSize});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t t = 0; t < data.seq_len; ++t) {
+      bow[i * kNlqVocabSize +
+          data.tokens[static_cast<size_t>(i * data.seq_len + t)]] += 1.0f;
+    }
+  }
+  return bow;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,46 @@
+#ifndef DLSYS_NLQ_QUERY_LANGUAGE_H_
+#define DLSYS_NLQ_QUERY_LANGUAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/nlq/rnn.h"
+
+/// \file query_language.h
+/// \brief A micro natural-language-to-predicate task (tutorial Part 2:
+/// natural language querying of databases).
+///
+/// Sentences like "show rows where c2 below c0 please" must be mapped to
+/// the predicate (left column, comparator). Crucially the label depends
+/// on WORD ORDER — "c2 below c0" and "c0 below c2" contain the same
+/// bag of tokens with opposite meanings — so order-aware models (RNNs)
+/// can solve it and bag-of-words baselines provably cannot exceed
+/// chance on the column slot.
+
+namespace dlsys {
+
+/// \brief The fixed micro-language vocabulary.
+/// Tokens: 0..3 column names c0..c3; 4 "below"; 5 "above"; 6 "show";
+/// 7 "rows"; 8 "where"; 9 "please"; 10 "the"; 11 <pad>.
+inline constexpr int64_t kNlqVocabSize = 12;
+inline constexpr int64_t kNlqNumColumns = 4;
+inline constexpr int64_t kNlqNumOps = 2;
+/// Labels: left_column * kNlqNumOps + (0 = below, 1 = above).
+inline constexpr int64_t kNlqNumClasses = kNlqNumColumns * kNlqNumOps;
+
+/// \brief Generates \p n sentences with random filler, padded to a
+/// fixed length, labeled with (left column, comparator).
+SequenceDataset MakeNlqData(int64_t n, Rng* rng);
+
+/// \brief Renders a sequence back to text (debugging aid).
+std::string NlqToString(const SequenceDataset& data, int64_t index);
+
+/// \brief Bag-of-words representation: token-count vectors (n x vocab),
+/// the baseline featurization that discards order.
+Tensor NlqBagOfWords(const SequenceDataset& data);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_NLQ_QUERY_LANGUAGE_H_

@@ -1,0 +1,226 @@
+#include "src/nlq/rnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/loss.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+RnnClassifier::RnnClassifier(int64_t vocab, int64_t embed_dim,
+                             int64_t hidden, int64_t classes)
+    : vocab_(vocab),
+      embed_(embed_dim),
+      hidden_(hidden),
+      classes_(classes),
+      e_({vocab, embed_dim}),
+      wx_({embed_dim, hidden}),
+      wh_({hidden, hidden}),
+      bh_({hidden}),
+      wo_({hidden, classes}),
+      bo_({classes}),
+      de_({vocab, embed_dim}),
+      dwx_({embed_dim, hidden}),
+      dwh_({hidden, hidden}),
+      dbh_({hidden}),
+      dwo_({hidden, classes}),
+      dbo_({classes}) {
+  DLSYS_CHECK(vocab > 0 && embed_dim > 0 && hidden > 0 && classes > 1,
+              "invalid RNN dimensions");
+}
+
+void RnnClassifier::Init(Rng* rng) {
+  e_.FillGaussian(rng, 0.3f);
+  const float bx = std::sqrt(6.0f / static_cast<float>(embed_));
+  wx_.FillUniform(rng, -bx, bx);
+  // Orthogonal-ish small recurrent init keeps gradients stable.
+  const float bm = std::sqrt(3.0f / static_cast<float>(hidden_));
+  wh_.FillUniform(rng, -bm, bm);
+  bh_.Fill(0.0f);
+  const float bo = std::sqrt(6.0f / static_cast<float>(hidden_));
+  wo_.FillUniform(rng, -bo, bo);
+  bo_.Fill(0.0f);
+}
+
+std::vector<Tensor*> RnnClassifier::Params() {
+  return {&e_, &wx_, &wh_, &bh_, &wo_, &bo_};
+}
+
+std::vector<Tensor*> RnnClassifier::Grads() {
+  return {&de_, &dwx_, &dwh_, &dbh_, &dwo_, &dbo_};
+}
+
+int64_t RnnClassifier::NumParams() const {
+  return e_.size() + wx_.size() + wh_.size() + bh_.size() + wo_.size() +
+         bo_.size();
+}
+
+Tensor RnnClassifier::ForwardStoring(const SequenceDataset& batch,
+                                     std::vector<float>* hs) const {
+  const int64_t n = batch.size();
+  const int64_t t_len = batch.seq_len;
+  DLSYS_CHECK(n > 0, "empty batch");
+  if (hs != nullptr) {
+    hs->assign(static_cast<size_t>(n * (t_len + 1) * hidden_), 0.0f);
+  }
+  std::vector<float> h(static_cast<size_t>(n * hidden_), 0.0f);
+  std::vector<float> next(static_cast<size_t>(n * hidden_), 0.0f);
+  for (int64_t t = 0; t < t_len; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      const int32_t token = batch.tokens[static_cast<size_t>(
+          i * t_len + t)];
+      DLSYS_CHECK(token >= 0 && token < vocab_, "token id out of range");
+      for (int64_t u = 0; u < hidden_; ++u) {
+        double a = bh_[u];
+        for (int64_t d = 0; d < embed_; ++d) {
+          a += e_[token * embed_ + d] * wx_[d * hidden_ + u];
+        }
+        for (int64_t v = 0; v < hidden_; ++v) {
+          a += h[static_cast<size_t>(i * hidden_ + v)] *
+               wh_[v * hidden_ + u];
+        }
+        next[static_cast<size_t>(i * hidden_ + u)] =
+            std::tanh(static_cast<float>(a));
+      }
+    }
+    std::swap(h, next);
+    if (hs != nullptr) {
+      std::copy(h.begin(), h.end(),
+                hs->begin() + static_cast<int64_t>((t + 1)) * n * hidden_);
+    }
+  }
+  Tensor logits({n, classes_});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < classes_; ++c) {
+      double a = bo_[c];
+      for (int64_t u = 0; u < hidden_; ++u) {
+        a += h[static_cast<size_t>(i * hidden_ + u)] *
+             wo_[u * classes_ + c];
+      }
+      logits[i * classes_ + c] = static_cast<float>(a);
+    }
+  }
+  return logits;
+}
+
+Tensor RnnClassifier::Forward(const SequenceDataset& batch) const {
+  return ForwardStoring(batch, nullptr);
+}
+
+double RnnClassifier::TrainStep(const SequenceDataset& batch, double lr) {
+  const int64_t n = batch.size();
+  const int64_t t_len = batch.seq_len;
+  for (Tensor* g : Grads()) g->Fill(0.0f);
+  std::vector<float> hs;
+  Tensor logits = ForwardStoring(batch, &hs);
+  LossGrad lg = SoftmaxCrossEntropy(logits, batch.labels);
+
+  // Output head gradients and the gradient flowing into h_T.
+  std::vector<float> dh(static_cast<size_t>(n * hidden_), 0.0f);
+  auto h_at = [&](int64_t t, int64_t i, int64_t u) -> float {
+    return hs[static_cast<size_t>(t * n * hidden_ + i * hidden_ + u)];
+  };
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < classes_; ++c) {
+      const float g = lg.grad[i * classes_ + c];
+      dbo_[c] += g;
+      for (int64_t u = 0; u < hidden_; ++u) {
+        dwo_[u * classes_ + c] += h_at(t_len, i, u) * g;
+        dh[static_cast<size_t>(i * hidden_ + u)] +=
+            g * wo_[u * classes_ + c];
+      }
+    }
+  }
+  // BPTT.
+  std::vector<float> dh_prev(static_cast<size_t>(n * hidden_), 0.0f);
+  for (int64_t t = t_len - 1; t >= 0; --t) {
+    std::fill(dh_prev.begin(), dh_prev.end(), 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      const int32_t token =
+          batch.tokens[static_cast<size_t>(i * t_len + t)];
+      for (int64_t u = 0; u < hidden_; ++u) {
+        const float hv = h_at(t + 1, i, u);
+        const float da =
+            dh[static_cast<size_t>(i * hidden_ + u)] * (1.0f - hv * hv);
+        if (da == 0.0f) continue;
+        dbh_[u] += da;
+        for (int64_t d = 0; d < embed_; ++d) {
+          dwx_[d * hidden_ + u] += e_[token * embed_ + d] * da;
+          de_[token * embed_ + d] += wx_[d * hidden_ + u] * da;
+        }
+        for (int64_t v = 0; v < hidden_; ++v) {
+          dwh_[v * hidden_ + u] += h_at(t, i, v) * da;
+          dh_prev[static_cast<size_t>(i * hidden_ + v)] +=
+              wh_[v * hidden_ + u] * da;
+        }
+      }
+    }
+    std::swap(dh, dh_prev);
+  }
+  // SGD step with gradient clipping (BPTT can spike).
+  const auto params = Params();
+  const auto grads = Grads();
+  double norm_sq = 0.0;
+  for (Tensor* g : grads) {
+    for (int64_t i = 0; i < g->size(); ++i) {
+      norm_sq += static_cast<double>((*g)[i]) * (*g)[i];
+    }
+  }
+  const double clip = 5.0;
+  const double scale =
+      norm_sq > clip * clip ? clip / std::sqrt(norm_sq) : 1.0;
+  for (size_t p = 0; p < params.size(); ++p) {
+    Tensor& param = *params[p];
+    const Tensor& g = *grads[p];
+    for (int64_t i = 0; i < param.size(); ++i) {
+      param[i] -= static_cast<float>(lr * scale) * g[i];
+    }
+  }
+  return lg.loss;
+}
+
+double RnnClassifier::Accuracy(const SequenceDataset& data) const {
+  if (data.size() == 0) return 0.0;
+  Tensor logits = Forward(data);
+  std::vector<int64_t> pred = ArgMaxRows(logits);
+  int64_t hits = 0;
+  for (size_t i = 0; i < data.labels.size(); ++i) {
+    if (pred[i] == data.labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+MetricsReport RnnClassifier::Train(const SequenceDataset& data,
+                                   int64_t epochs, int64_t batch_size,
+                                   double lr, uint64_t seed) {
+  MetricsReport report;
+  Stopwatch watch;
+  Rng rng(seed);
+  const int64_t n = data.size();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  double last_loss = 0.0;
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (int64_t b = 0; b < n; b += batch_size) {
+      const int64_t end = std::min(b + batch_size, n);
+      SequenceDataset batch;
+      batch.seq_len = data.seq_len;
+      for (int64_t i = b; i < end; ++i) {
+        const int64_t src = order[static_cast<size_t>(i)];
+        batch.tokens.insert(
+            batch.tokens.end(),
+            data.tokens.begin() + src * data.seq_len,
+            data.tokens.begin() + (src + 1) * data.seq_len);
+        batch.labels.push_back(data.labels[static_cast<size_t>(src)]);
+      }
+      last_loss = TrainStep(batch, lr);
+    }
+  }
+  report.Set(metric::kTrainSeconds, watch.Seconds());
+  report.Set(metric::kLoss, last_loss);
+  return report;
+}
+
+}  // namespace dlsys

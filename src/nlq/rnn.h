@@ -1,0 +1,88 @@
+#ifndef DLSYS_NLQ_RNN_H_
+#define DLSYS_NLQ_RNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/tensor/tensor.h"
+
+/// \file rnn.h
+/// \brief An Elman recurrent classifier over token sequences with full
+/// backpropagation through time (tutorial Part 2: "recurrent neural
+/// networks are also used to enable natural language querying of
+/// databases").
+///
+/// Self-contained (embedding table + recurrent cell + output head)
+/// because sequences don't fit the batch-tensor Layer interface; the
+/// BPTT gradients are finite-difference-tested like every other module.
+
+namespace dlsys {
+
+/// \brief A batch of fixed-length token sequences with labels.
+struct SequenceDataset {
+  std::vector<int32_t> tokens;   ///< n * seq_len token ids, row-major
+  std::vector<int64_t> labels;   ///< n labels
+  int64_t seq_len = 0;
+
+  int64_t size() const {
+    return seq_len == 0
+               ? 0
+               : static_cast<int64_t>(tokens.size()) / seq_len;
+  }
+};
+
+/// \brief Elman RNN: h_t = tanh(E[x_t] Wx + h_{t-1} Wh + b),
+/// logits = h_T Wo + bo.
+class RnnClassifier {
+ public:
+  RnnClassifier(int64_t vocab, int64_t embed_dim, int64_t hidden,
+                int64_t classes);
+
+  /// \brief Initializes all parameters.
+  void Init(Rng* rng);
+
+  /// \brief Logits (n x classes) for a batch of sequences.
+  Tensor Forward(const SequenceDataset& batch) const;
+
+  /// \brief One SGD step on a batch (cross-entropy via BPTT);
+  /// returns the loss.
+  double TrainStep(const SequenceDataset& batch, double lr);
+
+  /// \brief Accuracy over a dataset.
+  double Accuracy(const SequenceDataset& data) const;
+
+  /// \brief Trains for \p epochs with shuffled mini-batches.
+  MetricsReport Train(const SequenceDataset& data, int64_t epochs,
+                      int64_t batch_size, double lr, uint64_t seed);
+
+  /// \brief Total parameter count.
+  int64_t NumParams() const;
+
+  /// \brief Gradient of the mean cross-entropy w.r.t. a single
+  /// parameter coordinate, by index into the flattened parameter vector
+  /// (exposed so tests can finite-difference the BPTT gradients).
+  std::vector<Tensor*> Params();
+  std::vector<Tensor*> Grads();
+
+ private:
+  // Runs the forward pass storing per-step hidden states into \p hs
+  // (n x (T+1) x hidden, step 0 = zeros); returns logits.
+  Tensor ForwardStoring(const SequenceDataset& batch,
+                        std::vector<float>* hs) const;
+
+  int64_t vocab_, embed_, hidden_, classes_;
+  Tensor e_;   ///< (vocab, embed)
+  Tensor wx_;  ///< (embed, hidden)
+  Tensor wh_;  ///< (hidden, hidden)
+  Tensor bh_;  ///< (hidden)
+  Tensor wo_;  ///< (hidden, classes)
+  Tensor bo_;  ///< (classes)
+  Tensor de_, dwx_, dwh_, dbh_, dwo_, dbo_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_NLQ_RNN_H_

@@ -1,0 +1,202 @@
+#include "src/nn/conv.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dlsys {
+
+Conv2D::Conv2D(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t pad)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      w_({out_channels, in_channels, kernel, kernel}),
+      b_({out_channels}),
+      dw_({out_channels, in_channels, kernel, kernel}),
+      db_({out_channels}) {
+  DLSYS_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+              "Conv2D config must be positive");
+  DLSYS_CHECK(pad >= 0, "Conv2D pad must be non-negative");
+}
+
+std::string Conv2D::name() const {
+  return "conv2d(" + std::to_string(in_ch_) + "->" + std::to_string(out_ch_) +
+         ", k=" + std::to_string(kernel_) + ", s=" + std::to_string(stride_) +
+         ", p=" + std::to_string(pad_) + ")";
+}
+
+void Conv2D::Init(Rng* rng) {
+  const float fan_in = static_cast<float>(in_ch_ * kernel_ * kernel_);
+  const float bound = std::sqrt(6.0f / fan_in);
+  w_.FillUniform(rng, -bound, bound);
+  b_.Fill(0.0f);
+}
+
+Tensor Conv2D::Forward(const Tensor& x, CacheMode mode) {
+  DLSYS_CHECK(x.rank() == 4 && x.dim(1) == in_ch_,
+              "Conv2D input must be [N, in_ch, H, W]");
+  const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int64_t ho = OutExtent(h), wo = OutExtent(w);
+  DLSYS_CHECK(ho > 0 && wo > 0, "Conv2D output extent must be positive");
+  last_h_ = h;
+  last_w_ = w;
+  Tensor y({n, out_ch_, ho, wo});
+  const float* px = x.data();
+  const float* pw = w_.data();
+  float* py = y.data();
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t oc = 0; oc < out_ch_; ++oc) {
+      for (int64_t oy = 0; oy < ho; ++oy) {
+        for (int64_t ox = 0; ox < wo; ++ox) {
+          double acc = b_[oc];
+          const int64_t iy0 = oy * stride_ - pad_;
+          const int64_t ix0 = ox * stride_ - pad_;
+          for (int64_t ic = 0; ic < in_ch_; ++ic) {
+            for (int64_t ky = 0; ky < kernel_; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kernel_; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += px[((img * in_ch_ + ic) * h + iy) * w + ix] *
+                       pw[((oc * in_ch_ + ic) * kernel_ + ky) * kernel_ + kx];
+              }
+            }
+          }
+          py[((img * out_ch_ + oc) * ho + oy) * wo + ox] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  if (mode == CacheMode::kCache) {
+    x_cache_ = x;
+  } else {
+    x_cache_.Clear();
+  }
+  return y;
+}
+
+Tensor Conv2D::Backward(const Tensor& grad_output) {
+  DLSYS_CHECK(!x_cache_.empty(), "Conv2D::Backward without cached forward");
+  const Tensor& x = x_cache_;
+  const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int64_t ho = grad_output.dim(2), wo = grad_output.dim(3);
+  Tensor dx(x.shape());
+  const float* px = x.data();
+  const float* pg = grad_output.data();
+  const float* pw = w_.data();
+  float* pdx = dx.data();
+  float* pdw = dw_.data();
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t oc = 0; oc < out_ch_; ++oc) {
+      for (int64_t oy = 0; oy < ho; ++oy) {
+        for (int64_t ox = 0; ox < wo; ++ox) {
+          const float g = pg[((img * out_ch_ + oc) * ho + oy) * wo + ox];
+          if (g == 0.0f) continue;
+          db_[oc] += g;
+          const int64_t iy0 = oy * stride_ - pad_;
+          const int64_t ix0 = ox * stride_ - pad_;
+          for (int64_t ic = 0; ic < in_ch_; ++ic) {
+            for (int64_t ky = 0; ky < kernel_; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kernel_; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                const int64_t xi = ((img * in_ch_ + ic) * h + iy) * w + ix;
+                const int64_t wi =
+                    ((oc * in_ch_ + ic) * kernel_ + ky) * kernel_ + kx;
+                pdw[wi] += g * px[xi];
+                pdx[xi] += g * pw[wi];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+int64_t Conv2D::FlopsPerExample() const {
+  // 2 * out_positions * per-position multiply-adds; uses the extents of
+  // the most recent forward (0 before any forward).
+  if (last_h_ == 0) return 0;
+  const int64_t ho = OutExtent(last_h_), wo = OutExtent(last_w_);
+  return 2 * out_ch_ * ho * wo * in_ch_ * kernel_ * kernel_;
+}
+
+std::unique_ptr<Layer> Conv2D::Clone() const {
+  auto copy = std::make_unique<Conv2D>(in_ch_, out_ch_, kernel_, stride_, pad_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+// ------------------------------------------------------------ MaxPool2D
+
+MaxPool2D::MaxPool2D(int64_t window) : window_(window) {
+  DLSYS_CHECK(window > 0, "MaxPool2D window must be positive");
+}
+
+std::string MaxPool2D::name() const {
+  return "maxpool2d(" + std::to_string(window_) + ")";
+}
+
+Tensor MaxPool2D::Forward(const Tensor& x, CacheMode mode) {
+  DLSYS_CHECK(x.rank() == 4, "MaxPool2D input must be [N, C, H, W]");
+  const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t ho = h / window_, wo = w / window_;
+  DLSYS_CHECK(ho > 0 && wo > 0, "MaxPool2D window larger than input");
+  Tensor y({n, c, ho, wo});
+  std::vector<int64_t> argmax(static_cast<size_t>(n * c * ho * wo));
+  const float* px = x.data();
+  float* py = y.data();
+  int64_t oi = 0;
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t oy = 0; oy < ho; ++oy) {
+        for (int64_t ox = 0; ox < wo; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = -1;
+          for (int64_t ky = 0; ky < window_; ++ky) {
+            for (int64_t kx = 0; kx < window_; ++kx) {
+              const int64_t iy = oy * window_ + ky;
+              const int64_t ix = ox * window_ + kx;
+              const int64_t xi = ((img * c + ch) * h + iy) * w + ix;
+              if (px[xi] > best) {
+                best = px[xi];
+                best_idx = xi;
+              }
+            }
+          }
+          py[oi] = best;
+          argmax[static_cast<size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  if (mode == CacheMode::kCache) {
+    in_shape_ = x.shape();
+    argmax_ = std::move(argmax);
+  } else {
+    DropCache();
+  }
+  return y;
+}
+
+Tensor MaxPool2D::Backward(const Tensor& grad_output) {
+  DLSYS_CHECK(!argmax_.empty(), "MaxPool2D::Backward without cached forward");
+  Tensor dx(in_shape_);
+  const float* pg = grad_output.data();
+  float* pdx = dx.data();
+  for (int64_t i = 0; i < grad_output.size(); ++i) {
+    pdx[argmax_[static_cast<size_t>(i)]] += pg[i];
+  }
+  return dx;
+}
+
+}  // namespace dlsys

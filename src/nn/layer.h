@@ -1,0 +1,84 @@
+#ifndef DLSYS_NN_LAYER_H_
+#define DLSYS_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/tensor/tensor.h"
+
+/// \file layer.h
+/// \brief The layer abstraction: the "operators" of the tutorial's
+/// query-processing analogy.
+///
+/// The paper describes a neural network as a pipeline of semantic filters,
+/// each with logic and weights, trained by alternating forward and
+/// backward passes. Layer is that operator interface. Each layer caches
+/// what its backward pass needs (the activation state whose footprint
+/// Section 2.3's checkpointing techniques manage); CacheMode and
+/// DropCache() expose that state to the memory scheduler.
+
+namespace dlsys {
+
+/// \brief Whether a forward pass retains activations for backward.
+enum class CacheMode {
+  kCache,    ///< retain inputs/activations needed by Backward()
+  kNoCache,  ///< inference or recomputation probing: retain nothing
+};
+
+/// \brief One differentiable pipeline stage.
+///
+/// Contract: Backward(grad) may only be called after a Forward(x, kCache)
+/// whose cache is still present; it accumulates parameter gradients (call
+/// ZeroGrads() between steps) and returns the gradient w.r.t. the input.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// \brief Human-readable layer type/config, e.g. "dense(64->32)".
+  virtual std::string name() const = 0;
+
+  /// \brief Initializes parameters (no-op for parameter-free layers).
+  virtual void Init(Rng* rng) { (void)rng; }
+
+  /// \brief Computes the layer output for a batch \p x.
+  virtual Tensor Forward(const Tensor& x, CacheMode mode) = 0;
+
+  /// \brief Propagates \p grad_output back; returns grad w.r.t. input.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// \brief Mutable views of the layer's parameter tensors.
+  virtual std::vector<Tensor*> Params() { return {}; }
+  /// \brief Mutable views of the matching gradient tensors.
+  virtual std::vector<Tensor*> Grads() { return {}; }
+
+  /// \brief Zeroes accumulated parameter gradients.
+  void ZeroGrads() {
+    for (Tensor* g : Grads()) g->Fill(0.0f);
+  }
+
+  /// \brief Total number of scalar parameters.
+  int64_t NumParams() {
+    int64_t n = 0;
+    for (Tensor* p : Params()) n += p->size();
+    return n;
+  }
+
+  /// \brief Forward FLOPs for a single example (multiply-adds count as 2).
+  virtual int64_t FlopsPerExample() const { return 0; }
+
+  /// \brief Bytes currently held in the backward cache.
+  virtual int64_t CachedBytes() const { return 0; }
+
+  /// \brief Releases the backward cache (checkpointing drops it and
+  /// recomputes later via a fresh Forward(x, kCache)).
+  virtual void DropCache() {}
+
+  /// \brief Deep copy with identical parameters and config.
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_NN_LAYER_H_

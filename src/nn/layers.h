@@ -1,0 +1,169 @@
+#ifndef DLSYS_NN_LAYERS_H_
+#define DLSYS_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+/// \file layers.h
+/// \brief Fully-connected and elementwise layers.
+
+namespace dlsys {
+
+/// \brief Affine layer: y = x W + b, with He-uniform initialization.
+class Dense : public Layer {
+ public:
+  /// Constructs an uninitialized layer mapping \p in features to \p out.
+  Dense(int64_t in, int64_t out);
+
+  std::string name() const override;
+  void Init(Rng* rng) override;
+  Tensor Forward(const Tensor& x, CacheMode mode) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> Grads() override { return {&dw_, &db_}; }
+  int64_t FlopsPerExample() const override { return 2 * in_ * out_; }
+  int64_t CachedBytes() const override { return x_cache_.bytes(); }
+  void DropCache() override { x_cache_.Clear(); }
+  std::unique_ptr<Layer> Clone() const override;
+
+  /// \brief Input feature count.
+  int64_t in_features() const { return in_; }
+  /// \brief Output feature count.
+  int64_t out_features() const { return out_; }
+  /// \brief Weight matrix (in x out).
+  Tensor& weight() { return w_; }
+  /// \brief Bias vector (out).
+  Tensor& bias() { return b_; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  Tensor w_;   ///< (in, out)
+  Tensor b_;   ///< (out)
+  Tensor dw_;
+  Tensor db_;
+  Tensor x_cache_;
+};
+
+/// \brief Rectified linear unit, elementwise max(0, x).
+class ReLU : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  Tensor Forward(const Tensor& x, CacheMode mode) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  int64_t CachedBytes() const override { return mask_.bytes(); }
+  void DropCache() override { mask_.Clear(); }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<ReLU>();
+  }
+
+ private:
+  Tensor mask_;
+};
+
+/// \brief Logistic sigmoid, elementwise 1 / (1 + e^-x).
+class Sigmoid : public Layer {
+ public:
+  std::string name() const override { return "sigmoid"; }
+  Tensor Forward(const Tensor& x, CacheMode mode) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  int64_t CachedBytes() const override { return y_cache_.bytes(); }
+  void DropCache() override { y_cache_.Clear(); }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Sigmoid>();
+  }
+
+ private:
+  Tensor y_cache_;
+};
+
+/// \brief Hyperbolic tangent activation.
+class Tanh : public Layer {
+ public:
+  std::string name() const override { return "tanh"; }
+  Tensor Forward(const Tensor& x, CacheMode mode) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  int64_t CachedBytes() const override { return y_cache_.bytes(); }
+  void DropCache() override { y_cache_.Clear(); }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Tanh>();
+  }
+
+ private:
+  Tensor y_cache_;
+};
+
+/// \brief Inverted dropout: zeroes activations with probability p during
+/// training and rescales survivors by 1/(1-p). Identity at inference.
+class Dropout : public Layer {
+ public:
+  /// Constructs with drop probability \p p in [0, 1) and a seed.
+  explicit Dropout(float p, uint64_t seed = 1234);
+
+  std::string name() const override;
+  Tensor Forward(const Tensor& x, CacheMode mode) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  int64_t CachedBytes() const override { return mask_.bytes(); }
+  void DropCache() override { mask_.Clear(); }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  float p_;
+  Rng rng_;
+  uint64_t seed_;
+  Tensor mask_;
+};
+
+/// \brief Reshapes [N, d1, d2, ...] to [N, d1*d2*...].
+class Flatten : public Layer {
+ public:
+  std::string name() const override { return "flatten"; }
+  Tensor Forward(const Tensor& x, CacheMode mode) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Flatten>();
+  }
+
+ private:
+  Shape in_shape_;
+};
+
+/// \brief Batch normalization over features of a rank-2 input, with
+/// learnable scale/shift and running statistics for inference.
+class BatchNorm1d : public Layer {
+ public:
+  /// Constructs over \p features channels with smoothing \p momentum.
+  explicit BatchNorm1d(int64_t features, float momentum = 0.9f,
+                       float epsilon = 1e-5f);
+
+  std::string name() const override;
+  void Init(Rng* rng) override;
+  Tensor Forward(const Tensor& x, CacheMode mode) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> Grads() override { return {&dgamma_, &dbeta_}; }
+  int64_t CachedBytes() const override {
+    return xhat_.bytes() + inv_std_.bytes();
+  }
+  void DropCache() override {
+    xhat_.Clear();
+    inv_std_.Clear();
+  }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  int64_t features_;
+  float momentum_;
+  float epsilon_;
+  Tensor gamma_, beta_, dgamma_, dbeta_;
+  Tensor running_mean_, running_var_;
+  Tensor xhat_;     ///< normalized input cache
+  Tensor inv_std_;  ///< per-feature 1/sqrt(var+eps) cache
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_NN_LAYERS_H_

@@ -1,0 +1,84 @@
+#include "src/nn/loss.h"
+
+#include <cmath>
+
+#include "src/core/status.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+LossGrad SoftmaxCrossEntropy(const Tensor& logits,
+                             const std::vector<int64_t>& labels) {
+  DLSYS_CHECK(logits.rank() == 2, "SoftmaxCrossEntropy requires rank 2");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  DLSYS_CHECK(n == static_cast<int64_t>(labels.size()),
+              "label count mismatch");
+  Tensor probs = RowSoftmax(logits);
+  double loss = 0.0;
+  Tensor grad = probs;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    DLSYS_CHECK(y >= 0 && y < c, "label out of range");
+    const float p = probs[i * c + y];
+    loss -= std::log(std::max(p, 1e-12f));
+    grad[i * c + y] -= 1.0f;
+  }
+  Scale(inv_n, &grad);
+  return {loss / static_cast<double>(n), std::move(grad)};
+}
+
+LossGrad SoftCrossEntropy(const Tensor& logits, const Tensor& targets) {
+  DLSYS_CHECK(logits.shape() == targets.shape(),
+              "SoftCrossEntropy shape mismatch");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor probs = RowSoftmax(logits);
+  double loss = 0.0;
+  Tensor grad = probs;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < c; ++j) {
+      const float t = targets[i * c + j];
+      if (t > 0.0f) {
+        loss -= t * std::log(std::max(probs[i * c + j], 1e-12f));
+      }
+      grad[i * c + j] -= t;
+    }
+  }
+  Scale(inv_n, &grad);
+  return {loss / static_cast<double>(n), std::move(grad)};
+}
+
+LossGrad MeanSquaredError(const Tensor& pred, const Tensor& target) {
+  DLSYS_CHECK(pred.shape() == target.shape(), "MSE shape mismatch");
+  const int64_t n = pred.dim(0);
+  DLSYS_CHECK(n > 0, "MSE on empty batch");
+  Tensor grad = Sub(pred, target);
+  double loss = 0.0;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    loss += 0.5 * static_cast<double>(grad[i]) * grad[i];
+  }
+  Scale(1.0f / static_cast<float>(n), &grad);
+  return {loss / static_cast<double>(n), std::move(grad)};
+}
+
+LossGrad BinaryCrossEntropy(const Tensor& pred,
+                            const std::vector<int64_t>& labels) {
+  DLSYS_CHECK(pred.rank() == 2 && pred.dim(1) == 1,
+              "BinaryCrossEntropy expects an Nx1 probability column");
+  const int64_t n = pred.dim(0);
+  DLSYS_CHECK(n == static_cast<int64_t>(labels.size()),
+              "label count mismatch");
+  double loss = 0.0;
+  Tensor grad({n, 1});
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float p = std::min(std::max(pred[i], 1e-7f), 1.0f - 1e-7f);
+    const float y = labels[static_cast<size_t>(i)] ? 1.0f : 0.0f;
+    loss -= y * std::log(p) + (1.0f - y) * std::log(1.0f - p);
+    grad[i] = inv_n * (p - y) / (p * (1.0f - p));
+  }
+  return {loss / static_cast<double>(n), std::move(grad)};
+}
+
+}  // namespace dlsys

@@ -1,0 +1,41 @@
+#ifndef DLSYS_NN_LOSS_H_
+#define DLSYS_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+/// \file loss.h
+/// \brief Loss functions: value plus gradient w.r.t. the network output.
+
+namespace dlsys {
+
+/// \brief Loss value and its gradient w.r.t. the model output.
+struct LossGrad {
+  double loss = 0.0;
+  Tensor grad;
+};
+
+/// \brief Mean softmax cross-entropy from raw logits against int labels.
+///
+/// Gradient is (softmax - onehot) / N, the standard fused form.
+LossGrad SoftmaxCrossEntropy(const Tensor& logits,
+                             const std::vector<int64_t>& labels);
+
+/// \brief Mean softmax cross-entropy against a full target distribution
+/// (rows of \p targets sum to 1). Used for distillation and label
+/// smoothing.
+LossGrad SoftCrossEntropy(const Tensor& logits, const Tensor& targets);
+
+/// \brief Mean squared error, 1/(2N) * sum (pred - target)^2.
+LossGrad MeanSquaredError(const Tensor& pred, const Tensor& target);
+
+/// \brief Mean binary cross-entropy from a single sigmoid output column
+/// against 0/1 labels. \p pred holds probabilities in (0, 1).
+LossGrad BinaryCrossEntropy(const Tensor& pred,
+                            const std::vector<int64_t>& labels);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_NN_LOSS_H_

@@ -1,0 +1,89 @@
+#ifndef DLSYS_NN_SEQUENTIAL_H_
+#define DLSYS_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+/// \file sequential.h
+/// \brief The layer pipeline: the tutorial's query-plan analogue.
+///
+/// Sequential chains layers the way a query plan chains operators; training
+/// "sets up the pipeline" (tunes weights) and deployment streams batches
+/// through it. It also exposes the whole-pipeline views other modules
+/// need: a flat parameter vector (distributed averaging, quantization),
+/// per-layer activation byte counts (checkpointing), and FLOP totals
+/// (energy accounting).
+
+namespace dlsys {
+
+/// \brief An ordered pipeline of layers with joint forward/backward.
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// \brief Appends a layer; returns *this for chaining.
+  Sequential& Add(std::unique_ptr<Layer> layer);
+
+  /// \brief Constructs and appends a layer in place.
+  template <typename L, typename... Args>
+  Sequential& Emplace(Args&&... args) {
+    return Add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  /// \brief Initializes every layer's parameters from \p rng.
+  void Init(Rng* rng);
+
+  /// \brief Runs the pipeline end to end.
+  Tensor Forward(const Tensor& x, CacheMode mode = CacheMode::kCache);
+
+  /// \brief Back-propagates \p grad_output through all layers (reverse
+  /// order); accumulates parameter gradients, returns grad w.r.t. input.
+  Tensor Backward(const Tensor& grad_output);
+
+  /// \brief All parameter tensors, in layer order.
+  std::vector<Tensor*> Params();
+  /// \brief All gradient tensors, matching Params().
+  std::vector<Tensor*> Grads();
+  /// \brief Zeroes all parameter gradients.
+  void ZeroGrads();
+
+  /// \brief Number of layers.
+  int64_t size() const { return static_cast<int64_t>(layers_.size()); }
+  /// \brief Layer \p i (borrowed).
+  Layer* layer(int64_t i) { return layers_[i].get(); }
+  const Layer* layer(int64_t i) const { return layers_[i].get(); }
+
+  /// \brief Total scalar parameter count.
+  int64_t NumParams() const;
+  /// \brief Bytes of parameter storage at float32.
+  int64_t ModelBytes() const { return NumParams() * 4; }
+  /// \brief Forward FLOPs per example, summed over layers.
+  int64_t FlopsPerExample() const;
+  /// \brief Bytes currently held in backward caches, summed over layers.
+  int64_t CachedBytes() const;
+  /// \brief Drops every layer's backward cache.
+  void DropCaches();
+
+  /// \brief Copies all parameters into one flat vector (layer order).
+  std::vector<float> GetParameterVector() const;
+  /// \brief Restores parameters from a flat vector (sizes must match).
+  void SetParameterVector(const std::vector<float>& flat);
+
+  /// \brief Deep copy with identical parameters.
+  Sequential Clone() const;
+
+  /// \brief One line per layer: name, params, flops.
+  std::string Summary() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_NN_SEQUENTIAL_H_

@@ -1,0 +1,77 @@
+#include "src/nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace dlsys {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'L', 'S', 'Y'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Status SaveParameters(const Sequential& net, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  std::vector<float> flat = net.GetParameterVector();
+  const uint64_t count = flat.size();
+  if (std::fwrite(kMagic, 1, 4, file.get()) != 4 ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, file.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, file.get()) != 1) {
+    return Status::IOError("short write of header: " + path);
+  }
+  if (count > 0 &&
+      std::fwrite(flat.data(), sizeof(float), flat.size(), file.get()) !=
+          flat.size()) {
+    return Status::IOError("short write of parameters: " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadParameters(Sequential* net, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (std::fread(magic, 1, 4, file.get()) != 4 ||
+      std::fread(&version, sizeof(version), 1, file.get()) != 1 ||
+      std::fread(&count, sizeof(count), 1, file.get()) != 1) {
+    return Status::IOError("short read of header: " + path);
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::IOError("not a dlsys parameter file: " + path);
+  }
+  if (version != kVersion) {
+    return Status::IOError("unsupported version " + std::to_string(version));
+  }
+  if (count != static_cast<uint64_t>(net->NumParams())) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", architecture expects " + std::to_string(net->NumParams()));
+  }
+  std::vector<float> flat(static_cast<size_t>(count));
+  if (count > 0 &&
+      std::fread(flat.data(), sizeof(float), flat.size(), file.get()) !=
+          flat.size()) {
+    return Status::IOError("short read of parameters: " + path);
+  }
+  net->SetParameterVector(flat);
+  return Status::OK();
+}
+
+}  // namespace dlsys

@@ -1,0 +1,31 @@
+#ifndef DLSYS_NN_SERIALIZE_H_
+#define DLSYS_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "src/core/status.h"
+#include "src/nn/sequential.h"
+
+/// \file serialize.h
+/// \brief Model checkpointing to disk: save/load of a Sequential's
+/// parameters (deployment and the train/deploy split of the tutorial's
+/// pipeline view).
+///
+/// Format: a small header ("DLSY", version, param count) followed by
+/// raw little-endian float32 parameters in layer order. Architecture is
+/// NOT serialized — loading validates the parameter count against the
+/// provided architecture and fails loudly on mismatch.
+
+namespace dlsys {
+
+/// \brief Writes \p net's parameters to \p path. Overwrites.
+Status SaveParameters(const Sequential& net, const std::string& path);
+
+/// \brief Loads parameters saved by SaveParameters into \p net.
+/// Fails with IOError (unreadable/corrupt) or InvalidArgument
+/// (parameter-count mismatch with the architecture).
+Status LoadParameters(Sequential* net, const std::string& path);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_NN_SERIALIZE_H_

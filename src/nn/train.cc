@@ -1,0 +1,100 @@
+#include "src/nn/train.h"
+
+#include "src/nn/conv.h"
+#include "src/nn/layers.h"
+#include "src/nn/loss.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+
+MetricsReport Train(Sequential* net, Optimizer* opt, const Dataset& data,
+                    const TrainConfig& config) {
+  DLSYS_CHECK(data.size() > 0, "training on empty dataset");
+  MetricsReport report;
+  MemoryTracker::Global().ResetPeak();
+  Stopwatch watch;
+  Rng shuffle_rng(config.shuffle_seed);
+  Dataset shuffled = data;
+  int64_t step = 0;
+  double last_loss = 0.0;
+  int64_t examples_seen = 0;
+  const auto params = net->Params();
+  const auto grads = net->Grads();
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    ShuffleDataset(&shuffled, &shuffle_rng);
+    for (BatchIterator it(shuffled, config.batch_size); !it.Done();
+         it.Next()) {
+      Dataset batch = it.Get();
+      if (config.schedule != nullptr) {
+        opt->set_lr(config.schedule->Lr(step));
+      }
+      net->ZeroGrads();
+      Tensor logits = net->Forward(batch.x, CacheMode::kCache);
+      LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
+      net->Backward(lg.grad);
+      opt->Step(params, grads);
+      last_loss = lg.loss;
+      examples_seen += batch.size();
+      if (config.on_step) config.on_step(step, epoch, lg.loss);
+      ++step;
+    }
+  }
+  report.Set(metric::kTrainSeconds, watch.Seconds());
+  report.Set(metric::kLoss, last_loss);
+  report.Set(metric::kPeakBytes,
+             static_cast<double>(MemoryTracker::Global().peak_bytes()));
+  report.Set(metric::kModelBytes, static_cast<double>(net->ModelBytes()));
+  // Forward + backward is ~3x forward FLOPs, the standard estimate.
+  report.Set(metric::kFlops, 3.0 * static_cast<double>(net->FlopsPerExample()) *
+                                 static_cast<double>(examples_seen));
+  return report;
+}
+
+EvalResult Evaluate(Sequential* net, const Dataset& data) {
+  if (data.size() == 0) return {0.0, 0.0};
+  EvalResult out;
+  double loss_sum = 0.0;
+  int64_t hits = 0;
+  for (BatchIterator it(data, 256); !it.Done(); it.Next()) {
+    Dataset batch = it.Get();
+    Tensor logits = net->Forward(batch.x, CacheMode::kNoCache);
+    LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
+    loss_sum += lg.loss * static_cast<double>(batch.size());
+    std::vector<int64_t> pred = ArgMaxRows(logits);
+    for (size_t i = 0; i < batch.y.size(); ++i) {
+      if (pred[i] == batch.y[i]) ++hits;
+    }
+  }
+  out.loss = loss_sum / static_cast<double>(data.size());
+  out.accuracy = static_cast<double>(hits) / static_cast<double>(data.size());
+  return out;
+}
+
+Sequential MakeMlp(int64_t in, const std::vector<int64_t>& hidden,
+                   int64_t out) {
+  Sequential net;
+  int64_t prev = in;
+  for (int64_t h : hidden) {
+    net.Emplace<Dense>(prev, h);
+    net.Emplace<ReLU>();
+    prev = h;
+  }
+  net.Emplace<Dense>(prev, out);
+  return net;
+}
+
+Sequential MakeCnn(int64_t img, int64_t c1, int64_t c2, int64_t out) {
+  Sequential net;
+  net.Emplace<Conv2D>(1, c1, 3, 1, 1);
+  net.Emplace<ReLU>();
+  net.Emplace<MaxPool2D>(2);
+  net.Emplace<Conv2D>(c1, c2, 3, 1, 1);
+  net.Emplace<ReLU>();
+  net.Emplace<MaxPool2D>(2);
+  net.Emplace<Flatten>();
+  const int64_t spatial = img / 4;
+  net.Emplace<Dense>(c2 * spatial * spatial, out);
+  return net;
+}
+
+}  // namespace dlsys

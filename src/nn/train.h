@@ -1,0 +1,60 @@
+#ifndef DLSYS_NN_TRAIN_H_
+#define DLSYS_NN_TRAIN_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+#include "src/optim/optimizer.h"
+#include "src/optim/schedule.h"
+
+/// \file train.h
+/// \brief The iterative training procedure: alternating forward and
+/// backward passes until the metric converges (tutorial Part 1), with the
+/// measurement hooks the tradeoff framework needs.
+
+namespace dlsys {
+
+/// \brief Training-loop configuration.
+struct TrainConfig {
+  int64_t epochs = 10;
+  int64_t batch_size = 32;
+  uint64_t shuffle_seed = 7;
+  /// Optional schedule; when set, optimizer->set_lr(schedule->Lr(step)) is
+  /// applied before every step.
+  const LrSchedule* schedule = nullptr;
+  /// Invoked after every optimizer step with (global_step, epoch, loss);
+  /// snapshot ensembles and debuggers hook in here.
+  std::function<void(int64_t step, int64_t epoch, double loss)> on_step;
+};
+
+/// \brief Result of an evaluation pass.
+struct EvalResult {
+  double accuracy = 0.0;
+  double loss = 0.0;
+};
+
+/// \brief Trains \p net on \p data with cross-entropy; returns a
+/// MetricsReport with train time, peak memory, final loss, and FLOPs.
+MetricsReport Train(Sequential* net, Optimizer* opt, const Dataset& data,
+                    const TrainConfig& config);
+
+/// \brief Computes accuracy and mean cross-entropy on \p data without
+/// caching activations.
+EvalResult Evaluate(Sequential* net, const Dataset& data);
+
+/// \brief Builds an MLP: in -> hidden[0] -> ... -> out with ReLU between
+/// affine layers (logits output, no terminal activation).
+Sequential MakeMlp(int64_t in, const std::vector<int64_t>& hidden,
+                   int64_t out);
+
+/// \brief Builds a small CNN for [N, 1, img, img] inputs:
+/// conv(1->c1) - relu - pool2 - conv(c1->c2) - relu - pool2 - flatten -
+/// dense(out). Kernel 3, padding 1.
+Sequential MakeCnn(int64_t img, int64_t c1, int64_t c2, int64_t out);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_NN_TRAIN_H_

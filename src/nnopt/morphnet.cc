@@ -1,0 +1,200 @@
+#include "src/nnopt/morphnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/layers.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+
+int64_t MlpFlops(int64_t in, const std::vector<int64_t>& widths,
+                 int64_t out) {
+  int64_t flops = 0;
+  int64_t prev = in;
+  for (int64_t w : widths) {
+    flops += 2 * prev * w;
+    prev = w;
+  }
+  flops += 2 * prev * out;
+  return flops;
+}
+
+namespace {
+
+// Per-hidden-unit importance for layer l of a trained MLP: the L2 norm
+// of the unit's incoming weight column times the L2 norm of its outgoing
+// row (the unit is useless if either side is weak).
+std::vector<double> UnitImportance(Sequential* net, int64_t dense_index) {
+  auto* dense = dynamic_cast<Dense*>(net->layer(dense_index));
+  auto* next = dynamic_cast<Dense*>(net->layer(dense_index + 2));
+  DLSYS_CHECK(dense != nullptr && next != nullptr,
+              "expected Dense-ReLU-Dense structure");
+  const int64_t units = dense->out_features();
+  std::vector<double> importance(static_cast<size_t>(units));
+  const int64_t in = dense->in_features();
+  const int64_t next_out = next->out_features();
+  for (int64_t u = 0; u < units; ++u) {
+    double in_norm = 0.0;
+    for (int64_t r = 0; r < in; ++r) {
+      const float w = dense->weight()[r * units + u];
+      in_norm += static_cast<double>(w) * w;
+    }
+    double out_norm = 0.0;
+    for (int64_t c = 0; c < next_out; ++c) {
+      const float w = next->weight()[u * next_out + c];
+      out_norm += static_cast<double>(w) * w;
+    }
+    importance[static_cast<size_t>(u)] =
+        std::sqrt(in_norm) * std::sqrt(out_norm);
+  }
+  return importance;
+}
+
+Sequential BuildAndTrain(int64_t in, int64_t out,
+                         const std::vector<int64_t>& widths,
+                         const Dataset& train, const MorphConfig& config,
+                         uint64_t seed, double* valid_acc,
+                         const Dataset& valid) {
+  Sequential net = MakeMlp(in, widths, out);
+  Rng rng(seed);
+  net.Init(&rng);
+  Sgd opt(config.lr, 0.9);
+  TrainConfig tc;
+  tc.epochs = config.train_epochs;
+  tc.batch_size = config.batch_size;
+  tc.shuffle_seed = seed;
+  Train(&net, &opt, train, tc);
+  *valid_acc = Evaluate(&net, valid).accuracy;
+  return net;
+}
+
+// Scales widths uniformly so MlpFlops(in, widths, out) ~ budget.
+std::vector<int64_t> ScaleToBudget(int64_t in,
+                                   std::vector<int64_t> widths, int64_t out,
+                                   double budget) {
+  double lo = 0.01, hi = 100.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    std::vector<int64_t> scaled;
+    for (int64_t w : widths) {
+      scaled.push_back(std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(w * mid))));
+    }
+    if (static_cast<double>(MlpFlops(in, scaled, out)) > budget) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  std::vector<int64_t> scaled;
+  for (int64_t w : widths) {
+    scaled.push_back(std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(w * lo))));
+  }
+  return scaled;
+}
+
+Status ValidateInputs(const std::vector<int64_t>& widths,
+                      const Dataset& train, const MorphConfig& config) {
+  if (widths.empty()) {
+    return Status::InvalidArgument("need at least one hidden layer");
+  }
+  for (int64_t w : widths) {
+    if (w <= 0) return Status::InvalidArgument("widths must be positive");
+  }
+  if (train.size() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (config.flop_budget <= 0.0) {
+    return Status::InvalidArgument("flop_budget must be positive");
+  }
+  if (config.shrink_fraction <= 0.0 || config.shrink_fraction >= 1.0) {
+    return Status::InvalidArgument("shrink_fraction must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MorphResult> MorphNetOptimize(
+    int64_t in, int64_t out, const std::vector<int64_t>& initial_widths,
+    const Dataset& train, const Dataset& valid, const MorphConfig& config) {
+  DLSYS_RETURN_NOT_OK(ValidateInputs(initial_widths, train, config));
+  Stopwatch watch;
+  MorphResult result;
+  result.widths = ScaleToBudget(in, initial_widths, out, config.flop_budget);
+
+  for (int64_t round = 0; round < config.iterations; ++round) {
+    // 1. Train at the current widths.
+    double acc = 0.0;
+    Sequential net =
+        BuildAndTrain(in, out, result.widths, train, config,
+                      config.seed + static_cast<uint64_t>(round), &acc,
+                      valid);
+    result.trajectory.push_back(acc);
+
+    if (round + 1 == config.iterations) {
+      result.net = std::move(net);
+      break;
+    }
+
+    // 2. Shrink: drop the globally weakest units (MorphNet's sparsifying
+    // regularizer distilled to its effect: weak units leave).
+    struct Unit {
+      size_t layer;
+      double importance;
+    };
+    std::vector<Unit> units;
+    std::vector<int64_t> shrunk = result.widths;
+    for (size_t l = 0; l < result.widths.size(); ++l) {
+      auto importance = UnitImportance(&net, static_cast<int64_t>(2 * l));
+      for (double imp : importance) units.push_back({l, imp});
+    }
+    std::sort(units.begin(), units.end(),
+              [](const Unit& a, const Unit& b) {
+                return a.importance < b.importance;
+              });
+    const int64_t drop = static_cast<int64_t>(
+        std::llround(config.shrink_fraction *
+                     static_cast<double>(units.size())));
+    for (int64_t i = 0; i < drop; ++i) {
+      int64_t& w = shrunk[units[static_cast<size_t>(i)].layer];
+      if (w > 1) --w;  // never empty a layer
+    }
+
+    // 3. Expand: uniformly re-widen to the budget. Capacity has now
+    // migrated toward the layers that kept their units.
+    result.widths = ScaleToBudget(in, shrunk, out, config.flop_budget);
+  }
+
+  result.report.Set("optimize_seconds", watch.Seconds());
+  result.report.Set(metric::kFlops,
+                    static_cast<double>(MlpFlops(in, result.widths, out)));
+  result.report.Set(metric::kAccuracy, result.trajectory.back());
+  return result;
+}
+
+Result<MorphResult> UniformScaleBaseline(
+    int64_t in, int64_t out, const std::vector<int64_t>& initial_widths,
+    const Dataset& train, const Dataset& valid, const MorphConfig& config) {
+  DLSYS_RETURN_NOT_OK(ValidateInputs(initial_widths, train, config));
+  Stopwatch watch;
+  MorphResult result;
+  result.widths = ScaleToBudget(in, initial_widths, out, config.flop_budget);
+  double acc = 0.0;
+  // Equal total training budget: iterations x train_epochs.
+  MorphConfig one_shot = config;
+  one_shot.train_epochs = config.train_epochs * config.iterations;
+  result.net = BuildAndTrain(in, out, result.widths, train, one_shot,
+                             config.seed, &acc, valid);
+  result.trajectory.push_back(acc);
+  result.report.Set("optimize_seconds", watch.Seconds());
+  result.report.Set(metric::kFlops,
+                    static_cast<double>(MlpFlops(in, result.widths, out)));
+  result.report.Set(metric::kAccuracy, acc);
+  return result;
+}
+
+}  // namespace dlsys

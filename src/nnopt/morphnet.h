@@ -1,0 +1,62 @@
+#ifndef DLSYS_NNOPT_MORPHNET_H_
+#define DLSYS_NNOPT_MORPHNET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/status.h"
+#include "src/data/dataset.h"
+#include "src/nn/sequential.h"
+
+/// \file morphnet.h
+/// \brief MorphNet-style structure optimization for inference
+/// (tutorial Section 2.2, Gordon et al.): iteratively shrink a network
+/// by dropping weak units and uniformly re-widen it back to a resource
+/// budget, so capacity migrates to the layers that earn it.
+///
+/// Restricted to MLPs (alternating Dense/ReLU), which is where our
+/// substrate's structured pruning already operates.
+
+namespace dlsys {
+
+/// \brief Optimizer configuration.
+struct MorphConfig {
+  int64_t iterations = 3;      ///< shrink/expand rounds
+  double flop_budget = 0.0;    ///< target forward FLOPs per example
+  double shrink_fraction = 0.3;  ///< weakest-unit fraction dropped/round
+  int64_t train_epochs = 10;   ///< training per round
+  int64_t batch_size = 32;
+  double lr = 0.05;
+  uint64_t seed = 13;
+};
+
+/// \brief Result: the optimized widths and the trained network.
+struct MorphResult {
+  Sequential net;
+  std::vector<int64_t> widths;     ///< hidden widths per layer
+  std::vector<double> trajectory;  ///< accuracy after each round
+  MetricsReport report;            ///< optimize time, final flops
+};
+
+/// \brief Forward FLOPs per example of an MLP with the given widths.
+int64_t MlpFlops(int64_t in, const std::vector<int64_t>& widths, int64_t out);
+
+/// \brief Runs MorphNet-style optimization starting from
+/// \p initial_widths, training on \p train and validating on \p valid.
+Result<MorphResult> MorphNetOptimize(int64_t in, int64_t out,
+                                     const std::vector<int64_t>& initial_widths,
+                                     const Dataset& train,
+                                     const Dataset& valid,
+                                     const MorphConfig& config);
+
+/// \brief Baseline: uniformly scales \p initial_widths to the FLOP
+/// budget (no structure learning) and trains once with the same total
+/// epoch budget.
+Result<MorphResult> UniformScaleBaseline(
+    int64_t in, int64_t out, const std::vector<int64_t>& initial_widths,
+    const Dataset& train, const Dataset& valid, const MorphConfig& config);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_NNOPT_MORPHNET_H_

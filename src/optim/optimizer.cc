@@ -1,0 +1,92 @@
+#include "src/optim/optimizer.h"
+
+#include <cmath>
+
+#include "src/core/status.h"
+
+namespace dlsys {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+void Sgd::Step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+  DLSYS_CHECK(params.size() == grads.size(), "params/grads size mismatch");
+  if (momentum_ != 0.0 && velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (Tensor* p : params) velocity_.emplace_back(p->shape());
+  }
+  const float lr = static_cast<float>(lr_);
+  const float mu = static_cast<float>(momentum_);
+  const float wd = static_cast<float>(weight_decay_);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    DLSYS_CHECK(p.size() == g.size(), "param/grad shape mismatch");
+    if (momentum_ == 0.0) {
+      for (int64_t j = 0; j < p.size(); ++j) {
+        p[j] -= lr * (g[j] + wd * p[j]);
+      }
+    } else {
+      Tensor& v = velocity_[i];
+      for (int64_t j = 0; j < p.size(); ++j) {
+        v[j] = mu * v[j] + g[j] + wd * p[j];
+        p[j] -= lr * v[j];
+      }
+    }
+  }
+}
+
+std::string Sgd::name() const {
+  return "sgd(lr=" + std::to_string(lr_) + ", mu=" + std::to_string(momentum_) +
+         ")";
+}
+
+std::unique_ptr<Optimizer> Sgd::CloneFresh() const {
+  return std::make_unique<Sgd>(lr_, momentum_, weight_decay_);
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+void Adam::Step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  DLSYS_CHECK(params.size() == grads.size(), "params/grads size mismatch");
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (Tensor* p : params) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float corr1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float corr2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  const float lr = static_cast<float>(lr_);
+  const float eps = static_cast<float>(epsilon_);
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < p.size(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      const float mhat = m[j] / corr1;
+      const float vhat = v[j] / corr2;
+      p[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+std::string Adam::name() const { return "adam(lr=" + std::to_string(lr_) + ")"; }
+
+std::unique_ptr<Optimizer> Adam::CloneFresh() const {
+  return std::make_unique<Adam>(lr_, beta1_, beta2_, epsilon_);
+}
+
+}  // namespace dlsys

@@ -1,0 +1,77 @@
+#ifndef DLSYS_OPTIM_OPTIMIZER_H_
+#define DLSYS_OPTIM_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+/// \file optimizer.h
+/// \brief First-order optimizers driving the iterative training procedure.
+
+namespace dlsys {
+
+/// \brief Interface for a gradient-descent step over a parameter list.
+///
+/// Optimizer state (momentum buffers etc.) is keyed by position in the
+/// params list, which must therefore be stable across calls.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// \brief Applies one update: params[i] -= f(grads[i], state).
+  virtual void Step(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) = 0;
+
+  /// \brief Current learning rate.
+  double lr() const { return lr_; }
+  /// \brief Sets the learning rate (schedules call this every step).
+  void set_lr(double lr) { lr_ = lr; }
+
+  /// \brief Human-readable configuration.
+  virtual std::string name() const = 0;
+
+  /// \brief Fresh optimizer with the same config and empty state.
+  virtual std::unique_ptr<Optimizer> CloneFresh() const = 0;
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// \brief Stochastic gradient descent with optional momentum and L2
+/// weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0, double weight_decay = 0.0);
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  std::string name() const override;
+  std::unique_ptr<Optimizer> CloneFresh() const override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  std::string name() const override;
+  std::unique_ptr<Optimizer> CloneFresh() const override;
+
+ private:
+  double beta1_, beta2_, epsilon_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,105 @@
+#ifndef DLSYS_OPTIM_SCHEDULE_H_
+#define DLSYS_OPTIM_SCHEDULE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "src/core/status.h"
+
+/// \file schedule.h
+/// \brief Learning-rate schedules, including the cyclic schedule that
+/// Snapshot Ensembles (Section 2.1) rely on: the rate anneals to ~0 at the
+/// end of each cycle (where a snapshot is captured) and restarts high.
+
+namespace dlsys {
+
+/// \brief Maps a global step index to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// \brief Learning rate to use at 0-based step \p step.
+  virtual double Lr(int64_t step) const = 0;
+};
+
+/// \brief Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double Lr(int64_t) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// \brief Multiplies the rate by \p factor every \p every steps.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(double lr0, int64_t every, double factor)
+      : lr0_(lr0), every_(every), factor_(factor) {
+    DLSYS_CHECK(every > 0, "decay interval must be positive");
+  }
+  double Lr(int64_t step) const override {
+    return lr0_ * std::pow(factor_, static_cast<double>(step / every_));
+  }
+
+ private:
+  double lr0_;
+  int64_t every_;
+  double factor_;
+};
+
+/// \brief Cosine-annealed cyclic rate (Snapshot Ensembles): within each
+/// cycle of \p cycle_steps the rate falls from lr0 to ~0 on a half cosine,
+/// then restarts.
+class CosineCyclicLr : public LrSchedule {
+ public:
+  CosineCyclicLr(double lr0, int64_t cycle_steps)
+      : lr0_(lr0), cycle_steps_(cycle_steps) {
+    DLSYS_CHECK(cycle_steps > 0, "cycle length must be positive");
+  }
+  double Lr(int64_t step) const override {
+    const double pos =
+        static_cast<double>(step % cycle_steps_) / static_cast<double>(cycle_steps_);
+    return 0.5 * lr0_ * (1.0 + std::cos(3.14159265358979323846 * pos));
+  }
+  /// \brief True iff \p step is the last step of a cycle (snapshot point).
+  bool EndOfCycle(int64_t step) const {
+    return (step + 1) % cycle_steps_ == 0;
+  }
+
+ private:
+  double lr0_;
+  int64_t cycle_steps_;
+};
+
+/// \brief Triangular cyclic rate (Fast Geometric Ensembles): within each
+/// cycle the rate descends linearly from hi to lo over the first half and
+/// climbs back over the second; the lo point (mid-cycle) is where FGE
+/// captures an ensemble member.
+class TriangularCyclicLr : public LrSchedule {
+ public:
+  TriangularCyclicLr(double lr_hi, double lr_lo, int64_t cycle_steps)
+      : hi_(lr_hi), lo_(lr_lo), cycle_steps_(cycle_steps) {
+    DLSYS_CHECK(cycle_steps > 1, "cycle length must exceed 1");
+    DLSYS_CHECK(lr_hi >= lr_lo && lr_lo > 0.0, "need lr_hi >= lr_lo > 0");
+  }
+  double Lr(int64_t step) const override {
+    const int64_t pos = step % cycle_steps_;
+    const double half = static_cast<double>(cycle_steps_) / 2.0;
+    const double t = pos < half ? pos / half : (cycle_steps_ - pos) / half;
+    return hi_ * t + lo_ * (1.0 - t);
+  }
+  /// \brief True iff \p step is the mid-cycle low point (capture point).
+  bool MidCycle(int64_t step) const {
+    return step % cycle_steps_ == cycle_steps_ / 2;
+  }
+
+ private:
+  double hi_, lo_;
+  int64_t cycle_steps_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_OPTIM_SCHEDULE_H_

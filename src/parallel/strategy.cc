@@ -1,0 +1,176 @@
+#include "src/parallel/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/metrics.h"
+
+namespace dlsys {
+
+std::string Strategy::ToString() const {
+  std::string out;
+  for (const auto& a : layers) {
+    out += (a.dim == ParallelDim::kData ? "d" : "m");
+    out += std::to_string(a.degree);
+    out += " ";
+  }
+  return out;
+}
+
+ParallelSimulator::ParallelSimulator(DeviceGraph graph,
+                                     std::vector<ParLayerCost> layers)
+    : graph_(graph), layers_(std::move(layers)) {
+  DLSYS_CHECK(graph_.num_devices > 0, "device count must be positive");
+  DLSYS_CHECK(!layers_.empty(), "no layers");
+}
+
+std::vector<int64_t> ParallelSimulator::ValidDegrees() const {
+  std::vector<int64_t> out;
+  for (int64_t d = 1; d <= graph_.num_devices; ++d) {
+    if (graph_.num_devices % d == 0) out.push_back(d);
+  }
+  return out;
+}
+
+Strategy ParallelSimulator::DataParallelBaseline() const {
+  Strategy s;
+  s.layers.assign(layers_.size(),
+                  {graph_.num_devices, ParallelDim::kData});
+  return s;
+}
+
+double ParallelSimulator::StepSeconds(const Strategy& strategy) const {
+  DLSYS_CHECK(strategy.layers.size() == layers_.size(),
+              "strategy/layer count mismatch");
+  const double bw = graph_.link_bandwidth_bytes_per_s;
+  const double alpha = graph_.link_latency_seconds;
+  double total = 0.0;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const ParLayerCost& c = layers_[i];
+    const LayerAssignment& a = strategy.layers[i];
+    DLSYS_CHECK(a.degree >= 1 && a.degree <= graph_.num_devices,
+                "invalid degree");
+    const double d = static_cast<double>(a.degree);
+    // Compute splits perfectly over the degree.
+    total += static_cast<double>(c.forward_flops + c.backward_flops) /
+             (d * graph_.device_flops);
+    if (a.degree > 1) {
+      const double ring = 2.0 * (d - 1.0) / d;
+      if (a.dim == ParallelDim::kData) {
+        // Gradient all-reduce of replicated parameters.
+        total += ring * static_cast<double>(c.param_bytes) / bw +
+                 2.0 * (d - 1.0) * alpha;
+      } else {
+        // Activation all-gather (params are sharded, no grad sync).
+        total += ring * static_cast<double>(c.activation_bytes) / bw +
+                 2.0 * (d - 1.0) * alpha;
+      }
+    }
+    // Boundary redistribution when the tensor layout changes.
+    if (i + 1 < layers_.size()) {
+      const LayerAssignment& b = strategy.layers[i + 1];
+      if (a.degree != b.degree || a.dim != b.dim) {
+        total += static_cast<double>(c.activation_bytes) / bw + alpha;
+      }
+    }
+  }
+  return total;
+}
+
+SearchResult OptimizeStrategy(const ParallelSimulator& sim,
+                              const SearchConfig& config) {
+  Stopwatch watch;
+  Rng rng(config.seed);
+  const std::vector<int64_t> degrees = sim.ValidDegrees();
+  SearchResult out;
+  out.strategy = sim.DataParallelBaseline();
+  out.step_seconds = sim.StepSeconds(out.strategy);
+  Strategy current = out.strategy;
+  double current_cost = out.step_seconds;
+  int64_t evaluated = 1;
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    Strategy proposal = current;
+    // Mutate one layer's assignment.
+    const int64_t li = static_cast<int64_t>(rng.Index(
+        static_cast<uint64_t>(sim.num_layers())));
+    LayerAssignment& a = proposal.layers[static_cast<size_t>(li)];
+    a.degree = degrees[rng.Index(degrees.size())];
+    a.dim = rng.Bernoulli(0.5) ? ParallelDim::kData : ParallelDim::kModel;
+    const double cost = sim.StepSeconds(proposal);
+    ++evaluated;
+    const bool accept =
+        cost < current_cost ||
+        rng.Uniform() <
+            std::exp((current_cost - cost) /
+                     (config.temperature * current_cost + 1e-30));
+    if (accept) {
+      current = std::move(proposal);
+      current_cost = cost;
+      if (cost < out.step_seconds) {
+        out.step_seconds = cost;
+        out.strategy = current;
+      }
+    }
+  }
+  out.optimize_seconds = watch.Seconds();
+  out.evaluated = evaluated;
+  return out;
+}
+
+SearchResult GreedyStrategy(const ParallelSimulator& sim) {
+  Stopwatch watch;
+  const std::vector<int64_t> degrees = sim.ValidDegrees();
+  SearchResult out;
+  out.strategy = sim.DataParallelBaseline();
+  int64_t evaluated = 0;
+  // Optimize layers one at a time, holding the others fixed.
+  for (int64_t li = 0; li < sim.num_layers(); ++li) {
+    double best = sim.StepSeconds(out.strategy);
+    LayerAssignment best_a = out.strategy.layers[static_cast<size_t>(li)];
+    for (int64_t deg : degrees) {
+      for (ParallelDim dim : {ParallelDim::kData, ParallelDim::kModel}) {
+        Strategy trial = out.strategy;
+        trial.layers[static_cast<size_t>(li)] = {deg, dim};
+        const double cost = sim.StepSeconds(trial);
+        ++evaluated;
+        if (cost < best) {
+          best = cost;
+          best_a = {deg, dim};
+        }
+      }
+    }
+    out.strategy.layers[static_cast<size_t>(li)] = best_a;
+  }
+  out.step_seconds = sim.StepSeconds(out.strategy);
+  out.optimize_seconds = watch.Seconds();
+  out.evaluated = evaluated;
+  return out;
+}
+
+SearchResult RandomStrategy(const ParallelSimulator& sim,
+                            const SearchConfig& config) {
+  Stopwatch watch;
+  Rng rng(config.seed);
+  const std::vector<int64_t> degrees = sim.ValidDegrees();
+  SearchResult out;
+  out.strategy = sim.DataParallelBaseline();
+  out.step_seconds = sim.StepSeconds(out.strategy);
+  for (int64_t it = 0; it < config.iterations; ++it) {
+    Strategy trial;
+    trial.layers.resize(static_cast<size_t>(sim.num_layers()));
+    for (auto& a : trial.layers) {
+      a.degree = degrees[rng.Index(degrees.size())];
+      a.dim = rng.Bernoulli(0.5) ? ParallelDim::kData : ParallelDim::kModel;
+    }
+    const double cost = sim.StepSeconds(trial);
+    if (cost < out.step_seconds) {
+      out.step_seconds = cost;
+      out.strategy = std::move(trial);
+    }
+  }
+  out.optimize_seconds = watch.Seconds();
+  out.evaluated = config.iterations;
+  return out;
+}
+
+}  // namespace dlsys

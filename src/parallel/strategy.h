@@ -1,0 +1,115 @@
+#ifndef DLSYS_PARALLEL_STRATEGY_H_
+#define DLSYS_PARALLEL_STRATEGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+
+/// \file strategy.h
+/// \brief Optimize-then-parallelize (tutorial Section 2.2, FlexFlow).
+///
+/// FlexFlow's insight is to spend an explicit *optimization step* —
+/// simulate candidate parallelization strategies and search the space —
+/// before launching training. We reproduce that design: an analytic
+/// simulator prices a per-layer (degree, dimension) strategy on a device
+/// graph, and an MCMC search (plus greedy/random/data-parallel baselines)
+/// minimizes simulated step time.
+
+namespace dlsys {
+
+/// \brief A homogeneous device fleet with a shared interconnect.
+struct DeviceGraph {
+  int64_t num_devices = 4;
+  double device_flops = 1e12;             ///< per-device FLOP/s
+  double link_bandwidth_bytes_per_s = 12.5e9;  ///< per-link bandwidth
+  double link_latency_seconds = 5e-6;
+};
+
+/// \brief Per-layer workload description for the simulator.
+struct ParLayerCost {
+  int64_t forward_flops = 0;
+  int64_t backward_flops = 0;   ///< usually ~2x forward
+  int64_t param_bytes = 0;      ///< synced per step under data parallelism
+  int64_t activation_bytes = 0; ///< crosses layer boundaries
+};
+
+/// \brief How one layer splits its work.
+enum class ParallelDim {
+  kData,   ///< replicate params, split the batch, all-reduce gradients
+  kModel,  ///< split params, gather activations
+};
+
+/// \brief One layer's assignment: a parallelism degree and dimension.
+struct LayerAssignment {
+  int64_t degree = 1;
+  ParallelDim dim = ParallelDim::kData;
+};
+
+/// \brief A full strategy: one assignment per layer.
+struct Strategy {
+  std::vector<LayerAssignment> layers;
+  std::string ToString() const;
+};
+
+/// \brief Analytic simulator pricing a strategy's training-step time.
+class ParallelSimulator {
+ public:
+  ParallelSimulator(DeviceGraph graph, std::vector<ParLayerCost> layers);
+
+  /// \brief Simulated seconds for one training step under \p strategy.
+  /// Compute splits perfectly across the degree; data parallelism pays a
+  /// ring all-reduce of parameter gradients; model parallelism pays an
+  /// activation all-gather; a boundary whose neighbouring assignments
+  /// differ pays an activation redistribution.
+  double StepSeconds(const Strategy& strategy) const;
+
+  /// \brief The all-data-parallel strategy at full device count.
+  Strategy DataParallelBaseline() const;
+
+  /// \brief Valid degrees (divisors of the device count).
+  std::vector<int64_t> ValidDegrees() const;
+
+  /// \brief Number of layers.
+  int64_t num_layers() const {
+    return static_cast<int64_t>(layers_.size());
+  }
+
+ private:
+  DeviceGraph graph_;
+  std::vector<ParLayerCost> layers_;
+};
+
+/// \brief Search configuration for OptimizeStrategy.
+struct SearchConfig {
+  int64_t iterations = 2000;  ///< MCMC proposals
+  double temperature = 0.05;  ///< Metropolis acceptance temperature
+  uint64_t seed = 1;
+};
+
+/// \brief Outcome of a strategy search.
+struct SearchResult {
+  Strategy strategy;
+  double step_seconds = 0.0;      ///< simulated cost of the found strategy
+  double optimize_seconds = 0.0;  ///< wall-clock spent searching
+  int64_t evaluated = 0;          ///< simulator invocations
+};
+
+/// \brief MCMC search over (degree, dim) per layer, starting from the
+/// data-parallel baseline.
+SearchResult OptimizeStrategy(const ParallelSimulator& sim,
+                              const SearchConfig& config);
+
+/// \brief Greedy baseline: optimizes each layer independently, ignoring
+/// boundary redistribution costs.
+SearchResult GreedyStrategy(const ParallelSimulator& sim);
+
+/// \brief Random-search baseline with the same evaluation budget.
+SearchResult RandomStrategy(const ParallelSimulator& sim,
+                            const SearchConfig& config);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_PARALLEL_STRATEGY_H_

@@ -1,0 +1,196 @@
+#include "src/tensor/ops.h"
+
+#include <cmath>
+
+namespace dlsys {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMul requires rank 2");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  DLSYS_CHECK(b.dim(0) == k, "MatMul inner dimension mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMulTransA requires rank 2");
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  DLSYS_CHECK(b.dim(0) == k, "MatMulTransA inner dimension mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMulTransB requires rank 2");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  DLSYS_CHECK(b.dim(1) == k, "MatMulTransB inner dimension mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double s = 0.0;
+      for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      pc[i * n + j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+namespace {
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  DLSYS_CHECK(a.shape() == b.shape(), op);
+}
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add shape mismatch");
+  Tensor c = a;
+  for (int64_t i = 0; i < c.size(); ++i) c[i] += b[i];
+  return c;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub shape mismatch");
+  Tensor c = a;
+  for (int64_t i = 0; i < c.size(); ++i) c[i] -= b[i];
+  return c;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul shape mismatch");
+  Tensor c = a;
+  for (int64_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  return c;
+}
+
+void Axpy(float alpha, const Tensor& b, Tensor* a) {
+  DLSYS_CHECK(a->size() == b.size(), "Axpy size mismatch");
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] += alpha * pb[i];
+}
+
+void Scale(float alpha, Tensor* a) {
+  float* pa = a->data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] *= alpha;
+}
+
+Tensor RowSoftmax(const Tensor& logits) {
+  DLSYS_CHECK(logits.rank() == 2, "RowSoftmax requires rank 2");
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = row[j] > mx ? row[j] : mx;
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = static_cast<float>(orow[j] / denom);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> ArgMaxRows(const Tensor& m) {
+  DLSYS_CHECK(m.rank() == 2, "ArgMaxRows requires rank 2");
+  const int64_t n = m.dim(0), c = m.dim(1);
+  std::vector<int64_t> out(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = m.data() + i * c;
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+Tensor OneHot(const std::vector<int64_t>& labels, int64_t num_classes) {
+  Tensor out({static_cast<int64_t>(labels.size()), num_classes});
+  for (size_t i = 0; i < labels.size(); ++i) {
+    DLSYS_CHECK(labels[i] >= 0 && labels[i] < num_classes,
+                "label out of range");
+    out.at(static_cast<int64_t>(i), labels[i]) = 1.0f;
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& m) {
+  DLSYS_CHECK(m.rank() == 2, "MeanRows requires rank 2");
+  const int64_t n = m.dim(0), c = m.dim(1);
+  Tensor out({c});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < c; ++j) out[j] += m[i * c + j];
+  }
+  if (n > 0) Scale(1.0f / static_cast<float>(n), &out);
+  return out;
+}
+
+Tensor SliceRows(const Tensor& m, int64_t begin, int64_t end) {
+  DLSYS_CHECK(m.rank() == 2, "SliceRows requires rank 2");
+  DLSYS_CHECK(begin >= 0 && begin <= end && end <= m.dim(0),
+              "SliceRows range invalid");
+  const int64_t c = m.dim(1);
+  Tensor out({end - begin, c});
+  std::copy(m.data() + begin * c, m.data() + end * c, out.data());
+  return out;
+}
+
+Tensor Transpose(const Tensor& m) {
+  DLSYS_CHECK(m.rank() == 2, "Transpose requires rank 2");
+  const int64_t r = m.dim(0), c = m.dim(1);
+  Tensor out({c, r});
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < c; ++j) out[j * r + i] = m[i * c + j];
+  }
+  return out;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  DLSYS_CHECK(logits.dim(0) == static_cast<int64_t>(labels.size()),
+              "Accuracy: row/label count mismatch");
+  if (labels.empty()) return 0.0;
+  std::vector<int64_t> pred = ArgMaxRows(logits);
+  int64_t hits = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+}  // namespace dlsys

@@ -1,0 +1,57 @@
+#ifndef DLSYS_TENSOR_OPS_H_
+#define DLSYS_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+/// \file ops.h
+/// \brief Dense kernels over Tensor: GEMM variants, elementwise math,
+/// row-wise reductions.
+///
+/// All kernels are single-threaded, cache-friendly loop nests; the library
+/// optimises for determinism and clarity, not peak FLOP/s — absolute speed
+/// is not what the reproduction measures, relative costs are.
+
+namespace dlsys {
+
+/// \brief C = A(MxK) * B(KxN). Shapes are checked.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// \brief C = A^T(KxM -> MxK as given) * B: computes A'(MxK)^T? No —
+/// computes C(MxN) = A(KxM)^T * B(KxN).
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// \brief C(MxN) = A(MxK) * B(NxK)^T.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// \brief Returns a + b elementwise (same shape required).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// \brief Returns a - b elementwise (same shape required).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// \brief Returns a * b elementwise (same shape required).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// \brief a += alpha * b, elementwise in place (same size required).
+void Axpy(float alpha, const Tensor& b, Tensor* a);
+/// \brief a *= alpha in place.
+void Scale(float alpha, Tensor* a);
+
+/// \brief Row-wise numerically-stable softmax of a rank-2 tensor.
+Tensor RowSoftmax(const Tensor& logits);
+/// \brief Per-row argmax of a rank-2 tensor.
+std::vector<int64_t> ArgMaxRows(const Tensor& m);
+/// \brief One-hot encodes \p labels into an NxC matrix.
+Tensor OneHot(const std::vector<int64_t>& labels, int64_t num_classes);
+
+/// \brief Mean over rows: returns a length-C vector tensor from NxC.
+Tensor MeanRows(const Tensor& m);
+/// \brief Extracts row range [begin, end) of a rank-2 tensor.
+Tensor SliceRows(const Tensor& m, int64_t begin, int64_t end);
+/// \brief Transpose of a rank-2 tensor.
+Tensor Transpose(const Tensor& m);
+
+/// \brief Fraction of rows whose argmax equals the label.
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_TENSOR_OPS_H_

@@ -1,0 +1,185 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dlsys {
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::Allocate(int64_t bytes) {
+  int64_t now = current_.fetch_add(bytes) + bytes;
+  int64_t peak = peak_.load();
+  while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+  }
+}
+
+void MemoryTracker::Release(int64_t bytes) { current_.fetch_sub(bytes); }
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    DLSYS_CHECK(d >= 0, "negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::string out = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(NumElements(shape_), 0.0f);
+  Track(bytes());
+}
+
+Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)) {
+  data_.assign(NumElements(shape_), fill);
+  Track(bytes());
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  DLSYS_CHECK(NumElements(shape_) == static_cast<int64_t>(data_.size()),
+              "shape/value size mismatch");
+  Track(bytes());
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  Track(bytes());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  Track(-bytes());
+  shape_ = other.shape_;
+  data_ = other.data_;
+  Track(bytes());
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)), data_(std::move(other.data_)) {
+  other.shape_.clear();
+  other.data_.clear();
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  Track(-bytes());
+  shape_ = std::move(other.shape_);
+  data_ = std::move(other.data_);
+  other.shape_.clear();
+  other.data_.clear();
+  return *this;
+}
+
+Tensor::~Tensor() { Track(-bytes()); }
+
+void Tensor::Track(int64_t delta) {
+  if (delta > 0) {
+    MemoryTracker::Global().Allocate(delta);
+  } else if (delta < 0) {
+    MemoryTracker::Global().Release(-delta);
+  }
+}
+
+int64_t Tensor::dim(int64_t d) const {
+  if (d < 0) d += rank();
+  DLSYS_CHECK(d >= 0 && d < rank(), "dimension index out of range");
+  return shape_[d];
+}
+
+float& Tensor::at(int64_t r, int64_t c) {
+  DLSYS_CHECK(rank() == 2, "at(r, c) requires rank 2");
+  DLSYS_CHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1],
+              "index out of range");
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  DLSYS_CHECK(NumElements(new_shape) == size(),
+              "reshape must preserve element count");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  out.Track(out.bytes());
+  return out;
+}
+
+void Tensor::Clear() {
+  Track(-bytes());
+  shape_.clear();
+  data_.clear();
+  data_.shrink_to_fit();
+}
+
+void Tensor::FillGaussian(Rng* rng, float stddev) {
+  for (float& v : data_) v = static_cast<float>(rng->Gaussian(0.0, stddev));
+}
+
+void Tensor::FillUniform(Rng* rng, float lo, float hi) {
+  for (float& v : data_) v = static_cast<float>(rng->Uniform(lo, hi));
+}
+
+void Tensor::Fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+float Tensor::Max() const {
+  DLSYS_CHECK(!data_.empty(), "Max of empty tensor");
+  float m = data_[0];
+  for (float v : data_) m = v > m ? v : m;
+  return m;
+}
+
+int64_t Tensor::ArgMax() const {
+  DLSYS_CHECK(!data_.empty(), "ArgMax of empty tensor");
+  int64_t best = 0;
+  for (int64_t i = 1; i < size(); ++i) {
+    if (data_[i] > data_[best]) best = i;
+  }
+  return best;
+}
+
+double Tensor::L2Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+std::string Tensor::ToString(int64_t max_elems) const {
+  std::string out = "Tensor(" + ShapeToString(shape_) + ", [";
+  char buf[32];
+  for (int64_t i = 0; i < size() && i < max_elems; ++i) {
+    if (i) out += ", ";
+    std::snprintf(buf, sizeof(buf), "%.4g", data_[i]);
+    out += buf;
+  }
+  if (size() > max_elems) out += ", ...";
+  out += "])";
+  return out;
+}
+
+}  // namespace dlsys

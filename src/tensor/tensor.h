@@ -1,0 +1,139 @@
+#ifndef DLSYS_TENSOR_TENSOR_H_
+#define DLSYS_TENSOR_TENSOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+
+/// \file tensor.h
+/// \brief Dense row-major float tensors with byte-accurate memory tracking.
+///
+/// The tutorial's Part 1 frames deep learning as data movement and
+/// computation over large arrays; the memory-oriented techniques of
+/// Section 2.3 (checkpointing, offloading) need to *measure* how many
+/// bytes a training step holds live. Every Tensor allocation and release
+/// reports to the process-wide MemoryTracker so current/peak byte counts
+/// are exact, not estimated.
+
+namespace dlsys {
+
+/// \brief Process-wide accounting of live tensor bytes.
+///
+/// Thread-safe. Peak tracking is monotone between calls to ResetPeak().
+class MemoryTracker {
+ public:
+  /// \brief The singleton tracker.
+  static MemoryTracker& Global();
+
+  /// \brief Records an allocation of \p bytes.
+  void Allocate(int64_t bytes);
+  /// \brief Records a release of \p bytes.
+  void Release(int64_t bytes);
+  /// \brief Bytes currently live.
+  int64_t current_bytes() const { return current_.load(); }
+  /// \brief Highest value current_bytes() has reached since ResetPeak().
+  int64_t peak_bytes() const { return peak_.load(); }
+  /// \brief Resets the peak to the current level.
+  void ResetPeak() { peak_.store(current_.load()); }
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// \brief Tensor shape: a list of non-negative dimension extents.
+using Shape = std::vector<int64_t>;
+
+/// \brief Number of elements a shape describes (product of extents).
+int64_t NumElements(const Shape& shape);
+/// \brief "[2, 3, 4]"-style rendering.
+std::string ShapeToString(const Shape& shape);
+
+/// \brief Dense row-major float32 tensor with value semantics.
+///
+/// Copies duplicate storage (and are tracked); moves transfer it. All
+/// index arithmetic is int64_t. Element access is unchecked in release
+/// builds via data(); at(...) checks bounds.
+class Tensor {
+ public:
+  /// Constructs an empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+  /// Constructs a zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+  /// Constructs a tensor of the given shape filled with \p fill.
+  Tensor(Shape shape, float fill);
+  /// Constructs from a shape and an explicit element list (sizes must
+  /// match; checked).
+  Tensor(Shape shape, std::vector<float> values);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
+
+  /// \brief The tensor's shape.
+  const Shape& shape() const { return shape_; }
+  /// \brief Number of dimensions.
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  /// \brief Extent of dimension \p d (supports negative indices).
+  int64_t dim(int64_t d) const;
+  /// \brief Total number of elements.
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  /// \brief Bytes of element storage.
+  int64_t bytes() const { return size() * static_cast<int64_t>(sizeof(float)); }
+  /// \brief True iff the tensor holds no elements.
+  bool empty() const { return data_.empty(); }
+
+  /// \brief Mutable flat element storage, row-major.
+  float* data() { return data_.data(); }
+  /// \brief Immutable flat element storage, row-major.
+  const float* data() const { return data_.data(); }
+  /// \brief Flat element access, unchecked.
+  float& operator[](int64_t i) { return data_[i]; }
+  float operator[](int64_t i) const { return data_[i]; }
+
+  /// \brief Checked 2-D element access (requires rank 2).
+  float& at(int64_t r, int64_t c);
+  float at(int64_t r, int64_t c) const;
+
+  /// \brief Returns a same-storage tensor with a different shape.
+  /// Element counts must match (checked).
+  Tensor Reshaped(Shape new_shape) const;
+
+  /// \brief Releases storage and becomes empty.
+  void Clear();
+
+  /// \brief Fills with independent draws N(0, stddev^2).
+  void FillGaussian(Rng* rng, float stddev);
+  /// \brief Fills with independent draws U[lo, hi).
+  void FillUniform(Rng* rng, float lo, float hi);
+  /// \brief Fills every element with \p v.
+  void Fill(float v);
+
+  /// \brief Sum of all elements.
+  double Sum() const;
+  /// \brief Largest element (requires non-empty).
+  float Max() const;
+  /// \brief Index of the largest element (requires non-empty).
+  int64_t ArgMax() const;
+  /// \brief sqrt(sum of squares).
+  double L2Norm() const;
+
+  /// \brief "Tensor([2, 3], [...first elements...])" rendering.
+  std::string ToString(int64_t max_elems = 8) const;
+
+ private:
+  void Track(int64_t delta);
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_TENSOR_TENSOR_H_

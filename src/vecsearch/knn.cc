@@ -1,0 +1,175 @@
+#include "src/vecsearch/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace dlsys {
+
+namespace {
+double L2Sq(const float* a, const float* b, int64_t d) {
+  double s = 0.0;
+  for (int64_t i = 0; i < d; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+// Keeps the k smallest (distance, id) pairs.
+std::vector<int64_t> TopK(
+    std::vector<std::pair<double, int64_t>>* candidates, int64_t k) {
+  const int64_t keep =
+      std::min<int64_t>(k, static_cast<int64_t>(candidates->size()));
+  std::partial_sort(candidates->begin(), candidates->begin() + keep,
+                    candidates->end());
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(keep));
+  for (int64_t i = 0; i < keep; ++i) {
+    out.push_back((*candidates)[static_cast<size_t>(i)].second);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<int64_t> BruteForceKnn(const Tensor& base, const float* query,
+                                   int64_t k) {
+  DLSYS_CHECK(base.rank() == 2 && k > 0, "bad knn input");
+  const int64_t n = base.dim(0), d = base.dim(1);
+  std::vector<std::pair<double, int64_t>> candidates;
+  candidates.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    candidates.push_back({L2Sq(base.data() + i * d, query, d), i});
+  }
+  return TopK(&candidates, k);
+}
+
+Result<IvfIndex> IvfIndex::Build(const Tensor& base, int64_t num_lists,
+                                 int64_t kmeans_iters, uint64_t seed) {
+  if (base.rank() != 2 || base.dim(0) == 0) {
+    return Status::InvalidArgument("base must be a non-empty n x d tensor");
+  }
+  if (num_lists <= 0 || num_lists > base.dim(0)) {
+    return Status::InvalidArgument("num_lists must be in [1, n]");
+  }
+  IvfIndex index;
+  index.base_ = &base;
+  const int64_t n = base.dim(0), d = base.dim(1);
+  index.dims_ = d;
+  // Seed centroids with random distinct base vectors.
+  Rng rng(seed);
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&perm);
+  index.centroids_.resize(static_cast<size_t>(num_lists * d));
+  for (int64_t c = 0; c < num_lists; ++c) {
+    const float* src = base.data() + perm[static_cast<size_t>(c)] * d;
+    std::copy(src, src + d, index.centroids_.begin() + c * d);
+  }
+  std::vector<int64_t> assign(static_cast<size_t>(n), 0);
+  for (int64_t iter = 0; iter < kmeans_iters; ++iter) {
+    // Assign.
+    for (int64_t i = 0; i < n; ++i) {
+      double best = 1e300;
+      int64_t pick = 0;
+      for (int64_t c = 0; c < num_lists; ++c) {
+        const double dist =
+            L2Sq(base.data() + i * d, index.centroids_.data() + c * d, d);
+        if (dist < best) {
+          best = dist;
+          pick = c;
+        }
+      }
+      assign[static_cast<size_t>(i)] = pick;
+    }
+    // Update.
+    std::vector<double> sums(static_cast<size_t>(num_lists * d), 0.0);
+    std::vector<int64_t> counts(static_cast<size_t>(num_lists), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = assign[static_cast<size_t>(i)];
+      counts[static_cast<size_t>(c)] += 1;
+      for (int64_t j = 0; j < d; ++j) {
+        sums[static_cast<size_t>(c * d + j)] += base[i * d + j];
+      }
+    }
+    for (int64_t c = 0; c < num_lists; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      for (int64_t j = 0; j < d; ++j) {
+        index.centroids_[static_cast<size_t>(c * d + j)] =
+            static_cast<float>(sums[static_cast<size_t>(c * d + j)] /
+                               counts[static_cast<size_t>(c)]);
+      }
+    }
+  }
+  index.lists_.assign(static_cast<size_t>(num_lists), {});
+  for (int64_t i = 0; i < n; ++i) {
+    index.lists_[static_cast<size_t>(assign[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+  return index;
+}
+
+std::vector<int64_t> IvfIndex::Search(const float* query, int64_t k,
+                                      int64_t nprobe) const {
+  DLSYS_CHECK(base_ != nullptr, "index not built");
+  DLSYS_CHECK(k > 0 && nprobe > 0, "bad search params");
+  const int64_t probes = std::min<int64_t>(nprobe, num_lists());
+  // Rank lists by centroid distance.
+  std::vector<std::pair<double, int64_t>> order;
+  for (int64_t c = 0; c < num_lists(); ++c) {
+    order.push_back(
+        {L2Sq(query, centroids_.data() + c * dims_, dims_), c});
+  }
+  std::partial_sort(order.begin(), order.begin() + probes, order.end());
+  std::vector<std::pair<double, int64_t>> candidates;
+  for (int64_t p = 0; p < probes; ++p) {
+    for (int64_t row : lists_[static_cast<size_t>(order[
+             static_cast<size_t>(p)].second)]) {
+      candidates.push_back(
+          {L2Sq(base_->data() + row * dims_, query, dims_), row});
+    }
+  }
+  return TopK(&candidates, k);
+}
+
+int64_t IvfIndex::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(centroids_.size()) * 4;
+  for (const auto& list : lists_) {
+    bytes += static_cast<int64_t>(list.size()) * 8;
+  }
+  return bytes;
+}
+
+double RecallAtK(const std::vector<int64_t>& approx,
+                 const std::vector<int64_t>& truth) {
+  if (truth.empty()) return 0.0;
+  int64_t hits = 0;
+  for (int64_t t : truth) {
+    for (int64_t a : approx) {
+      if (a == t) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+Tensor MakeEmbeddingCorpus(int64_t n, int64_t dims, int64_t clusters,
+                           Rng* rng) {
+  DLSYS_CHECK(n > 0 && dims > 0 && clusters > 0, "bad corpus config");
+  Tensor centers({clusters, dims});
+  centers.FillGaussian(rng, 3.0f);
+  Tensor out({n, dims});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = static_cast<int64_t>(rng->Index(
+        static_cast<uint64_t>(clusters)));
+    for (int64_t d = 0; d < dims; ++d) {
+      out[i * dims + d] = centers[c * dims + d] +
+                          static_cast<float>(rng->Gaussian() * 0.7);
+    }
+  }
+  return out;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,65 @@
+#ifndef DLSYS_VECSEARCH_KNN_H_
+#define DLSYS_VECSEARCH_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/tensor/tensor.h"
+
+/// \file knn.h
+/// \brief High-dimensional vector similarity search (tutorial Part 2,
+/// citing Echihabi's "High-Dimensional Vector Similarity Search"): the
+/// access-method problem behind deep embeddings. Exact brute-force
+/// scan as ground truth, and an IVF (inverted-file) index that trades
+/// recall for latency via its probe count.
+
+namespace dlsys {
+
+/// \brief Exact k-nearest-neighbour scan under L2; returns row indices
+/// ordered by ascending distance.
+std::vector<int64_t> BruteForceKnn(const Tensor& base, const float* query,
+                                   int64_t k);
+
+/// \brief Inverted-file index: base vectors are clustered by k-means;
+/// a query scans only the \p nprobe nearest clusters.
+class IvfIndex {
+ public:
+  /// \brief Builds the index over \p base (n x d) with \p num_lists
+  /// clusters trained by \p kmeans_iters Lloyd iterations.
+  static Result<IvfIndex> Build(const Tensor& base, int64_t num_lists,
+                                int64_t kmeans_iters, uint64_t seed);
+
+  /// \brief Approximate k-NN probing the \p nprobe closest lists.
+  std::vector<int64_t> Search(const float* query, int64_t k,
+                              int64_t nprobe) const;
+
+  /// \brief Number of inverted lists.
+  int64_t num_lists() const {
+    return static_cast<int64_t>(lists_.size());
+  }
+  /// \brief Index memory: centroids + list contents.
+  int64_t MemoryBytes() const;
+
+ private:
+  const Tensor* base_ = nullptr;
+  int64_t dims_ = 0;
+  std::vector<float> centroids_;             ///< num_lists x dims
+  std::vector<std::vector<int64_t>> lists_;  ///< row ids per cluster
+};
+
+/// \brief Recall@k of \p approx against exact \p truth (fraction of
+/// true neighbours retrieved).
+double RecallAtK(const std::vector<int64_t>& approx,
+                 const std::vector<int64_t>& truth);
+
+/// \brief Synthetic embedding workload: \p clusters Gaussian bundles in
+/// \p dims dimensions (embeddings are clustered in practice — that is
+/// what IVF exploits).
+Tensor MakeEmbeddingCorpus(int64_t n, int64_t dims, int64_t clusters,
+                           Rng* rng);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_VECSEARCH_KNN_H_

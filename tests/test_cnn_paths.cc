@@ -1,0 +1,164 @@
+// Convolutional-network coverage of the technique modules: the
+// tutorial's running examples are CNNs, so the compression, memory, and
+// inspection machinery must work on rank-4 weights and conv pipelines,
+// not just MLPs.
+
+#include <gtest/gtest.h>
+
+#include "src/compress/pruning.h"
+#include "src/compress/quantization.h"
+#include "src/data/synthetic.h"
+#include "src/interpret/model_store.h"
+#include "src/interpret/saliency.h"
+#include "src/memsched/checkpoint.h"
+#include "src/nn/serialize.h"
+#include "src/nn/loss.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+namespace {
+
+class CnnPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(41);
+    data_ = MakeDigitGrid(400, 8, 4, 0.2, &rng);
+    split_ = Split(data_, 0.8);
+    net_ = MakeCnn(8, 4, 8, 4);
+    net_.Init(&rng);
+    Adam opt(0.005);
+    TrainConfig tc;
+    tc.epochs = 8;
+    tc.batch_size = 16;
+    Train(&net_, &opt, split_.train, tc);
+  }
+  Dataset data_;
+  TrainTestSplit split_;
+  Sequential net_;
+};
+
+TEST_F(CnnPathTest, BaselineLearns) {
+  EXPECT_GT(Evaluate(&net_, split_.test).accuracy, 0.9);
+}
+
+TEST_F(CnnPathTest, QuantizationWorksOnConvWeights) {
+  Sequential q = net_.Clone();
+  auto nq = QuantizeNetwork(&q, QuantizerKind::kUniform, 8);
+  ASSERT_TRUE(nq.ok());
+  EXPECT_GT(Evaluate(&q, split_.test).accuracy,
+            Evaluate(&net_, split_.test).accuracy - 0.05);
+  EXPECT_LT(nq->packed_bytes, nq->original_bytes);
+}
+
+TEST_F(CnnPathTest, MagnitudePruningCoversRank4Weights) {
+  Sequential p = net_.Clone();
+  auto mask =
+      BuildPruneMask(&p, PruneCriterion::kMagnitude, 0.5, nullptr, nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_NEAR(mask->Sparsity(), 0.5, 0.02);
+  mask->Apply(&p);
+  // Conv weight tensors must have zeros now.
+  bool conv_has_zeros = false;
+  for (Tensor* w : p.Params()) {
+    if (w->rank() == 4) {
+      for (int64_t i = 0; i < w->size(); ++i) {
+        if ((*w)[i] == 0.0f) {
+          conv_has_zeros = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(conv_has_zeros);
+}
+
+TEST_F(CnnPathTest, FilterPruningRemovesWholeConvFilters) {
+  Sequential p = net_.Clone();
+  auto mask = BuildFilterPruneMask(&p, 0.3);
+  ASSERT_TRUE(mask.ok());
+  // In every rank-4 mask, each output-filter slice is all-0 or all-1.
+  for (const Tensor& m : mask->masks()) {
+    if (m.rank() != 4) continue;
+    const int64_t oc = m.dim(0);
+    const int64_t per = m.size() / oc;
+    for (int64_t f = 0; f < oc; ++f) {
+      const float first = m[f * per];
+      for (int64_t r = 1; r < per; ++r) {
+        ASSERT_EQ(m[f * per + r], first) << "filter " << f;
+      }
+    }
+  }
+}
+
+TEST_F(CnnPathTest, CheckpointedCnnStepMatchesPlain) {
+  Sequential a = net_.Clone();
+  Sequential b = net_.Clone();
+  Sgd opt_a(0.01), opt_b(0.01);
+  Dataset batch = Batch(split_.train, 0, 32);
+
+  a.ZeroGrads();
+  Tensor logits = a.Forward(batch.x, CacheMode::kCache);
+  LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
+  a.Backward(lg.grad);
+  opt_a.Step(a.Params(), a.Grads());
+
+  auto loss = CheckpointedStep(&b, &opt_b, batch, PlanSqrtN(b.size()));
+  ASSERT_TRUE(loss.ok());
+  EXPECT_EQ(a.GetParameterVector(), b.GetParameterVector())
+      << "conv recompute must be bit-exact";
+}
+
+TEST_F(CnnPathTest, CheckpointingCutsConvActivationPeak) {
+  Sequential a = net_.Clone();
+  Sequential b = net_.Clone();
+  Sgd opt(0.01);
+  Dataset batch = Batch(split_.train, 0, 64);
+  MemoryTracker::Global().ResetPeak();
+  ASSERT_TRUE(CheckpointedStep(&a, &opt, batch, PlanNone(a.size())).ok());
+  const int64_t plain = MemoryTracker::Global().peak_bytes();
+  MemoryTracker::Global().ResetPeak();
+  ASSERT_TRUE(CheckpointedStep(&b, &opt, batch, PlanSqrtN(b.size())).ok());
+  EXPECT_LT(MemoryTracker::Global().peak_bytes(), plain);
+}
+
+TEST_F(CnnPathTest, SaliencyOnImagesHighlightsStrokePixels) {
+  // The digit-grid classes are stroke patterns; saliency for the true
+  // class should be concentrated (non-uniform) over the 8x8 image.
+  Tensor x({1, 1, 8, 8});
+  std::copy(split_.test.x.data(), split_.test.x.data() + 64, x.data());
+  auto saliency = SaliencyMap(&net_, x, split_.test.y[0]);
+  ASSERT_TRUE(saliency.ok());
+  float mx = 0.0f;
+  double mean = 0.0;
+  for (int64_t i = 0; i < 64; ++i) {
+    mx = std::max(mx, (*saliency)[i]);
+    mean += (*saliency)[i];
+  }
+  mean /= 64.0;
+  EXPECT_GT(mx, 3.0 * mean) << "saliency should peak on informative pixels";
+}
+
+TEST_F(CnnPathTest, ModelStoreCapturesConvActivations) {
+  Dataset batch = Batch(split_.test, 0, 16);
+  auto store = ModelStore::Capture(&net_, batch.x, StorageMode::kQuantized);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_layers(), net_.size());
+  // First conv layer output: 16 x (4 * 8 * 8) units.
+  auto layer = store->GetLayer(0);
+  ASSERT_TRUE(layer.ok());
+  EXPECT_EQ(layer->dim(0), 16);
+}
+
+TEST_F(CnnPathTest, SerializationRoundTripsConvNets) {
+  const std::string path = ::testing::TempDir() + "/cnn.dlsy";
+  ASSERT_TRUE(SaveParameters(net_, path).ok());
+  Sequential restored = MakeCnn(8, 4, 8, 4);
+  Rng rng(99);
+  restored.Init(&rng);
+  ASSERT_TRUE(LoadParameters(&restored, path).ok());
+  EXPECT_EQ(net_.GetParameterVector(), restored.GetParameterVector());
+}
+
+}  // namespace
+}  // namespace dlsys

@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compress/distill.h"
+#include "src/compress/pruning.h"
+#include "src/compress/quantization.h"
+#include "src/data/synthetic.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+namespace {
+
+// ------------------------------------------------------------ Quantize
+
+TEST(QuantizationTest, RejectsBadBits) {
+  Tensor t({4}, 1.0f);
+  EXPECT_FALSE(Quantize(t, QuantizerKind::kUniform, 0).ok());
+  EXPECT_FALSE(Quantize(t, QuantizerKind::kUniform, 17).ok());
+  EXPECT_TRUE(Quantize(t, QuantizerKind::kUniform, 1).ok());
+}
+
+TEST(QuantizationTest, RejectsEmptyTensor) {
+  Tensor t;
+  EXPECT_FALSE(Quantize(t, QuantizerKind::kUniform, 8).ok());
+}
+
+// Property sweep: round-trip error of the uniform quantizer is bounded by
+// half the step size, for every bit width.
+class UniformQuantSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(UniformQuantSweep, RoundTripErrorBounded) {
+  const int64_t bits = GetParam();
+  Rng rng(42 + static_cast<uint64_t>(bits));
+  Tensor t({500});
+  t.FillGaussian(&rng, 1.0f);
+  auto q = Quantize(t, QuantizerKind::kUniform, bits);
+  ASSERT_TRUE(q.ok());
+  Tensor deq = q->Dequantize();
+  float lo = t[0], hi = t[0];
+  for (int64_t i = 0; i < t.size(); ++i) {
+    lo = std::min(lo, t[i]);
+    hi = std::max(hi, t[i]);
+  }
+  const float step =
+      (hi - lo) / static_cast<float>((int64_t{1} << bits) - 1);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t[i] - deq[i]), step * 0.5f + 1e-6f)
+        << "bits=" << bits << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, UniformQuantSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+// Property sweep: k-means never does worse (in MSE) than uniform seeding.
+class KMeansSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(KMeansSweep, KMeansAtLeastAsGoodAsUniform) {
+  const int64_t bits = GetParam();
+  Rng rng(7);
+  Tensor t({1000});
+  t.FillGaussian(&rng, 2.0f);
+  auto qu = Quantize(t, QuantizerKind::kUniform, bits);
+  auto qk = Quantize(t, QuantizerKind::kKMeans, bits);
+  ASSERT_TRUE(qu.ok() && qk.ok());
+  auto mse = [&](const QuantizedTensor& q) {
+    Tensor d = q.Dequantize();
+    double s = 0.0;
+    for (int64_t i = 0; i < t.size(); ++i) {
+      s += (t[i] - d[i]) * (t[i] - d[i]);
+    }
+    return s / t.size();
+  };
+  EXPECT_LE(mse(*qk), mse(*qu) + 1e-9) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, KMeansSweep, ::testing::Values(1, 2, 4, 6));
+
+TEST(QuantizationTest, BinaryUsesOneBitAndSignStructure) {
+  Tensor t({6}, {-3.0f, -1.0f, -2.0f, 1.0f, 2.0f, 3.0f});
+  auto q = Quantize(t, QuantizerKind::kBinary, 8);  // bits ignored
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->bits, 1);
+  EXPECT_EQ(q->codebook.size(), 2u);
+  Tensor d = q->Dequantize();
+  // alpha = mean(|w|) = 2.
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(d[i], -2.0f);
+  for (int64_t i = 3; i < 6; ++i) EXPECT_FLOAT_EQ(d[i], 2.0f);
+}
+
+TEST(QuantizationTest, PackedBytesShrinkWithBits) {
+  Rng rng(9);
+  Tensor t({4096});
+  t.FillGaussian(&rng, 1.0f);
+  auto q8 = Quantize(t, QuantizerKind::kUniform, 8);
+  auto q2 = Quantize(t, QuantizerKind::kUniform, 2);
+  ASSERT_TRUE(q8.ok() && q2.ok());
+  EXPECT_LT(q2->PackedBytes(), q8->PackedBytes());
+  EXPECT_LT(q8->PackedBytes(), t.bytes());
+}
+
+TEST(QuantizationTest, HuffmanNeverBeatsEntropyNorExceedsPacked) {
+  Rng rng(10);
+  Tensor t({8192});
+  // Skewed data: Huffman should beat fixed-width packing clearly.
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.Bernoulli(0.9) ? 0.0f : static_cast<float>(rng.Gaussian());
+  }
+  auto q = Quantize(t, QuantizerKind::kKMeans, 4);
+  ASSERT_TRUE(q.ok());
+  EXPECT_LT(q->HuffmanBytes(), q->PackedBytes());
+}
+
+TEST(HuffmanTest, KnownSmallCase) {
+  // Frequencies {1, 1, 2}: optimal code lengths {2, 2, 1} -> total 6 bits.
+  EXPECT_EQ(HuffmanBitLength({1, 1, 2}), 6);
+  // Single symbol: 1 bit per occurrence.
+  EXPECT_EQ(HuffmanBitLength({5}), 5);
+  EXPECT_EQ(HuffmanBitLength({}), 0);
+  EXPECT_EQ(HuffmanBitLength({0, 0, 7}), 7);
+}
+
+TEST(QuantizationTest, NetworkQuantizationKeepsAccuracyAt8Bits) {
+  Rng rng(17);
+  Dataset data = MakeGaussianBlobs(500, 6, 3, 4.0, &rng);
+  auto split = Split(data, 0.8);
+  Sequential net = MakeMlp(6, {24}, 3);
+  net.Init(&rng);
+  Sgd opt(0.05, 0.9);
+  TrainConfig config;
+  config.epochs = 12;
+  Train(&net, &opt, split.train, config);
+  const double acc_before = Evaluate(&net, split.test).accuracy;
+  auto nq = QuantizeNetwork(&net, QuantizerKind::kUniform, 8);
+  ASSERT_TRUE(nq.ok());
+  const double acc_after = Evaluate(&net, split.test).accuracy;
+  EXPECT_GT(acc_before, 0.9);
+  EXPECT_GT(acc_after, acc_before - 0.03) << "8-bit uniform should be benign";
+  // 8-bit codes + affine codebooks: close to a 4x size reduction.
+  EXPECT_LT(nq->packed_bytes, nq->original_bytes / 3);
+}
+
+// -------------------------------------------------------------- Pruning
+
+TEST(PruningTest, MaskStartsDense) {
+  Rng rng(1);
+  Sequential net = MakeMlp(4, {8}, 2);
+  net.Init(&rng);
+  PruneMask mask(&net);
+  EXPECT_DOUBLE_EQ(mask.Sparsity(), 0.0);
+  EXPECT_EQ(mask.NumAlive(), 4 * 8 + 8 * 2);
+}
+
+// Property sweep: achieved sparsity tracks the request across criteria.
+struct PruneCase {
+  PruneCriterion criterion;
+  double sparsity;
+};
+
+class PruneSweep : public ::testing::TestWithParam<PruneCase> {};
+
+TEST_P(PruneSweep, AchievesRequestedSparsity) {
+  const PruneCase c = GetParam();
+  Rng rng(3);
+  Dataset data = MakeGaussianBlobs(128, 6, 3, 3.0, &rng);
+  Sequential net = MakeMlp(6, {32}, 3);
+  net.Init(&rng);
+  auto mask = BuildPruneMask(&net, c.criterion, c.sparsity, &data, &rng);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_NEAR(mask->Sparsity(), c.sparsity, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CriteriaAndLevels, PruneSweep,
+    ::testing::Values(PruneCase{PruneCriterion::kMagnitude, 0.3},
+                      PruneCase{PruneCriterion::kMagnitude, 0.7},
+                      PruneCase{PruneCriterion::kMagnitude, 0.9},
+                      PruneCase{PruneCriterion::kLossSensitivity, 0.5},
+                      PruneCase{PruneCriterion::kLossSensitivity, 0.8},
+                      PruneCase{PruneCriterion::kRandom, 0.5},
+                      PruneCase{PruneCriterion::kRandom, 0.9}));
+
+TEST(PruningTest, MagnitudePrunesSmallestWeights) {
+  Rng rng(4);
+  Sequential net = MakeMlp(2, {2}, 2);
+  net.Init(&rng);
+  // Make one weight clearly tiny.
+  Tensor* w = net.Params()[0];
+  w->Fill(1.0f);
+  (*w)[0] = 1e-6f;
+  auto mask = BuildPruneMask(&net, PruneCriterion::kMagnitude, 0.1, nullptr,
+                             nullptr);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->masks()[0][0], 0.0f);
+}
+
+TEST(PruningTest, ApplyZeroesWeights) {
+  Rng rng(5);
+  Sequential net = MakeMlp(4, {8}, 2);
+  net.Init(&rng);
+  auto mask =
+      BuildPruneMask(&net, PruneCriterion::kMagnitude, 0.5, nullptr, nullptr);
+  ASSERT_TRUE(mask.ok());
+  mask->Apply(&net);
+  int64_t zeros = 0, total = 0;
+  for (Tensor* p : net.Params()) {
+    if (p->rank() < 2) continue;
+    total += p->size();
+    for (int64_t j = 0; j < p->size(); ++j) {
+      if ((*p)[j] == 0.0f) ++zeros;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / total, 0.5, 0.03);
+}
+
+TEST(PruningTest, RejectsInvalidSparsity) {
+  Rng rng(6);
+  Sequential net = MakeMlp(2, {2}, 2);
+  net.Init(&rng);
+  EXPECT_FALSE(
+      BuildPruneMask(&net, PruneCriterion::kMagnitude, 1.0, nullptr, nullptr)
+          .ok());
+  EXPECT_FALSE(
+      BuildPruneMask(&net, PruneCriterion::kMagnitude, -0.1, nullptr, nullptr)
+          .ok());
+}
+
+TEST(PruningTest, LossSensitivityNeedsCalibration) {
+  Rng rng(7);
+  Sequential net = MakeMlp(2, {2}, 2);
+  net.Init(&rng);
+  EXPECT_FALSE(BuildPruneMask(&net, PruneCriterion::kLossSensitivity, 0.5,
+                              nullptr, nullptr)
+                   .ok());
+}
+
+TEST(PruningTest, FilterPruningRemovesWholeColumns) {
+  Rng rng(8);
+  Sequential net = MakeMlp(4, {8}, 2);
+  net.Init(&rng);
+  auto mask = BuildFilterPruneMask(&net, 0.4);
+  ASSERT_TRUE(mask.ok());
+  // In the first weight matrix (4 x 8), every column must be all-kept or
+  // all-pruned.
+  const Tensor& m = mask->masks()[0];
+  for (int64_t c = 0; c < 8; ++c) {
+    const float first = m[c];
+    for (int64_t r = 1; r < 4; ++r) {
+      EXPECT_EQ(m[r * 8 + c], first) << "column " << c << " not structured";
+    }
+  }
+  EXPECT_GE(mask->Sparsity(), 0.4);
+}
+
+TEST(PruningTest, MaskedFinetuneKeepsPrunedWeightsZero) {
+  Rng rng(9);
+  Dataset data = MakeGaussianBlobs(256, 6, 3, 3.0, &rng);
+  Sequential net = MakeMlp(6, {16}, 3);
+  net.Init(&rng);
+  auto mask =
+      BuildPruneMask(&net, PruneCriterion::kMagnitude, 0.6, nullptr, nullptr);
+  ASSERT_TRUE(mask.ok());
+  mask->Apply(&net);
+  Sgd opt(0.05, 0.9);
+  TrainConfig config;
+  config.epochs = 3;
+  config.on_step = [&](int64_t, int64_t, double) {
+    // The standard sparse-finetune recipe: re-zero after each step.
+    mask->Apply(&net);
+  };
+  Train(&net, &opt, data, config);
+  // Every masked coordinate must still be zero.
+  size_t wi = 0;
+  for (Tensor* p : net.Params()) {
+    if (p->rank() < 2) continue;
+    const Tensor& m = mask->masks()[wi++];
+    for (int64_t j = 0; j < p->size(); ++j) {
+      if (m[j] == 0.0f) {
+        ASSERT_EQ((*p)[j], 0.0f);
+      }
+    }
+  }
+}
+
+TEST(PruningTest, SparseBytesShrinkWithSparsity) {
+  Rng rng(10);
+  Sequential net = MakeMlp(16, {64}, 4);
+  net.Init(&rng);
+  auto m30 =
+      BuildPruneMask(&net, PruneCriterion::kMagnitude, 0.3, nullptr, nullptr);
+  auto m90 =
+      BuildPruneMask(&net, PruneCriterion::kMagnitude, 0.9, nullptr, nullptr);
+  ASSERT_TRUE(m30.ok() && m90.ok());
+  EXPECT_LT(SparseModelBytes(&net, *m90), SparseModelBytes(&net, *m30));
+}
+
+// ---------------------------------------------------------- Distillation
+
+TEST(DistillTest, RejectsBadConfig) {
+  Rng rng(11);
+  Dataset data = MakeGaussianBlobs(64, 4, 2, 3.0, &rng);
+  Sequential teacher = MakeMlp(4, {8}, 2);
+  Sequential student = MakeMlp(4, {4}, 2);
+  teacher.Init(&rng);
+  student.Init(&rng);
+  Sgd opt(0.05);
+  DistillConfig config;
+  config.temperature = 0.0;
+  EXPECT_FALSE(Distill(&teacher, &student, &opt, data, config).ok());
+  config.temperature = 2.0;
+  config.alpha = 1.5;
+  EXPECT_FALSE(Distill(&teacher, &student, &opt, data, config).ok());
+}
+
+TEST(DistillTest, StudentApproachesTeacherAccuracy) {
+  Rng rng(12);
+  Dataset data = MakeGaussianBlobs(800, 8, 4, 3.0, &rng);
+  auto split = Split(data, 0.8);
+  Sequential teacher = MakeMlp(8, {64, 64}, 4);
+  teacher.Init(&rng);
+  Sgd teacher_opt(0.05, 0.9);
+  TrainConfig tc;
+  tc.epochs = 20;
+  Train(&teacher, &teacher_opt, split.train, tc);
+  const double teacher_acc = Evaluate(&teacher, split.test).accuracy;
+  ASSERT_GT(teacher_acc, 0.85);
+
+  Sequential student = MakeMlp(8, {8}, 4);
+  student.Init(&rng);
+  Sgd student_opt(0.05, 0.9);
+  DistillConfig config;
+  config.epochs = 25;
+  auto report = Distill(&teacher, &student, &student_opt, split.train, config);
+  ASSERT_TRUE(report.ok());
+  const double student_acc = Evaluate(&student, split.test).accuracy;
+  EXPECT_GT(student_acc, teacher_acc - 0.1)
+      << "distilled 8-unit student should track the 64x64 teacher";
+  EXPECT_LT(student.ModelBytes(), teacher.ModelBytes() / 4);
+}
+
+TEST(DistillTest, PureSoftLossNeedsNoAccurateLabels) {
+  // alpha=1: the student never sees hard labels, only the teacher.
+  Rng rng(13);
+  Dataset data = MakeGaussianBlobs(600, 6, 3, 4.0, &rng);
+  auto split = Split(data, 0.8);
+  Sequential teacher = MakeMlp(6, {32}, 3);
+  teacher.Init(&rng);
+  Sgd topt(0.05, 0.9);
+  TrainConfig tc;
+  tc.epochs = 15;
+  Train(&teacher, &topt, split.train, tc);
+
+  // Corrupt the labels; distillation should not care with alpha=1.
+  Dataset corrupted = split.train;
+  for (auto& y : corrupted.y) y = 0;
+  Sequential student = MakeMlp(6, {12}, 3);
+  student.Init(&rng);
+  Sgd sopt(0.05, 0.9);
+  DistillConfig config;
+  config.alpha = 1.0;
+  config.epochs = 20;
+  ASSERT_TRUE(Distill(&teacher, &student, &sopt, corrupted, config).ok());
+  EXPECT_GT(Evaluate(&student, split.test).accuracy, 0.8);
+}
+
+}  // namespace
+}  // namespace dlsys

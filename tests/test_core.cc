@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "src/core/metrics.h"
+#include "src/core/rng.h"
+#include "src/core/status.h"
+#include "src/core/tradeoff.h"
+
+namespace dlsys {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad value");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad value");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad value");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) return Status::Internal("inner failure");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(bool fail) {
+  DLSYS_RETURN_NOT_OK(FailsWhen(fail));
+  return Status::AlreadyExists("reached the end");
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(UsesReturnNotOk(false).code(), StatusCode::kAlreadyExists);
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, SeededStreamsAreIdentical) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(5), b(6);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, IndexInRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Index(17), 17u);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int64_t hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(10);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng child = a.Fork();
+  Rng b(11);
+  Rng child_b = b.Fork();
+  // Forks of identical parents match each other...
+  EXPECT_EQ(child.Next(), child_b.Next());
+  // ...but differ from the parent's continued stream.
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// --------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, SetGetAddHas) {
+  MetricsReport r;
+  EXPECT_FALSE(r.Has("a"));
+  EXPECT_EQ(r.Get("a", -1.0), -1.0);
+  r.Set("a", 2.0);
+  r.Add("a", 3.0);
+  EXPECT_TRUE(r.Has("a"));
+  EXPECT_EQ(r.Get("a"), 5.0);
+}
+
+TEST(MetricsTest, MergeWithPrefix) {
+  MetricsReport a, b;
+  b.Set("x", 1.0);
+  a.Merge(b, "sub");
+  EXPECT_EQ(a.Get("sub.x"), 1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("x"), 1.0);
+}
+
+TEST(MetricsTest, ToStringContainsKeys) {
+  MetricsReport r;
+  r.Set("quality.accuracy", 0.5);
+  EXPECT_NE(r.ToString().find("quality.accuracy"), std::string::npos);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch w;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(w.Seconds(), 0.0);
+  const double before = w.Seconds();
+  w.Reset();
+  EXPECT_LE(w.Seconds(), before);
+}
+
+// -------------------------------------------------------------- Tradeoff
+
+TEST(TradeoffTest, RegisterAndFind) {
+  TradeoffRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register({"quant-8", TradeoffClass::kAccuracyVsEfficiency,
+                             "2.1", {}})
+                  .ok());
+  EXPECT_FALSE(registry
+                   .Register({"quant-8",
+                              TradeoffClass::kAccuracyVsEfficiency,
+                              "2.1",
+                              {}})
+                   .ok())
+      << "duplicate registration must fail";
+  EXPECT_TRUE(registry.Find("quant-8").ok());
+  EXPECT_FALSE(registry.Find("missing").ok());
+}
+
+TEST(TradeoffTest, RecordAppendsRuns) {
+  TradeoffRegistry registry;
+  registry.Register({"t", TradeoffClass::kTimeVsMemory, "2.3", {}});
+  MetricsReport run;
+  run.Set("x", 1.0);
+  ASSERT_TRUE(registry.Record("t", run).ok());
+  EXPECT_FALSE(registry.Record("missing", run).ok());
+  EXPECT_EQ((*registry.Find("t"))->runs.size(), 1u);
+}
+
+TEST(TradeoffTest, InClassFilters) {
+  TradeoffRegistry registry;
+  registry.Register({"a", TradeoffClass::kTimeVsMemory, "2.3", {}});
+  registry.Register({"b", TradeoffClass::kOptimizationVsRuntime, "2.2", {}});
+  registry.Register({"c", TradeoffClass::kTimeVsMemory, "2.3", {}});
+  EXPECT_EQ(registry.InClass(TradeoffClass::kTimeVsMemory).size(), 2u);
+  EXPECT_EQ(registry.InClass(TradeoffClass::kOptimizationVsRuntime).size(),
+            1u);
+}
+
+TEST(TradeoffTest, ClassNames) {
+  EXPECT_STREQ(TradeoffClassName(TradeoffClass::kAccuracyVsEfficiency),
+               "accuracy-vs-efficiency");
+  EXPECT_STREQ(TradeoffClassName(TradeoffClass::kTimeVsMemory),
+               "time-vs-memory");
+}
+
+TEST(TradeoffTest, PointsUseLatestRun) {
+  TradeoffRegistry registry;
+  registry.Register({"t", TradeoffClass::kAccuracyVsEfficiency, "2.1", {}});
+  MetricsReport run1, run2;
+  run1.Set("cost", 10.0);
+  run1.Set("quality", 0.5);
+  run2.Set("cost", 5.0);
+  run2.Set("quality", 0.6);
+  registry.Record("t", run1);
+  registry.Record("t", run2);
+  auto points = registry.Points("cost", "quality");
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].x, 5.0);
+  EXPECT_EQ(points[0].y, 0.6);
+}
+
+TEST(ParetoTest, FiltersDominatedPoints) {
+  std::vector<FrontierPoint> points = {
+      {"a", 1.0, 0.5},  // frontier (cheapest)
+      {"b", 2.0, 0.4},  // dominated by a
+      {"c", 3.0, 0.9},  // frontier
+      {"d", 2.5, 0.7},  // frontier
+      {"e", 4.0, 0.9},  // dominated by c (same y, higher x)
+  };
+  auto frontier = ParetoFrontier(points);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].technique, "a");
+  EXPECT_EQ(frontier[1].technique, "d");
+  EXPECT_EQ(frontier[2].technique, "c");
+}
+
+TEST(ParetoTest, EmptyAndSingle) {
+  EXPECT_TRUE(ParetoFrontier({}).empty());
+  auto one = ParetoFrontier({{"x", 1.0, 1.0}});
+  EXPECT_EQ(one.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dlsys

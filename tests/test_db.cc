@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/db/bloom.h"
+#include "src/db/btree.h"
+#include "src/db/histogram.h"
+#include "src/db/table.h"
+#include "src/db/tunable_db.h"
+
+namespace dlsys {
+namespace {
+
+// ----------------------------------------------------------------- BTree
+
+TEST(BTreeTest, EmptyTreeFindsNothing) {
+  BTree tree;
+  EXPECT_FALSE(tree.Find(1).ok());
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.RangeScan(0, 100).empty());
+}
+
+TEST(BTreeTest, InsertAndFind) {
+  BTree tree(4);
+  for (int64_t k = 0; k < 100; ++k) tree.Insert(k * 3, k);
+  EXPECT_EQ(tree.size(), 100);
+  for (int64_t k = 0; k < 100; ++k) {
+    auto v = tree.Find(k * 3);
+    ASSERT_TRUE(v.ok()) << "key " << k * 3;
+    EXPECT_EQ(*v, k);
+  }
+  EXPECT_FALSE(tree.Find(1).ok());
+  EXPECT_FALSE(tree.Find(-5).ok());
+}
+
+TEST(BTreeTest, OverwriteKeepsSizeStable) {
+  BTree tree;
+  tree.Insert(7, 1);
+  tree.Insert(7, 2);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_EQ(*tree.Find(7), 2);
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  BTree tree(8);
+  for (int64_t k = 0; k < 4096; ++k) tree.Insert(k, k);
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 8);
+}
+
+// Model check: random operation sequences against std::map, across
+// fanouts (property-based sweep).
+class BTreeModelCheck : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BTreeModelCheck, MatchesStdMapOnRandomOps) {
+  const int64_t fanout = GetParam();
+  BTree tree(fanout);
+  std::map<int64_t, int64_t> model;
+  Rng rng(1000 + static_cast<uint64_t>(fanout));
+  for (int64_t op = 0; op < 3000; ++op) {
+    const int64_t key = static_cast<int64_t>(rng.Index(500));
+    const double action = rng.Uniform();
+    if (action < 0.6) {
+      const int64_t value = static_cast<int64_t>(rng.Index(1 << 20));
+      tree.Insert(key, value);
+      model[key] = value;
+    } else if (action < 0.9) {
+      auto got = tree.Find(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_FALSE(got.ok());
+      } else {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, it->second);
+      }
+    } else {
+      const int64_t lo = static_cast<int64_t>(rng.Index(500));
+      const int64_t hi = lo + static_cast<int64_t>(rng.Index(100));
+      std::vector<int64_t> got = tree.RangeScan(lo, hi);
+      std::vector<int64_t> expect;
+      for (auto it = model.lower_bound(lo);
+           it != model.end() && it->first <= hi; ++it) {
+        expect.push_back(it->second);
+      }
+      EXPECT_EQ(got, expect);
+    }
+  }
+  EXPECT_EQ(tree.size(), static_cast<int64_t>(model.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeModelCheck,
+                         ::testing::Values(4, 8, 16, 64, 256));
+
+TEST(BTreeTest, BulkLoadEquivalentToInserts) {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t k = 0; k < 1000; ++k) pairs.push_back({k * 2, k});
+  BTree tree = BTree::BulkLoad(pairs, 32);
+  EXPECT_EQ(tree.size(), 1000);
+  EXPECT_EQ(*tree.Find(500 * 2), 500);
+  auto scan = tree.RangeScan(0, 10);
+  EXPECT_EQ(scan.size(), 6u);  // keys 0,2,4,6,8,10
+}
+
+TEST(BTreeTest, MemoryBytesPositiveAndGrows) {
+  BTree small(16), large(16);
+  for (int64_t k = 0; k < 100; ++k) small.Insert(k, k);
+  for (int64_t k = 0; k < 10000; ++k) large.Insert(k, k);
+  EXPECT_GT(small.MemoryBytes(), 0);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+// ----------------------------------------------------------------- Bloom
+
+TEST(BloomTest, NoFalseNegativesEver) {
+  BloomFilter bloom = BloomFilter::ForKeys(1000, 10.0);
+  Rng rng(2);
+  std::vector<int64_t> members;
+  for (int64_t i = 0; i < 1000; ++i) {
+    members.push_back(static_cast<int64_t>(rng.Next()));
+    bloom.Insert(members.back());
+  }
+  for (int64_t key : members) {
+    EXPECT_TRUE(bloom.MayContain(key)) << key;
+  }
+}
+
+// Property sweep: measured FPR tracks the theoretical curve for several
+// bits-per-key budgets.
+class BloomFprSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomFprSweep, FprNearTheory) {
+  const double bits_per_key = GetParam();
+  const int64_t n = 5000;
+  BloomFilter bloom = BloomFilter::ForKeys(n, bits_per_key);
+  Rng rng(3);
+  std::set<int64_t> members;
+  while (static_cast<int64_t>(members.size()) < n) {
+    members.insert(static_cast<int64_t>(rng.Next() >> 1));
+  }
+  for (int64_t key : members) bloom.Insert(key);
+  std::vector<int64_t> non_members;
+  while (static_cast<int64_t>(non_members.size()) < 20000) {
+    const int64_t key = static_cast<int64_t>(rng.Next() >> 1);
+    if (!members.count(key)) non_members.push_back(key);
+  }
+  const double fpr = bloom.MeasureFpr(non_members);
+  const double theory = std::pow(0.6185, bits_per_key);  // 0.6185^(b/n)
+  EXPECT_LT(fpr, theory * 2.5 + 0.002) << "bits/key " << bits_per_key;
+  EXPECT_GT(fpr, theory * 0.2 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerKey, BloomFprSweep,
+                         ::testing::Values(4.0, 8.0, 12.0, 16.0));
+
+TEST(BloomTest, MoreBitsFewerFalsePositives) {
+  Rng rng(4);
+  std::vector<int64_t> members, probes;
+  for (int64_t i = 0; i < 2000; ++i) {
+    members.push_back(static_cast<int64_t>(rng.Next() | 1));
+  }
+  for (int64_t i = 0; i < 10000; ++i) {
+    probes.push_back(static_cast<int64_t>(rng.Next() & ~1ULL));
+  }
+  BloomFilter small = BloomFilter::ForKeys(2000, 4.0);
+  BloomFilter big = BloomFilter::ForKeys(2000, 14.0);
+  for (int64_t k : members) {
+    small.Insert(k);
+    big.Insert(k);
+  }
+  EXPECT_LT(big.MeasureFpr(probes), small.MeasureFpr(probes));
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, FullRangeSumsToOne) {
+  Rng rng(5);
+  std::vector<double> col(5000);
+  for (double& v : col) v = rng.Gaussian();
+  Histogram ew = Histogram::EquiWidth(col, 32);
+  Histogram ed = Histogram::EquiDepth(col, 32);
+  EXPECT_NEAR(ew.EstimateRange(-100, 100), 1.0, 1e-9);
+  EXPECT_NEAR(ed.EstimateRange(-100, 100), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, EmptyRangeIsZero) {
+  std::vector<double> col = {1, 2, 3, 4, 5};
+  Histogram h = Histogram::EquiWidth(col, 4);
+  EXPECT_DOUBLE_EQ(h.EstimateRange(10, 20), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateRange(3, 2), 0.0);
+}
+
+TEST(HistogramTest, UniformDataEstimatesAreAccurate) {
+  Rng rng(6);
+  std::vector<double> col(20000);
+  for (double& v : col) v = rng.Uniform();
+  Histogram h = Histogram::EquiDepth(col, 64);
+  EXPECT_NEAR(h.EstimateRange(0.2, 0.5), 0.3, 0.02);
+  EXPECT_NEAR(h.EstimateRange(0.0, 0.25), 0.25, 0.02);
+}
+
+TEST(HistogramTest, EquiDepthHandlesSkew) {
+  // 90% of mass at ~0, tail to 100: equi-depth keeps resolution at the
+  // head where equi-width wastes buckets on the tail.
+  Rng rng(7);
+  std::vector<double> col(20000);
+  for (double& v : col) {
+    v = rng.Bernoulli(0.9) ? rng.Uniform() : rng.Uniform(0, 100);
+  }
+  Histogram ew = Histogram::EquiWidth(col, 16);
+  Histogram ed = Histogram::EquiDepth(col, 16);
+  // True fraction in [0, 0.5]: ~0.9 * 0.5 + 0.1 * 0.005 = ~0.4505.
+  const double truth = 0.4505;
+  EXPECT_LT(std::abs(ed.EstimateRange(0, 0.5) - truth),
+            std::abs(ew.EstimateRange(0, 0.5) - truth));
+}
+
+TEST(AviTest, IndependentColumnsEstimateWell) {
+  Rng rng(8);
+  Table t = MakeCorrelatedTable(20000, 3, 0.0, &rng);
+  AviEstimator avi(t, 64);
+  Rng wrng(9);
+  auto queries = MakeWorkload(t, 30, &wrng);
+  double total_qerr = 0.0;
+  for (const auto& q : queries) {
+    total_qerr += QError(avi.Estimate(q), TrueSelectivity(t, q));
+  }
+  EXPECT_LT(total_qerr / 30.0, 4.0)
+      << "AVI should be decent on independent columns";
+}
+
+TEST(AviTest, CorrelationBreaksIndependenceAssumption) {
+  Rng rng(10);
+  Table indep = MakeCorrelatedTable(20000, 4, 0.0, &rng);
+  Rng rng2(10);
+  Table corr = MakeCorrelatedTable(20000, 4, 0.95, &rng2);
+  AviEstimator avi_i(indep, 64);
+  AviEstimator avi_c(corr, 64);
+  Rng wrng(11);
+  auto wq_i = MakeWorkload(indep, 40, &wrng);
+  Rng wrng2(11);
+  auto wq_c = MakeWorkload(corr, 40, &wrng2);
+  auto mean_qerr = [](const AviEstimator& e, const Table& t,
+                      const std::vector<RangeQuery>& qs) {
+    double s = 0.0;
+    for (const auto& q : qs) s += QError(e.Estimate(q), TrueSelectivity(t, q));
+    return s / static_cast<double>(qs.size());
+  };
+  EXPECT_GT(mean_qerr(avi_c, corr, wq_c), mean_qerr(avi_i, indep, wq_i))
+      << "correlated attributes must hurt the AVI estimator";
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TableTest, QErrorProperties) {
+  EXPECT_DOUBLE_EQ(QError(0.5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0.1, 0.2), 2.0);
+  EXPECT_DOUBLE_EQ(QError(0.2, 0.1), 2.0);
+  EXPECT_GE(QError(0.0, 0.5), 1.0);  // floored, no division blowup
+}
+
+TEST(TableTest, WorkloadSelectivitiesSpread) {
+  Rng rng(12);
+  Table t = MakeCorrelatedTable(5000, 3, 0.5, &rng);
+  Rng wrng(13);
+  auto queries = MakeWorkload(t, 60, &wrng);
+  int64_t tiny = 0, large = 0;
+  for (const auto& q : queries) {
+    const double sel = TrueSelectivity(t, q);
+    if (sel < 0.01) ++tiny;
+    if (sel > 0.05) ++large;
+  }
+  EXPECT_GT(tiny, 5) << "workload should include selective queries";
+  EXPECT_GT(large, 5) << "workload should include broad queries";
+}
+
+TEST(TableTest, CorrelationKnobActuallyCorrelates) {
+  Rng rng(14);
+  Table t = MakeCorrelatedTable(10000, 2, 0.9, &rng);
+  // Pearson correlation of the two columns should be clearly positive.
+  double mx = 0, my = 0;
+  for (int64_t r = 0; r < t.rows; ++r) {
+    mx += t.value(r, 0);
+    my += t.value(r, 1);
+  }
+  mx /= t.rows;
+  my /= t.rows;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (int64_t r = 0; r < t.rows; ++r) {
+    const double dx = t.value(r, 0) - mx, dy = t.value(r, 1) - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  EXPECT_GT(sxy / std::sqrt(sxx * syy), 0.7);
+}
+
+// ------------------------------------------------------------- TunableDb
+
+TEST(TunableDbTest, ValidatesKnobs) {
+  TunableDb db({0.8, 0.3, 512});
+  EXPECT_TRUE(db.Validate({0, 0, 0}).ok());
+  EXPECT_FALSE(db.Validate({-1, 0, 0}).ok());
+  EXPECT_FALSE(db.Validate({0, 99, 0}).ok());
+}
+
+TEST(TunableDbTest, DeterministicLatency) {
+  TunableDb db({0.8, 0.3, 512});
+  DbKnobs k{3, 2, 1};
+  EXPECT_DOUBLE_EQ(db.LatencyMs(k), db.LatencyMs(k));
+}
+
+TEST(TunableDbTest, BiggerBufferHelpsReadHeavyWorkload) {
+  TunableDb db({0.95, 0.2, 2048});
+  const double small = db.LatencyMs({0, 2, 2});
+  const double large = db.LatencyMs({7, 2, 2});
+  EXPECT_LT(large, small);
+}
+
+TEST(TunableDbTest, BestKnobsIsActuallyOptimal) {
+  TunableDb db({0.7, 0.4, 1024});
+  const DbKnobs best = db.BestKnobs();
+  const double best_lat = db.LatencyMs(best);
+  const auto sizes = db.GridSizes();
+  for (int64_t b = 0; b < sizes[0]; ++b) {
+    for (int64_t p = 0; p < sizes[1]; ++p) {
+      for (int64_t t = 0; t < sizes[2]; ++t) {
+        EXPECT_GE(db.LatencyMs({b, p, t}), best_lat - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TunableDbTest, WorkloadChangesOptimum) {
+  TunableDb scan_heavy({0.95, 0.9, 512}, 7);
+  TunableDb point_heavy({0.95, 0.0, 512}, 7);
+  // Scan-heavy workloads prefer larger pages than point-read workloads.
+  EXPECT_GE(scan_heavy.BestKnobs().page_idx,
+            point_heavy.BestKnobs().page_idx);
+}
+
+}  // namespace
+}  // namespace dlsys

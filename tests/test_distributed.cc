@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/data/synthetic.h"
+#include "src/distributed/cluster.h"
+#include "src/distributed/compressor.h"
+#include "src/distributed/network_model.h"
+#include "src/distributed/priority.h"
+#include "src/nn/train.h"
+
+namespace dlsys {
+namespace {
+
+// ------------------------------------------------------- NetworkModel
+
+TEST(NetworkModelTest, TransferTimeIsAffine) {
+  NetworkModel net{1e-3, 1e9};
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(0), 1e-3);
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(1000000000), 1e-3 + 1.0);
+}
+
+TEST(NetworkModelTest, AllReduceFreeForOneWorker) {
+  NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.AllReduceSeconds(1 << 20, 1), 0.0);
+  EXPECT_GT(net.AllReduceSeconds(1 << 20, 4), 0.0);
+}
+
+TEST(NetworkModelTest, AllReduceScalesWithWorkersAtFixedBytes) {
+  NetworkModel net{1e-4, 1e9};
+  // Latency term grows linearly with workers; bandwidth term saturates.
+  EXPECT_LT(net.AllReduceSeconds(1 << 20, 2),
+            net.AllReduceSeconds(1 << 20, 16));
+}
+
+// -------------------------------------------------------- Compressors
+
+TEST(CompressorTest, IdentityIsLossless) {
+  IdentityCompressor c;
+  std::vector<float> g = {1.0f, -2.0f, 0.5f};
+  CompressedGrad out = c.Compress(g);
+  EXPECT_EQ(out.values, g);
+  EXPECT_EQ(out.wire_bytes, 12);
+}
+
+TEST(CompressorTest, TopKKeepsLargestMagnitudes) {
+  TopKCompressor c(0.25, /*error_feedback=*/false);
+  std::vector<float> g = {0.1f, -5.0f, 0.2f, 0.3f, 1.0f, -0.1f, 0.0f, 0.05f};
+  CompressedGrad out = c.Compress(g);
+  EXPECT_EQ(out.wire_bytes, 2 * 8);  // 2 of 8 coordinates
+  EXPECT_FLOAT_EQ(out.values[1], -5.0f);
+  EXPECT_FLOAT_EQ(out.values[4], 1.0f);
+  for (size_t i : {0u, 2u, 3u, 5u, 6u, 7u}) EXPECT_EQ(out.values[i], 0.0f);
+}
+
+TEST(CompressorTest, TopKErrorFeedbackRecoversDroppedMass) {
+  // keep = 1 of 2 coordinates. Index 1 (0.1 per round) loses to index 0
+  // (1.0 per round) at first, but its residual accumulates and it must
+  // eventually transmit. Over 40 rounds the transmitted mass approaches
+  // the true total of 0.1 * 40 = 4.
+  TopKCompressor with_fb(0.5, /*error_feedback=*/true);
+  TopKCompressor no_fb(0.5, /*error_feedback=*/false);
+  std::vector<float> g = {1.0f, 0.1f};
+  double mass_fb = 0.0, mass_no_fb = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    mass_fb += with_fb.Compress(g).values[1];
+    mass_no_fb += no_fb.Compress(g).values[1];
+  }
+  EXPECT_EQ(mass_no_fb, 0.0) << "without feedback the small coord is lost";
+  EXPECT_GT(mass_fb, 2.0) << "feedback must recover most of the 4.0 mass";
+  EXPECT_LE(mass_fb, 4.0 + 1e-4);
+}
+
+TEST(CompressorTest, QuantizerBoundsError) {
+  QuantizingCompressor c(8, /*error_feedback=*/false);
+  std::vector<float> g(100);
+  Rng rng(5);
+  for (float& v : g) v = static_cast<float>(rng.Gaussian());
+  CompressedGrad out = c.Compress(g);
+  float lo = *std::min_element(g.begin(), g.end());
+  float hi = *std::max_element(g.begin(), g.end());
+  const float step = (hi - lo) / 255.0f;
+  for (size_t i = 0; i < g.size(); ++i) {
+    EXPECT_LE(std::abs(out.values[i] - g[i]), step * 0.5f + 1e-6f);
+  }
+  EXPECT_EQ(out.wire_bytes, 100 + 8);
+}
+
+TEST(CompressorTest, WireBytesOrdering) {
+  std::vector<float> g(1024);
+  Rng rng(6);
+  for (float& v : g) v = static_cast<float>(rng.Gaussian());
+  IdentityCompressor ident;
+  TopKCompressor topk(0.01);
+  QuantizingCompressor q2(2);
+  EXPECT_LT(topk.Compress(g).wire_bytes, ident.Compress(g).wire_bytes);
+  EXPECT_LT(q2.Compress(g).wire_bytes, ident.Compress(g).wire_bytes);
+}
+
+// ------------------------------------------------------------ Sharding
+
+TEST(ShardTest, RoundRobinCoversAll) {
+  Rng rng(7);
+  Dataset data = MakeGaussianBlobs(103, 4, 3, 3.0, &rng);
+  auto shards = ShardDataset(data, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  int64_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  EXPECT_EQ(total, 103);
+  EXPECT_EQ(shards[0].size(), 26);
+  EXPECT_EQ(shards[3].size(), 25);
+}
+
+// -------------------------------------------------------- Cluster runs
+
+Dataset ClusterData(uint64_t seed) {
+  Rng rng(seed);
+  return MakeGaussianBlobs(800, 8, 4, 3.0, &rng);
+}
+
+Sequential ClusterArch(uint64_t seed) {
+  Sequential net = MakeMlp(8, {16}, 4);
+  Rng rng(seed);
+  net.Init(&rng);
+  return net;
+}
+
+TEST(ClusterTest, RejectsBadConfig) {
+  Dataset data = ClusterData(1);
+  Sequential arch = ClusterArch(2);
+  ClusterConfig config;
+  config.workers = 0;
+  EXPECT_FALSE(TrainOnCluster(arch, data, config, nullptr).ok());
+  config.workers = 4;
+  config.strategy = SyncStrategy::kLocalSgd;
+  config.local_steps = 0;
+  EXPECT_FALSE(TrainOnCluster(arch, data, config, nullptr).ok());
+}
+
+TEST(ClusterTest, SyncSgdLearns) {
+  Dataset data = ClusterData(3);
+  auto split = Split(data, 0.8);
+  Sequential arch = ClusterArch(4);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 150;
+  auto result = TrainOnCluster(arch, split.train, config, nullptr);
+  ASSERT_TRUE(result.ok());
+  Sequential model = result->model.Clone();
+  EXPECT_GT(Evaluate(&model, split.test).accuracy, 0.85);
+  EXPECT_GT(result->report.Get(metric::kCommBytes), 0.0);
+}
+
+TEST(ClusterTest, LocalSgdCutsCommBytes) {
+  Dataset data = ClusterData(5);
+  Sequential arch = ClusterArch(6);
+  ClusterConfig sync_config;
+  sync_config.workers = 4;
+  sync_config.rounds = 64;
+  sync_config.strategy = SyncStrategy::kSyncSgd;
+  ClusterConfig local_config = sync_config;
+  local_config.strategy = SyncStrategy::kLocalSgd;
+  local_config.local_steps = 8;
+  auto sync = TrainOnCluster(arch, data, sync_config, nullptr);
+  auto local = TrainOnCluster(arch, data, local_config, nullptr);
+  ASSERT_TRUE(sync.ok() && local.ok());
+  EXPECT_LT(local->report.Get(metric::kCommBytes),
+            sync->report.Get(metric::kCommBytes) / 2.0);
+}
+
+TEST(ClusterTest, LocalSgdStillLearns) {
+  Dataset data = ClusterData(7);
+  auto split = Split(data, 0.8);
+  Sequential arch = ClusterArch(8);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 160;
+  config.strategy = SyncStrategy::kLocalSgd;
+  config.local_steps = 8;
+  auto result = TrainOnCluster(arch, split.train, config, nullptr);
+  ASSERT_TRUE(result.ok());
+  Sequential model = result->model.Clone();
+  EXPECT_GT(Evaluate(&model, split.test).accuracy, 0.85);
+}
+
+TEST(ClusterTest, CompressionCutsBytesKeepsLearning) {
+  Dataset data = ClusterData(9);
+  auto split = Split(data, 0.8);
+  Sequential arch = ClusterArch(10);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 150;
+  TopKCompressor topk(0.1);
+  auto plain = TrainOnCluster(arch, split.train, config, nullptr);
+  auto compressed = TrainOnCluster(arch, split.train, config, &topk);
+  ASSERT_TRUE(plain.ok() && compressed.ok());
+  EXPECT_LT(compressed->report.Get(metric::kCommBytes),
+            plain->report.Get(metric::kCommBytes) / 2.0);
+  Sequential model = compressed->model.Clone();
+  EXPECT_GT(Evaluate(&model, split.test).accuracy, 0.8)
+      << "top-10% with error feedback should still converge";
+}
+
+TEST(ClusterTest, SyncReplicasStayIdentical) {
+  Dataset data = ClusterData(11);
+  Sequential arch = ClusterArch(12);
+  ClusterConfig config;
+  config.workers = 3;
+  config.rounds = 10;
+  auto result = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_TRUE(result.ok());
+  // In sync mode the final model equals any replica; determinism check:
+  auto result2 = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result->model.GetParameterVector(),
+            result2->model.GetParameterVector());
+}
+
+// ----------------------------------------------- Priority propagation
+
+std::vector<LayerCost> UniformLayers(int64_t n, double bwd, double fwd,
+                                     int64_t bytes) {
+  return std::vector<LayerCost>(static_cast<size_t>(n), {bwd, fwd, bytes});
+}
+
+TEST(PriorityTest, NoOverlapIsSumOfPhases) {
+  NetworkModel net{0.0, 1e6};  // zero latency, 1 MB/s
+  auto layers = UniformLayers(4, 0.1, 0.1, 100000);  // 0.1 s per transfer
+  const double t =
+      SimulatePropagation(layers, net, PropagationPolicy::kNoOverlap);
+  // backward (0.4) + all transfers (0.4) + forward (0.4): no overlap.
+  EXPECT_NEAR(t, 1.2, 1e-9);
+}
+
+TEST(PriorityTest, OverlapBeatsNoOverlap) {
+  NetworkModel net{0.0, 1e6};
+  auto layers = UniformLayers(8, 0.05, 0.05, 50000);
+  const double none =
+      SimulatePropagation(layers, net, PropagationPolicy::kNoOverlap);
+  const double fifo =
+      SimulatePropagation(layers, net, PropagationPolicy::kFifo);
+  EXPECT_LT(fifo, none);
+}
+
+TEST(PriorityTest, PriorityBeatsFifoWhenCommBound) {
+  // Communication-heavy: transfers dominate; sending layer 0 first lets
+  // the forward pass start while later layers still stream.
+  NetworkModel net{0.0, 1e6};
+  auto layers = UniformLayers(8, 0.01, 0.05, 100000);  // 0.1 s per transfer
+  const double fifo =
+      SimulatePropagation(layers, net, PropagationPolicy::kFifo);
+  const double prio =
+      SimulatePropagation(layers, net, PropagationPolicy::kPriority);
+  EXPECT_LT(prio, fifo);
+}
+
+TEST(PriorityTest, SingleLayerAllPoliciesAgree) {
+  NetworkModel net{1e-3, 1e9};
+  auto layers = UniformLayers(1, 0.2, 0.1, 4000000);
+  const double a =
+      SimulatePropagation(layers, net, PropagationPolicy::kNoOverlap);
+  const double b = SimulatePropagation(layers, net, PropagationPolicy::kFifo);
+  const double c =
+      SimulatePropagation(layers, net, PropagationPolicy::kPriority);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(b, c);
+}
+
+}  // namespace
+}  // namespace dlsys

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/ensemble/ensemble.h"
+#include "src/ensemble/treenet.h"
+#include "src/nn/layers.h"
+#include "src/nn/train.h"
+
+namespace dlsys {
+namespace {
+
+Dataset BlobData(uint64_t seed, int64_t n = 600) {
+  Rng rng(seed);
+  return MakeGaussianBlobs(n, 8, 4, 2.5, &rng);
+}
+
+MemberBuilder MlpBuilder() {
+  return [](int64_t) { return MakeMlp(8, {24}, 4); };
+}
+
+TEST(EnsembleTest, RejectsNonPositiveSize) {
+  Dataset data = BlobData(1);
+  TrainConfig config;
+  EXPECT_FALSE(TrainFullEnsemble(MlpBuilder(), 0, data, config, 0.05, 1).ok());
+  EXPECT_FALSE(
+      TrainSnapshotEnsemble(MlpBuilder(), 0, 2, data, 32, 0.1, 1).ok());
+}
+
+TEST(EnsembleTest, FullEnsembleBeatsSingleMember) {
+  Dataset data = BlobData(2, 800);
+  auto split = Split(data, 0.75);
+  TrainConfig config;
+  config.epochs = 10;
+  auto run = TrainFullEnsemble(MlpBuilder(), 5, split.train, config, 0.05, 3);
+  ASSERT_TRUE(run.ok());
+  auto& ensemble = const_cast<Ensemble&>(run->ensemble);
+  const double ens_acc = ensemble.Accuracy(split.test);
+  const double single_acc =
+      Evaluate(&ensemble.member(0), split.test).accuracy;
+  EXPECT_GE(ens_acc, single_acc - 0.02)
+      << "averaging should not hurt materially";
+  EXPECT_GT(ens_acc, 0.7);
+  EXPECT_EQ(ensemble.size(), 5);
+}
+
+TEST(EnsembleTest, MembersDifferAcrossSeeds) {
+  Dataset data = BlobData(4, 300);
+  TrainConfig config;
+  config.epochs = 3;
+  auto run = TrainFullEnsemble(MlpBuilder(), 2, data, config, 0.05, 5);
+  ASSERT_TRUE(run.ok());
+  auto& e = const_cast<Ensemble&>(run->ensemble);
+  std::vector<float> p0 = e.member(0).GetParameterVector();
+  std::vector<float> p1 = e.member(1).GetParameterVector();
+  EXPECT_NE(p0, p1);
+}
+
+TEST(EnsembleTest, SnapshotProducesKMembersFromOneRun) {
+  Dataset data = BlobData(6, 600);
+  auto split = Split(data, 0.75);
+  auto run =
+      TrainSnapshotEnsemble(MlpBuilder(), 4, 4, split.train, 32, 0.1, 7);
+  ASSERT_TRUE(run.ok());
+  auto& e = const_cast<Ensemble&>(run->ensemble);
+  EXPECT_EQ(e.size(), 4);
+  EXPECT_GT(e.Accuracy(split.test), 0.7);
+  // Snapshots must differ (they come from different cycles).
+  EXPECT_NE(e.member(0).GetParameterVector(),
+            e.member(3).GetParameterVector());
+}
+
+TEST(EnsembleTest, SnapshotIsCheaperThanFullTraining) {
+  Dataset data = BlobData(8, 600);
+  TrainConfig full_config;
+  full_config.epochs = 16;  // 4 members x 16 epochs
+  auto full = TrainFullEnsemble(MlpBuilder(), 4, data, full_config, 0.05, 9);
+  auto snap = TrainSnapshotEnsemble(MlpBuilder(), 4, 4, data, 32, 0.1, 9);
+  ASSERT_TRUE(full.ok() && snap.ok());
+  // Snapshot trains 16 total epochs vs 64: must be substantially cheaper.
+  EXPECT_LT(snap->report.Get(metric::kTrainSeconds),
+            full->report.Get(metric::kTrainSeconds));
+}
+
+TEST(EnsembleTest, FgeProducesKDistinctMembers) {
+  Dataset data = BlobData(9, 600);
+  auto split = Split(data, 0.75);
+  auto run = TrainFastGeometricEnsemble(MlpBuilder(), 4, 6, 2, split.train,
+                                        32, 0.05, 0.05, 0.005, 11);
+  ASSERT_TRUE(run.ok());
+  auto& e = const_cast<Ensemble&>(run->ensemble);
+  EXPECT_EQ(e.size(), 4);
+  EXPECT_GT(e.Accuracy(split.test), 0.7);
+  // Exploration cycles must actually move the parameters.
+  EXPECT_NE(e.member(0).GetParameterVector(),
+            e.member(1).GetParameterVector());
+}
+
+TEST(EnsembleTest, FgeRejectsBadConfig) {
+  Dataset data = BlobData(10, 100);
+  EXPECT_FALSE(TrainFastGeometricEnsemble(MlpBuilder(), 0, 5, 2, data, 32,
+                                          0.05, 0.05, 0.005, 1)
+                   .ok());
+  EXPECT_FALSE(TrainFastGeometricEnsemble(MlpBuilder(), 3, 5, 2, data, 32,
+                                          0.05, 0.001, 0.005, 1)
+                   .ok())
+      << "lr_hi < lr_lo must be rejected";
+}
+
+TEST(HatchTest, CopiesOverlappingBlocks) {
+  Rng rng(10);
+  Sequential small = MakeMlp(4, {3}, 2);
+  Sequential big = MakeMlp(4, {6}, 2);
+  small.Init(&rng);
+  big.Init(&rng);
+  ASSERT_TRUE(HatchParameters(&small, &big).ok());
+  auto* sw = dynamic_cast<Dense*>(small.layer(0));
+  auto* bw = dynamic_cast<Dense*>(big.layer(0));
+  ASSERT_NE(sw, nullptr);
+  ASSERT_NE(bw, nullptr);
+  // Top-left 4x3 block of big's first weight equals small's.
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(bw->weight()[r * 6 + c], sw->weight()[r * 3 + c]);
+    }
+  }
+}
+
+TEST(HatchTest, RejectsMismatchedDepth) {
+  Rng rng(11);
+  Sequential a = MakeMlp(4, {3}, 2);
+  Sequential b = MakeMlp(4, {3, 3}, 2);
+  a.Init(&rng);
+  b.Init(&rng);
+  EXPECT_FALSE(HatchParameters(&a, &b).ok());
+}
+
+TEST(EnsembleTest, MotherNetsReachesReasonableAccuracyFaster) {
+  Dataset data = BlobData(12, 800);
+  auto split = Split(data, 0.75);
+  auto mothernets = TrainMotherNets(8, 4, {16, 24, 32}, 8, 2, split.train, 32,
+                                    0.05, 13);
+  ASSERT_TRUE(mothernets.ok());
+  auto& e = const_cast<Ensemble&>(mothernets->ensemble);
+  EXPECT_EQ(e.size(), 3);
+  EXPECT_GT(e.Accuracy(split.test), 0.7);
+
+  // Baseline: every member trained from scratch for the full budget.
+  TrainConfig config;
+  config.epochs = 10;
+  int64_t idx = 0;
+  std::vector<int64_t> widths = {16, 24, 32};
+  MemberBuilder hetero = [&widths, &idx](int64_t i) {
+    (void)idx;
+    return MakeMlp(8, {widths[static_cast<size_t>(i)]}, 4);
+  };
+  auto full = TrainFullEnsemble(hetero, 3, split.train, config, 0.05, 13);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(mothernets->report.Get(metric::kTrainSeconds),
+            full->report.Get(metric::kTrainSeconds))
+      << "mother(8 epochs) + 3x finetune(2) < 3x scratch(10)";
+}
+
+TEST(TreeNetTest, SharedTrunkSavesParameters) {
+  Sequential trunk = MakeMlp(8, {}, 32);  // dense(8->32) only
+  trunk.Emplace<ReLU>();
+  Sequential head = MakeMlp(32, {}, 4);
+  Rng rng(14);
+  trunk.Init(&rng);
+  TreeNet tree(std::move(trunk), head, 4, 15);
+  // 4 independent nets would be 4*(8*32+32 + 32*4+4); tree shares trunk.
+  const int64_t independent = 4 * (8 * 32 + 32 + 32 * 4 + 4);
+  EXPECT_LT(tree.NumParams(), independent);
+  EXPECT_EQ(tree.num_heads(), 4);
+}
+
+TEST(TreeNetTest, TrainsToReasonableAccuracy) {
+  Dataset data = BlobData(16, 800);
+  auto split = Split(data, 0.75);
+  Sequential trunk = MakeMlp(8, {}, 32);
+  trunk.Emplace<ReLU>();
+  Sequential head = MakeMlp(32, {}, 4);
+  Rng rng(17);
+  trunk.Init(&rng);
+  TreeNet tree(std::move(trunk), head, 3, 18);
+  MetricsReport report = TrainTreeNet(&tree, split.train, 12, 32, 0.05, 19);
+  EXPECT_GT(tree.Accuracy(split.test), 0.7);
+  EXPECT_GT(report.Get(metric::kTrainSeconds), 0.0);
+}
+
+TEST(TreeNetTest, HeadsDiverge) {
+  Sequential trunk = MakeMlp(4, {}, 8);
+  trunk.Emplace<ReLU>();
+  Sequential head = MakeMlp(8, {}, 2);
+  Rng rng(20);
+  trunk.Init(&rng);
+  TreeNet tree(std::move(trunk), head, 2, 21);
+  Rng drng(22);
+  Dataset data = MakeGaussianBlobs(200, 4, 2, 3.0, &drng);
+  TrainTreeNet(&tree, data, 3, 32, 0.05, 23);
+  // Heads were independently initialized; averaged prediction works.
+  Tensor probs = tree.PredictProbs(data.x);
+  EXPECT_EQ(probs.dim(0), data.size());
+  for (int64_t i = 0; i < 5; ++i) {
+    double row = probs.at(i, 0) + probs.at(i, 1);
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace dlsys

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/data/synthetic.h"
+#include "src/db/stats_cache.h"
+#include "src/fairness/embedding_bias.h"
+#include "src/green/energy.h"
+#include "src/nn/serialize.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+namespace {
+
+// ------------------------------------------------------- Serialization
+
+TEST(SerializeTest, RoundTripRestoresParameters) {
+  Rng rng(1);
+  Sequential net = MakeMlp(6, {12}, 3);
+  net.Init(&rng);
+  const std::string path = ::testing::TempDir() + "/params.dlsy";
+  ASSERT_TRUE(SaveParameters(net, path).ok());
+  Sequential loaded = MakeMlp(6, {12}, 3);
+  Rng rng2(999);
+  loaded.Init(&rng2);  // different init, must be overwritten
+  ASSERT_TRUE(LoadParameters(&loaded, path).ok());
+  EXPECT_EQ(net.GetParameterVector(), loaded.GetParameterVector());
+}
+
+TEST(SerializeTest, LoadedModelPredictsIdentically) {
+  Rng rng(2);
+  Dataset data = MakeGaussianBlobs(200, 6, 3, 3.0, &rng);
+  Sequential net = MakeMlp(6, {12}, 3);
+  net.Init(&rng);
+  Sgd opt(0.05);
+  TrainConfig tc;
+  tc.epochs = 5;
+  Train(&net, &opt, data, tc);
+  const std::string path = ::testing::TempDir() + "/trained.dlsy";
+  ASSERT_TRUE(SaveParameters(net, path).ok());
+  Sequential loaded = MakeMlp(6, {12}, 3);
+  Rng rng2(3);
+  loaded.Init(&rng2);
+  ASSERT_TRUE(LoadParameters(&loaded, path).ok());
+  Tensor a = net.Forward(data.x, CacheMode::kNoCache);
+  Tensor b = loaded.Forward(data.x, CacheMode::kNoCache);
+  for (int64_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(SerializeTest, ArchitectureMismatchIsRejected) {
+  Rng rng(4);
+  Sequential net = MakeMlp(6, {12}, 3);
+  net.Init(&rng);
+  const std::string path = ::testing::TempDir() + "/mismatch.dlsy";
+  ASSERT_TRUE(SaveParameters(net, path).ok());
+  Sequential other = MakeMlp(6, {13}, 3);
+  other.Init(&rng);
+  Status s = LoadParameters(&other, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  Sequential net = MakeMlp(2, {2}, 2);
+  Status s = LoadParameters(&net, "/nonexistent/path/x.dlsy");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(SerializeTest, CorruptFileIsRejected) {
+  const std::string path = ::testing::TempDir() + "/corrupt.dlsy";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("garbage", 1, 7, f);
+  std::fclose(f);
+  Sequential net = MakeMlp(2, {2}, 2);
+  EXPECT_FALSE(LoadParameters(&net, path).ok());
+}
+
+// ----------------------------------------------------------- StatsCache
+
+class StatsCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    table_ = MakeCorrelatedTable(5000, 4, 0.6, &rng);
+  }
+  Table table_;
+};
+
+TEST_F(StatsCacheTest, ValidatesRanges) {
+  StatsCache cache(&table_, 128);
+  EXPECT_FALSE(cache.RangeMean(9, 0, 100).ok());
+  EXPECT_FALSE(cache.RangeMean(0, -1, 100).ok());
+  EXPECT_FALSE(cache.RangeMean(0, 100, 100).ok());
+  EXPECT_FALSE(cache.RangeMean(0, 0, 99999).ok());
+}
+
+// Property sweep: cached statistics match scans for many random ranges
+// and several chunk sizes.
+class StatsCacheSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(StatsCacheSweep, MatchesScansOnRandomRanges) {
+  const int64_t chunk = GetParam();
+  Rng rng(11);
+  Table t = MakeCorrelatedTable(3000, 3, 0.5, &rng);
+  StatsCache cache(&t, chunk);
+  Rng qrng(13);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int64_t lo = static_cast<int64_t>(qrng.Index(2999));
+    const int64_t hi =
+        lo + 1 + static_cast<int64_t>(qrng.Index(
+                     static_cast<uint64_t>(3000 - lo)));
+    const int64_t col = static_cast<int64_t>(qrng.Index(3));
+    auto mean = cache.RangeMean(col, lo, hi);
+    ASSERT_TRUE(mean.ok());
+    EXPECT_NEAR(*mean, StatsCache::ScanMean(t, col, lo, hi), 1e-9)
+        << "chunk=" << chunk << " range [" << lo << "," << hi << ")";
+    auto var = cache.RangeVariance(col, lo, hi);
+    ASSERT_TRUE(var.ok());
+    EXPECT_NEAR(*var, StatsCache::ScanVariance(t, col, lo, hi), 1e-7);
+    const int64_t col2 = (col + 1) % 3;
+    auto corr = cache.RangeCorrelation(col, col2, lo, hi);
+    ASSERT_TRUE(corr.ok());
+    EXPECT_NEAR(*corr, StatsCache::ScanCorrelation(t, col, col2, lo, hi),
+                1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, StatsCacheSweep,
+                         ::testing::Values(1, 16, 100, 1024, 5000));
+
+TEST_F(StatsCacheTest, SelfCorrelationIsOne) {
+  StatsCache cache(&table_, 64);
+  auto corr = cache.RangeCorrelation(2, 2, 100, 900);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_DOUBLE_EQ(*corr, 1.0);
+}
+
+TEST_F(StatsCacheTest, PairCacheIsLazyAndSticky) {
+  StatsCache cache(&table_, 64);
+  EXPECT_EQ(cache.cached_pairs(), 0);
+  const int64_t before = cache.MemoryBytes();
+  ASSERT_TRUE(cache.RangeCorrelation(0, 1, 0, 1000).ok());
+  EXPECT_EQ(cache.cached_pairs(), 1);
+  EXPECT_GT(cache.MemoryBytes(), before);
+  // Same pair in either order does not grow the cache.
+  ASSERT_TRUE(cache.RangeCorrelation(1, 0, 10, 500).ok());
+  EXPECT_EQ(cache.cached_pairs(), 1);
+}
+
+TEST_F(StatsCacheTest, CachedQueriesBeatScansOnLargeRanges) {
+  Rng rng(17);
+  Table big = MakeCorrelatedTable(200000, 2, 0.5, &rng);
+  StatsCache cache(&big, 256);
+  // Warm the pair cache.
+  ASSERT_TRUE(cache.RangeCorrelation(0, 1, 0, big.rows).ok());
+  Stopwatch cached_watch;
+  for (int i = 0; i < 50; ++i) {
+    cache.RangeCorrelation(0, 1, 1000, big.rows - 1000);
+  }
+  const double cached_s = cached_watch.Seconds();
+  Stopwatch scan_watch;
+  for (int i = 0; i < 50; ++i) {
+    StatsCache::ScanCorrelation(big, 0, 1, 1000, big.rows - 1000);
+  }
+  const double scan_s = scan_watch.Seconds();
+  EXPECT_LT(cached_s, scan_s)
+      << "chunked aggregates must beat rescanning 198k rows";
+}
+
+// ------------------------------------------------------- EmbeddingBias
+
+TEST(EmbeddingBiasTest, CosineSanity) {
+  Tensor v({2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+  EXPECT_NEAR(CosineSimilarity(v, 0, 1), 0.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity(v, 0, 0), 1.0, 1e-9);
+}
+
+TEST(EmbeddingBiasTest, RejectsEmptySets) {
+  EmbeddingSpace space;
+  space.vectors = Tensor({2, 4});
+  EXPECT_FALSE(WeatEffectSize(space).ok());
+}
+
+TEST(EmbeddingBiasTest, EffectTracksInjectedBias) {
+  Rng rng(19);
+  EmbeddingSpace none = MakeBiasedEmbeddings(32, 12, 0.0, &rng);
+  Rng rng2(19);
+  EmbeddingSpace strong = MakeBiasedEmbeddings(32, 12, 0.9, &rng2);
+  auto e_none = WeatEffectSize(none);
+  auto e_strong = WeatEffectSize(strong);
+  ASSERT_TRUE(e_none.ok() && e_strong.ok());
+  EXPECT_LT(std::abs(*e_none), 0.6) << "unbiased space ~ no effect";
+  EXPECT_GT(*e_strong, 1.2) << "strong bias -> large positive effect";
+}
+
+TEST(EmbeddingBiasTest, EffectIsMonotoneInBias) {
+  double prev = -10.0;
+  for (double bias : {0.0, 0.3, 0.6, 0.9}) {
+    Rng rng(21);
+    EmbeddingSpace space = MakeBiasedEmbeddings(32, 16, bias, &rng);
+    auto effect = WeatEffectSize(space);
+    ASSERT_TRUE(effect.ok());
+    EXPECT_GT(*effect, prev - 0.2) << "bias " << bias;
+    prev = *effect;
+  }
+}
+
+TEST(EmbeddingBiasTest, HardDebiasRemovesTheEffect) {
+  // Large sets: Cohen's d of residual noise scales ~1/sqrt(set size).
+  Rng rng(23);
+  EmbeddingSpace space = MakeBiasedEmbeddings(32, 64, 0.9, &rng);
+  auto before = WeatEffectSize(space);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(*before, 1.0);
+  ASSERT_TRUE(HardDebias(&space).ok());
+  auto after = WeatEffectSize(space);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(std::abs(*after), 0.5)
+      << "projecting out the bias direction must collapse the effect";
+}
+
+// -------------------------------------------------- Temporal scheduling
+
+TEST(CarbonScheduleTest, RejectsBadInput) {
+  HardwareProfile hw = StandardHardware()[2];
+  TrainingJob job{1e17};
+  EXPECT_FALSE(CarbonAwareStartTime(job, hw, 1.2, {}, 24).ok());
+  EXPECT_FALSE(CarbonAwareStartTime(job, hw, 0.5, {100.0}, 24).ok());
+}
+
+TEST(CarbonScheduleTest, InfeasibleDeadlineIsNotFound) {
+  HardwareProfile hw{"slow", 1e12, 100.0, 0.5};  // 2e12 flops/hour-ish
+  TrainingJob job{1e18};                         // ~555 hours
+  std::vector<double> forecast(24, 100.0);
+  auto choice = CarbonAwareStartTime(job, hw, 1.2, forecast, 24);
+  EXPECT_FALSE(choice.ok());
+  EXPECT_EQ(choice.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CarbonScheduleTest, PicksTheCleanWindow) {
+  HardwareProfile hw{"unit", 2e12, 1000.0, 0.5};  // 1e12 effective
+  TrainingJob job{1e12 * 3600.0 * 3.0};           // exactly 3 hours
+  // Dirty day with a clean overnight window at hours 10-13.
+  std::vector<double> forecast(24, 500.0);
+  forecast[10] = 50.0;
+  forecast[11] = 40.0;
+  forecast[12] = 60.0;
+  auto choice = CarbonAwareStartTime(job, hw, 1.5, forecast, 24);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->start_hour, 10);
+  // kWh/h = 1000 W * 1.5 / 1000 = 1.5; CO2 = 1.5 * (50+40+60) = 225 g.
+  EXPECT_NEAR(choice->co2_grams, 225.0, 1e-6);
+}
+
+TEST(CarbonScheduleTest, DeadlineLimitsTheSearch) {
+  HardwareProfile hw{"unit", 2e12, 1000.0, 0.5};
+  TrainingJob job{1e12 * 3600.0 * 2.0};  // 2 hours
+  std::vector<double> forecast(24, 300.0);
+  forecast[20] = 10.0;
+  forecast[21] = 10.0;
+  auto unrestricted = CarbonAwareStartTime(job, hw, 1.0, forecast, 24);
+  auto restricted = CarbonAwareStartTime(job, hw, 1.0, forecast, 10);
+  ASSERT_TRUE(unrestricted.ok() && restricted.ok());
+  EXPECT_EQ(unrestricted->start_hour, 20);
+  EXPECT_LT(restricted->start_hour, 10);
+  EXPECT_GT(restricted->co2_grams, unrestricted->co2_grams);
+}
+
+}  // namespace
+}  // namespace dlsys

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "src/fairness/loan_data.h"
+#include "src/fairness/metrics.h"
+#include "src/fairness/mitigation.h"
+#include "src/nn/layers.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+namespace {
+
+// ------------------------------------------------------------- Metrics
+
+TEST(FairnessMetricsTest, RejectsBadInput) {
+  EXPECT_FALSE(AuditFairness({1}, {1, 0}, {0, 1}).ok());
+  EXPECT_FALSE(AuditFairness({}, {}, {}).ok());
+  EXPECT_FALSE(AuditFairness({2}, {1}, {0}).ok());  // non-binary
+}
+
+TEST(FairnessMetricsTest, PerfectlyFairPredictor) {
+  // Identical distributions in both groups.
+  std::vector<int64_t> pred = {1, 0, 1, 0, 1, 0, 1, 0};
+  std::vector<int64_t> label = {1, 0, 1, 0, 1, 0, 1, 0};
+  std::vector<int64_t> group = {0, 0, 0, 0, 1, 1, 1, 1};
+  auto report = AuditFairness(pred, label, group);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->DemographicParityGap(), 0.0);
+  EXPECT_DOUBLE_EQ(report->DisparateImpactRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(report->EqualizedOddsGap(), 0.0);
+  EXPECT_DOUBLE_EQ(report->OverallAccuracy(), 1.0);
+}
+
+TEST(FairnessMetricsTest, FullyBiasedPredictor) {
+  // Group 1 never approved despite identical labels.
+  std::vector<int64_t> pred = {1, 1, 0, 0, 0, 0, 0, 0};
+  std::vector<int64_t> label = {1, 1, 0, 0, 1, 1, 0, 0};
+  std::vector<int64_t> group = {0, 0, 0, 0, 1, 1, 1, 1};
+  auto report = AuditFairness(pred, label, group);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->positive_rate[0], 0.5);
+  EXPECT_DOUBLE_EQ(report->positive_rate[1], 0.0);
+  EXPECT_DOUBLE_EQ(report->DisparateImpactRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(report->EqualOpportunityGap(), 1.0);
+}
+
+TEST(FairnessMetricsTest, KnownRatesComputeExactly) {
+  // Group 0: TP=2 FP=1 TN=1 FN=0 -> tpr=1, fpr=.5, pos=.75
+  // Group 1: TP=1 FP=0 TN=2 FN=1 -> tpr=.5, fpr=0, pos=.25
+  std::vector<int64_t> pred = {1, 1, 1, 0, 1, 0, 0, 0};
+  std::vector<int64_t> label = {1, 1, 0, 0, 1, 1, 0, 0};
+  std::vector<int64_t> group = {0, 0, 0, 0, 1, 1, 1, 1};
+  auto report = AuditFairness(pred, label, group);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->tpr[0], 1.0);
+  EXPECT_DOUBLE_EQ(report->tpr[1], 0.5);
+  EXPECT_DOUBLE_EQ(report->fpr[0], 0.5);
+  EXPECT_DOUBLE_EQ(report->fpr[1], 0.0);
+  EXPECT_DOUBLE_EQ(report->DemographicParityGap(), 0.5);
+  EXPECT_NEAR(report->DisparateImpactRatio(), 1.0 / 3.0, 1e-12);
+}
+
+// ------------------------------------------------------------ Loan data
+
+TEST(LoanDataTest, LatentIsGroupNeutralButLabelsAreBiased) {
+  LoanDataConfig config;
+  config.n = 8000;
+  config.bias_strength = 0.5;
+  LoanData loans = MakeLoanData(config);
+  // Fair labels: similar positive rates across groups.
+  double fair_pos[2] = {0, 0};
+  double obs_pos[2] = {0, 0};
+  double count[2] = {0, 0};
+  for (size_t i = 0; i < loans.group.size(); ++i) {
+    count[loans.group[i]] += 1;
+    fair_pos[loans.group[i]] += static_cast<double>(loans.fair_label[i]);
+    obs_pos[loans.group[i]] += static_cast<double>(loans.data.y[i]);
+  }
+  const double fair_gap =
+      std::abs(fair_pos[0] / count[0] - fair_pos[1] / count[1]);
+  const double obs_gap =
+      std::abs(obs_pos[0] / count[0] - obs_pos[1] / count[1]);
+  EXPECT_LT(fair_gap, 0.05) << "fair labels must be group-neutral";
+  EXPECT_GT(obs_gap, 0.15) << "observed labels must carry the bias";
+}
+
+TEST(LoanDataTest, ZeroBiasGivesNeutralObservedLabels) {
+  LoanDataConfig config;
+  config.n = 8000;
+  config.bias_strength = 0.0;
+  LoanData loans = MakeLoanData(config);
+  double obs_pos[2] = {0, 0}, count[2] = {0, 0};
+  for (size_t i = 0; i < loans.group.size(); ++i) {
+    count[loans.group[i]] += 1;
+    obs_pos[loans.group[i]] += static_cast<double>(loans.data.y[i]);
+  }
+  EXPECT_LT(std::abs(obs_pos[0] / count[0] - obs_pos[1] / count[1]), 0.05);
+}
+
+// ----------------------------------------------------------- Reweighing
+
+TEST(ReweighingTest, WeightsEqualizeJointDistribution) {
+  // 3:1 group imbalance with label skew.
+  std::vector<int64_t> labels = {1, 1, 1, 0, 1, 0, 0, 0};
+  std::vector<int64_t> group = {0, 0, 0, 0, 1, 1, 1, 1};
+  auto weights = ReweighingWeights(labels, group);
+  ASSERT_TRUE(weights.ok());
+  // Weighted joint should satisfy independence: check one cell.
+  // P(g=0)=0.5, P(y=1)=0.5, P(g=0,y=1)=3/8 -> w = 0.25/0.375 = 2/3.
+  EXPECT_NEAR((*weights)[0], 2.0 / 3.0, 1e-9);
+  // P(g=1,y=1)=1/8 -> w = 0.25/0.125 = 2.
+  EXPECT_NEAR((*weights)[4], 2.0, 1e-9);
+}
+
+TEST(ReweighingTest, ResampledDataReducesLabelBias) {
+  LoanDataConfig config;
+  config.n = 6000;
+  config.bias_strength = 0.5;
+  LoanData loans = MakeLoanData(config);
+  auto reweighed = ReweighDataset(loans.data, loans.group, 99);
+  ASSERT_TRUE(reweighed.ok());
+  EXPECT_EQ(reweighed->data.size(), loans.data.size());
+  double pos[2] = {0, 0}, count[2] = {0, 0};
+  for (size_t i = 0; i < reweighed->group.size(); ++i) {
+    count[reweighed->group[i]] += 1;
+    pos[reweighed->group[i]] +=
+        static_cast<double>(reweighed->data.y[i]);
+  }
+  EXPECT_LT(std::abs(pos[0] / count[0] - pos[1] / count[1]), 0.06)
+      << "reweighing must roughly equalize group positive rates";
+}
+
+// --------------------------------------------------- End-to-end pipeline
+
+struct PipelineResult {
+  FairnessReport report;
+  double accuracy_vs_fair;
+};
+
+PipelineResult TrainAndAudit(const LoanData& train, const LoanData& test,
+                             bool reweigh, double adv_lambda,
+                             int64_t ablate_k) {
+  Sequential net = MakeMlp(5, {16}, 2);
+  Rng rng(7);
+  net.Init(&rng);
+  if (adv_lambda > 0.0) {
+    AdversarialConfig config;
+    config.lambda = adv_lambda;
+    config.epochs = 25;
+    DLSYS_CHECK(
+        AdversarialDebias(&net, train.data, train.group, config).ok(),
+        "adversarial debias failed");
+  } else {
+    Dataset train_data = train.data;
+    std::vector<int64_t> group = train.group;
+    if (reweigh) {
+      auto rw = ReweighDataset(train.data, train.group, 55);
+      DLSYS_CHECK(rw.ok(), "reweigh failed");
+      train_data = std::move(rw->data);
+      group = rw->group;
+    }
+    Sgd opt(0.05, 0.9);
+    TrainConfig tc;
+    tc.epochs = 25;
+    Train(&net, &opt, train_data, tc);
+  }
+  if (ablate_k > 0) {
+    DLSYS_CHECK(
+        AblateCorrelatedNeurons(&net, train.data, train.group, ablate_k).ok(),
+        "ablation failed");
+  }
+  std::vector<int64_t> pred = Predict(&net, test.data.x);
+  auto report = AuditFairness(pred, test.fair_label, test.group);
+  DLSYS_CHECK(report.ok(), "audit failed");
+  int64_t hits = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == test.fair_label[i]) ++hits;
+  }
+  return {*report, static_cast<double>(hits) /
+                       static_cast<double>(pred.size())};
+}
+
+class FairnessPipeline : public ::testing::Test {
+ protected:
+  static LoanData Train() {
+    LoanDataConfig config;
+    config.n = 4000;
+    config.bias_strength = 0.6;
+    config.seed = 1;
+    return MakeLoanData(config);
+  }
+  static LoanData Test() {
+    LoanDataConfig config;
+    config.n = 2000;
+    config.bias_strength = 0.6;
+    config.seed = 2;
+    return MakeLoanData(config);
+  }
+};
+
+TEST_F(FairnessPipeline, BiasPropagatesFromDataToModel) {
+  PipelineResult biased = TrainAndAudit(Train(), Test(), false, 0.0, 0);
+  EXPECT_GT(biased.report.DemographicParityGap(), 0.08)
+      << "a model trained on biased labels must show a parity gap vs the "
+         "fair ground truth";
+  EXPECT_GT(biased.accuracy_vs_fair, 0.7);
+}
+
+TEST_F(FairnessPipeline, ReweighingShrinksTheGap) {
+  PipelineResult biased = TrainAndAudit(Train(), Test(), false, 0.0, 0);
+  PipelineResult reweighed = TrainAndAudit(Train(), Test(), true, 0.0, 0);
+  EXPECT_LT(reweighed.report.DemographicParityGap(),
+            biased.report.DemographicParityGap());
+  EXPECT_GT(reweighed.accuracy_vs_fair, biased.accuracy_vs_fair - 0.05);
+}
+
+TEST_F(FairnessPipeline, AdversarialDebiasingShrinksTheGap) {
+  PipelineResult biased = TrainAndAudit(Train(), Test(), false, 0.0, 0);
+  PipelineResult adv = TrainAndAudit(Train(), Test(), false, 0.5, 0);
+  EXPECT_LT(adv.report.DemographicParityGap(),
+            biased.report.DemographicParityGap() + 0.02);
+  EXPECT_GT(adv.accuracy_vs_fair, 0.6);
+}
+
+TEST_F(FairnessPipeline, AblationTradesAccuracyForFairness) {
+  PipelineResult biased = TrainAndAudit(Train(), Test(), false, 0.0, 0);
+  PipelineResult ablated = TrainAndAudit(Train(), Test(), false, 0.0, 4);
+  // Ablating group-correlated neurons should not worsen the gap much and
+  // typically shrinks it, at some accuracy cost.
+  EXPECT_LT(ablated.report.DemographicParityGap(),
+            biased.report.DemographicParityGap() + 0.03);
+}
+
+TEST(AblationTest, RejectsBadShapes) {
+  Sequential tiny;
+  tiny.Emplace<Dense>(4, 2);
+  Rng rng(3);
+  tiny.Init(&rng);
+  Dataset data;
+  data.x = Tensor({4, 4});
+  data.y = {0, 1, 0, 1};
+  std::vector<int64_t> group = {0, 1, 0, 1};
+  EXPECT_FALSE(AblateCorrelatedNeurons(&tiny, data, group, 1).ok());
+}
+
+TEST(AdversarialTest, LambdaZeroStillLearns) {
+  LoanDataConfig config;
+  config.n = 1500;
+  LoanData loans = MakeLoanData(config);
+  Sequential net = MakeMlp(5, {8}, 2);
+  Rng rng(5);
+  net.Init(&rng);
+  AdversarialConfig adv_config;
+  adv_config.lambda = 0.0;
+  adv_config.epochs = 15;
+  ASSERT_TRUE(
+      AdversarialDebias(&net, loans.data, loans.group, adv_config).ok());
+  std::vector<int64_t> pred = Predict(&net, loans.data.x);
+  int64_t hits = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == loans.data.y[i]) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / pred.size(), 0.75);
+}
+
+}  // namespace
+}  // namespace dlsys

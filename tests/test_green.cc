@@ -1,0 +1,124 @@
+#include "src/green/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/nn/train.h"
+
+namespace dlsys {
+namespace {
+
+TEST(HardwareTest, ProfilesAreSane) {
+  for (const auto& hw : StandardHardware()) {
+    EXPECT_GT(hw.EffectiveFlops(), 0.0);
+    EXPECT_GT(hw.FlopsPerWatt(), 0.0);
+    EXPECT_LE(hw.utilization, 1.0);
+  }
+}
+
+TEST(RegionTest, RegionsSpanCleanToDirty) {
+  auto regions = StandardRegions();
+  ASSERT_GE(regions.size(), 2u);
+  double lo = 1e300, hi = 0.0;
+  for (const auto& r : regions) {
+    lo = std::min(lo, r.grams_co2_per_kwh);
+    hi = std::max(hi, r.grams_co2_per_kwh);
+    EXPECT_GE(r.pue, 1.0);
+  }
+  EXPECT_GT(hi / lo, 10.0) << "regions should differ by >10x in intensity";
+}
+
+TEST(FootprintTest, RejectsBadInput) {
+  TrainingJob job{1e15};
+  HardwareProfile bad{"bad", 0.0, 100.0, 0.5};
+  Region region{"r", 1.2, 100.0};
+  EXPECT_FALSE(EstimateFootprint(job, bad, region).ok());
+  Region bad_region{"r", 0.5, 100.0};
+  EXPECT_FALSE(
+      EstimateFootprint(job, StandardHardware()[0], bad_region).ok());
+}
+
+TEST(FootprintTest, KnownValuesComputeExactly) {
+  TrainingJob job{3.6e15};  // chosen so runtime = 3600 s on this profile
+  HardwareProfile hw{"unit", 2e12, 500.0, 0.5};  // 1e12 effective
+  Region region{"unit", 2.0, 100.0};
+  auto fp = EstimateFootprint(job, hw, region);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_DOUBLE_EQ(fp->runtime_seconds, 3600.0);
+  EXPECT_DOUBLE_EQ(fp->energy_joules, 3600.0 * 500.0);     // 1.8 MJ
+  EXPECT_DOUBLE_EQ(fp->facility_kwh, 1.8e6 * 2.0 / 3.6e6);  // 1 kWh
+  EXPECT_DOUBLE_EQ(fp->co2_grams, 100.0);
+}
+
+TEST(FootprintTest, Co2ScalesLinearlyWithFlops) {
+  HardwareProfile hw = StandardHardware()[1];
+  Region region = StandardRegions()[2];
+  auto small = EstimateFootprint({1e15}, hw, region);
+  auto large = EstimateFootprint({1e16}, hw, region);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_NEAR(large->co2_grams / small->co2_grams, 10.0, 1e-9);
+}
+
+TEST(FootprintTest, EfficientHardwareEmitsLess) {
+  // Same job and region: higher FLOPs/W hardware must emit less CO2.
+  TrainingJob job{1e16};
+  Region region = StandardRegions()[2];
+  auto hardware = StandardHardware();
+  const HardwareProfile& cpu = hardware[0];
+  const HardwareProfile& gpu = hardware[2];
+  ASSERT_GT(gpu.FlopsPerWatt(), cpu.FlopsPerWatt());
+  auto cpu_fp = EstimateFootprint(job, cpu, region);
+  auto gpu_fp = EstimateFootprint(job, gpu, region);
+  ASSERT_TRUE(cpu_fp.ok() && gpu_fp.ok());
+  EXPECT_LT(gpu_fp->co2_grams, cpu_fp->co2_grams);
+}
+
+TEST(TrainingJobTest, DerivedFromNetworkFlops) {
+  Sequential net = MakeMlp(8, {32}, 4);
+  TrainingJob job = TrainingJob::ForNetwork(net, 1000, 10);
+  EXPECT_DOUBLE_EQ(job.total_flops,
+                   3.0 * static_cast<double>(net.FlopsPerExample()) * 1000 *
+                       10);
+  EXPECT_GT(job.total_flops, 0.0);
+}
+
+TEST(PlacementTest, CarbonAwareBeatsNaive) {
+  TrainingJob job{1e17};
+  auto hardware = StandardHardware();
+  auto regions = StandardRegions();
+  auto naive = FastestPlacement(job, hardware, regions);
+  auto aware = CarbonAwarePlacement(job, hardware, regions, 1e12);
+  ASSERT_TRUE(naive.ok() && aware.ok());
+  EXPECT_LE(aware->footprint.co2_grams, naive->footprint.co2_grams);
+  // Clean-region pick: the aware scheduler should land in hydro/wind.
+  EXPECT_LE(regions[static_cast<size_t>(aware->region_index)]
+                .grams_co2_per_kwh,
+            100.0);
+}
+
+TEST(PlacementTest, DeadlineForcesFasterDirtierChoice) {
+  TrainingJob job{1e18};
+  auto hardware = StandardHardware();
+  // Two-region world: clean region exists but the deadline may require
+  // the fastest hardware anyway; tight deadline must still be honored.
+  auto regions = StandardRegions();
+  auto relaxed = CarbonAwarePlacement(job, hardware, regions, 1e12);
+  ASSERT_TRUE(relaxed.ok());
+  const double fast_runtime =
+      job.total_flops / hardware[3].EffectiveFlops();
+  auto tight = CarbonAwarePlacement(job, hardware, regions,
+                                    fast_runtime * 1.01);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LE(tight->footprint.runtime_seconds, fast_runtime * 1.01);
+  EXPECT_GE(tight->footprint.co2_grams, relaxed->footprint.co2_grams);
+}
+
+TEST(PlacementTest, ImpossibleDeadlineIsNotFound) {
+  TrainingJob job{1e18};
+  auto placement =
+      CarbonAwarePlacement(job, StandardHardware(), StandardRegions(), 1.0);
+  EXPECT_FALSE(placement.ok());
+  EXPECT_EQ(placement.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dlsys

@@ -1,0 +1,192 @@
+// Cross-module integration tests: each exercises a full pipeline the
+// examples demonstrate, asserting end-to-end invariants rather than
+// per-module behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/compress/distill.h"
+#include "src/compress/pruning.h"
+#include "src/compress/quantization.h"
+#include "src/data/synthetic.h"
+#include "src/db/histogram.h"
+#include "src/distributed/cluster.h"
+#include "src/distributed/compressor.h"
+#include "src/fairness/datasheet.h"
+#include "src/fairness/loan_data.h"
+#include "src/fairness/metrics.h"
+#include "src/fairness/mitigation.h"
+#include "src/green/energy.h"
+#include "src/interpret/lime.h"
+#include "src/learned/cardinality.h"
+#include "src/learned/learned_index.h"
+#include "src/memsched/checkpoint.h"
+#include "src/nn/serialize.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+namespace {
+
+TEST(IntegrationTest, CompressPipelineKeepsAccuracyAtTenPercentSize) {
+  // Train -> distill -> prune -> quantize; the full Section 2.1 chain
+  // must end far smaller with bounded accuracy loss.
+  Rng rng(1);
+  Dataset data = MakeGaussianBlobs(2500, 12, 6, 3.0, &rng);
+  auto split = Split(data, 0.8);
+  Sequential teacher = MakeMlp(12, {96, 96}, 6);
+  teacher.Init(&rng);
+  Sgd topt(0.05, 0.9);
+  TrainConfig tc;
+  tc.epochs = 20;
+  Train(&teacher, &topt, split.train, tc);
+  const double teacher_acc = Evaluate(&teacher, split.test).accuracy;
+
+  Sequential student = MakeMlp(12, {24}, 6);
+  student.Init(&rng);
+  Sgd sopt(0.05, 0.9);
+  DistillConfig dc;
+  dc.epochs = 20;
+  ASSERT_TRUE(Distill(&teacher, &student, &sopt, split.train, dc).ok());
+
+  auto mask = BuildPruneMask(&student, PruneCriterion::kMagnitude, 0.5,
+                             nullptr, nullptr);
+  ASSERT_TRUE(mask.ok());
+  mask->Apply(&student);
+  Sgd fopt(0.02, 0.9);
+  TrainConfig ft;
+  ft.epochs = 4;
+  ft.on_step = [&](int64_t, int64_t, double) { mask->Apply(&student); };
+  Train(&student, &fopt, split.train, ft);
+
+  auto nq = QuantizeNetwork(&student, QuantizerKind::kUniform, 8);
+  ASSERT_TRUE(nq.ok());
+
+  const double final_acc = Evaluate(&student, split.test).accuracy;
+  EXPECT_GT(final_acc, teacher_acc - 0.06);
+  EXPECT_LT(nq->packed_bytes, teacher.ModelBytes() / 10);
+}
+
+TEST(IntegrationTest, DeployedModelSurvivesSaveLoadAfterCompression) {
+  Rng rng(2);
+  Dataset data = MakeGaussianBlobs(800, 8, 4, 3.0, &rng);
+  Sequential net = MakeMlp(8, {16}, 4);
+  net.Init(&rng);
+  Sgd opt(0.05, 0.9);
+  TrainConfig tc;
+  tc.epochs = 10;
+  Train(&net, &opt, data, tc);
+  ASSERT_TRUE(QuantizeNetwork(&net, QuantizerKind::kKMeans, 6).ok());
+  const std::string path = ::testing::TempDir() + "/compressed.dlsy";
+  ASSERT_TRUE(SaveParameters(net, path).ok());
+  Sequential restored = MakeMlp(8, {16}, 4);
+  Rng rng2(77);
+  restored.Init(&rng2);
+  ASSERT_TRUE(LoadParameters(&restored, path).ok());
+  Tensor a = net.Forward(data.x, CacheMode::kNoCache);
+  Tensor b = restored.Forward(data.x, CacheMode::kNoCache);
+  for (int64_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(IntegrationTest, DistributedCompressedCheckpointedTrainingConverges) {
+  // Distributed simulation with gradient compression, followed by
+  // single-node checkpointed finetuning of the averaged model.
+  Rng rng(3);
+  Dataset data = MakeGaussianBlobs(1500, 8, 4, 3.0, &rng);
+  auto split = Split(data, 0.8);
+  Sequential arch = MakeMlp(8, {24, 24}, 4);
+  arch.Init(&rng);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 120;
+  TopKCompressor topk(0.2);
+  auto result = TrainOnCluster(arch, split.train, config, &topk);
+  ASSERT_TRUE(result.ok());
+  Sequential model = result->model.Clone();
+  Sgd opt(0.02);
+  CheckpointPlan plan = PlanSqrtN(model.size());
+  for (BatchIterator it(split.train, 64); !it.Done(); it.Next()) {
+    ASSERT_TRUE(CheckpointedStep(&model, &opt, it.Get(), plan).ok());
+  }
+  EXPECT_GT(Evaluate(&model, split.test).accuracy, 0.85);
+}
+
+TEST(IntegrationTest, FairLendingPipelineEndToEnd) {
+  // Datasheet flags the bias -> reweigh -> train -> audit improves ->
+  // LIME explains a decision with finite weights.
+  LoanDataConfig lc;
+  lc.n = 3000;
+  lc.bias_strength = 0.6;
+  LoanData loans = MakeLoanData(lc);
+  auto sheet = GenerateDatasheet(loans.data, loans.group);
+  ASSERT_TRUE(sheet.ok());
+  EXPECT_FALSE(sheet->warnings.empty()) << "datasheet must flag the bias";
+
+  auto reweighed = ReweighDataset(loans.data, loans.group, 5);
+  ASSERT_TRUE(reweighed.ok());
+  Sequential net = MakeMlp(5, {16}, 2);
+  Rng rng(4);
+  net.Init(&rng);
+  Sgd opt(0.05, 0.9);
+  TrainConfig tc;
+  tc.epochs = 20;
+  Train(&net, &opt, reweighed->data, tc);
+
+  auto audit = AuditFairness(Predict(&net, loans.data.x), loans.fair_label,
+                             loans.group);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_GT(audit->DisparateImpactRatio(), 0.6);
+  EXPECT_GT(audit->OverallAccuracy(), 0.75);
+
+  Tensor x = SliceRows(loans.data.x, 0, 1);
+  LimeConfig lime;
+  auto explanation = ExplainWithLime(&net, x, 1, lime);
+  ASSERT_TRUE(explanation.ok());
+  for (double w : explanation->weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(IntegrationTest, LearnedComponentsAgreeWithClassicalOnes) {
+  // The learned index finds exactly what the B+-tree path would; the
+  // learned estimator and AVI both approximate the same truth.
+  Rng rng(5);
+  Table t = MakeCorrelatedTable(4000, 3, 0.7, &rng);
+  AviEstimator avi(t, 32);
+  Rng wrng(6);
+  auto queries = MakeWorkload(t, 120, &wrng);
+  CardinalityConfig cc;
+  cc.epochs = 40;
+  auto learned = LearnedCardinality::Train(t, queries, cc);
+  ASSERT_TRUE(learned.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    const double truth = TrueSelectivity(t, queries[i]);
+    // Both estimators within a factor 50 of truth (sanity, not quality).
+    EXPECT_LT(QError(avi.Estimate(queries[i]), truth), 50.0);
+    EXPECT_LT(QError(learned->Estimate(queries[i]), truth), 50.0);
+  }
+}
+
+TEST(IntegrationTest, TrainingFootprintFlowsIntoPlacement) {
+  Rng rng(7);
+  Sequential net = MakeMlp(64, {256, 256}, 10);
+  TrainingJob job = TrainingJob::ForNetwork(net, 100000, 50);
+  EXPECT_GT(job.total_flops, 0.0);
+  auto hardware = StandardHardware();
+  auto regions = StandardRegions();
+  auto placement = CarbonAwarePlacement(job, hardware, regions, 1e9);
+  ASSERT_TRUE(placement.ok());
+  auto naive = FastestPlacement(job, hardware, regions);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_LE(placement->footprint.co2_grams, naive->footprint.co2_grams);
+  // Temporal shifting on top of spatial placement.
+  std::vector<double> forecast(48, 400.0);
+  for (int h = 30; h < 38; ++h) forecast[static_cast<size_t>(h)] = 30.0;
+  auto schedule = CarbonAwareStartTime(
+      job, hardware[static_cast<size_t>(placement->hardware_index)], 1.2,
+      forecast, 48);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_GE(schedule->start_hour, 30);
+  EXPECT_LT(schedule->start_hour, 38);
+}
+
+}  // namespace
+}  // namespace dlsys

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/synthetic.h"
+#include "src/interpret/lime.h"
+#include "src/interpret/model_store.h"
+#include "src/interpret/saliency.h"
+#include "src/interpret/tsne.h"
+#include "src/nn/layers.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+namespace {
+
+// ------------------------------------------------------------------ tSNE
+
+TEST(TsneTest, RejectsBadInput) {
+  Tensor tiny({5, 3});
+  TsneConfig config;
+  config.perplexity = 30.0;
+  EXPECT_FALSE(Tsne(tiny, config).ok());  // too few points
+}
+
+TEST(TsneTest, PreservesClusterStructure) {
+  Rng rng(7);
+  Dataset data = MakeGaussianBlobs(240, 16, 4, 6.0, &rng);
+  TsneConfig config;
+  config.perplexity = 15.0;
+  config.iterations = 250;
+  auto embedding = Tsne(data.x, config);
+  ASSERT_TRUE(embedding.ok());
+  EXPECT_EQ(embedding->shape(), (Shape{240, 2}));
+  const double purity = EmbeddingPurity(*embedding, data.y, 10);
+  EXPECT_GT(purity, 0.85)
+      << "well-separated 16-D blobs must stay clustered in 2-D";
+}
+
+TEST(TsneTest, PurityBeatsShuffledBaseline) {
+  Rng rng(8);
+  Dataset data = MakeGaussianBlobs(160, 8, 4, 5.0, &rng);
+  TsneConfig config;
+  config.perplexity = 12.0;
+  config.iterations = 200;
+  auto embedding = Tsne(data.x, config);
+  ASSERT_TRUE(embedding.ok());
+  std::vector<int64_t> shuffled = data.y;
+  Rng srng(9);
+  srng.Shuffle(&shuffled);
+  EXPECT_GT(EmbeddingPurity(*embedding, data.y, 10),
+            EmbeddingPurity(*embedding, shuffled, 10) + 0.2);
+}
+
+TEST(TsneTest, DeterministicForFixedSeed) {
+  Rng rng(10);
+  Dataset data = MakeGaussianBlobs(120, 6, 3, 4.0, &rng);
+  TsneConfig config;
+  config.perplexity = 10.0;
+  config.iterations = 60;
+  auto a = Tsne(data.x, config);
+  auto b = Tsne(data.x, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int64_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+// ------------------------------------------------------------------ LIME
+
+TEST(WeightedRidgeTest, RecoversExactLinearFunction) {
+  // y = 2 x0 - 3 x1 + 1 with uniform weights.
+  std::vector<double> x = {1, 0, 0, 1, 1, 1, 2, 1, -1, 2};
+  std::vector<double> y;
+  for (int i = 0; i < 5; ++i) {
+    y.push_back(2 * x[2 * i] - 3 * x[2 * i + 1] + 1);
+  }
+  std::vector<double> w(5, 1.0);
+  auto beta = WeightedRidge(x, 5, 2, w, y, 1e-9);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 2.0, 1e-5);
+  EXPECT_NEAR((*beta)[1], -3.0, 1e-5);
+  EXPECT_NEAR((*beta)[2], 1.0, 1e-5);
+}
+
+TEST(WeightedRidgeTest, RejectsSizeMismatch) {
+  EXPECT_FALSE(WeightedRidge({1, 2}, 2, 2, {1, 1}, {1, 1}, 0.1).ok());
+}
+
+TEST(LimeTest, RejectsBadInput) {
+  Sequential net = MakeMlp(3, {4}, 2);
+  Rng rng(1);
+  net.Init(&rng);
+  Tensor batch({2, 3});
+  LimeConfig config;
+  EXPECT_FALSE(ExplainWithLime(&net, batch, 0, config).ok());
+  Tensor x({1, 3});
+  EXPECT_FALSE(ExplainWithLime(&net, x, 9, config).ok());
+}
+
+TEST(LimeTest, RecoversFeatureImportanceOfKnownModel) {
+  // A hand-built linear classifier: class-1 logit depends only on
+  // feature 0 (positively) and feature 2 (negatively).
+  Sequential net;
+  net.Emplace<Dense>(3, 2);
+  auto* dense = dynamic_cast<Dense*>(net.layer(0));
+  dense->weight().Fill(0.0f);
+  dense->weight().at(0, 1) = 2.0f;   // feature 0 -> class 1
+  dense->weight().at(2, 1) = -2.0f;  // feature 2 -> class 1 (negative)
+  dense->bias().Fill(0.0f);
+
+  Tensor x({1, 3}, {0.0f, 0.0f, 0.0f});
+  LimeConfig config;
+  config.num_samples = 800;
+  auto exp = ExplainWithLime(&net, x, 1, config);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_GT(exp->weights[0], 0.05);
+  EXPECT_LT(exp->weights[2], -0.05);
+  EXPECT_LT(std::abs(exp->weights[1]), 0.03)
+      << "irrelevant feature should get ~zero weight";
+  EXPECT_GT(exp->fidelity_r2, 0.9)
+      << "a (sigmoid of) linear model is locally linear";
+}
+
+TEST(LimeTest, FidelityDropsForHighlyNonlinearModels) {
+  Rng rng(11);
+  Dataset data = MakeTwoMoons(600, 0.08, &rng);
+  Sequential net = MakeMlp(2, {32, 32}, 2);
+  net.Init(&rng);
+  Adam opt(0.01);
+  TrainConfig tc;
+  tc.epochs = 30;
+  Train(&net, &opt, data, tc);
+  Tensor x({1, 2}, {0.5f, 0.25f});  // near the decision boundary
+  LimeConfig narrow;
+  narrow.perturb_std = 0.1;
+  narrow.kernel_width = 0.3;
+  LimeConfig wide;
+  wide.perturb_std = 1.5;
+  wide.kernel_width = 3.0;
+  auto local = ExplainWithLime(&net, x, 1, narrow);
+  auto global = ExplainWithLime(&net, x, 1, wide);
+  ASSERT_TRUE(local.ok() && global.ok());
+  EXPECT_GT(local->fidelity_r2, global->fidelity_r2)
+      << "linear surrogates are only locally faithful";
+}
+
+// -------------------------------------------------------------- Saliency
+
+TEST(SaliencyTest, LinearModelSaliencyIsWeightMagnitude) {
+  Sequential net;
+  net.Emplace<Dense>(3, 2);
+  auto* dense = dynamic_cast<Dense*>(net.layer(0));
+  dense->weight().Fill(0.0f);
+  dense->weight().at(0, 0) = 3.0f;
+  dense->weight().at(1, 0) = -1.0f;
+  dense->bias().Fill(0.0f);
+  Tensor x({1, 3}, {1.0f, 1.0f, 1.0f});
+  auto saliency = SaliencyMap(&net, x, 0);
+  ASSERT_TRUE(saliency.ok());
+  EXPECT_FLOAT_EQ((*saliency)[0], 3.0f);
+  EXPECT_FLOAT_EQ((*saliency)[1], 1.0f);
+  EXPECT_FLOAT_EQ((*saliency)[2], 0.0f);
+}
+
+TEST(SaliencyTest, LeavesNoTrainingSideEffects) {
+  Sequential net = MakeMlp(4, {8}, 3);
+  Rng rng(12);
+  net.Init(&rng);
+  std::vector<float> before = net.GetParameterVector();
+  Tensor x({1, 4});
+  x.FillGaussian(&rng, 1.0f);
+  ASSERT_TRUE(SaliencyMap(&net, x, 1).ok());
+  EXPECT_EQ(net.GetParameterVector(), before);
+  EXPECT_EQ(net.CachedBytes(), 0);
+  for (Tensor* g : net.Grads()) {
+    for (int64_t i = 0; i < g->size(); ++i) ASSERT_EQ((*g)[i], 0.0f);
+  }
+}
+
+TEST(ActMaxTest, SynthesizedInputActivatesTarget) {
+  Rng rng(13);
+  Dataset data = MakeGaussianBlobs(600, 6, 3, 4.0, &rng);
+  Sequential net = MakeMlp(6, {16}, 3);
+  net.Init(&rng);
+  Sgd opt(0.05, 0.9);
+  TrainConfig tc;
+  tc.epochs = 15;
+  Train(&net, &opt, data, tc);
+  ActMaxConfig config;
+  auto synth = ActivationMaximization(&net, {1, 6}, 2, config);
+  ASSERT_TRUE(synth.ok());
+  Tensor logits = net.Forward(*synth, CacheMode::kNoCache);
+  EXPECT_EQ(logits.ArgMax(), 2)
+      << "the synthesized input should be classified as the target class";
+}
+
+TEST(ActMaxTest, RejectsBadShape) {
+  Sequential net = MakeMlp(4, {4}, 2);
+  Rng rng(14);
+  net.Init(&rng);
+  ActMaxConfig config;
+  EXPECT_FALSE(ActivationMaximization(&net, {2, 4}, 0, config).ok());
+  EXPECT_FALSE(ActivationMaximization(&net, {}, 0, config).ok());
+}
+
+// ----------------------------------------------------------- ModelStore
+
+class ModelStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(15);
+    data_ = MakeGaussianBlobs(64, 8, 3, 3.0, &rng);
+    net_ = MakeMlp(8, {16, 16}, 3);
+    net_.Init(&rng);
+  }
+  Dataset data_;
+  Sequential net_;
+};
+
+TEST_F(ModelStoreTest, ExactModeIsLossless) {
+  auto store = ModelStore::Capture(&net_, data_.x, StorageMode::kExact);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_layers(), net_.size());
+  // Reference: run the model manually to the last layer.
+  Tensor reference = net_.Forward(data_.x, CacheMode::kNoCache);
+  auto err = store->MaxAbsError(store->num_layers() - 1, reference);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(*err, 0.0);
+}
+
+TEST_F(ModelStoreTest, QuantizedModeBoundsError) {
+  auto store = ModelStore::Capture(&net_, data_.x, StorageMode::kQuantized);
+  ASSERT_TRUE(store.ok());
+  Tensor reference = net_.Forward(data_.x, CacheMode::kNoCache);
+  auto err = store->MaxAbsError(store->num_layers() - 1, reference);
+  ASSERT_TRUE(err.ok());
+  // 8-bit quantization: error bounded by half a step of the layer range.
+  float lo = reference[0], hi = reference[0];
+  for (int64_t i = 0; i < reference.size(); ++i) {
+    lo = std::min(lo, reference[i]);
+    hi = std::max(hi, reference[i]);
+  }
+  EXPECT_LE(*err, (hi - lo) / 255.0 * 0.5 + 1e-5);
+}
+
+TEST_F(ModelStoreTest, QuantizedIsSmallerThanExact) {
+  auto exact = ModelStore::Capture(&net_, data_.x, StorageMode::kExact);
+  auto quant = ModelStore::Capture(&net_, data_.x, StorageMode::kQuantized);
+  ASSERT_TRUE(exact.ok() && quant.ok());
+  EXPECT_LT(quant->StoredBytes(), exact->StoredBytes() / 3);
+}
+
+TEST_F(ModelStoreTest, DedupSavesOnRepeatedInputs) {
+  // A batch with many duplicated rows and wide layers (so per-row index
+  // overhead is negligible): dedup must shrink storage substantially.
+  Sequential wide = MakeMlp(8, {128, 128}, 3);
+  Rng rng(16);
+  wide.Init(&rng);
+  Tensor repeated({64, 8});
+  for (int64_t i = 0; i < 64; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      repeated[i * 8 + j] = data_.x[(i % 4) * 8 + j];
+    }
+  }
+  auto quant = ModelStore::Capture(&wide, repeated, StorageMode::kQuantized);
+  auto dedup =
+      ModelStore::Capture(&wide, repeated, StorageMode::kQuantizedDedup);
+  ASSERT_TRUE(quant.ok() && dedup.ok());
+  EXPECT_LT(dedup->StoredBytes(), quant->StoredBytes() / 4);
+  // Reconstruction must agree between the two lossy modes.
+  auto a = quant->GetLayer(1);
+  auto b = dedup->GetLayer(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int64_t i = 0; i < a->size(); ++i) ASSERT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST_F(ModelStoreTest, TopUnitsMatchActivations) {
+  auto store = ModelStore::Capture(&net_, data_.x, StorageMode::kExact);
+  ASSERT_TRUE(store.ok());
+  auto top = store->TopUnits(1, 0, 3);  // layer 1 = post-ReLU hidden
+  ASSERT_TRUE(top.ok());
+  auto layer = store->GetLayer(1);
+  ASSERT_TRUE(layer.ok());
+  // The first returned unit must hold the max activation of example 0.
+  const int64_t width = layer->dim(1);
+  float best = (*layer)[0 * width + (*top)[0]];
+  for (int64_t u = 0; u < width; ++u) {
+    EXPECT_LE((*layer)[u], best + 1e-6f);
+  }
+}
+
+TEST_F(ModelStoreTest, QueriesValidateIndices) {
+  auto store = ModelStore::Capture(&net_, data_.x, StorageMode::kExact);
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->GetLayer(-1).ok());
+  EXPECT_FALSE(store->GetLayer(99).ok());
+  EXPECT_FALSE(store->TopUnits(0, 9999, 1).ok());
+  EXPECT_FALSE(store->TopUnits(0, 0, 0).ok());
+}
+
+}  // namespace
+}  // namespace dlsys

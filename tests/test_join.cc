@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/db/join.h"
+#include "src/learned/join_order.h"
+
+namespace dlsys {
+namespace {
+
+JoinQuery TwoRelationQuery() {
+  JoinQuery q;
+  q.cardinality = {1000.0, 100.0};
+  q.selectivity = {{1.0, 0.01}, {0.01, 1.0}};
+  return q;
+}
+
+TEST(JoinQueryTest, SubsetCardinalityFormula) {
+  JoinQuery q = TwoRelationQuery();
+  EXPECT_DOUBLE_EQ(SubsetCardinality(q, {0}), 1000.0);
+  EXPECT_DOUBLE_EQ(SubsetCardinality(q, {1}), 100.0);
+  // 1000 * 100 * 0.01 = 1000.
+  EXPECT_NEAR(SubsetCardinality(q, {0, 1}), 1000.0, 1e-6);
+}
+
+TEST(JoinQueryTest, PlanCostIsSumOfIntermediates) {
+  JoinQuery q;
+  q.cardinality = {10.0, 20.0, 30.0};
+  q.selectivity = {{1.0, 0.1, 0.1}, {0.1, 1.0, 0.1}, {0.1, 0.1, 1.0}};
+  // Order 0,1,2: card({0,1}) = 10*20*0.1 = 20;
+  // card({0,1,2}) = 10*20*30*0.1^3 = 6. Cost = 26.
+  EXPECT_NEAR(PlanCost(q, {0, 1, 2}), 26.0, 1e-9);
+}
+
+TEST(JoinQueryTest, GeneratorIsConnectedAndInRange) {
+  Rng rng(7);
+  JoinQuery q = MakeJoinQuery(8, 0.2, &rng);
+  EXPECT_EQ(q.num_relations(), 8);
+  for (double c : q.cardinality) {
+    EXPECT_GE(c, 100.0);
+    EXPECT_LE(c, 1e7);
+  }
+  // Spanning tree: at least n-1 predicate edges.
+  int64_t edges = 0;
+  for (int64_t a = 0; a < 8; ++a) {
+    for (int64_t b = a + 1; b < 8; ++b) {
+      if (q.selectivity[static_cast<size_t>(a)][static_cast<size_t>(b)] <
+          1.0) {
+        ++edges;
+      }
+      EXPECT_DOUBLE_EQ(
+          q.selectivity[static_cast<size_t>(a)][static_cast<size_t>(b)],
+          q.selectivity[static_cast<size_t>(b)][static_cast<size_t>(a)]);
+    }
+  }
+  EXPECT_GE(edges, 7);
+}
+
+TEST(OptimalTest, RejectsHugeQueries) {
+  JoinQuery q;
+  q.cardinality.assign(21, 10.0);
+  q.selectivity.assign(21, std::vector<double>(21, 1.0));
+  EXPECT_FALSE(OptimalLeftDeep(q).ok());
+}
+
+// Property sweep: DP optimum matches exhaustive enumeration for small n.
+class DpVsExhaustive : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DpVsExhaustive, DpMatchesBruteForce) {
+  const int64_t n = GetParam();
+  Rng rng(100 + static_cast<uint64_t>(n));
+  JoinQuery q = MakeJoinQuery(n, 0.3, &rng);
+  auto dp = OptimalLeftDeep(q);
+  ASSERT_TRUE(dp.ok());
+  const double dp_cost = PlanCost(q, *dp);
+  // Brute force over all permutations.
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  double best = 1e300;
+  do {
+    best = std::min(best, PlanCost(q, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(dp_cost, best, best * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, DpVsExhaustive, ::testing::Values(3, 4, 5, 6));
+
+TEST(BaselineTest, GreedyAndRandomProduceValidPermutations) {
+  Rng rng(11);
+  JoinQuery q = MakeJoinQuery(9, 0.2, &rng);
+  for (auto order : {GreedyLeftDeep(q), RandomOrder(q, &rng)}) {
+    std::sort(order.begin(), order.end());
+    for (int64_t i = 0; i < 9; ++i) {
+      EXPECT_EQ(order[static_cast<size_t>(i)], i);
+    }
+  }
+}
+
+TEST(BaselineTest, GreedyBeatsRandomOnAverage) {
+  Rng rng(13);
+  double greedy_total = 0.0, random_total = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    JoinQuery q = MakeJoinQuery(8, 0.25, &rng);
+    greedy_total += std::log10(PlanCost(q, GreedyLeftDeep(q)));
+    random_total += std::log10(PlanCost(q, RandomOrder(q, &rng)));
+  }
+  EXPECT_LT(greedy_total, random_total);
+}
+
+// ---------------------------------------------------------- Learned
+
+TEST(LearnedJoinTest, RejectsBadConfig) {
+  JoinOptimizerConfig config;
+  config.relations_min = 1;
+  EXPECT_FALSE(LearnedJoinOptimizer::Train(config).ok());
+  config.relations_min = 4;
+  config.relations_max = 3;
+  EXPECT_FALSE(LearnedJoinOptimizer::Train(config).ok());
+  config.relations_max = 8;
+  config.training_queries = 0;
+  EXPECT_FALSE(LearnedJoinOptimizer::Train(config).ok());
+}
+
+TEST(LearnedJoinTest, FeaturesAreFiniteAndBounded) {
+  Rng rng(17);
+  JoinQuery q = MakeJoinQuery(6, 0.3, &rng);
+  float f[LearnedJoinOptimizer::kNumFeatures];
+  LearnedJoinOptimizer::Featurize(q, {0, 2}, 4, f);
+  for (float v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LE(std::abs(v), 4.0f);
+  }
+}
+
+TEST(LearnedJoinTest, PlansAreValidPermutations) {
+  JoinOptimizerConfig config;
+  config.training_queries = 30;
+  config.episodes_per_query = 2;
+  config.fit_epochs = 10;
+  auto opt = LearnedJoinOptimizer::Train(config);
+  ASSERT_TRUE(opt.ok());
+  Rng rng(19);
+  JoinQuery q = MakeJoinQuery(7, 0.25, &rng);
+  std::vector<int64_t> order = opt->PlanFor(q);
+  std::sort(order.begin(), order.end());
+  for (int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(LearnedJoinTest, BeatsRandomApproachesGreedy) {
+  JoinOptimizerConfig config;
+  config.training_queries = 150;
+  config.episodes_per_query = 4;
+  config.fit_epochs = 40;
+  auto opt = LearnedJoinOptimizer::Train(config);
+  ASSERT_TRUE(opt.ok());
+  Rng rng(23);
+  double learned_lc = 0.0, greedy_lc = 0.0, random_lc = 0.0, opt_lc = 0.0;
+  const int trials = 25;
+  for (int i = 0; i < trials; ++i) {
+    JoinQuery q = MakeJoinQuery(8, 0.25, &rng);
+    auto best = OptimalLeftDeep(q);
+    ASSERT_TRUE(best.ok());
+    opt_lc += std::log10(PlanCost(q, *best));
+    learned_lc += std::log10(PlanCost(q, opt->PlanFor(q)));
+    greedy_lc += std::log10(PlanCost(q, GreedyLeftDeep(q)));
+    random_lc += std::log10(PlanCost(q, RandomOrder(q, &rng)));
+  }
+  EXPECT_LT(learned_lc, random_lc)
+      << "learned optimizer must clearly beat random orders";
+  // Within ~1.5 orders of magnitude of greedy on average (shape check;
+  // see bench for the full comparison).
+  EXPECT_LT(learned_lc / trials, greedy_lc / trials + 1.5);
+  EXPECT_GE(learned_lc, opt_lc - 1e-9);
+}
+
+}  // namespace
+}  // namespace dlsys

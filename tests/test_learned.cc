@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/db/btree.h"
+#include "src/db/histogram.h"
+#include "src/learned/cardinality.h"
+#include "src/learned/knob_tuning.h"
+#include "src/learned/learned_bloom.h"
+#include "src/learned/learned_index.h"
+#include "src/learned/semantic_compression.h"
+
+namespace dlsys {
+namespace {
+
+// ----------------------------------------------------------- LinearModel
+
+TEST(LinearModelTest, FitsExactLine) {
+  LinearModel m = LinearModel::Fit({0, 1, 2, 3}, {1, 3, 5, 7});
+  EXPECT_NEAR(m.slope, 2.0, 1e-9);
+  EXPECT_NEAR(m.intercept, 1.0, 1e-9);
+}
+
+TEST(LinearModelTest, ConstantInputGivesConstantModel) {
+  LinearModel m = LinearModel::Fit({5, 5, 5}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.slope, 0.0);
+  EXPECT_NEAR(m.Predict(5), 2.0, 1e-9);
+}
+
+// ---------------------------------------------------------- LearnedIndex
+
+std::vector<int64_t> LognormalKeys(int64_t n, Rng* rng) {
+  std::set<int64_t> keys;
+  while (static_cast<int64_t>(keys.size()) < n) {
+    keys.insert(static_cast<int64_t>(std::exp(rng->Gaussian() * 2.0 + 10.0)));
+  }
+  return {keys.begin(), keys.end()};
+}
+
+TEST(LearnedIndexTest, RejectsBadInput) {
+  EXPECT_FALSE(LearnedIndex::Build({}, 4).ok());
+  EXPECT_FALSE(LearnedIndex::Build({1, 2, 3}, 0).ok());
+  EXPECT_FALSE(LearnedIndex::Build({1, 1, 2}, 4).ok());  // duplicate
+  EXPECT_FALSE(LearnedIndex::Build({3, 2, 1}, 4).ok());  // unsorted
+}
+
+// Property sweep: every present key is found at its exact position, for
+// several distributions and leaf counts.
+struct RmiCase {
+  const char* dist;
+  int64_t leaves;
+};
+
+class RmiSweep : public ::testing::TestWithParam<RmiCase> {};
+
+TEST_P(RmiSweep, FindsEveryKeyExactly) {
+  const RmiCase c = GetParam();
+  Rng rng(101);
+  std::vector<int64_t> keys;
+  if (std::string(c.dist) == "uniform") {
+    std::set<int64_t> s;
+    while (static_cast<int64_t>(s.size()) < 20000) {
+      s.insert(static_cast<int64_t>(rng.Next() >> 20));
+    }
+    keys.assign(s.begin(), s.end());
+  } else if (std::string(c.dist) == "lognormal") {
+    keys = LognormalKeys(20000, &rng);
+  } else {  // sequential with gaps
+    int64_t k = 0;
+    for (int64_t i = 0; i < 20000; ++i) {
+      k += 1 + static_cast<int64_t>(rng.Index(3));
+      keys.push_back(k);
+    }
+  }
+  auto index = LearnedIndex::Build(keys, c.leaves);
+  ASSERT_TRUE(index.ok());
+  for (size_t i = 0; i < keys.size(); i += 37) {
+    auto pos = index->Find(keys[i]);
+    ASSERT_TRUE(pos.ok()) << "key " << keys[i];
+    EXPECT_EQ(*pos, static_cast<int64_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistsAndLeaves, RmiSweep,
+    ::testing::Values(RmiCase{"uniform", 16}, RmiCase{"uniform", 256},
+                      RmiCase{"lognormal", 64}, RmiCase{"lognormal", 1024},
+                      RmiCase{"sequential", 4}, RmiCase{"sequential", 128}));
+
+TEST(LearnedIndexTest, AbsentKeysAreNotFound) {
+  Rng rng(102);
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 1000; ++i) keys.push_back(i * 10);
+  auto index = LearnedIndex::Build(keys, 32);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Find(5).ok());
+  EXPECT_FALSE(index->Find(-100).ok());
+  EXPECT_FALSE(index->Find(99999).ok());
+}
+
+TEST(LearnedIndexTest, SmallerThanBTree) {
+  Rng rng(103);
+  std::vector<int64_t> keys = LognormalKeys(50000, &rng);
+  auto index = LearnedIndex::Build(keys, 512);
+  ASSERT_TRUE(index.ok());
+  BTree btree(128);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    btree.Insert(keys[i], static_cast<int64_t>(i));
+  }
+  EXPECT_LT(index->MemoryBytes(), btree.MemoryBytes() / 20)
+      << "RMI should be far smaller than the B+-tree";
+}
+
+TEST(LearnedIndexTest, MoreLeavesShrinkSearchWindows) {
+  Rng rng(104);
+  std::vector<int64_t> keys = LognormalKeys(30000, &rng);
+  auto coarse = LearnedIndex::Build(keys, 8);
+  auto fine = LearnedIndex::Build(keys, 1024);
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  EXPECT_LT(fine->MeanSearchWindow(), coarse->MeanSearchWindow());
+}
+
+// ---------------------------------------------------------- LearnedBloom
+
+TEST(LearnedBloomTest, RejectsBadInput) {
+  LearnedBloomConfig config;
+  EXPECT_FALSE(
+      LearnedBloomFilter::Train({}, {1, 2}, 0, 100, config).ok());
+  EXPECT_FALSE(
+      LearnedBloomFilter::Train({1, 2}, {}, 0, 100, config).ok());
+  EXPECT_FALSE(
+      LearnedBloomFilter::Train({1, 2}, {3}, 100, 100, config).ok());
+}
+
+TEST(LearnedBloomTest, NoFalseNegatives) {
+  Rng rng(201);
+  MembershipData data =
+      MakeClusteredMembership(2000, 4000, 1 << 20, 4, &rng);
+  LearnedBloomConfig config;
+  config.epochs = 25;
+  auto filter =
+      LearnedBloomFilter::Train(data.members, data.non_members, 0, 1 << 20,
+                                config);
+  ASSERT_TRUE(filter.ok());
+  for (int64_t key : data.members) {
+    ASSERT_TRUE(filter->MayContain(key))
+        << "false negative on member " << key;
+  }
+}
+
+TEST(LearnedBloomTest, BeatsClassicBloomAtEqualMemoryOnStructuredKeys) {
+  Rng rng(202);
+  MembershipData data =
+      MakeClusteredMembership(3000, 6000, 1 << 20, 3, &rng);
+  // Hold out half the non-members for FPR measurement.
+  std::vector<int64_t> train_nm(data.non_members.begin(),
+                                data.non_members.begin() + 3000);
+  std::vector<int64_t> test_nm(data.non_members.begin() + 3000,
+                               data.non_members.end());
+  LearnedBloomConfig config;
+  config.epochs = 35;
+  config.member_recall = 0.7;
+  auto learned = LearnedBloomFilter::Train(data.members, train_nm, 0,
+                                           1 << 20, config);
+  ASSERT_TRUE(learned.ok());
+  // Classic filter given the same total memory.
+  const double bits_per_key =
+      static_cast<double>(learned->MemoryBytes() * 8) /
+      static_cast<double>(data.members.size());
+  BloomFilter classic =
+      BloomFilter::ForKeys(static_cast<int64_t>(data.members.size()),
+                           bits_per_key);
+  for (int64_t key : data.members) classic.Insert(key);
+  // On clustered member sets the classifier absorbs most members, so the
+  // learned filter should not be dramatically worse and typically wins;
+  // assert it is within 2x (shape check, see bench for the full curve).
+  const double learned_fpr = learned->MeasureFpr(test_nm);
+  const double classic_fpr = classic.MeasureFpr(test_nm);
+  EXPECT_LT(learned_fpr, std::max(2.0 * classic_fpr, 0.02))
+      << "learned " << learned_fpr << " vs classic " << classic_fpr;
+}
+
+TEST(LearnedBloomTest, BackupFilterHoldsRejectedMembers) {
+  Rng rng(203);
+  MembershipData data = MakeClusteredMembership(1000, 1000, 1 << 18, 2, &rng);
+  LearnedBloomConfig config;
+  config.member_recall = 0.6;
+  config.epochs = 20;
+  auto filter = LearnedBloomFilter::Train(data.members, data.non_members, 0,
+                                          1 << 18, config);
+  ASSERT_TRUE(filter.ok());
+  // ~40% of members should be in the backup filter.
+  EXPECT_GT(filter->backup_keys(), 200);
+  EXPECT_LT(filter->backup_keys(), 600);
+}
+
+// ----------------------------------------------------------- Cardinality
+
+TEST(CardinalityTest, RejectsEmptyWorkload) {
+  Rng rng(301);
+  Table t = MakeCorrelatedTable(100, 2, 0.5, &rng);
+  CardinalityConfig config;
+  EXPECT_FALSE(LearnedCardinality::Train(t, {}, config).ok());
+}
+
+TEST(CardinalityTest, BeatsAviOnCorrelatedData) {
+  Rng rng(302);
+  Table t = MakeCorrelatedTable(8000, 4, 0.95, &rng);
+  Rng wrng(303);
+  auto train_queries = MakeWorkload(t, 400, &wrng);
+  auto test_queries = MakeWorkload(t, 80, &wrng);
+  CardinalityConfig config;
+  config.epochs = 80;
+  auto learned = LearnedCardinality::Train(t, train_queries, config);
+  ASSERT_TRUE(learned.ok());
+  AviEstimator avi(t, 64);
+  auto mean_qerr = [&](auto estimate) {
+    double s = 0.0;
+    for (const auto& q : test_queries) {
+      s += QError(estimate(q), TrueSelectivity(t, q));
+    }
+    return s / static_cast<double>(test_queries.size());
+  };
+  const double learned_err =
+      mean_qerr([&](const RangeQuery& q) { return learned->Estimate(q); });
+  const double avi_err =
+      mean_qerr([&](const RangeQuery& q) { return avi.Estimate(q); });
+  EXPECT_LT(learned_err, avi_err)
+      << "learned " << learned_err << " vs AVI " << avi_err;
+}
+
+TEST(CardinalityTest, EstimatesAreValidProbabilities) {
+  Rng rng(304);
+  Table t = MakeCorrelatedTable(2000, 3, 0.5, &rng);
+  Rng wrng(305);
+  auto queries = MakeWorkload(t, 100, &wrng);
+  CardinalityConfig config;
+  config.epochs = 30;
+  auto learned = LearnedCardinality::Train(t, queries, config);
+  ASSERT_TRUE(learned.ok());
+  for (const auto& q : queries) {
+    const double est = learned->Estimate(q);
+    EXPECT_GE(est, 0.0);
+    EXPECT_LE(est, 1.0);
+  }
+}
+
+// ----------------------------------------------------------- Knob tuning
+
+TEST(KnobTuningTest, AllTunersFindValidConfigs) {
+  TunableDb db({0.8, 0.3, 512});
+  QTunerConfig config;
+  config.episodes = 10;
+  TuningResult q = QLearningTune(db, config);
+  TuningResult g = GridSearchTune(db, 50);
+  TuningResult r = RandomSearchTune(db, 50, 7);
+  EXPECT_TRUE(db.Validate(q.best).ok());
+  EXPECT_TRUE(db.Validate(g.best).ok());
+  EXPECT_TRUE(db.Validate(r.best).ok());
+  EXPECT_LT(q.best_latency_ms, 1e300);
+}
+
+TEST(KnobTuningTest, BestSoFarIsMonotone) {
+  TunableDb db({0.7, 0.5, 1024});
+  QTunerConfig config;
+  config.episodes = 8;
+  TuningResult result = QLearningTune(db, config);
+  for (size_t i = 1; i < result.best_so_far.size(); ++i) {
+    EXPECT_LE(result.best_so_far[i], result.best_so_far[i - 1]);
+  }
+}
+
+TEST(KnobTuningTest, QLearningApproachesOptimum) {
+  TunableDb db({0.85, 0.4, 1024});
+  QTunerConfig config;
+  config.episodes = 60;
+  config.steps_per_episode = 30;
+  TuningResult result = QLearningTune(db, config);
+  const double optimal = db.BestLatencyMs();
+  EXPECT_LT(result.best_latency_ms, optimal * 1.1)
+      << "Q-learning should land within 10% of the exhaustive optimum";
+}
+
+TEST(KnobTuningTest, QLearningBeatsGridAtSmallBudget) {
+  TunableDb db({0.85, 0.4, 1024});
+  // Grid search burns its budget on a corner of the lattice; the agent
+  // navigates. Budget = 120 evaluations (~40% of the 288-config grid).
+  QTunerConfig config;
+  config.episodes = 6;
+  config.steps_per_episode = 20;  // 120 evals
+  TuningResult q = QLearningTune(db, config);
+  TuningResult g = GridSearchTune(db, 120);
+  EXPECT_LT(q.best_latency_ms, g.best_latency_ms * 1.05);
+}
+
+TEST(KnobTuningTest, FullGridFindsOptimum) {
+  TunableDb db({0.6, 0.2, 256});
+  TuningResult g = GridSearchTune(db, db.NumConfigs());
+  EXPECT_NEAR(g.best_latency_ms, db.BestLatencyMs(), 1e-12);
+}
+
+// -------------------------------------------------- Semantic compression
+
+TEST(SemanticCompressionTest, RejectsBadConfig) {
+  Rng rng(401);
+  Table t = MakeCorrelatedTable(100, 3, 0.9, &rng);
+  SemanticCompressionConfig config;
+  config.latent_dims = 0;
+  EXPECT_FALSE(CompressedTable::Compress(t, config).ok());
+  config.latent_dims = 5;  // > columns
+  EXPECT_FALSE(CompressedTable::Compress(t, config).ok());
+  config.latent_dims = 1;
+  config.epsilon = 0.0;
+  EXPECT_FALSE(CompressedTable::Compress(t, config).ok());
+}
+
+TEST(SemanticCompressionTest, ReconstructionRespectsErrorBound) {
+  Rng rng(402);
+  Table t = MakeCorrelatedTable(2000, 4, 0.9, &rng);
+  SemanticCompressionConfig config;
+  config.latent_dims = 1;
+  config.epochs = 60;
+  config.epsilon = 0.1;
+  auto compressed = CompressedTable::Compress(t, config);
+  ASSERT_TRUE(compressed.ok());
+  Table back = compressed->Decompress();
+  // Error bound is in normalized units; convert per column.
+  for (int64_t c = 0; c < t.num_columns(); ++c) {
+    const auto& col = t.columns[static_cast<size_t>(c)];
+    double mean = 0.0;
+    for (double v : col) mean += v;
+    mean /= t.rows;
+    double var = 0.0;
+    for (double v : col) var += (v - mean) * (v - mean);
+    var /= t.rows;
+    const double stddev = std::sqrt(std::max(var, 1e-12));
+    for (int64_t r = 0; r < t.rows; ++r) {
+      EXPECT_LE(std::abs(back.value(r, c) - t.value(r, c)),
+                config.epsilon * stddev + 1e-4)
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(SemanticCompressionTest, CorrelatedTableCompressesWell) {
+  // At correlation 0.995 the independent per-column noise is ~0.07 of a
+  // std, comfortably inside epsilon = 0.2 — so a 1-dim latent can absorb
+  // nearly every value and corrections stay rare.
+  Rng rng(403);
+  Table t = MakeCorrelatedTable(4000, 6, 0.995, &rng);
+  SemanticCompressionConfig config;
+  config.latent_dims = 1;
+  config.epochs = 100;
+  config.epsilon = 0.2;
+  auto compressed = CompressedTable::Compress(t, config);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_LT(compressed->CompressedBytes(), compressed->OriginalBytes() / 4)
+      << "1 latent dim for 6 near-duplicate columns must compress well";
+}
+
+TEST(SemanticCompressionTest, MoreCorrelationFewerCorrections) {
+  SemanticCompressionConfig config;
+  config.latent_dims = 1;
+  config.epochs = 80;
+  config.epsilon = 0.15;
+  Rng rng1(404);
+  Table corr = MakeCorrelatedTable(2000, 4, 0.98, &rng1);
+  Rng rng2(404);
+  Table indep = MakeCorrelatedTable(2000, 4, 0.0, &rng2);
+  auto c1 = CompressedTable::Compress(corr, config);
+  auto c2 = CompressedTable::Compress(indep, config);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_LT(c1->num_corrections(), c2->num_corrections());
+}
+
+}  // namespace
+}  // namespace dlsys

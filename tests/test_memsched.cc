@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/synthetic.h"
+#include "src/memsched/checkpoint.h"
+#include "src/memsched/offload.h"
+#include "src/nn/layers.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+
+namespace dlsys {
+namespace {
+
+Sequential DeepMlp(int64_t depth, int64_t width) {
+  Sequential net;
+  int64_t prev = 8;
+  for (int64_t i = 0; i < depth; ++i) {
+    net.Emplace<Dense>(prev, width);
+    net.Emplace<ReLU>();
+    prev = width;
+  }
+  net.Emplace<Dense>(prev, 4);
+  return net;
+}
+
+TEST(CheckpointPlanTest, SqrtNSegmentCount) {
+  CheckpointPlan plan = PlanSqrtN(16);
+  EXPECT_EQ(plan.NumSegments(), 4);
+  EXPECT_EQ(plan.segment_starts[0], 0);
+  CheckpointPlan one = PlanSqrtN(1);
+  EXPECT_EQ(one.NumSegments(), 1);
+}
+
+TEST(CheckpointPlanTest, PredictedPeakFallsWithMoreSegments) {
+  std::vector<LayerMemCost> costs(16);
+  for (auto& c : costs) {
+    c.cached_bytes = 1000;
+    c.input_bytes = 100;
+    c.flops = 10;
+  }
+  CheckpointPlan none = PlanNone(16);
+  CheckpointPlan sqrtn = PlanSqrtN(16);
+  EXPECT_LT(sqrtn.PredictedPeakBytes(costs), none.PredictedPeakBytes(costs));
+  // sqrt plan: 4 boundaries * 100 + 4 * 1000 = 4400 vs 100 + 16000.
+  EXPECT_EQ(none.PredictedPeakBytes(costs), 100 + 16000);
+  EXPECT_EQ(sqrtn.PredictedPeakBytes(costs), 400 + 4000);
+}
+
+TEST(CheckpointPlanTest, RecomputeGrowsWithSegments) {
+  std::vector<LayerMemCost> costs(16);
+  for (auto& c : costs) c.flops = 10;
+  EXPECT_EQ(PlanNone(16).RecomputeFlops(costs), 0);
+  // sqrt(16) = 4 segments: the first 3 segments (12 layers) recompute.
+  EXPECT_EQ(PlanSqrtN(16).RecomputeFlops(costs), 120);
+}
+
+TEST(ProbeTest, MeasuresPositiveCostsAndLeavesNoCaches) {
+  Sequential net = DeepMlp(4, 32);
+  Rng rng(1);
+  net.Init(&rng);
+  Tensor x({16, 8});
+  x.FillGaussian(&rng, 1.0f);
+  auto costs = ProbeLayerCosts(&net, x);
+  ASSERT_EQ(static_cast<int64_t>(costs.size()), net.size());
+  EXPECT_GT(costs[0].cached_bytes, 0);
+  EXPECT_EQ(costs[0].input_bytes, 16 * 8 * 4);
+  EXPECT_EQ(net.CachedBytes(), 0);
+}
+
+TEST(PlanForBudgetTest, GenerousBudgetGivesOneSegment) {
+  std::vector<LayerMemCost> costs(8);
+  for (auto& c : costs) {
+    c.cached_bytes = 100;
+    c.input_bytes = 10;
+    c.flops = 1;
+  }
+  auto plan = PlanForBudget(costs, 1 << 20);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->NumSegments(), 1);
+}
+
+TEST(PlanForBudgetTest, TightBudgetGivesMoreSegments) {
+  std::vector<LayerMemCost> costs(16);
+  for (auto& c : costs) {
+    c.cached_bytes = 1000;
+    c.input_bytes = 10;
+    c.flops = 1;
+  }
+  auto generous = PlanForBudget(costs, 16160);
+  auto tight = PlanForBudget(costs, 4200);
+  ASSERT_TRUE(generous.ok() && tight.ok());
+  EXPECT_LT(generous->NumSegments(), tight->NumSegments());
+  EXPECT_LE(tight->PredictedPeakBytes(costs), 4200);
+}
+
+TEST(PlanForBudgetTest, ImpossibleBudgetIsResourceExhausted) {
+  std::vector<LayerMemCost> costs(4);
+  for (auto& c : costs) {
+    c.cached_bytes = 1000;
+    c.input_bytes = 500;
+  }
+  auto plan = PlanForBudget(costs, 100);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PlanForBudgetTest, FewerSegmentsThanBudgetAllows) {
+  // The planner must pick the least-recompute plan meeting the budget,
+  // never more segments than needed.
+  std::vector<LayerMemCost> costs(8);
+  for (auto& c : costs) {
+    c.cached_bytes = 100;
+    c.input_bytes = 1;
+    c.flops = 5;
+  }
+  auto plan = PlanForBudget(costs, 405);  // 4 boundaries + 400 cache fits
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->NumSegments(), 3);
+}
+
+TEST(CheckpointedStepTest, RejectsMalformedPlans) {
+  Sequential net = DeepMlp(2, 8);
+  Rng rng(2);
+  net.Init(&rng);
+  Dataset batch = MakeGaussianBlobs(8, 8, 4, 3.0, &rng);
+  Sgd opt(0.01);
+  CheckpointPlan bad;
+  bad.segment_starts = {1};
+  EXPECT_FALSE(CheckpointedStep(&net, &opt, batch, bad).ok());
+  bad.segment_starts = {0, 3, 2};
+  EXPECT_FALSE(CheckpointedStep(&net, &opt, batch, bad).ok());
+  bad.segment_starts = {0, 100};
+  EXPECT_FALSE(CheckpointedStep(&net, &opt, batch, bad).ok());
+}
+
+TEST(CheckpointedStepTest, GradientsMatchPlainTrainingBitForBit) {
+  Rng rng(3);
+  Dataset batch = MakeGaussianBlobs(32, 8, 4, 3.0, &rng);
+
+  Sequential plain = DeepMlp(6, 16);
+  Rng init_rng(7);
+  plain.Init(&init_rng);
+  Sequential ckpt = plain.Clone();
+
+  Sgd opt_a(0.05);
+  Sgd opt_b(0.05);
+
+  // Plain step.
+  plain.ZeroGrads();
+  Tensor logits = plain.Forward(batch.x, CacheMode::kCache);
+  LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
+  plain.Backward(lg.grad);
+  opt_a.Step(plain.Params(), plain.Grads());
+
+  // Checkpointed step with sqrt(n) segments.
+  auto loss = CheckpointedStep(&ckpt, &opt_b, batch, PlanSqrtN(ckpt.size()));
+  ASSERT_TRUE(loss.ok());
+  EXPECT_FLOAT_EQ(static_cast<float>(*loss), static_cast<float>(lg.loss));
+  EXPECT_EQ(plain.GetParameterVector(), ckpt.GetParameterVector())
+      << "recompute must reproduce identical gradients";
+}
+
+TEST(CheckpointedStepTest, PeakMemoryDropsWithCheckpointing) {
+  Rng rng(4);
+  Dataset batch = MakeGaussianBlobs(128, 8, 4, 3.0, &rng);
+  Sequential net = DeepMlp(16, 64);
+  Rng init_rng(5);
+  net.Init(&init_rng);
+  Sequential net2 = net.Clone();
+  Sgd opt(0.01);
+
+  MemoryTracker::Global().ResetPeak();
+  ASSERT_TRUE(CheckpointedStep(&net, &opt, batch, PlanNone(net.size())).ok());
+  const int64_t peak_plain = MemoryTracker::Global().peak_bytes();
+
+  MemoryTracker::Global().ResetPeak();
+  ASSERT_TRUE(
+      CheckpointedStep(&net2, &opt, batch, PlanSqrtN(net2.size())).ok());
+  const int64_t peak_ckpt = MemoryTracker::Global().peak_bytes();
+
+  EXPECT_LT(peak_ckpt, peak_plain)
+      << "sqrt(n) checkpointing must lower the activation peak";
+}
+
+TEST(CheckpointedStepTest, TrainingConvergesUnderCheckpointing) {
+  Rng rng(6);
+  Dataset data = MakeGaussianBlobs(400, 8, 4, 3.5, &rng);
+  auto split = Split(data, 0.8);
+  Sequential net = DeepMlp(4, 24);
+  net.Init(&rng);
+  Sgd opt(0.05);
+  CheckpointPlan plan = PlanSqrtN(net.size());
+  Rng shuffle(8);
+  Dataset shuffled = split.train;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    ShuffleDataset(&shuffled, &shuffle);
+    for (BatchIterator it(shuffled, 32); !it.Done(); it.Next()) {
+      ASSERT_TRUE(CheckpointedStep(&net, &opt, it.Get(), plan).ok());
+    }
+  }
+  EXPECT_GT(Evaluate(&net, split.test).accuracy, 0.85);
+}
+
+// ------------------------------------------------------------- Offload
+
+TEST(OffloadTest, NoOffloadNoOverhead) {
+  std::vector<LayerMemCost> costs(4);
+  for (auto& c : costs) c.cached_bytes = 1000;
+  std::vector<bool> none(4, false);
+  SlowTier tier;
+  OffloadEstimate est = EstimateOffload(costs, none, tier, 0.1);
+  EXPECT_EQ(est.device_peak_bytes, 4000);
+  EXPECT_EQ(est.transferred_bytes, 0);
+  EXPECT_DOUBLE_EQ(est.overhead_seconds, 0.0);
+}
+
+TEST(OffloadTest, FullOffloadLeavesStagingBuffer) {
+  std::vector<LayerMemCost> costs(4);
+  for (size_t i = 0; i < 4; ++i) {
+    costs[i].cached_bytes = 1000 * static_cast<int64_t>(i + 1);
+  }
+  std::vector<bool> all(4, true);
+  SlowTier tier{1e9, 0.0};
+  OffloadEstimate est = EstimateOffload(costs, all, tier, 0.0);
+  EXPECT_EQ(est.device_peak_bytes, 4000);  // largest single cache
+  EXPECT_EQ(est.transferred_bytes, 2 * 10000);
+  EXPECT_DOUBLE_EQ(est.transfer_seconds, 2e-5);
+  EXPECT_DOUBLE_EQ(est.overhead_seconds, 2e-5);
+}
+
+TEST(OffloadTest, OverlapHidesTransfersBehindCompute) {
+  std::vector<LayerMemCost> costs(2);
+  costs[0].cached_bytes = 1000000;
+  costs[1].cached_bytes = 1000000;
+  std::vector<bool> all(2, true);
+  SlowTier tier{1e9, 0.0};  // 4 ms of transfers
+  OffloadEstimate slow = EstimateOffload(costs, all, tier, 0.001);
+  OffloadEstimate hidden = EstimateOffload(costs, all, tier, 0.01);
+  EXPECT_GT(slow.overhead_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(hidden.overhead_seconds, 0.0);
+}
+
+TEST(OffloadTest, ChooseOffloadSetFitsBudget) {
+  std::vector<LayerMemCost> costs(5);
+  for (size_t i = 0; i < 5; ++i) {
+    costs[i].cached_bytes = 1000 * static_cast<int64_t>(i + 1);
+  }
+  // Total 15000. Budget 8000 requires offloading some layers.
+  auto set = ChooseOffloadSet(costs, 8000);
+  ASSERT_TRUE(set.ok());
+  SlowTier tier;
+  OffloadEstimate est = EstimateOffload(costs, *set, tier, 0.0);
+  EXPECT_LE(est.device_peak_bytes, 8000);
+  // Largest-first: layer 4 (5000) must be offloaded.
+  EXPECT_TRUE((*set)[4]);
+}
+
+TEST(OffloadTest, ImpossibleBudgetFails) {
+  std::vector<LayerMemCost> costs(3);
+  for (auto& c : costs) c.cached_bytes = 10000;
+  // Staging buffer alone (10000) exceeds the budget.
+  EXPECT_FALSE(ChooseOffloadSet(costs, 5000).ok());
+}
+
+TEST(OffloadTest, BudgetSweepIsMonotoneInOverhead) {
+  // Tighter budgets can only increase transferred bytes.
+  std::vector<LayerMemCost> costs(8);
+  for (size_t i = 0; i < 8; ++i) {
+    costs[i].cached_bytes = 500 * static_cast<int64_t>(i + 1);
+  }
+  SlowTier tier;
+  int64_t prev_transfer = -1;
+  for (int64_t budget : {18000, 12000, 8000, 5000}) {
+    auto set = ChooseOffloadSet(costs, budget);
+    ASSERT_TRUE(set.ok()) << "budget " << budget;
+    OffloadEstimate est = EstimateOffload(costs, *set, tier, 0.0);
+    if (prev_transfer >= 0) {
+      EXPECT_GE(est.transferred_bytes, prev_transfer);
+    }
+    prev_transfer = est.transferred_bytes;
+  }
+}
+
+}  // namespace
+}  // namespace dlsys

@@ -1,0 +1,131 @@
+// Coverage of smaller public-API surfaces not exercised elsewhere:
+// FLOP reporting, inference-mode batchnorm, dropout cloning, summaries,
+// and ensemble inference bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/ensemble/ensemble.h"
+#include "src/nn/conv.h"
+#include "src/nn/layers.h"
+#include "src/nn/train.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+namespace {
+
+TEST(FlopsTest, DenseFlopsFormula) {
+  Dense dense(10, 20);
+  EXPECT_EQ(dense.FlopsPerExample(), 2 * 10 * 20);
+}
+
+TEST(FlopsTest, ConvFlopsTrackLastForwardExtent) {
+  Conv2D conv(2, 4, 3, 1, 1);
+  EXPECT_EQ(conv.FlopsPerExample(), 0) << "no forward yet";
+  Rng rng(1);
+  conv.Init(&rng);
+  Tensor x({1, 2, 8, 8});
+  conv.Forward(x, CacheMode::kNoCache);
+  // 2 * out_ch * Ho * Wo * in_ch * k * k = 2*4*8*8*2*9.
+  EXPECT_EQ(conv.FlopsPerExample(), 2 * 4 * 8 * 8 * 2 * 9);
+}
+
+TEST(FlopsTest, SequentialSumsLayers) {
+  Sequential net = MakeMlp(4, {8}, 2);
+  EXPECT_EQ(net.FlopsPerExample(), 2 * 4 * 8 + 2 * 8 * 2);
+}
+
+TEST(BatchNormTest, InferenceUsesRunningStats) {
+  BatchNorm1d bn(3, /*momentum=*/0.0);  // running stats = last batch
+  Rng rng(2);
+  bn.Init(&rng);
+  Tensor x({64, 3});
+  x.FillGaussian(&rng, 2.0f);
+  for (int64_t i = 0; i < x.size(); ++i) x[i] += 5.0f;  // shifted input
+  bn.Forward(x, CacheMode::kCache);  // sets running stats to batch stats
+  Tensor y = bn.Forward(x, CacheMode::kNoCache);
+  // With momentum 0 the running stats equal the batch stats, so the
+  // inference output is standardized: near-zero column means.
+  for (int64_t j = 0; j < 3; ++j) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < 64; ++i) mean += y[i * 3 + j];
+    EXPECT_NEAR(mean / 64.0, 0.0, 0.05);
+  }
+}
+
+TEST(BatchNormTest, CloneCarriesRunningStats) {
+  BatchNorm1d bn(2);
+  Rng rng(3);
+  bn.Init(&rng);
+  Tensor x({32, 2});
+  x.FillGaussian(&rng, 1.0f);
+  bn.Forward(x, CacheMode::kCache);
+  auto clone = bn.Clone();
+  Tensor a = bn.Forward(x, CacheMode::kNoCache);
+  Tensor b = clone->Forward(x, CacheMode::kNoCache);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(DropoutTest, CloneReproducesMaskSequence) {
+  Dropout a(0.5f, 77);
+  auto b_layer = a.Clone();
+  Tensor x({8, 8}, 1.0f);
+  Tensor ya = a.Forward(x, CacheMode::kCache);
+  Tensor yb = b_layer->Forward(x, CacheMode::kCache);
+  for (int64_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(SummaryTest, ListsEveryLayer) {
+  Sequential net = MakeMlp(4, {8, 8}, 2);
+  const std::string summary = net.Summary();
+  EXPECT_NE(summary.find("dense(4->8)"), std::string::npos);
+  EXPECT_NE(summary.find("relu"), std::string::npos);
+  EXPECT_NE(summary.find("dense(8->2)"), std::string::npos);
+}
+
+TEST(TensorToStringTest, TruncatesLongTensors) {
+  Tensor t({100}, 1.0f);
+  const std::string s = t.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[100]"), std::string::npos);
+}
+
+TEST(EnsembleInferenceTest, ProbabilitiesAreNormalized) {
+  Rng rng(5);
+  Dataset data = MakeGaussianBlobs(200, 4, 3, 3.0, &rng);
+  MemberBuilder builder = [](int64_t) { return MakeMlp(4, {8}, 3); };
+  TrainConfig tc;
+  tc.epochs = 3;
+  auto run = TrainFullEnsemble(builder, 3, data, tc, 0.05, 7);
+  ASSERT_TRUE(run.ok());
+  auto& e = const_cast<Ensemble&>(run->ensemble);
+  Tensor probs = e.PredictProbs(data.x);
+  for (int64_t i = 0; i < 10; ++i) {
+    double row = 0.0;
+    for (int64_t c = 0; c < 3; ++c) row += probs.at(i, c);
+    EXPECT_NEAR(row, 1.0, 1e-5);
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_GE(probs.at(i, c), 0.0f);
+    }
+  }
+  EXPECT_GT(e.MeasureInferenceSeconds(data), 0.0);
+  EXPECT_EQ(e.ModelBytes(), 3 * e.member(0).ModelBytes());
+}
+
+TEST(MaxPoolTest, RejectsWindowLargerThanInput) {
+  MaxPool2D pool(4);
+  Tensor x({1, 1, 2, 2});
+  EXPECT_DEATH(pool.Forward(x, CacheMode::kNoCache), "window");
+}
+
+TEST(DenseTest, RejectsWrongInputWidth) {
+  Dense dense(4, 2);
+  Rng rng(6);
+  dense.Init(&rng);
+  Tensor x({2, 5});
+  EXPECT_DEATH(dense.Forward(x, CacheMode::kNoCache), "shape");
+}
+
+}  // namespace
+}  // namespace dlsys

@@ -1,0 +1,93 @@
+#include "src/nnopt/morphnet.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+
+namespace dlsys {
+namespace {
+
+TEST(MlpFlopsTest, KnownValues) {
+  // 4 -> 8 -> 2: 2*(4*8) + 2*(8*2) = 64 + 32 = 96.
+  EXPECT_EQ(MlpFlops(4, {8}, 2), 96);
+  EXPECT_EQ(MlpFlops(4, {8, 8}, 2), 64 + 128 + 32);
+}
+
+TEST(MorphNetTest, RejectsBadConfig) {
+  Rng rng(1);
+  Dataset data = MakeGaussianBlobs(100, 4, 2, 3.0, &rng);
+  MorphConfig config;
+  config.flop_budget = 0.0;
+  EXPECT_FALSE(MorphNetOptimize(4, 2, {8}, data, data, config).ok());
+  config.flop_budget = 1000;
+  EXPECT_FALSE(MorphNetOptimize(4, 2, {}, data, data, config).ok());
+  config.shrink_fraction = 1.5;
+  EXPECT_FALSE(MorphNetOptimize(4, 2, {8}, data, data, config).ok());
+}
+
+TEST(MorphNetTest, RespectsFlopBudget) {
+  Rng rng(2);
+  Dataset data = MakeGaussianBlobs(600, 8, 4, 3.0, &rng);
+  auto split = Split(data, 0.8);
+  MorphConfig config;
+  config.flop_budget = 2000;
+  config.iterations = 2;
+  config.train_epochs = 4;
+  auto result = MorphNetOptimize(8, 4, {32, 32}, split.train, split.test,
+                                 config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(MlpFlops(8, result->widths, 4),
+            static_cast<int64_t>(config.flop_budget * 1.15))
+      << "final structure must respect the budget (within rounding)";
+  EXPECT_EQ(result->trajectory.size(), 2u);
+}
+
+TEST(MorphNetTest, CapacityMigratesAcrossLayers) {
+  // A task where the first layer matters more (high input dim): widths
+  // should become non-uniform even though they start uniform.
+  Rng rng(3);
+  Dataset data = MakeGaussianBlobs(800, 16, 4, 2.0, &rng);
+  auto split = Split(data, 0.8);
+  MorphConfig config;
+  config.flop_budget = static_cast<double>(MlpFlops(16, {24, 24}, 4));
+  config.iterations = 3;
+  config.train_epochs = 6;
+  auto result = MorphNetOptimize(16, 4, {24, 24}, split.train, split.test,
+                                 config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->widths.size(), 2u);
+  // Accuracy at the end should be sensible.
+  EXPECT_GT(result->trajectory.back(), 0.6);
+}
+
+TEST(MorphNetTest, ComparableOrBetterThanUniformBaseline) {
+  Rng rng(4);
+  Dataset data = MakeGaussianBlobs(1000, 16, 4, 2.0, &rng);
+  auto split = Split(data, 0.8);
+  MorphConfig config;
+  config.flop_budget = static_cast<double>(MlpFlops(16, {20, 20}, 4));
+  config.iterations = 3;
+  config.train_epochs = 8;
+  auto morph = MorphNetOptimize(16, 4, {20, 20}, split.train, split.test,
+                                config);
+  auto uniform = UniformScaleBaseline(16, 4, {20, 20}, split.train,
+                                      split.test, config);
+  ASSERT_TRUE(morph.ok() && uniform.ok());
+  EXPECT_GT(morph->report.Get(metric::kAccuracy),
+            uniform->report.Get(metric::kAccuracy) - 0.08)
+      << "structure search must not badly lose to uniform scaling";
+}
+
+TEST(UniformBaselineTest, HitsBudget) {
+  Rng rng(5);
+  Dataset data = MakeGaussianBlobs(300, 8, 2, 3.0, &rng);
+  MorphConfig config;
+  config.flop_budget = 1500;
+  config.train_epochs = 2;
+  auto result = UniformScaleBaseline(8, 2, {64, 64}, data, data, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(MlpFlops(8, result->widths, 2), 1700);
+}
+
+}  // namespace
+}  // namespace dlsys

@@ -1,0 +1,165 @@
+#include "src/parallel/strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace dlsys {
+namespace {
+
+// A transformer-ish stack: alternating heavy-param layers (favour model
+// parallelism) and heavy-activation layers (favour data parallelism).
+std::vector<ParLayerCost> MixedLayers(int64_t n) {
+  std::vector<ParLayerCost> out;
+  for (int64_t i = 0; i < n; ++i) {
+    ParLayerCost c;
+    c.forward_flops = 2'000'000'000;
+    c.backward_flops = 4'000'000'000;
+    if (i % 2 == 0) {
+      c.param_bytes = 64 << 20;       // 64 MiB params: costly to all-reduce
+      c.activation_bytes = 1 << 20;
+    } else {
+      c.param_bytes = 1 << 20;
+      c.activation_bytes = 16 << 20;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(ParallelSimTest, ValidDegreesAreDivisors) {
+  ParallelSimulator sim({12, 1e12, 1e10, 1e-6}, MixedLayers(2));
+  EXPECT_EQ(sim.ValidDegrees(), (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+}
+
+TEST(ParallelSimTest, SingleDeviceHasNoCommCost) {
+  DeviceGraph g{1, 1e12, 1e10, 1e-6};
+  auto layers = MixedLayers(4);
+  ParallelSimulator sim(g, layers);
+  Strategy s;
+  s.layers.assign(4, {1, ParallelDim::kData});
+  double expect = 0.0;
+  for (const auto& c : layers) {
+    expect += static_cast<double>(c.forward_flops + c.backward_flops) / 1e12;
+  }
+  EXPECT_NEAR(sim.StepSeconds(s), expect, 1e-12);
+}
+
+TEST(ParallelSimTest, DataParallelComputesKnownCost) {
+  DeviceGraph g{4, 1e12, 1e10, 0.0};
+  std::vector<ParLayerCost> layers(1);
+  layers[0].forward_flops = 4'000'000'000;
+  layers[0].backward_flops = 8'000'000'000;
+  layers[0].param_bytes = 100'000'000;
+  ParallelSimulator sim(g, layers);
+  Strategy s;
+  s.layers = {{4, ParallelDim::kData}};
+  // compute: 12e9 / (4 * 1e12) = 3e-3; ring: 2*(3/4)*1e8/1e10 = 1.5e-2.
+  EXPECT_NEAR(sim.StepSeconds(s), 3e-3 + 1.5e-2, 1e-9);
+}
+
+TEST(ParallelSimTest, ModelParallelAvoidsParamSync) {
+  DeviceGraph g{4, 1e12, 1e10, 0.0};
+  std::vector<ParLayerCost> layers(1);
+  layers[0].forward_flops = 1'000'000'000;
+  layers[0].backward_flops = 2'000'000'000;
+  layers[0].param_bytes = 400'000'000;   // huge params
+  layers[0].activation_bytes = 1'000'000;  // tiny activations
+  ParallelSimulator sim(g, layers);
+  Strategy data;
+  data.layers = {{4, ParallelDim::kData}};
+  Strategy model;
+  model.layers = {{4, ParallelDim::kModel}};
+  EXPECT_LT(sim.StepSeconds(model), sim.StepSeconds(data));
+}
+
+TEST(ParallelSimTest, BoundaryRedistributionIsCharged) {
+  DeviceGraph g{4, 1e12, 1e10, 0.0};
+  auto layers = MixedLayers(2);
+  ParallelSimulator sim(g, layers);
+  Strategy uniform;
+  uniform.layers = {{4, ParallelDim::kData}, {4, ParallelDim::kData}};
+  Strategy mixed = uniform;
+  mixed.layers[1].dim = ParallelDim::kModel;
+  // The mixed strategy pays the layer-0 activation redistribution on top
+  // of whatever its own comm costs are; with layer 1 identical costs
+  // except sync type, verify the boundary term specifically: set both
+  // layers to degree 4 data, then flip only the boundary by changing
+  // degree of layer 1 to 2.
+  Strategy degree_change = uniform;
+  degree_change.layers[1].degree = 2;
+  const double base = sim.StepSeconds(uniform);
+  const double changed = sim.StepSeconds(degree_change);
+  // Redistribution adds activation_bytes/bw; layer 1 comm shrinks but
+  // compute doubles. Just assert the simulator is sensitive to the
+  // boundary at all:
+  EXPECT_NE(base, changed);
+}
+
+TEST(SearchTest, OptimizedBeatsOrMatchesDataParallel) {
+  DeviceGraph g{8, 1e12, 1e10, 1e-6};
+  ParallelSimulator sim(g, MixedLayers(8));
+  const double baseline = sim.StepSeconds(sim.DataParallelBaseline());
+  SearchConfig config;
+  config.iterations = 3000;
+  SearchResult mcmc = OptimizeStrategy(sim, config);
+  EXPECT_LE(mcmc.step_seconds, baseline);
+  // The mixed workload has big-param layers: model parallelism must win
+  // somewhere, so the optimum is strictly better.
+  EXPECT_LT(mcmc.step_seconds, baseline * 0.95);
+  EXPECT_GT(mcmc.optimize_seconds, 0.0);
+  EXPECT_GT(mcmc.evaluated, 1000);
+}
+
+TEST(SearchTest, GreedyBeatsBaselineButMcmcAtLeastMatchesGreedy) {
+  DeviceGraph g{8, 1e12, 1e10, 1e-6};
+  ParallelSimulator sim(g, MixedLayers(8));
+  const double baseline = sim.StepSeconds(sim.DataParallelBaseline());
+  SearchResult greedy = GreedyStrategy(sim);
+  SearchConfig config;
+  config.iterations = 6000;
+  SearchResult mcmc = OptimizeStrategy(sim, config);
+  EXPECT_LE(greedy.step_seconds, baseline);
+  EXPECT_LE(mcmc.step_seconds, greedy.step_seconds * 1.02)
+      << "with a healthy budget MCMC should not lose to greedy";
+}
+
+TEST(SearchTest, MoreBudgetNeverHurts) {
+  DeviceGraph g{8, 1e12, 1e10, 1e-6};
+  ParallelSimulator sim(g, MixedLayers(10));
+  SearchConfig small;
+  small.iterations = 50;
+  small.seed = 3;
+  SearchConfig large;
+  large.iterations = 5000;
+  large.seed = 3;
+  SearchResult s = OptimizeStrategy(sim, small);
+  SearchResult l = OptimizeStrategy(sim, large);
+  EXPECT_LE(l.step_seconds, s.step_seconds);
+}
+
+TEST(SearchTest, RandomSearchFindsSomethingValid) {
+  DeviceGraph g{4, 1e12, 1e10, 1e-6};
+  ParallelSimulator sim(g, MixedLayers(6));
+  SearchConfig config;
+  config.iterations = 500;
+  SearchResult r = RandomStrategy(sim, config);
+  EXPECT_EQ(static_cast<int64_t>(r.strategy.layers.size()), 6);
+  for (const auto& a : r.strategy.layers) {
+    EXPECT_GE(a.degree, 1);
+    EXPECT_LE(a.degree, 4);
+  }
+}
+
+TEST(SearchTest, DeterministicForFixedSeed) {
+  DeviceGraph g{8, 1e12, 1e10, 1e-6};
+  ParallelSimulator sim(g, MixedLayers(8));
+  SearchConfig config;
+  config.iterations = 500;
+  config.seed = 11;
+  SearchResult a = OptimizeStrategy(sim, config);
+  SearchResult b = OptimizeStrategy(sim, config);
+  EXPECT_EQ(a.step_seconds, b.step_seconds);
+  EXPECT_EQ(a.strategy.ToString(), b.strategy.ToString());
+}
+
+}  // namespace
+}  // namespace dlsys

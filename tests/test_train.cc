@@ -1,0 +1,224 @@
+#include "src/nn/train.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/optim/schedule.h"
+
+namespace dlsys {
+namespace {
+
+TEST(TrainTest, MlpLearnsGaussianBlobs) {
+  Rng rng(17);
+  Dataset data = MakeGaussianBlobs(600, 8, 4, 4.0, &rng);
+  auto split = Split(data, 0.8);
+  Sequential net = MakeMlp(8, {32}, 4);
+  net.Init(&rng);
+  Sgd opt(0.05, 0.9);
+  TrainConfig config;
+  config.epochs = 15;
+  MetricsReport report = Train(&net, &opt, split.train, config);
+  EvalResult eval = Evaluate(&net, split.test);
+  EXPECT_GT(eval.accuracy, 0.9) << "blobs at separation 4 should be separable";
+  EXPECT_GT(report.Get(metric::kTrainSeconds), 0.0);
+  EXPECT_GT(report.Get(metric::kPeakBytes), 0.0);
+  EXPECT_GT(report.Get(metric::kFlops), 0.0);
+}
+
+TEST(TrainTest, MlpLearnsTwoMoonsNonlinear) {
+  Rng rng(23);
+  Dataset data = MakeTwoMoons(800, 0.1, &rng);
+  auto split = Split(data, 0.75);
+  Sequential net = MakeMlp(2, {16, 16}, 2);
+  net.Init(&rng);
+  Adam opt(0.01);
+  TrainConfig config;
+  config.epochs = 30;
+  Train(&net, &opt, split.train, config);
+  EvalResult eval = Evaluate(&net, split.test);
+  EXPECT_GT(eval.accuracy, 0.93);
+}
+
+TEST(TrainTest, CnnLearnsDigitGrid) {
+  Rng rng(31);
+  Dataset data = MakeDigitGrid(300, 8, 4, 0.2, &rng);
+  auto split = Split(data, 0.8);
+  Sequential net = MakeCnn(8, 4, 8, 4);
+  net.Init(&rng);
+  Adam opt(0.005);
+  TrainConfig config;
+  config.epochs = 8;
+  config.batch_size = 16;
+  Train(&net, &opt, split.train, config);
+  EvalResult eval = Evaluate(&net, split.test);
+  EXPECT_GT(eval.accuracy, 0.9) << "stroke patterns should be easy for a CNN";
+}
+
+TEST(TrainTest, LossDecreasesOverTraining) {
+  Rng rng(5);
+  Dataset data = MakeGaussianBlobs(400, 4, 3, 3.0, &rng);
+  Sequential net = MakeMlp(4, {16}, 3);
+  net.Init(&rng);
+  Sgd opt(0.05);
+  double first_loss = -1.0, last_loss = -1.0;
+  TrainConfig config;
+  config.epochs = 10;
+  config.on_step = [&](int64_t step, int64_t, double loss) {
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+  };
+  Train(&net, &opt, data, config);
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+TEST(TrainTest, ScheduleIsApplied) {
+  Rng rng(6);
+  Dataset data = MakeGaussianBlobs(64, 4, 2, 3.0, &rng);
+  Sequential net = MakeMlp(4, {8}, 2);
+  net.Init(&rng);
+  Sgd opt(1.0);
+  StepDecayLr schedule(0.1, 1, 0.5);
+  TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  config.schedule = &schedule;
+  std::vector<double> lrs;
+  config.on_step = [&](int64_t, int64_t, double) { lrs.push_back(opt.lr()); };
+  Train(&net, &opt, data, config);
+  ASSERT_GE(lrs.size(), 3u);
+  EXPECT_DOUBLE_EQ(lrs[0], 0.1);
+  EXPECT_DOUBLE_EQ(lrs[1], 0.05);
+  EXPECT_DOUBLE_EQ(lrs[2], 0.025);
+}
+
+TEST(TrainTest, DeterministicGivenSeeds) {
+  auto run = []() {
+    Rng rng(99);
+    Dataset data = MakeGaussianBlobs(200, 4, 3, 3.0, &rng);
+    Sequential net = MakeMlp(4, {8}, 3);
+    net.Init(&rng);
+    Sgd opt(0.05);
+    TrainConfig config;
+    config.epochs = 3;
+    Train(&net, &opt, data, config);
+    return net.GetParameterVector();
+  };
+  std::vector<float> a = run();
+  std::vector<float> b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(OptimizerTest, SgdStepMovesAgainstGradient) {
+  Tensor p({2}, {1.0f, -1.0f});
+  Tensor g({2}, {0.5f, -0.5f});
+  Sgd opt(0.1);
+  opt.Step({&p}, {&g});
+  EXPECT_FLOAT_EQ(p[0], 0.95f);
+  EXPECT_FLOAT_EQ(p[1], -0.95f);
+}
+
+TEST(OptimizerTest, MomentumAccumulates) {
+  Tensor p({1}, {0.0f});
+  Tensor g({1}, {1.0f});
+  Sgd opt(0.1, 0.9);
+  opt.Step({&p}, {&g});
+  EXPECT_FLOAT_EQ(p[0], -0.1f);
+  opt.Step({&p}, {&g});
+  // velocity = 0.9*1 + 1 = 1.9 -> p = -0.1 - 0.19
+  EXPECT_NEAR(p[0], -0.29f, 1e-6f);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksParams) {
+  Tensor p({1}, {1.0f});
+  Tensor g({1}, {0.0f});
+  Sgd opt(0.1, 0.0, 0.5);
+  opt.Step({&p}, {&g});
+  EXPECT_FLOAT_EQ(p[0], 1.0f - 0.1f * 0.5f);
+}
+
+TEST(OptimizerTest, AdamFirstStepIsLrSized) {
+  Tensor p({1}, {0.0f});
+  Tensor g({1}, {3.0f});
+  Adam opt(0.01);
+  opt.Step({&p}, {&g});
+  // With bias correction the first Adam step is ~lr in magnitude.
+  EXPECT_NEAR(p[0], -0.01f, 1e-4f);
+}
+
+TEST(ScheduleTest, CosineCyclicRestartsEachCycle) {
+  CosineCyclicLr schedule(1.0, 10);
+  EXPECT_NEAR(schedule.Lr(0), 1.0, 1e-9);
+  EXPECT_LT(schedule.Lr(9), 0.05);
+  EXPECT_NEAR(schedule.Lr(10), 1.0, 1e-9);  // restart
+  EXPECT_TRUE(schedule.EndOfCycle(9));
+  EXPECT_FALSE(schedule.EndOfCycle(5));
+}
+
+TEST(ScheduleTest, StepDecayHalves) {
+  StepDecayLr schedule(0.8, 100, 0.5);
+  EXPECT_DOUBLE_EQ(schedule.Lr(0), 0.8);
+  EXPECT_DOUBLE_EQ(schedule.Lr(99), 0.8);
+  EXPECT_DOUBLE_EQ(schedule.Lr(100), 0.4);
+  EXPECT_DOUBLE_EQ(schedule.Lr(250), 0.2);
+}
+
+TEST(DataTest, SplitSizes) {
+  Rng rng(1);
+  Dataset data = MakeGaussianBlobs(100, 2, 2, 3.0, &rng);
+  auto split = Split(data, 0.7);
+  EXPECT_EQ(split.train.size(), 70);
+  EXPECT_EQ(split.test.size(), 30);
+}
+
+TEST(DataTest, StandardizeZeroMeanUnitVar) {
+  Rng rng(2);
+  Dataset data = MakeGaussianBlobs(500, 3, 2, 5.0, &rng);
+  Standardize(&data);
+  const int64_t n = data.x.dim(0), d = data.x.dim(1);
+  for (int64_t j = 0; j < d; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t i = 0; i < n; ++i) mean += data.x[i * d + j];
+    mean /= n;
+    for (int64_t i = 0; i < n; ++i) {
+      const double dv = data.x[i * d + j] - mean;
+      var += dv * dv;
+    }
+    var /= n;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(DataTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  Dataset data = MakeGaussianBlobs(50, 2, 3, 3.0, &rng);
+  std::vector<int64_t> before = data.y;
+  std::sort(before.begin(), before.end());
+  ShuffleDataset(&data, &rng);
+  std::vector<int64_t> after = data.y;
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(DataTest, BatchIteratorCoversAll) {
+  Rng rng(4);
+  Dataset data = MakeGaussianBlobs(35, 2, 2, 3.0, &rng);
+  int64_t total = 0;
+  int64_t batches = 0;
+  for (BatchIterator it(data, 16); !it.Done(); it.Next()) {
+    total += it.Get().size();
+    ++batches;
+  }
+  EXPECT_EQ(total, 35);
+  EXPECT_EQ(batches, 3);  // 16 + 16 + 3
+}
+
+TEST(DataTest, DigitGridShapes) {
+  Rng rng(5);
+  Dataset data = MakeDigitGrid(10, 8, 4, 0.1, &rng);
+  EXPECT_EQ(data.x.shape(), (Shape{10, 1, 8, 8}));
+  EXPECT_EQ(data.NumClasses(), 4);
+}
+
+}  // namespace
+}  // namespace dlsys
