@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_carbon.dir/bench_carbon.cc.o"
+  "CMakeFiles/bench_carbon.dir/bench_carbon.cc.o.d"
+  "bench_carbon"
+  "bench_carbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embedding_bias.dir/bench_embedding_bias.cc.o"
+  "CMakeFiles/bench_embedding_bias.dir/bench_embedding_bias.cc.o.d"
+  "bench_embedding_bias"
+  "bench_embedding_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embedding_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

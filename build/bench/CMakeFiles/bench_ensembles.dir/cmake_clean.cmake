@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ensembles.dir/bench_ensembles.cc.o"
+  "CMakeFiles/bench_ensembles.dir/bench_ensembles.cc.o.d"
+  "bench_ensembles"
+  "bench_ensembles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ensembles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grad_compression.dir/bench_grad_compression.cc.o"
+  "CMakeFiles/bench_grad_compression.dir/bench_grad_compression.cc.o.d"
+  "bench_grad_compression"
+  "bench_grad_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grad_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knob_tuning.dir/bench_knob_tuning.cc.o"
+  "CMakeFiles/bench_knob_tuning.dir/bench_knob_tuning.cc.o.d"
+  "bench_knob_tuning"
+  "bench_knob_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knob_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_learned_bloom.dir/bench_learned_bloom.cc.o"
+  "CMakeFiles/bench_learned_bloom.dir/bench_learned_bloom.cc.o.d"
+  "bench_learned_bloom"
+  "bench_learned_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_learned_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lime_fidelity.dir/bench_lime_fidelity.cc.o"
+  "CMakeFiles/bench_lime_fidelity.dir/bench_lime_fidelity.cc.o.d"
+  "bench_lime_fidelity"
+  "bench_lime_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lime_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_sgd.dir/bench_local_sgd.cc.o"
+  "CMakeFiles/bench_local_sgd.dir/bench_local_sgd.cc.o.d"
+  "bench_local_sgd"
+  "bench_local_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_store.dir/bench_model_store.cc.o"
+  "CMakeFiles/bench_model_store.dir/bench_model_store.cc.o.d"
+  "bench_model_store"
+  "bench_model_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_more_or_less.dir/bench_more_or_less.cc.o"
+  "CMakeFiles/bench_more_or_less.dir/bench_more_or_less.cc.o.d"
+  "bench_more_or_less"
+  "bench_more_or_less.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_more_or_less.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

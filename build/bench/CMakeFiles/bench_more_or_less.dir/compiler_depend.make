@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_more_or_less.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_more_or_less.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_morphnet.dir/bench_morphnet.cc.o"
+  "CMakeFiles/bench_morphnet.dir/bench_morphnet.cc.o.d"
+  "bench_morphnet"
+  "bench_morphnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_morphnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

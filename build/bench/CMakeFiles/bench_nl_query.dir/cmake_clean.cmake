@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nl_query.dir/bench_nl_query.cc.o"
+  "CMakeFiles/bench_nl_query.dir/bench_nl_query.cc.o.d"
+  "bench_nl_query"
+  "bench_nl_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nl_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

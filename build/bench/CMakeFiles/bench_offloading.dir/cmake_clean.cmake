@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offloading.dir/bench_offloading.cc.o"
+  "CMakeFiles/bench_offloading.dir/bench_offloading.cc.o.d"
+  "bench_offloading"
+  "bench_offloading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

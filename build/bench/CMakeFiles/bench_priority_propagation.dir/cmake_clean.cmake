@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_priority_propagation.dir/bench_priority_propagation.cc.o"
+  "CMakeFiles/bench_priority_propagation.dir/bench_priority_propagation.cc.o.d"
+  "bench_priority_propagation"
+  "bench_priority_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priority_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

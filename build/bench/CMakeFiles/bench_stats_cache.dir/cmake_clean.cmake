@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_cache.dir/bench_stats_cache.cc.o"
+  "CMakeFiles/bench_stats_cache.dir/bench_stats_cache.cc.o.d"
+  "bench_stats_cache"
+  "bench_stats_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vector_search.dir/bench_vector_search.cc.o"
+  "CMakeFiles/bench_vector_search.dir/bench_vector_search.cc.o.d"
+  "bench_vector_search"
+  "bench_vector_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vector_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

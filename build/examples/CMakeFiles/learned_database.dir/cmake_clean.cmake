@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learned_database.dir/learned_database.cpp.o"
+  "CMakeFiles/learned_database.dir/learned_database.cpp.o.d"
+  "learned_database"
+  "learned_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learned_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

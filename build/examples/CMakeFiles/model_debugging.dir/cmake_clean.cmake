@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_debugging.dir/model_debugging.cpp.o"
+  "CMakeFiles/model_debugging.dir/model_debugging.cpp.o.d"
+  "model_debugging"
+  "model_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/responsible_lending.dir/responsible_lending.cpp.o"
+  "CMakeFiles/responsible_lending.dir/responsible_lending.cpp.o.d"
+  "responsible_lending"
+  "responsible_lending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/responsible_lending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

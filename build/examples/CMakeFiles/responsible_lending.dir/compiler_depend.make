@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for responsible_lending.
+# This may be replaced when dependencies are built.

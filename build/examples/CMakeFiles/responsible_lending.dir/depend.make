@@ -1,0 +1,2 @@
+# Empty dependencies file for responsible_lending.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/distill.cc" "src/CMakeFiles/dlsys.dir/compress/distill.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/compress/distill.cc.o.d"
+  "/root/repo/src/compress/pruning.cc" "src/CMakeFiles/dlsys.dir/compress/pruning.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/compress/pruning.cc.o.d"
+  "/root/repo/src/compress/quantization.cc" "src/CMakeFiles/dlsys.dir/compress/quantization.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/compress/quantization.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/dlsys.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/dlsys.dir/core/status.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/core/status.cc.o.d"
+  "/root/repo/src/core/tradeoff.cc" "src/CMakeFiles/dlsys.dir/core/tradeoff.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/core/tradeoff.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/dlsys.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/dlsys.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/db/bloom.cc" "src/CMakeFiles/dlsys.dir/db/bloom.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/db/bloom.cc.o.d"
+  "/root/repo/src/db/btree.cc" "src/CMakeFiles/dlsys.dir/db/btree.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/db/btree.cc.o.d"
+  "/root/repo/src/db/histogram.cc" "src/CMakeFiles/dlsys.dir/db/histogram.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/db/histogram.cc.o.d"
+  "/root/repo/src/db/join.cc" "src/CMakeFiles/dlsys.dir/db/join.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/db/join.cc.o.d"
+  "/root/repo/src/db/stats_cache.cc" "src/CMakeFiles/dlsys.dir/db/stats_cache.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/db/stats_cache.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/CMakeFiles/dlsys.dir/db/table.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/db/table.cc.o.d"
+  "/root/repo/src/db/tunable_db.cc" "src/CMakeFiles/dlsys.dir/db/tunable_db.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/db/tunable_db.cc.o.d"
+  "/root/repo/src/distributed/cluster.cc" "src/CMakeFiles/dlsys.dir/distributed/cluster.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/distributed/cluster.cc.o.d"
+  "/root/repo/src/distributed/compressor.cc" "src/CMakeFiles/dlsys.dir/distributed/compressor.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/distributed/compressor.cc.o.d"
+  "/root/repo/src/distributed/priority.cc" "src/CMakeFiles/dlsys.dir/distributed/priority.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/distributed/priority.cc.o.d"
+  "/root/repo/src/ensemble/ensemble.cc" "src/CMakeFiles/dlsys.dir/ensemble/ensemble.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/ensemble/ensemble.cc.o.d"
+  "/root/repo/src/ensemble/treenet.cc" "src/CMakeFiles/dlsys.dir/ensemble/treenet.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/ensemble/treenet.cc.o.d"
+  "/root/repo/src/fairness/datasheet.cc" "src/CMakeFiles/dlsys.dir/fairness/datasheet.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/fairness/datasheet.cc.o.d"
+  "/root/repo/src/fairness/embedding_bias.cc" "src/CMakeFiles/dlsys.dir/fairness/embedding_bias.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/fairness/embedding_bias.cc.o.d"
+  "/root/repo/src/fairness/loan_data.cc" "src/CMakeFiles/dlsys.dir/fairness/loan_data.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/fairness/loan_data.cc.o.d"
+  "/root/repo/src/fairness/metrics.cc" "src/CMakeFiles/dlsys.dir/fairness/metrics.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/fairness/metrics.cc.o.d"
+  "/root/repo/src/fairness/mitigation.cc" "src/CMakeFiles/dlsys.dir/fairness/mitigation.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/fairness/mitigation.cc.o.d"
+  "/root/repo/src/green/energy.cc" "src/CMakeFiles/dlsys.dir/green/energy.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/green/energy.cc.o.d"
+  "/root/repo/src/interpret/inspector.cc" "src/CMakeFiles/dlsys.dir/interpret/inspector.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/interpret/inspector.cc.o.d"
+  "/root/repo/src/interpret/lime.cc" "src/CMakeFiles/dlsys.dir/interpret/lime.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/interpret/lime.cc.o.d"
+  "/root/repo/src/interpret/model_store.cc" "src/CMakeFiles/dlsys.dir/interpret/model_store.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/interpret/model_store.cc.o.d"
+  "/root/repo/src/interpret/saliency.cc" "src/CMakeFiles/dlsys.dir/interpret/saliency.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/interpret/saliency.cc.o.d"
+  "/root/repo/src/interpret/tsne.cc" "src/CMakeFiles/dlsys.dir/interpret/tsne.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/interpret/tsne.cc.o.d"
+  "/root/repo/src/learned/cardinality.cc" "src/CMakeFiles/dlsys.dir/learned/cardinality.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/learned/cardinality.cc.o.d"
+  "/root/repo/src/learned/join_order.cc" "src/CMakeFiles/dlsys.dir/learned/join_order.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/learned/join_order.cc.o.d"
+  "/root/repo/src/learned/knob_tuning.cc" "src/CMakeFiles/dlsys.dir/learned/knob_tuning.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/learned/knob_tuning.cc.o.d"
+  "/root/repo/src/learned/learned_bloom.cc" "src/CMakeFiles/dlsys.dir/learned/learned_bloom.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/learned/learned_bloom.cc.o.d"
+  "/root/repo/src/learned/learned_index.cc" "src/CMakeFiles/dlsys.dir/learned/learned_index.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/learned/learned_index.cc.o.d"
+  "/root/repo/src/learned/semantic_compression.cc" "src/CMakeFiles/dlsys.dir/learned/semantic_compression.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/learned/semantic_compression.cc.o.d"
+  "/root/repo/src/memsched/checkpoint.cc" "src/CMakeFiles/dlsys.dir/memsched/checkpoint.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/memsched/checkpoint.cc.o.d"
+  "/root/repo/src/memsched/offload.cc" "src/CMakeFiles/dlsys.dir/memsched/offload.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/memsched/offload.cc.o.d"
+  "/root/repo/src/nlq/query_language.cc" "src/CMakeFiles/dlsys.dir/nlq/query_language.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/nlq/query_language.cc.o.d"
+  "/root/repo/src/nlq/rnn.cc" "src/CMakeFiles/dlsys.dir/nlq/rnn.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/nlq/rnn.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/CMakeFiles/dlsys.dir/nn/conv.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/nn/conv.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/dlsys.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/dlsys.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/dlsys.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/dlsys.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/train.cc" "src/CMakeFiles/dlsys.dir/nn/train.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/nn/train.cc.o.d"
+  "/root/repo/src/nnopt/morphnet.cc" "src/CMakeFiles/dlsys.dir/nnopt/morphnet.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/nnopt/morphnet.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/dlsys.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/parallel/strategy.cc" "src/CMakeFiles/dlsys.dir/parallel/strategy.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/parallel/strategy.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/dlsys.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/dlsys.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/vecsearch/knn.cc" "src/CMakeFiles/dlsys.dir/vecsearch/knn.cc.o" "gcc" "src/CMakeFiles/dlsys.dir/vecsearch/knn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for dlsys.
+# This may be replaced when dependencies are built.

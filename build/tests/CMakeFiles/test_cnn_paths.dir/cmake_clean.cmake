@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cnn_paths.dir/test_cnn_paths.cc.o"
+  "CMakeFiles/test_cnn_paths.dir/test_cnn_paths.cc.o.d"
+  "test_cnn_paths"
+  "test_cnn_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cnn_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

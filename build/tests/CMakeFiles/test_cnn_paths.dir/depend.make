@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cnn_paths.
+# This may be replaced when dependencies are built.

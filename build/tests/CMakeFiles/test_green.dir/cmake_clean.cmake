@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_green.dir/test_green.cc.o"
+  "CMakeFiles/test_green.dir/test_green.cc.o.d"
+  "test_green"
+  "test_green.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_green.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inspect_datasheet.dir/test_inspect_datasheet.cc.o"
+  "CMakeFiles/test_inspect_datasheet.dir/test_inspect_datasheet.cc.o.d"
+  "test_inspect_datasheet"
+  "test_inspect_datasheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inspect_datasheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpret.dir/test_interpret.cc.o"
+  "CMakeFiles/test_interpret.dir/test_interpret.cc.o.d"
+  "test_interpret"
+  "test_interpret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learned.dir/test_learned.cc.o"
+  "CMakeFiles/test_learned.dir/test_learned.cc.o.d"
+  "test_learned"
+  "test_learned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsched.dir/test_memsched.cc.o"
+  "CMakeFiles/test_memsched.dir/test_memsched.cc.o.d"
+  "test_memsched"
+  "test_memsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlq_vecsearch.dir/test_nlq_vecsearch.cc.o"
+  "CMakeFiles/test_nlq_vecsearch.dir/test_nlq_vecsearch.cc.o.d"
+  "test_nlq_vecsearch"
+  "test_nlq_vecsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlq_vecsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nnopt.dir/test_nnopt.cc.o"
+  "CMakeFiles/test_nnopt.dir/test_nnopt.cc.o.d"
+  "test_nnopt"
+  "test_nnopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nnopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
