@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "src/core/rng.h"
 #include "src/db/bloom.h"
@@ -13,6 +14,7 @@
 #include "src/learned/learned_index.h"
 #include "src/nn/conv.h"
 #include "src/nn/layers.h"
+#include "src/runtime/runtime.h"
 #include "src/tensor/ops.h"
 
 namespace dlsys {
@@ -32,6 +34,64 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransA(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n});  // (K x M), consumed transposed
+  Tensor b({n, n});
+  a.FillGaussian(&rng, 1.0f);
+  b.FillGaussian(&rng, 1.0f);
+  for (auto _ : state) {
+    Tensor c = MatMulTransA(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulTransA)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});  // (N x K), consumed transposed
+  a.FillGaussian(&rng, 1.0f);
+  b.FillGaussian(&rng, 1.0f);
+  for (auto _ : state) {
+    Tensor c = MatMulTransB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(64)->Arg(128)->Arg(256);
+
+// Thread-count sweep over all three GEMM variants (variant selected by
+// arg 0: 0=MatMul, 1=TransA, 2=TransB) at 256^3, so kernel regressions
+// are visible per variant and per thread count, not just for plain
+// MatMul. Restores the default thread count afterwards.
+void BM_GemmThreads(benchmark::State& state) {
+  const int64_t variant = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  const int64_t n = 256;
+  Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  a.FillGaussian(&rng, 1.0f);
+  b.FillGaussian(&rng, 1.0f);
+  RuntimeConfig::SetThreads(threads);
+  for (auto _ : state) {
+    Tensor c = variant == 0   ? MatMul(a, b)
+               : variant == 1 ? MatMulTransA(a, b)
+                              : MatMulTransB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  RuntimeConfig::SetThreads(RuntimeConfig::DefaultThreads());
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmThreads)
+    ->ArgsProduct({{0, 1, 2},
+                   {1, 2, 4,
+                    static_cast<long>(std::thread::hardware_concurrency())}});
 
 void BM_Conv2DForward(benchmark::State& state) {
   const int64_t channels = state.range(0);

@@ -1,0 +1,158 @@
+#include "src/runtime/runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/runtime/thread_pool.h"
+
+namespace dlsys {
+namespace {
+
+/// True while the current thread is executing a ParallelFor range; nested
+/// parallel calls then run inline instead of deadlocking on the pool.
+thread_local bool t_in_parallel_region = false;
+
+int ReadEnvThreads() {
+  const char* env = std::getenv("DLSYS_THREADS");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+/// Pool state guarded by a mutex; the pool is rebuilt on SetThreads.
+struct Runtime {
+  std::mutex mu;
+  int threads = 0;                  // 0 = not yet resolved
+  int default_threads = 0;
+  std::unique_ptr<ThreadPool> pool;
+
+  static Runtime& Get() {
+    static Runtime* r = new Runtime;  // leaked: workers may outlive main
+    return *r;
+  }
+
+  /// Resolves the env/hardware default on first use.
+  void EnsureResolved() {
+    if (threads == 0) {
+      default_threads = ReadEnvThreads();
+      threads = default_threads;
+    }
+  }
+
+  ThreadPool* EnsurePool() {
+    EnsureResolved();
+    if (!pool && threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads - 1);
+    }
+    return pool.get();
+  }
+};
+
+/// Blocks until \p expected completions have been signalled.
+class CompletionLatch {
+ public:
+  explicit CompletionLatch(int64_t expected) : remaining_(expected) {}
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t remaining_;
+};
+
+}  // namespace
+
+int RuntimeConfig::Threads() {
+  Runtime& rt = Runtime::Get();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  rt.EnsureResolved();
+  return rt.threads;
+}
+
+void RuntimeConfig::SetThreads(int n) {
+  Runtime& rt = Runtime::Get();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  rt.EnsureResolved();
+  const int clamped = std::max(1, n);
+  if (clamped == rt.threads) return;
+  rt.pool.reset();  // join existing workers before resizing
+  rt.threads = clamped;
+}
+
+int RuntimeConfig::DefaultThreads() {
+  Runtime& rt = Runtime::Get();
+  std::lock_guard<std::mutex> lock(rt.mu);
+  rt.EnsureResolved();
+  return rt.default_threads;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t total = end - begin;
+  if (total <= 0) return;
+  if (grain < 1) grain = 1;
+
+  ThreadPool* pool = nullptr;
+  int threads = 1;
+  {
+    Runtime& rt = Runtime::Get();
+    std::lock_guard<std::mutex> lock(rt.mu);
+    rt.EnsureResolved();
+    threads = rt.threads;
+    if (threads > 1 && total > grain && !t_in_parallel_region) {
+      pool = rt.EnsurePool();
+    }
+  }
+
+  if (pool == nullptr || threads == 1 || total <= grain ||
+      t_in_parallel_region) {
+    body(begin, end);  // exact legacy single-threaded path
+    return;
+  }
+
+  // Static contiguous partition: chunk c covers [begin + c*base + min(c,rem),
+  // ...) with the first `rem` chunks one element longer. The partition is a
+  // pure function of (total, chunks); chunk contents never migrate or split.
+  const int64_t chunks =
+      std::min<int64_t>(threads, (total + grain - 1) / grain);
+  const int64_t base = total / chunks;
+  const int64_t rem = total % chunks;
+
+  CompletionLatch latch(chunks - 1);
+  int64_t lo = begin + base + (rem > 0 ? 1 : 0);  // chunk 0 runs inline below
+  for (int64_t c = 1; c < chunks; ++c) {
+    const int64_t len = base + (c < rem ? 1 : 0);
+    const int64_t hi = lo + len;
+    pool->Submit([&body, &latch, lo, hi] {
+      t_in_parallel_region = true;
+      body(lo, hi);
+      t_in_parallel_region = false;
+      latch.Done();
+    });
+    lo = hi;
+  }
+
+  t_in_parallel_region = true;
+  body(begin, begin + base + (rem > 0 ? 1 : 0));
+  t_in_parallel_region = false;
+  latch.Wait();
+}
+
+}  // namespace dlsys

@@ -1,0 +1,70 @@
+#ifndef DLSYS_RUNTIME_RUNTIME_H_
+#define DLSYS_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+
+/// \file runtime.h
+/// \brief The CPU execution runtime: process-wide thread configuration and
+/// the deterministic ParallelFor primitive every hot kernel dispatches
+/// through.
+///
+/// ## Determinism contract
+///
+/// ParallelFor splits [begin, end) into *contiguous, disjoint* index
+/// ranges and hands each range to exactly one worker. Kernels built on it
+/// obey one rule: the computation of any single output element happens
+/// entirely inside one range, with a loop order that does not depend on
+/// the partition. Because no accumulation ever crosses a range boundary,
+/// the floating-point operation sequence per output element is identical
+/// for every thread count — outputs are *bitwise identical* whether
+/// DLSYS_THREADS is 1, 2, or 64. Parallelism changes only which core runs
+/// a range, never the arithmetic inside it.
+///
+/// ## Configuration
+///
+/// The worker count comes from, in priority order: RuntimeConfig::SetThreads
+/// (API), the DLSYS_THREADS environment variable read at first use, and
+/// std::thread::hardware_concurrency() as the default. A value of 1
+/// disables the pool entirely: ParallelFor then invokes the body inline on
+/// the calling thread, byte-for-byte the legacy single-threaded path.
+
+namespace dlsys {
+
+/// \brief Process-wide runtime configuration (thread count).
+///
+/// Thread-safe. Changing the thread count tears down and rebuilds the
+/// worker pool; call it between kernels, not inside a ParallelFor body.
+class RuntimeConfig {
+ public:
+  /// \brief Current worker count (>= 1). First call resolves the
+  /// DLSYS_THREADS environment variable, else hardware_concurrency().
+  static int Threads();
+
+  /// \brief Sets the worker count (clamped to >= 1) and resizes the pool.
+  static void SetThreads(int n);
+
+  /// \brief The default the process started with (env or hardware).
+  static int DefaultThreads();
+};
+
+/// \brief Runs \p body over [begin, end) with static contiguous
+/// partitioning across the configured workers.
+///
+/// \p body receives half-open sub-ranges [lo, hi) that together cover
+/// [begin, end) exactly once, with no overlap. \p grain is the minimum
+/// range size worth shipping to a worker: when (end - begin) <= grain, or
+/// the configured thread count is 1, the body runs inline on the caller —
+/// the exact legacy code path. Nested calls from inside a worker also run
+/// inline, so kernels may compose without deadlock.
+///
+/// The partition is static: ranges are computed up front from the total
+/// extent alone and never stolen or re-split, which is what makes every
+/// kernel built on this primitive bitwise deterministic across thread
+/// counts (see file comment).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_RUNTIME_RUNTIME_H_

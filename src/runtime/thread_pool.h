@@ -1,0 +1,54 @@
+#ifndef DLSYS_RUNTIME_THREAD_POOL_H_
+#define DLSYS_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// \brief A minimal fixed-size worker pool for the CPU execution runtime.
+///
+/// The pool owns N long-lived worker threads pulling from a single locked
+/// queue. It is intentionally simple: the determinism contract of the
+/// runtime (see runtime.h) lives entirely in *how work is partitioned*,
+/// not in the pool — the pool only provides cheap reusable threads so
+/// ParallelFor does not pay a thread-spawn per kernel launch.
+
+namespace dlsys {
+
+/// \brief Fixed-size thread pool executing submitted closures FIFO.
+///
+/// Thread-safe. Destruction drains the queue: already-submitted tasks
+/// finish before workers join.
+class ThreadPool {
+ public:
+  /// Spawns \p num_workers worker threads (may be 0, making Submit run
+  /// nothing until tasks are drained by nobody — callers guard this).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues \p task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// \brief Number of worker threads owned by the pool.
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_RUNTIME_THREAD_POOL_H_

@@ -10,9 +10,15 @@
 /// \brief Dense kernels over Tensor: GEMM variants, elementwise math,
 /// row-wise reductions.
 ///
-/// All kernels are single-threaded, cache-friendly loop nests; the library
-/// optimises for determinism and clarity, not peak FLOP/s — absolute speed
-/// is not what the reproduction measures, relative costs are.
+/// The GEMM variants are cache-blocked, register-tiled kernels dispatched
+/// through the multi-threaded runtime (src/runtime/runtime.h); elementwise
+/// ops, RowSoftmax, and Transpose route through the same ParallelFor
+/// primitive. Every kernel is **bitwise deterministic for any thread
+/// count**: workers own disjoint, statically partitioned output ranges, so
+/// the floating-point accumulation order per output element never depends
+/// on DLSYS_THREADS. The Naive* reference kernels retain the plain loop
+/// nests with the same per-element operation order; tests assert bitwise
+/// equality between the optimised and naive paths.
 
 namespace dlsys {
 
@@ -23,6 +29,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
 /// \brief C(MxN) = A(MxK) * B(NxK)^T.
 Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// \brief Reference GEMM: plain single-threaded loop nest with the same
+/// per-element accumulation order as MatMul. Retained for determinism
+/// tests and as the bench baseline; bitwise identical to MatMul.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b);
+/// \brief Reference single-threaded kernel for MatMulTransA (see
+/// NaiveMatMul).
+Tensor NaiveMatMulTransA(const Tensor& a, const Tensor& b);
+/// \brief Reference single-threaded kernel for MatMulTransB (see
+/// NaiveMatMul).
+Tensor NaiveMatMulTransB(const Tensor& a, const Tensor& b);
 
 /// \brief Returns a + b elementwise (same shape required).
 Tensor Add(const Tensor& a, const Tensor& b);
