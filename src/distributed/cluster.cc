@@ -1,8 +1,11 @@
 #include "src/distributed/cluster.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "src/nn/loss.h"
+#include "src/nn/serialize.h"
 #include "src/optim/optimizer.h"
 #include "src/tensor/ops.h"
 
@@ -35,16 +38,86 @@ std::vector<Dataset> ShardDataset(const Dataset& data, int64_t shards) {
   return out;
 }
 
+Status ValidateClusterConfig(const ClusterConfig& config) {
+  if (config.workers <= 0) {
+    return Status::InvalidArgument("worker count must be positive");
+  }
+  if (config.rounds <= 0) {
+    return Status::InvalidArgument("rounds must be positive");
+  }
+  if (config.batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (!(config.lr > 0.0) || !std::isfinite(config.lr)) {
+    return Status::InvalidArgument("lr must be positive and finite");
+  }
+  if (config.strategy == SyncStrategy::kLocalSgd && config.local_steps <= 0) {
+    return Status::InvalidArgument("local_steps must be positive");
+  }
+  if (config.network.latency_seconds < 0.0 ||
+      config.network.bandwidth_bytes_per_s <= 0.0 ||
+      config.network.timeout_seconds < 0.0 ||
+      config.network.backoff_base_seconds < 0.0 ||
+      config.network.max_retries < 0) {
+    return Status::InvalidArgument("network model fields out of range");
+  }
+  if (config.checkpoint_interval < 0) {
+    return Status::InvalidArgument("checkpoint_interval must be >= 0");
+  }
+  if (config.checkpoint_interval > 0 && config.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpointing requires a checkpoint_dir");
+  }
+  if (config.recovery == RecoveryPolicy::kRestartFromCheckpoint &&
+      config.checkpoint_interval <= 0) {
+    return Status::InvalidArgument(
+        "kRestartFromCheckpoint requires checkpoint_interval > 0");
+  }
+  if (config.step_seconds < 0.0) {
+    return Status::InvalidArgument("step_seconds must be >= 0");
+  }
+  if (config.recovery == RecoveryPolicy::kSkipStale &&
+      config.stale_timeout_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "kSkipStale requires stale_timeout_seconds > 0");
+  }
+  if (config.checkpoint_bandwidth_bytes_per_s <= 0.0) {
+    return Status::InvalidArgument(
+        "checkpoint_bandwidth_bytes_per_s must be positive");
+  }
+  return ValidateFaultPlan(config.faults, config.workers);
+}
+
 namespace {
 
 // One worker: replica, shard, batch cursor, codec, optimizer.
 struct Worker {
+  int64_t id = 0;
+  bool alive = true;
   Sequential model;
   Dataset shard;
   int64_t cursor = 0;
   std::unique_ptr<GradientCompressor> codec;
   std::unique_ptr<Optimizer> opt;
   Rng rng{0};
+};
+
+// Worker-local training state captured in a checkpoint: the data order,
+// cursor, data-order RNG, and codec residuals — everything besides the
+// model parameters (which go through the serialize layer) that a bitwise
+// replay needs. Stateless per-worker SGD is recreated, not stored.
+struct WorkerSnapshot {
+  Dataset shard;
+  int64_t cursor = 0;
+  Rng rng{0};
+  std::unique_ptr<GradientCompressor> codec;
+};
+
+struct ClusterCheckpoint {
+  bool valid = false;
+  int64_t round = 0;
+  std::string path;
+  std::vector<WorkerSnapshot> workers;
 };
 
 Dataset NextBatch(Worker* w, int64_t batch_size) {
@@ -80,20 +153,45 @@ void ApplyFlatGrad(Sequential* net, Optimizer* opt,
   opt->Step(net->Params(), grads);
 }
 
+// Appends src's examples [rows] onto dst (same feature shape per row).
+void AppendExamples(Dataset* dst, const Dataset& src,
+                    const std::vector<int64_t>& rows) {
+  if (rows.empty()) return;
+  int64_t stride = 1;
+  for (int64_t d = 1; d < src.x.rank(); ++d) stride *= src.x.dim(d);
+  const int64_t old_n = dst->size();
+  Shape shape = src.x.shape();
+  shape[0] = old_n + static_cast<int64_t>(rows.size());
+  Tensor merged(shape);
+  if (old_n > 0) {
+    std::copy(dst->x.data(), dst->x.data() + old_n * stride, merged.data());
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t r = rows[i];
+    std::copy(src.x.data() + r * stride, src.x.data() + (r + 1) * stride,
+              merged.data() + (old_n + static_cast<int64_t>(i)) * stride);
+    dst->y.push_back(src.y[static_cast<size_t>(r)]);
+  }
+  dst->x = std::move(merged);
+}
+
+std::vector<Worker*> LiveWorkers(std::vector<Worker>* workers) {
+  std::vector<Worker*> live;
+  for (Worker& w : *workers) {
+    if (w.alive) live.push_back(&w);
+  }
+  return live;
+}
+
 }  // namespace
 
 Result<ClusterResult> TrainOnCluster(const Sequential& arch,
                                      const Dataset& data,
                                      const ClusterConfig& config,
                                      const GradientCompressor* compressor) {
-  if (config.workers <= 0) {
-    return Status::InvalidArgument("worker count must be positive");
-  }
+  DLSYS_RETURN_NOT_OK(ValidateClusterConfig(config));
   if (data.size() < config.workers) {
     return Status::InvalidArgument("fewer examples than workers");
-  }
-  if (config.strategy == SyncStrategy::kLocalSgd && config.local_steps <= 0) {
-    return Status::InvalidArgument("local_steps must be positive");
   }
 
   IdentityCompressor identity;
@@ -104,6 +202,7 @@ Result<ClusterResult> TrainOnCluster(const Sequential& arch,
   std::vector<Worker> workers(static_cast<size_t>(config.workers));
   for (int64_t w = 0; w < config.workers; ++w) {
     Worker& worker = workers[static_cast<size_t>(w)];
+    worker.id = w;
     worker.model = arch.Clone();
     worker.shard = std::move(shards[static_cast<size_t>(w)]);
     worker.codec = codec_template->CloneFresh();
@@ -112,73 +211,252 @@ Result<ClusterResult> TrainOnCluster(const Sequential& arch,
   }
 
   const int64_t model_bytes = workers[0].model.ModelBytes();
+  const bool local_sgd = config.strategy == SyncStrategy::kLocalSgd;
+  const int64_t total_rounds =
+      local_sgd
+          ? (config.rounds + config.local_steps - 1) / config.local_steps
+          : config.rounds;
+  const double round_compute_seconds =
+      config.step_seconds *
+      static_cast<double>(local_sgd ? config.local_steps : 1);
+
+  FaultInjector injector(config.faults, config.workers);
+
   int64_t comm_bytes = 0;
   double comm_seconds = 0.0;
+  double crashes = 0.0, rollbacks = 0.0, wasted_rounds = 0.0;
+  double recovery_seconds = 0.0;
+  double checkpoint_count = 0.0, checkpoint_seconds = 0.0;
+  double dropped_messages = 0.0, straggler_seconds = 0.0;
+  double excluded_worker_rounds = 0.0;
   Stopwatch compute_watch;
 
-  if (config.strategy == SyncStrategy::kSyncSgd) {
-    for (int64_t round = 0; round < config.rounds; ++round) {
-      std::vector<std::vector<float>> decompressed;
-      int64_t max_upload = 0;
-      for (auto& w : workers) {
-        Dataset batch = NextBatch(&w, config.batch_size);
-        w.model.ZeroGrads();
-        Tensor logits = w.model.Forward(batch.x, CacheMode::kCache);
-        LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
-        w.model.Backward(lg.grad);
-        CompressedGrad cg = w.codec->Compress(FlatGrads(&w.model));
-        comm_bytes += cg.wire_bytes;
-        max_upload = std::max(max_upload, cg.wire_bytes);
-        decompressed.push_back(std::move(cg.values));
+  // ------------------------------------------------ checkpoint machinery
+  ClusterCheckpoint ckpt;
+  auto take_checkpoint = [&](int64_t round) -> Status {
+    ckpt.round = round;
+    ckpt.path = config.checkpoint_dir + "/cluster_ckpt.dlsy";
+    // Replicas are identical at round boundaries; worker 0 stands in.
+    DLSYS_RETURN_NOT_OK(SaveParameters(workers[0].model, ckpt.path));
+    ckpt.workers.clear();
+    for (Worker& w : workers) {
+      WorkerSnapshot snap;
+      snap.shard = w.shard;
+      snap.cursor = w.cursor;
+      snap.rng = w.rng;
+      snap.codec = w.codec->CloneWithState();
+      ckpt.workers.push_back(std::move(snap));
+    }
+    ckpt.valid = true;
+    checkpoint_count += 1.0;
+    checkpoint_seconds += static_cast<double>(model_bytes) /
+                          config.checkpoint_bandwidth_bytes_per_s;
+    return Status::OK();
+  };
+  auto restore_checkpoint = [&]() -> Status {
+    DLSYS_RETURN_NOT_OK(LoadParameters(&workers[0].model, ckpt.path));
+    const std::vector<float> params = workers[0].model.GetParameterVector();
+    for (size_t i = 0; i < workers.size(); ++i) {
+      Worker& w = workers[i];
+      const WorkerSnapshot& snap = ckpt.workers[i];
+      if (i > 0) w.model.SetParameterVector(params);
+      w.shard = snap.shard;  // copy: the snapshot stays reusable
+      w.cursor = snap.cursor;
+      w.rng = snap.rng;
+      w.codec = snap.codec->CloneWithState();
+      w.opt = std::make_unique<Sgd>(config.lr);
+    }
+    return Status::OK();
+  };
+
+  if (config.checkpoint_interval > 0) {
+    DLSYS_RETURN_NOT_OK(take_checkpoint(0));
+  }
+
+  // ------------------------------------------------------ training loop
+  constexpr int64_t kMaxRollbacks = 1000;
+  int64_t generation = 0;  // bumped per rollback; salts crash draws
+  int64_t round = 0;
+  while (round < total_rounds) {
+    // 1) Crash detection at the round barrier.
+    std::vector<int64_t> crashed;
+    for (Worker& w : workers) {
+      if (w.alive && injector.CrashesAt(w.id, round, generation)) {
+        crashed.push_back(w.id);
       }
-      // Server averages the reconstructed gradients.
-      std::vector<float> mean = decompressed[0];
-      for (size_t w = 1; w < decompressed.size(); ++w) {
-        for (size_t i = 0; i < mean.size(); ++i) {
-          mean[i] += decompressed[w][i];
+    }
+    if (!crashed.empty()) {
+      crashes += static_cast<double>(crashed.size());
+      for (int64_t id : crashed) injector.ConsumeCrash(id, round);
+      if (config.recovery == RecoveryPolicy::kNone) {
+        return Status::Internal(
+            "worker " + std::to_string(crashed.front()) +
+            " crashed at round " + std::to_string(round) +
+            " with RecoveryPolicy::kNone");
+      }
+      if (config.recovery == RecoveryPolicy::kRestartFromCheckpoint) {
+        rollbacks += 1.0;
+        if (rollbacks > static_cast<double>(kMaxRollbacks)) {
+          return Status::Internal(
+              "crash-recovery livelock: > " +
+              std::to_string(kMaxRollbacks) + " rollbacks");
+        }
+        wasted_rounds += static_cast<double>(round - ckpt.round);
+        recovery_seconds +=
+            config.network.timeout_seconds +                 // detection
+            static_cast<double>(model_bytes) /
+                config.checkpoint_bandwidth_bytes_per_s +    // stable read
+            config.network.TransferSeconds(model_bytes);     // broadcast
+        DLSYS_RETURN_NOT_OK(restore_checkpoint());
+        ++generation;
+        round = ckpt.round;
+        continue;
+      }
+      // kDropAndContinue / kSkipStale: dead workers leave; survivors
+      // inherit their data round-robin and the barrier shrinks.
+      recovery_seconds += config.network.timeout_seconds;  // detection stall
+      for (int64_t id : crashed) {
+        workers[static_cast<size_t>(id)].alive = false;
+      }
+      std::vector<Worker*> survivors = LiveWorkers(&workers);
+      if (survivors.empty()) {
+        return Status::Internal("all workers crashed at round " +
+                                std::to_string(round));
+      }
+      for (int64_t id : crashed) {
+        Worker& dead = workers[static_cast<size_t>(id)];
+        std::vector<std::vector<int64_t>> assigned(survivors.size());
+        for (int64_t r = 0; r < dead.shard.size(); ++r) {
+          assigned[static_cast<size_t>(r) % survivors.size()].push_back(r);
+        }
+        for (size_t s = 0; s < survivors.size(); ++s) {
+          AppendExamples(&survivors[s]->shard, dead.shard, assigned[s]);
+        }
+        dead.shard = Dataset{};
+      }
+    }
+
+    std::vector<Worker*> live = LiveWorkers(&workers);
+
+    // 2) Simulated arrival time of each live worker's contribution this
+    // round: compute (scaled by its straggler factor) plus retransmit
+    // penalties for its dropped uplink messages. Deterministic, so the
+    // skip-stale membership decision is replayable.
+    std::vector<double> arrival(live.size(), 0.0);
+    std::vector<bool> included(live.size(), true);
+    double max_arrival = 0.0;
+    for (size_t i = 0; i < live.size(); ++i) {
+      const int64_t failed = injector.FailedAttempts(
+          live[i]->id, round, /*message=*/0, config.network.max_retries);
+      dropped_messages += static_cast<double>(failed);
+      arrival[i] =
+          round_compute_seconds * injector.Slowdown(live[i]->id) +
+          config.network.RetryPenaltySeconds(failed);
+      max_arrival = std::max(max_arrival, arrival[i]);
+    }
+    size_t included_count = live.size();
+    if (config.recovery == RecoveryPolicy::kSkipStale) {
+      for (size_t i = 0; i < live.size(); ++i) {
+        if (arrival[i] > config.stale_timeout_seconds) {
+          included[i] = false;
+          --included_count;
         }
       }
-      for (float& v : mean) v /= static_cast<float>(config.workers);
+      if (included_count == 0) {
+        // Degenerate round: everyone is late, so the barrier waits for
+        // everyone rather than averaging nothing.
+        std::fill(included.begin(), included.end(), true);
+        included_count = live.size();
+      }
+      excluded_worker_rounds +=
+          static_cast<double>(live.size() - included_count);
+    }
+    // Barrier stall beyond the healthy baseline. With stale workers cut,
+    // the server waits exactly the timeout; otherwise the slowest worker.
+    const double round_wait =
+        (config.recovery == RecoveryPolicy::kSkipStale &&
+         included_count < live.size())
+            ? config.stale_timeout_seconds
+            : max_arrival;
+    straggler_seconds += std::max(0.0, round_wait - round_compute_seconds);
+
+    // 3) The round's actual computation and averaging.
+    if (!local_sgd) {
+      std::vector<std::vector<float>> contributions;
+      int64_t max_upload = 0;
+      for (size_t i = 0; i < live.size(); ++i) {
+        Worker* w = live[i];
+        Dataset batch = NextBatch(w, config.batch_size);
+        w->model.ZeroGrads();
+        Tensor logits = w->model.Forward(batch.x, CacheMode::kCache);
+        LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
+        w->model.Backward(lg.grad);
+        CompressedGrad cg = w->codec->Compress(FlatGrads(&w->model));
+        comm_bytes += cg.wire_bytes;
+        max_upload = std::max(max_upload, cg.wire_bytes);
+        // A stale worker's gradient arrives too late and is discarded;
+        // its compute and wire bytes are still spent.
+        if (included[i]) contributions.push_back(std::move(cg.values));
+      }
+      // Server averages the reconstructed gradients that made the cut.
+      std::vector<float> mean = contributions[0];
+      for (size_t c = 1; c < contributions.size(); ++c) {
+        for (size_t i = 0; i < mean.size(); ++i) {
+          mean[i] += contributions[c][i];
+        }
+      }
+      for (float& v : mean) v /= static_cast<float>(contributions.size());
       // Broadcast: the averaged gradient goes back down (dense size of
       // the average's own encoding under the same codec family — we
       // charge the uncompressed-average upper bound for identity, or the
-      // mean upload size otherwise, a standard PS accounting).
+      // mean upload size otherwise, a standard PS accounting). Everyone
+      // still alive applies it, stale workers included, so replicas stay
+      // identical.
       const int64_t download =
           compressor == nullptr ? model_bytes : max_upload;
-      comm_bytes += download * config.workers;
+      comm_bytes += download * static_cast<int64_t>(live.size());
       comm_seconds += config.network.TransferSeconds(max_upload) +
                       config.network.TransferSeconds(download);
-      for (auto& w : workers) {
-        ApplyFlatGrad(&w.model, w.opt.get(), mean);
+      for (Worker* w : live) {
+        ApplyFlatGrad(&w->model, w->opt.get(), mean);
       }
-    }
-  } else {
-    // Local SGD: rounds of H local steps followed by parameter averaging.
-    const int64_t avg_rounds =
-        (config.rounds + config.local_steps - 1) / config.local_steps;
-    for (int64_t round = 0; round < avg_rounds; ++round) {
-      for (auto& w : workers) {
+    } else {
+      // Local SGD: one averaging block of H local steps.
+      for (Worker* w : live) {
         for (int64_t h = 0; h < config.local_steps; ++h) {
-          Dataset batch = NextBatch(&w, config.batch_size);
-          w.model.ZeroGrads();
-          Tensor logits = w.model.Forward(batch.x, CacheMode::kCache);
+          Dataset batch = NextBatch(w, config.batch_size);
+          w->model.ZeroGrads();
+          Tensor logits = w->model.Forward(batch.x, CacheMode::kCache);
           LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
-          w.model.Backward(lg.grad);
-          w.opt->Step(w.model.Params(), w.model.Grads());
+          w->model.Backward(lg.grad);
+          w->opt->Step(w->model.Params(), w->model.Grads());
         }
       }
-      // All-reduce the parameters.
-      std::vector<float> mean = workers[0].model.GetParameterVector();
-      for (int64_t w = 1; w < config.workers; ++w) {
-        std::vector<float> p =
-            workers[static_cast<size_t>(w)].model.GetParameterVector();
-        for (size_t i = 0; i < mean.size(); ++i) mean[i] += p[i];
+      // All-reduce the parameters of the workers that made the barrier;
+      // a stale worker's block is discarded (it takes the average too).
+      std::vector<float> mean;
+      size_t n = 0;
+      for (size_t i = 0; i < live.size(); ++i) {
+        if (!included[i]) continue;
+        std::vector<float> p = live[i]->model.GetParameterVector();
+        if (mean.empty()) {
+          mean = std::move(p);
+        } else {
+          for (size_t j = 0; j < mean.size(); ++j) mean[j] += p[j];
+        }
+        ++n;
       }
-      for (float& v : mean) v /= static_cast<float>(config.workers);
-      for (auto& w : workers) w.model.SetParameterVector(mean);
-      comm_bytes += 2 * model_bytes * config.workers;
-      comm_seconds +=
-          config.network.AllReduceSeconds(model_bytes, config.workers);
+      for (float& v : mean) v /= static_cast<float>(n);
+      for (Worker* w : live) w->model.SetParameterVector(mean);
+      comm_bytes += 2 * model_bytes * static_cast<int64_t>(live.size());
+      comm_seconds += config.network.AllReduceSeconds(
+          model_bytes, static_cast<int64_t>(live.size()));
+    }
+
+    ++round;
+    if (config.checkpoint_interval > 0 &&
+        round % config.checkpoint_interval == 0 && round < total_rounds) {
+      DLSYS_RETURN_NOT_OK(take_checkpoint(round));
     }
   }
 
@@ -188,20 +466,34 @@ Result<ClusterResult> TrainOnCluster(const Sequential& arch,
       compute_watch.Seconds() / static_cast<double>(config.workers);
 
   ClusterResult out;
-  // Final model: average of replicas (identical already in sync mode).
-  std::vector<float> mean = workers[0].model.GetParameterVector();
-  for (int64_t w = 1; w < config.workers; ++w) {
-    std::vector<float> p =
-        workers[static_cast<size_t>(w)].model.GetParameterVector();
+  // Final model: average of live replicas (identical already in sync mode).
+  std::vector<Worker*> live = LiveWorkers(&workers);
+  std::vector<float> mean = live[0]->model.GetParameterVector();
+  for (size_t w = 1; w < live.size(); ++w) {
+    std::vector<float> p = live[w]->model.GetParameterVector();
     for (size_t i = 0; i < mean.size(); ++i) mean[i] += p[i];
   }
-  for (float& v : mean) v /= static_cast<float>(config.workers);
+  for (float& v : mean) v /= static_cast<float>(live.size());
   out.model = arch.Clone();
   out.model.SetParameterVector(mean);
   out.report.Set(metric::kCommBytes, static_cast<double>(comm_bytes));
   out.report.Set("resource.comm_seconds", comm_seconds);
   out.report.Set("resource.compute_seconds", compute_seconds);
-  out.report.Set(metric::kTrainSeconds, comm_seconds + compute_seconds);
+  out.report.Set(metric::kTrainSeconds,
+                 comm_seconds + compute_seconds + recovery_seconds +
+                     checkpoint_seconds + straggler_seconds);
+  out.report.Set(fault_metric::kCrashes, crashes);
+  out.report.Set(fault_metric::kRollbacks, rollbacks);
+  out.report.Set(fault_metric::kWastedRounds, wasted_rounds);
+  out.report.Set(fault_metric::kRecoverySeconds, recovery_seconds);
+  out.report.Set(fault_metric::kCheckpointCount, checkpoint_count);
+  out.report.Set(fault_metric::kCheckpointSeconds, checkpoint_seconds);
+  out.report.Set(fault_metric::kDroppedMessages, dropped_messages);
+  out.report.Set(fault_metric::kStragglerSeconds, straggler_seconds);
+  out.report.Set(fault_metric::kExcludedWorkerRounds,
+                 excluded_worker_rounds);
+  out.report.Set(fault_metric::kLiveWorkers,
+                 static_cast<double>(live.size()));
   return out;
 }
 

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/metrics.h"
 #include "src/core/status.h"
 #include "src/data/dataset.h"
 #include "src/distributed/compressor.h"
+#include "src/distributed/faults.h"
 #include "src/distributed/network_model.h"
 #include "src/nn/sequential.h"
 
@@ -21,6 +23,12 @@
 /// converted to simulated seconds by the NetworkModel. This preserves
 /// exactly what Local SGD and gradient compression change — the volume
 /// and frequency of communication — without needing real hardware.
+///
+/// The cluster also models an imperfect world: a FaultPlan injects worker
+/// crashes, stragglers, and message loss (see faults.h), and a
+/// RecoveryPolicy decides what the cluster does about them. Fault
+/// decisions are deterministic, so the same (ClusterConfig, FaultPlan)
+/// pair reproduces the same run bit-for-bit at any DLSYS_THREADS.
 
 namespace dlsys {
 
@@ -28,6 +36,31 @@ namespace dlsys {
 enum class SyncStrategy {
   kSyncSgd,   ///< average gradients every step (bulk-synchronous)
   kLocalSgd,  ///< run local_steps local updates, then average parameters
+};
+
+/// \brief What the cluster does when a fault fires.
+///
+/// Fault rounds are sync steps under kSyncSgd and averaging blocks under
+/// kLocalSgd (faults act at barrier granularity).
+enum class RecoveryPolicy {
+  /// A crash is fatal: the run fails with Status::Internal. Stragglers
+  /// and message loss still cost (simulated) time.
+  kNone,
+  /// Roll the whole cluster back to the last periodic checkpoint
+  /// (model parameters through the serialize layer plus worker-local
+  /// training state) and replay; requires checkpoint_interval > 0 and a
+  /// checkpoint_dir. Work since the checkpoint is wasted, but the final
+  /// model is bitwise identical to the fault-free run.
+  kRestartFromCheckpoint,
+  /// Surviving workers re-shard the dead worker's data and continue; the
+  /// bulk-sync barrier shrinks. No wasted work, but less parallelism and
+  /// a perturbed data distribution for the rest of the run.
+  kDropAndContinue,
+  /// A worker whose (simulated) gradient would arrive after
+  /// stale_timeout_seconds is excluded from that round's all-reduce; its
+  /// late result is discarded. Crashes degrade membership permanently,
+  /// as in kDropAndContinue.
+  kSkipStale,
 };
 
 /// \brief Cluster and training configuration.
@@ -40,12 +73,50 @@ struct ClusterConfig {
   int64_t local_steps = 8;   ///< H, used by kLocalSgd
   NetworkModel network;
   uint64_t seed = 1;
+
+  // ---- fault tolerance ----
+  FaultPlan faults;          ///< empty plan = the perfect-world baseline
+  RecoveryPolicy recovery = RecoveryPolicy::kNone;
+  /// Rounds between checkpoints (0 = no checkpointing). An initial
+  /// checkpoint is always written at round 0 when enabled.
+  int64_t checkpoint_interval = 0;
+  /// Directory checkpoints are serialized into (required when
+  /// checkpoint_interval > 0).
+  std::string checkpoint_dir;
+  /// Simulated per-worker compute seconds per sync round (local step for
+  /// kLocalSgd); drives straggler/timeout arithmetic deterministically.
+  double step_seconds = 1e-3;
+  /// kSkipStale: a worker later than this misses the round's all-reduce.
+  double stale_timeout_seconds = 5e-2;
+  /// Simulated stable-storage write bandwidth for checkpoints.
+  double checkpoint_bandwidth_bytes_per_s = 2e8;
 };
+
+/// \brief Validates every field of \p config (worker/round/batch counts,
+/// rates, network and fault-tolerance knobs, the fault plan itself).
+/// Returns Status::InvalidArgument on the first violation, consistent
+/// with the repo's no-throw error model.
+Status ValidateClusterConfig(const ClusterConfig& config);
+
+/// Report keys specific to the fault-tolerance layer.
+namespace fault_metric {
+inline constexpr const char* kCrashes = "fault.crashes";
+inline constexpr const char* kRollbacks = "fault.rollbacks";
+inline constexpr const char* kWastedRounds = "fault.wasted_rounds";
+inline constexpr const char* kRecoverySeconds = "fault.recovery_seconds";
+inline constexpr const char* kCheckpointCount = "fault.checkpoint_count";
+inline constexpr const char* kCheckpointSeconds = "fault.checkpoint_seconds";
+inline constexpr const char* kDroppedMessages = "fault.dropped_messages";
+inline constexpr const char* kStragglerSeconds = "fault.straggler_seconds";
+inline constexpr const char* kExcludedWorkerRounds =
+    "fault.excluded_worker_rounds";
+inline constexpr const char* kLiveWorkers = "fault.live_workers";
+}  // namespace fault_metric
 
 /// \brief Outcome of a simulated cluster run.
 struct ClusterResult {
   Sequential model;       ///< the final (averaged) model
-  MetricsReport report;   ///< comm bytes, simulated times, rounds
+  MetricsReport report;   ///< comm bytes, simulated times, fault stats
 };
 
 /// \brief Trains \p arch (already initialized) on \p data across a
@@ -57,7 +128,17 @@ struct ClusterResult {
 ///   resource.comm_bytes          total bytes across all links
 ///   resource.comm_seconds        simulated communication time
 ///   resource.compute_seconds     simulated parallel compute time
-///   resource.train_seconds       comm + compute (simulated wall clock)
+///   resource.train_seconds       comm + compute + fault overheads
+///   fault.crashes                workers that crashed
+///   fault.rollbacks              checkpoint restarts performed
+///   fault.wasted_rounds          rounds redone after rollbacks
+///   fault.recovery_seconds       detection + state-reload time
+///   fault.checkpoint_count       checkpoints written
+///   fault.checkpoint_seconds     simulated checkpoint-write time
+///   fault.dropped_messages       lost message attempts (retransmitted)
+///   fault.straggler_seconds      barrier time beyond the healthy baseline
+///   fault.excluded_worker_rounds worker-rounds cut from the all-reduce
+///   fault.live_workers           workers still alive at the end
 Result<ClusterResult> TrainOnCluster(const Sequential& arch,
                                      const Dataset& data,
                                      const ClusterConfig& config,

@@ -35,6 +35,9 @@ class GradientCompressor {
   virtual std::string name() const = 0;
   /// \brief Fresh codec with the same config and empty residual state.
   virtual std::unique_ptr<GradientCompressor> CloneFresh() const = 0;
+  /// \brief Deep copy preserving residual state. Cluster checkpoints use
+  /// this so a restarted run resumes with exactly the residuals it had.
+  virtual std::unique_ptr<GradientCompressor> CloneWithState() const = 0;
 };
 
 /// \brief No compression: 4 bytes per coordinate (the baseline).
@@ -44,6 +47,9 @@ class IdentityCompressor : public GradientCompressor {
   std::string name() const override { return "identity"; }
   std::unique_ptr<GradientCompressor> CloneFresh() const override {
     return std::make_unique<IdentityCompressor>();
+  }
+  std::unique_ptr<GradientCompressor> CloneWithState() const override {
+    return std::make_unique<IdentityCompressor>(*this);
   }
 };
 
@@ -58,6 +64,9 @@ class TopKCompressor : public GradientCompressor {
   std::string name() const override;
   std::unique_ptr<GradientCompressor> CloneFresh() const override {
     return std::make_unique<TopKCompressor>(keep_fraction_, error_feedback_);
+  }
+  std::unique_ptr<GradientCompressor> CloneWithState() const override {
+    return std::make_unique<TopKCompressor>(*this);
   }
 
  private:
@@ -75,6 +84,9 @@ class QuantizingCompressor : public GradientCompressor {
   std::string name() const override;
   std::unique_ptr<GradientCompressor> CloneFresh() const override {
     return std::make_unique<QuantizingCompressor>(bits_, error_feedback_);
+  }
+  std::unique_ptr<GradientCompressor> CloneWithState() const override {
+    return std::make_unique<QuantizingCompressor>(*this);
   }
 
  private:

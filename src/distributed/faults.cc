@@ -1,0 +1,116 @@
+#include "src/distributed/faults.h"
+
+#include <string>
+
+namespace dlsys {
+
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Domain-separation tags so crash and drop draws never collide.
+constexpr uint64_t kCrashTag = 0xC7A5ULL;
+constexpr uint64_t kDropTag = 0xD70BULL;
+
+}  // namespace
+
+Status ValidateFaultPlan(const FaultPlan& plan, int64_t workers) {
+  if (plan.crash_prob < 0.0 || plan.crash_prob > 1.0) {
+    return Status::InvalidArgument("crash_prob must be in [0, 1]");
+  }
+  if (plan.drop_prob < 0.0 || plan.drop_prob > 1.0) {
+    return Status::InvalidArgument("drop_prob must be in [0, 1]");
+  }
+  for (const CrashEvent& e : plan.crashes) {
+    if (e.round < 0) {
+      return Status::InvalidArgument("crash round must be non-negative");
+    }
+    if (e.worker < 0 || e.worker >= workers) {
+      return Status::InvalidArgument(
+          "crash worker " + std::to_string(e.worker) +
+          " out of range for " + std::to_string(workers) + " workers");
+    }
+  }
+  for (const StragglerSpec& s : plan.stragglers) {
+    if (s.worker < 0 || s.worker >= workers) {
+      return Status::InvalidArgument(
+          "straggler worker " + std::to_string(s.worker) +
+          " out of range for " + std::to_string(workers) + " workers");
+    }
+    if (s.slowdown < 1.0) {
+      return Status::InvalidArgument("straggler slowdown must be >= 1");
+    }
+  }
+  return Status::OK();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int64_t workers)
+    : plan_(plan),
+      slowdown_(static_cast<size_t>(workers), 1.0),
+      consumed_(plan.crashes.size(), false) {
+  for (const StragglerSpec& s : plan_.stragglers) {
+    slowdown_[static_cast<size_t>(s.worker)] = s.slowdown;
+  }
+}
+
+double FaultInjector::UnitDraw(uint64_t tag, uint64_t a, uint64_t b,
+                               uint64_t c) const {
+  const uint64_t h =
+      Mix64(plan_.seed ^ Mix64(tag ^ Mix64(a ^ Mix64(b ^ Mix64(c)))));
+  // Top 53 bits -> [0, 1) at double precision.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::CrashesAt(int64_t worker, int64_t round,
+                              int64_t generation) const {
+  for (size_t i = 0; i < plan_.crashes.size(); ++i) {
+    if (!consumed_[i] && plan_.crashes[i].worker == worker &&
+        plan_.crashes[i].round == round) {
+      return true;
+    }
+  }
+  if (plan_.crash_prob > 0.0) {
+    return UnitDraw(kCrashTag, static_cast<uint64_t>(worker),
+                    static_cast<uint64_t>(round),
+                    static_cast<uint64_t>(generation)) < plan_.crash_prob;
+  }
+  return false;
+}
+
+void FaultInjector::ConsumeCrash(int64_t worker, int64_t round) {
+  for (size_t i = 0; i < plan_.crashes.size(); ++i) {
+    if (plan_.crashes[i].worker == worker &&
+        plan_.crashes[i].round == round) {
+      consumed_[i] = true;
+    }
+  }
+}
+
+double FaultInjector::Slowdown(int64_t worker) const {
+  return slowdown_[static_cast<size_t>(worker)];
+}
+
+int64_t FaultInjector::FailedAttempts(int64_t worker, int64_t round,
+                                      int64_t message,
+                                      int64_t max_retries) const {
+  if (plan_.drop_prob <= 0.0) return 0;
+  // Fold (round, message) into one coordinate; rounds and message ids are
+  // small, so the split below never collides in practice.
+  const uint64_t rm = (static_cast<uint64_t>(round) << 20) ^
+                      static_cast<uint64_t>(message);
+  int64_t failed = 0;
+  while (failed < max_retries &&
+         UnitDraw(kDropTag, static_cast<uint64_t>(worker), rm,
+                  static_cast<uint64_t>(failed)) < plan_.drop_prob) {
+    ++failed;
+  }
+  return failed;
+}
+
+}  // namespace dlsys

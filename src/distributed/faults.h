@@ -1,0 +1,107 @@
+#ifndef DLSYS_DISTRIBUTED_FAULTS_H_
+#define DLSYS_DISTRIBUTED_FAULTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/status.h"
+
+/// \file faults.h
+/// \brief Deterministic fault injection for the simulated cluster.
+///
+/// Real distributed training spends much of its complexity budget on
+/// crashes, stragglers, and lost messages. This module injects those
+/// faults into the simulated cluster *reproducibly*: every fault decision
+/// is a pure function of (plan seed, worker, round, ...), computed by a
+/// stateless counter-based hash rather than a shared stateful generator.
+/// The same (ClusterConfig, FaultPlan) pair therefore replays the exact
+/// same fault trace bit-for-bit, independent of evaluation order and of
+/// DLSYS_THREADS — the repo's determinism contract extends to failures.
+
+namespace dlsys {
+
+/// \brief A scheduled crash: \p worker dies at the start of \p round.
+///
+/// Each event fires at most once per run: after a recovery has consumed
+/// it, replayed rounds do not re-trigger it (the restarted worker is a
+/// fresh incarnation).
+struct CrashEvent {
+  int64_t round = 0;
+  int64_t worker = 0;
+};
+
+/// \brief A persistent straggler: \p worker computes \p slowdown times
+/// slower than the baseline (slowdown >= 1).
+struct StragglerSpec {
+  int64_t worker = 0;
+  double slowdown = 1.0;
+};
+
+/// \brief Declarative, seed-replayable fault schedule for one run.
+struct FaultPlan {
+  uint64_t seed = 0;                    ///< seeds all probabilistic draws
+  std::vector<CrashEvent> crashes;      ///< deterministic scheduled crashes
+  double crash_prob = 0.0;              ///< extra per-(worker, round) crash p
+  std::vector<StragglerSpec> stragglers;
+  double drop_prob = 0.0;               ///< per-message-attempt loss p
+
+  /// \brief True iff the plan injects no faults at all.
+  bool Empty() const {
+    return crashes.empty() && crash_prob == 0.0 && stragglers.empty() &&
+           drop_prob == 0.0;
+  }
+};
+
+/// \brief Validates \p plan against a cluster of \p workers workers:
+/// probabilities in [0, 1], worker indices in range, slowdowns >= 1,
+/// crash rounds non-negative. Returns InvalidArgument otherwise.
+Status ValidateFaultPlan(const FaultPlan& plan, int64_t workers);
+
+/// \brief Answers fault queries for one run, deterministically.
+///
+/// Probabilistic draws hash (seed, query coordinates) so two injectors
+/// built from the same plan agree on every answer regardless of query
+/// order. The only mutable state is the consumed-flag on scheduled crash
+/// events, advanced explicitly via ConsumeCrash() by the recovery logic.
+class FaultInjector {
+ public:
+  /// Builds an injector for \p workers workers. \p plan must have passed
+  /// ValidateFaultPlan.
+  FaultInjector(const FaultPlan& plan, int64_t workers);
+
+  /// \brief True iff the underlying plan injects no faults.
+  bool Empty() const { return plan_.Empty(); }
+
+  /// \brief Does \p worker crash at the start of \p round?
+  ///
+  /// \p generation counts completed crash-recoveries: replays after a
+  /// rollback pass a higher generation so probabilistic crash draws are
+  /// fresh (a restarted worker does not deterministically re-crash at the
+  /// same point), while scheduled events fire only while unconsumed.
+  bool CrashesAt(int64_t worker, int64_t round, int64_t generation) const;
+
+  /// \brief Marks any scheduled crash event for (worker, round) consumed.
+  void ConsumeCrash(int64_t worker, int64_t round);
+
+  /// \brief Compute-time multiplier of \p worker (1.0 = healthy).
+  double Slowdown(int64_t worker) const;
+
+  /// \brief Failed transmission attempts before message \p message from
+  /// \p worker at \p round gets through, capped at \p max_retries (the
+  /// capped attempt always succeeds, so messages are eventually delivered
+  /// and the cost shows up as retransmit time).
+  int64_t FailedAttempts(int64_t worker, int64_t round, int64_t message,
+                         int64_t max_retries) const;
+
+ private:
+  /// Stateless uniform draw in [0, 1) from the plan seed and coordinates.
+  double UnitDraw(uint64_t tag, uint64_t a, uint64_t b, uint64_t c) const;
+
+  FaultPlan plan_;
+  std::vector<double> slowdown_;   ///< per worker, from plan_.stragglers
+  std::vector<bool> consumed_;     ///< parallel to plan_.crashes
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_DISTRIBUTED_FAULTS_H_

@@ -14,14 +14,38 @@
 namespace dlsys {
 
 /// \brief Alpha-beta link model: time = latency + bytes / bandwidth.
+///
+/// Lossy links cost retransmit time rather than silently succeeding: a
+/// dropped message is detected after timeout_seconds, waits an
+/// exponentially growing backoff, and is resent, up to max_retries times.
 struct NetworkModel {
   double latency_seconds = 1e-4;          ///< per-message latency (alpha)
   double bandwidth_bytes_per_s = 1.25e9;  ///< link bandwidth (beta), 10 Gbps
+  double timeout_seconds = 5e-3;          ///< loss-detection wait per attempt
+  double backoff_base_seconds = 1e-3;     ///< first retry backoff; doubles
+  int64_t max_retries = 5;                ///< retransmits before giving up
 
   /// \brief Seconds to move \p bytes point-to-point.
   double TransferSeconds(int64_t bytes) const {
     return latency_seconds +
            static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+
+  /// \brief Seconds burned by \p failed lost attempts: each costs the
+  /// detection timeout plus exponential backoff before the retransmit.
+  double RetryPenaltySeconds(int64_t failed) const {
+    double total = 0.0;
+    double backoff = backoff_base_seconds;
+    for (int64_t i = 0; i < failed; ++i) {
+      total += timeout_seconds + backoff;
+      backoff *= 2.0;
+    }
+    return total;
+  }
+
+  /// \brief Total time to deliver \p bytes after \p failed drops.
+  double TransferWithRetries(int64_t bytes, int64_t failed) const {
+    return RetryPenaltySeconds(failed) + TransferSeconds(bytes);
   }
 
   /// \brief Seconds for a ring all-reduce of \p bytes across \p workers:

@@ -11,19 +11,24 @@
 /// parameters (deployment and the train/deploy split of the tutorial's
 /// pipeline view).
 ///
-/// Format: a small header ("DLSY", version, param count) followed by
-/// raw little-endian float32 parameters in layer order. Architecture is
-/// NOT serialized — loading validates the parameter count against the
-/// provided architecture and fails loudly on mismatch.
+/// Format (v2): a small header ("DLSY", version, param count) followed by
+/// raw little-endian float32 parameters in layer order and a CRC32 of the
+/// payload. Architecture is NOT serialized — loading validates the
+/// parameter count against the provided architecture and fails loudly on
+/// mismatch. Writes go to a temp file renamed into place, so a crash
+/// mid-write never leaves a torn checkpoint behind.
 
 namespace dlsys {
 
-/// \brief Writes \p net's parameters to \p path. Overwrites.
+/// \brief Writes \p net's parameters to \p path. Overwrites atomically
+/// (temp file + rename) and appends a CRC32 of the payload.
 Status SaveParameters(const Sequential& net, const std::string& path);
 
 /// \brief Loads parameters saved by SaveParameters into \p net.
-/// Fails with IOError (unreadable/corrupt) or InvalidArgument
-/// (parameter-count mismatch with the architecture).
+/// Fails with IOError (unreadable, truncated, checksum mismatch, or a
+/// declared count inconsistent with the file size — checked before any
+/// allocation) or InvalidArgument (parameter-count mismatch with the
+/// architecture). On any failure \p net is left unmodified.
 Status LoadParameters(Sequential* net, const std::string& path);
 
 }  // namespace dlsys

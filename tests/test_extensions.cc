@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/data/synthetic.h"
 #include "src/db/stats_cache.h"
@@ -76,6 +79,113 @@ TEST(SerializeTest, CorruptFileIsRejected) {
   std::fclose(f);
   Sequential net = MakeMlp(2, {2}, 2);
   EXPECT_FALSE(LoadParameters(&net, path).ok());
+}
+
+// Every corruption mode below must fail with IOError and leave the
+// target net's parameters untouched.
+
+Sequential InitedNet(uint64_t seed) {
+  Sequential net = MakeMlp(4, {6}, 3);
+  Rng rng(seed);
+  net.Init(&rng);
+  return net;
+}
+
+// Writes a valid checkpoint of `src` to `path` and returns its bytes.
+std::vector<unsigned char> SaveAndSlurp(const Sequential& src,
+                                        const std::string& path) {
+  EXPECT_TRUE(SaveParameters(src, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<unsigned char> bytes(static_cast<size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteBytes(const std::string& path,
+                const std::vector<unsigned char>& bytes, size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, len, f), len);
+  std::fclose(f);
+}
+
+TEST(SerializeTest, TruncatedHeaderIsIOErrorAndLeavesNetUntouched) {
+  Sequential src = InitedNet(31);
+  const std::string path = ::testing::TempDir() + "/trunc_header.dlsy";
+  auto bytes = SaveAndSlurp(src, path);
+  WriteBytes(path, bytes, 10);  // cut mid-header
+  Sequential net = InitedNet(32);
+  const auto before = net.GetParameterVector();
+  Status s = LoadParameters(&net, path);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(net.GetParameterVector(), before);
+}
+
+TEST(SerializeTest, BadMagicIsIOError) {
+  Sequential src = InitedNet(33);
+  const std::string path = ::testing::TempDir() + "/bad_magic.dlsy";
+  auto bytes = SaveAndSlurp(src, path);
+  bytes[0] = 'X';
+  WriteBytes(path, bytes, bytes.size());
+  Sequential net = InitedNet(34);
+  const auto before = net.GetParameterVector();
+  Status s = LoadParameters(&net, path);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(net.GetParameterVector(), before);
+}
+
+TEST(SerializeTest, CountLargerThanFileIsIOErrorBeforeAllocating) {
+  Sequential src = InitedNet(35);
+  const std::string path = ::testing::TempDir() + "/huge_count.dlsy";
+  auto bytes = SaveAndSlurp(src, path);
+  // Overwrite the count field (offset 8) with an absurd value: a bounds
+  // check must reject it from the file size, not attempt the allocation.
+  const uint64_t huge = uint64_t{1} << 40;
+  std::memcpy(bytes.data() + 8, &huge, sizeof(huge));
+  WriteBytes(path, bytes, bytes.size());
+  Sequential net = InitedNet(36);
+  const auto before = net.GetParameterVector();
+  Status s = LoadParameters(&net, path);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(net.GetParameterVector(), before);
+}
+
+TEST(SerializeTest, BadCrcIsIOError) {
+  Sequential src = InitedNet(37);
+  const std::string path = ::testing::TempDir() + "/bad_crc.dlsy";
+  auto bytes = SaveAndSlurp(src, path);
+  bytes[20] ^= 0x01;  // flip one payload bit; size stays consistent
+  WriteBytes(path, bytes, bytes.size());
+  Sequential net = InitedNet(38);
+  const auto before = net.GetParameterVector();
+  Status s = LoadParameters(&net, path);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(net.GetParameterVector(), before);
+}
+
+TEST(SerializeTest, TruncatedPayloadIsIOError) {
+  Sequential src = InitedNet(39);
+  const std::string path = ::testing::TempDir() + "/trunc_payload.dlsy";
+  auto bytes = SaveAndSlurp(src, path);
+  WriteBytes(path, bytes, bytes.size() - 9);
+  Sequential net = InitedNet(40);
+  const auto before = net.GetParameterVector();
+  Status s = LoadParameters(&net, path);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(net.GetParameterVector(), before);
+}
+
+TEST(SerializeTest, SaveLeavesNoTempFileBehind) {
+  Sequential src = InitedNet(41);
+  const std::string path = ::testing::TempDir() + "/atomic.dlsy";
+  ASSERT_TRUE(SaveParameters(src, path).ok());
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "temp file must be renamed into place";
+  if (tmp != nullptr) std::fclose(tmp);
 }
 
 // ----------------------------------------------------------- StatsCache

@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/data/synthetic.h"
+#include "src/distributed/cluster.h"
+#include "src/distributed/faults.h"
+#include "src/distributed/network_model.h"
+#include "src/nn/train.h"
+
+namespace dlsys {
+namespace {
+
+// ------------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, ReplaysBitForBitFromSeed) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.crash_prob = 0.05;
+  plan.drop_prob = 0.2;
+  FaultInjector a(plan, 8);
+  FaultInjector b(plan, 8);
+  for (int64_t w = 0; w < 8; ++w) {
+    for (int64_t r = 0; r < 50; ++r) {
+      EXPECT_EQ(a.CrashesAt(w, r, 0), b.CrashesAt(w, r, 0));
+      EXPECT_EQ(a.FailedAttempts(w, r, 0, 5), b.FailedAttempts(w, r, 0, 5));
+    }
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer) {
+  FaultPlan p1, p2;
+  p1.seed = 1;
+  p2.seed = 2;
+  p1.crash_prob = p2.crash_prob = 0.1;
+  FaultInjector a(p1, 4);
+  FaultInjector b(p2, 4);
+  int differing = 0;
+  for (int64_t w = 0; w < 4; ++w) {
+    for (int64_t r = 0; r < 200; ++r) {
+      if (a.CrashesAt(w, r, 0) != b.CrashesAt(w, r, 0)) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, ScheduledCrashFiresOnceThenConsumed) {
+  FaultPlan plan;
+  plan.crashes = {{7, 2}};
+  FaultInjector inj(plan, 4);
+  EXPECT_FALSE(inj.CrashesAt(2, 6, 0));
+  EXPECT_TRUE(inj.CrashesAt(2, 7, 0));
+  EXPECT_FALSE(inj.CrashesAt(1, 7, 0));
+  inj.ConsumeCrash(2, 7);
+  EXPECT_FALSE(inj.CrashesAt(2, 7, 0)) << "consumed events must not refire";
+}
+
+TEST(FaultInjectorTest, StragglerSlowdownAndDefaults) {
+  FaultPlan plan;
+  plan.stragglers = {{1, 4.0}};
+  FaultInjector inj(plan, 3);
+  EXPECT_DOUBLE_EQ(inj.Slowdown(0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.Slowdown(1), 4.0);
+  EXPECT_DOUBLE_EQ(inj.Slowdown(2), 1.0);
+}
+
+TEST(FaultInjectorTest, FailedAttemptsRespectsCap) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_prob = 1.0;  // every attempt drops
+  FaultInjector inj(plan, 2);
+  EXPECT_EQ(inj.FailedAttempts(0, 0, 0, 5), 5);
+  plan.drop_prob = 0.0;
+  FaultInjector clean(plan, 2);
+  EXPECT_EQ(clean.FailedAttempts(0, 0, 0, 5), 0);
+}
+
+TEST(FaultPlanTest, ValidationRejectsBadPlans) {
+  FaultPlan plan;
+  plan.crash_prob = 1.5;
+  EXPECT_EQ(ValidateFaultPlan(plan, 4).code(),
+            StatusCode::kInvalidArgument);
+  plan = FaultPlan{};
+  plan.drop_prob = -0.1;
+  EXPECT_FALSE(ValidateFaultPlan(plan, 4).ok());
+  plan = FaultPlan{};
+  plan.crashes = {{3, 9}};  // worker out of range
+  EXPECT_FALSE(ValidateFaultPlan(plan, 4).ok());
+  plan = FaultPlan{};
+  plan.stragglers = {{0, 0.5}};  // slowdown < 1
+  EXPECT_FALSE(ValidateFaultPlan(plan, 4).ok());
+  plan = FaultPlan{};
+  plan.crashes = {{-1, 0}};
+  EXPECT_FALSE(ValidateFaultPlan(plan, 4).ok());
+}
+
+// -------------------------------------------------- NetworkModel retries
+
+TEST(NetworkRetryTest, PenaltyIsZeroWithoutDrops) {
+  NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.RetryPenaltySeconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.TransferWithRetries(1000, 0),
+                   net.TransferSeconds(1000));
+}
+
+TEST(NetworkRetryTest, BackoffDoublesPerAttempt) {
+  NetworkModel net;
+  net.timeout_seconds = 0.01;
+  net.backoff_base_seconds = 0.001;
+  // attempt 1: 0.01 + 0.001; attempt 2 adds 0.01 + 0.002.
+  EXPECT_NEAR(net.RetryPenaltySeconds(1), 0.011, 1e-12);
+  EXPECT_NEAR(net.RetryPenaltySeconds(2), 0.023, 1e-12);
+  EXPECT_LT(net.RetryPenaltySeconds(2), net.RetryPenaltySeconds(3));
+}
+
+// ------------------------------------------------ cluster config checks
+
+TEST(ClusterValidationTest, RejectsInvalidConfigs) {
+  ClusterConfig config;
+  config.rounds = 0;
+  EXPECT_EQ(ValidateClusterConfig(config).code(),
+            StatusCode::kInvalidArgument);
+  config = ClusterConfig{};
+  config.batch_size = -1;
+  EXPECT_FALSE(ValidateClusterConfig(config).ok());
+  config = ClusterConfig{};
+  config.lr = 0.0;
+  EXPECT_FALSE(ValidateClusterConfig(config).ok());
+  config = ClusterConfig{};
+  config.recovery = RecoveryPolicy::kRestartFromCheckpoint;
+  EXPECT_FALSE(ValidateClusterConfig(config).ok())
+      << "restart policy needs checkpoint_interval > 0";
+  config.checkpoint_interval = 4;
+  EXPECT_FALSE(ValidateClusterConfig(config).ok())
+      << "checkpointing needs a checkpoint_dir";
+  config.checkpoint_dir = "/tmp";
+  EXPECT_TRUE(ValidateClusterConfig(config).ok());
+  config = ClusterConfig{};
+  config.faults.crash_prob = 2.0;
+  EXPECT_FALSE(ValidateClusterConfig(config).ok());
+}
+
+// ---------------------------------------------------- recovery policies
+
+Dataset FaultData(uint64_t seed) {
+  Rng rng(seed);
+  return MakeGaussianBlobs(800, 8, 4, 3.0, &rng);
+}
+
+Sequential FaultArch(uint64_t seed) {
+  Sequential net = MakeMlp(8, {16}, 4);
+  Rng rng(seed);
+  net.Init(&rng);
+  return net;
+}
+
+TEST(RecoveryTest, CrashWithoutPolicyIsFatal) {
+  Dataset data = FaultData(1);
+  Sequential arch = FaultArch(2);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 20;
+  config.faults.crashes = {{5, 1}};
+  auto result = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(RecoveryTest, RestartFromCheckpointMatchesFaultFreeBitwise) {
+  Dataset data = FaultData(3);
+  Sequential arch = FaultArch(4);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 30;
+  auto fault_free = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_TRUE(fault_free.ok());
+
+  ClusterConfig faulty = config;
+  faulty.faults.crashes = {{13, 2}};
+  faulty.recovery = RecoveryPolicy::kRestartFromCheckpoint;
+  faulty.checkpoint_interval = 5;
+  faulty.checkpoint_dir = ::testing::TempDir();
+  auto recovered = TrainOnCluster(arch, data, faulty, nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  // Rollback + replay reproduces the fault-free trajectory exactly.
+  EXPECT_EQ(recovered->model.GetParameterVector(),
+            fault_free->model.GetParameterVector());
+  EXPECT_DOUBLE_EQ(recovered->report.Get(fault_metric::kCrashes), 1.0);
+  EXPECT_DOUBLE_EQ(recovered->report.Get(fault_metric::kRollbacks), 1.0);
+  // Crash at round 13 with checkpoints every 5 -> rolls back to round 10.
+  EXPECT_DOUBLE_EQ(recovered->report.Get(fault_metric::kWastedRounds), 3.0);
+  EXPECT_GT(recovered->report.Get(fault_metric::kRecoverySeconds), 0.0);
+  EXPECT_GT(recovered->report.Get(fault_metric::kCheckpointCount), 0.0);
+  EXPECT_GT(recovered->report.Get(metric::kTrainSeconds),
+            fault_free->report.Get(metric::kTrainSeconds) -
+                fault_free->report.Get("resource.compute_seconds"));
+}
+
+TEST(RecoveryTest, RestartReplaySameSeedIsDeterministic) {
+  // Acceptance criterion: the same FaultPlan seed replayed twice must
+  // produce bitwise-identical final parameters, crashes included.
+  Dataset data = FaultData(5);
+  Sequential arch = FaultArch(6);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 25;
+  config.recovery = RecoveryPolicy::kRestartFromCheckpoint;
+  config.checkpoint_interval = 4;
+  config.checkpoint_dir = ::testing::TempDir();
+  config.faults.seed = 77;
+  config.faults.crash_prob = 0.01;
+  config.faults.drop_prob = 0.05;
+  config.faults.crashes = {{9, 0}};
+  auto first = TrainOnCluster(arch, data, config, nullptr);
+  auto second = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->model.GetParameterVector(),
+            second->model.GetParameterVector());
+  EXPECT_DOUBLE_EQ(first->report.Get(fault_metric::kCrashes),
+                   second->report.Get(fault_metric::kCrashes));
+  EXPECT_DOUBLE_EQ(first->report.Get(fault_metric::kDroppedMessages),
+                   second->report.Get(fault_metric::kDroppedMessages));
+}
+
+TEST(RecoveryTest, RestartWorksUnderLocalSgd) {
+  Dataset data = FaultData(7);
+  Sequential arch = FaultArch(8);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 64;
+  config.strategy = SyncStrategy::kLocalSgd;
+  config.local_steps = 8;
+  auto fault_free = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_TRUE(fault_free.ok());
+  ClusterConfig faulty = config;
+  faulty.faults.crashes = {{5, 3}};  // averaging-block granularity
+  faulty.recovery = RecoveryPolicy::kRestartFromCheckpoint;
+  faulty.checkpoint_interval = 2;
+  faulty.checkpoint_dir = ::testing::TempDir();
+  auto recovered = TrainOnCluster(arch, data, faulty, nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->model.GetParameterVector(),
+            fault_free->model.GetParameterVector());
+  EXPECT_DOUBLE_EQ(recovered->report.Get(fault_metric::kWastedRounds), 1.0);
+}
+
+TEST(RecoveryTest, DropAndContinueShrinksClusterAndStillLearns) {
+  Dataset data = FaultData(9);
+  auto split = Split(data, 0.8);
+  Sequential arch = FaultArch(10);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 150;
+  config.recovery = RecoveryPolicy::kDropAndContinue;
+  config.faults.crashes = {{20, 1}, {60, 3}};
+  auto result = TrainOnCluster(arch, split.train, config, nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->report.Get(fault_metric::kLiveWorkers), 2.0);
+  EXPECT_DOUBLE_EQ(result->report.Get(fault_metric::kCrashes), 2.0);
+  EXPECT_DOUBLE_EQ(result->report.Get(fault_metric::kRollbacks), 0.0);
+  Sequential model = result->model.Clone();
+  EXPECT_GT(Evaluate(&model, split.test).accuracy, 0.85)
+      << "survivors inherit the dead workers' data and keep learning";
+}
+
+TEST(RecoveryTest, AllWorkersCrashedIsInternal) {
+  Dataset data = FaultData(11);
+  Sequential arch = FaultArch(12);
+  ClusterConfig config;
+  config.workers = 2;
+  config.rounds = 20;
+  config.recovery = RecoveryPolicy::kDropAndContinue;
+  config.faults.crashes = {{3, 0}, {3, 1}};
+  auto result = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(RecoveryTest, SkipStaleExcludesStragglerAndCutsBarrierTime) {
+  Dataset data = FaultData(13);
+  auto split = Split(data, 0.8);
+  Sequential arch = FaultArch(14);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 100;
+  config.step_seconds = 1e-3;
+  config.faults.stragglers = {{2, 100.0}};  // 0.1 s per round, way late
+
+  ClusterConfig wait_config = config;  // kNone: barrier waits for it
+  auto waited = TrainOnCluster(arch, split.train, wait_config, nullptr);
+  ASSERT_TRUE(waited.ok());
+  EXPECT_DOUBLE_EQ(waited->report.Get(fault_metric::kExcludedWorkerRounds),
+                   0.0);
+
+  ClusterConfig skip_config = config;
+  skip_config.recovery = RecoveryPolicy::kSkipStale;
+  skip_config.stale_timeout_seconds = 0.01;
+  auto skipped = TrainOnCluster(arch, split.train, skip_config, nullptr);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_DOUBLE_EQ(
+      skipped->report.Get(fault_metric::kExcludedWorkerRounds), 100.0);
+  EXPECT_LT(skipped->report.Get(fault_metric::kStragglerSeconds),
+            waited->report.Get(fault_metric::kStragglerSeconds))
+      << "cutting the straggler must shrink simulated barrier time";
+  Sequential model = skipped->model.Clone();
+  EXPECT_GT(Evaluate(&model, split.test).accuracy, 0.85)
+      << "three fresh gradients per round still converge";
+}
+
+TEST(RecoveryTest, DroppedMessagesCostRetransmitTime) {
+  Dataset data = FaultData(15);
+  Sequential arch = FaultArch(16);
+  ClusterConfig config;
+  config.workers = 4;
+  config.rounds = 40;
+  auto clean = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_DOUBLE_EQ(clean->report.Get(fault_metric::kDroppedMessages), 0.0);
+  EXPECT_DOUBLE_EQ(clean->report.Get(fault_metric::kStragglerSeconds), 0.0);
+
+  ClusterConfig lossy = config;
+  lossy.faults.seed = 21;
+  lossy.faults.drop_prob = 0.3;
+  auto dropped = TrainOnCluster(arch, data, lossy, nullptr);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_GT(dropped->report.Get(fault_metric::kDroppedMessages), 0.0);
+  EXPECT_GT(dropped->report.Get(fault_metric::kStragglerSeconds), 0.0)
+      << "lost messages must cost retransmit time, not silently succeed";
+  // Losses delay the barrier but never change the math.
+  EXPECT_EQ(dropped->model.GetParameterVector(),
+            clean->model.GetParameterVector());
+}
+
+TEST(RecoveryTest, CheckpointCadenceAndCost) {
+  Dataset data = FaultData(17);
+  Sequential arch = FaultArch(18);
+  ClusterConfig config;
+  config.workers = 2;
+  config.rounds = 20;
+  config.checkpoint_interval = 5;
+  config.checkpoint_dir = ::testing::TempDir();
+  auto result = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_TRUE(result.ok());
+  // Initial checkpoint at round 0 plus rounds 5, 10, 15 (20 = end, skipped).
+  EXPECT_DOUBLE_EQ(result->report.Get(fault_metric::kCheckpointCount), 4.0);
+  EXPECT_GT(result->report.Get(fault_metric::kCheckpointSeconds), 0.0);
+}
+
+TEST(RecoveryTest, BadCheckpointDirSurfacesIOError) {
+  Dataset data = FaultData(19);
+  Sequential arch = FaultArch(20);
+  ClusterConfig config;
+  config.workers = 2;
+  config.rounds = 10;
+  config.checkpoint_interval = 2;
+  config.checkpoint_dir = "/nonexistent/dir/for/dlsys";
+  auto result = TrainOnCluster(arch, data, config, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace dlsys
