@@ -1,0 +1,386 @@
+// Inference engine bench (E31): steady-state allocation counts and batch-1
+// latency of the arena-planned engine vs the training forward, im2col vs
+// direct convolution, int8 vs fp32 dense GEMM at equal shapes, and the
+// micro-batching throughput/p99 frontier. Results land in
+// BENCH_inference.json.
+//
+// Standalone binary (not google-benchmark): it installs a global
+// operator new hook to count heap allocations, which must not race with a
+// benchmark framework's own bookkeeping. Pass --smoke (or set
+// DLSYS_BENCH_SMOKE=1) for a seconds-scale CI run at tiny shapes.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/compress/quantization.h"
+#include "src/core/metrics.h"
+#include "src/core/rng.h"
+#include "src/infer/batcher.h"
+#include "src/infer/engine.h"
+#include "src/nn/train.h"
+#include "src/runtime/runtime.h"
+#include "src/tensor/int8_gemm.h"
+#include "src/tensor/ops.h"
+
+// ----------------------------------------------------- allocation hook
+// Counts every heap allocation in the process, including the aligned
+// overloads the TensorArena uses. The steady-state section samples this
+// counter around hot-loop calls: the arena path must add exactly zero.
+
+namespace {
+std::atomic<int64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size > 0 ? size : 1);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<size_t>(align), size > 0 ? size : 1) !=
+      0) {
+    std::abort();
+  }
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dlsys {
+namespace {
+
+volatile float g_sink = 0.0f;  // defeats dead-code elimination
+
+/// Median-of-5 wall time in milliseconds of `iters` calls to fn.
+template <typename Fn>
+double MedianMs(int iters, Fn&& fn) {
+  std::vector<double> reps;
+  for (int r = 0; r < 5; ++r) {
+    Stopwatch watch;
+    for (int it = 0; it < iters; ++it) fn();
+    reps.push_back(watch.Seconds() * 1000.0 / iters);
+  }
+  std::sort(reps.begin(), reps.end());
+  return reps[2];
+}
+
+bool g_smoke = false;
+
+// -------------------------------------------- 1. steady-state allocations
+
+struct SteadyState {
+  int64_t engine_allocs_per_call = 0;
+  int64_t forward_allocs_per_call = 0;
+  double engine_batch1_ms = 0.0;
+  double forward_batch1_ms = 0.0;
+};
+
+SteadyState BenchSteadyState() {
+  Rng rng(51);
+  const int64_t img = g_smoke ? 8 : 16;
+  Sequential net = MakeCnn(img, g_smoke ? 3 : 8, g_smoke ? 4 : 8, 10);
+  net.Init(&rng);
+  auto compiled =
+      InferenceEngine::Compile(net, {1, img, img}, EngineConfig{8});
+  DLSYS_CHECK(compiled.ok(), "steady-state compile failed");
+  InferenceEngine engine = std::move(compiled).value();
+
+  Tensor x({1, 1, img, img});
+  x.FillGaussian(&rng, 1.0f);
+  Tensor out({1, engine.output_elems_per_example()});
+  DLSYS_CHECK(engine.PredictInto(x.data(), 1, out.data()).ok(), "warm");
+
+  SteadyState result;
+  const int calls = g_smoke ? 5 : 50;
+  const int64_t before_engine = g_heap_allocs.load();
+  for (int i = 0; i < calls; ++i) {
+    DLSYS_CHECK(engine.PredictInto(x.data(), 1, out.data()).ok(), "predict");
+  }
+  result.engine_allocs_per_call = (g_heap_allocs.load() - before_engine) / calls;
+
+  const int64_t before_forward = g_heap_allocs.load();
+  for (int i = 0; i < calls; ++i) {
+    g_sink = net.Forward(x, CacheMode::kNoCache)[0];
+  }
+  result.forward_allocs_per_call =
+      (g_heap_allocs.load() - before_forward) / calls;
+
+  const int iters = g_smoke ? 3 : 20;
+  result.engine_batch1_ms = MedianMs(iters, [&] {
+    DLSYS_CHECK(engine.PredictInto(x.data(), 1, out.data()).ok(), "predict");
+    g_sink = out[0];
+  });
+  result.forward_batch1_ms =
+      MedianMs(iters, [&] { g_sink = net.Forward(x, CacheMode::kNoCache)[0]; });
+  return result;
+}
+
+// --------------------------------------------------- 2. im2col vs direct
+
+struct ConvAlgoRow {
+  double im2col_ms = 0.0;
+  double direct_ms = 0.0;
+};
+
+ConvAlgoRow BenchConvAlgo() {
+  Rng rng(52);
+  const int64_t img = g_smoke ? 8 : 24;
+  Sequential net = MakeCnn(img, g_smoke ? 3 : 12, g_smoke ? 4 : 16, 10);
+  net.Init(&rng);
+  const int64_t batch = g_smoke ? 2 : 8;
+  Tensor x({batch, 1, img, img});
+  x.FillGaussian(&rng, 1.0f);
+
+  ConvAlgoRow row;
+  for (ConvAlgo algo : {ConvAlgo::kIm2col, ConvAlgo::kDirect}) {
+    EngineConfig config;
+    config.max_batch = batch;
+    config.conv_algo = algo;
+    auto compiled = InferenceEngine::Compile(net, {1, img, img}, config);
+    DLSYS_CHECK(compiled.ok(), "conv-algo compile failed");
+    InferenceEngine engine = std::move(compiled).value();
+    Tensor out({batch, engine.output_elems_per_example()});
+    const int iters = g_smoke ? 3 : 10;
+    const double ms = MedianMs(iters, [&] {
+      DLSYS_CHECK(engine.PredictInto(x.data(), batch, out.data()).ok(),
+                  "predict");
+      g_sink = out[0];
+    });
+    (algo == ConvAlgo::kIm2col ? row.im2col_ms : row.direct_ms) = ms;
+  }
+  return row;
+}
+
+// ---------------------------------------------------- 3. int8 vs fp32 GEMM
+
+struct GemmRow {
+  int64_t m = 0, k = 0, n = 0;
+  double fp32_ms = 0.0;
+  double int8_ms = 0.0;       ///< integer GEMM alone
+  double int8_full_ms = 0.0;  ///< quantize + GEMM + requantize epilogue
+};
+
+GemmRow BenchInt8Gemm() {
+  Rng rng(53);
+  GemmRow row;
+  row.m = g_smoke ? 8 : 64;
+  row.k = g_smoke ? 64 : 768;
+  row.n = g_smoke ? 32 : 768;
+  const int64_t m = row.m, k = row.k, n = row.n;
+
+  Tensor a({m, k}), w({k, n});
+  a.FillGaussian(&rng, 1.0f);
+  w.FillGaussian(&rng, 0.1f);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  const int iters = g_smoke ? 3 : 10;
+  row.fp32_ms = MedianMs(iters, [&] {
+    MatMulInto(a.data(), w.data(), c.data(), m, k, n);
+    g_sink = c[0];
+  });
+
+  // Weights quantized per output feature: rows of the transposed matrix.
+  Tensor wt({n, k});
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t p = 0; p < k; ++p) wt[j * k + p] = w[p * n + j];
+  }
+  SymmetricInt8Matrix qw = SymmetricQuantizeRows(wt);
+  std::vector<int8_t> qa(static_cast<size_t>(m * k));
+  std::vector<float> qa_scales(static_cast<size_t>(m));
+  std::vector<int32_t> acc(static_cast<size_t>(m * n));
+  SymmetricQuantizeRowsInto(a.data(), m, k, qa.data(), qa_scales.data());
+
+  row.int8_ms = MedianMs(iters, [&] {
+    Int8GemmTransBInto(qa.data(), qw.values.data(), acc.data(), m, k, n);
+    g_sink = static_cast<float>(acc[0]);
+  });
+  row.int8_full_ms = MedianMs(iters, [&] {
+    SymmetricQuantizeRowsInto(a.data(), m, k, qa.data(), qa_scales.data());
+    Int8GemmTransBInto(qa.data(), qw.values.data(), acc.data(), m, k, n);
+    for (int64_t i = 0; i < m; ++i) {
+      const float sx = qa_scales[static_cast<size_t>(i)];
+      for (int64_t j = 0; j < n; ++j) {
+        c[static_cast<size_t>(i * n + j)] =
+            static_cast<float>(acc[static_cast<size_t>(i * n + j)]) * sx *
+            qw.scales[static_cast<size_t>(j)];
+      }
+    }
+    g_sink = c[0];
+  });
+  return row;
+}
+
+// ------------------------------------------------- 4. micro-batch frontier
+
+struct FrontierRow {
+  int64_t max_batch = 0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+FrontierRow BenchFrontierPoint(InferenceEngine* engine, int64_t max_batch) {
+  Rng rng(54);
+  const int64_t in_elems = engine->input_elems_per_example();
+  const int64_t requests = g_smoke ? 64 : 2048;
+  const double interarrival_ms = 0.01;  // offered load ~100k req/s
+
+  MicroBatcherConfig config;
+  config.max_batch = max_batch;
+  config.max_delay_ms = 0.5;
+  MicroBatcher batcher(engine, config);
+
+  Tensor example({in_elems});
+  for (int64_t r = 0; r < requests; ++r) {
+    example.FillGaussian(&rng, 1.0f);
+    batcher.Submit(example, static_cast<double>(r) * interarrival_ms);
+  }
+  batcher.Flush();
+
+  // Throughput is engine-side: examples per second of measured service
+  // time (each batch's service appears once per member, so divide by the
+  // member count). Latency is the simulated queueing + service delay.
+  std::vector<double> latencies;
+  double service_sum_ms = 0.0;
+  for (const MicroBatcher::Completion& done : batcher.completions()) {
+    latencies.push_back(done.finish_ms - done.arrival_ms);
+    service_sum_ms += (done.finish_ms - done.start_ms) /
+                      static_cast<double>(done.batch_size);
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  FrontierRow row;
+  row.max_batch = max_batch;
+  row.throughput_rps =
+      static_cast<double>(requests) / (service_sum_ms / 1000.0);
+  row.p50_ms = latencies[latencies.size() / 2];
+  row.p99_ms = latencies[latencies.size() * 99 / 100];
+  row.mean_batch = static_cast<double>(requests) /
+                   static_cast<double>(batcher.batches_run());
+  return row;
+}
+
+std::vector<FrontierRow> BenchFrontier() {
+  Rng rng(55);
+  Sequential net =
+      MakeMlp(64, {g_smoke ? 64 : 256, g_smoke ? 32 : 256}, 10);
+  net.Init(&rng);
+  auto compiled = InferenceEngine::Compile(net, {64}, EngineConfig{64});
+  DLSYS_CHECK(compiled.ok(), "frontier compile failed");
+  InferenceEngine engine = std::move(compiled).value();
+
+  std::vector<FrontierRow> rows;
+  for (int64_t b : {1, 4, 16, 64}) {
+    rows.push_back(BenchFrontierPoint(&engine, b));
+  }
+  return rows;
+}
+
+}  // namespace
+}  // namespace dlsys
+
+int main(int argc, char** argv) {
+  using namespace dlsys;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  if (const char* env = std::getenv("DLSYS_BENCH_SMOKE");
+      env != nullptr && env[0] == '1') {
+    g_smoke = true;
+  }
+  RuntimeConfig::SetThreads(4);
+
+  const SteadyState steady = BenchSteadyState();
+  std::printf(
+      "steady-state  engine %lld allocs/call, %.4f ms | training forward "
+      "%lld allocs/call, %.4f ms\n",
+      static_cast<long long>(steady.engine_allocs_per_call),
+      steady.engine_batch1_ms,
+      static_cast<long long>(steady.forward_allocs_per_call),
+      steady.forward_batch1_ms);
+
+  const ConvAlgoRow conv = BenchConvAlgo();
+  std::printf("conv          im2col %.4f ms | direct %.4f ms | %.2fx\n",
+              conv.im2col_ms, conv.direct_ms, conv.direct_ms / conv.im2col_ms);
+
+  const GemmRow gemm = BenchInt8Gemm();
+  std::printf(
+      "gemm %lldx%lldx%lld  fp32 %.4f ms | int8 %.4f ms (%.2fx) | "
+      "int8+requant %.4f ms (%.2fx)\n",
+      static_cast<long long>(gemm.m), static_cast<long long>(gemm.k),
+      static_cast<long long>(gemm.n), gemm.fp32_ms, gemm.int8_ms,
+      gemm.fp32_ms / gemm.int8_ms, gemm.int8_full_ms,
+      gemm.fp32_ms / gemm.int8_full_ms);
+
+  const std::vector<FrontierRow> frontier = BenchFrontier();
+  for (const FrontierRow& row : frontier) {
+    std::printf(
+        "microbatch b=%-3lld  %10.0f req/s | p50 %.4f ms | p99 %.4f ms | "
+        "mean batch %.1f\n",
+        static_cast<long long>(row.max_batch), row.throughput_rps, row.p50_ms,
+        row.p99_ms, row.mean_batch);
+  }
+
+  FILE* out = std::fopen("BENCH_inference.json", "w");
+  if (out == nullptr) {
+    std::printf("cannot open BENCH_inference.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"smoke\": %s,\n"
+               "  \"steady_state\": {\"engine_allocs_per_call\": %lld, "
+               "\"forward_allocs_per_call\": %lld,\n"
+               "                   \"engine_batch1_ms\": %.4f, "
+               "\"forward_batch1_ms\": %.4f},\n"
+               "  \"conv\": {\"im2col_ms\": %.4f, \"direct_ms\": %.4f, "
+               "\"speedup\": %.2f},\n"
+               "  \"int8_gemm\": {\"m\": %lld, \"k\": %lld, \"n\": %lld, "
+               "\"fp32_ms\": %.4f,\n"
+               "                \"int8_ms\": %.4f, \"int8_full_ms\": %.4f, "
+               "\"speedup_raw\": %.2f, \"speedup_full\": %.2f},\n"
+               "  \"microbatch\": [\n",
+               g_smoke ? "true" : "false",
+               static_cast<long long>(steady.engine_allocs_per_call),
+               static_cast<long long>(steady.forward_allocs_per_call),
+               steady.engine_batch1_ms, steady.forward_batch1_ms,
+               conv.im2col_ms, conv.direct_ms,
+               conv.direct_ms / conv.im2col_ms,
+               static_cast<long long>(gemm.m), static_cast<long long>(gemm.k),
+               static_cast<long long>(gemm.n), gemm.fp32_ms, gemm.int8_ms,
+               gemm.int8_full_ms, gemm.fp32_ms / gemm.int8_ms,
+               gemm.fp32_ms / gemm.int8_full_ms);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const FrontierRow& row = frontier[i];
+    std::fprintf(out,
+                 "    {\"max_batch\": %lld, \"throughput_rps\": %.0f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"mean_batch\": "
+                 "%.2f}%s\n",
+                 static_cast<long long>(row.max_batch), row.throughput_rps,
+                 row.p50_ms, row.p99_ms, row.mean_batch,
+                 i + 1 < frontier.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_inference.json\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "src/infer/arena.h"
+
+#include <new>
+#include <utility>
+
+#include "src/core/status.h"
+#include "src/tensor/tensor.h"
+
+namespace dlsys {
+namespace {
+
+constexpr int64_t kAlign = 64;  // cache line; also serves any SIMD width
+
+int64_t AlignUp(int64_t v) { return (v + kAlign - 1) / kAlign * kAlign; }
+
+}  // namespace
+
+TensorArena::~TensorArena() { FreeStorage(); }
+
+TensorArena::TensorArena(TensorArena&& other) noexcept
+    : slots_(std::move(other.slots_)),
+      total_bytes_(other.total_bytes_),
+      base_(other.base_) {
+  other.slots_.clear();
+  other.total_bytes_ = 0;
+  other.base_ = nullptr;
+}
+
+TensorArena& TensorArena::operator=(TensorArena&& other) noexcept {
+  if (this == &other) return *this;
+  FreeStorage();
+  slots_ = std::move(other.slots_);
+  total_bytes_ = other.total_bytes_;
+  base_ = other.base_;
+  other.slots_.clear();
+  other.total_bytes_ = 0;
+  other.base_ = nullptr;
+  return *this;
+}
+
+void TensorArena::FreeStorage() {
+  if (base_ != nullptr) {
+    MemoryTracker::Global().Release(total_bytes_);
+    ::operator delete(base_, std::align_val_t{kAlign});
+    base_ = nullptr;
+  }
+}
+
+TensorArena::BufferId TensorArena::Reserve(int64_t count, int64_t elem_bytes,
+                                           ElemType type) {
+  DLSYS_CHECK(!committed(),
+              "TensorArena::Reserve after Commit — the plan is frozen; "
+              "inference-time buffer growth is a planning bug");
+  DLSYS_CHECK(count >= 0, "TensorArena::Reserve negative count");
+  Slot slot;
+  slot.offset = total_bytes_;
+  slot.count = count;
+  slot.type = type;
+  slots_.push_back(slot);
+  total_bytes_ += AlignUp(count * elem_bytes);
+  return static_cast<BufferId>(slots_.size()) - 1;
+}
+
+TensorArena::BufferId TensorArena::ReserveFloats(int64_t count) {
+  return Reserve(count, static_cast<int64_t>(sizeof(float)),
+                 ElemType::kFloat);
+}
+
+TensorArena::BufferId TensorArena::ReserveInt8s(int64_t count) {
+  return Reserve(count, 1, ElemType::kInt8);
+}
+
+TensorArena::BufferId TensorArena::ReserveInt32s(int64_t count) {
+  return Reserve(count, static_cast<int64_t>(sizeof(int32_t)),
+                 ElemType::kInt32);
+}
+
+void TensorArena::Commit() {
+  DLSYS_CHECK(!committed(), "TensorArena::Commit called twice");
+  const int64_t bytes = total_bytes_ > 0 ? total_bytes_ : kAlign;
+  total_bytes_ = bytes;
+  base_ = static_cast<uint8_t*>(
+      ::operator new(static_cast<size_t>(bytes), std::align_val_t{kAlign}));
+  // The workspace counts as live tensor memory: checkpointing/offloading
+  // experiments that read the tracker should see serving buffers too.
+  MemoryTracker::Global().Allocate(bytes);
+}
+
+void* TensorArena::Resolve(BufferId id, ElemType type) const {
+  DLSYS_CHECK(committed(), "TensorArena buffer access before Commit");
+  DLSYS_CHECK(id >= 0 && id < buffer_count(), "TensorArena bad buffer id");
+  DLSYS_CHECK(slots_[static_cast<size_t>(id)].type == type,
+              "TensorArena buffer accessed as the wrong element type");
+  return base_ + slots_[static_cast<size_t>(id)].offset;
+}
+
+float* TensorArena::Floats(BufferId id) const {
+  return static_cast<float*>(Resolve(id, ElemType::kFloat));
+}
+
+int8_t* TensorArena::Int8s(BufferId id) const {
+  return static_cast<int8_t*>(Resolve(id, ElemType::kInt8));
+}
+
+int32_t* TensorArena::Int32s(BufferId id) const {
+  return static_cast<int32_t*>(Resolve(id, ElemType::kInt32));
+}
+
+int64_t TensorArena::ElementCount(BufferId id) const {
+  DLSYS_CHECK(id >= 0 && id < buffer_count(), "TensorArena bad buffer id");
+  return slots_[static_cast<size_t>(id)].count;
+}
+
+}  // namespace dlsys

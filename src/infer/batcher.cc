@@ -1,0 +1,83 @@
+#include "src/infer/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/core/status.h"
+
+namespace dlsys {
+
+MicroBatcher::MicroBatcher(InferenceEngine* engine,
+                           const MicroBatcherConfig& config)
+    : engine_(engine), config_(config) {
+  DLSYS_CHECK(engine != nullptr, "MicroBatcher requires an engine");
+  DLSYS_CHECK(config.max_batch >= 1, "MicroBatcher max_batch must be >= 1");
+  DLSYS_CHECK(config.max_batch <= engine->max_batch(),
+              "MicroBatcher max_batch exceeds the engine's compiled ceiling");
+  DLSYS_CHECK(config.max_delay_ms >= 0.0,
+              "MicroBatcher max_delay_ms must be non-negative");
+  in_staging_ =
+      Tensor({config.max_batch, engine->input_elems_per_example()});
+  out_staging_ =
+      Tensor({config.max_batch, engine->output_elems_per_example()});
+  pending_ids_.resize(static_cast<size_t>(config.max_batch));
+  pending_arrivals_.resize(static_cast<size_t>(config.max_batch));
+}
+
+int64_t MicroBatcher::Submit(const Tensor& example, double arrival_ms) {
+  DLSYS_CHECK(example.size() == engine_->input_elems_per_example(),
+              "MicroBatcher::Submit example size mismatch");
+  DLSYS_CHECK(arrival_ms >= clock_ms_,
+              "MicroBatcher clock must be monotone");
+  AdvanceTo(arrival_ms);  // the delay policy fires before this arrival
+  const int64_t slot = pending_count_;
+  std::copy(example.data(), example.data() + example.size(),
+            in_staging_.data() + slot * engine_->input_elems_per_example());
+  pending_ids_[static_cast<size_t>(slot)] = next_id_;
+  pending_arrivals_[static_cast<size_t>(slot)] = arrival_ms;
+  ++pending_count_;
+  if (pending_count_ == config_.max_batch) Dispatch(arrival_ms);
+  return next_id_++;
+}
+
+void MicroBatcher::AdvanceTo(double now_ms) {
+  DLSYS_CHECK(now_ms >= clock_ms_, "MicroBatcher clock must be monotone");
+  clock_ms_ = now_ms;
+  if (pending_count_ > 0 &&
+      pending_arrivals_[0] + config_.max_delay_ms <= now_ms) {
+    Dispatch(pending_arrivals_[0] + config_.max_delay_ms);
+  }
+}
+
+void MicroBatcher::Flush() {
+  if (pending_count_ > 0) Dispatch(clock_ms_);
+}
+
+void MicroBatcher::Dispatch(double start_ms) {
+  const int64_t b = pending_count_;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st =
+      engine_->PredictInto(in_staging_.data(), b, out_staging_.data());
+  const auto t1 = std::chrono::steady_clock::now();
+  DLSYS_CHECK(st.ok(), "MicroBatcher dispatch failed");
+  const double service_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const int64_t out_elems = engine_->output_elems_per_example();
+  for (int64_t i = 0; i < b; ++i) {
+    Completion done;
+    done.id = pending_ids_[static_cast<size_t>(i)];
+    done.arrival_ms = pending_arrivals_[static_cast<size_t>(i)];
+    done.start_ms = start_ms;
+    done.finish_ms = start_ms + service_ms;
+    done.batch_size = b;
+    done.output = Tensor(engine_->example_output_shape());
+    std::copy(out_staging_.data() + i * out_elems,
+              out_staging_.data() + (i + 1) * out_elems, done.output.data());
+    completions_.push_back(std::move(done));
+  }
+  pending_count_ = 0;
+  ++batches_run_;
+  clock_ms_ = std::max(clock_ms_, start_ms);
+}
+
+}  // namespace dlsys

@@ -1,0 +1,93 @@
+#ifndef DLSYS_INFER_BATCHER_H_
+#define DLSYS_INFER_BATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/infer/engine.h"
+#include "src/tensor/tensor.h"
+
+/// \file batcher.h
+/// \brief Micro-batching front door for the inference engine.
+///
+/// Serving systems trade latency for throughput by coalescing single
+/// requests into small batches (the tutorial's deployment discussion; cf.
+/// Clipper-style adaptive batching). MicroBatcher implements the standard
+/// max-batch / max-delay policy over a simulated arrival clock: a batch is
+/// dispatched when it reaches `max_batch` examples, or when the oldest
+/// pending example has waited `max_delay_ms`. The simulated clock makes
+/// arrival patterns reproducible in tests and benchmarks; only the
+/// measured engine service time is real. Staging buffers are preallocated
+/// at construction, so Submit/dispatch perform no per-request heap
+/// allocation (completions retain per-request outputs, which do allocate —
+/// the zero-allocation contract belongs to InferenceEngine::PredictInto).
+
+namespace dlsys {
+
+/// \brief Batching policy knobs.
+struct MicroBatcherConfig {
+  int64_t max_batch = 16;     ///< dispatch when this many are pending
+  double max_delay_ms = 1.0;  ///< dispatch when the oldest waited this long
+};
+
+/// \brief Coalesces single-example requests into engine batches.
+///
+/// Drive it with a monotone simulated clock: Submit(example, arrival_ms)
+/// enqueues, AdvanceTo(now_ms) fires any delay-expired batch, Flush()
+/// drains whatever is pending. Completions accumulate in submission order
+/// of dispatch.
+class MicroBatcher {
+ public:
+  /// \brief One finished request.
+  struct Completion {
+    int64_t id = 0;          ///< value returned by Submit
+    double arrival_ms = 0;   ///< simulated arrival time
+    double start_ms = 0;     ///< simulated dispatch time of its batch
+    double finish_ms = 0;    ///< start + measured engine service time
+    int64_t batch_size = 0;  ///< how many requests shared the dispatch
+    Tensor output;           ///< per-example engine output
+  };
+
+  /// \brief Wraps \p engine (borrowed; must outlive the batcher).
+  /// The policy's max_batch must not exceed the engine's compiled ceiling.
+  MicroBatcher(InferenceEngine* engine, const MicroBatcherConfig& config);
+
+  /// \brief Enqueues one example (engine's per-example input shape) at
+  /// simulated time \p arrival_ms (monotone; checked). May dispatch: first
+  /// any delay-expired pending batch, then a full batch including this
+  /// example. Returns the request id.
+  int64_t Submit(const Tensor& example, double arrival_ms);
+
+  /// \brief Advances the simulated clock, dispatching if the oldest
+  /// pending example's delay budget expires at or before \p now_ms.
+  void AdvanceTo(double now_ms);
+
+  /// \brief Dispatches all pending examples immediately.
+  void Flush();
+
+  /// \brief All completions so far, in dispatch order.
+  const std::vector<Completion>& completions() const { return completions_; }
+  /// \brief Requests submitted but not yet dispatched.
+  int64_t pending() const { return pending_count_; }
+  /// \brief Number of engine batches dispatched.
+  int64_t batches_run() const { return batches_run_; }
+
+ private:
+  void Dispatch(double start_ms);
+
+  InferenceEngine* engine_;
+  MicroBatcherConfig config_;
+  Tensor in_staging_;   ///< (max_batch, in_elems) request rows
+  Tensor out_staging_;  ///< (max_batch, out_elems)
+  std::vector<int64_t> pending_ids_;
+  std::vector<double> pending_arrivals_;
+  int64_t pending_count_ = 0;
+  int64_t next_id_ = 0;
+  int64_t batches_run_ = 0;
+  double clock_ms_ = 0.0;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_INFER_BATCHER_H_

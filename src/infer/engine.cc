@@ -1,0 +1,430 @@
+#include "src/infer/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "src/nn/conv.h"
+#include "src/nn/layers.h"
+#include "src/runtime/runtime.h"
+#include "src/tensor/int8_gemm.h"
+#include "src/tensor/ops.h"
+
+namespace dlsys {
+namespace {
+
+constexpr int64_t kEwGrain = 1 << 15;  ///< elementwise elements per range
+
+Status ShapeError(const std::string& layer, const Shape& got,
+                  const std::string& want) {
+  return Status::InvalidArgument("inference compile: layer '" + layer +
+                                 "' cannot consume activations of shape " +
+                                 ShapeToString(got) + " (expected " + want +
+                                 ")");
+}
+
+}  // namespace
+
+Result<InferenceEngine> InferenceEngine::Compile(const Sequential& net,
+                                                 const Shape& example_shape,
+                                                 const EngineConfig& config) {
+  if (config.max_batch < 1) {
+    return Status::InvalidArgument("inference compile: max_batch must be >= 1, got " +
+                                   std::to_string(config.max_batch));
+  }
+  if (example_shape.empty() || NumElements(example_shape) <= 0) {
+    return Status::InvalidArgument(
+        "inference compile: example shape must be non-empty with positive "
+        "extents, got " +
+        ShapeToString(example_shape));
+  }
+
+  InferenceEngine eng;
+  eng.config_ = config;
+  eng.in_shape_ = example_shape;
+  eng.in_elems_ = NumElements(example_shape);
+
+  Shape cur = example_shape;
+  int cur_buf = 0;
+  int64_t max_act = eng.in_elems_;
+  int64_t max_patch = 0;               // im2col scratch floats (per image)
+  int64_t max_qin = 0, max_qout = 0;   // int8 dense extents
+
+  for (int64_t li = 0; li < net.size(); ++li) {
+    const Layer* layer = net.layer(li);
+    Step step;
+
+    if (const auto* dense = dynamic_cast<const Dense*>(layer)) {
+      if (cur.size() != 1 || cur[0] != dense->in_features()) {
+        return ShapeError(layer->name(), cur,
+                          "[" + std::to_string(dense->in_features()) + "]");
+      }
+      step.in_elems = dense->in_features();
+      step.out_elems = dense->out_features();
+      step.bias = dense->bias();
+      if (config.numeric == EngineNumeric::kInt8) {
+        step.kind = Step::Kind::kDenseInt8;
+        // Weights quantize once here, per output feature: rows of W^T.
+        step.qweight = SymmetricQuantizeRows(Transpose(dense->weight()));
+        max_qin = std::max(max_qin, step.in_elems);
+        max_qout = std::max(max_qout, step.out_elems);
+      } else {
+        step.kind = Step::Kind::kDense;
+        step.weight = dense->weight();
+      }
+      step.in_buf = cur_buf;
+      step.out_buf = 1 - cur_buf;
+      cur_buf = step.out_buf;
+      cur = {step.out_elems};
+    } else if (const auto* conv = dynamic_cast<const Conv2D*>(layer)) {
+      if (cur.size() != 3 || cur[0] != conv->in_channels()) {
+        return ShapeError(layer->name(), cur,
+                          "[" + std::to_string(conv->in_channels()) +
+                              ", H, W]");
+      }
+      step.kind = Step::Kind::kConv;
+      step.in_ch = conv->in_channels();
+      step.out_ch = conv->out_channels();
+      step.kernel = conv->kernel();
+      step.stride = conv->stride();
+      step.pad = conv->pad();
+      step.h = cur[1];
+      step.w = cur[2];
+      step.ho = conv->OutExtent(step.h);
+      step.wo = conv->OutExtent(step.w);
+      if (step.ho <= 0 || step.wo <= 0) {
+        return ShapeError(layer->name(), cur,
+                          "extents yielding a positive output plane");
+      }
+      step.weight = conv->weight();
+      step.bias = conv->bias();
+      step.in_elems = NumElements(cur);
+      step.out_elems = step.out_ch * step.ho * step.wo;
+      if (config.conv_algo == ConvAlgo::kIm2col) {
+        max_patch = std::max(max_patch, step.ho * step.wo * step.in_ch *
+                                            step.kernel * step.kernel);
+      }
+      step.in_buf = cur_buf;
+      step.out_buf = 1 - cur_buf;
+      cur_buf = step.out_buf;
+      cur = {step.out_ch, step.ho, step.wo};
+    } else if (const auto* pool = dynamic_cast<const MaxPool2D*>(layer)) {
+      if (cur.size() != 3) {
+        return ShapeError(layer->name(), cur, "[C, H, W]");
+      }
+      step.kind = Step::Kind::kPool;
+      step.window = pool->window();
+      step.in_ch = cur[0];
+      step.h = cur[1];
+      step.w = cur[2];
+      step.ho = step.h / step.window;
+      step.wo = step.w / step.window;
+      if (step.ho <= 0 || step.wo <= 0) {
+        return ShapeError(layer->name(), cur,
+                          "extents at least one pooling window wide");
+      }
+      step.in_elems = NumElements(cur);
+      step.out_elems = step.in_ch * step.ho * step.wo;
+      step.in_buf = cur_buf;
+      step.out_buf = 1 - cur_buf;
+      cur_buf = step.out_buf;
+      cur = {step.in_ch, step.ho, step.wo};
+    } else if (const auto* bn = dynamic_cast<const BatchNorm1d*>(layer)) {
+      if (cur.size() != 1 || cur[0] != bn->features()) {
+        return ShapeError(layer->name(), cur,
+                          "[" + std::to_string(bn->features()) + "]");
+      }
+      step.kind = Step::Kind::kBatchNorm;
+      step.in_elems = step.out_elems = bn->features();
+      const int64_t f = bn->features();
+      step.bn_gamma.resize(static_cast<size_t>(f));
+      step.bn_beta.resize(static_cast<size_t>(f));
+      step.bn_mean.resize(static_cast<size_t>(f));
+      step.bn_inv.resize(static_cast<size_t>(f));
+      for (int64_t j = 0; j < f; ++j) {
+        step.bn_gamma[static_cast<size_t>(j)] = bn->gamma()[j];
+        step.bn_beta[static_cast<size_t>(j)] = bn->beta()[j];
+        step.bn_mean[static_cast<size_t>(j)] = bn->running_mean()[j];
+        // The exact float value the training path recomputes per element.
+        step.bn_inv[static_cast<size_t>(j)] =
+            1.0f / std::sqrt(bn->running_var()[j] + bn->epsilon());
+      }
+      step.in_buf = step.out_buf = cur_buf;
+    } else if (dynamic_cast<const ReLU*>(layer) != nullptr) {
+      step.kind = Step::Kind::kRelu;
+      step.in_elems = step.out_elems = NumElements(cur);
+      step.in_buf = step.out_buf = cur_buf;
+    } else if (dynamic_cast<const Sigmoid*>(layer) != nullptr) {
+      step.kind = Step::Kind::kSigmoid;
+      step.in_elems = step.out_elems = NumElements(cur);
+      step.in_buf = step.out_buf = cur_buf;
+    } else if (dynamic_cast<const Tanh*>(layer) != nullptr) {
+      step.kind = Step::Kind::kTanh;
+      step.in_elems = step.out_elems = NumElements(cur);
+      step.in_buf = step.out_buf = cur_buf;
+    } else if (dynamic_cast<const Flatten*>(layer) != nullptr) {
+      cur = {NumElements(cur)};  // row-major reshape: metadata only
+      continue;
+    } else if (dynamic_cast<const Dropout*>(layer) != nullptr) {
+      continue;  // identity at inference
+    } else {
+      return Status::Unimplemented(
+          "inference compile: unsupported layer '" + layer->name() + "'");
+    }
+
+    max_act = std::max(max_act, std::max(step.in_elems, step.out_elems));
+    eng.steps_.push_back(std::move(step));
+  }
+
+  eng.out_shape_ = cur;
+  eng.out_elems_ = NumElements(cur);
+  eng.final_buf_ = cur_buf;
+
+  // All workspace is reserved here, once, and never grows afterwards: the
+  // arena aborts on any later Reserve, which is the in-place reuse
+  // guarantee tests exercise deliberately.
+  eng.act_[0] = eng.arena_.ReserveFloats(max_act * config.max_batch);
+  eng.act_[1] = eng.arena_.ReserveFloats(max_act * config.max_batch);
+  if (max_patch > 0) {
+    eng.im2col_ = eng.arena_.ReserveFloats(max_patch);
+  }
+  if (max_qin > 0) {
+    eng.q_vals_ = eng.arena_.ReserveInt8s(max_qin * config.max_batch);
+    eng.q_scales_ = eng.arena_.ReserveFloats(config.max_batch);
+    eng.q_acc_ = eng.arena_.ReserveInt32s(max_qout * config.max_batch);
+  }
+  eng.arena_.Commit();
+  return eng;
+}
+
+Result<Tensor> InferenceEngine::Predict(const Tensor& batch) {
+  if (batch.rank() != static_cast<int64_t>(in_shape_.size()) + 1) {
+    return Status::InvalidArgument(
+        "Predict: batch rank " + std::to_string(batch.rank()) +
+        " does not match compiled example shape " + ShapeToString(in_shape_));
+  }
+  for (size_t d = 0; d < in_shape_.size(); ++d) {
+    if (batch.dim(static_cast<int64_t>(d) + 1) != in_shape_[d]) {
+      return Status::InvalidArgument(
+          "Predict: batch shape " + ShapeToString(batch.shape()) +
+          " does not match compiled example shape " +
+          ShapeToString(in_shape_));
+    }
+  }
+  const int64_t b = batch.dim(0);
+  Shape out_shape;
+  out_shape.reserve(out_shape_.size() + 1);
+  out_shape.push_back(b);
+  out_shape.insert(out_shape.end(), out_shape_.begin(), out_shape_.end());
+  Tensor out(std::move(out_shape));
+  DLSYS_RETURN_NOT_OK(PredictInto(batch.data(), b, out.data()));
+  return out;
+}
+
+Status InferenceEngine::PredictInto(const float* batch, int64_t batch_size,
+                                    float* out) {
+  if (batch == nullptr || out == nullptr) {
+    return Status::InvalidArgument("PredictInto: null buffer");
+  }
+  if (batch_size < 1 || batch_size > config_.max_batch) {
+    return Status::InvalidArgument(
+        "PredictInto: batch size " + std::to_string(batch_size) +
+        " outside [1, " + std::to_string(config_.max_batch) +
+        "] declared at compile time");
+  }
+  std::copy(batch, batch + batch_size * in_elems_, arena_.Floats(act_[0]));
+  for (const Step& step : steps_) {
+    RunStep(step, batch_size, arena_.Floats(act_[step.in_buf]),
+            arena_.Floats(act_[step.out_buf]));
+  }
+  const float* result = arena_.Floats(act_[final_buf_]);
+  std::copy(result, result + batch_size * out_elems_, out);
+  return Status::OK();
+}
+
+void InferenceEngine::RunStep(const Step& step, int64_t batch,
+                              const float* in, float* out) const {
+  switch (step.kind) {
+    case Step::Kind::kDense: {
+      const int64_t in_f = step.in_elems, out_f = step.out_elems;
+      MatMulInto(in, step.weight.data(), out, batch, in_f, out_f);
+      const float* pb = step.bias.data();
+      ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* row = out + i * out_f;
+          for (int64_t j = 0; j < out_f; ++j) row[j] += pb[j];
+        }
+      });
+      return;
+    }
+    case Step::Kind::kDenseInt8: {
+      const int64_t in_f = step.in_elems, out_f = step.out_elems;
+      int8_t* qv = arena_.Int8s(q_vals_);
+      float* qs = arena_.Floats(q_scales_);
+      int32_t* acc = arena_.Int32s(q_acc_);
+      SymmetricQuantizeRowsInto(in, batch, in_f, qv, qs);
+      Int8GemmTransBInto(qv, step.qweight.values.data(), acc, batch, in_f,
+                         out_f);
+      const float* ws = step.qweight.scales.data();
+      const float* pb = step.bias.data();
+      ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float sx = qs[i];
+          float* row = out + i * out_f;
+          const int32_t* arow = acc + i * out_f;
+          for (int64_t j = 0; j < out_f; ++j) {
+            row[j] = static_cast<float>(arow[j]) * sx * ws[j] + pb[j];
+          }
+        }
+      });
+      return;
+    }
+    case Step::Kind::kRelu: {
+      ParallelFor(0, batch * step.in_elems, kEwGrain,
+                  [=](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) {
+                      out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+                    }
+                  });
+      return;
+    }
+    case Step::Kind::kSigmoid: {
+      ParallelFor(0, batch * step.in_elems, kEwGrain,
+                  [=](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) {
+                      out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+                    }
+                  });
+      return;
+    }
+    case Step::Kind::kTanh: {
+      ParallelFor(0, batch * step.in_elems, kEwGrain,
+                  [=](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) {
+                      out[i] = std::tanh(in[i]);
+                    }
+                  });
+      return;
+    }
+    case Step::Kind::kBatchNorm: {
+      const int64_t f = step.in_elems;
+      const float* g = step.bn_gamma.data();
+      const float* bt = step.bn_beta.data();
+      const float* mu = step.bn_mean.data();
+      const float* inv = step.bn_inv.data();
+      ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* xrow = in + i * f;
+          float* yrow = out + i * f;
+          for (int64_t j = 0; j < f; ++j) {
+            yrow[j] = g[j] * (xrow[j] - mu[j]) * inv[j] + bt[j];
+          }
+        }
+      });
+      return;
+    }
+    case Step::Kind::kPool: {
+      const int64_t c = step.in_ch, h = step.h, w = step.w;
+      const int64_t ho = step.ho, wo = step.wo, window = step.window;
+      ParallelFor(0, batch * c, 1, [=](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+          const float* xplane = in + t * h * w;
+          float* yplane = out + t * ho * wo;
+          for (int64_t oy = 0; oy < ho; ++oy) {
+            for (int64_t ox = 0; ox < wo; ++ox) {
+              float best = -std::numeric_limits<float>::infinity();
+              for (int64_t ky = 0; ky < window; ++ky) {
+                const float* xrow =
+                    xplane + (oy * window + ky) * w + ox * window;
+                for (int64_t kx = 0; kx < window; ++kx) {
+                  if (xrow[kx] > best) best = xrow[kx];
+                }
+              }
+              yplane[oy * wo + ox] = best;
+            }
+          }
+        }
+      });
+      return;
+    }
+    case Step::Kind::kConv: {
+      const int64_t ic = step.in_ch, oc = step.out_ch;
+      const int64_t kernel = step.kernel, stride = step.stride,
+                    pad = step.pad;
+      const int64_t h = step.h, w = step.w, ho = step.ho, wo = step.wo;
+      const float* pw = step.weight.data();
+      const float* pb = step.bias.data();
+      if (config_.conv_algo == ConvAlgo::kIm2col) {
+        const int64_t kk = ic * kernel * kernel;  // patch width
+        const int64_t positions = ho * wo;
+        float* patches = arena_.Floats(im2col_);
+        for (int64_t img = 0; img < batch; ++img) {
+          const float* xin = in + img * ic * h * w;
+          // Patch layout: row = output position, columns in (ic, ky, kx)
+          // order — the direct nest's term order — with out-of-image taps
+          // zero-filled.
+          ParallelFor(0, positions, 16, [=](int64_t p0, int64_t p1) {
+            for (int64_t pos = p0; pos < p1; ++pos) {
+              const int64_t oy = pos / wo, ox = pos % wo;
+              const int64_t iy0 = oy * stride - pad;
+              const int64_t ix0 = ox * stride - pad;
+              float* prow = patches + pos * kk;
+              int64_t q = 0;
+              for (int64_t cc = 0; cc < ic; ++cc) {
+                const float* xplane = xin + cc * h * w;
+                for (int64_t ky = 0; ky < kernel; ++ky) {
+                  const int64_t iy = iy0 + ky;
+                  for (int64_t kx = 0; kx < kernel; ++kx, ++q) {
+                    const int64_t ix = ix0 + kx;
+                    prow[q] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                  ? xplane[iy * w + ix]
+                                  : 0.0f;
+                  }
+                }
+              }
+            }
+          });
+          ConvGemmBiasInto(pw, patches, pb, out + img * oc * positions, oc,
+                           kk, positions);
+        }
+      } else {
+        // Direct reference: the plain clipped loop nest, one worker per
+        // (image, out-channel) plane.
+        ParallelFor(0, batch * oc, 1, [=](int64_t t0, int64_t t1) {
+          for (int64_t t = t0; t < t1; ++t) {
+            const int64_t img = t / oc;
+            const int64_t o = t % oc;
+            const float* xin = in + img * ic * h * w;
+            const float* wbase = pw + o * ic * kernel * kernel;
+            float* yplane = out + (img * oc + o) * ho * wo;
+            for (int64_t oy = 0; oy < ho; ++oy) {
+              const int64_t iy0 = oy * stride - pad;
+              for (int64_t ox = 0; ox < wo; ++ox) {
+                const int64_t ix0 = ox * stride - pad;
+                double acc = pb[o];
+                for (int64_t cc = 0; cc < ic; ++cc) {
+                  const float* xplane = xin + cc * h * w;
+                  const float* wplane = wbase + cc * kernel * kernel;
+                  for (int64_t ky = 0; ky < kernel; ++ky) {
+                    const int64_t iy = iy0 + ky;
+                    if (iy < 0 || iy >= h) continue;
+                    for (int64_t kx = 0; kx < kernel; ++kx) {
+                      const int64_t ix = ix0 + kx;
+                      if (ix < 0 || ix >= w) continue;
+                      acc += xplane[iy * w + ix] * wplane[ky * kernel + kx];
+                    }
+                  }
+                }
+                yplane[oy * wo + ox] = static_cast<float>(acc);
+              }
+            }
+          }
+        });
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace dlsys

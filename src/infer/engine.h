@@ -1,0 +1,165 @@
+#ifndef DLSYS_INFER_ENGINE_H_
+#define DLSYS_INFER_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/compress/quantization.h"
+#include "src/core/status.h"
+#include "src/infer/arena.h"
+#include "src/nn/sequential.h"
+#include "src/tensor/tensor.h"
+
+/// \file engine.h
+/// \brief Batched inference engine: a trained Sequential compiled into a
+/// preplanned, allocation-free execution schedule.
+///
+/// Training optimizes for flexibility (any batch size, caches for the
+/// backward pass); serving optimizes for steady-state latency. Compile()
+/// walks the layer pipeline once, recognizes each layer, fixes every
+/// intermediate shape for a declared batch ceiling, and reserves all
+/// workspace in a TensorArena. After compilation the hot path
+/// (PredictInto) performs **zero heap allocations** for any batch size up
+/// to the ceiling and any DLSYS_THREADS setting.
+///
+/// ## Numerics contract
+///
+/// In fp32 mode the engine's output is **bitwise identical** to
+/// `Sequential::Forward(x, CacheMode::kNoCache)` for both conv algorithms:
+/// every kernel reproduces the training path's per-element operation
+/// sequence (see DESIGN.md §"inference engine"). The im2col algorithm
+/// rewrites convolution as patch-matrix GEMM with zero-filled padding
+/// taps; a zero product leaves a finite accumulator unchanged, so the
+/// result matches the direct path's clipped loops bit for bit.
+///
+/// In int8 mode Dense layers run as symmetric per-row quantized integer
+/// GEMM: weights are quantized per output feature at compile time,
+/// activations per example row at run time, products accumulate exactly in
+/// int32, and a float epilogue requantizes at the layer boundary:
+/// y[i][j] = (float)acc[i][j] * scale_x[i] * scale_w[j] + bias[j].
+/// Non-Dense layers keep fp32 arithmetic in int8 mode. Integer accumulation
+/// is associative, so the int8 path is also bitwise deterministic across
+/// thread counts — its divergence from fp32 is pure quantization error.
+
+namespace dlsys {
+
+/// \brief Convolution execution strategy.
+enum class ConvAlgo {
+  kIm2col,  ///< patch-matrix GEMM through ConvGemmBiasInto (default)
+  kDirect,  ///< reference loop nest; retained for bit-comparison and bench
+};
+
+/// \brief Arithmetic used for Dense layers.
+enum class EngineNumeric {
+  kFp32,  ///< full float pipeline, bitwise equal to training forward
+  kInt8,  ///< int8 x int8 -> int32 Dense GEMM with float requantization
+};
+
+/// \brief Compile-time engine options.
+struct EngineConfig {
+  int64_t max_batch = 64;  ///< largest batch PredictInto will accept
+  ConvAlgo conv_algo = ConvAlgo::kIm2col;
+  EngineNumeric numeric = EngineNumeric::kFp32;
+};
+
+/// \brief A compiled, arena-backed forward pipeline for one model.
+///
+/// Thread-compatible: one engine serves one request at a time (the
+/// workspace is shared across calls); wrap with MicroBatcher or external
+/// queuing for concurrent producers. Holds its own copies of all
+/// parameters — the source network may be freed or mutated afterwards.
+class InferenceEngine {
+ public:
+  /// \brief Compiles \p net for inputs of per-example shape
+  /// \p example_shape (no batch dimension).
+  ///
+  /// Returns InvalidArgument when shapes do not thread through the
+  /// pipeline or the config is malformed, and Unimplemented for layer
+  /// types the engine does not recognize. Dropout layers compile to
+  /// identity, matching inference-mode training semantics.
+  static Result<InferenceEngine> Compile(const Sequential& net,
+                                         const Shape& example_shape,
+                                         const EngineConfig& config = {});
+
+  InferenceEngine(InferenceEngine&&) = default;
+  InferenceEngine& operator=(InferenceEngine&&) = default;
+
+  /// \brief Runs a batch (rank 1 + example rank, leading dim <= max_batch)
+  /// and returns a freshly allocated output tensor.
+  Result<Tensor> Predict(const Tensor& batch);
+
+  /// \brief Allocation-free forward: \p batch points at \p batch_size
+  /// row-major examples of input_elems_per_example() floats; \p out
+  /// receives batch_size * output_elems_per_example() floats.
+  Status PredictInto(const float* batch, int64_t batch_size, float* out);
+
+  /// \brief Per-example input shape the engine was compiled for.
+  const Shape& example_input_shape() const { return in_shape_; }
+  /// \brief Per-example output shape.
+  const Shape& example_output_shape() const { return out_shape_; }
+  /// \brief Flat input element count per example.
+  int64_t input_elems_per_example() const { return in_elems_; }
+  /// \brief Flat output element count per example.
+  int64_t output_elems_per_example() const { return out_elems_; }
+  /// \brief Batch ceiling declared at compile time.
+  int64_t max_batch() const { return config_.max_batch; }
+  /// \brief The compile-time configuration.
+  const EngineConfig& config() const { return config_; }
+  /// \brief Committed workspace bytes (activations + scratch).
+  int64_t workspace_bytes() const { return arena_.total_bytes(); }
+  /// \brief Number of executable steps in the compiled schedule.
+  int64_t step_count() const { return static_cast<int64_t>(steps_.size()); }
+
+ private:
+  struct Step {
+    enum class Kind {
+      kDense,
+      kDenseInt8,
+      kConv,
+      kPool,
+      kRelu,
+      kSigmoid,
+      kTanh,
+      kBatchNorm,
+    };
+
+    Kind kind = Kind::kRelu;
+    int in_buf = 0;   ///< index into act_ (ping-pong pair)
+    int out_buf = 0;  ///< == in_buf for in-place steps
+    int64_t in_elems = 0;   ///< per-example input elements
+    int64_t out_elems = 0;  ///< per-example output elements
+
+    Tensor weight;  ///< dense: (in, out); conv: (oc, ic, k, k)
+    Tensor bias;
+    SymmetricInt8Matrix qweight;  ///< int8 dense: (out_features, in_features)
+
+    int64_t in_ch = 0, out_ch = 0, kernel = 0, stride = 0, pad = 0;
+    int64_t h = 0, w = 0, ho = 0, wo = 0;  ///< spatial extents
+    int64_t window = 0;                    ///< pooling
+
+    /// BatchNorm inference constants; inv[j] = 1/sqrt(running_var+eps),
+    /// the exact value the training path recomputes per element.
+    std::vector<float> bn_gamma, bn_beta, bn_mean, bn_inv;
+  };
+
+  InferenceEngine() = default;
+
+  void RunStep(const Step& step, int64_t batch, const float* in,
+               float* out) const;
+
+  EngineConfig config_;
+  Shape in_shape_, out_shape_;
+  int64_t in_elems_ = 0, out_elems_ = 0;
+  std::vector<Step> steps_;
+  TensorArena arena_;
+  TensorArena::BufferId act_[2] = {-1, -1};  ///< ping-pong activations
+  TensorArena::BufferId im2col_ = -1;        ///< per-image patch scratch
+  TensorArena::BufferId q_vals_ = -1;        ///< int8 activation codes
+  TensorArena::BufferId q_scales_ = -1;      ///< per-row activation scales
+  TensorArena::BufferId q_acc_ = -1;         ///< int32 GEMM accumulators
+  int final_buf_ = 0;  ///< act_ index holding the last step's output
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_INFER_ENGINE_H_

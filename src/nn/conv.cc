@@ -145,34 +145,86 @@ Tensor Conv2D::Backward(const Tensor& grad_output) {
   const float* pw = w_.data();
   float* pdx = dx.data();
   float* pdw = dw_.data();
-  for (int64_t img = 0; img < n; ++img) {
-    for (int64_t oc = 0; oc < out_ch_; ++oc) {
-      for (int64_t oy = 0; oy < ho; ++oy) {
-        for (int64_t ox = 0; ox < wo; ++ox) {
-          const float g = pg[((img * out_ch_ + oc) * ho + oy) * wo + ox];
-          if (g == 0.0f) continue;
-          db_[oc] += g;
-          const int64_t iy0 = oy * stride_ - pad_;
-          const int64_t ix0 = ox * stride_ - pad_;
-          for (int64_t ic = 0; ic < in_ch_; ++ic) {
-            for (int64_t ky = 0; ky < kernel_; ++ky) {
+  float* pdb = db_.data();
+  const int64_t in_ch = in_ch_, out_ch = out_ch_;
+  const int64_t kernel = kernel_, stride = stride_, pad = pad_;
+  // Three disjoint-output passes replace the serial fused loop. Each pass
+  // partitions its own accumulator — dx by (image, in-channel) plane, dw
+  // and db by out-channel — so no two workers ever touch the same element,
+  // and each element receives its contributions in exactly the serial
+  // nest's order (dx: ascending (oc, oy, ox, ky, kx); dw and db: ascending
+  // (img, oy, ox)). The `g == 0` skip is kept in every pass: ReLU upstream
+  // makes roughly half the gradient zeros, and skipping preserves the
+  // serial path's operation sequence term for term.
+  ParallelFor(0, n * in_ch, 1, [=](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t img = t / in_ch;
+      const int64_t ic = t % in_ch;
+      float* dxplane = pdx + (img * in_ch + ic) * h * w;
+      for (int64_t oc = 0; oc < out_ch; ++oc) {
+        const float* wplane = pw + (oc * in_ch + ic) * kernel * kernel;
+        const float* gplane = pg + (img * out_ch + oc) * ho * wo;
+        for (int64_t oy = 0; oy < ho; ++oy) {
+          const int64_t iy0 = oy * stride - pad;
+          for (int64_t ox = 0; ox < wo; ++ox) {
+            const float g = gplane[oy * wo + ox];
+            if (g == 0.0f) continue;
+            const int64_t ix0 = ox * stride - pad;
+            for (int64_t ky = 0; ky < kernel; ++ky) {
               const int64_t iy = iy0 + ky;
               if (iy < 0 || iy >= h) continue;
-              for (int64_t kx = 0; kx < kernel_; ++kx) {
+              for (int64_t kx = 0; kx < kernel; ++kx) {
                 const int64_t ix = ix0 + kx;
                 if (ix < 0 || ix >= w) continue;
-                const int64_t xi = ((img * in_ch_ + ic) * h + iy) * w + ix;
-                const int64_t wi =
-                    ((oc * in_ch_ + ic) * kernel_ + ky) * kernel_ + kx;
-                pdw[wi] += g * px[xi];
-                pdx[xi] += g * pw[wi];
+                dxplane[iy * w + ix] += g * wplane[ky * kernel + kx];
               }
             }
           }
         }
       }
     }
-  }
+  });
+  ParallelFor(0, out_ch, 1, [=](int64_t c0, int64_t c1) {
+    for (int64_t oc = c0; oc < c1; ++oc) {
+      float* dwbase = pdw + oc * in_ch * kernel * kernel;
+      for (int64_t img = 0; img < n; ++img) {
+        const float* gplane = pg + (img * out_ch + oc) * ho * wo;
+        for (int64_t oy = 0; oy < ho; ++oy) {
+          const int64_t iy0 = oy * stride - pad;
+          for (int64_t ox = 0; ox < wo; ++ox) {
+            const float g = gplane[oy * wo + ox];
+            if (g == 0.0f) continue;
+            const int64_t ix0 = ox * stride - pad;
+            for (int64_t ic = 0; ic < in_ch; ++ic) {
+              const float* xplane = px + (img * in_ch + ic) * h * w;
+              float* dwplane = dwbase + ic * kernel * kernel;
+              for (int64_t ky = 0; ky < kernel; ++ky) {
+                const int64_t iy = iy0 + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (int64_t kx = 0; kx < kernel; ++kx) {
+                  const int64_t ix = ix0 + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  dwplane[ky * kernel + kx] += g * xplane[iy * w + ix];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  ParallelFor(0, out_ch, 1, [=](int64_t c0, int64_t c1) {
+    for (int64_t oc = c0; oc < c1; ++oc) {
+      for (int64_t img = 0; img < n; ++img) {
+        const float* gplane = pg + (img * out_ch + oc) * ho * wo;
+        for (int64_t i = 0; i < ho * wo; ++i) {
+          const float g = gplane[i];
+          if (g == 0.0f) continue;
+          pdb[oc] += g;
+        }
+      }
+    }
+  });
   return dx;
 }
 
@@ -247,10 +299,18 @@ Tensor MaxPool2D::Backward(const Tensor& grad_output) {
   DLSYS_CHECK(!argmax_.empty(), "MaxPool2D::Backward without cached forward");
   Tensor dx(in_shape_);
   const float* pg = grad_output.data();
+  const int64_t* pam = argmax_.data();
   float* pdx = dx.data();
-  for (int64_t i = 0; i < grad_output.size(); ++i) {
-    pdx[argmax_[static_cast<size_t>(i)]] += pg[i];
-  }
+  // Each argmax index stays inside its own (image, channel) plane, so
+  // scattering plane by plane keeps workers on disjoint dx ranges; within
+  // a plane the flat ascending-i order matches the serial loop.
+  const int64_t plane = grad_output.dim(2) * grad_output.dim(3);
+  ParallelFor(0, grad_output.dim(0) * grad_output.dim(1), 1,
+              [=](int64_t t0, int64_t t1) {
+                for (int64_t i = t0 * plane; i < t1 * plane; ++i) {
+                  pdx[pam[i]] += pg[i];
+                }
+              });
   return dx;
 }
 

@@ -40,6 +40,15 @@ class Conv2D : public Layer {
     return (in + 2 * pad_ - kernel_) / stride_ + 1;
   }
 
+  /// Configuration and parameter views for graph compilers (src/infer).
+  int64_t in_channels() const { return in_ch_; }
+  int64_t out_channels() const { return out_ch_; }
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+  int64_t pad() const { return pad_; }
+  const Tensor& weight() const { return w_; }
+  const Tensor& bias() const { return b_; }
+
  private:
   int64_t in_ch_, out_ch_, kernel_, stride_, pad_;
   Tensor w_;  ///< (out_ch, in_ch, k, k)
@@ -68,6 +77,9 @@ class MaxPool2D : public Layer {
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<MaxPool2D>(window_);
   }
+
+  /// \brief Pooling window extent (equal to the stride).
+  int64_t window() const { return window_; }
 
  private:
   int64_t window_;

@@ -35,8 +35,10 @@ class Dense : public Layer {
   int64_t out_features() const { return out_; }
   /// \brief Weight matrix (in x out).
   Tensor& weight() { return w_; }
+  const Tensor& weight() const { return w_; }
   /// \brief Bias vector (out).
   Tensor& bias() { return b_; }
+  const Tensor& bias() const { return b_; }
 
  private:
   int64_t in_;
@@ -153,6 +155,14 @@ class BatchNorm1d : public Layer {
     inv_std_.Clear();
   }
   std::unique_ptr<Layer> Clone() const override;
+
+  /// Inference-time views for graph compilers (src/infer).
+  int64_t features() const { return features_; }
+  float epsilon() const { return epsilon_; }
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
 
  private:
   int64_t features_;

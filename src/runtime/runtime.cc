@@ -1,8 +1,6 @@
 #include "src/runtime/runtime.h"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -56,27 +54,6 @@ struct Runtime {
   }
 };
 
-/// Blocks until \p expected completions have been signalled.
-class CompletionLatch {
- public:
-  explicit CompletionLatch(int64_t expected) : remaining_(expected) {}
-
-  void Done() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--remaining_ == 0) cv_.notify_all();
-  }
-
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return remaining_ == 0; });
-  }
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t remaining_;
-};
-
 }  // namespace
 
 int RuntimeConfig::Threads() {
@@ -104,7 +81,7 @@ int RuntimeConfig::DefaultThreads() {
 }
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body) {
+                 ParallelBody body) {
   const int64_t total = end - begin;
   if (total <= 0) return;
   if (grain < 1) grain = 1;
@@ -130,29 +107,17 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // Static contiguous partition: chunk c covers [begin + c*base + min(c,rem),
   // ...) with the first `rem` chunks one element longer. The partition is a
   // pure function of (total, chunks); chunk contents never migrate or split.
+  // The pool derives each worker's chunk from the same closed form, so
+  // dispatch builds no task objects and performs no heap allocation.
   const int64_t chunks =
       std::min<int64_t>(threads, (total + grain - 1) / grain);
-  const int64_t base = total / chunks;
-  const int64_t rem = total % chunks;
-
-  CompletionLatch latch(chunks - 1);
-  int64_t lo = begin + base + (rem > 0 ? 1 : 0);  // chunk 0 runs inline below
-  for (int64_t c = 1; c < chunks; ++c) {
-    const int64_t len = base + (c < rem ? 1 : 0);
-    const int64_t hi = lo + len;
-    pool->Submit([&body, &latch, lo, hi] {
-      t_in_parallel_region = true;
-      body(lo, hi);
-      t_in_parallel_region = false;
-      latch.Done();
-    });
-    lo = hi;
-  }
-
-  t_in_parallel_region = true;
-  body(begin, begin + base + (rem > 0 ? 1 : 0));
-  t_in_parallel_region = false;
-  latch.Wait();
+  const auto guarded = [&body](int64_t lo, int64_t hi) {
+    t_in_parallel_region = true;
+    body(lo, hi);
+    t_in_parallel_region = false;
+  };
+  const ParallelBody guarded_body(guarded);
+  pool->RunParallel(guarded_body, begin, total, chunks);
 }
 
 }  // namespace dlsys

@@ -2,7 +2,6 @@
 #define DLSYS_RUNTIME_RUNTIME_H_
 
 #include <cstdint>
-#include <functional>
 
 /// \file runtime.h
 /// \brief The CPU execution runtime: process-wide thread configuration and
@@ -48,6 +47,30 @@ class RuntimeConfig {
   static int DefaultThreads();
 };
 
+/// \brief Non-owning reference to a `void(int64_t, int64_t)` callable.
+///
+/// ParallelFor takes its body by ParallelBody instead of std::function so
+/// that dispatching a kernel never heap-allocates: a lambda with captures
+/// larger than std::function's small-buffer would otherwise cost one
+/// allocation per kernel launch, which both slows the hot path and breaks
+/// the inference engine's zero-steady-state-allocation contract. The
+/// referenced callable must outlive the ParallelFor call (always true for
+/// a lambda argument, which lives to the end of the full expression).
+class ParallelBody {
+ public:
+  template <typename F>
+  ParallelBody(const F& f)  // NOLINT(runtime/explicit): adapter by design
+      : obj_(&f), invoke_([](const void* o, int64_t lo, int64_t hi) {
+          (*static_cast<const F*>(o))(lo, hi);
+        }) {}
+
+  void operator()(int64_t lo, int64_t hi) const { invoke_(obj_, lo, hi); }
+
+ private:
+  const void* obj_;
+  void (*invoke_)(const void*, int64_t, int64_t);
+};
+
 /// \brief Runs \p body over [begin, end) with static contiguous
 /// partitioning across the configured workers.
 ///
@@ -61,9 +84,11 @@ class RuntimeConfig {
 /// The partition is static: ranges are computed up front from the total
 /// extent alone and never stolen or re-split, which is what makes every
 /// kernel built on this primitive bitwise deterministic across thread
-/// counts (see file comment).
+/// counts (see file comment). Dispatch is allocation-free: the body is
+/// passed by reference and the worker pool hands out ranges through a
+/// generation-stamped fork-join protocol rather than a task queue.
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body);
+                 ParallelBody body);
 
 }  // namespace dlsys
 

@@ -1,13 +1,13 @@
 #include "src/runtime/thread_pool.h"
 
-#include <utility>
+#include "src/core/status.h"
 
 namespace dlsys {
 
 ThreadPool::ThreadPool(int num_workers) {
   workers_.reserve(num_workers > 0 ? static_cast<size_t>(num_workers) : 0);
   for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -16,29 +16,63 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  work_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::RunParallel(const ParallelBody& body, int64_t begin,
+                             int64_t total, int64_t chunks) {
+  DLSYS_CHECK(chunks >= 1 && chunks <= num_workers() + 1,
+              "RunParallel chunk count out of range");
+  if (chunks == 1) {
+    body(begin, begin + total);
+    return;
+  }
+  const int64_t base = total / chunks;
+  const int64_t rem = total % chunks;
+  std::lock_guard<std::mutex> run_lock(run_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    region_.body = &body;
+    region_.begin = begin;
+    region_.base = base;
+    region_.rem = rem;
+    region_.chunks = chunks;
+    remaining_ = chunks - 1;
+    ++generation_;
   }
-  cv_.notify_one();
+  work_cv_.notify_all();
+
+  // Chunk 0 runs on the caller: [begin, begin + base + (rem ? 1 : 0)).
+  body(begin, begin + base + (rem > 0 ? 1 : 0));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  uint64_t seen = 0;
   for (;;) {
-    std::function<void()> task;
+    Region region;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      region = region_;
     }
-    task();
+    // Worker i owns chunk i + 1; workers beyond the chunk count sit this
+    // region out and are not counted in remaining_.
+    const int64_t c = worker_index + 1;
+    if (c >= region.chunks) continue;
+    const int64_t lo =
+        region.begin + c * region.base + (c < region.rem ? c : region.rem);
+    const int64_t hi = lo + region.base + (c < region.rem ? 1 : 0);
+    (*region.body)(lo, hi);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
   }
 }
 

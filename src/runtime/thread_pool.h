@@ -2,49 +2,79 @@
 #define DLSYS_RUNTIME_THREAD_POOL_H_
 
 #include <condition_variable>
-#include <deque>
-#include <functional>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/runtime/runtime.h"
+
 /// \file thread_pool.h
-/// \brief A minimal fixed-size worker pool for the CPU execution runtime.
+/// \brief A fixed-size fork-join worker pool for the CPU execution runtime.
 ///
-/// The pool owns N long-lived worker threads pulling from a single locked
-/// queue. It is intentionally simple: the determinism contract of the
-/// runtime (see runtime.h) lives entirely in *how work is partitioned*,
-/// not in the pool — the pool only provides cheap reusable threads so
-/// ParallelFor does not pay a thread-spawn per kernel launch.
+/// The pool owns N long-lived worker threads that execute one parallel
+/// region at a time. A region is published as (body, begin, base, rem,
+/// chunks) under a generation counter; worker i derives its chunk [lo, hi)
+/// from its own index with the same closed-form partition ParallelFor has
+/// always used, so no task objects are built and no queue is touched —
+/// launching a region performs **zero heap allocations**. This matters
+/// twice: dispatch latency on small kernels, and the inference engine's
+/// zero-steady-state-allocation contract (src/infer), which must hold at
+/// every DLSYS_THREADS. The determinism contract of the runtime (see
+/// runtime.h) still lives entirely in how work is partitioned; the pool
+/// only decides which core runs a chunk, never what the chunk contains.
 
 namespace dlsys {
 
-/// \brief Fixed-size thread pool executing submitted closures FIFO.
+/// \brief Fixed-size fork-join pool executing one parallel region at a time.
 ///
-/// Thread-safe. Destruction drains the queue: already-submitted tasks
-/// finish before workers join.
+/// Thread-safe: concurrent RunParallel calls from different threads
+/// serialize on an internal mutex. Destruction joins all workers; it must
+/// not race with an active RunParallel (RunParallel blocks until its
+/// region completes, so this holds whenever the caller owns the pool).
 class ThreadPool {
  public:
-  /// Spawns \p num_workers worker threads (may be 0, making Submit run
-  /// nothing until tasks are drained by nobody — callers guard this).
+  /// Spawns \p num_workers worker threads (>= 0).
   explicit ThreadPool(int num_workers);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// \brief Enqueues \p task for execution on some worker.
-  void Submit(std::function<void()> task);
+  /// \brief Executes \p body over the static partition of
+  /// [begin, begin + total) into \p chunks contiguous ranges.
+  ///
+  /// Chunk c covers [begin + c*base + min(c, rem), ...) with the first
+  /// `rem = total % chunks` chunks one element longer — the partition is a
+  /// pure function of (begin, total, chunks). Chunk 0 runs inline on the
+  /// caller; chunk c >= 1 runs on worker c-1. Blocks until every chunk has
+  /// finished. Requires 1 <= chunks <= num_workers() + 1. Allocation-free.
+  void RunParallel(const ParallelBody& body, int64_t begin, int64_t total,
+                   int64_t chunks);
 
   /// \brief Number of worker threads owned by the pool.
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  /// One published parallel region.
+  struct Region {
+    const ParallelBody* body = nullptr;
+    int64_t begin = 0;
+    int64_t base = 0;    ///< total / chunks
+    int64_t rem = 0;     ///< total % chunks
+    int64_t chunks = 0;  ///< ranges including the caller's chunk 0
+  };
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  void WorkerLoop(int worker_index);
+
+  std::mutex run_mu_;  ///< serializes concurrent RunParallel callers
+
+  std::mutex mu_;                     ///< guards all fields below
+  std::condition_variable work_cv_;   ///< workers wait for a new generation
+  std::condition_variable done_cv_;   ///< caller waits for remaining_ == 0
+  uint64_t generation_ = 0;
+  Region region_;
+  int64_t remaining_ = 0;  ///< participating workers not yet finished
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

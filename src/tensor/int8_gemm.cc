@@ -1,0 +1,60 @@
+#include "src/tensor/int8_gemm.h"
+
+#include "src/runtime/runtime.h"
+
+namespace dlsys {
+
+void Int8GemmTransBInto(const int8_t* a, const int8_t* b, int32_t* c,
+                        int64_t m, int64_t k, int64_t n) {
+  ParallelFor(0, m, 8, [=](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int8_t* arow = a + i * k;
+      int64_t j = 0;
+      // Four independent output columns per iteration: four int32
+      // accumulators in flight hide the load latency, and each inner
+      // reduction vectorizes (integer adds reassociate freely).
+      for (; j + 4 <= n; j += 4) {
+        const int8_t* b0 = b + (j + 0) * k;
+        const int8_t* b1 = b + (j + 1) * k;
+        const int8_t* b2 = b + (j + 2) * k;
+        const int8_t* b3 = b + (j + 3) * k;
+        int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (int64_t p = 0; p < k; ++p) {
+          const int32_t av = arow[p];
+          s0 += av * b0[p];
+          s1 += av * b1[p];
+          s2 += av * b2[p];
+          s3 += av * b3[p];
+        }
+        c[i * n + j + 0] = s0;
+        c[i * n + j + 1] = s1;
+        c[i * n + j + 2] = s2;
+        c[i * n + j + 3] = s3;
+      }
+      for (; j < n; ++j) {
+        const int8_t* brow = b + j * k;
+        int32_t s = 0;
+        for (int64_t p = 0; p < k; ++p) {
+          s += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
+        }
+        c[i * n + j] = s;
+      }
+    }
+  });
+}
+
+void NaiveInt8GemmTransBInto(const int8_t* a, const int8_t* b, int32_t* c,
+                             int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t s = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        s += static_cast<int32_t>(a[i * k + p]) *
+             static_cast<int32_t>(b[j * k + p]);
+      }
+      c[i * n + j] = s;
+    }
+  }
+}
+
+}  // namespace dlsys

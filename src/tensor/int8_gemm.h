@@ -1,0 +1,38 @@
+#ifndef DLSYS_TENSOR_INT8_GEMM_H_
+#define DLSYS_TENSOR_INT8_GEMM_H_
+
+#include <cstdint>
+
+/// \file int8_gemm.h
+/// \brief Integer GEMM kernel for the quantized inference path.
+///
+/// The int8 inference path (src/infer) stores Dense weights as symmetric
+/// per-row int8 (src/compress/quantization.h), quantizes activations per
+/// row on the fly, and runs the matrix product entirely in integers:
+/// int8 x int8 products accumulated in int32. Integer addition is
+/// associative, so — unlike the float kernels — the compiler is free to
+/// reorder and vectorize the reduction without breaking determinism; the
+/// result is exact for any thread count and any instruction schedule.
+/// A float requantization epilogue in the engine maps the int32
+/// accumulators back to fp32 activations at each layer boundary.
+
+namespace dlsys {
+
+/// \brief C(MxN) = A(MxK) * B(NxK)^T over int8 inputs, int32 accumulation.
+///
+/// C[i][j] = sum_p (int32)a[i*k+p] * (int32)b[j*k+p]. B is row-major
+/// N x K — the natural layout for a weight matrix quantized per output
+/// row — so both operands stream contiguously. Row-parallel via
+/// ParallelFor and allocation-free; the maximum K for which overflow is
+/// impossible (127*127*K < 2^31) exceeds 10^5, far beyond any layer here.
+void Int8GemmTransBInto(const int8_t* a, const int8_t* b, int32_t* c,
+                        int64_t m, int64_t k, int64_t n);
+
+/// \brief Reference loop nest for Int8GemmTransBInto (exact, so results
+/// must match the optimised kernel bit-for-bit at every thread count).
+void NaiveInt8GemmTransBInto(const int8_t* a, const int8_t* b, int32_t* c,
+                             int64_t m, int64_t k, int64_t n);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_TENSOR_INT8_GEMM_H_

@@ -177,6 +177,55 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+void MatMulInto(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n) {
+  ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
+    // MatMulRange accumulates into C (edge tiles use +=), so the owned row
+    // range is zeroed first; a freshly allocated Tensor got this for free.
+    std::fill(c + i0 * n, c + i1 * n, 0.0f);
+    MatMulRange(a, b, c, i0, i1, k, n);
+  });
+}
+
+void ConvGemmBiasInto(const float* a, const float* b, const float* bias,
+                      float* c, int64_t m, int64_t k, int64_t n) {
+  // Rows are output channels (few); columns are spatial positions (many),
+  // so the column range is what gets partitioned. Each element is owned by
+  // exactly one range and accumulated bias-first, ascending-p, in a double
+  // — the direct convolution's exact operation sequence.
+  ParallelFor(0, n, 64, [=](int64_t j0, int64_t j1) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      const double bias_i = static_cast<double>(bias[i]);
+      int64_t j = j0;
+      for (; j + 4 <= j1; j += 4) {
+        const float* b0 = b + (j + 0) * k;
+        const float* b1 = b + (j + 1) * k;
+        const float* b2 = b + (j + 2) * k;
+        const float* b3 = b + (j + 3) * k;
+        double s0 = bias_i, s1 = bias_i, s2 = bias_i, s3 = bias_i;
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = arow[p];
+          s0 += av * b0[p];
+          s1 += av * b1[p];
+          s2 += av * b2[p];
+          s3 += av * b3[p];
+        }
+        c[i * n + j + 0] = static_cast<float>(s0);
+        c[i * n + j + 1] = static_cast<float>(s1);
+        c[i * n + j + 2] = static_cast<float>(s2);
+        c[i * n + j + 3] = static_cast<float>(s3);
+      }
+      for (; j < j1; ++j) {
+        const float* brow = b + j * k;
+        double s = bias_i;
+        for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        c[i * n + j] = static_cast<float>(s);
+      }
+    }
+  });
+}
+
 // ------------------------------------------------- naive references
 //
 // The seed library's loop nests, retained verbatim minus the
@@ -337,12 +386,17 @@ std::vector<int64_t> ArgMaxRows(const Tensor& m) {
 }
 
 Tensor OneHot(const std::vector<int64_t>& labels, int64_t num_classes) {
-  Tensor out({static_cast<int64_t>(labels.size()), num_classes});
-  for (size_t i = 0; i < labels.size(); ++i) {
-    DLSYS_CHECK(labels[i] >= 0 && labels[i] < num_classes,
-                "label out of range");
-    out.at(static_cast<int64_t>(i), labels[i]) = 1.0f;
-  }
+  const int64_t n = static_cast<int64_t>(labels.size());
+  Tensor out({n, num_classes});
+  const int64_t* plabels = labels.data();
+  float* pout = out.data();
+  ParallelFor(0, n, 256, [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      DLSYS_CHECK(plabels[i] >= 0 && plabels[i] < num_classes,
+                  "label out of range");
+      pout[i * num_classes + plabels[i]] = 1.0f;
+    }
+  });
   return out;
 }
 
@@ -350,9 +404,17 @@ Tensor MeanRows(const Tensor& m) {
   DLSYS_CHECK(m.rank() == 2, "MeanRows requires rank 2");
   const int64_t n = m.dim(0), c = m.dim(1);
   Tensor out({c});
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < c; ++j) out[j] += m[i * c + j];
-  }
+  const float* pin = m.data();
+  float* pout = out.data();
+  // Workers own disjoint column ranges; each column sums rows in ascending
+  // i, the serial loop's per-element order, so results are bitwise stable
+  // across thread counts.
+  ParallelFor(0, c, 8, [=](int64_t j0, int64_t j1) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = pin + i * c;
+      for (int64_t j = j0; j < j1; ++j) pout[j] += row[j];
+    }
+  });
   if (n > 0) Scale(1.0f / static_cast<float>(n), &out);
   return out;
 }
@@ -363,7 +425,12 @@ Tensor SliceRows(const Tensor& m, int64_t begin, int64_t end) {
               "SliceRows range invalid");
   const int64_t c = m.dim(1);
   Tensor out({end - begin, c});
-  std::copy(m.data() + begin * c, m.data() + end * c, out.data());
+  const float* pin = m.data();
+  float* pout = out.data();
+  const int64_t row_grain = std::max<int64_t>(1, kEwGrain / std::max<int64_t>(c, 1));
+  ParallelFor(0, end - begin, row_grain, [=](int64_t r0, int64_t r1) {
+    std::copy(pin + (begin + r0) * c, pin + (begin + r1) * c, pout + r0 * c);
+  });
   return out;
 }
 

@@ -41,6 +41,28 @@ Tensor NaiveMatMulTransA(const Tensor& a, const Tensor& b);
 /// NaiveMatMul).
 Tensor NaiveMatMulTransB(const Tensor& a, const Tensor& b);
 
+/// \brief C(MxN) = A(MxK) * B(KxN) written into caller storage \p c.
+///
+/// The same blocked kernel as MatMul (bitwise identical output), but
+/// allocation-free: \p c is zeroed and overwritten in place. The inference
+/// engine's arena-planned hot loop dispatches through this entry point.
+void MatMulInto(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n);
+
+/// \brief C(MxN) = bias(M) + A(MxK) * B(NxK)^T into caller storage, with
+/// the convolution forward's accumulation semantics.
+///
+/// Each output element starts from bias[i] in a double accumulator and
+/// adds float products a[i,p]*b[j,p] in ascending p — exactly the
+/// (ic, ky, kx) term order of Conv2D's direct loop nest. With A = the
+/// (out_ch x in_ch*k*k) weight matrix and B = im2col patches (positions x
+/// in_ch*k*k), the result is the conv output plane, bitwise identical to
+/// the direct path on finite data (padded zero taps add +/-0.0f products,
+/// which leave a finite accumulator unchanged). Register-tiled over four
+/// output columns, row-parallel, allocation-free.
+void ConvGemmBiasInto(const float* a, const float* b, const float* bias,
+                      float* c, int64_t m, int64_t k, int64_t n);
+
 /// \brief Returns a + b elementwise (same shape required).
 Tensor Add(const Tensor& a, const Tensor& b);
 /// \brief Returns a - b elementwise (same shape required).

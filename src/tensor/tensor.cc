@@ -11,6 +11,7 @@ MemoryTracker& MemoryTracker::Global() {
 }
 
 void MemoryTracker::Allocate(int64_t bytes) {
+  alloc_count_.fetch_add(1);
   int64_t now = current_.fetch_add(bytes) + bytes;
   int64_t peak = peak_.load();
   while (now > peak && !peak_.compare_exchange_weak(peak, now)) {

@@ -40,9 +40,18 @@ class MemoryTracker {
   /// \brief Resets the peak to the current level.
   void ResetPeak() { peak_.store(current_.load()); }
 
+  /// \brief Tensor allocation events since process start (monotone).
+  ///
+  /// Sampling this counter around a code region bounds how many tensor
+  /// allocations the region performed — the inference engine's
+  /// zero-steady-state-allocation contract is tested exactly this way
+  /// (see tests/test_inference.cc).
+  int64_t allocation_count() const { return alloc_count_.load(); }
+
  private:
   std::atomic<int64_t> current_{0};
   std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> alloc_count_{0};
 };
 
 /// \brief Tensor shape: a list of non-negative dimension extents.

@@ -187,6 +187,145 @@ TEST(ConvDeterminismTest, BitwiseIdenticalAcrossThreadCountsAndToNaive) {
   RuntimeConfig::SetThreads(1);
 }
 
+/// The seed repo's fused serial Conv2D backward loop nest, retained as the
+/// reference for the three-pass parallel implementation.
+struct ConvGrads {
+  Tensor dx, dw, db;
+};
+
+ConvGrads NaiveConvBackward(const Tensor& x, const Tensor& w,
+                            const Tensor& grad, int64_t stride, int64_t pad) {
+  const int64_t n = x.dim(0), in_ch = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const int64_t out_ch = w.dim(0), kernel = w.dim(2);
+  const int64_t ho = grad.dim(2), wo = grad.dim(3);
+  ConvGrads out{Tensor(x.shape()), Tensor(w.shape()), Tensor({out_ch})};
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t oc = 0; oc < out_ch; ++oc) {
+      for (int64_t oy = 0; oy < ho; ++oy) {
+        for (int64_t ox = 0; ox < wo; ++ox) {
+          const float g = grad[((img * out_ch + oc) * ho + oy) * wo + ox];
+          if (g == 0.0f) continue;
+          out.db[oc] += g;
+          const int64_t iy0 = oy * stride - pad;
+          const int64_t ix0 = ox * stride - pad;
+          for (int64_t ic = 0; ic < in_ch; ++ic) {
+            for (int64_t ky = 0; ky < kernel; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kernel; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= wd) continue;
+                const int64_t xi = ((img * in_ch + ic) * h + iy) * wd + ix;
+                const int64_t wi =
+                    ((oc * in_ch + ic) * kernel + ky) * kernel + kx;
+                out.dw[wi] += g * x[xi];
+                out.dx[xi] += g * w[wi];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ConvDeterminismTest, BackwardBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(14);
+  Conv2D conv(4, 6, 3, 1, 1);
+  conv.Init(&rng);
+  Tensor x({2, 4, 8, 8});
+  x.FillGaussian(&rng, 1.0f);
+  Tensor grad({2, 6, 8, 8});
+  grad.FillGaussian(&rng, 1.0f);
+  // Roughly half the gradient zeroed, as a ReLU upstream would leave it:
+  // this exercises the g == 0 skip the parallel passes must preserve.
+  for (int64_t i = 0; i < grad.size(); i += 2) grad[i] = 0.0f;
+
+  std::vector<Tensor*> params = conv.Params();  // {weights, bias}
+  const ConvGrads ref =
+      NaiveConvBackward(x, *params[0], grad, /*stride=*/1, /*pad=*/1);
+
+  for (int threads : {1, 2, 8}) {
+    RuntimeConfig::SetThreads(threads);
+    conv.ZeroGrads();
+    conv.Forward(x, CacheMode::kCache);
+    Tensor dx = conv.Backward(grad);
+    std::vector<Tensor*> grads = conv.Grads();  // {dw, db}
+    EXPECT_TRUE(BitwiseEqual(dx, ref.dx)) << "dx threads=" << threads;
+    EXPECT_TRUE(BitwiseEqual(*grads[0], ref.dw)) << "dw threads=" << threads;
+    EXPECT_TRUE(BitwiseEqual(*grads[1], ref.db)) << "db threads=" << threads;
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
+TEST(PoolDeterminismTest, BackwardBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(15);
+  Tensor x({3, 4, 8, 8});
+  x.FillGaussian(&rng, 1.0f);
+  Tensor grad({3, 4, 4, 4});
+  grad.FillGaussian(&rng, 1.0f);
+
+  // Serial reference scatter: recompute each window argmax (first-maximum
+  // tie break, as the forward pass records) and add the gradient there.
+  const int64_t n = 3, c = 4, h = 8, w = 8, window = 2, ho = 4, wo = 4;
+  Tensor ref(x.shape());
+  for (int64_t t = 0; t < n * c; ++t) {
+    for (int64_t oy = 0; oy < ho; ++oy) {
+      for (int64_t ox = 0; ox < wo; ++ox) {
+        float best = x[t * h * w + oy * window * w + ox * window];
+        int64_t best_idx = t * h * w + oy * window * w + ox * window;
+        for (int64_t ky = 0; ky < window; ++ky) {
+          for (int64_t kx = 0; kx < window; ++kx) {
+            const int64_t xi =
+                t * h * w + (oy * window + ky) * w + ox * window + kx;
+            if (x[xi] > best) {
+              best = x[xi];
+              best_idx = xi;
+            }
+          }
+        }
+        ref[best_idx] += grad[t * ho * wo + oy * wo + ox];
+      }
+    }
+  }
+
+  MaxPool2D pool(2);
+  for (int threads : {1, 2, 8}) {
+    RuntimeConfig::SetThreads(threads);
+    pool.Forward(x, CacheMode::kCache);
+    Tensor dx = pool.Backward(grad);
+    EXPECT_TRUE(BitwiseEqual(dx, ref)) << "threads=" << threads;
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
+TEST(OpsDeterminismTest, OneHotMeanRowsSliceRowsAcrossThreads) {
+  Rng rng(16);
+  std::vector<int64_t> labels(300);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int64_t>(i % 7);
+  }
+  Tensor m({137, 23});
+  m.FillGaussian(&rng, 1.0f);
+
+  RuntimeConfig::SetThreads(1);
+  const Tensor onehot_ref = OneHot(labels, 7);
+  const Tensor mean_ref = MeanRows(m);
+  const Tensor slice_ref = SliceRows(m, 19, 101);
+
+  for (int threads : {2, 8}) {
+    RuntimeConfig::SetThreads(threads);
+    EXPECT_TRUE(BitwiseEqual(OneHot(labels, 7), onehot_ref))
+        << "OneHot threads=" << threads;
+    EXPECT_TRUE(BitwiseEqual(MeanRows(m), mean_ref))
+        << "MeanRows threads=" << threads;
+    EXPECT_TRUE(BitwiseEqual(SliceRows(m, 19, 101), slice_ref))
+        << "SliceRows threads=" << threads;
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
 /// Trains a small MLP for 5 epochs at the given thread count and returns
 /// the final loss.
 double TrainFinalLoss(int threads) {
