@@ -258,22 +258,22 @@ FrontierRow BenchFrontierPoint(InferenceEngine* engine, int64_t max_batch) {
 
   // Throughput is engine-side: examples per second of measured service
   // time (each batch's service appears once per member, so divide by the
-  // member count). Latency is the simulated queueing + service delay.
-  std::vector<double> latencies;
+  // member count). Latency is the simulated queueing + service delay,
+  // aggregated in the serving layer's log-bucketed histogram.
+  LatencyHistogram latency;
   double service_sum_ms = 0.0;
   for (const MicroBatcher::Completion& done : batcher.completions()) {
-    latencies.push_back(done.finish_ms - done.arrival_ms);
+    latency.Record(done.finish_ms - done.arrival_ms);
     service_sum_ms += (done.finish_ms - done.start_ms) /
                       static_cast<double>(done.batch_size);
   }
-  std::sort(latencies.begin(), latencies.end());
 
   FrontierRow row;
   row.max_batch = max_batch;
   row.throughput_rps =
       static_cast<double>(requests) / (service_sum_ms / 1000.0);
-  row.p50_ms = latencies[latencies.size() / 2];
-  row.p99_ms = latencies[latencies.size() * 99 / 100];
+  row.p50_ms = latency.Quantile(0.5);
+  row.p99_ms = latency.Quantile(0.99);
   row.mean_batch = static_cast<double>(requests) /
                    static_cast<double>(batcher.batches_run());
   return row;

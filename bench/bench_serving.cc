@@ -1,0 +1,341 @@
+// Serving-layer bench (E32): the batching throughput/p99 frontier across
+// worker counts, the shed-rate curve of deadline-aware admission under
+// rising offered load, and tail latency across an atomic hot swap under
+// sustained load. Results land in BENCH_serving.json.
+//
+// All scheduling runs on the simulated clock from the declared service
+// cost model, so every number except wall_seconds / real_rps replays
+// bit for bit for a fixed seed. Engines execute for real on the server's
+// worker pool; DLSYS_THREADS stays at 1 so the pool's inter-op
+// parallelism is not serialized behind the global intra-op pool (see
+// DESIGN.md §2e). Pass --smoke (or DLSYS_BENCH_SMOKE=1) for a
+// seconds-scale CI run.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/rng.h"
+#include "src/nn/train.h"
+#include "src/runtime/runtime.h"
+#include "src/serve/admission.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/registry.h"
+#include "src/serve/server.h"
+
+namespace dlsys {
+namespace {
+
+bool g_smoke = false;
+
+constexpr int64_t kInElems = 32;
+
+Sequential MakeServeNet(uint64_t seed) {
+  Sequential net = MakeMlp(kInElems, {g_smoke ? 32 : 128}, 10);
+  Rng rng(seed);
+  net.Init(&rng);
+  return net;
+}
+
+struct ServerUnderTest {
+  std::unique_ptr<ModelRegistry> registry;
+  std::unique_ptr<Server> server;
+};
+
+ServerUnderTest MakeServer(const ServerConfig& config) {
+  ServerUnderTest sut;
+  sut.registry = std::make_unique<ModelRegistry>();
+  auto created = Server::Create(sut.registry.get(), config);
+  DLSYS_CHECK(created.ok(), "server config invalid");
+  sut.server = std::move(created).value();
+  auto version = sut.server->Publish("m", MakeServeNet(71), {kInElems});
+  DLSYS_CHECK(version.ok(), "publish failed");
+  return sut;
+}
+
+/// Offered rate that saturates the declared cost model at full batches.
+double CapacityRps(const ServerConfig& config) {
+  return static_cast<double>(config.workers) *
+         static_cast<double>(config.batch.max_batch) * 1000.0 /
+         EstimateServiceMs(config.cost, config.batch.max_batch);
+}
+
+// ------------------------------------------- 1. throughput/p99 frontier
+
+struct FrontierRow {
+  int workers = 0;
+  int64_t max_batch = 0;
+  double max_delay_ms = 0.0;
+  double offered_rps = 0.0;
+  double sim_rps = 0.0;
+  double real_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+std::vector<FrontierRow> BenchFrontier() {
+  std::vector<FrontierRow> rows;
+  const std::vector<int> worker_counts =
+      g_smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  struct Policy {
+    int64_t max_batch;
+    double max_delay_ms;
+  };
+  const std::vector<Policy> policies =
+      g_smoke ? std::vector<Policy>{{1, 0.0}, {8, 0.2}}
+              : std::vector<Policy>{{1, 0.0}, {8, 0.2}, {32, 0.5}};
+
+  for (int workers : worker_counts) {
+    for (const Policy& policy : policies) {
+      ServerConfig config;
+      config.workers = workers;
+      config.batch.max_batch = policy.max_batch;
+      config.batch.max_delay_ms = policy.max_delay_ms;
+      config.queue_capacity = 64 * policy.max_batch;
+      config.default_deadline_ms = 1e9;  // frontier: nothing sheds
+      ServerUnderTest sut = MakeServer(config);
+
+      OpenLoopConfig load;
+      load.seed = 72;
+      load.requests = g_smoke ? 200 : 4000;
+      load.rate_rps = 0.8 * CapacityRps(config);  // feasible but busy
+      load.model = "m";
+      const LoadReport report = RunOpenLoop(sut.server.get(), load);
+      DLSYS_CHECK(report.completed == report.admitted, "lost requests");
+
+      FrontierRow row;
+      row.workers = workers;
+      row.max_batch = policy.max_batch;
+      row.max_delay_ms = policy.max_delay_ms;
+      row.offered_rps = load.rate_rps;
+      row.sim_rps = report.sim_throughput_rps;
+      row.real_rps = report.real_throughput_rps;
+      row.p50_ms = report.latency.Quantile(0.5);
+      row.p99_ms = report.latency.Quantile(0.99);
+      const MetricsReport m = sut.server->metrics();
+      row.mean_batch = m.Get("serve.batches") > 0
+                           ? m.Get("serve.admitted") / m.Get("serve.batches")
+                           : 0.0;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+// ------------------------------------------------- 2. shed-rate curve
+
+struct ShedRow {
+  double load_multiplier = 0.0;
+  double offered_rps = 0.0;
+  double shed_fraction = 0.0;
+  double deadline_miss_fraction = 0.0;  ///< of completed requests
+  double p99_ms = 0.0;
+  double goodput_rps = 0.0;  ///< completed within deadline, per sim second
+};
+
+std::vector<ShedRow> BenchShedCurve() {
+  std::vector<ShedRow> rows;
+  const std::vector<double> multipliers =
+      g_smoke ? std::vector<double>{0.5, 2.0}
+              : std::vector<double>{0.5, 0.8, 1.2, 2.0, 4.0};
+  for (double mult : multipliers) {
+    ServerConfig config;
+    config.workers = 2;
+    config.batch.max_batch = 8;
+    config.batch.max_delay_ms = 0.2;
+    config.queue_capacity = 4 * config.batch.max_batch;
+    config.default_deadline_ms = 5.0;
+    ServerUnderTest sut = MakeServer(config);
+
+    OpenLoopConfig load;
+    load.seed = 73;
+    load.requests = g_smoke ? 300 : 4000;
+    load.rate_rps = mult * CapacityRps(config);
+    load.model = "m";
+    const LoadReport report = RunOpenLoop(sut.server.get(), load);
+
+    ShedRow row;
+    row.load_multiplier = mult;
+    row.offered_rps = load.rate_rps;
+    row.shed_fraction = static_cast<double>(report.shed) /
+                        static_cast<double>(report.offered);
+    row.deadline_miss_fraction =
+        report.completed > 0 ? static_cast<double>(report.deadline_missed) /
+                                   static_cast<double>(report.completed)
+                             : 0.0;
+    row.p99_ms = report.latency.Quantile(0.99);
+    row.goodput_rps =
+        report.duration_ms > 0.0
+            ? static_cast<double>(report.completed - report.deadline_missed) /
+                  (report.duration_ms / 1000.0)
+            : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---------------------------------------------- 3. hot swap under load
+
+struct SwapResult {
+  int64_t offered = 0;
+  int64_t admitted = 0;
+  int64_t completed = 0;
+  int64_t lost = 0;  ///< admitted - completed; the headline must be 0
+  int64_t served_v1 = 0;
+  int64_t served_v2 = 0;
+  double p99_before_ms = 0.0;  ///< first third: steady v1
+  double p99_during_ms = 0.0;  ///< middle third: the swap lands here
+  double p99_after_ms = 0.0;   ///< last third: steady v2
+};
+
+SwapResult BenchHotSwap() {
+  ServerConfig config;
+  config.workers = 2;
+  config.batch.max_batch = 8;
+  config.batch.max_delay_ms = 0.2;
+  config.queue_capacity = 8 * config.batch.max_batch;
+  config.default_deadline_ms = 1e9;  // measure latency, not shedding
+  ServerUnderTest sut = MakeServer(config);
+  const Sequential net2 = MakeServeNet(74);
+
+  OpenLoopConfig load;
+  load.seed = 75;
+  load.requests = g_smoke ? 300 : 3000;
+  load.rate_rps = 0.7 * CapacityRps(config);
+  load.model = "m";
+  Server* server = sut.server.get();
+  const int64_t swap_at = load.requests / 2;
+  const LoadReport report = RunOpenLoop(
+      server, load, [server, &net2, swap_at](int64_t i) {
+        if (i == swap_at) {
+          DLSYS_CHECK(server->Publish("m", net2, {kInElems}).ok(),
+                      "hot swap failed");
+        }
+      });
+
+  SwapResult result;
+  result.offered = report.offered;
+  result.admitted = report.admitted;
+  result.completed = report.completed;
+  result.lost = report.admitted - report.completed;
+  const MetricsReport m = server->metrics();
+  result.served_v1 = static_cast<int64_t>(m.Get("serve.m.served_v1"));
+  result.served_v2 = static_cast<int64_t>(m.Get("serve.m.served_v2"));
+
+  LatencyHistogram windows[3];
+  const int64_t third = load.requests / 3;
+  for (const Server::Completion& c : server->completions()) {
+    const int64_t w = std::min<int64_t>(c.id / third, 2);
+    windows[w].Record(c.finish_ms - c.arrival_ms);
+  }
+  result.p99_before_ms = windows[0].Quantile(0.99);
+  result.p99_during_ms = windows[1].Quantile(0.99);
+  result.p99_after_ms = windows[2].Quantile(0.99);
+  return result;
+}
+
+}  // namespace
+}  // namespace dlsys
+
+int main(int argc, char** argv) {
+  using namespace dlsys;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  if (const char* env = std::getenv("DLSYS_BENCH_SMOKE");
+      env != nullptr && env[0] == '1') {
+    g_smoke = true;
+  }
+  // Keep intra-op kernels single-threaded: the server's worker pool
+  // provides the parallelism, and nested ParallelFor from its foreign
+  // threads would serialize on the global pool's region lock.
+  RuntimeConfig::SetThreads(1);
+
+  const std::vector<FrontierRow> frontier = BenchFrontier();
+  for (const FrontierRow& row : frontier) {
+    std::printf(
+        "frontier w=%d b=%-3lld d=%.1fms  offered %8.0f r/s | sim %8.0f r/s "
+        "| real %8.0f r/s | p50 %6.3f ms | p99 %6.3f ms | batch %.1f\n",
+        row.workers, static_cast<long long>(row.max_batch), row.max_delay_ms,
+        row.offered_rps, row.sim_rps, row.real_rps, row.p50_ms, row.p99_ms,
+        row.mean_batch);
+  }
+
+  const std::vector<ShedRow> shed = BenchShedCurve();
+  for (const ShedRow& row : shed) {
+    std::printf(
+        "shed x%.1f  offered %8.0f r/s | shed %5.1f%% | miss %5.1f%% | "
+        "p99 %6.3f ms | goodput %8.0f r/s\n",
+        row.load_multiplier, row.offered_rps, 100.0 * row.shed_fraction,
+        100.0 * row.deadline_miss_fraction, row.p99_ms, row.goodput_rps);
+  }
+
+  const SwapResult swap = BenchHotSwap();
+  std::printf(
+      "hotswap  admitted %lld | completed %lld | lost %lld | v1 %lld | "
+      "v2 %lld | p99 %6.3f / %6.3f / %6.3f ms\n",
+      static_cast<long long>(swap.admitted),
+      static_cast<long long>(swap.completed),
+      static_cast<long long>(swap.lost),
+      static_cast<long long>(swap.served_v1),
+      static_cast<long long>(swap.served_v2), swap.p99_before_ms,
+      swap.p99_during_ms, swap.p99_after_ms);
+  DLSYS_CHECK(swap.lost == 0, "hot swap lost admitted requests");
+
+  FILE* out = std::fopen("BENCH_serving.json", "w");
+  if (out == nullptr) {
+    std::printf("cannot open BENCH_serving.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"smoke\": %s,\n  \"frontier\": [\n",
+               g_smoke ? "true" : "false");
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const FrontierRow& row = frontier[i];
+    std::fprintf(
+        out,
+        "    {\"workers\": %d, \"max_batch\": %lld, \"max_delay_ms\": %.1f, "
+        "\"offered_rps\": %.0f, \"sim_rps\": %.0f, \"real_rps\": %.0f, "
+        "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"mean_batch\": %.2f}%s\n",
+        row.workers, static_cast<long long>(row.max_batch), row.max_delay_ms,
+        row.offered_rps, row.sim_rps, row.real_rps, row.p50_ms, row.p99_ms,
+        row.mean_batch, i + 1 < frontier.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"shed_curve\": [\n");
+  for (size_t i = 0; i < shed.size(); ++i) {
+    const ShedRow& row = shed[i];
+    std::fprintf(
+        out,
+        "    {\"load_multiplier\": %.1f, \"offered_rps\": %.0f, "
+        "\"shed_fraction\": %.4f, \"deadline_miss_fraction\": %.4f, "
+        "\"p99_ms\": %.4f, \"goodput_rps\": %.0f}%s\n",
+        row.load_multiplier, row.offered_rps, row.shed_fraction,
+        row.deadline_miss_fraction, row.p99_ms, row.goodput_rps,
+        i + 1 < shed.size() ? "," : "");
+  }
+  std::fprintf(
+      out,
+      "  ],\n"
+      "  \"hot_swap\": {\"offered\": %lld, \"admitted\": %lld, "
+      "\"completed\": %lld, \"lost\": %lld,\n"
+      "               \"served_v1\": %lld, \"served_v2\": %lld, "
+      "\"p99_before_ms\": %.4f, \"p99_during_ms\": %.4f, "
+      "\"p99_after_ms\": %.4f}\n"
+      "}\n",
+      static_cast<long long>(swap.offered),
+      static_cast<long long>(swap.admitted),
+      static_cast<long long>(swap.completed),
+      static_cast<long long>(swap.lost),
+      static_cast<long long>(swap.served_v1),
+      static_cast<long long>(swap.served_v2), swap.p99_before_ms,
+      swap.p99_during_ms, swap.p99_after_ms);
+  std::fclose(out);
+  std::printf("wrote BENCH_serving.json\n");
+  return 0;
+}

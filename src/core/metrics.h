@@ -1,6 +1,7 @@
 #ifndef DLSYS_CORE_METRICS_H_
 #define DLSYS_CORE_METRICS_H_
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -61,6 +62,58 @@ class MetricsReport {
 
  private:
   std::map<std::string, double> values_;
+};
+
+/// \brief Mergeable latency histogram with fixed log-scale buckets.
+///
+/// Serving systems care about tail latency (p95/p99), which a mean or a
+/// MetricsReport scalar cannot express. The bucket layout is fixed at
+/// compile time — bucket 0 covers [0, 1us), then geometric buckets with
+/// ratio 2^(1/4) up to ~10^15 ms, plus an overflow bucket — so any two
+/// histograms merge by adding counts, regardless of what they observed.
+/// Quantile() returns the upper edge of the bucket holding the requested
+/// rank (clamped to the exact observed min/max), so its relative error is
+/// bounded by the bucket ratio (< 19%). Count, sum, min, and max are
+/// tracked exactly. Not thread-safe; merge per-thread instances instead.
+class LatencyHistogram {
+ public:
+  /// Number of geometric buckets between the underflow and overflow ones.
+  static constexpr int kBuckets = 240;
+
+  /// \brief Records one latency observation (finite, >= 0; checked).
+  void Record(double ms);
+  /// \brief Adds \p other's observations into this histogram.
+  void Merge(const LatencyHistogram& other);
+  /// \brief Latency at quantile \p q in [0, 1]; 0 when empty.
+  ///
+  /// Returns the upper edge of the bucket containing rank ceil(q * count),
+  /// clamped to [min_ms, max_ms] so q=0 and q=1 are exact.
+  double Quantile(double q) const;
+
+  /// \brief Number of recorded observations.
+  int64_t count() const { return count_; }
+  /// \brief Exact sum of all observations.
+  double sum_ms() const { return sum_ms_; }
+  /// \brief Exact mean; 0 when empty.
+  double mean_ms() const {
+    return count_ == 0 ? 0.0 : sum_ms_ / static_cast<double>(count_);
+  }
+  /// \brief Smallest observation; 0 when empty.
+  double min_ms() const { return count_ == 0 ? 0.0 : min_ms_; }
+  /// \brief Largest observation; 0 when empty.
+  double max_ms() const { return count_ == 0 ? 0.0 : max_ms_; }
+
+  /// \brief Writes count/mean/p50/p95/p99/max under "<prefix>.*" keys
+  /// into \p report, the uniform vocabulary benches consume.
+  void ReportInto(MetricsReport* report, const std::string& prefix) const;
+
+ private:
+  /// counts_[0] is [0, 1us); counts_[kBuckets + 1] is the overflow bucket.
+  std::array<int64_t, kBuckets + 2> counts_ = {};
+  int64_t count_ = 0;
+  double sum_ms_ = 0.0;
+  double min_ms_ = 0.0;
+  double max_ms_ = 0.0;
 };
 
 /// Canonical metric keys (the tutorial's core metrics).

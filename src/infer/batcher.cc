@@ -29,7 +29,15 @@ int64_t MicroBatcher::Submit(const Tensor& example, double arrival_ms) {
               "MicroBatcher::Submit example size mismatch");
   DLSYS_CHECK(arrival_ms >= clock_ms_,
               "MicroBatcher clock must be monotone");
-  AdvanceTo(arrival_ms);  // the delay policy fires before this arrival
+  // A pending batch whose delay budget expired *strictly before* this
+  // arrival dispatches first; one expiring exactly at arrival_ms instead
+  // coalesces this example, so simultaneous arrivals at one tick always
+  // land in the same batch (until it fills) regardless of max_delay_ms.
+  if (pending_count_ > 0 &&
+      pending_arrivals_[0] + config_.max_delay_ms < arrival_ms) {
+    Dispatch(pending_arrivals_[0] + config_.max_delay_ms);
+  }
+  clock_ms_ = arrival_ms;
   const int64_t slot = pending_count_;
   std::copy(example.data(), example.data() + example.size(),
             in_staging_.data() + slot * engine_->input_elems_per_example());

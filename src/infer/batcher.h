@@ -54,15 +54,20 @@ class MicroBatcher {
 
   /// \brief Enqueues one example (engine's per-example input shape) at
   /// simulated time \p arrival_ms (monotone; checked). May dispatch: first
-  /// any delay-expired pending batch, then a full batch including this
-  /// example. Returns the request id.
+  /// any pending batch whose delay budget expired *strictly before*
+  /// arrival_ms (a budget expiring exactly at arrival_ms coalesces this
+  /// example instead, so same-tick arrivals dispatch together
+  /// deterministically), then a full batch including this example. With
+  /// max_batch == 1 every Submit degenerates to an immediate
+  /// single-example dispatch. Returns the request id.
   int64_t Submit(const Tensor& example, double arrival_ms);
 
   /// \brief Advances the simulated clock, dispatching if the oldest
   /// pending example's delay budget expires at or before \p now_ms.
   void AdvanceTo(double now_ms);
 
-  /// \brief Dispatches all pending examples immediately.
+  /// \brief Dispatches all pending examples immediately; a no-op when
+  /// nothing is pending.
   void Flush();
 
   /// \brief All completions so far, in dispatch order.

@@ -1,0 +1,63 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlsys {
+
+double EstimateServiceMs(const ServiceCostModel& cost, int64_t batch_size) {
+  return cost.fixed_ms +
+         cost.per_example_ms * static_cast<double>(batch_size);
+}
+
+Status ValidateServerConfig(const ServerConfig& config) {
+  if (config.workers < 1) {
+    return Status::InvalidArgument("worker count must be >= 1");
+  }
+  if (config.batch.max_batch < 1) {
+    return Status::InvalidArgument("batch.max_batch must be >= 1");
+  }
+  if (config.queue_capacity < config.batch.max_batch) {
+    return Status::InvalidArgument(
+        "queue_capacity must be >= batch.max_batch so a full batch can form");
+  }
+  if (!(config.batch.max_delay_ms >= 0.0) ||
+      !std::isfinite(config.batch.max_delay_ms)) {
+    return Status::InvalidArgument(
+        "batch.max_delay_ms must be finite and non-negative");
+  }
+  if (!(config.default_deadline_ms > 0.0) ||
+      !std::isfinite(config.default_deadline_ms)) {
+    return Status::InvalidArgument(
+        "default_deadline_ms must be finite and positive");
+  }
+  if (!(config.cost.fixed_ms >= 0.0) || !std::isfinite(config.cost.fixed_ms)) {
+    return Status::InvalidArgument(
+        "cost.fixed_ms must be finite and non-negative");
+  }
+  if (!(config.cost.per_example_ms >= 0.0) ||
+      !std::isfinite(config.cost.per_example_ms)) {
+    return Status::InvalidArgument(
+        "cost.per_example_ms must be finite and non-negative");
+  }
+  return Status::OK();
+}
+
+AdmissionDecision DecideAdmission(const ServerConfig& config,
+                                  const AdmissionInputs& in) {
+  if (in.queue_depth >= config.queue_capacity) {
+    return AdmissionDecision::kShedQueueFull;
+  }
+  // Earliest the request's batch can start: when the batch is ready to
+  // dispatch and a worker is free, never before the request exists.
+  const double predicted_start =
+      std::max({in.batch_ready_ms, in.earliest_worker_free_ms, in.arrival_ms});
+  const double predicted_finish =
+      predicted_start + EstimateServiceMs(config.cost, in.prospective_batch);
+  if (predicted_finish > in.arrival_ms + in.deadline_budget_ms) {
+    return AdmissionDecision::kShedDeadline;
+  }
+  return AdmissionDecision::kAdmit;
+}
+
+}  // namespace dlsys

@@ -1,0 +1,89 @@
+#ifndef DLSYS_SERVE_ADMISSION_H_
+#define DLSYS_SERVE_ADMISSION_H_
+
+#include <cstdint>
+
+#include "src/core/status.h"
+#include "src/infer/batcher.h"
+
+/// \file admission.h
+/// \brief Server configuration, validation, and the admission policy.
+///
+/// Under overload a serving system must shed, not queue: an unbounded
+/// queue turns excess offered load into unbounded latency for everyone
+/// (the classic open-loop collapse). Admission is decided at arrival from
+/// two tests — a hard per-model queue bound, and a deadline-feasibility
+/// check that predicts when the request's batch would finish under the
+/// declared service-cost model. Both inputs are simulated quantities
+/// (queue state and modeled service time, never wall-clock measurements),
+/// so the same arrival sequence replays to the same accept/shed decisions
+/// bit for bit at any DLSYS_THREADS — the property test_serve locks in.
+///
+/// The decision function is pure (state in, verdict out) so it can be
+/// unit-tested without a Server and reused by other front doors.
+
+namespace dlsys {
+
+/// \brief Linear model of engine service time for one dispatched batch.
+///
+/// Admission and scheduling never consult wall-clock measurements (that
+/// would make shed decisions irreproducible); they use this declared
+/// model: service_ms(b) = fixed_ms + per_example_ms * b.
+struct ServiceCostModel {
+  double fixed_ms = 0.05;        ///< per-dispatch overhead
+  double per_example_ms = 0.01;  ///< marginal cost per batched example
+};
+
+/// \brief Modeled service time for a batch of \p batch_size examples.
+double EstimateServiceMs(const ServiceCostModel& cost, int64_t batch_size);
+
+/// \brief Front-door configuration for a Server.
+struct ServerConfig {
+  /// Engine replicas serving concurrently; each drives its own
+  /// MicroBatcher-style coalescing slot on the worker pool.
+  int workers = 2;
+  /// Per-model bound on admitted-but-undispatched requests. Admission
+  /// sheds (never blocks, never queues past this) when a model's queue
+  /// is full. Must be >= batch.max_batch so one full batch can form.
+  int64_t queue_capacity = 64;
+  /// Batch coalescing policy (same knobs as the MicroBatcher front door):
+  /// dispatch at max_batch pending, or when the oldest waited max_delay_ms.
+  MicroBatcherConfig batch;
+  /// Deadline budget applied when Submit passes no explicit deadline.
+  double default_deadline_ms = 50.0;
+  /// The declared service-time model used for admission and scheduling.
+  ServiceCostModel cost;
+};
+
+/// \brief Validates every user-settable field of \p config: worker count
+/// >= 1, queue bound >= max_batch >= 1, non-negative finite delay,
+/// positive finite deadline, non-negative finite cost terms. Returns
+/// InvalidArgument on the first violation — configuration is user input,
+/// so errors surface as Status, not DLSYS_CHECK aborts.
+Status ValidateServerConfig(const ServerConfig& config);
+
+/// \brief Verdict of the admission test for one arriving request.
+enum class AdmissionDecision {
+  kAdmit,
+  kShedQueueFull,  ///< the model's bounded queue is at capacity
+  kShedDeadline,   ///< predicted completion already misses the deadline
+};
+
+/// \brief Everything the admission policy looks at, all simulated.
+struct AdmissionInputs {
+  int64_t queue_depth = 0;        ///< undispatched requests for the model
+  int64_t prospective_batch = 0;  ///< batch size if this request joins
+  double batch_ready_ms = 0.0;    ///< when that batch could dispatch
+  double earliest_worker_free_ms = 0.0;
+  double arrival_ms = 0.0;
+  double deadline_budget_ms = 0.0;  ///< relative to arrival; > 0
+};
+
+/// \brief Pure admission decision: bounded queue first, then deadline
+/// feasibility under the cost model. Deterministic.
+AdmissionDecision DecideAdmission(const ServerConfig& config,
+                                  const AdmissionInputs& in);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_SERVE_ADMISSION_H_

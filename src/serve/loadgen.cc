@@ -1,0 +1,170 @@
+#include "src/serve/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/core/rng.h"
+
+namespace dlsys {
+
+namespace {
+
+/// Folds every completion appended at or after index \p first into
+/// \p report and returns the largest finish time seen.
+double FoldCompletions(const Server& server, size_t first,
+                       LoadReport* report) {
+  double last_finish = 0.0;
+  const std::vector<Server::Completion>& done = server.completions();
+  for (size_t i = first; i < done.size(); ++i) {
+    const Server::Completion& c = done[i];
+    ++report->completed;
+    if (c.deadline_missed) ++report->deadline_missed;
+    report->latency.Record(c.finish_ms - c.arrival_ms);
+    last_finish = std::max(last_finish, c.finish_ms);
+  }
+  return last_finish;
+}
+
+void FinishReport(double first_ms, double last_finish_ms, double wall_seconds,
+                  LoadReport* report) {
+  report->wall_seconds = wall_seconds;
+  report->duration_ms = std::max(0.0, last_finish_ms - first_ms);
+  if (report->duration_ms > 0.0) {
+    report->sim_throughput_rps = static_cast<double>(report->completed) /
+                                 (report->duration_ms / 1000.0);
+  }
+  if (wall_seconds > 0.0) {
+    report->real_throughput_rps =
+        static_cast<double>(report->completed) / wall_seconds;
+  }
+}
+
+}  // namespace
+
+LoadReport RunOpenLoop(Server* server, const OpenLoopConfig& config,
+                       const std::function<void(int64_t)>& before_submit) {
+  LoadReport report;
+  std::shared_ptr<ModelSnapshot> snap =
+      server->registry()->Acquire(config.model);
+  const int64_t in_elems = snap == nullptr ? 1 : snap->in_elems;
+  snap.reset();  // payloads only need the size; don't pin a version
+
+  Rng root(config.seed);
+  Rng arrivals = root.Fork();
+  Rng payloads = root.Fork();
+  const size_t completions_before = server->completions().size();
+  Tensor example({in_elems});
+
+  Stopwatch wall;
+  double t = std::max(config.start_ms, server->clock_ms());
+  const double first_ms = t;
+  for (int64_t i = 0; i < config.requests; ++i) {
+    // Inverse-CDF exponential gap: Poisson arrivals at rate_rps.
+    t += -std::log(1.0 - arrivals.Uniform()) / config.rate_rps * 1000.0;
+    if (before_submit) before_submit(i);
+    example.FillGaussian(&payloads, 1.0f);
+    const Server::SubmitResult r =
+        server->Submit(config.model, example, t, config.deadline_ms);
+    ++report.offered;
+    if (r.outcome == Server::Outcome::kAdmitted) {
+      ++report.admitted;
+    } else {
+      ++report.shed;
+    }
+  }
+  server->Drain();
+  const double last_finish = FoldCompletions(*server, completions_before,
+                                             &report);
+  FinishReport(first_ms, last_finish, wall.Seconds(), &report);
+  return report;
+}
+
+LoadReport RunClosedLoop(Server* server, const ClosedLoopConfig& config) {
+  LoadReport report;
+  std::shared_ptr<ModelSnapshot> snap =
+      server->registry()->Acquire(config.model);
+  const int64_t in_elems = snap == nullptr ? 1 : snap->in_elems;
+  snap.reset();
+
+  struct Client {
+    double next_ms = 0.0;   ///< earliest time of its next attempt
+    int64_t sent = 0;       ///< attempts issued so far
+    bool waiting = false;   ///< has a request in flight
+    Rng payloads{0};
+  };
+  Rng root(config.seed);
+  std::vector<Client> clients(static_cast<size_t>(config.clients));
+  for (Client& c : clients) c.payloads = root.Fork();
+
+  std::map<int64_t, size_t> in_flight;  // request id -> client index
+  const size_t completions_before = server->completions().size();
+  size_t seen = completions_before;
+  Tensor example({in_elems});
+  const double start_ms = server->clock_ms();
+  double last_finish = 0.0;
+
+  Stopwatch wall;
+  while (true) {
+    // Release clients whose responses have arrived.
+    const std::vector<Server::Completion>& done = server->completions();
+    for (; seen < done.size(); ++seen) {
+      auto it = in_flight.find(done[seen].id);
+      if (it == in_flight.end()) continue;  // earlier traffic, not ours
+      Client& c = clients[it->second];
+      c.waiting = false;
+      c.next_ms = done[seen].finish_ms + config.think_ms;
+      in_flight.erase(it);
+    }
+
+    // Earliest client ready to send (lowest index breaks ties).
+    int64_t who = -1;
+    for (size_t i = 0; i < clients.size(); ++i) {
+      const Client& c = clients[i];
+      if (c.waiting || c.sent >= config.requests_per_client) continue;
+      if (who < 0 || c.next_ms < clients[static_cast<size_t>(who)].next_ms) {
+        who = static_cast<int64_t>(i);
+      }
+    }
+
+    const double next_dispatch = server->NextActionableMs();
+    if (who >= 0) {
+      Client& c = clients[static_cast<size_t>(who)];
+      const double t = std::max(c.next_ms, server->clock_ms());
+      // Let the server reach any dispatch due before this send, so the
+      // completion scan above can release other clients first.
+      if (next_dispatch >= 0.0 && next_dispatch < t) {
+        server->AdvanceTo(std::max(server->clock_ms(), next_dispatch));
+        continue;
+      }
+      example.FillGaussian(&c.payloads, 1.0f);
+      const Server::SubmitResult r =
+          server->Submit(config.model, example, t, config.deadline_ms);
+      ++c.sent;
+      ++report.offered;
+      if (r.outcome == Server::Outcome::kAdmitted) {
+        ++report.admitted;
+        c.waiting = true;
+        in_flight[r.id] = static_cast<size_t>(who);
+      } else {
+        ++report.shed;
+        c.next_ms = t + config.think_ms;  // client-side backoff, then retry
+      }
+      continue;
+    }
+    if (next_dispatch >= 0.0) {
+      server->AdvanceTo(std::max(server->clock_ms(), next_dispatch));
+      continue;
+    }
+    if (in_flight.empty()) break;  // every client finished its budget
+    // In-flight requests but nothing actionable: drain whatever remains.
+    server->Drain();
+  }
+  server->Drain();
+  last_finish = FoldCompletions(*server, completions_before, &report);
+  FinishReport(start_ms, last_finish, wall.Seconds(), &report);
+  return report;
+}
+
+}  // namespace dlsys

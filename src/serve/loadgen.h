@@ -1,0 +1,82 @@
+#ifndef DLSYS_SERVE_LOADGEN_H_
+#define DLSYS_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/core/metrics.h"
+#include "src/serve/server.h"
+
+/// \file loadgen.h
+/// \brief Deterministic load harness for the serving layer.
+///
+/// Two canonical client models from the serving-benchmark literature:
+/// an **open-loop** generator (seeded Poisson process — arrivals keep
+/// coming whether or not the server keeps up, which is what exposes
+/// overload behavior and makes shed-rate curves meaningful) and a
+/// **closed-loop** generator (each simulated client waits for its
+/// response plus a think time before sending again — throughput
+/// self-limits, which is what exposes latency under feasible load).
+///
+/// Both run entirely on the server's simulated clock with seeded Rng
+/// draws, so a fixed config replays bit for bit: identical admissions,
+/// sheds, batches, versions, and outputs. Only the engine's measured
+/// wall time differs between runs, and it never feeds any decision.
+
+namespace dlsys {
+
+/// \brief Seeded Poisson open-loop workload.
+struct OpenLoopConfig {
+  uint64_t seed = 1;          ///< drives arrivals and payloads
+  int64_t requests = 1000;    ///< total arrivals to offer
+  double rate_rps = 1000.0;   ///< mean arrival rate (requests / second)
+  double deadline_ms = 0.0;   ///< per-request budget; <= 0 uses the default
+  std::string model = "model";
+  double start_ms = 0.0;      ///< simulated time of the first gap's origin
+};
+
+/// \brief Closed-loop workload: \p clients independent request loops.
+struct ClosedLoopConfig {
+  uint64_t seed = 1;
+  int64_t clients = 4;
+  int64_t requests_per_client = 100;
+  double think_ms = 1.0;     ///< client pause between response and resend
+  double deadline_ms = 0.0;  ///< per-request budget; <= 0 uses the default
+  std::string model = "model";
+};
+
+/// \brief Aggregate outcome of one load run.
+struct LoadReport {
+  int64_t offered = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;  ///< queue-full + deadline sheds + unknown model
+  int64_t completed = 0;
+  int64_t deadline_missed = 0;
+  double duration_ms = 0.0;   ///< simulated makespan (last finish - start)
+  double wall_seconds = 0.0;  ///< real time the run took (informational)
+  LatencyHistogram latency;   ///< simulated finish - arrival, admitted only
+  /// completed / simulated duration (requests per simulated second)
+  double sim_throughput_rps = 0.0;
+  /// completed / wall_seconds (requests per real second; informational)
+  double real_throughput_rps = 0.0;
+};
+
+/// \brief Drives \p server with a seeded Poisson arrival stream and
+/// drains it. \p before_submit (optional) runs before each arrival with
+/// the 0-based request index — the hook test_serve and bench_serving use
+/// to hot-swap the model mid-load.
+LoadReport RunOpenLoop(Server* server, const OpenLoopConfig& config,
+                       const std::function<void(int64_t)>& before_submit = {});
+
+/// \brief Drives \p server with \p clients closed-loop request chains
+/// over the simulated clock and drains it. Each client issues exactly
+/// requests_per_client attempts: after a response it thinks for
+/// think_ms and sends again; after a shed it also waits think_ms before
+/// its next attempt (a client-side backoff), so the run always
+/// terminates.
+LoadReport RunClosedLoop(Server* server, const ClosedLoopConfig& config);
+
+}  // namespace dlsys
+
+#endif  // DLSYS_SERVE_LOADGEN_H_

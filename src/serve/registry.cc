@@ -1,0 +1,86 @@
+#include "src/serve/registry.h"
+
+#include <utility>
+
+namespace dlsys {
+
+Result<std::shared_ptr<ModelSnapshot>> CompileSnapshot(
+    const Sequential& net, const Shape& example_shape, int replicas,
+    const EngineConfig& config) {
+  if (replicas < 1) {
+    return Status::InvalidArgument("snapshot needs at least one replica");
+  }
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->engine_config = config;
+  snap->replicas.reserve(static_cast<size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    auto compiled = InferenceEngine::Compile(net, example_shape, config);
+    if (!compiled.ok()) return compiled.status();
+    ModelSnapshot::Replica slot;
+    slot.engine =
+        std::make_unique<InferenceEngine>(std::move(compiled).value());
+    slot.in_staging = Tensor(
+        {config.max_batch, slot.engine->input_elems_per_example()});
+    slot.out_staging = Tensor(
+        {config.max_batch, slot.engine->output_elems_per_example()});
+    if (r == 0) {
+      snap->example_input_shape = slot.engine->example_input_shape();
+      snap->example_output_shape = slot.engine->example_output_shape();
+      snap->in_elems = slot.engine->input_elems_per_example();
+      snap->out_elems = slot.engine->output_elems_per_example();
+    }
+    snap->replicas.push_back(std::move(slot));
+  }
+  return snap;
+}
+
+Result<int64_t> ModelRegistry::Publish(const std::string& model,
+                                       std::shared_ptr<ModelSnapshot> snap) {
+  if (model.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (snap == nullptr || snap->replicas.empty()) {
+    return Status::InvalidArgument("snapshot must hold compiled replicas");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Slot>& slot = models_[model];
+  if (slot == nullptr) slot = std::make_unique<Slot>();
+  slot->version += 1;
+  snap->model = model;
+  snap->version = slot->version;
+  // The RCU swap: in-flight requests holding the previous shared_ptr
+  // keep serving the old version; new Acquire calls see this one.
+  slot->current.Store(std::move(snap));
+  if (slot->version > 1) swap_count_.fetch_add(1);
+  return slot->version;
+}
+
+std::shared_ptr<ModelSnapshot> ModelRegistry::Acquire(
+    const std::string& model) const {
+  const Slot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(model);
+    if (it == models_.end()) return nullptr;
+    slot = it->second.get();
+  }
+  // Slots are never destroyed while the registry lives, so the cell
+  // load may happen outside the map lock.
+  return slot->current.Load();
+}
+
+int64_t ModelRegistry::LatestVersion(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(model);
+  return it == models_.end() ? 0 : it->second->version;
+}
+
+std::vector<std::string> ModelRegistry::ModelNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, slot] : models_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dlsys

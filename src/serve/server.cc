@@ -1,0 +1,343 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace dlsys {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Create(ModelRegistry* registry,
+                                               const ServerConfig& config) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("registry must be non-null");
+  }
+  DLSYS_RETURN_NOT_OK(ValidateServerConfig(config));
+  return std::unique_ptr<Server>(new Server(registry, config));
+}
+
+Server::Server(ModelRegistry* registry, const ServerConfig& config)
+    : registry_(registry),
+      config_(config),
+      pool_(config.workers - 1),
+      worker_free_ms_(static_cast<size_t>(config.workers), 0.0) {}
+
+Result<int64_t> Server::Publish(const std::string& model,
+                                const Sequential& net,
+                                const Shape& example_shape,
+                                const EngineConfig& engine_config) {
+  EngineConfig ec = engine_config;
+  if (ec.max_batch < config_.batch.max_batch) {
+    ec.max_batch = config_.batch.max_batch;
+  }
+  auto snap = CompileSnapshot(net, example_shape, config_.workers, ec);
+  if (!snap.ok()) return snap.status();
+  return registry_->Publish(model, std::move(snap).value());
+}
+
+int64_t Server::BatchPrefix(const std::deque<QueueEntry>& queue,
+                            double* ready_ms) const {
+  const int64_t mb = config_.batch.max_batch;
+  const ModelSnapshot* snap = queue.front().snap.get();
+  int64_t n = 0;
+  while (n < static_cast<int64_t>(queue.size()) && n < mb &&
+         queue[n].snap.get() == snap) {
+    ++n;
+  }
+  // A batch closes when it fills, or when a different-version request
+  // arrives behind it (it can never grow past that point), or when the
+  // oldest member's delay budget expires — whichever is earliest.
+  double closed_ms = kInf;
+  if (n == mb) {
+    closed_ms = queue[n - 1].arrival_ms;
+  } else if (n < static_cast<int64_t>(queue.size())) {
+    closed_ms = queue[n].arrival_ms;
+  }
+  *ready_ms =
+      std::min(closed_ms, queue.front().arrival_ms + config_.batch.max_delay_ms);
+  return n;
+}
+
+Server::SubmitResult Server::Submit(const std::string& model,
+                                    const Tensor& example, double arrival_ms,
+                                    double deadline_budget_ms) {
+  DLSYS_CHECK(arrival_ms >= clock_ms_, "Submit arrivals must be monotone");
+  // Batches due strictly before this arrival dispatch first; one whose
+  // delay expires exactly at arrival_ms instead waits to coalesce this
+  // request (same-tick semantics, matching MicroBatcher::Submit).
+  DispatchDue(arrival_ms, /*strict=*/true);
+  clock_ms_ = arrival_ms;
+
+  SubmitResult result;
+  result.id = next_id_++;
+  ++offered_;
+
+  std::shared_ptr<ModelSnapshot> snap = registry_->Acquire(model);
+  if (snap == nullptr) {
+    ++no_such_model_;
+    result.outcome = Outcome::kNoSuchModel;
+    return result;
+  }
+  DLSYS_CHECK(static_cast<int>(snap->replicas.size()) >= config_.workers,
+              "snapshot has fewer replicas than serving workers");
+  DLSYS_CHECK(snap->engine_config.max_batch >= config_.batch.max_batch,
+              "snapshot engine batch ceiling below the server batch policy");
+  DLSYS_CHECK(example.size() == snap->in_elems,
+              "example does not match the model's per-example input shape");
+  result.version = snap->version;
+
+  const double budget = deadline_budget_ms > 0.0 ? deadline_budget_ms
+                                                 : config_.default_deadline_ms;
+  const int64_t mb = config_.batch.max_batch;
+
+  // Predict this request's batch from the queue's FIFO grouping: it joins
+  // the trailing group when that group shares its snapshot and has room,
+  // otherwise it opens a new group behind everything queued.
+  auto qit = queues_.find(model);
+  const int64_t depth =
+      qit == queues_.end() ? 0 : static_cast<int64_t>(qit->second.size());
+  std::vector<int64_t> ahead_sizes;
+  int64_t tail_size = 0;
+  double tail_front_arrival = 0.0;
+  const ModelSnapshot* tail_snap = nullptr;
+  for (int64_t i = 0; i < depth;) {
+    const std::deque<QueueEntry>& q = qit->second;
+    const ModelSnapshot* gs = q[i].snap.get();
+    int64_t n = 0;
+    while (i + n < depth && n < mb && q[i + n].snap.get() == gs) ++n;
+    if (i + n == depth) {
+      tail_size = n;
+      tail_front_arrival = q[i].arrival_ms;
+      tail_snap = gs;
+    } else {
+      ahead_sizes.push_back(n);
+    }
+    i += n;
+  }
+  const bool joins_tail = tail_snap == snap.get() && tail_size < mb;
+  if (!joins_tail && tail_size > 0) ahead_sizes.push_back(tail_size);
+
+  AdmissionInputs in;
+  in.queue_depth = depth;
+  in.arrival_ms = arrival_ms;
+  in.deadline_budget_ms = budget;
+  in.prospective_batch = joins_tail ? tail_size + 1 : 1;
+  if (in.prospective_batch == mb) {
+    in.batch_ready_ms = arrival_ms;  // this request completes the batch
+  } else if (joins_tail) {
+    in.batch_ready_ms =
+        std::max(arrival_ms, tail_front_arrival + config_.batch.max_delay_ms);
+  } else {
+    in.batch_ready_ms = arrival_ms + config_.batch.max_delay_ms;
+  }
+  // Predicted worker availability: replay the queued-ahead groups onto
+  // the earliest-free worker under the cost model. Their own ready times
+  // are ignored (assumed dispatchable at this arrival), which biases the
+  // prediction optimistic — sheds under-, never over-trigger from it.
+  std::vector<double> free = worker_free_ms_;
+  for (int64_t g : ahead_sizes) {
+    auto w = std::min_element(free.begin(), free.end());
+    *w = std::max(*w, arrival_ms) + EstimateServiceMs(config_.cost, g);
+  }
+  in.earliest_worker_free_ms = *std::min_element(free.begin(), free.end());
+
+  switch (DecideAdmission(config_, in)) {
+    case AdmissionDecision::kShedQueueFull:
+      ++shed_queue_full_;
+      result.outcome = Outcome::kShedQueueFull;
+      return result;
+    case AdmissionDecision::kShedDeadline:
+      ++shed_deadline_;
+      result.outcome = Outcome::kShedDeadline;
+      return result;
+    case AdmissionDecision::kAdmit:
+      break;
+  }
+
+  ++admitted_;
+  QueueEntry entry;
+  entry.id = result.id;
+  entry.arrival_ms = arrival_ms;
+  entry.deadline_ms = arrival_ms + budget;
+  entry.input = Tensor({snap->in_elems});
+  std::copy(example.data(), example.data() + snap->in_elems,
+            entry.input.data());
+  entry.snap = std::move(snap);
+  queues_[model].push_back(std::move(entry));
+
+  // Now dispatch anything due *at* arrival_ms too — a full batch formed
+  // by this request, or a delay expiring on this exact tick.
+  DispatchDue(arrival_ms, /*strict=*/false);
+  result.outcome = Outcome::kAdmitted;
+  return result;
+}
+
+void Server::AdvanceTo(double now_ms) {
+  DLSYS_CHECK(now_ms >= clock_ms_, "AdvanceTo must be monotone");
+  DispatchDue(now_ms, /*strict=*/false);
+  clock_ms_ = now_ms;
+}
+
+double Server::NextActionableMs() const {
+  double best = -1.0;
+  for (const auto& [name, queue] : queues_) {
+    if (queue.empty()) continue;
+    double ready = 0.0;
+    BatchPrefix(queue, &ready);
+    const double t = std::max(
+        ready, *std::min_element(worker_free_ms_.begin(), worker_free_ms_.end()));
+    if (best < 0.0 || t < best) best = t;
+  }
+  return best;
+}
+
+void Server::Drain() {
+  while (true) {
+    const double next = NextActionableMs();
+    if (next < 0.0) break;
+    AdvanceTo(std::max(clock_ms_, next));
+  }
+}
+
+void Server::DispatchDue(double limit_ms, bool strict) {
+  while (true) {
+    double best_time = kInf;
+    std::string best_model;
+    for (const auto& [name, queue] : queues_) {
+      if (queue.empty()) continue;
+      double ready = 0.0;
+      BatchPrefix(queue, &ready);
+      const double t =
+          std::max(ready, *std::min_element(worker_free_ms_.begin(),
+                                            worker_free_ms_.end()));
+      if (t < best_time) {  // map order breaks ties by model name
+        best_time = t;
+        best_model = name;
+      }
+    }
+    if (best_model.empty()) break;
+    if (strict ? best_time >= limit_ms : best_time > limit_ms) break;
+    StageDispatch(&queues_[best_model], best_time);
+  }
+  FlushWave();
+}
+
+void Server::StageDispatch(std::deque<QueueEntry>* queue, double dispatch_ms) {
+  double ready = 0.0;
+  const int64_t n = BatchPrefix(*queue, &ready);
+  const std::shared_ptr<ModelSnapshot>& snap = queue->front().snap;
+
+  // Lowest-index earliest-free worker, so assignment is deterministic.
+  int worker = 0;
+  for (int w = 1; w < config_.workers; ++w) {
+    if (worker_free_ms_[w] < worker_free_ms_[worker]) worker = w;
+  }
+  // A replica's staging buffers hold exactly one batch; if this (snapshot,
+  // worker) pair is already staged in the pending wave, execute the wave
+  // before overwriting them.
+  for (const ExecTask& t : wave_) {
+    if (t.snap.get() == snap.get() && t.worker == worker) {
+      FlushWave();
+      break;
+    }
+  }
+
+  ExecTask task;
+  task.snap = snap;  // copy before moving entries out of the queue
+  task.worker = worker;
+  task.batch_size = n;
+  task.dispatch_ms = dispatch_ms;
+  task.finish_ms = dispatch_ms + EstimateServiceMs(config_.cost, n);
+  task.members.reserve(static_cast<size_t>(n));
+  ModelSnapshot::Replica& rep = task.snap->replicas[worker];
+  for (int64_t j = 0; j < n; ++j) {
+    QueueEntry entry = std::move(queue->front());
+    queue->pop_front();
+    std::copy(entry.input.data(), entry.input.data() + task.snap->in_elems,
+              rep.in_staging.data() + j * task.snap->in_elems);
+    task.members.push_back(std::move(entry));
+  }
+  worker_free_ms_[worker] = task.finish_ms;
+  ++batches_;
+  wave_.push_back(std::move(task));
+}
+
+void Server::FlushWave() {
+  if (wave_.empty()) return;
+  const int64_t n = static_cast<int64_t>(wave_.size());
+  const int64_t chunks =
+      std::min<int64_t>(n, static_cast<int64_t>(pool_.num_workers()) + 1);
+  // Simulated-concurrent batches really run concurrently: each task owns
+  // its (snapshot, worker) replica exclusively, so tasks share no engine
+  // workspace. Bodies touch only their own task — completions_ and the
+  // histograms are coordinator-side state, written after the join.
+  pool_.RunParallel(
+      [this](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          ExecTask& t = wave_[i];
+          ModelSnapshot::Replica& rep = t.snap->replicas[t.worker];
+          Stopwatch sw;
+          t.status = rep.engine->PredictInto(rep.in_staging.data(),
+                                             t.batch_size,
+                                             rep.out_staging.data());
+          t.measured_service_ms = sw.Seconds() * 1000.0;
+        }
+      },
+      0, n, chunks);
+
+  for (ExecTask& task : wave_) {
+    DLSYS_CHECK(task.status.ok(), "engine rejected a dispatched batch");
+    const ModelSnapshot::Replica& rep = task.snap->replicas[task.worker];
+    measured_.Record(task.measured_service_ms);
+    for (size_t j = 0; j < task.members.size(); ++j) {
+      QueueEntry& entry = task.members[j];
+      Completion c;
+      c.id = entry.id;
+      c.model = task.snap->model;
+      c.version = task.snap->version;
+      c.arrival_ms = entry.arrival_ms;
+      c.dispatch_ms = task.dispatch_ms;
+      c.finish_ms = task.finish_ms;
+      c.deadline_ms = entry.deadline_ms;
+      c.batch_size = task.batch_size;
+      c.worker = task.worker;
+      c.deadline_missed = task.finish_ms > entry.deadline_ms;
+      c.measured_service_ms = task.measured_service_ms;
+      c.output = Tensor(task.snap->example_output_shape);
+      const float* row =
+          rep.out_staging.data() + static_cast<int64_t>(j) * task.snap->out_elems;
+      std::copy(row, row + task.snap->out_elems, c.output.data());
+      if (c.deadline_missed) ++deadline_missed_;
+      latency_.Record(c.finish_ms - c.arrival_ms);
+      ++served_[c.model][c.version];
+      completions_.push_back(std::move(c));
+    }
+  }
+  wave_.clear();
+}
+
+MetricsReport Server::metrics() const {
+  MetricsReport report;
+  report.Set("serve.offered", static_cast<double>(offered_));
+  report.Set("serve.admitted", static_cast<double>(admitted_));
+  report.Set("serve.shed_queue_full", static_cast<double>(shed_queue_full_));
+  report.Set("serve.shed_deadline", static_cast<double>(shed_deadline_));
+  report.Set("serve.no_such_model", static_cast<double>(no_such_model_));
+  report.Set("serve.deadline_missed", static_cast<double>(deadline_missed_));
+  report.Set("serve.batches", static_cast<double>(batches_));
+  report.Set("serve.swaps", static_cast<double>(registry_->swap_count()));
+  for (const auto& [model, by_version] : served_) {
+    for (const auto& [version, count] : by_version) {
+      report.Set("serve." + model + ".served_v" + std::to_string(version),
+                 static_cast<double>(count));
+    }
+  }
+  latency_.ReportInto(&report, "serve.latency");
+  measured_.ReportInto(&report, "serve.measured");
+  return report;
+}
+
+}  // namespace dlsys

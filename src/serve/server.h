@@ -1,0 +1,212 @@
+#ifndef DLSYS_SERVE_SERVER_H_
+#define DLSYS_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/status.h"
+#include "src/runtime/thread_pool.h"
+#include "src/serve/admission.h"
+#include "src/serve/registry.h"
+
+/// \file server.h
+/// \brief The serving front door: bounded queues, deadline-aware
+/// admission, and an SLO-tracked worker pool over hot-swappable models.
+///
+/// ## Simulated decisions, real execution
+///
+/// Every *decision* the server makes — admit or shed, which requests
+/// share a batch, which worker runs it, when it starts and finishes —
+/// is computed over a simulated clock from the declared ServiceCostModel,
+/// never from wall-clock measurements. Every *output* is real: dispatched
+/// batches run through the compiled InferenceEngine replicas on actual
+/// threads. The split buys both halves of the reproducibility story: a
+/// fixed arrival sequence replays bit for bit (same sheds, same batches,
+/// same versions, same outputs) at any DLSYS_THREADS, while the engine
+/// wall time is still measured and reported as an informational metric
+/// (`Completion::measured_service_ms`), so benches can compare the model
+/// against reality.
+///
+/// ## Version binding and hot swap
+///
+/// Each admitted request binds the model snapshot current *at admission*
+/// (one registry Acquire). Batches are version-homogeneous FIFO prefixes,
+/// so a Publish mid-load never mixes versions inside a batch and never
+/// loses a request: queued requests finish on the snapshot they bound.
+///
+/// ## Threading contract
+///
+/// Submit/AdvanceTo/Drain and the accessors form a single-threaded event
+/// loop — call them from one thread. Publish (and the registry) is
+/// thread-safe and may run concurrently with serving; that is the hot-swap
+/// path test_serve exercises under TSan. Dispatched batches execute on the
+/// server's own ThreadPool: simulated-concurrent batches run as one
+/// fork-join wave, each on its bound snapshot's per-worker replica, so no
+/// engine workspace is ever shared between threads.
+
+namespace dlsys {
+
+/// \brief Coordinates admission, batching, and execution for all models
+/// in a ModelRegistry.
+class Server {
+ public:
+  /// \brief What happened to one submitted request.
+  enum class Outcome {
+    kAdmitted,
+    kShedQueueFull,
+    kShedDeadline,
+    kNoSuchModel,
+  };
+
+  /// \brief Submit verdict; \p id is assigned to every offered request,
+  /// \p version is the snapshot version the request bound (0 if none).
+  struct SubmitResult {
+    Outcome outcome = Outcome::kNoSuchModel;
+    int64_t id = -1;
+    int64_t version = 0;
+  };
+
+  /// \brief One finished request, in dispatch order.
+  struct Completion {
+    int64_t id = 0;
+    std::string model;
+    int64_t version = 0;        ///< snapshot version bound at admission
+    double arrival_ms = 0.0;    ///< simulated
+    double dispatch_ms = 0.0;   ///< simulated batch start
+    double finish_ms = 0.0;     ///< dispatch + modeled service time
+    double deadline_ms = 0.0;   ///< absolute simulated deadline
+    int64_t batch_size = 0;     ///< requests sharing the dispatch
+    int worker = 0;             ///< replica index that executed it
+    bool deadline_missed = false;  ///< finish_ms > deadline_ms
+    /// Real wall time of the batch's engine call (informational only;
+    /// never feeds scheduling).
+    double measured_service_ms = 0.0;
+    Tensor output;  ///< real engine output, example_output_shape
+  };
+
+  /// \brief Validates \p config and builds a server over \p registry
+  /// (borrowed; must outlive the server).
+  static Result<std::unique_ptr<Server>> Create(ModelRegistry* registry,
+                                                const ServerConfig& config);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \brief Compiles \p net into one replica per worker and publishes it
+  /// as the next version of \p model. The engine batch ceiling is raised
+  /// to the server's batch.max_batch if \p engine_config declares less.
+  /// Thread-safe; may run concurrently with the serving loop (hot swap).
+  Result<int64_t> Publish(const std::string& model, const Sequential& net,
+                          const Shape& example_shape,
+                          const EngineConfig& engine_config = {});
+
+  /// \brief Offers one request at simulated time \p arrival_ms (monotone;
+  /// checked). \p example must match the model's per-example input shape.
+  /// \p deadline_budget_ms <= 0 selects config.default_deadline_ms.
+  ///
+  /// Order of operations: dispatch every batch due strictly before
+  /// arrival_ms, then decide admission against the declared cost model,
+  /// then (if admitted) enqueue and dispatch anything due at arrival_ms —
+  /// so a batch whose delay expires exactly now coalesces this request.
+  SubmitResult Submit(const std::string& model, const Tensor& example,
+                      double arrival_ms, double deadline_budget_ms = 0.0);
+
+  /// \brief Advances the simulated clock to \p now_ms (monotone; checked),
+  /// dispatching every batch whose dispatch time is due, and executes
+  /// them for real as one fork-join wave.
+  void AdvanceTo(double now_ms);
+
+  /// \brief Earliest simulated time a pending batch becomes dispatchable,
+  /// or -1 when all queues are empty. Drives event loops:
+  /// `AdvanceTo(max(clock_ms(), NextActionableMs()))`.
+  double NextActionableMs() const;
+
+  /// \brief Dispatches and executes everything still queued.
+  void Drain();
+
+  /// \brief Current simulated time.
+  double clock_ms() const { return clock_ms_; }
+  /// \brief All completions so far, in dispatch order.
+  const std::vector<Completion>& completions() const { return completions_; }
+  /// \brief Simulated request latency (finish - arrival) distribution.
+  const LatencyHistogram& latency_histogram() const { return latency_; }
+  /// \brief The underlying registry (for direct Acquire/Publish).
+  ModelRegistry* registry() const { return registry_; }
+  /// \brief The validated configuration.
+  const ServerConfig& config() const { return config_; }
+
+  /// \brief Counters + latency quantiles under "serve.*" keys:
+  /// offered/admitted/shed_queue_full/shed_deadline/no_such_model/
+  /// deadline_missed/batches, per-model "serve.<model>.served_v<N>",
+  /// simulated latency under "serve.latency.*", and real engine wall
+  /// time under "serve.measured.*".
+  MetricsReport metrics() const;
+
+ private:
+  /// One admitted, not-yet-dispatched request.
+  struct QueueEntry {
+    int64_t id = 0;
+    double arrival_ms = 0.0;
+    double deadline_ms = 0.0;  ///< absolute
+    std::shared_ptr<ModelSnapshot> snap;
+    Tensor input;  ///< flat copy, (in_elems)
+  };
+
+  /// One dispatched batch awaiting real execution in the current wave.
+  struct ExecTask {
+    std::shared_ptr<ModelSnapshot> snap;
+    int worker = 0;
+    int64_t batch_size = 0;
+    double dispatch_ms = 0.0;
+    double finish_ms = 0.0;
+    std::vector<QueueEntry> members;
+    double measured_service_ms = 0.0;  ///< stamped by the executing thread
+    Status status;                     ///< engine verdict, checked on flush
+  };
+
+  Server(ModelRegistry* registry, const ServerConfig& config);
+
+  /// Size of the version-homogeneous FIFO prefix (<= max_batch) and the
+  /// simulated time it becomes dispatchable.
+  int64_t BatchPrefix(const std::deque<QueueEntry>& queue,
+                      double* ready_ms) const;
+  /// Dispatches every due batch: strictly before \p limit_ms when
+  /// \p strict, else at or before it.
+  void DispatchDue(double limit_ms, bool strict);
+  /// Pops the front batch of \p queue and stages it onto a worker.
+  void StageDispatch(std::deque<QueueEntry>* queue, double dispatch_ms);
+  /// Runs the staged wave on the thread pool and records completions.
+  void FlushWave();
+
+  ModelRegistry* registry_;
+  ServerConfig config_;
+  ThreadPool pool_;  ///< workers - 1 threads; chunk 0 runs on the caller
+
+  double clock_ms_ = 0.0;
+  int64_t next_id_ = 0;
+  std::map<std::string, std::deque<QueueEntry>> queues_;
+  std::vector<double> worker_free_ms_;
+  std::vector<ExecTask> wave_;
+
+  std::vector<Completion> completions_;
+  LatencyHistogram latency_;
+  LatencyHistogram measured_;
+  int64_t offered_ = 0;
+  int64_t admitted_ = 0;
+  int64_t shed_queue_full_ = 0;
+  int64_t shed_deadline_ = 0;
+  int64_t no_such_model_ = 0;
+  int64_t deadline_missed_ = 0;
+  int64_t batches_ = 0;
+  /// served request count per (model, version)
+  std::map<std::string, std::map<int64_t, int64_t>> served_;
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_SERVE_SERVER_H_

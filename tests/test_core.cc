@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "src/core/metrics.h"
 #include "src/core/rng.h"
 #include "src/core/status.h"
@@ -267,6 +271,100 @@ TEST(ParetoTest, EmptyAndSingle) {
   EXPECT_TRUE(ParetoFrontier({}).empty());
   auto one = ParetoFrontier({{"x", 1.0, 1.0}});
   EXPECT_EQ(one.size(), 1u);
+}
+
+// ------------------------------------------------------ LatencyHistogram
+
+TEST(LatencyHistogramTest, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum_ms(), 0.0);
+  EXPECT_EQ(h.mean_ms(), 0.0);
+  EXPECT_EQ(h.min_ms(), 0.0);
+  EXPECT_EQ(h.max_ms(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleObservationIsExactEverywhere) {
+  LatencyHistogram h;
+  h.Record(3.7);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 3.7);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 3.7);
+  // min/max clamping makes every quantile of a singleton exact.
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 3.7) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantileWithinBucketResolution) {
+  // Geometric buckets with ratio 2^(1/4) bound the quantile's relative
+  // error by ratio - 1 < 19% (the header's documented contract).
+  Rng rng(7);
+  LatencyHistogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::exp(rng.Gaussian(1.0, 1.5));  // spans ~4 decades
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(values.size()))) - 1;
+    const double exact = values[rank];
+    const double approx = h.Quantile(q);
+    EXPECT_GE(approx, exact * 0.99) << "q=" << q;   // never below its rank's
+    EXPECT_LE(approx, exact * 1.20) << "q=" << q;   // bucket upper edge
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), values.front());
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), values.back());
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedRecording) {
+  Rng rng(8);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.Uniform(0.0, 50.0);
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum_ms(), combined.sum_ms());
+  EXPECT_DOUBLE_EQ(a.min_ms(), combined.min_ms());
+  EXPECT_DOUBLE_EQ(a.max_ms(), combined.max_ms());
+  for (double q : {0.25, 0.5, 0.75, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, TracksExactMomentsAndExtremes) {
+  LatencyHistogram h;
+  h.Record(0.0);  // underflow bucket
+  h.Record(2.0);
+  h.Record(10.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum_ms(), 12.0);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 10.0);
+}
+
+TEST(LatencyHistogramTest, ReportIntoWritesUniformKeys) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  MetricsReport report;
+  h.ReportInto(&report, "serve.latency");
+  EXPECT_EQ(report.Get("serve.latency.count"), 100.0);
+  EXPECT_DOUBLE_EQ(report.Get("serve.latency.mean_ms"), 50.5);
+  EXPECT_DOUBLE_EQ(report.Get("serve.latency.max_ms"), 100.0);
+  EXPECT_GT(report.Get("serve.latency.p50_ms"), 0.0);
+  EXPECT_GE(report.Get("serve.latency.p99_ms"),
+            report.Get("serve.latency.p95_ms"));
+  EXPECT_GE(report.Get("serve.latency.p95_ms"),
+            report.Get("serve.latency.p50_ms"));
 }
 
 }  // namespace

@@ -1,0 +1,534 @@
+// Tests for the serving layer (src/serve): RCU hot-swap correctness
+// (every completed request's output is bitwise the version it was
+// admitted under, at any DLSYS_THREADS), bounded-queue and deadline
+// admission, deterministic bit-for-bit load replay, and thread-safety of
+// registry publish/acquire under real concurrency (the TSan target).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/nn/train.h"
+#include "src/runtime/runtime.h"
+#include "src/serve/admission.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/registry.h"
+#include "src/serve/server.h"
+
+namespace dlsys {
+namespace {
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), static_cast<size_t>(a.bytes())) == 0;
+}
+
+/// A small trained-free MLP; distinct seeds give distinct weights.
+Sequential MakeNet(uint64_t seed) {
+  Sequential net = MakeMlp(16, {24}, 4);
+  Rng rng(seed);
+  net.Init(&rng);
+  return net;
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(ModelRegistryTest, PublishAcquireAndVersioning) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Acquire("m"), nullptr);
+  EXPECT_EQ(registry.LatestVersion("m"), 0);
+
+  Sequential net = MakeNet(1);
+  auto snap1 = CompileSnapshot(net, {16}, /*replicas=*/2);
+  ASSERT_TRUE(snap1.ok()) << snap1.status().ToString();
+  auto v1 = registry.Publish("m", std::move(snap1).value());
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 1);
+  EXPECT_EQ(registry.swap_count(), 0);  // first publication is not a swap
+
+  std::shared_ptr<ModelSnapshot> held = registry.Acquire("m");
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->version, 1);
+  EXPECT_EQ(held->model, "m");
+  EXPECT_EQ(held->in_elems, 16);
+  EXPECT_EQ(held->out_elems, 4);
+  ASSERT_EQ(held->replicas.size(), 2u);
+
+  auto snap2 = CompileSnapshot(MakeNet(2), {16}, 2);
+  ASSERT_TRUE(snap2.ok());
+  auto v2 = registry.Publish("m", std::move(snap2).value());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2);
+  EXPECT_EQ(registry.swap_count(), 1);
+  EXPECT_EQ(registry.LatestVersion("m"), 2);
+  EXPECT_EQ(registry.Acquire("m")->version, 2);
+
+  // RCU guarantee: the pre-swap snapshot we hold is untouched and usable.
+  EXPECT_EQ(held->version, 1);
+  Tensor x({16});
+  Rng rng(3);
+  x.FillGaussian(&rng, 1.0f);
+  Tensor out({1, 4});
+  EXPECT_TRUE(
+      held->replicas[0].engine->PredictInto(x.data(), 1, out.data()).ok());
+
+  auto other = CompileSnapshot(MakeNet(4), {16}, 1);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(registry.Publish("a", std::move(other).value()).ok());
+  EXPECT_EQ(registry.ModelNames(), (std::vector<std::string>{"a", "m"}));
+}
+
+TEST(ModelRegistryTest, PublishAndCompileErrors) {
+  ModelRegistry registry;
+  Sequential net = MakeNet(1);
+  EXPECT_EQ(CompileSnapshot(net, {16}, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CompileSnapshot(net, {4, 4}, 1).status().code(),
+            StatusCode::kInvalidArgument);  // shape does not thread through
+
+  EXPECT_EQ(registry.Publish("m", nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  auto snap = CompileSnapshot(net, {16}, 1);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(registry.Publish("", std::move(snap).value()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ModelRegistryTest, ConcurrentPublishAndAcquireAreRaceFree) {
+  // The TSan target for the registry alone: one publisher hot-swapping in
+  // a loop while readers acquire and *use* snapshots. Each reader drives
+  // its own replica index, so engine workspaces are never shared.
+  constexpr int kReaders = 3;
+  ModelRegistry registry;
+  auto first = CompileSnapshot(MakeNet(10), {16}, kReaders);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(registry.Publish("m", std::move(first).value()).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&registry, &stop]() {
+    for (int i = 0; i < 8; ++i) {
+      auto snap = CompileSnapshot(MakeNet(11 + static_cast<uint64_t>(i)),
+                                  {16}, kReaders);
+      ASSERT_TRUE(snap.ok());
+      ASSERT_TRUE(registry.Publish("m", std::move(snap).value()).ok());
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&registry, &stop, r]() {
+      Rng rng(100 + static_cast<uint64_t>(r));
+      Tensor x({16});
+      Tensor out({1, 4});
+      int64_t last_version = 0;
+      while (!stop.load()) {
+        std::shared_ptr<ModelSnapshot> snap = registry.Acquire("m");
+        ASSERT_NE(snap, nullptr);
+        EXPECT_GE(snap->version, last_version);  // versions only move up
+        last_version = snap->version;
+        x.FillGaussian(&rng, 1.0f);
+        ASSERT_TRUE(snap->replicas[static_cast<size_t>(r)]
+                        .engine->PredictInto(x.data(), 1, out.data())
+                        .ok());
+      }
+    });
+  }
+  publisher.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(registry.LatestVersion("m"), 9);
+  EXPECT_EQ(registry.swap_count(), 8);
+}
+
+// ------------------------------------------------------- config validation
+
+TEST(ServerConfigTest, ValidateCatchesEachBadField) {
+  EXPECT_TRUE(ValidateServerConfig(ServerConfig{}).ok());
+
+  ServerConfig c;
+  c.workers = 0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.batch.max_batch = 0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.queue_capacity = 3;
+  c.batch.max_batch = 8;  // queue bound must fit one full batch
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.batch.max_delay_ms = -0.5;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.default_deadline_ms = 0.0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.default_deadline_ms = 1.0 / 0.0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.cost.fixed_ms = -1.0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.cost.per_example_ms = -1.0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  ModelRegistry registry;
+  c = ServerConfig{};
+  c.workers = 0;
+  EXPECT_FALSE(Server::Create(&registry, c).ok());
+  EXPECT_FALSE(Server::Create(nullptr, ServerConfig{}).ok());
+}
+
+// ------------------------------------------------------------- admission
+
+TEST(ServerTest, ShedsWhenQueueIsFullInsteadOfQueuingUnboundedly) {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 4;
+  config.batch.max_batch = 4;
+  config.batch.max_delay_ms = 1000.0;  // only full batches dispatch
+  config.default_deadline_ms = 1e6;    // deadline never the limiter here
+  config.cost = {1.0, 0.0};
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", MakeNet(1), {16}).ok());
+
+  Rng rng(2);
+  Tensor x({16});
+  int admitted = 0, shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    x.FillGaussian(&rng, 1.0f);
+    const Server::SubmitResult r = server->Submit("m", x, 0.0);
+    if (r.outcome == Server::Outcome::kAdmitted) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(r.outcome, Server::Outcome::kShedQueueFull) << "i=" << i;
+      ++shed;
+    }
+  }
+  // First batch of 4 dispatches on the spot (frees the queue), next 4
+  // wait for the busy worker, and the rest bounce off the full queue.
+  EXPECT_EQ(admitted, 8);
+  EXPECT_EQ(shed, 2);
+  server->Drain();
+  EXPECT_EQ(server->completions().size(), 8u);  // no admitted request lost
+
+  const MetricsReport m = server->metrics();
+  EXPECT_EQ(m.Get("serve.offered"), 10.0);
+  EXPECT_EQ(m.Get("serve.admitted"), 8.0);
+  EXPECT_EQ(m.Get("serve.shed_queue_full"), 2.0);
+  EXPECT_EQ(m.Get("serve.batches"), 2.0);
+  EXPECT_EQ(m.Get("serve.latency.count"), 8.0);
+}
+
+TEST(ServerTest, ShedsWhenPredictedFinishMissesDeadline) {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 64;
+  config.batch.max_batch = 1;
+  config.batch.max_delay_ms = 0.0;
+  config.default_deadline_ms = 15.0;
+  config.cost = {10.0, 0.0};  // each dispatch occupies the worker 10ms
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", MakeNet(1), {16}).ok());
+
+  Rng rng(3);
+  Tensor x({16});
+  x.FillGaussian(&rng, 1.0f);
+  EXPECT_EQ(server->Submit("m", x, 0.0).outcome, Server::Outcome::kAdmitted);
+  // The worker is now busy until t=10; a second request would finish at
+  // t=20, past its t=15 deadline — shed at admission, not queued to fail.
+  EXPECT_EQ(server->Submit("m", x, 0.0).outcome,
+            Server::Outcome::kShedDeadline);
+  // By t=6 the worker frees at 10 and a new request's deadline is 21.
+  EXPECT_EQ(server->Submit("m", x, 6.0).outcome, Server::Outcome::kAdmitted);
+  server->Drain();
+  EXPECT_EQ(server->completions().size(), 2u);
+  EXPECT_EQ(server->metrics().Get("serve.shed_deadline"), 1.0);
+  EXPECT_EQ(server->metrics().Get("serve.deadline_missed"), 0.0);
+}
+
+TEST(ServerTest, UnknownModelIsReported) {
+  ModelRegistry registry;
+  auto created = Server::Create(&registry, ServerConfig{});
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  Tensor x({16});
+  EXPECT_EQ(server->Submit("ghost", x, 0.0).outcome,
+            Server::Outcome::kNoSuchModel);
+  EXPECT_EQ(server->metrics().Get("serve.no_such_model"), 1.0);
+}
+
+// ------------------------------------------------------ hot-swap under load
+
+struct SwapTrace {
+  std::vector<Server::Outcome> outcomes;
+  std::vector<int64_t> versions;          // per completion, dispatch order
+  std::vector<double> finishes;           // per completion
+  std::vector<int64_t> ids;               // per completion
+  std::vector<std::vector<float>> outputs;
+  MetricsReport metrics;
+};
+
+/// Drives 200 requests with a v1→v2 publish before request 100 and
+/// returns the full observable trace.
+SwapTrace RunSwapScenario(const Sequential& net1, const Sequential& net2,
+                          const std::vector<Tensor>& inputs) {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.batch.max_batch = 4;
+  config.batch.max_delay_ms = 0.5;
+  config.default_deadline_ms = 1e6;  // nothing sheds; we count completions
+  auto created = Server::Create(&registry, config);
+  EXPECT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  EXPECT_TRUE(server->Publish("m", net1, {16}).ok());
+
+  SwapTrace trace;
+  double t = 0.0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    t += 0.05;
+    if (i == 100) EXPECT_TRUE(server->Publish("m", net2, {16}).ok());
+    trace.outcomes.push_back(server->Submit("m", inputs[i], t).outcome);
+  }
+  server->Drain();
+  for (const Server::Completion& c : server->completions()) {
+    trace.versions.push_back(c.version);
+    trace.finishes.push_back(c.finish_ms);
+    trace.ids.push_back(c.id);
+    trace.outputs.emplace_back(c.output.data(),
+                               c.output.data() + c.output.size());
+  }
+  trace.metrics = server->metrics();
+  return trace;
+}
+
+TEST(ServerTest, HotSwapUnderLoadIsLosslessAndBitwiseVersionFaithful) {
+  const Sequential net1 = MakeNet(21);
+  const Sequential net2 = MakeNet(22);
+  std::vector<Tensor> inputs;
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    Tensor x({16});
+    x.FillGaussian(&rng, 1.0f);
+    inputs.push_back(std::move(x));
+  }
+  // Per-version references: the engine's row outputs are bitwise equal to
+  // single-example predictions, so a per-request reference is exact.
+  auto ref1 = InferenceEngine::Compile(net1, {16});
+  auto ref2 = InferenceEngine::Compile(net2, {16});
+  ASSERT_TRUE(ref1.ok() && ref2.ok());
+  InferenceEngine engines[2] = {std::move(ref1).value(),
+                                std::move(ref2).value()};
+
+  SwapTrace first;
+  for (int threads : {1, 2, 8}) {
+    RuntimeConfig::SetThreads(threads);
+    SwapTrace trace = RunSwapScenario(net1, net2, inputs);
+
+    // (a) zero requests lost across the swap...
+    ASSERT_EQ(trace.outcomes.size(), 200u);
+    for (size_t i = 0; i < trace.outcomes.size(); ++i) {
+      EXPECT_EQ(trace.outcomes[i], Server::Outcome::kAdmitted) << i;
+    }
+    ASSERT_EQ(trace.versions.size(), 200u);
+    EXPECT_EQ(trace.metrics.Get("serve.admitted"), 200.0);
+    EXPECT_EQ(trace.metrics.Get("serve.swaps"), 1.0);
+    // ...and both versions actually served.
+    EXPECT_GT(trace.metrics.Get("serve.m.served_v1"), 0.0);
+    EXPECT_GT(trace.metrics.Get("serve.m.served_v2"), 0.0);
+
+    for (size_t i = 0; i < trace.versions.size(); ++i) {
+      const int64_t id = trace.ids[i];
+      // Version binding happens at admission: requests offered before the
+      // publish stay on v1, later ones are v2, with no mixing.
+      EXPECT_EQ(trace.versions[i], id < 100 ? 1 : 2) << "id=" << id;
+      // Output is bitwise the bound version's prediction.
+      Tensor one({1, 16});
+      const Tensor& src = inputs[static_cast<size_t>(id)];
+      std::copy(src.data(), src.data() + 16, one.data());
+      const Tensor want =
+          std::move(engines[trace.versions[i] - 1].Predict(one)).value();
+      ASSERT_EQ(trace.outputs[i].size(), 4u);
+      EXPECT_EQ(std::memcmp(trace.outputs[i].data(), want.data(),
+                            4 * sizeof(float)),
+                0)
+          << "id=" << id << " threads=" << threads;
+    }
+
+    // (c) the whole trace — decisions, schedule, outputs — is identical
+    // at every thread count.
+    if (threads == 1) {
+      first = std::move(trace);
+    } else {
+      EXPECT_EQ(trace.versions, first.versions) << "threads=" << threads;
+      EXPECT_EQ(trace.finishes, first.finishes) << "threads=" << threads;
+      EXPECT_EQ(trace.ids, first.ids) << "threads=" << threads;
+      EXPECT_EQ(trace.outputs, first.outputs) << "threads=" << threads;
+    }
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
+TEST(ServerTest, ConcurrentPublishDuringServingKeepsVersionsBitwise) {
+  // The end-to-end TSan scenario: the serving loop runs on this thread
+  // while another thread hot-swaps between two networks. Which version a
+  // request binds depends on the race — but whichever it binds, its
+  // output must be bitwise that version's prediction.
+  const Sequential nets[2] = {MakeNet(31), MakeNet(32)};
+  auto ref0 = InferenceEngine::Compile(nets[0], {16});
+  auto ref1 = InferenceEngine::Compile(nets[1], {16});
+  ASSERT_TRUE(ref0.ok() && ref1.ok());
+  InferenceEngine refs[2] = {std::move(ref0).value(),
+                             std::move(ref1).value()};
+
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.batch.max_batch = 4;
+  config.batch.max_delay_ms = 0.2;
+  config.default_deadline_ms = 1e6;
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", nets[0], {16}).ok());
+
+  std::thread swapper([&server, &nets]() {
+    for (int i = 0; i < 6; ++i) {
+      // v2 binds nets[1], v3 nets[0], ... — version v serves nets[1 - v%2].
+      ASSERT_TRUE(server->Publish("m", nets[(i + 1) % 2], {16}).ok());
+    }
+  });
+
+  std::vector<Tensor> inputs;
+  Rng rng(33);
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    Tensor x({16});
+    x.FillGaussian(&rng, 1.0f);
+    t += 0.05;
+    ASSERT_EQ(server->Submit("m", x, t).outcome, Server::Outcome::kAdmitted);
+    inputs.push_back(std::move(x));
+  }
+  swapper.join();
+  server->Drain();
+
+  ASSERT_EQ(server->completions().size(), 300u);
+  for (const Server::Completion& c : server->completions()) {
+    ASSERT_GE(c.version, 1);
+    ASSERT_LE(c.version, 7);
+    InferenceEngine& ref = refs[1 - c.version % 2];
+    Tensor one({1, 16});
+    const Tensor& src = inputs[static_cast<size_t>(c.id)];
+    std::copy(src.data(), src.data() + 16, one.data());
+    const Tensor want = std::move(ref.Predict(one)).value();
+    EXPECT_EQ(std::memcmp(c.output.data(), want.data(), 4 * sizeof(float)),
+              0)
+        << "id=" << c.id << " version=" << c.version;
+  }
+  EXPECT_EQ(server->registry()->swap_count(), 6);
+}
+
+// -------------------------------------------------------- load harnesses
+
+TEST(LoadGenTest, OpenLoopReplaysBitForBit) {
+  auto run = []() {
+    ModelRegistry registry;
+    ServerConfig config;
+    config.workers = 2;
+    config.queue_capacity = 32;
+    config.batch.max_batch = 8;
+    config.batch.max_delay_ms = 0.3;
+    config.default_deadline_ms = 5.0;
+    auto created = Server::Create(&registry, config);
+    EXPECT_TRUE(created.ok());
+    std::unique_ptr<Server> server = std::move(created).value();
+    EXPECT_TRUE(server->Publish("m", MakeNet(41), {16}).ok());
+    OpenLoopConfig load;
+    load.seed = 5;
+    load.requests = 300;
+    load.rate_rps = 20000.0;  // hot enough that some requests shed
+    load.model = "m";
+    LoadReport report = RunOpenLoop(server.get(), load);
+    SwapTrace trace;  // reuse the container for the comparison
+    for (const Server::Completion& c : server->completions()) {
+      trace.versions.push_back(c.version);
+      trace.finishes.push_back(c.finish_ms);
+      trace.ids.push_back(c.id);
+      trace.outputs.emplace_back(c.output.data(),
+                                 c.output.data() + c.output.size());
+    }
+    return std::make_pair(report, trace);
+  };
+  auto [r1, t1] = run();
+  auto [r2, t2] = run();
+
+  EXPECT_EQ(r1.offered, 300);
+  EXPECT_EQ(r1.offered, r1.admitted + r1.shed);
+  EXPECT_EQ(r1.completed, r1.admitted);  // every admitted request finishes
+  EXPECT_GT(r1.completed, 0);
+
+  // Bit-for-bit replay: same counts, same schedule, same outputs.
+  EXPECT_EQ(r1.admitted, r2.admitted);
+  EXPECT_EQ(r1.shed, r2.shed);
+  EXPECT_EQ(r1.deadline_missed, r2.deadline_missed);
+  EXPECT_EQ(r1.duration_ms, r2.duration_ms);
+  EXPECT_EQ(r1.latency.count(), r2.latency.count());
+  EXPECT_EQ(r1.latency.sum_ms(), r2.latency.sum_ms());
+  EXPECT_EQ(t1.ids, t2.ids);
+  EXPECT_EQ(t1.versions, t2.versions);
+  EXPECT_EQ(t1.finishes, t2.finishes);
+  EXPECT_EQ(t1.outputs, t2.outputs);
+}
+
+TEST(LoadGenTest, ClosedLoopCompletesEveryClientBudget) {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = 32;
+  config.batch.max_batch = 4;
+  config.batch.max_delay_ms = 0.2;
+  config.default_deadline_ms = 50.0;
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", MakeNet(51), {16}).ok());
+
+  ClosedLoopConfig load;
+  load.seed = 6;
+  load.clients = 3;
+  load.requests_per_client = 20;
+  load.think_ms = 1.0;
+  load.model = "m";
+  const LoadReport report = RunClosedLoop(server.get(), load);
+  // Closed-loop offered load self-limits well under capacity here, so
+  // nothing sheds and every attempt completes.
+  EXPECT_EQ(report.offered, 60);
+  EXPECT_EQ(report.admitted, 60);
+  EXPECT_EQ(report.shed, 0);
+  EXPECT_EQ(report.completed, 60);
+  EXPECT_EQ(report.latency.count(), 60);
+  EXPECT_GT(report.sim_throughput_rps, 0.0);
+}
+
+}  // namespace
+}  // namespace dlsys
