@@ -22,6 +22,7 @@
 #include "src/core/metrics.h"
 #include "src/core/rng.h"
 #include "src/infer/batcher.h"
+#include "src/obs/counters.h"
 #include "src/infer/engine.h"
 #include "src/nn/train.h"
 #include "src/runtime/runtime.h"
@@ -249,6 +250,15 @@ FrontierRow BenchFrontierPoint(InferenceEngine* engine, int64_t max_batch) {
   config.max_delay_ms = 0.5;
   MicroBatcher batcher(engine, config);
 
+  // The batcher records each request's queueing + service delay into the
+  // registry histogram; the bench reads quantiles back from there instead
+  // of keeping a local LatencyHistogram. Reset scopes the read to this
+  // frontier point. (A -DDLSYS_OBS=0 build compiles the recording sites
+  // out, so latency quantiles read as zero there.)
+  obs::SharedHistogram* latency =
+      obs::CounterRegistry::Global().histogram("infer.microbatch_latency_ms");
+  latency->Reset();
+
   Tensor example({in_elems});
   for (int64_t r = 0; r < requests; ++r) {
     example.FillGaussian(&rng, 1.0f);
@@ -258,12 +268,9 @@ FrontierRow BenchFrontierPoint(InferenceEngine* engine, int64_t max_batch) {
 
   // Throughput is engine-side: examples per second of measured service
   // time (each batch's service appears once per member, so divide by the
-  // member count). Latency is the simulated queueing + service delay,
-  // aggregated in the serving layer's log-bucketed histogram.
-  LatencyHistogram latency;
+  // member count).
   double service_sum_ms = 0.0;
   for (const MicroBatcher::Completion& done : batcher.completions()) {
-    latency.Record(done.finish_ms - done.arrival_ms);
     service_sum_ms += (done.finish_ms - done.start_ms) /
                       static_cast<double>(done.batch_size);
   }
@@ -272,8 +279,8 @@ FrontierRow BenchFrontierPoint(InferenceEngine* engine, int64_t max_batch) {
   row.max_batch = max_batch;
   row.throughput_rps =
       static_cast<double>(requests) / (service_sum_ms / 1000.0);
-  row.p50_ms = latency.Quantile(0.5);
-  row.p99_ms = latency.Quantile(0.99);
+  row.p50_ms = latency->Quantile(0.5);
+  row.p99_ms = latency->Quantile(0.99);
   row.mean_batch = static_cast<double>(requests) /
                    static_cast<double>(batcher.batches_run());
   return row;

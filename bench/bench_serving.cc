@@ -23,6 +23,7 @@
 #include "src/core/metrics.h"
 #include "src/core/rng.h"
 #include "src/nn/train.h"
+#include "src/obs/counters.h"
 #include "src/runtime/runtime.h"
 #include "src/serve/admission.h"
 #include "src/serve/loadgen.h"
@@ -57,6 +58,16 @@ ServerUnderTest MakeServer(const ServerConfig& config) {
   auto version = sut.server->Publish("m", MakeServeNet(71), {kInElems});
   DLSYS_CHECK(version.ok(), "publish failed");
   return sut;
+}
+
+/// The server records every completion's simulated latency into the
+/// registry histogram "serve.latency_ms"; benches read their p50/p99
+/// from there instead of keeping local LatencyHistogram copies. Reset
+/// before a run scopes the registry's view to that run. (A -DDLSYS_OBS=0
+/// build compiles the server's recording sites out, so the quantiles
+/// read as zero there.)
+obs::SharedHistogram* ServeLatency() {
+  return obs::CounterRegistry::Global().histogram("serve.latency_ms");
 }
 
 /// Offered rate that saturates the declared cost model at full batches.
@@ -107,6 +118,7 @@ std::vector<FrontierRow> BenchFrontier() {
       load.requests = g_smoke ? 200 : 4000;
       load.rate_rps = 0.8 * CapacityRps(config);  // feasible but busy
       load.model = "m";
+      ServeLatency()->Reset();
       const LoadReport report = RunOpenLoop(sut.server.get(), load);
       DLSYS_CHECK(report.completed == report.admitted, "lost requests");
 
@@ -117,8 +129,8 @@ std::vector<FrontierRow> BenchFrontier() {
       row.offered_rps = load.rate_rps;
       row.sim_rps = report.sim_throughput_rps;
       row.real_rps = report.real_throughput_rps;
-      row.p50_ms = report.latency.Quantile(0.5);
-      row.p99_ms = report.latency.Quantile(0.99);
+      row.p50_ms = ServeLatency()->Quantile(0.5);
+      row.p99_ms = ServeLatency()->Quantile(0.99);
       const MetricsReport m = sut.server->metrics();
       row.mean_batch = m.Get("serve.batches") > 0
                            ? m.Get("serve.admitted") / m.Get("serve.batches")
@@ -159,6 +171,7 @@ std::vector<ShedRow> BenchShedCurve() {
     load.requests = g_smoke ? 300 : 4000;
     load.rate_rps = mult * CapacityRps(config);
     load.model = "m";
+    ServeLatency()->Reset();
     const LoadReport report = RunOpenLoop(sut.server.get(), load);
 
     ShedRow row;
@@ -170,7 +183,7 @@ std::vector<ShedRow> BenchShedCurve() {
         report.completed > 0 ? static_cast<double>(report.deadline_missed) /
                                    static_cast<double>(report.completed)
                              : 0.0;
-    row.p99_ms = report.latency.Quantile(0.99);
+    row.p99_ms = ServeLatency()->Quantile(0.99);
     row.goodput_rps =
         report.duration_ms > 0.0
             ? static_cast<double>(report.completed - report.deadline_missed) /
@@ -229,15 +242,22 @@ SwapResult BenchHotSwap() {
   result.served_v1 = static_cast<int64_t>(m.Get("serve.m.served_v1"));
   result.served_v2 = static_cast<int64_t>(m.Get("serve.m.served_v2"));
 
-  LatencyHistogram windows[3];
+  // The swap windows slice completions by request id after the fact, so
+  // they are recorded here rather than inside the server; they still live
+  // in the registry so one ExportJson carries every serving histogram.
+  obs::CounterRegistry& reg = obs::CounterRegistry::Global();
+  obs::SharedHistogram* windows[3] = {reg.histogram("serve.swap.w0"),
+                                      reg.histogram("serve.swap.w1"),
+                                      reg.histogram("serve.swap.w2")};
+  for (obs::SharedHistogram* w : windows) w->Reset();
   const int64_t third = load.requests / 3;
   for (const Server::Completion& c : server->completions()) {
     const int64_t w = std::min<int64_t>(c.id / third, 2);
-    windows[w].Record(c.finish_ms - c.arrival_ms);
+    windows[w]->Record(c.finish_ms - c.arrival_ms);
   }
-  result.p99_before_ms = windows[0].Quantile(0.99);
-  result.p99_during_ms = windows[1].Quantile(0.99);
-  result.p99_after_ms = windows[2].Quantile(0.99);
+  result.p99_before_ms = windows[0]->Quantile(0.99);
+  result.p99_during_ms = windows[1]->Quantile(0.99);
+  result.p99_after_ms = windows[2]->Quantile(0.99);
   return result;
 }
 

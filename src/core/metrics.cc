@@ -109,7 +109,13 @@ void MetricsReport::Merge(const MetricsReport& other,
     if (prefix.empty()) {
       values_[key] = value;
     } else {
-      values_[prefix + "." + key] = value;
+      // A prefixed merge namespaces a sub-report; two sources mapping to
+      // the same prefixed key means the namespace failed to separate them,
+      // and one report would silently shadow the other.
+      const std::string prefixed = prefix + "." + key;
+      DLSYS_CHECK(values_.count(prefixed) == 0,
+                  "MetricsReport::Merge: prefixed key collision");
+      values_[prefixed] = value;
     }
   }
 }

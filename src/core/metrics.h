@@ -56,6 +56,11 @@ class MetricsReport {
   const std::map<std::string, double>& values() const { return values_; }
   /// \brief Merges \p other into this report, prefixing keys with
   /// "<prefix>." when \p prefix is non-empty.
+  ///
+  /// An unprefixed merge deliberately overwrites existing keys (it means
+  /// "update these metrics"). A *prefixed* merge namespaces a sub-report
+  /// and must not collide: if "<prefix>.<key>" already exists, the call
+  /// aborts via DLSYS_CHECK rather than silently shadowing a metric.
   void Merge(const MetricsReport& other, const std::string& prefix = "");
   /// \brief Multi-line "key = value" rendering, ordered by key.
   std::string ToString() const;

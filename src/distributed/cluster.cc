@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/nn/loss.h"
+#include "src/obs/cost.h"
+#include "src/obs/counters.h"
 #include "src/nn/serialize.h"
 #include "src/optim/optimizer.h"
 #include "src/tensor/ops.h"
@@ -477,6 +479,26 @@ Result<ClusterResult> TrainOnCluster(const Sequential& arch,
   out.model = arch.Clone();
   out.model.SetParameterVector(mean);
   out.report.Set(metric::kCommBytes, static_cast<double>(comm_bytes));
+  // Mirror the per-run tallies into the process-wide registry: tests and
+  // exporters read monotone counters with snapshot/diff semantics, and
+  // the simulated wire traffic lands in the comm phase for src/green's
+  // per-phase energy accounting.
+  {
+    DLSYS_PHASE_SCOPE(obs::Phase::kComm);
+    DLSYS_COST_BYTES(comm_bytes);
+  }
+  DLSYS_COUNTER_ADD("fault.crashes", static_cast<int64_t>(crashes));
+  DLSYS_COUNTER_ADD("fault.rollbacks", static_cast<int64_t>(rollbacks));
+  DLSYS_COUNTER_ADD("fault.wasted_rounds",
+                    static_cast<int64_t>(wasted_rounds));
+  DLSYS_COUNTER_ADD("fault.checkpoint_count",
+                    static_cast<int64_t>(checkpoint_count));
+  DLSYS_COUNTER_ADD("fault.dropped_messages",
+                    static_cast<int64_t>(dropped_messages));
+  DLSYS_COUNTER_ADD("fault.excluded_worker_rounds",
+                    static_cast<int64_t>(excluded_worker_rounds));
+  DLSYS_COUNTER_ADD("cluster.comm_bytes", comm_bytes);
+  DLSYS_GAUGE_SET("fault.live_workers", static_cast<int64_t>(live.size()));
   out.report.Set("resource.comm_seconds", comm_seconds);
   out.report.Set("resource.compute_seconds", compute_seconds);
   out.report.Set(metric::kTrainSeconds,

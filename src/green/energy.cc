@@ -1,5 +1,8 @@
 #include "src/green/energy.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace dlsys {
 
 std::vector<HardwareProfile> StandardHardware() {
@@ -50,6 +53,35 @@ Result<Footprint> EstimateFootprint(const TrainingJob& job,
   out.facility_kwh = out.energy_joules * region.pue / 3.6e6;
   out.co2_grams = out.facility_kwh * region.grams_co2_per_kwh;
   return out;
+}
+
+Result<std::vector<PhaseEnergyRow>> EstimatePhaseFootprint(
+    const obs::PhaseCost& cost, const HardwareProfile& hw,
+    const Region& region) {
+  if (hw.peak_flops <= 0.0 || hw.utilization <= 0.0 || hw.watts <= 0.0) {
+    return Status::InvalidArgument("invalid hardware profile");
+  }
+  if (region.pue < 1.0 || region.grams_co2_per_kwh < 0.0) {
+    return Status::InvalidArgument("invalid region profile");
+  }
+  std::vector<PhaseEnergyRow> rows;
+  for (size_t p = 0; p < static_cast<size_t>(obs::Phase::kCount); ++p) {
+    const int64_t flops = cost.flops[p];
+    if (flops <= 0) continue;
+    PhaseEnergyRow row;
+    row.phase = obs::PhaseName(static_cast<obs::Phase>(p));
+    row.flops = static_cast<double>(flops);
+    row.runtime_seconds = row.flops / hw.EffectiveFlops();
+    row.energy_joules = row.runtime_seconds * hw.watts;
+    row.co2_grams = row.energy_joules * region.pue / 3.6e6 *
+                    region.grams_co2_per_kwh;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const PhaseEnergyRow& a, const PhaseEnergyRow& b) {
+              return a.energy_joules > b.energy_joules;
+            });
+  return rows;
 }
 
 Result<Placement> CarbonAwarePlacement(

@@ -7,6 +7,7 @@
 
 #include "src/core/status.h"
 #include "src/nn/sequential.h"
+#include "src/obs/cost.h"
 
 /// \file energy.h
 /// \brief Energy and carbon accounting for deep learning (tutorial
@@ -66,6 +67,24 @@ struct Footprint {
 Result<Footprint> EstimateFootprint(const TrainingJob& job,
                                     const HardwareProfile& hw,
                                     const Region& region);
+
+/// \brief Energy and carbon attributed to one accounting phase.
+struct PhaseEnergyRow {
+  std::string phase;          ///< obs::PhaseName of the phase
+  double flops = 0.0;         ///< measured FLOPs attributed to the phase
+  double runtime_seconds = 0.0;
+  double energy_joules = 0.0;  ///< device energy
+  double co2_grams = 0.0;      ///< facility energy x grid intensity
+};
+
+/// \brief Per-phase footprint from the observability layer's measured
+/// FLOP attribution (obs::PhaseTotals): energy *per phase* — data,
+/// forward, backward, comm, serve — instead of one aggregate, using the
+/// same effective-FLOPs model as EstimateFootprint. Phases with zero
+/// attributed FLOPs are omitted; rows come back in descending energy.
+Result<std::vector<PhaseEnergyRow>> EstimatePhaseFootprint(
+    const obs::PhaseCost& cost, const HardwareProfile& hw,
+    const Region& region);
 
 /// \brief Carbon-aware placement: picks the (hardware, region) pair with
 /// the lowest CO2 for the job, subject to an optional deadline.

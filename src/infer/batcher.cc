@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/core/status.h"
+#include "src/obs/counters.h"
 
 namespace dlsys {
 
@@ -81,8 +82,15 @@ void MicroBatcher::Dispatch(double start_ms) {
     done.output = Tensor(engine_->example_output_shape());
     std::copy(out_staging_.data() + i * out_elems,
               out_staging_.data() + (i + 1) * out_elems, done.output.data());
+    // Request latency lands in the process-wide registry so benches and
+    // exporters read quantiles from one place instead of rebuilding
+    // local histograms from completions.
+    DLSYS_HISTOGRAM_RECORD("infer.microbatch_latency_ms",
+                           done.finish_ms - done.arrival_ms);
     completions_.push_back(std::move(done));
   }
+  DLSYS_COUNTER_ADD("infer.batches", 1);
+  DLSYS_COUNTER_ADD("infer.requests", b);
   pending_count_ = 0;
   ++batches_run_;
   clock_ms_ = std::max(clock_ms_, start_ms);

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "src/nn/conv.h"
+#include "src/obs/cost.h"
+#include "src/obs/trace.h"
 #include "src/nn/layers.h"
 #include "src/runtime/runtime.h"
 #include "src/tensor/int8_gemm.h"
@@ -173,6 +175,49 @@ Result<InferenceEngine> InferenceEngine::Compile(const Sequential& net,
           "inference compile: unsupported layer '" + layer->name() + "'");
     }
 
+    // Fix the step's trace/cost plan now so the hot path only scales by
+    // the batch: FLOPs from the layer's arithmetic, bytes from the
+    // activations it reads and writes plus its resident parameters.
+    int64_t param_elems = step.weight.size() + step.bias.size() +
+                          static_cast<int64_t>(step.qweight.values.size());
+    switch (step.kind) {
+      case Step::Kind::kDense:
+        step.trace_name = "engine.dense";
+        step.flops_per_example = 2 * step.in_elems * step.out_elems;
+        break;
+      case Step::Kind::kDenseInt8:
+        step.trace_name = "engine.dense_int8";
+        step.flops_per_example = 2 * step.in_elems * step.out_elems;
+        break;
+      case Step::Kind::kConv:
+        step.trace_name = "engine.conv";
+        step.flops_per_example =
+            2 * step.out_elems * step.in_ch * step.kernel * step.kernel;
+        break;
+      case Step::Kind::kPool:
+        step.trace_name = "engine.pool";
+        step.flops_per_example = step.out_elems * step.window * step.window;
+        break;
+      case Step::Kind::kRelu:
+        step.trace_name = "engine.relu";
+        step.flops_per_example = step.in_elems;
+        break;
+      case Step::Kind::kSigmoid:
+        step.trace_name = "engine.sigmoid";
+        step.flops_per_example = 4 * step.in_elems;
+        break;
+      case Step::Kind::kTanh:
+        step.trace_name = "engine.tanh";
+        step.flops_per_example = 4 * step.in_elems;
+        break;
+      case Step::Kind::kBatchNorm:
+        step.trace_name = "engine.batchnorm";
+        step.flops_per_example = 4 * step.in_elems;
+        param_elems += 4 * step.in_elems;
+        break;
+    }
+    step.bytes_per_example =
+        4 * (step.in_elems + step.out_elems + param_elems);
     max_act = std::max(max_act, std::max(step.in_elems, step.out_elems));
     eng.steps_.push_back(std::move(step));
   }
@@ -233,8 +278,14 @@ Status InferenceEngine::PredictInto(const float* batch, int64_t batch_size,
         " outside [1, " + std::to_string(config_.max_batch) +
         "] declared at compile time");
   }
+  DLSYS_PHASE_SCOPE(obs::Phase::kServe);
+  DLSYS_TRACE_SPAN_COST("engine.predict", "serve", 0,
+                        4 * batch_size * (in_elems_ + out_elems_));
   std::copy(batch, batch + batch_size * in_elems_, arena_.Floats(act_[0]));
   for (const Step& step : steps_) {
+    DLSYS_TRACE_SPAN_COST(step.trace_name, "serve",
+                          batch_size * step.flops_per_example,
+                          batch_size * step.bytes_per_example);
     RunStep(step, batch_size, arena_.Floats(act_[step.in_buf]),
             arena_.Floats(act_[step.out_buf]));
   }
@@ -390,7 +441,9 @@ void InferenceEngine::RunStep(const Step& step, int64_t batch,
         }
       } else {
         // Direct reference: the plain clipped loop nest, one worker per
-        // (image, out-channel) plane.
+        // (image, out-channel) plane. The GEMM path's FLOPs are counted
+        // inside ConvGemmBiasInto; the direct nest counts its own here.
+        DLSYS_COST_FLOPS(batch * step.flops_per_example);
         ParallelFor(0, batch * oc, 1, [=](int64_t t0, int64_t t1) {
           for (int64_t t = t0; t < t1; ++t) {
             const int64_t img = t / oc;

@@ -129,6 +129,13 @@ class InferenceEngine {
     int64_t in_elems = 0;   ///< per-example input elements
     int64_t out_elems = 0;  ///< per-example output elements
 
+    /// Trace/cost plan, fixed at compile time: span name plus
+    /// per-example FLOPs and bytes moved (activations + parameters),
+    /// scaled by the batch at run time.
+    const char* trace_name = "engine.step";
+    int64_t flops_per_example = 0;
+    int64_t bytes_per_example = 0;
+
     Tensor weight;  ///< dense: (in, out); conv: (oc, ic, k, k)
     Tensor bias;
     SymmetricInt8Matrix qweight;  ///< int8 dense: (out_features, in_features)

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/cost.h"
+#include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
 
 namespace dlsys {
@@ -46,6 +48,11 @@ Tensor Conv2D::Forward(const Tensor& x, CacheMode mode) {
   last_h_ = h;
   last_w_ = w;
   Tensor y({n, out_ch_, ho, wo});
+  DLSYS_TRACE_SPAN_COST(
+      "conv.forward", "kernel",
+      2 * n * out_ch_ * ho * wo * in_ch_ * kernel_ * kernel_,
+      4 * (x.size() + y.size() + w_.size()));
+  DLSYS_COST_FLOPS(2 * n * out_ch_ * ho * wo * in_ch_ * kernel_ * kernel_);
   const float* px = x.data();
   const float* pw = w_.data();
   const float* pbias = b_.data();
@@ -140,6 +147,11 @@ Tensor Conv2D::Backward(const Tensor& grad_output) {
   const int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const int64_t ho = grad_output.dim(2), wo = grad_output.dim(3);
   Tensor dx(x.shape());
+  DLSYS_TRACE_SPAN_COST(
+      "conv.backward", "kernel",
+      6 * n * out_ch_ * ho * wo * in_ch_ * kernel_ * kernel_,
+      4 * (x.size() + 2 * grad_output.size() + 2 * w_.size()));
+  DLSYS_COST_FLOPS(6 * n * out_ch_ * ho * wo * in_ch_ * kernel_ * kernel_);
   const float* px = x.data();
   const float* pg = grad_output.data();
   const float* pw = w_.data();

@@ -3,6 +3,8 @@
 #include "src/nn/conv.h"
 #include "src/nn/layers.h"
 #include "src/nn/loss.h"
+#include "src/obs/cost.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 
 namespace dlsys {
@@ -21,18 +23,39 @@ MetricsReport Train(Sequential* net, Optimizer* opt, const Dataset& data,
   const auto params = net->Params();
   const auto grads = net->Grads();
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
-    ShuffleDataset(&shuffled, &shuffle_rng);
+    {
+      DLSYS_PHASE_SCOPE(obs::Phase::kData);
+      DLSYS_TRACE_SPAN("train.shuffle", "train");
+      ShuffleDataset(&shuffled, &shuffle_rng);
+    }
     for (BatchIterator it(shuffled, config.batch_size); !it.Done();
          it.Next()) {
-      Dataset batch = it.Get();
+      DLSYS_TRACE_SPAN("train.step", "train");
+      Dataset batch = [&] {
+        DLSYS_PHASE_SCOPE(obs::Phase::kData);
+        DLSYS_TRACE_SPAN("train.batch_assemble", "train");
+        return it.Get();
+      }();
       if (config.schedule != nullptr) {
         opt->set_lr(config.schedule->Lr(step));
       }
       net->ZeroGrads();
-      Tensor logits = net->Forward(batch.x, CacheMode::kCache);
-      LossGrad lg = SoftmaxCrossEntropy(logits, batch.y);
-      net->Backward(lg.grad);
-      opt->Step(params, grads);
+      Tensor logits = [&] {
+        DLSYS_PHASE_SCOPE(obs::Phase::kForward);
+        DLSYS_TRACE_SPAN("train.forward", "train");
+        return net->Forward(batch.x, CacheMode::kCache);
+      }();
+      LossGrad lg = [&] {
+        DLSYS_PHASE_SCOPE(obs::Phase::kForward);
+        DLSYS_TRACE_SPAN("train.loss", "train");
+        return SoftmaxCrossEntropy(logits, batch.y);
+      }();
+      {
+        DLSYS_PHASE_SCOPE(obs::Phase::kBackward);
+        DLSYS_TRACE_SPAN("train.backward", "train");
+        net->Backward(lg.grad);
+        opt->Step(params, grads);
+      }
       last_loss = lg.loss;
       examples_seen += batch.size();
       if (config.on_step) config.on_step(step, epoch, lg.loss);

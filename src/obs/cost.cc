@@ -1,0 +1,94 @@
+#include "src/obs/cost.h"
+
+namespace dlsys {
+namespace obs {
+
+namespace {
+
+constexpr int kShards = 16;
+constexpr size_t kPhases = static_cast<size_t>(Phase::kCount);
+
+struct alignas(64) ShardRow {
+  std::atomic<int64_t> v{0};
+};
+
+/// tallies[phase][shard]; sharded like Counter so concurrent launching
+/// threads do not contend on one cacheline.
+struct Tallies {
+  ShardRow flops[kPhases][kShards];
+  ShardRow bytes[kPhases][kShards];
+
+  static Tallies& Get() {
+    static Tallies* t = new Tallies;  // leaked: workers may outlive main
+    return *t;
+  }
+};
+
+thread_local Phase t_phase = Phase::kOther;
+
+int ThisThreadShard() {
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return shard;
+}
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kOther:    return "other";
+    case Phase::kData:     return "data";
+    case Phase::kForward:  return "forward";
+    case Phase::kBackward: return "backward";
+    case Phase::kComm:     return "comm";
+    case Phase::kServe:    return "serve";
+    case Phase::kCount:    break;
+  }
+  return "invalid";
+}
+
+PhaseScope::PhaseScope(Phase phase) : prev_(t_phase) { t_phase = phase; }
+
+PhaseScope::~PhaseScope() { t_phase = prev_; }
+
+Phase CurrentPhase() { return t_phase; }
+
+void AddFlops(int64_t n) {
+  if (n <= 0) return;
+  Tallies::Get()
+      .flops[static_cast<size_t>(t_phase)][ThisThreadShard()]
+      .v.fetch_add(n, std::memory_order_relaxed);
+}
+
+void AddBytes(int64_t n) {
+  if (n <= 0) return;
+  Tallies::Get()
+      .bytes[static_cast<size_t>(t_phase)][ThisThreadShard()]
+      .v.fetch_add(n, std::memory_order_relaxed);
+}
+
+PhaseCost PhaseTotals() {
+  PhaseCost out;
+  Tallies& t = Tallies::Get();
+  for (size_t p = 0; p < kPhases; ++p) {
+    for (int s = 0; s < kShards; ++s) {
+      out.flops[p] += t.flops[p][s].v.load(std::memory_order_relaxed);
+      out.bytes[p] += t.bytes[p][s].v.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void ResetPhaseTotals() {
+  Tallies& t = Tallies::Get();
+  for (size_t p = 0; p < kPhases; ++p) {
+    for (int s = 0; s < kShards; ++s) {
+      t.flops[p][s].v.store(0, std::memory_order_relaxed);
+      t.bytes[p][s].v.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace dlsys

@@ -1,0 +1,108 @@
+#ifndef DLSYS_OBS_COST_H_
+#define DLSYS_OBS_COST_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "src/obs/trace.h"  // DLSYS_OBS kill switch
+
+/// \file cost.h
+/// \brief Per-phase FLOP and byte attribution: the cost-accounting layer
+/// between kernels and src/green's energy model.
+///
+/// Every hot kernel knows exactly how much arithmetic it performs (a GEMM
+/// is 2·m·k·n FLOPs); what it cannot know is *why* it ran — forward pass,
+/// backward pass, a served request, data preparation, or simulated
+/// communication. Phase attribution closes that gap with a thread-local
+/// current-phase set by PhaseScope RAII at the call sites that do know
+/// (the training loop, the inference engine, the cluster), so
+/// AddFlops/AddBytes land in per-phase sharded tallies. src/green turns
+/// the totals into energy *per phase* (EstimatePhaseFootprint), which is
+/// what lets the Part-3 environmental accounting say where the joules
+/// went instead of reporting one aggregate.
+///
+/// Accounting is *always on* (cost: one thread-local read + one relaxed
+/// atomic add per kernel launch, not per element) unless compiled out
+/// with -DDLSYS_OBS=0. It never changes control flow or arithmetic, so
+/// it cannot perturb bit-determinism.
+///
+/// Attribution convention: kernels attribute their own totals on the
+/// *launching* thread before dispatching to ParallelFor (worker threads
+/// inherit no phase), so parallel execution never splits or doubles a
+/// tally and the totals are identical at any DLSYS_THREADS.
+
+namespace dlsys {
+namespace obs {
+
+/// \brief The paper's Part-3 accounting phases.
+enum class Phase : int {
+  kOther = 0,    ///< default: unattributed work
+  kData = 1,     ///< dataset prep, shuffling, batch assembly
+  kForward = 2,  ///< training forward + loss
+  kBackward = 3, ///< gradients + optimizer step
+  kComm = 4,     ///< (simulated) distributed communication
+  kServe = 5,    ///< compiled-engine inference / serving
+  kCount = 6,
+};
+
+/// \brief Lower-case stable name of a phase ("forward", "serve", ...).
+const char* PhaseName(Phase phase);
+
+/// \brief RAII: sets the calling thread's phase, restoring on exit
+/// (nestable — an engine call inside a training loop re-attributes to
+/// kServe only for its own extent).
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase phase);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Phase prev_;
+};
+
+/// \brief Current thread's phase (kOther when never set).
+Phase CurrentPhase();
+
+/// \brief Attributes \p n FLOPs to the calling thread's current phase.
+void AddFlops(int64_t n);
+/// \brief Attributes \p n moved bytes to the current phase.
+void AddBytes(int64_t n);
+
+/// \brief Accumulated per-phase totals.
+struct PhaseCost {
+  std::array<int64_t, static_cast<size_t>(Phase::kCount)> flops = {};
+  std::array<int64_t, static_cast<size_t>(Phase::kCount)> bytes = {};
+
+  int64_t TotalFlops() const {
+    int64_t t = 0;
+    for (int64_t f : flops) t += f;
+    return t;
+  }
+};
+
+/// \brief Snapshot of the process-wide per-phase tallies.
+PhaseCost PhaseTotals();
+
+/// \brief Zeroes the tallies (quiescent points only).
+void ResetPhaseTotals();
+
+}  // namespace obs
+}  // namespace dlsys
+
+// ---------------------------------------------------------------- macros
+
+#if DLSYS_OBS
+#define DLSYS_COST_FLOPS(n) ::dlsys::obs::AddFlops(static_cast<int64_t>(n))
+#define DLSYS_COST_BYTES(n) ::dlsys::obs::AddBytes(static_cast<int64_t>(n))
+#define DLSYS_PHASE_SCOPE(phase) \
+  ::dlsys::obs::PhaseScope DLSYS_OBS_CONCAT(_dlsys_phase_, __LINE__)(phase)
+#else
+#define DLSYS_COST_FLOPS(n) ((void)0)
+#define DLSYS_COST_BYTES(n) ((void)0)
+#define DLSYS_PHASE_SCOPE(phase) ((void)0)
+#endif
+
+#endif  // DLSYS_OBS_COST_H_

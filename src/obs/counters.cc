@@ -1,0 +1,166 @@
+#include "src/obs/counters.h"
+
+#include <cstdio>
+
+namespace dlsys {
+namespace obs {
+
+int Counter::ThisThreadShard() {
+  // Threads take round-robin shard indices on first use; 16 shards over a
+  // cacheline each keeps concurrent writers off each other's lines.
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return shard;
+}
+
+CounterRegistry& CounterRegistry::Global() {
+  static CounterRegistry* registry = new CounterRegistry;  // leaked
+  return *registry;
+}
+
+Counter* CounterRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* CounterRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+SharedHistogram* CounterRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<SharedHistogram>();
+  return slot.get();
+}
+
+CounterRegistry::Snapshot CounterRegistry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap[name] = g->Value();
+  return snap;
+}
+
+CounterRegistry::Snapshot CounterRegistry::Diff(const Snapshot& now,
+                                                const Snapshot& base) {
+  Snapshot out;
+  for (const auto& [name, value] : now) {
+    const auto it = base.find(name);
+    out[name] = value - (it == base.end() ? 0 : it->second);
+  }
+  return out;
+}
+
+double CounterRegistry::HistogramQuantile(const std::string& name,
+                                          double q) const {
+  const SharedHistogram* hist = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) return 0.0;
+    hist = it->second.get();
+  }
+  return hist->Quantile(q);
+}
+
+std::string CounterRegistry::ExportText() const {
+  // Copy the directory under the lock, then read values lock-free.
+  std::map<std::string, const Counter*> counters;
+  std::map<std::string, const Gauge*> gauges;
+  std::map<std::string, const SharedHistogram*> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters[name] = c.get();
+    for (const auto& [name, g] : gauges_) gauges[name] = g.get();
+    for (const auto& [name, h] : histograms_) hists[name] = h.get();
+  }
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters) {
+    std::snprintf(line, sizeof(line), "%-40s = %lld\n", name.c_str(),
+                  static_cast<long long>(c->Value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges) {
+    std::snprintf(line, sizeof(line), "%-40s = %lld (gauge)\n", name.c_str(),
+                  static_cast<long long>(g->Value()));
+    out += line;
+  }
+  for (const auto& [name, h] : hists) {
+    const LatencyHistogram snap = h->Snapshot();
+    std::snprintf(line, sizeof(line),
+                  "%-40s = count %lld mean %.4f p50 %.4f p95 %.4f p99 %.4f "
+                  "max %.4f ms\n",
+                  name.c_str(), static_cast<long long>(snap.count()),
+                  snap.mean_ms(), snap.Quantile(0.5), snap.Quantile(0.95),
+                  snap.Quantile(0.99), snap.max_ms());
+    out += line;
+  }
+  return out;
+}
+
+std::string CounterRegistry::ExportJson() const {
+  std::map<std::string, const Counter*> counters;
+  std::map<std::string, const Gauge*> gauges;
+  std::map<std::string, const SharedHistogram*> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters[name] = c.get();
+    for (const auto& [name, g] : gauges_) gauges[name] = g.get();
+    for (const auto& [name, h] : histograms_) hists[name] = h.get();
+  }
+  std::string out = "{\n  \"counters\": {";
+  char line[320];
+  bool first = true;
+  for (const auto& [name, c] : counters) {
+    std::snprintf(line, sizeof(line), "%s\n    \"%s\": %lld",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<long long>(c->Value()));
+    out += line;
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges) {
+    std::snprintf(line, sizeof(line), "%s\n    \"%s\": %lld",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<long long>(g->Value()));
+    out += line;
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : hists) {
+    const LatencyHistogram snap = h->Snapshot();
+    std::snprintf(
+        line, sizeof(line),
+        "%s\n    \"%s\": {\"count\": %lld, \"mean_ms\": %.4f, "
+        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"max_ms\": %.4f}",
+        first ? "" : ",", name.c_str(),
+        static_cast<long long>(snap.count()), snap.mean_ms(),
+        snap.Quantile(0.5), snap.Quantile(0.95), snap.Quantile(0.99),
+        snap.max_ms());
+    out += line;
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void CounterRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Clear();
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace dlsys

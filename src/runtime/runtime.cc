@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/trace.h"
 #include "src/runtime/thread_pool.h"
 
 namespace dlsys {
@@ -111,8 +112,13 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // dispatch builds no task objects and performs no heap allocation.
   const int64_t chunks =
       std::min<int64_t>(threads, (total + grain - 1) / grain);
+  // The extent rides in the bytes slot (there is no dedicated arg).
+  DLSYS_TRACE_SPAN_COST("runtime.parallel_for", "runtime", 0, total);
   const auto guarded = [&body](int64_t lo, int64_t hi) {
     t_in_parallel_region = true;
+    // One span per partition: the range extent rides in the bytes slot so
+    // load imbalance across workers is visible in the trace.
+    DLSYS_TRACE_SPAN_COST("runtime.range", "runtime", 0, hi - lo);
     body(lo, hi);
     t_in_parallel_region = false;
   };

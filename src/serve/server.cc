@@ -4,6 +4,9 @@
 #include <limits>
 #include <utility>
 
+#include "src/obs/counters.h"
+#include "src/obs/trace.h"
+
 namespace dlsys {
 
 namespace {
@@ -74,10 +77,12 @@ Server::SubmitResult Server::Submit(const std::string& model,
   SubmitResult result;
   result.id = next_id_++;
   ++offered_;
+  DLSYS_COUNTER_ADD("serve.offered", 1);
 
   std::shared_ptr<ModelSnapshot> snap = registry_->Acquire(model);
   if (snap == nullptr) {
     ++no_such_model_;
+    DLSYS_COUNTER_ADD("serve.no_such_model", 1);
     result.outcome = Outcome::kNoSuchModel;
     return result;
   }
@@ -147,10 +152,16 @@ Server::SubmitResult Server::Submit(const std::string& model,
   switch (DecideAdmission(config_, in)) {
     case AdmissionDecision::kShedQueueFull:
       ++shed_queue_full_;
+      DLSYS_COUNTER_ADD("serve.shed_queue_full", 1);
+      DLSYS_TRACE_INSTANT_SIM("serve.shed_queue_full", "serve", arrival_ms,
+                              result.id);
       result.outcome = Outcome::kShedQueueFull;
       return result;
     case AdmissionDecision::kShedDeadline:
       ++shed_deadline_;
+      DLSYS_COUNTER_ADD("serve.shed_deadline", 1);
+      DLSYS_TRACE_INSTANT_SIM("serve.shed_deadline", "serve", arrival_ms,
+                              result.id);
       result.outcome = Outcome::kShedDeadline;
       return result;
     case AdmissionDecision::kAdmit:
@@ -158,6 +169,8 @@ Server::SubmitResult Server::Submit(const std::string& model,
   }
 
   ++admitted_;
+  DLSYS_COUNTER_ADD("serve.admitted", 1);
+  DLSYS_TRACE_INSTANT_SIM("serve.admit", "serve", arrival_ms, result.id);
   QueueEntry entry;
   entry.id = result.id;
   entry.arrival_ms = arrival_ms;
@@ -262,6 +275,7 @@ void Server::StageDispatch(std::deque<QueueEntry>* queue, double dispatch_ms) {
   }
   worker_free_ms_[worker] = task.finish_ms;
   ++batches_;
+  DLSYS_COUNTER_ADD("serve.batches", 1);
   wave_.push_back(std::move(task));
 }
 
@@ -292,6 +306,8 @@ void Server::FlushWave() {
     DLSYS_CHECK(task.status.ok(), "engine rejected a dispatched batch");
     const ModelSnapshot::Replica& rep = task.snap->replicas[task.worker];
     measured_.Record(task.measured_service_ms);
+    DLSYS_HISTOGRAM_RECORD("serve.measured_service_ms",
+                           task.measured_service_ms);
     for (size_t j = 0; j < task.members.size(); ++j) {
       QueueEntry& entry = task.members[j];
       Completion c;
@@ -310,8 +326,24 @@ void Server::FlushWave() {
       const float* row =
           rep.out_staging.data() + static_cast<int64_t>(j) * task.snap->out_elems;
       std::copy(row, row + task.snap->out_elems, c.output.data());
-      if (c.deadline_missed) ++deadline_missed_;
+      if (c.deadline_missed) {
+        ++deadline_missed_;
+        DLSYS_COUNTER_ADD("serve.deadline_missed", 1);
+      }
       latency_.Record(c.finish_ms - c.arrival_ms);
+      DLSYS_HISTOGRAM_RECORD("serve.latency_ms", c.finish_ms - c.arrival_ms);
+      DLSYS_COUNTER_ADD("serve.completed", 1);
+      // The request's whole life on the simulated-clock track, keyed by
+      // rid: queued (admission -> batch dispatch), executing (dispatch ->
+      // modeled finish), then an instant respond marker. Together with
+      // the admit instant from Submit, the exported Chrome trace
+      // reconstructs the full admit -> queue -> batch -> execute ->
+      // respond path of any single request.
+      DLSYS_TRACE_EMIT_SIM("serve.queue", "serve", c.arrival_ms,
+                           c.dispatch_ms - c.arrival_ms, c.id);
+      DLSYS_TRACE_EMIT_SIM("serve.execute", "serve", c.dispatch_ms,
+                           c.finish_ms - c.dispatch_ms, c.id);
+      DLSYS_TRACE_INSTANT_SIM("serve.respond", "serve", c.finish_ms, c.id);
       ++served_[c.model][c.version];
       completions_.push_back(std::move(c));
     }

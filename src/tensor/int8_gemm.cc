@@ -1,11 +1,16 @@
 #include "src/tensor/int8_gemm.h"
 
+#include "src/obs/cost.h"
+#include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
 
 namespace dlsys {
 
 void Int8GemmTransBInto(const int8_t* a, const int8_t* b, int32_t* c,
                         int64_t m, int64_t k, int64_t n) {
+  DLSYS_TRACE_SPAN_COST("gemm.int8_tb", "kernel", 2 * m * k * n,
+                        m * k + n * k + 4 * m * n);
+  DLSYS_COST_FLOPS(2 * m * k * n);
   ParallelFor(0, m, 8, [=](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
       const int8_t* arow = a + i * k;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/cost.h"
+#include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
 
 namespace dlsys {
@@ -139,6 +141,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMul requires rank 2");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   DLSYS_CHECK(b.dim(0) == k, "MatMul inner dimension mismatch");
+  DLSYS_TRACE_SPAN_COST("gemm.matmul", "kernel", 2 * m * k * n,
+                        4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -153,6 +158,9 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMulTransA requires rank 2");
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   DLSYS_CHECK(b.dim(0) == k, "MatMulTransA inner dimension mismatch");
+  DLSYS_TRACE_SPAN_COST("gemm.matmul_ta", "kernel", 2 * m * k * n,
+                        4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -167,6 +175,9 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMulTransB requires rank 2");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   DLSYS_CHECK(b.dim(1) == k, "MatMulTransB inner dimension mismatch");
+  DLSYS_TRACE_SPAN_COST("gemm.matmul_tb", "kernel", 2 * m * k * n,
+                        4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -179,6 +190,9 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
 
 void MatMulInto(const float* a, const float* b, float* c, int64_t m,
                 int64_t k, int64_t n) {
+  DLSYS_TRACE_SPAN_COST("gemm.matmul_into", "kernel", 2 * m * k * n,
+                        4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
   ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
     // MatMulRange accumulates into C (edge tiles use +=), so the owned row
     // range is zeroed first; a freshly allocated Tensor got this for free.
@@ -189,6 +203,9 @@ void MatMulInto(const float* a, const float* b, float* c, int64_t m,
 
 void ConvGemmBiasInto(const float* a, const float* b, const float* bias,
                       float* c, int64_t m, int64_t k, int64_t n) {
+  DLSYS_TRACE_SPAN_COST("gemm.conv_gemm_bias", "kernel", 2 * m * k * n,
+                        4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
   // Rows are output channels (few); columns are spatial positions (many),
   // so the column range is what gets partitioned. Each element is owned by
   // exactly one range and accumulated bias-first, ascending-p, in a double
@@ -239,6 +256,9 @@ Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
   DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMul requires rank 2");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   DLSYS_CHECK(b.dim(0) == k, "MatMul inner dimension mismatch");
+  DLSYS_TRACE_SPAN_COST("gemm.matmul", "kernel", 2 * m * k * n,
+                        4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -258,6 +278,9 @@ Tensor NaiveMatMulTransA(const Tensor& a, const Tensor& b) {
   DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMulTransA requires rank 2");
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   DLSYS_CHECK(b.dim(0) == k, "MatMulTransA inner dimension mismatch");
+  DLSYS_TRACE_SPAN_COST("gemm.matmul_ta", "kernel", 2 * m * k * n,
+                        4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -278,6 +301,9 @@ Tensor NaiveMatMulTransB(const Tensor& a, const Tensor& b) {
   DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMulTransB requires rank 2");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   DLSYS_CHECK(b.dim(1) == k, "MatMulTransB inner dimension mismatch");
+  DLSYS_TRACE_SPAN_COST("gemm.matmul_tb", "kernel", 2 * m * k * n,
+                        4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();

@@ -174,6 +174,29 @@ TEST(MetricsTest, MergeWithPrefix) {
   EXPECT_EQ(a.Get("x"), 1.0);
 }
 
+TEST(MetricsTest, UnprefixedMergeOverwrites) {
+  // Documented semantics: an unprefixed merge means "update these
+  // metrics", so later values win.
+  MetricsReport a, b;
+  a.Set("x", 1.0);
+  b.Set("x", 2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("x"), 2.0);
+}
+
+TEST(MetricsTest, PrefixedMergeCollisionAborts) {
+  // A prefixed merge namespaces a sub-report; a collision means the
+  // namespace failed and one metric would silently shadow another.
+  MetricsReport a, b;
+  b.Set("x", 1.0);
+  a.Merge(b, "sub");
+  EXPECT_DEATH(a.Merge(b, "sub"), "collision");
+
+  MetricsReport c;
+  c.Set("sub.x", 7.0);  // pre-existing key that the prefix maps onto
+  EXPECT_DEATH(c.Merge(b, "sub"), "collision");
+}
+
 TEST(MetricsTest, ToStringContainsKeys) {
   MetricsReport r;
   r.Set("quality.accuracy", 0.5);
@@ -320,6 +343,37 @@ TEST(LatencyHistogramTest, QuantileWithinBucketResolution) {
   }
   EXPECT_DOUBLE_EQ(h.Quantile(0.0), values.front());
   EXPECT_DOUBLE_EQ(h.Quantile(1.0), values.back());
+}
+
+TEST(LatencyHistogramTest, BelowFirstBucketLandsInUnderflow) {
+  // Values below the first geometric edge (1us) share the underflow
+  // bucket; exact min/max clamping still reports them faithfully.
+  LatencyHistogram h;
+  h.Record(1e-7);
+  h.Record(5e-4);  // still < 1e-3 ms
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.min_ms(), 1e-7);
+  EXPECT_DOUBLE_EQ(h.max_ms(), 5e-4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1e-7);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5e-4);
+  // Interior quantiles of underflow-only data stay within [min, max].
+  EXPECT_GE(h.Quantile(0.5), h.min_ms());
+  EXPECT_LE(h.Quantile(0.5), h.max_ms());
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotone) {
+  Rng rng(11);
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(std::exp(rng.Gaussian(0.0, 2.0)));
+  const double qs[] = {0.0, 0.5, 0.99, 1.0};
+  double prev = -1.0;
+  for (double q : qs) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "quantiles must be non-decreasing, q=" << q;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.min_ms());
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max_ms());
 }
 
 TEST(LatencyHistogramTest, MergeEqualsCombinedRecording) {

@@ -1,0 +1,542 @@
+// Tests for the observability layer (src/obs): sharded counters under
+// real concurrency, snapshot/diff semantics, registry exporters, span
+// recording and the ring drain protocol, Chrome trace export, request
+// lifecycle reconstruction by rid, per-phase cost attribution feeding
+// src/green, and the determinism contract (traced and untraced engine
+// outputs bitwise identical at DLSYS_THREADS 1/2/8).
+//
+// Everything that touches the *macro* sites or span recording is guarded
+// with #if DLSYS_OBS so the suite also passes in a -DDLSYS_OBS=0 build
+// (the CI kill-switch job); the direct registry/phase APIs are always
+// compiled and tested unconditionally.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/green/energy.h"
+#include "src/infer/engine.h"
+#include "src/nn/train.h"
+#include "src/obs/cost.h"
+#include "src/obs/counters.h"
+#include "src/obs/trace.h"
+#include "src/runtime/runtime.h"
+#include "src/serve/registry.h"
+#include "src/serve/server.h"
+
+namespace dlsys {
+namespace {
+
+using obs::CounterRegistry;
+
+// -------------------------------------------------------------- counters
+
+TEST(CounterTest, ShardedSumAcrossThreads) {
+  obs::Counter* c = CounterRegistry::Global().counter("test.sharded_sum");
+  const int64_t before = c->Value();
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c]() {
+      for (int64_t i = 0; i < kPerThread; ++i) c->Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value() - before, kThreads * kPerThread);
+}
+
+TEST(CounterRegistryTest, HandlesAreInternedAndStable) {
+  CounterRegistry& reg = CounterRegistry::Global();
+  obs::Counter* a = reg.counter("test.interned");
+  obs::Counter* b = reg.counter("test.interned");
+  EXPECT_EQ(a, b);
+  // Reset zeroes values but never invalidates handles (macro sites cache
+  // them in function-local statics).
+  a->Add(5);
+  const int64_t v = a->Value();
+  EXPECT_GE(v, 5);
+  EXPECT_EQ(reg.counter("test.interned"), a);
+}
+
+TEST(CounterRegistryTest, SnapshotDiffSemantics) {
+  CounterRegistry& reg = CounterRegistry::Global();
+  const CounterRegistry::Snapshot base = reg.SnapshotCounters();
+  reg.counter("test.diff.a")->Add(3);
+  reg.counter("test.diff.a")->Add(4);
+  reg.gauge("test.diff.g")->Set(11);
+  const CounterRegistry::Snapshot now = reg.SnapshotCounters();
+  const CounterRegistry::Snapshot diff = CounterRegistry::Diff(now, base);
+  EXPECT_EQ(diff.at("test.diff.a"), 7);  // new keys diff against 0
+  EXPECT_EQ(diff.at("test.diff.g"), 11);
+  // Keys absent from `now` are dropped, not negated.
+  for (const auto& [key, value] : diff) {
+    EXPECT_TRUE(now.count(key)) << key;
+    (void)value;
+  }
+}
+
+TEST(CounterRegistryTest, ExportersRenderRegisteredMetrics) {
+  CounterRegistry& reg = CounterRegistry::Global();
+  reg.counter("test.export.count")->Add(2);
+  reg.gauge("test.export.gauge")->Set(9);
+  obs::SharedHistogram* h = reg.histogram("test.export.hist_ms");
+  h->Record(1.0);
+  h->Record(3.0);
+
+  const std::string text = reg.ExportText();
+  EXPECT_NE(text.find("test.export.count"), std::string::npos);
+  EXPECT_NE(text.find("test.export.gauge"), std::string::npos);
+  EXPECT_NE(text.find("test.export.hist_ms"), std::string::npos);
+
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export.hist_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
+  // Balanced braces: a cheap well-formedness check with no JSON parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(CounterRegistryTest, SharedHistogramQuantilesAndReset) {
+  obs::SharedHistogram* h =
+      CounterRegistry::Global().histogram("test.hist.quantiles");
+  h->Reset();
+  for (int i = 1; i <= 100; ++i) h->Record(static_cast<double>(i));
+  EXPECT_EQ(h->Count(), 100);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 100.0);
+  EXPECT_GE(h->Quantile(0.99), h->Quantile(0.5));
+  EXPECT_DOUBLE_EQ(
+      CounterRegistry::Global().HistogramQuantile("test.hist.quantiles", 1.0),
+      100.0);
+  EXPECT_EQ(CounterRegistry::Global().HistogramQuantile("test.hist.absent",
+                                                        0.5),
+            0.0);
+  h->Reset();
+  EXPECT_EQ(h->Count(), 0);
+}
+
+// ------------------------------------------------------- cost accounting
+
+TEST(PhaseCostTest, ScopesNestAndAttributeToCurrentPhase) {
+  const obs::PhaseCost before = obs::PhaseTotals();
+  EXPECT_EQ(obs::CurrentPhase(), obs::Phase::kOther);
+  {
+    obs::PhaseScope fwd(obs::Phase::kForward);
+    EXPECT_EQ(obs::CurrentPhase(), obs::Phase::kForward);
+    obs::AddFlops(100);
+    {
+      obs::PhaseScope serve(obs::Phase::kServe);
+      EXPECT_EQ(obs::CurrentPhase(), obs::Phase::kServe);
+      obs::AddFlops(10);
+      obs::AddBytes(7);
+    }
+    EXPECT_EQ(obs::CurrentPhase(), obs::Phase::kForward);
+    obs::AddFlops(1);
+  }
+  EXPECT_EQ(obs::CurrentPhase(), obs::Phase::kOther);
+  const obs::PhaseCost after = obs::PhaseTotals();
+  const auto fwd_i = static_cast<size_t>(obs::Phase::kForward);
+  const auto srv_i = static_cast<size_t>(obs::Phase::kServe);
+  EXPECT_EQ(after.flops[fwd_i] - before.flops[fwd_i], 101);
+  EXPECT_EQ(after.flops[srv_i] - before.flops[srv_i], 10);
+  EXPECT_EQ(after.bytes[srv_i] - before.bytes[srv_i], 7);
+  EXPECT_GE(after.TotalFlops() - before.TotalFlops(), 111);
+}
+
+TEST(PhaseCostTest, EstimatePhaseFootprintRows) {
+  obs::PhaseCost cost;
+  cost.flops[static_cast<size_t>(obs::Phase::kForward)] = 4'000'000'000;
+  cost.flops[static_cast<size_t>(obs::Phase::kBackward)] = 8'000'000'000;
+  cost.flops[static_cast<size_t>(obs::Phase::kServe)] = 1'000'000'000;
+  const HardwareProfile hw = StandardHardware()[0];
+  const Region region = StandardRegions()[0];
+  auto rows = EstimatePhaseFootprint(cost, hw, region);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);  // zero-FLOP phases omitted
+  // Sorted by descending energy: backward > forward > serve.
+  EXPECT_EQ((*rows)[0].phase, "backward");
+  EXPECT_EQ((*rows)[1].phase, "forward");
+  EXPECT_EQ((*rows)[2].phase, "serve");
+  for (const PhaseEnergyRow& row : *rows) {
+    EXPECT_GT(row.runtime_seconds, 0.0);
+    EXPECT_GT(row.energy_joules, 0.0);
+    EXPECT_GT(row.co2_grams, 0.0);
+  }
+  // Energy scales linearly with FLOPs under the effective-FLOPs model.
+  EXPECT_DOUBLE_EQ((*rows)[0].energy_joules, 2.0 * (*rows)[1].energy_joules);
+
+  HardwareProfile bad = hw;
+  bad.utilization = 0.0;
+  EXPECT_FALSE(EstimatePhaseFootprint(cost, bad, region).ok());
+}
+
+#if DLSYS_OBS
+
+// ------------------------------------------------------- span recording
+
+/// Drains pending events so the next drain sees only this test's spans.
+void ScopeTraceToTest() {
+  obs::SetTracingEnabled(false);
+  obs::SetTraceSampling(1);
+  (void)obs::DrainTrace();
+}
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  ScopeTraceToTest();
+  {
+    DLSYS_TRACE_SPAN("test.disabled", "test");
+    DLSYS_TRACE_SPAN_COST("test.disabled_cost", "test", 1, 2);
+  }
+  EXPECT_TRUE(obs::DrainTrace().events.empty());
+}
+
+TEST(TraceTest, SpansNestAndDrainOnce) {
+  ScopeTraceToTest();
+  obs::SetTracingEnabled(true);
+  {
+    DLSYS_TRACE_SPAN("test.outer", "test");
+    {
+      DLSYS_TRACE_SPAN("test.inner", "test");
+    }
+    {
+      DLSYS_TRACE_SPAN("test.inner", "test");
+    }
+  }
+  obs::SetTracingEnabled(false);
+  const obs::TraceBuffer buf = obs::DrainTrace();
+  int outer = 0, inner = 0;
+  for (const obs::TraceEvent& ev : buf.events) {
+    if (std::strcmp(ev.name, "test.outer") == 0) {
+      ++outer;
+      EXPECT_GE(ev.dur_ns, 0);
+      EXPECT_EQ(ev.pid, 1);
+    }
+    if (std::strcmp(ev.name, "test.inner") == 0) ++inner;
+  }
+  EXPECT_EQ(outer, 1);
+  EXPECT_EQ(inner, 2);
+  // Drains are cursor-based: a second drain returns nothing new.
+  EXPECT_TRUE(obs::DrainTrace().events.empty());
+
+  // Self-time: the outer span's self excludes its two children.
+  obs::TraceBuffer again = buf;
+  const std::vector<obs::SpanStat> stats = obs::SelfTimeByName(again);
+  double outer_total = 0.0, outer_self = 0.0, inner_total = 0.0;
+  for (const obs::SpanStat& s : stats) {
+    if (s.name == "test.outer") {
+      outer_total = s.total_ms;
+      outer_self = s.self_ms;
+    }
+    if (s.name == "test.inner") inner_total = s.total_ms;
+  }
+  EXPECT_GE(outer_total, inner_total);
+  EXPECT_LE(outer_self, outer_total);
+  EXPECT_NEAR(outer_self, outer_total - inner_total, 1e-9);
+}
+
+TEST(TraceTest, SamplingReducesEvents) {
+  ScopeTraceToTest();
+  constexpr int kSpans = 64;
+  obs::SetTracingEnabled(true);
+
+  obs::SetTraceSampling(1);
+  for (int i = 0; i < kSpans; ++i) {
+    DLSYS_TRACE_SPAN("test.sample_full", "test");
+  }
+  const size_t full = obs::DrainTrace().events.size();
+
+  obs::SetTraceSampling(4);
+  for (int i = 0; i < kSpans; ++i) {
+    DLSYS_TRACE_SPAN("test.sample_quarter", "test");
+  }
+  const size_t sampled = obs::DrainTrace().events.size();
+
+  obs::SetTracingEnabled(false);
+  obs::SetTraceSampling(1);
+  EXPECT_EQ(full, static_cast<size_t>(kSpans));
+  EXPECT_EQ(sampled, static_cast<size_t>(kSpans / 4));
+}
+
+TEST(TraceTest, ExplicitBeginEndPairs) {
+  ScopeTraceToTest();
+  obs::SetTracingEnabled(true);
+  const int64_t start = obs::TraceBegin();
+  EXPECT_GE(start, 0);
+  obs::TraceEnd("test.explicit", "test", start, /*rid=*/42, /*flops=*/6,
+                /*bytes=*/8);
+  obs::SetTracingEnabled(false);
+  obs::TraceEnd("test.skipped", "test", obs::TraceBegin());  // -1: no-op
+  const obs::TraceBuffer buf = obs::DrainTrace();
+  ASSERT_EQ(buf.events.size(), 1u);
+  EXPECT_STREQ(buf.events[0].name, "test.explicit");
+  EXPECT_EQ(buf.events[0].rid, 42);
+  EXPECT_EQ(buf.events[0].flops, 6);
+  EXPECT_EQ(buf.events[0].bytes, 8);
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormed) {
+  ScopeTraceToTest();
+  obs::SetTracingEnabled(true);
+  {
+    DLSYS_TRACE_SPAN_COST("test.json_span", "test", 128, 256);
+  }
+  obs::TraceEmitSim("test.json_sim", "test", 1.5, 2.0, /*rid=*/7);
+  obs::TraceInstantSim("test.json_instant", "test", 3.5, /*rid=*/7);
+  obs::SetTracingEnabled(false);
+
+  const obs::TraceBuffer buf = obs::DrainTrace();
+  const std::string json = obs::ChromeTraceJson(buf);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"flops\": 128"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\": 256"), std::string::npos);
+  EXPECT_NE(json.find("\"rid\": 7"), std::string::npos);
+  // Sim-track events land on the simulated-clock pid.
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  const std::string path = ::testing::TempDir() + "/dlsys_trace_test.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(path, buf).ok());
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string readback(json.size(), '\0');
+  const size_t got = std::fread(readback.data(), 1, readback.size(), f);
+  std::fclose(f);
+  EXPECT_EQ(got, json.size());
+  EXPECT_EQ(readback, json);
+}
+
+// -------------------------------------------- served-request lifecycle
+
+/// Minimal Chrome-trace line scan: events mentioning `"rid": <rid>`,
+/// in file order, as (name, ts) pairs pulled out with string searches.
+std::vector<std::pair<std::string, double>> EventsForRid(
+    const std::string& json, int64_t rid) {
+  std::vector<std::pair<std::string, double>> out;
+  const std::string rid_token = "\"rid\": " + std::to_string(rid);
+  // Line-oriented: the exporter emits one event per line.
+  size_t start = 0;
+  while (start < json.size()) {
+    size_t end = json.find('\n', start);
+    if (end == std::string::npos) end = json.size();
+    const std::string line = json.substr(start, end - start);
+    start = end + 1;
+    const size_t rid_at = line.find(rid_token);
+    if (rid_at == std::string::npos) continue;
+    // `"rid": 7` must be the whole args value, not a prefix of e.g. 70.
+    const char next = rid_at + rid_token.size() < line.size()
+                          ? line[rid_at + rid_token.size()]
+                          : '\0';
+    if (next >= '0' && next <= '9') continue;
+    const size_t name_at = line.find("\"name\": \"");
+    const size_t ts_at = line.find("\"ts\": ");
+    if (name_at == std::string::npos || ts_at == std::string::npos) continue;
+    const size_t name_from = name_at + 9;
+    const size_t name_to = line.find('"', name_from);
+    out.emplace_back(line.substr(name_from, name_to - name_from),
+                     std::atof(line.c_str() + ts_at + 6));
+  }
+  return out;
+}
+
+TEST(TraceTest, ServedRequestLifecycleReconstructableByRid) {
+  ScopeTraceToTest();
+  RuntimeConfig::SetThreads(1);
+
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 16;
+  config.batch.max_batch = 2;
+  config.batch.max_delay_ms = 1.0;
+  config.default_deadline_ms = 1e6;
+  config.cost = {1.0, 0.1};
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  Server* server = created->get();
+
+  Sequential net = MakeMlp(16, {24}, 4);
+  Rng rng(21);
+  net.Init(&rng);
+  ASSERT_TRUE(server->Publish("m", net, {16}).ok());
+
+  obs::SetTracingEnabled(true);
+  Tensor x({16});
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    x.FillGaussian(&rng, 1.0f);
+    const Server::SubmitResult r =
+        server->Submit("m", x, static_cast<double>(i) * 0.4);
+    ASSERT_EQ(r.outcome, Server::Outcome::kAdmitted);
+    ids.push_back(r.id);
+  }
+  server->Drain();
+  obs::SetTracingEnabled(false);
+
+  const std::string json = obs::ChromeTraceJson(obs::DrainTrace());
+  for (int64_t id : ids) {
+    const auto events = EventsForRid(json, id);
+    // A full lifecycle: admit instant, queue span, execute span, respond
+    // instant, all carrying this request's id.
+    double admit_ts = -1.0, queue_ts = -1.0, exec_ts = -1.0, respond_ts = -1.0;
+    for (const auto& [name, ts] : events) {
+      if (name == "serve.admit") admit_ts = ts;
+      if (name == "serve.queue") queue_ts = ts;
+      if (name == "serve.execute") exec_ts = ts;
+      if (name == "serve.respond") respond_ts = ts;
+    }
+    ASSERT_GE(admit_ts, 0.0) << "rid " << id;
+    ASSERT_GE(queue_ts, 0.0) << "rid " << id;
+    ASSERT_GE(exec_ts, 0.0) << "rid " << id;
+    ASSERT_GE(respond_ts, 0.0) << "rid " << id;
+    EXPECT_DOUBLE_EQ(admit_ts, queue_ts);  // queueing starts at admission
+    EXPECT_GE(exec_ts, queue_ts);
+    EXPECT_GE(respond_ts, exec_ts);
+  }
+}
+
+TEST(CounterRegistryTest, ServerBumpsServeCounters) {
+  CounterRegistry& reg = CounterRegistry::Global();
+  const CounterRegistry::Snapshot base = reg.SnapshotCounters();
+
+  RuntimeConfig::SetThreads(1);
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 4;
+  config.batch.max_batch = 1;
+  config.batch.max_delay_ms = 0.0;
+  config.default_deadline_ms = 1e6;
+  config.cost = {1.0, 0.0};
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  Sequential net = MakeMlp(16, {24}, 4);
+  Rng rng(22);
+  net.Init(&rng);
+  ASSERT_TRUE((*created)->Publish("m", net, {16}).ok());
+  Tensor x({16});
+  x.FillGaussian(&rng, 1.0f);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ((*created)->Submit("m", x, static_cast<double>(i)).outcome,
+              Server::Outcome::kAdmitted);
+  }
+  (*created)->Drain();
+
+  const CounterRegistry::Snapshot diff =
+      CounterRegistry::Diff(reg.SnapshotCounters(), base);
+  EXPECT_EQ(diff.at("serve.offered"), 3);
+  EXPECT_EQ(diff.at("serve.admitted"), 3);
+  EXPECT_EQ(diff.at("serve.completed"), 3);
+  EXPECT_GE(diff.at("serve.batches"), 1);
+  EXPECT_GE(reg.histogram("serve.latency_ms")->Count(), 3);
+}
+
+// ----------------------------------------------- determinism contract
+
+TEST(TraceTest, TracedAndUntracedEngineOutputsBitwiseEqual) {
+  ScopeTraceToTest();
+  Rng rng(23);
+  Sequential net = MakeMlp(32, {48, 32}, 10);
+  net.Init(&rng);
+  auto compiled = InferenceEngine::Compile(net, {32}, EngineConfig{8});
+  ASSERT_TRUE(compiled.ok());
+  InferenceEngine engine = std::move(compiled).value();
+
+  const int64_t batch = 8;
+  Tensor x({batch, 32});
+  x.FillGaussian(&rng, 1.0f);
+  const int64_t out_elems = batch * engine.output_elems_per_example();
+  std::vector<float> untraced(static_cast<size_t>(out_elems));
+  std::vector<float> traced(static_cast<size_t>(out_elems));
+  std::vector<float> reference;  // threads=1 untraced output
+
+  const int saved_threads = RuntimeConfig::Threads();
+  for (int threads : {1, 2, 8}) {
+    RuntimeConfig::SetThreads(threads);
+
+    obs::SetTracingEnabled(false);
+    ASSERT_TRUE(engine.PredictInto(x.data(), batch, untraced.data()).ok());
+
+    obs::SetTracingEnabled(true);
+    obs::SetTraceSampling(1);
+    ASSERT_TRUE(engine.PredictInto(x.data(), batch, traced.data()).ok());
+    obs::SetTracingEnabled(false);
+
+    EXPECT_EQ(std::memcmp(untraced.data(), traced.data(),
+                          static_cast<size_t>(out_elems) * sizeof(float)),
+              0)
+        << "tracing perturbed results at DLSYS_THREADS=" << threads;
+    if (reference.empty()) {
+      reference = untraced;
+    } else {
+      EXPECT_EQ(std::memcmp(reference.data(), traced.data(),
+                            static_cast<size_t>(out_elems) * sizeof(float)),
+                0)
+          << "thread count changed traced results at DLSYS_THREADS="
+          << threads;
+    }
+  }
+  RuntimeConfig::SetThreads(saved_threads);
+  (void)obs::DrainTrace();
+}
+
+TEST(TraceTest, EngineStepsCarryCostTags) {
+  ScopeTraceToTest();
+  Rng rng(24);
+  Sequential net = MakeMlp(32, {48}, 10);
+  net.Init(&rng);
+  auto compiled = InferenceEngine::Compile(net, {32}, EngineConfig{4});
+  ASSERT_TRUE(compiled.ok());
+  InferenceEngine engine = std::move(compiled).value();
+  Tensor x({4, 32});
+  x.FillGaussian(&rng, 1.0f);
+  std::vector<float> out(
+      static_cast<size_t>(4 * engine.output_elems_per_example()));
+
+  const obs::PhaseCost cost_before = obs::PhaseTotals();
+  obs::SetTracingEnabled(true);
+  obs::SetTraceSampling(1);
+  ASSERT_TRUE(engine.PredictInto(x.data(), 4, out.data()).ok());
+  obs::SetTracingEnabled(false);
+  const obs::PhaseCost cost_after = obs::PhaseTotals();
+
+  const obs::TraceBuffer buf = obs::DrainTrace();
+  bool saw_predict = false, saw_dense = false;
+  for (const obs::TraceEvent& ev : buf.events) {
+    if (std::strcmp(ev.name, "engine.predict") == 0) saw_predict = true;
+    if (std::strcmp(ev.name, "engine.dense") == 0) {
+      saw_dense = true;
+      // dense flops = 2 * in * out per example, times the batch.
+      EXPECT_GT(ev.flops, 0);
+      EXPECT_GT(ev.bytes, 0);
+    }
+  }
+  EXPECT_TRUE(saw_predict);
+  EXPECT_TRUE(saw_dense);
+
+  // The engine runs under PhaseScope(kServe), so the GEMM FLOPs landed
+  // in the serve phase: 2*32*48 + 2*48*10 per example, batch 4.
+  const auto serve_i = static_cast<size_t>(obs::Phase::kServe);
+  EXPECT_GE(cost_after.flops[serve_i] - cost_before.flops[serve_i],
+            4 * (2 * 32 * 48 + 2 * 48 * 10));
+}
+
+#endif  // DLSYS_OBS
+
+}  // namespace
+}  // namespace dlsys
