@@ -1,127 +1,202 @@
-// E22 (infrastructure) — google-benchmark microkernels for the
-// substrate: GEMM, conv, B+-tree and RMI lookups, bloom probes. These
-// are the latency primitives behind every experiment table.
+// Microkernel bench (E34): ISA x format sweep of the dispatched GEMM
+// microkernels — fp32 matmul / fp32 transB / conv-GEMM / int8 / q8-block /
+// q4-block at the E31 serving shape (64x768x768) and one tail shape —
+// plus the lookup primitives (B+-tree, RMI, bloom) behind the learned-index
+// experiments. Per-cell latency quantiles come from the PR-5
+// CounterRegistry histogram (obs::SharedHistogram), not local timing
+// plumbing; results land in BENCH_microkernels.json with speedup vs the
+// scalar table per cell.
+//
+// Standalone binary (not google-benchmark): the sweep forces each SIMD
+// table via simd::SetIsa between sections, which must not interleave with
+// a framework's own repetition scheduling. Pass --smoke (or set
+// DLSYS_BENCH_SMOKE=1) for a seconds-scale CI run at tiny shapes.
 
-#include <benchmark/benchmark.h>
-
-#include <cmath>
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <set>
-#include <thread>
+#include <string>
+#include <vector>
 
+#include "src/compress/quantization.h"
+#include "src/core/metrics.h"
 #include "src/core/rng.h"
 #include "src/db/bloom.h"
 #include "src/db/btree.h"
 #include "src/learned/learned_index.h"
-#include "src/nn/conv.h"
-#include "src/nn/layers.h"
+#include "src/obs/counters.h"
 #include "src/runtime/runtime.h"
+#include "src/simd/dispatch.h"
+#include "src/tensor/int8_gemm.h"
 #include "src/tensor/ops.h"
 
 namespace dlsys {
 namespace {
 
-void BM_MatMul(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  Rng rng(1);
-  Tensor a({n, n});
-  Tensor b({n, n});
-  a.FillGaussian(&rng, 1.0f);
-  b.FillGaussian(&rng, 1.0f);
-  for (auto _ : state) {
-    Tensor c = MatMul(a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+volatile float g_sink = 0.0f;  // defeats dead-code elimination
+bool g_smoke = false;
 
-void BM_MatMulTransA(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  Rng rng(1);
-  Tensor a({n, n});  // (K x M), consumed transposed
-  Tensor b({n, n});
-  a.FillGaussian(&rng, 1.0f);
-  b.FillGaussian(&rng, 1.0f);
-  for (auto _ : state) {
-    Tensor c = MatMulTransA(a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_MatMulTransA)->Arg(64)->Arg(128)->Arg(256);
+struct Quantiles {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
 
-void BM_MatMulTransB(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  Rng rng(1);
-  Tensor a({n, n});
-  Tensor b({n, n});  // (N x K), consumed transposed
-  a.FillGaussian(&rng, 1.0f);
-  b.FillGaussian(&rng, 1.0f);
-  for (auto _ : state) {
-    Tensor c = MatMulTransB(a, b);
-    benchmark::DoNotOptimize(c.data());
+/// Runs \p fn `iters` times, recording each call's wall time into the
+/// shared bench histogram, and returns {p50_ms, p99_ms} read back from the
+/// registry. (A -DDLSYS_OBS=0 build still links the registry — only the
+/// DLSYS_* recording macros compile out — so this bench works either way.)
+template <typename Fn>
+Quantiles TimeKernel(int iters, Fn&& fn) {
+  obs::SharedHistogram* hist =
+      obs::CounterRegistry::Global().histogram("bench.microkernel_ms");
+  hist->Reset();
+  fn();  // warm: touch every page, resolve the dispatch table
+  for (int it = 0; it < iters; ++it) {
+    Stopwatch watch;
+    fn();
+    hist->Record(watch.Seconds() * 1000.0);
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  return {hist->Quantile(0.5), hist->Quantile(0.99)};
 }
-BENCHMARK(BM_MatMulTransB)->Arg(64)->Arg(128)->Arg(256);
 
-// Thread-count sweep over all three GEMM variants (variant selected by
-// arg 0: 0=MatMul, 1=TransA, 2=TransB) at 256^3, so kernel regressions
-// are visible per variant and per thread count, not just for plain
-// MatMul. Restores the default thread count afterwards.
-void BM_GemmThreads(benchmark::State& state) {
-  const int64_t variant = state.range(0);
-  const int threads = static_cast<int>(state.range(1));
-  const int64_t n = 256;
-  Rng rng(1);
-  Tensor a({n, n});
-  Tensor b({n, n});
-  a.FillGaussian(&rng, 1.0f);
-  b.FillGaussian(&rng, 1.0f);
-  RuntimeConfig::SetThreads(threads);
-  for (auto _ : state) {
-    Tensor c = variant == 0   ? MatMul(a, b)
-               : variant == 1 ? MatMulTransA(a, b)
-                              : MatMulTransB(a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  RuntimeConfig::SetThreads(RuntimeConfig::DefaultThreads());
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_GemmThreads)
-    ->ArgsProduct({{0, 1, 2},
-                   {1, 2, 4,
-                    static_cast<long>(std::thread::hardware_concurrency())}});
+// ------------------------------------------------------ ISA x format sweep
 
-void BM_Conv2DForward(benchmark::State& state) {
-  const int64_t channels = state.range(0);
-  Conv2D conv(channels, channels, 3, 1, 1);
-  Rng rng(2);
-  conv.Init(&rng);
-  Tensor x({4, channels, 16, 16});
-  x.FillGaussian(&rng, 1.0f);
-  for (auto _ : state) {
-    Tensor y = conv.Forward(x, CacheMode::kNoCache);
-    benchmark::DoNotOptimize(y.data());
-  }
-}
-BENCHMARK(BM_Conv2DForward)->Arg(4)->Arg(16);
+struct SweepCell {
+  std::string shape;
+  std::string kernel;
+  std::string isa;
+  Quantiles q;
+  double speedup_vs_scalar = 0.0;  ///< scalar p50 / this p50
+};
 
-void BM_DenseForwardBackward(benchmark::State& state) {
-  const int64_t width = state.range(0);
-  Dense dense(width, width);
-  Rng rng(3);
-  dense.Init(&rng);
-  Tensor x({32, width});
-  x.FillGaussian(&rng, 1.0f);
-  for (auto _ : state) {
-    Tensor y = dense.Forward(x, CacheMode::kCache);
-    Tensor dx = dense.Backward(y);
-    dense.ZeroGrads();
-    benchmark::DoNotOptimize(dx.data());
+struct GemmShape {
+  int64_t m, k, n;
+  std::string Name() const {
+    return std::to_string(m) + "x" + std::to_string(k) + "x" +
+           std::to_string(n);
   }
+};
+
+/// All operand/output buffers for one GEMM shape, prepared once so every
+/// ISA times identical memory.
+struct GemmOperands {
+  GemmShape s;
+  Tensor a, b, bt, bias;
+  Q8BlockMatrix qa8, qb8;
+  Q4BlockMatrix qb4;
+  std::vector<int8_t> ia, ib;
+  std::vector<int32_t> iacc;
+  std::vector<float> c;
+
+  explicit GemmOperands(const GemmShape& shape, Rng* rng) : s(shape) {
+    a = Tensor({s.m, s.k});
+    b = Tensor({s.k, s.n});
+    a.FillGaussian(rng, 1.0f);
+    b.FillGaussian(rng, 0.5f);
+    bt = Transpose(b);  // (n, k) for the TransB family
+    bias = Tensor({s.m});
+    bias.FillGaussian(rng, 1.0f);
+    qa8 = Q8BlockQuantizeRows(a);
+    qb8 = Q8BlockQuantizeRows(bt);
+    qb4 = Q4BlockQuantizeRows(bt);
+    ia.resize(static_cast<size_t>(s.m * s.k));
+    ib.resize(static_cast<size_t>(s.n * s.k));
+    for (int8_t& v : ia) v = static_cast<int8_t>(rng->Next() % 255 - 127);
+    for (int8_t& v : ib) v = static_cast<int8_t>(rng->Next() % 255 - 127);
+    iacc.resize(static_cast<size_t>(s.m * s.n));
+    c.resize(static_cast<size_t>(s.m * s.n));
+  }
+};
+
+std::vector<SweepCell> RunSweep(const std::vector<GemmShape>& shapes) {
+  const int iters = g_smoke ? 3 : 15;
+  std::vector<SweepCell> cells;
+  Rng rng(61);
+
+  std::vector<simd::Isa> isas;
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    if (simd::IsaSupported(isa)) isas.push_back(isa);
+  }
+
+  for (const GemmShape& shape : shapes) {
+    GemmOperands op(shape, &rng);
+    const int64_t m = shape.m, k = shape.k, n = shape.n;
+    const int64_t kp = op.qa8.padded_cols;
+
+    struct KernelDef {
+      const char* name;
+      std::function<void()> run;
+    };
+    const std::vector<KernelDef> kernels = {
+        {"fp32_matmul",
+         [&] {
+           MatMulInto(op.a.data(), op.b.data(), op.c.data(), m, k, n);
+           g_sink = op.c[0];
+         }},
+        {"fp32_matmul_tb",
+         [&] {
+           Tensor out = MatMulTransB(op.a, op.bt);
+           g_sink = out[0];
+         }},
+        {"fp32_conv_gemm",
+         [&] {
+           ConvGemmBiasInto(op.a.data(), op.bt.data(), op.bias.data(),
+                            op.c.data(), m, k, n);
+           g_sink = op.c[0];
+         }},
+        {"int8_rowwise",
+         [&] {
+           Int8GemmTransBInto(op.ia.data(), op.ib.data(), op.iacc.data(), m,
+                              k, n);
+           g_sink = static_cast<float>(op.iacc[0]);
+         }},
+        {"q8_block",
+         [&] {
+           Q8BlockGemmTransBInto(op.qa8.values.data(), op.qa8.scales.data(),
+                                 op.qb8.values.data(), op.qb8.scales.data(),
+                                 op.c.data(), m, kp, n);
+           g_sink = op.c[0];
+         }},
+        {"q4_block",
+         [&] {
+           Q4BlockGemmTransBInto(op.qa8.values.data(), op.qa8.scales.data(),
+                                 op.qb4.values.data(), op.qb4.scales.data(),
+                                 op.c.data(), m, kp, n);
+           g_sink = op.c[0];
+         }},
+    };
+
+    for (const KernelDef& kernel : kernels) {
+      double scalar_p50 = 0.0;
+      for (simd::Isa isa : isas) {
+        simd::SetIsa(isa);
+        SweepCell cell;
+        cell.shape = shape.Name();
+        cell.kernel = kernel.name;
+        cell.isa = simd::IsaName(isa);
+        cell.q = TimeKernel(iters, kernel.run);
+        if (isa == simd::Isa::kScalar) scalar_p50 = cell.q.p50_ms;
+        cell.speedup_vs_scalar =
+            cell.q.p50_ms > 0.0 ? scalar_p50 / cell.q.p50_ms : 0.0;
+        cells.push_back(cell);
+      }
+    }
+  }
+  simd::SetIsa(simd::BestSupportedIsa());
+  return cells;
 }
-BENCHMARK(BM_DenseForwardBackward)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------- lookup primitives
+
+struct LookupRow {
+  std::string name;
+  Quantiles per_probe_us;  ///< probes run in batches of 1000: ms == us/probe
+};
 
 std::vector<int64_t> BenchKeys(int64_t n) {
   Rng rng(4);
@@ -132,48 +207,131 @@ std::vector<int64_t> BenchKeys(int64_t n) {
   return {keys.begin(), keys.end()};
 }
 
-void BM_BTreeLookup(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  std::vector<int64_t> keys = BenchKeys(n);
+std::vector<LookupRow> RunLookups() {
+  const int64_t n = g_smoke ? 10000 : 100000;
+  const int batches = g_smoke ? 5 : 30;
+  const std::vector<int64_t> keys = BenchKeys(n);
+
   BTree tree(128);
   for (size_t i = 0; i < keys.size(); ++i) {
     tree.Insert(keys[i], static_cast<int64_t>(i));
   }
-  size_t probe = 0;
-  for (auto _ : state) {
-    auto v = tree.Find(keys[probe]);
-    benchmark::DoNotOptimize(v);
-    probe = (probe + 7919) % keys.size();
-  }
-}
-BENCHMARK(BM_BTreeLookup)->Arg(100000)->Arg(1000000);
-
-void BM_RmiLookup(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  std::vector<int64_t> keys = BenchKeys(n);
   auto rmi = LearnedIndex::Build(keys, n / 400);
-  size_t probe = 0;
-  for (auto _ : state) {
-    auto v = rmi->Find(keys[probe]);
-    benchmark::DoNotOptimize(v);
-    probe = (probe + 7919) % keys.size();
-  }
-}
-BENCHMARK(BM_RmiLookup)->Arg(100000)->Arg(1000000);
-
-void BM_BloomProbe(benchmark::State& state) {
-  BloomFilter bloom = BloomFilter::ForKeys(100000, 10.0);
-  std::vector<int64_t> keys = BenchKeys(100000);
+  BloomFilter bloom = BloomFilter::ForKeys(n, 10.0);
   for (int64_t key : keys) bloom.Insert(key);
+
+  // Each timed call is a batch of 1000 probes striding through the key
+  // set, so the histogram's millisecond quantiles read directly as
+  // microseconds per probe.
+  std::vector<LookupRow> rows;
   size_t probe = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bloom.MayContain(keys[probe]));
-    probe = (probe + 7919) % keys.size();
-  }
+  rows.push_back({"btree", TimeKernel(batches, [&] {
+                    for (int i = 0; i < 1000; ++i) {
+                      auto v = tree.Find(keys[probe]);
+                      g_sink = v.ok() ? 1.0f : 0.0f;
+                      probe = (probe + 7919) % keys.size();
+                    }
+                  })});
+  probe = 0;
+  rows.push_back({"rmi", TimeKernel(batches, [&] {
+                    for (int i = 0; i < 1000; ++i) {
+                      auto v = rmi->Find(keys[probe]);
+                      g_sink = v.ok() ? 1.0f : 0.0f;
+                      probe = (probe + 7919) % keys.size();
+                    }
+                  })});
+  probe = 0;
+  rows.push_back({"bloom", TimeKernel(batches, [&] {
+                    for (int i = 0; i < 1000; ++i) {
+                      g_sink = bloom.MayContain(keys[probe]) ? 1.0f : 0.0f;
+                      probe = (probe + 7919) % keys.size();
+                    }
+                  })});
+  return rows;
 }
-BENCHMARK(BM_BloomProbe);
 
 }  // namespace
 }  // namespace dlsys
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace dlsys;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  if (const char* env = std::getenv("DLSYS_BENCH_SMOKE");
+      env != nullptr && env[0] == '1') {
+    g_smoke = true;
+  }
+  // Single-threaded so the sweep compares kernel codegen, not scheduling.
+  RuntimeConfig::SetThreads(1);
+
+  std::vector<GemmShape> shapes;
+  if (g_smoke) {
+    shapes.push_back({8, 64, 32});
+    shapes.push_back({3, 33, 17});
+  } else {
+    shapes.push_back({64, 768, 768});  // E31 serving shape
+    shapes.push_back({61, 765, 771});  // unaligned tails on every dimension
+  }
+
+  const std::vector<SweepCell> cells = RunSweep(shapes);
+  std::printf("%-12s %-15s %-8s %10s %10s %9s\n", "shape", "kernel", "isa",
+              "p50_ms", "p99_ms", "vs_scalar");
+  double best_e31_speedup = 0.0;
+  std::string best_e31_cell;
+  for (const SweepCell& cell : cells) {
+    std::printf("%-12s %-15s %-8s %10.4f %10.4f %8.2fx\n", cell.shape.c_str(),
+                cell.kernel.c_str(), cell.isa.c_str(), cell.q.p50_ms,
+                cell.q.p99_ms, cell.speedup_vs_scalar);
+    if (cell.shape == shapes[0].Name() &&
+        cell.speedup_vs_scalar > best_e31_speedup) {
+      best_e31_speedup = cell.speedup_vs_scalar;
+      best_e31_cell = cell.kernel + "/" + cell.isa;
+    }
+  }
+  std::printf("best %s speedup vs scalar: %.2fx (%s)\n",
+              shapes[0].Name().c_str(), best_e31_speedup,
+              best_e31_cell.c_str());
+
+  const std::vector<LookupRow> lookups = RunLookups();
+  for (const LookupRow& row : lookups) {
+    std::printf("lookup %-6s  p50 %.4f us | p99 %.4f us\n", row.name.c_str(),
+                row.per_probe_us.p50_ms, row.per_probe_us.p99_ms);
+  }
+
+  FILE* out = std::fopen("BENCH_microkernels.json", "w");
+  if (out == nullptr) {
+    std::printf("cannot open BENCH_microkernels.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"smoke\": %s,\n"
+               "  \"threads\": 1,\n"
+               "  \"best_speedup_vs_scalar\": {\"shape\": \"%s\", "
+               "\"cell\": \"%s\", \"speedup\": %.2f},\n"
+               "  \"cells\": [\n",
+               g_smoke ? "true" : "false", shapes[0].Name().c_str(),
+               best_e31_cell.c_str(), best_e31_speedup);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    std::fprintf(out,
+                 "    {\"shape\": \"%s\", \"kernel\": \"%s\", \"isa\": "
+                 "\"%s\", \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"speedup_vs_scalar\": %.2f}%s\n",
+                 cell.shape.c_str(), cell.kernel.c_str(), cell.isa.c_str(),
+                 cell.q.p50_ms, cell.q.p99_ms, cell.speedup_vs_scalar,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"lookup_us_per_probe\": {\n");
+  for (size_t i = 0; i < lookups.size(); ++i) {
+    std::fprintf(out, "    \"%s\": {\"p50\": %.4f, \"p99\": %.4f}%s\n",
+                 lookups[i].name.c_str(), lookups[i].per_probe_us.p50_ms,
+                 lookups[i].per_probe_us.p99_ms,
+                 i + 1 < lookups.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_microkernels.json\n");
+  return 0;
+}

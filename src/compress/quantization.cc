@@ -263,6 +263,147 @@ SymmetricInt8Matrix SymmetricQuantizeRows(const Tensor& t) {
   return q;
 }
 
+Tensor Q8BlockMatrix::Dequantize() const {
+  Tensor out({rows, cols});
+  float* pout = out.data();
+  const int64_t nb = padded_cols / kQuantBlock;
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      const float s = scales[static_cast<size_t>(i * nb + j / kQuantBlock)];
+      pout[i * cols + j] =
+          static_cast<float>(values[static_cast<size_t>(i * padded_cols + j)]) *
+          s;
+    }
+  }
+  return out;
+}
+
+int64_t Q8BlockMatrix::PackedBytes() const {
+  return static_cast<int64_t>(values.size()) +
+         static_cast<int64_t>(scales.size()) *
+             static_cast<int64_t>(sizeof(float));
+}
+
+Tensor Q4BlockMatrix::Dequantize() const {
+  Tensor out({rows, cols});
+  float* pout = out.data();
+  const int64_t nb = padded_cols / kQuantBlock;
+  const int64_t row_bytes = padded_cols / 2;
+  for (int64_t i = 0; i < rows; ++i) {
+    const uint8_t* vrow = values.data() + i * row_bytes;
+    for (int64_t j = 0; j < cols; ++j) {
+      const int64_t b = j / kQuantBlock;
+      const int64_t t = j % kQuantBlock;
+      const uint8_t byte = vrow[b * (kQuantBlock / 2) + (t % 16)];
+      const int32_t code = t < 16 ? (byte & 0x0F) : (byte >> 4);
+      pout[i * cols + j] = static_cast<float>(code - 8) *
+                           scales[static_cast<size_t>(i * nb + b)];
+    }
+  }
+  return out;
+}
+
+int64_t Q4BlockMatrix::PackedBytes() const {
+  return static_cast<int64_t>(values.size()) +
+         static_cast<int64_t>(scales.size()) *
+             static_cast<int64_t>(sizeof(float));
+}
+
+void Q8BlockQuantizeRowsInto(const float* x, int64_t rows, int64_t cols,
+                             int8_t* values, float* scales) {
+  const int64_t kp = PadToQuantBlock(cols);
+  const int64_t nb = kp / kQuantBlock;
+  ParallelFor(0, rows, 4, [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = x + i * cols;
+      int8_t* vrow = values + i * kp;
+      float* srow = scales + i * nb;
+      for (int64_t b = 0; b < nb; ++b) {
+        const int64_t j0 = b * kQuantBlock;
+        const int64_t j1 = std::min<int64_t>(j0 + kQuantBlock, cols);
+        float maxabs = 0.0f;
+        for (int64_t j = j0; j < j1; ++j) {
+          const float a = std::abs(row[j]);
+          maxabs = a > maxabs ? a : maxabs;
+        }
+        const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+        const float inv = 1.0f / scale;
+        srow[b] = scale;
+        for (int64_t j = j0; j < j1; ++j) {
+          const long q = std::lround(row[j] * inv);
+          vrow[j] = static_cast<int8_t>(std::clamp<long>(q, -127, 127));
+        }
+        for (int64_t j = j1; j < j0 + kQuantBlock; ++j) vrow[j] = 0;
+      }
+    }
+  });
+}
+
+Q8BlockMatrix Q8BlockQuantizeRows(const Tensor& t) {
+  DLSYS_CHECK(t.rank() == 2, "Q8BlockQuantizeRows requires rank 2");
+  Q8BlockMatrix q;
+  q.rows = t.dim(0);
+  q.cols = t.dim(1);
+  q.padded_cols = PadToQuantBlock(q.cols);
+  q.values.resize(static_cast<size_t>(q.rows * q.padded_cols));
+  q.scales.resize(static_cast<size_t>(q.rows * q.padded_cols / kQuantBlock));
+  Q8BlockQuantizeRowsInto(t.data(), q.rows, q.cols, q.values.data(),
+                          q.scales.data());
+  return q;
+}
+
+Q4BlockMatrix Q4BlockQuantizeRows(const Tensor& t) {
+  DLSYS_CHECK(t.rank() == 2, "Q4BlockQuantizeRows requires rank 2");
+  Q4BlockMatrix q;
+  q.rows = t.dim(0);
+  q.cols = t.dim(1);
+  q.padded_cols = PadToQuantBlock(q.cols);
+  const int64_t nb = q.padded_cols / kQuantBlock;
+  const int64_t row_bytes = q.padded_cols / 2;
+  q.values.assign(static_cast<size_t>(q.rows * row_bytes), 0);
+  q.scales.resize(static_cast<size_t>(q.rows * nb));
+  const float* x = t.data();
+  const int64_t cols = q.cols;
+  uint8_t* values = q.values.data();
+  float* scales = q.scales.data();
+  ParallelFor(0, q.rows, 4, [=](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = x + i * cols;
+      uint8_t* vrow = values + i * row_bytes;
+      float* srow = scales + i * nb;
+      for (int64_t b = 0; b < nb; ++b) {
+        const int64_t j0 = b * kQuantBlock;
+        const int64_t j1 = std::min<int64_t>(j0 + kQuantBlock, cols);
+        float maxabs = 0.0f;
+        for (int64_t j = j0; j < j1; ++j) {
+          const float a = std::abs(row[j]);
+          maxabs = a > maxabs ? a : maxabs;
+        }
+        const float scale = maxabs > 0.0f ? maxabs / 7.0f : 1.0f;
+        const float inv = 1.0f / scale;
+        srow[b] = scale;
+        uint8_t* block = vrow + b * (kQuantBlock / 2);
+        // Pack code q+8: element t in byte t&15, low nibble for t<16,
+        // high nibble for t>=16. Pad elements keep code 8 (q = 0).
+        uint8_t codes[kQuantBlock];
+        for (int64_t t = 0; t < kQuantBlock; ++t) {
+          int32_t q4 = 0;
+          if (j0 + t < j1) {
+            const long q = std::lround(row[j0 + t] * inv);
+            q4 = static_cast<int32_t>(std::clamp<long>(q, -7, 7));
+          }
+          codes[t] = static_cast<uint8_t>(q4 + 8);
+        }
+        for (int64_t t = 0; t < kQuantBlock / 2; ++t) {
+          block[t] = static_cast<uint8_t>(codes[t] |
+                                          (codes[t + kQuantBlock / 2] << 4));
+        }
+      }
+    }
+  });
+  return q;
+}
+
 Result<NetworkQuantization> QuantizeNetwork(Sequential* net,
                                             QuantizerKind kind, int64_t bits) {
   NetworkQuantization out;

@@ -102,6 +102,75 @@ SymmetricInt8Matrix SymmetricQuantizeRows(const Tensor& t);
 void SymmetricQuantizeRowsInto(const float* x, int64_t rows, int64_t cols,
                                int8_t* values, float* scales);
 
+// ----------------------------------------------------- block quantization
+//
+// ggml-style block formats: one float scale per kQuantBlock consecutive
+// elements along a row (the GEMM reduction dimension), instead of one per
+// whole row. A single outlier now only costs its own 32-element block its
+// precision, and the scales live next to the codes the GEMM is already
+// streaming, which is what lets src/tensor/int8_gemm.h fuse dequantization
+// into the inner loop. Rows are padded to a multiple of kQuantBlock with
+// zero codes, so pad blocks contribute exactly nothing to any dot product.
+
+/// \brief Elements covered by one block scale.
+inline constexpr int64_t kQuantBlock = 32;
+
+/// \brief \p k rounded up to a multiple of kQuantBlock.
+inline constexpr int64_t PadToQuantBlock(int64_t k) {
+  return (k + kQuantBlock - 1) / kQuantBlock * kQuantBlock;
+}
+
+/// \brief A rank-2 matrix stored as symmetric per-block int8 codes.
+///
+/// Block b of row i holds round(x / s) clamped to [-127, 127] with
+/// s = max|block| / 127 (1.0 for an all-zero block).
+struct Q8BlockMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;         ///< logical width
+  int64_t padded_cols = 0;  ///< cols rounded up to kQuantBlock
+  std::vector<int8_t> values;  ///< rows x padded_cols, row-major
+  std::vector<float> scales;   ///< rows x (padded_cols / kQuantBlock)
+
+  /// \brief Reconstructs the dense float matrix (pad columns dropped).
+  Tensor Dequantize() const;
+  /// \brief Raw storage cost: codes + block scales.
+  int64_t PackedBytes() const;
+};
+
+/// \brief A rank-2 matrix stored as symmetric per-block 4-bit codes,
+/// nibble-packed.
+///
+/// Block b of row i holds q = round(x / s) clamped to [-7, 7] with
+/// s = max|block| / 7 (1.0 for an all-zero block), stored as code = q + 8.
+/// Each 32-element block packs into 16 bytes: byte t carries element t in
+/// its low nibble and element 16+t in its high nibble (pad code 8 = 0).
+struct Q4BlockMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t padded_cols = 0;
+  std::vector<uint8_t> values;  ///< rows x padded_cols/2, row-major
+  std::vector<float> scales;    ///< rows x (padded_cols / kQuantBlock)
+
+  /// \brief Reconstructs the dense float matrix (pad columns dropped).
+  Tensor Dequantize() const;
+  /// \brief Raw storage cost: packed codes + block scales.
+  int64_t PackedBytes() const;
+};
+
+/// \brief Symmetric per-block q8 quantization of a rank-2 tensor.
+Q8BlockMatrix Q8BlockQuantizeRows(const Tensor& t);
+
+/// \brief Allocation-free q8 block quantization into caller storage
+/// (\p values: rows * PadToQuantBlock(cols) int8, \p scales: rows *
+/// PadToQuantBlock(cols)/kQuantBlock floats). Pad codes are written as 0.
+/// Row-parallel; the engine's int8 path quantizes activations with this
+/// inside the zero-allocation hot loop.
+void Q8BlockQuantizeRowsInto(const float* x, int64_t rows, int64_t cols,
+                             int8_t* values, float* scales);
+
+/// \brief Symmetric per-block q4 quantization of a rank-2 tensor.
+Q4BlockMatrix Q4BlockQuantizeRows(const Tensor& t);
+
 }  // namespace dlsys
 
 #endif  // DLSYS_COMPRESS_QUANTIZATION_H_

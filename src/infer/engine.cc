@@ -50,8 +50,8 @@ Result<InferenceEngine> InferenceEngine::Compile(const Sequential& net,
   Shape cur = example_shape;
   int cur_buf = 0;
   int64_t max_act = eng.in_elems_;
-  int64_t max_patch = 0;               // im2col scratch floats (per image)
-  int64_t max_qin = 0, max_qout = 0;   // int8 dense extents
+  int64_t max_patch = 0;  // im2col scratch floats (per image)
+  int64_t max_qin = 0;    // widest 32-padded quantized Dense input
 
   for (int64_t li = 0; li < net.size(); ++li) {
     const Layer* layer = net.layer(li);
@@ -67,10 +67,14 @@ Result<InferenceEngine> InferenceEngine::Compile(const Sequential& net,
       step.bias = dense->bias();
       if (config.numeric == EngineNumeric::kInt8) {
         step.kind = Step::Kind::kDenseInt8;
-        // Weights quantize once here, per output feature: rows of W^T.
-        step.qweight = SymmetricQuantizeRows(Transpose(dense->weight()));
-        max_qin = std::max(max_qin, step.in_elems);
-        max_qout = std::max(max_qout, step.out_elems);
+        // Weights quantize once here, per 32-element block of each output
+        // feature's row: rows of W^T, q8 codes.
+        step.qweight8 = Q8BlockQuantizeRows(Transpose(dense->weight()));
+        max_qin = std::max(max_qin, PadToQuantBlock(step.in_elems));
+      } else if (config.numeric == EngineNumeric::kInt4) {
+        step.kind = Step::Kind::kDenseInt4;
+        step.qweight4 = Q4BlockQuantizeRows(Transpose(dense->weight()));
+        max_qin = std::max(max_qin, PadToQuantBlock(step.in_elems));
       } else {
         step.kind = Step::Kind::kDense;
         step.weight = dense->weight();
@@ -178,8 +182,9 @@ Result<InferenceEngine> InferenceEngine::Compile(const Sequential& net,
     // Fix the step's trace/cost plan now so the hot path only scales by
     // the batch: FLOPs from the layer's arithmetic, bytes from the
     // activations it reads and writes plus its resident parameters.
-    int64_t param_elems = step.weight.size() + step.bias.size() +
-                          static_cast<int64_t>(step.qweight.values.size());
+    int64_t param_elems =
+        step.weight.size() + step.bias.size() +
+        (step.qweight8.PackedBytes() + step.qweight4.PackedBytes() + 3) / 4;
     switch (step.kind) {
       case Step::Kind::kDense:
         step.trace_name = "engine.dense";
@@ -187,6 +192,10 @@ Result<InferenceEngine> InferenceEngine::Compile(const Sequential& net,
         break;
       case Step::Kind::kDenseInt8:
         step.trace_name = "engine.dense_int8";
+        step.flops_per_example = 2 * step.in_elems * step.out_elems;
+        break;
+      case Step::Kind::kDenseInt4:
+        step.trace_name = "engine.dense_int4";
         step.flops_per_example = 2 * step.in_elems * step.out_elems;
         break;
       case Step::Kind::kConv:
@@ -235,9 +244,10 @@ Result<InferenceEngine> InferenceEngine::Compile(const Sequential& net,
     eng.im2col_ = eng.arena_.ReserveFloats(max_patch);
   }
   if (max_qin > 0) {
+    // max_qin is already 32-padded; one scale per block per example row.
     eng.q_vals_ = eng.arena_.ReserveInt8s(max_qin * config.max_batch);
-    eng.q_scales_ = eng.arena_.ReserveFloats(config.max_batch);
-    eng.q_acc_ = eng.arena_.ReserveInt32s(max_qout * config.max_batch);
+    eng.q_scales_ = eng.arena_.ReserveFloats((max_qin / kQuantBlock) *
+                                             config.max_batch);
   }
   eng.arena_.Commit();
   return eng;
@@ -311,22 +321,38 @@ void InferenceEngine::RunStep(const Step& step, int64_t batch,
     }
     case Step::Kind::kDenseInt8: {
       const int64_t in_f = step.in_elems, out_f = step.out_elems;
+      const int64_t kp = step.qweight8.padded_cols;
       int8_t* qv = arena_.Int8s(q_vals_);
       float* qs = arena_.Floats(q_scales_);
-      int32_t* acc = arena_.Int32s(q_acc_);
-      SymmetricQuantizeRowsInto(in, batch, in_f, qv, qs);
-      Int8GemmTransBInto(qv, step.qweight.values.data(), acc, batch, in_f,
-                         out_f);
-      const float* ws = step.qweight.scales.data();
+      Q8BlockQuantizeRowsInto(in, batch, in_f, qv, qs);
+      // Dequantization is fused into the GEMM (fp32 out); only the bias
+      // remains for the epilogue.
+      Q8BlockGemmTransBInto(qv, qs, step.qweight8.values.data(),
+                            step.qweight8.scales.data(), out, batch, kp,
+                            out_f);
       const float* pb = step.bias.data();
       ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
         for (int64_t i = r0; i < r1; ++i) {
-          const float sx = qs[i];
           float* row = out + i * out_f;
-          const int32_t* arow = acc + i * out_f;
-          for (int64_t j = 0; j < out_f; ++j) {
-            row[j] = static_cast<float>(arow[j]) * sx * ws[j] + pb[j];
-          }
+          for (int64_t j = 0; j < out_f; ++j) row[j] += pb[j];
+        }
+      });
+      return;
+    }
+    case Step::Kind::kDenseInt4: {
+      const int64_t in_f = step.in_elems, out_f = step.out_elems;
+      const int64_t kp = step.qweight4.padded_cols;
+      int8_t* qv = arena_.Int8s(q_vals_);
+      float* qs = arena_.Floats(q_scales_);
+      Q8BlockQuantizeRowsInto(in, batch, in_f, qv, qs);
+      Q4BlockGemmTransBInto(qv, qs, step.qweight4.values.data(),
+                            step.qweight4.scales.data(), out, batch, kp,
+                            out_f);
+      const float* pb = step.bias.data();
+      ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* row = out + i * out_f;
+          for (int64_t j = 0; j < out_f; ++j) row[j] += pb[j];
         }
       });
       return;

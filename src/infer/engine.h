@@ -32,14 +32,19 @@
 /// taps; a zero product leaves a finite accumulator unchanged, so the
 /// result matches the direct path's clipped loops bit for bit.
 ///
-/// In int8 mode Dense layers run as symmetric per-row quantized integer
-/// GEMM: weights are quantized per output feature at compile time,
-/// activations per example row at run time, products accumulate exactly in
-/// int32, and a float epilogue requantizes at the layer boundary:
-/// y[i][j] = (float)acc[i][j] * scale_x[i] * scale_w[j] + bias[j].
-/// Non-Dense layers keep fp32 arithmetic in int8 mode. Integer accumulation
-/// is associative, so the int8 path is also bitwise deterministic across
-/// thread counts — its divergence from fp32 is pure quantization error.
+/// In int8 mode Dense layers run as ggml-style block-quantized integer
+/// GEMM (src/compress/quantization.h): weights quantize at compile time to
+/// q8 codes with one scale per 32-element block of each output feature's
+/// row, activations quantize per block at run time, and dequantization is
+/// fused into the GEMM inner loop — per block an exact int32 dot scaled by
+/// float(dot) * scale_x * scale_w accumulates in ascending block order,
+/// then the bias adds at the layer boundary. int4 mode is identical except
+/// weights store 4-bit codes (scale = max|block|/7), halving weight bytes
+/// again; activations stay q8. Non-Dense layers keep fp32 arithmetic in
+/// both modes. The per-element operation sequence is fixed (int32 dots are
+/// associative; the float chain is sequential per element), so both
+/// quantized paths are bitwise deterministic across thread counts AND
+/// across SIMD ISAs — divergence from fp32 is pure quantization error.
 
 namespace dlsys {
 
@@ -52,7 +57,8 @@ enum class ConvAlgo {
 /// \brief Arithmetic used for Dense layers.
 enum class EngineNumeric {
   kFp32,  ///< full float pipeline, bitwise equal to training forward
-  kInt8,  ///< int8 x int8 -> int32 Dense GEMM with float requantization
+  kInt8,  ///< q8-block weights x q8-block activations, fused dequant GEMM
+  kInt4,  ///< q4-block weights x q8-block activations, fused dequant GEMM
 };
 
 /// \brief Compile-time engine options.
@@ -115,6 +121,7 @@ class InferenceEngine {
     enum class Kind {
       kDense,
       kDenseInt8,
+      kDenseInt4,
       kConv,
       kPool,
       kRelu,
@@ -138,7 +145,8 @@ class InferenceEngine {
 
     Tensor weight;  ///< dense: (in, out); conv: (oc, ic, k, k)
     Tensor bias;
-    SymmetricInt8Matrix qweight;  ///< int8 dense: (out_features, in_features)
+    Q8BlockMatrix qweight8;  ///< int8 dense: (out_features, in_features)
+    Q4BlockMatrix qweight4;  ///< int4 dense: (out_features, in_features)
 
     int64_t in_ch = 0, out_ch = 0, kernel = 0, stride = 0, pad = 0;
     int64_t h = 0, w = 0, ho = 0, wo = 0;  ///< spatial extents
@@ -161,9 +169,8 @@ class InferenceEngine {
   TensorArena arena_;
   TensorArena::BufferId act_[2] = {-1, -1};  ///< ping-pong activations
   TensorArena::BufferId im2col_ = -1;        ///< per-image patch scratch
-  TensorArena::BufferId q_vals_ = -1;        ///< int8 activation codes
-  TensorArena::BufferId q_scales_ = -1;      ///< per-row activation scales
-  TensorArena::BufferId q_acc_ = -1;         ///< int32 GEMM accumulators
+  TensorArena::BufferId q_vals_ = -1;    ///< q8 activation codes (32-padded)
+  TensorArena::BufferId q_scales_ = -1;  ///< per-block activation scales
   int final_buf_ = 0;  ///< act_ index holding the last step's output
 };
 

@@ -211,6 +211,12 @@ std::vector<SpanStat> SelfTimeByName(const TraceBuffer& buffer);
 #define DLSYS_TRACE_SPAN_COST(name, cat, flops, bytes)                     \
   ::dlsys::obs::TraceSpan DLSYS_OBS_CONCAT(_dlsys_span_, __LINE__)(        \
       name, cat, -1, static_cast<int64_t>(flops), static_cast<int64_t>(bytes))
+/// Like DLSYS_TRACE_SPAN_COST but \p cat may be a runtime-selected pointer
+/// to a string literal (e.g. the dispatched ISA's category from
+/// src/simd/dispatch.h) instead of a literal spelled at the site.
+#define DLSYS_TRACE_SPAN_COST_CAT(name, cat, flops, bytes)                 \
+  ::dlsys::obs::TraceSpan DLSYS_OBS_CONCAT(_dlsys_span_, __LINE__)(        \
+      name, cat, -1, static_cast<int64_t>(flops), static_cast<int64_t>(bytes))
 #define DLSYS_TRACE_EMIT_SIM(name, cat, ts_ms, dur_ms, rid) \
   ::dlsys::obs::TraceEmitSim(name, cat, ts_ms, dur_ms, rid)
 #define DLSYS_TRACE_INSTANT_SIM(name, cat, ts_ms, rid) \
@@ -218,6 +224,7 @@ std::vector<SpanStat> SelfTimeByName(const TraceBuffer& buffer);
 #else
 #define DLSYS_TRACE_SPAN(name, cat) ((void)0)
 #define DLSYS_TRACE_SPAN_COST(name, cat, flops, bytes) ((void)0)
+#define DLSYS_TRACE_SPAN_COST_CAT(name, cat, flops, bytes) ((void)0)
 #define DLSYS_TRACE_EMIT_SIM(name, cat, ts_ms, dur_ms, rid) ((void)0)
 #define DLSYS_TRACE_INSTANT_SIM(name, cat, ts_ms, rid) ((void)0)
 #endif

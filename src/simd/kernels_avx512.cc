@@ -1,0 +1,395 @@
+#include "src/simd/dispatch.h"
+#include "src/simd/kernels.h"
+
+/// \file kernels_avx512.cc
+/// \brief AVX-512 microkernels (F+BW+VL+DQ). Compiled with -mavx512f
+/// -mavx512bw -mavx512vl -mavx512dq -O3 -ffp-contract=off. Same parity
+/// contract as the AVX2 TU: fp32 is bitwise identical to scalar (mul then
+/// add, ascending p, vectorized across output elements only), integer
+/// paths are exact int32.
+
+#if DLSYS_SIMD && (defined(__x86_64__) || defined(__i386__)) &&      \
+    defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dlsys {
+namespace simd {
+namespace {
+
+// ---------------------------------------------------------------- fp32
+
+constexpr int64_t kMr = 4;   // C rows per register tile
+constexpr int64_t kNr = 32;  // C columns per register tile (2 zmm)
+
+void MatMulRangeAvx512(const float* a, const float* b, float* c, int64_t i0,
+                       int64_t i1, int64_t k, int64_t n) {
+  int64_t i = i0;
+  for (; i + kMr <= i1; i += kMr) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    int64_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      __m512 c00 = _mm512_setzero_ps(), c01 = _mm512_setzero_ps();
+      __m512 c10 = _mm512_setzero_ps(), c11 = _mm512_setzero_ps();
+      __m512 c20 = _mm512_setzero_ps(), c21 = _mm512_setzero_ps();
+      __m512 c30 = _mm512_setzero_ps(), c31 = _mm512_setzero_ps();
+      for (int64_t p = 0; p < k; ++p) {
+        const float* brow = b + p * n + j;
+        const __m512 b0 = _mm512_loadu_ps(brow);
+        const __m512 b1 = _mm512_loadu_ps(brow + 16);
+        __m512 av = _mm512_set1_ps(a0[p]);
+        c00 = _mm512_add_ps(c00, _mm512_mul_ps(av, b0));
+        c01 = _mm512_add_ps(c01, _mm512_mul_ps(av, b1));
+        av = _mm512_set1_ps(a1[p]);
+        c10 = _mm512_add_ps(c10, _mm512_mul_ps(av, b0));
+        c11 = _mm512_add_ps(c11, _mm512_mul_ps(av, b1));
+        av = _mm512_set1_ps(a2[p]);
+        c20 = _mm512_add_ps(c20, _mm512_mul_ps(av, b0));
+        c21 = _mm512_add_ps(c21, _mm512_mul_ps(av, b1));
+        av = _mm512_set1_ps(a3[p]);
+        c30 = _mm512_add_ps(c30, _mm512_mul_ps(av, b0));
+        c31 = _mm512_add_ps(c31, _mm512_mul_ps(av, b1));
+      }
+      float* crow = c + i * n + j;
+      _mm512_storeu_ps(crow, c00);
+      _mm512_storeu_ps(crow + 16, c01);
+      _mm512_storeu_ps(crow + n, c10);
+      _mm512_storeu_ps(crow + n + 16, c11);
+      _mm512_storeu_ps(crow + 2 * n, c20);
+      _mm512_storeu_ps(crow + 2 * n + 16, c21);
+      _mm512_storeu_ps(crow + 3 * n, c30);
+      _mm512_storeu_ps(crow + 3 * n + 16, c31);
+    }
+    if (j < n) {
+      for (int64_t ii = 0; ii < kMr; ++ii) {
+        const float* arow = a + (i + ii) * k;
+        float* crow = c + (i + ii) * n;
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = arow[p];
+          const float* brow = b + p * n;
+          for (int64_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
+        }
+      }
+    }
+  }
+  if (i < i1) MatMulRangeScalar(a, b, c, i, i1, k, n);
+}
+
+void MatMulTransARangeAvx512(const float* a, const float* b, float* c,
+                             int64_t i0, int64_t i1, int64_t k, int64_t m,
+                             int64_t n) {
+  int64_t i = i0;
+  for (; i + kMr <= i1; i += kMr) {
+    int64_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      __m512 c00 = _mm512_setzero_ps(), c01 = _mm512_setzero_ps();
+      __m512 c10 = _mm512_setzero_ps(), c11 = _mm512_setzero_ps();
+      __m512 c20 = _mm512_setzero_ps(), c21 = _mm512_setzero_ps();
+      __m512 c30 = _mm512_setzero_ps(), c31 = _mm512_setzero_ps();
+      for (int64_t p = 0; p < k; ++p) {
+        const float* brow = b + p * n + j;
+        const float* acol = a + p * m + i;
+        const __m512 b0 = _mm512_loadu_ps(brow);
+        const __m512 b1 = _mm512_loadu_ps(brow + 16);
+        __m512 av = _mm512_set1_ps(acol[0]);
+        c00 = _mm512_add_ps(c00, _mm512_mul_ps(av, b0));
+        c01 = _mm512_add_ps(c01, _mm512_mul_ps(av, b1));
+        av = _mm512_set1_ps(acol[1]);
+        c10 = _mm512_add_ps(c10, _mm512_mul_ps(av, b0));
+        c11 = _mm512_add_ps(c11, _mm512_mul_ps(av, b1));
+        av = _mm512_set1_ps(acol[2]);
+        c20 = _mm512_add_ps(c20, _mm512_mul_ps(av, b0));
+        c21 = _mm512_add_ps(c21, _mm512_mul_ps(av, b1));
+        av = _mm512_set1_ps(acol[3]);
+        c30 = _mm512_add_ps(c30, _mm512_mul_ps(av, b0));
+        c31 = _mm512_add_ps(c31, _mm512_mul_ps(av, b1));
+      }
+      float* crow = c + i * n + j;
+      _mm512_storeu_ps(crow, c00);
+      _mm512_storeu_ps(crow + 16, c01);
+      _mm512_storeu_ps(crow + n, c10);
+      _mm512_storeu_ps(crow + n + 16, c11);
+      _mm512_storeu_ps(crow + 2 * n, c20);
+      _mm512_storeu_ps(crow + 2 * n + 16, c21);
+      _mm512_storeu_ps(crow + 3 * n, c30);
+      _mm512_storeu_ps(crow + 3 * n + 16, c31);
+    }
+    if (j < n) {
+      for (int64_t ii = 0; ii < kMr; ++ii) {
+        float* crow = c + (i + ii) * n;
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = a[p * m + i + ii];
+          const float* brow = b + p * n;
+          for (int64_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
+        }
+      }
+    }
+  }
+  if (i < i1) MatMulTransARangeScalar(a, b, c, i, i1, k, m, n);
+}
+
+/// Eight dot products A[row] . B[j..j+7] with the exact scalar chain:
+/// float multiply, widen to double, double add, ascending p. An 8x8
+/// in-register transpose turns eight row loads into per-p column vectors;
+/// each _mm512_add_pd advances all eight chains by exactly one p.
+inline void DotCols8Avx512(const float* arow, const float* b, int64_t j,
+                           int64_t k, double init, float* out) {
+  const float* b0 = b + (j + 0) * k;
+  const float* b1 = b + (j + 1) * k;
+  const float* b2 = b + (j + 2) * k;
+  const float* b3 = b + (j + 3) * k;
+  const float* b4 = b + (j + 4) * k;
+  const float* b5 = b + (j + 5) * k;
+  const float* b6 = b + (j + 6) * k;
+  const float* b7 = b + (j + 7) * k;
+  __m512d acc = _mm512_set1_pd(init);
+  int64_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    __m256 r0 = _mm256_loadu_ps(b0 + p);
+    __m256 r1 = _mm256_loadu_ps(b1 + p);
+    __m256 r2 = _mm256_loadu_ps(b2 + p);
+    __m256 r3 = _mm256_loadu_ps(b3 + p);
+    __m256 r4 = _mm256_loadu_ps(b4 + p);
+    __m256 r5 = _mm256_loadu_ps(b5 + p);
+    __m256 r6 = _mm256_loadu_ps(b6 + p);
+    __m256 r7 = _mm256_loadu_ps(b7 + p);
+    // 8x8 transpose: r_t becomes [b0[p+t], b1[p+t], ..., b7[p+t]].
+    const __m256 t0 = _mm256_unpacklo_ps(r0, r1);
+    const __m256 t1 = _mm256_unpackhi_ps(r0, r1);
+    const __m256 t2 = _mm256_unpacklo_ps(r2, r3);
+    const __m256 t3 = _mm256_unpackhi_ps(r2, r3);
+    const __m256 t4 = _mm256_unpacklo_ps(r4, r5);
+    const __m256 t5 = _mm256_unpackhi_ps(r4, r5);
+    const __m256 t6 = _mm256_unpacklo_ps(r6, r7);
+    const __m256 t7 = _mm256_unpackhi_ps(r6, r7);
+    const __m256 u0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 u1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 u2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 u3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 u4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 u5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+    const __m256 u6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+    const __m256 u7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+    r0 = _mm256_permute2f128_ps(u0, u4, 0x20);
+    r1 = _mm256_permute2f128_ps(u1, u5, 0x20);
+    r2 = _mm256_permute2f128_ps(u2, u6, 0x20);
+    r3 = _mm256_permute2f128_ps(u3, u7, 0x20);
+    r4 = _mm256_permute2f128_ps(u0, u4, 0x31);
+    r5 = _mm256_permute2f128_ps(u1, u5, 0x31);
+    r6 = _mm256_permute2f128_ps(u2, u6, 0x31);
+    r7 = _mm256_permute2f128_ps(u3, u7, 0x31);
+    acc = _mm512_add_pd(
+        acc, _mm512_cvtps_pd(_mm256_mul_ps(_mm256_set1_ps(arow[p + 0]), r0)));
+    acc = _mm512_add_pd(
+        acc, _mm512_cvtps_pd(_mm256_mul_ps(_mm256_set1_ps(arow[p + 1]), r1)));
+    acc = _mm512_add_pd(
+        acc, _mm512_cvtps_pd(_mm256_mul_ps(_mm256_set1_ps(arow[p + 2]), r2)));
+    acc = _mm512_add_pd(
+        acc, _mm512_cvtps_pd(_mm256_mul_ps(_mm256_set1_ps(arow[p + 3]), r3)));
+    acc = _mm512_add_pd(
+        acc, _mm512_cvtps_pd(_mm256_mul_ps(_mm256_set1_ps(arow[p + 4]), r4)));
+    acc = _mm512_add_pd(
+        acc, _mm512_cvtps_pd(_mm256_mul_ps(_mm256_set1_ps(arow[p + 5]), r5)));
+    acc = _mm512_add_pd(
+        acc, _mm512_cvtps_pd(_mm256_mul_ps(_mm256_set1_ps(arow[p + 6]), r6)));
+    acc = _mm512_add_pd(
+        acc, _mm512_cvtps_pd(_mm256_mul_ps(_mm256_set1_ps(arow[p + 7]), r7)));
+  }
+  alignas(64) double s[8];
+  _mm512_store_pd(s, acc);
+  for (; p < k; ++p) {
+    const float av = arow[p];
+    s[0] += av * b0[p];
+    s[1] += av * b1[p];
+    s[2] += av * b2[p];
+    s[3] += av * b3[p];
+    s[4] += av * b4[p];
+    s[5] += av * b5[p];
+    s[6] += av * b6[p];
+    s[7] += av * b7[p];
+  }
+  for (int t = 0; t < 8; ++t) out[t] = static_cast<float>(s[t]);
+}
+
+void MatMulTransBRangeAvx512(const float* a, const float* b, float* c,
+                             int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      DotCols8Avx512(arow, b, j, k, 0.0, c + i * n + j);
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      double s = 0.0;
+      for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      c[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
+void ConvGemmBiasColsAvx512(const float* a, const float* b, const float* bias,
+                            float* c, int64_t m, int64_t k, int64_t n,
+                            int64_t j0, int64_t j1) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const double bias_i = static_cast<double>(bias[i]);
+    int64_t j = j0;
+    for (; j + 8 <= j1; j += 8) {
+      DotCols8Avx512(arow, b, j, k, bias_i, c + i * n + j);
+    }
+    for (; j < j1; ++j) {
+      const float* brow = b + j * k;
+      double s = bias_i;
+      for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      c[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- int8
+
+/// Exact int32 dot via sign-extend + vpmaddwd on 512-bit lanes.
+inline int32_t DotInt8Avx512(const int8_t* a, const int8_t* b, int64_t k) {
+  __m512i acc = _mm512_setzero_si512();
+  int64_t p = 0;
+  for (; p + 64 <= k; p += 64) {
+    const __m512i va =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(a + p));
+    const __m512i vb =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(b + p));
+    const __m512i a_lo = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(va));
+    const __m512i a_hi =
+        _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(va, 1));
+    const __m512i b_lo = _mm512_cvtepi8_epi16(_mm512_castsi512_si256(vb));
+    const __m512i b_hi =
+        _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(vb, 1));
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(a_lo, b_lo));
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(a_hi, b_hi));
+  }
+  for (; p + 32 <= k; p += 32) {
+    const __m512i a16 = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p)));
+    const __m512i b16 = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + p)));
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(a16, b16));
+  }
+  int32_t dot = _mm512_reduce_add_epi32(acc);
+  for (; p < k; ++p) {
+    dot += static_cast<int32_t>(a[p]) * static_cast<int32_t>(b[p]);
+  }
+  return dot;
+}
+
+void Int8GemmRowsAvx512(const int8_t* a, const int8_t* b, int32_t* c,
+                        int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const int8_t* arow = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      c[i * n + j] = DotInt8Avx512(arow, b + j * k, k);
+    }
+  }
+}
+
+// ------------------------------------------------------- block-quantized
+
+/// Exact int32 dot of one 32-element q8 block pair: one extend+madd each.
+inline int32_t DotQ8BlockAvx512(const int8_t* a, const int8_t* b) {
+  const __m512i a16 = _mm512_cvtepi8_epi16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)));
+  const __m512i b16 = _mm512_cvtepi8_epi16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b)));
+  return _mm512_reduce_add_epi32(_mm512_madd_epi16(a16, b16));
+}
+
+void Q8GemmRowsAvx512(const int8_t* a, const float* a_scales, const int8_t* b,
+                      const float* b_scales, float* c, int64_t i0, int64_t i1,
+                      int64_t kp, int64_t n) {
+  const int64_t nb = kp / 32;
+  for (int64_t i = i0; i < i1; ++i) {
+    const int8_t* arow = a + i * kp;
+    const float* as = a_scales + i * nb;
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* brow = b + j * kp;
+      const float* bs = b_scales + j * nb;
+      float sum = 0.0f;
+      for (int64_t bb = 0; bb < nb; ++bb) {
+        const int32_t dot = DotQ8BlockAvx512(arow + bb * 32, brow + bb * 32);
+        sum += static_cast<float>(dot) * (as[bb] * bs[bb]);
+      }
+      c[i * n + j] = sum;
+    }
+  }
+}
+
+/// Exact int32 dot of a q8 activation block against a nibble-packed q4
+/// weight block (byte t = elements t and 16+t, code = q + 8).
+inline int32_t DotQ4BlockAvx512(const int8_t* a, const uint8_t* b) {
+  const __m128i packed = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  const __m128i lo = _mm_and_si128(packed, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(packed, 4), mask);
+  const __m256i codes =
+      _mm256_inserti128_si256(_mm256_castsi128_si256(lo), hi, 1);
+  const __m512i b16 = _mm512_sub_epi16(_mm512_cvtepu8_epi16(codes),
+                                       _mm512_set1_epi16(8));
+  const __m512i a16 = _mm512_cvtepi8_epi16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)));
+  return _mm512_reduce_add_epi32(_mm512_madd_epi16(a16, b16));
+}
+
+void Q4GemmRowsAvx512(const int8_t* a, const float* a_scales,
+                      const uint8_t* b, const float* b_scales, float* c,
+                      int64_t i0, int64_t i1, int64_t kp, int64_t n) {
+  const int64_t nb = kp / 32;
+  for (int64_t i = i0; i < i1; ++i) {
+    const int8_t* arow = a + i * kp;
+    const float* as = a_scales + i * nb;
+    for (int64_t j = 0; j < n; ++j) {
+      const uint8_t* brow = b + j * (kp / 2);
+      const float* bs = b_scales + j * nb;
+      float sum = 0.0f;
+      for (int64_t bb = 0; bb < nb; ++bb) {
+        const int32_t dot = DotQ4BlockAvx512(arow + bb * 32, brow + bb * 16);
+        sum += static_cast<float>(dot) * (as[bb] * bs[bb]);
+      }
+      c[i * n + j] = sum;
+    }
+  }
+}
+
+const KernelTable kAvx512Table = {
+    Isa::kAvx512,
+    "kernel.avx512",
+    &MatMulRangeAvx512,
+    &MatMulTransARangeAvx512,
+    &MatMulTransBRangeAvx512,
+    &ConvGemmBiasColsAvx512,
+    &Int8GemmRowsAvx512,
+    &Q8GemmRowsAvx512,
+    &Q4GemmRowsAvx512,
+};
+
+}  // namespace
+
+const KernelTable* GetAvx512Table() { return &kAvx512Table; }
+
+}  // namespace simd
+}  // namespace dlsys
+
+#else  // stub: SIMD off, non-x86, or AVX-512 F+BW+VL+DQ not all available
+
+namespace dlsys {
+namespace simd {
+const KernelTable* GetAvx512Table() { return nullptr; }
+}  // namespace simd
+}  // namespace dlsys
+
+#endif

@@ -1,50 +1,28 @@
 #include "src/tensor/int8_gemm.h"
 
+#include "src/core/status.h"
 #include "src/obs/cost.h"
 #include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
+#include "src/simd/dispatch.h"
+#include "src/simd/kernels.h"
 
 namespace dlsys {
 
+namespace {
+constexpr int64_t kRowGrain = 8;  // min C rows per ParallelFor range
+}  // namespace
+
 void Int8GemmTransBInto(const int8_t* a, const int8_t* b, int32_t* c,
                         int64_t m, int64_t k, int64_t n) {
-  DLSYS_TRACE_SPAN_COST("gemm.int8_tb", "kernel", 2 * m * k * n,
-                        m * k + n * k + 4 * m * n);
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.int8_tb", kt.span_cat, 2 * m * k * n,
+                            m * k + n * k + 4 * m * n);
   DLSYS_COST_FLOPS(2 * m * k * n);
-  ParallelFor(0, m, 8, [=](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const int8_t* arow = a + i * k;
-      int64_t j = 0;
-      // Four independent output columns per iteration: four int32
-      // accumulators in flight hide the load latency, and each inner
-      // reduction vectorizes (integer adds reassociate freely).
-      for (; j + 4 <= n; j += 4) {
-        const int8_t* b0 = b + (j + 0) * k;
-        const int8_t* b1 = b + (j + 1) * k;
-        const int8_t* b2 = b + (j + 2) * k;
-        const int8_t* b3 = b + (j + 3) * k;
-        int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-        for (int64_t p = 0; p < k; ++p) {
-          const int32_t av = arow[p];
-          s0 += av * b0[p];
-          s1 += av * b1[p];
-          s2 += av * b2[p];
-          s3 += av * b3[p];
-        }
-        c[i * n + j + 0] = s0;
-        c[i * n + j + 1] = s1;
-        c[i * n + j + 2] = s2;
-        c[i * n + j + 3] = s3;
-      }
-      for (; j < n; ++j) {
-        const int8_t* brow = b + j * k;
-        int32_t s = 0;
-        for (int64_t p = 0; p < k; ++p) {
-          s += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
-        }
-        c[i * n + j] = s;
-      }
-    }
+  auto* kernel = kt.int8_gemm_rows;
+  ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
+    kernel(a, b, c, i0, i1, k, n);
   });
 }
 
@@ -60,6 +38,50 @@ void NaiveInt8GemmTransBInto(const int8_t* a, const int8_t* b, int32_t* c,
       c[i * n + j] = s;
     }
   }
+}
+
+void Q8BlockGemmTransBInto(const int8_t* a, const float* a_scales,
+                           const int8_t* b, const float* b_scales, float* c,
+                           int64_t m, int64_t kp, int64_t n) {
+  DLSYS_CHECK(kp % 32 == 0, "Q8BlockGemmTransBInto: kp must be 32-padded");
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.q8_block_tb", kt.span_cat, 2 * m * kp * n,
+                            m * kp + n * kp + 4 * m * n);
+  DLSYS_COST_FLOPS(2 * m * kp * n);
+  auto* kernel = kt.q8_gemm_rows;
+  ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
+    kernel(a, a_scales, b, b_scales, c, i0, i1, kp, n);
+  });
+}
+
+void Q4BlockGemmTransBInto(const int8_t* a, const float* a_scales,
+                           const uint8_t* b, const float* b_scales, float* c,
+                           int64_t m, int64_t kp, int64_t n) {
+  DLSYS_CHECK(kp % 32 == 0, "Q4BlockGemmTransBInto: kp must be 32-padded");
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.q4_block_tb", kt.span_cat, 2 * m * kp * n,
+                            m * kp + n * kp / 2 + 4 * m * n);
+  DLSYS_COST_FLOPS(2 * m * kp * n);
+  auto* kernel = kt.q4_gemm_rows;
+  ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
+    kernel(a, a_scales, b, b_scales, c, i0, i1, kp, n);
+  });
+}
+
+void NaiveQ8BlockGemmTransBInto(const int8_t* a, const float* a_scales,
+                                const int8_t* b, const float* b_scales,
+                                float* c, int64_t m, int64_t kp, int64_t n) {
+  DLSYS_CHECK(kp % 32 == 0, "NaiveQ8BlockGemmTransBInto: kp must be 32-padded");
+  simd::Q8GemmRowsScalar(a, a_scales, b, b_scales, c, 0, m, kp, n);
+}
+
+void NaiveQ4BlockGemmTransBInto(const int8_t* a, const float* a_scales,
+                                const uint8_t* b, const float* b_scales,
+                                float* c, int64_t m, int64_t kp, int64_t n) {
+  DLSYS_CHECK(kp % 32 == 0, "NaiveQ4BlockGemmTransBInto: kp must be 32-padded");
+  simd::Q4GemmRowsScalar(a, a_scales, b, b_scales, c, 0, m, kp, n);
 }
 
 }  // namespace dlsys

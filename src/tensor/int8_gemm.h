@@ -10,11 +10,18 @@
 /// per-row int8 (src/compress/quantization.h), quantizes activations per
 /// row on the fly, and runs the matrix product entirely in integers:
 /// int8 x int8 products accumulated in int32. Integer addition is
-/// associative, so — unlike the float kernels — the compiler is free to
-/// reorder and vectorize the reduction without breaking determinism; the
-/// result is exact for any thread count and any instruction schedule.
-/// A float requantization epilogue in the engine maps the int32
-/// accumulators back to fp32 activations at each layer boundary.
+/// associative, so — unlike the float kernels — any instruction schedule
+/// (including the AVX2/AVX-512 vpmaddwd microkernels behind the dispatch
+/// registry, src/simd/dispatch.h) produces the exact same result at any
+/// thread count.
+///
+/// Two weight formats ride on this kernel family:
+/// - per-row symmetric int8 (SymmetricInt8Matrix): one scale per matrix
+///   row, requantization epilogue in the engine.
+/// - ggml-style block quantization (Q8BlockMatrix / Q4BlockMatrix in
+///   src/compress/quantization.h): one scale per 32-element block along K,
+///   dequantization fused into the GEMM inner loop — the Q8/Q4 entry
+///   points below produce fp32 output directly.
 
 namespace dlsys {
 
@@ -32,6 +39,36 @@ void Int8GemmTransBInto(const int8_t* a, const int8_t* b, int32_t* c,
 /// must match the optimised kernel bit-for-bit at every thread count).
 void NaiveInt8GemmTransBInto(const int8_t* a, const int8_t* b, int32_t* c,
                              int64_t m, int64_t k, int64_t n);
+
+/// \brief C(MxN) = dequant(A) * dequant(B)^T for q8-block operands with
+/// dequantization fused into the inner loop.
+///
+/// A is M x kp int8 with one float scale per 32-element block (kp = K
+/// padded up to a multiple of 32; pad codes are 0 so they contribute
+/// nothing). B is N x kp in the same layout. Per block the int32 dot is
+/// exact; the fp32 output accumulates float(dot) * (a_scale * b_scale) in
+/// ascending block order, so every ISA produces bit-identical results.
+void Q8BlockGemmTransBInto(const int8_t* a, const float* a_scales,
+                           const int8_t* b, const float* b_scales, float* c,
+                           int64_t m, int64_t kp, int64_t n);
+
+/// \brief Like Q8BlockGemmTransBInto but B is nibble-packed q4: 16 bytes
+/// per 32-element block, byte t = element t (low nibble) | element 16+t
+/// (high nibble), stored code = q + 8 with q in [-8, 7] (the quantizer
+/// emits [-7, 7]; -8 only ever appears via the fused subtract).
+void Q4BlockGemmTransBInto(const int8_t* a, const float* a_scales,
+                           const uint8_t* b, const float* b_scales, float* c,
+                           int64_t m, int64_t kp, int64_t n);
+
+/// \brief Reference for Q8BlockGemmTransBInto (bit-exact target).
+void NaiveQ8BlockGemmTransBInto(const int8_t* a, const float* a_scales,
+                                const int8_t* b, const float* b_scales,
+                                float* c, int64_t m, int64_t kp, int64_t n);
+
+/// \brief Reference for Q4BlockGemmTransBInto (bit-exact target).
+void NaiveQ4BlockGemmTransBInto(const int8_t* a, const float* a_scales,
+                                const uint8_t* b, const float* b_scales,
+                                float* c, int64_t m, int64_t kp, int64_t n);
 
 }  // namespace dlsys
 

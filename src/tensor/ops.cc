@@ -6,6 +6,7 @@
 #include "src/obs/cost.h"
 #include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
+#include "src/simd/dispatch.h"
 
 namespace dlsys {
 namespace {
@@ -13,123 +14,17 @@ namespace {
 // ---------------------------------------------------------------- GEMM
 //
 // All three GEMM variants share one structure: the output row range is
-// statically partitioned across workers by ParallelFor, and inside a range
-// the kernel walks register tiles of C. The accumulation order for any
-// single C element is ascending-p (the inner dimension), exactly the order
-// of the naive loop nests below — a float round-trip through a register
-// instead of memory does not change the value, so optimised and naive
-// paths are bitwise identical, at every thread count.
-//
-// Tile shape: kMr x kNr floats of C held in registers across the whole
-// p loop. The inner jj loop over a fixed-extent tile row vectorises
-// cleanly (no branch, no aliasing: acc is a local array).
+// statically partitioned across workers by ParallelFor, and the range
+// kernel itself comes from the SIMD dispatch registry (src/simd) — the
+// scalar reference or an AVX2/AVX-512 microkernel, chosen once per process
+// from the CPU (override: DLSYS_ISA). Every table obeys the same parity
+// contract: the accumulation order for any single C element is ascending-p
+// with one float multiply then one add per term (no contraction), so every
+// ISA is bitwise identical to the naive loop nests below, at every thread
+// count.
 
-constexpr int64_t kMr = 4;        // C rows per register tile
-constexpr int64_t kNr = 32;       // C columns per register tile
 constexpr int64_t kRowGrain = 8;  // min C rows per ParallelFor range
 constexpr int64_t kEwGrain = 1 << 15;  // elementwise elements per range
-
-// C[i0:i1, :] = A[i0:i1, :] * B for row-major A(MxK), B(KxN).
-void MatMulRange(const float* pa, const float* pb, float* pc, int64_t i0,
-                 int64_t i1, int64_t k, int64_t n) {
-  for (int64_t i = i0; i < i1; i += kMr) {
-    const int64_t ir = std::min<int64_t>(kMr, i1 - i);
-    int64_t j = 0;
-    for (; j + kNr <= n && ir == kMr; j += kNr) {
-      float acc[kMr][kNr] = {};
-      for (int64_t p = 0; p < k; ++p) {
-        const float* brow = pb + p * n + j;
-        for (int64_t ii = 0; ii < kMr; ++ii) {
-          const float av = pa[(i + ii) * k + p];
-          for (int64_t jj = 0; jj < kNr; ++jj) acc[ii][jj] += av * brow[jj];
-        }
-      }
-      for (int64_t ii = 0; ii < kMr; ++ii) {
-        float* crow = pc + (i + ii) * n + j;
-        for (int64_t jj = 0; jj < kNr; ++jj) crow[jj] = acc[ii][jj];
-      }
-    }
-    // Edge tiles (tail columns, or a short row block): plain loops with
-    // the same ascending-p accumulation order per element.
-    for (int64_t ii = 0; ii < ir; ++ii) {
-      const float* arow = pa + (i + ii) * k;
-      float* crow = pc + (i + ii) * n;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        const float* brow = pb + p * n;
-        for (int64_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
-      }
-    }
-  }
-}
-
-// C[i0:i1, :] = A(KxM)^T * B(KxN) restricted to C rows [i0, i1).
-void MatMulTransARange(const float* pa, const float* pb, float* pc,
-                       int64_t i0, int64_t i1, int64_t k, int64_t m,
-                       int64_t n) {
-  for (int64_t i = i0; i < i1; i += kMr) {
-    const int64_t ir = std::min<int64_t>(kMr, i1 - i);
-    int64_t j = 0;
-    for (; j + kNr <= n && ir == kMr; j += kNr) {
-      float acc[kMr][kNr] = {};
-      for (int64_t p = 0; p < k; ++p) {
-        const float* brow = pb + p * n + j;
-        const float* acol = pa + p * m + i;
-        for (int64_t ii = 0; ii < kMr; ++ii) {
-          const float av = acol[ii];
-          for (int64_t jj = 0; jj < kNr; ++jj) acc[ii][jj] += av * brow[jj];
-        }
-      }
-      for (int64_t ii = 0; ii < kMr; ++ii) {
-        float* crow = pc + (i + ii) * n + j;
-        for (int64_t jj = 0; jj < kNr; ++jj) crow[jj] = acc[ii][jj];
-      }
-    }
-    for (int64_t ii = 0; ii < ir; ++ii) {
-      float* crow = pc + (i + ii) * n;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = pa[p * m + i + ii];
-        const float* brow = pb + p * n;
-        for (int64_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
-      }
-    }
-  }
-}
-
-// C[i0:i1, :] = A(MxK) * B(NxK)^T restricted to C rows [i0, i1). Each C
-// element is a dot product accumulated in double, ascending p — same as
-// the naive kernel; four independent columns run per iteration for ILP.
-void MatMulTransBRange(const float* pa, const float* pb, float* pc,
-                       int64_t i0, int64_t i1, int64_t k, int64_t n) {
-  for (int64_t i = i0; i < i1; ++i) {
-    const float* arow = pa + i * k;
-    int64_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = pb + (j + 0) * k;
-      const float* b1 = pb + (j + 1) * k;
-      const float* b2 = pb + (j + 2) * k;
-      const float* b3 = pb + (j + 3) * k;
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        s0 += av * b0[p];
-        s1 += av * b1[p];
-        s2 += av * b2[p];
-        s3 += av * b3[p];
-      }
-      pc[i * n + j + 0] = static_cast<float>(s0);
-      pc[i * n + j + 1] = static_cast<float>(s1);
-      pc[i * n + j + 2] = static_cast<float>(s2);
-      pc[i * n + j + 3] = static_cast<float>(s3);
-    }
-    for (; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double s = 0.0;
-      for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      pc[i * n + j] = static_cast<float>(s);
-    }
-  }
-}
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   DLSYS_CHECK(a.shape() == b.shape(), op);
@@ -141,15 +36,18 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMul requires rank 2");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   DLSYS_CHECK(b.dim(0) == k, "MatMul inner dimension mismatch");
-  DLSYS_TRACE_SPAN_COST("gemm.matmul", "kernel", 2 * m * k * n,
-                        4 * (m * k + k * n + m * n));
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.matmul", kt.span_cat, 2 * m * k * n,
+                            4 * (m * k + k * n + m * n));
   DLSYS_COST_FLOPS(2 * m * k * n);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  auto* kernel = kt.matmul_range;
   ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
-    MatMulRange(pa, pb, pc, i0, i1, k, n);
+    kernel(pa, pb, pc, i0, i1, k, n);
   });
   return c;
 }
@@ -158,15 +56,18 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMulTransA requires rank 2");
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   DLSYS_CHECK(b.dim(0) == k, "MatMulTransA inner dimension mismatch");
-  DLSYS_TRACE_SPAN_COST("gemm.matmul_ta", "kernel", 2 * m * k * n,
-                        4 * (m * k + k * n + m * n));
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.matmul_ta", kt.span_cat, 2 * m * k * n,
+                            4 * (m * k + k * n + m * n));
   DLSYS_COST_FLOPS(2 * m * k * n);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  auto* kernel = kt.matmul_ta_range;
   ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
-    MatMulTransARange(pa, pb, pc, i0, i1, k, m, n);
+    kernel(pa, pb, pc, i0, i1, k, m, n);
   });
   return c;
 }
@@ -175,71 +76,53 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   DLSYS_CHECK(a.rank() == 2 && b.rank() == 2, "MatMulTransB requires rank 2");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   DLSYS_CHECK(b.dim(1) == k, "MatMulTransB inner dimension mismatch");
-  DLSYS_TRACE_SPAN_COST("gemm.matmul_tb", "kernel", 2 * m * k * n,
-                        4 * (m * k + k * n + m * n));
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.matmul_tb", kt.span_cat, 2 * m * k * n,
+                            4 * (m * k + k * n + m * n));
   DLSYS_COST_FLOPS(2 * m * k * n);
   Tensor c({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  auto* kernel = kt.matmul_tb_range;
   ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
-    MatMulTransBRange(pa, pb, pc, i0, i1, k, n);
+    kernel(pa, pb, pc, i0, i1, k, n);
   });
   return c;
 }
 
 void MatMulInto(const float* a, const float* b, float* c, int64_t m,
                 int64_t k, int64_t n) {
-  DLSYS_TRACE_SPAN_COST("gemm.matmul_into", "kernel", 2 * m * k * n,
-                        4 * (m * k + k * n + m * n));
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.matmul_into", kt.span_cat, 2 * m * k * n,
+                            4 * (m * k + k * n + m * n));
   DLSYS_COST_FLOPS(2 * m * k * n);
+  auto* kernel = kt.matmul_range;
   ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
-    // MatMulRange accumulates into C (edge tiles use +=), so the owned row
-    // range is zeroed first; a freshly allocated Tensor got this for free.
+    // The matmul range kernel accumulates into C (edge tiles use +=), so
+    // the owned row range is zeroed first; a freshly allocated Tensor got
+    // this for free.
     std::fill(c + i0 * n, c + i1 * n, 0.0f);
-    MatMulRange(a, b, c, i0, i1, k, n);
+    kernel(a, b, c, i0, i1, k, n);
   });
 }
 
 void ConvGemmBiasInto(const float* a, const float* b, const float* bias,
                       float* c, int64_t m, int64_t k, int64_t n) {
-  DLSYS_TRACE_SPAN_COST("gemm.conv_gemm_bias", "kernel", 2 * m * k * n,
-                        4 * (m * k + k * n + m * n));
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.conv_gemm_bias", kt.span_cat,
+                            2 * m * k * n, 4 * (m * k + k * n + m * n));
   DLSYS_COST_FLOPS(2 * m * k * n);
   // Rows are output channels (few); columns are spatial positions (many),
   // so the column range is what gets partitioned. Each element is owned by
   // exactly one range and accumulated bias-first, ascending-p, in a double
-  // — the direct convolution's exact operation sequence.
+  // — the direct convolution's exact operation sequence in every table.
+  auto* kernel = kt.conv_gemm_bias_cols;
   ParallelFor(0, n, 64, [=](int64_t j0, int64_t j1) {
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = a + i * k;
-      const double bias_i = static_cast<double>(bias[i]);
-      int64_t j = j0;
-      for (; j + 4 <= j1; j += 4) {
-        const float* b0 = b + (j + 0) * k;
-        const float* b1 = b + (j + 1) * k;
-        const float* b2 = b + (j + 2) * k;
-        const float* b3 = b + (j + 3) * k;
-        double s0 = bias_i, s1 = bias_i, s2 = bias_i, s3 = bias_i;
-        for (int64_t p = 0; p < k; ++p) {
-          const float av = arow[p];
-          s0 += av * b0[p];
-          s1 += av * b1[p];
-          s2 += av * b2[p];
-          s3 += av * b3[p];
-        }
-        c[i * n + j + 0] = static_cast<float>(s0);
-        c[i * n + j + 1] = static_cast<float>(s1);
-        c[i * n + j + 2] = static_cast<float>(s2);
-        c[i * n + j + 3] = static_cast<float>(s3);
-      }
-      for (; j < j1; ++j) {
-        const float* brow = b + j * k;
-        double s = bias_i;
-        for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-        c[i * n + j] = static_cast<float>(s);
-      }
-    }
+    kernel(a, b, bias, c, m, k, n, j0, j1);
   });
 }
 

@@ -11,14 +11,19 @@
 /// row-wise reductions.
 ///
 /// The GEMM variants are cache-blocked, register-tiled kernels dispatched
-/// through the multi-threaded runtime (src/runtime/runtime.h); elementwise
-/// ops, RowSoftmax, and Transpose route through the same ParallelFor
-/// primitive. Every kernel is **bitwise deterministic for any thread
-/// count**: workers own disjoint, statically partitioned output ranges, so
-/// the floating-point accumulation order per output element never depends
-/// on DLSYS_THREADS. The Naive* reference kernels retain the plain loop
-/// nests with the same per-element operation order; tests assert bitwise
-/// equality between the optimised and naive paths.
+/// through the multi-threaded runtime (src/runtime/runtime.h) and the
+/// per-ISA microkernel registry (src/simd/dispatch.h), which selects the
+/// best SIMD table the CPU supports (scalar / AVX2 / AVX-512) at startup;
+/// elementwise ops, RowSoftmax, and Transpose route through the same
+/// ParallelFor primitive. Every kernel is **bitwise deterministic for any
+/// thread count and any dispatched ISA**: workers own disjoint, statically
+/// partitioned output ranges, so the floating-point accumulation order per
+/// output element never depends on DLSYS_THREADS, and the SIMD kernels
+/// vectorize only across independent output elements (see
+/// src/simd/kernels.h for the parity contract). The Naive* reference
+/// kernels retain the plain loop nests with the same per-element operation
+/// order; tests assert bitwise equality between the optimised and naive
+/// paths at every ISA.
 
 namespace dlsys {
 

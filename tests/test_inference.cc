@@ -21,6 +21,7 @@
 #include "src/nn/train.h"
 #include "src/optim/optimizer.h"
 #include "src/runtime/runtime.h"
+#include "src/simd/dispatch.h"
 #include "src/tensor/int8_gemm.h"
 #include "src/tensor/ops.h"
 
@@ -328,6 +329,88 @@ TEST(Int8EngineTest, DeterministicAcrossThreadCounts) {
     RuntimeConfig::SetThreads(threads);
     const Tensor y = std::move(engine.Predict(x)).value();
     EXPECT_TRUE(BitwiseEqual(y, ref)) << "threads=" << threads;
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
+TEST(Int4EngineTest, AccuracyWithinEnvelopeOnBlobsTask) {
+  // Same setup as the int8 envelope test; q4 weights (scale = max|block|/7)
+  // are coarser, so the envelope widens to 0.05. Activations stay q8.
+  RuntimeConfig::SetThreads(4);
+  Rng rng(17);
+  Dataset data = MakeGaussianBlobs(2000, 16, 8, 3.0, &rng);
+  TrainTestSplit split = Split(data, 0.8);
+  Sequential net = MakeMlp(16, {96, 64}, 8);
+  Rng init_rng(18);
+  net.Init(&init_rng);
+  Sgd opt(0.05, 0.9);
+  TrainConfig config;
+  config.epochs = 15;
+  config.batch_size = 32;
+  Train(&net, &opt, split.train, config);
+  const double fp32_acc = Evaluate(&net, split.test).accuracy;
+  ASSERT_GT(fp32_acc, 0.9);
+
+  EngineConfig engine_config;
+  engine_config.max_batch = 64;
+  engine_config.numeric = EngineNumeric::kInt4;
+  auto compiled = InferenceEngine::Compile(net, {16}, engine_config);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  InferenceEngine engine = std::move(compiled).value();
+
+  int64_t hits = 0;
+  const int64_t n = split.test.size();
+  for (int64_t begin = 0; begin < n; begin += 64) {
+    const int64_t end = std::min<int64_t>(begin + 64, n);
+    const Tensor logits =
+        std::move(engine.Predict(SliceRows(split.test.x, begin, end)))
+            .value();
+    const std::vector<int64_t> pred = ArgMaxRows(logits);
+    for (int64_t i = 0; i < end - begin; ++i) {
+      if (pred[static_cast<size_t>(i)] ==
+          split.test.y[static_cast<size_t>(begin + i)]) {
+        ++hits;
+      }
+    }
+  }
+  const double int4_acc = static_cast<double>(hits) / static_cast<double>(n);
+  RuntimeConfig::SetThreads(1);
+  EXPECT_GE(int4_acc, fp32_acc - 0.05)
+      << "int4=" << int4_acc << " fp32=" << fp32_acc;
+}
+
+TEST(QuantizedEngineTest, DeterministicAcrossThreadCountsAndIsas) {
+  // Both quantized paths must be bitwise reproducible not only across
+  // DLSYS_THREADS but across every dispatched SIMD ISA: int32 block dots
+  // are exact and the float epilogue order is fixed per element.
+  Rng rng(40);
+  Sequential net = MakeMlp(16, {48}, 4);
+  net.Init(&rng);
+  Tensor x({8, 16});
+  x.FillGaussian(&rng, 1.0f);
+  const simd::Isa initial_isa = simd::ActiveIsa();
+  for (EngineNumeric numeric : {EngineNumeric::kInt8, EngineNumeric::kInt4}) {
+    EngineConfig config;
+    config.max_batch = 8;
+    config.numeric = numeric;
+    auto compiled = InferenceEngine::Compile(net, {16}, config);
+    ASSERT_TRUE(compiled.ok());
+    InferenceEngine engine = std::move(compiled).value();
+    RuntimeConfig::SetThreads(1);
+    const Tensor ref = std::move(engine.Predict(x)).value();
+    for (simd::Isa isa :
+         {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+      if (!simd::IsaSupported(isa)) continue;
+      simd::SetIsa(isa);
+      for (int threads : {1, 2, 8}) {
+        RuntimeConfig::SetThreads(threads);
+        const Tensor y = std::move(engine.Predict(x)).value();
+        EXPECT_TRUE(BitwiseEqual(y, ref))
+            << "numeric=" << (numeric == EngineNumeric::kInt8 ? "int8" : "int4")
+            << " isa=" << simd::IsaName(isa) << " threads=" << threads;
+      }
+    }
+    simd::SetIsa(initial_isa);
   }
   RuntimeConfig::SetThreads(1);
 }
