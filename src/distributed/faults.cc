@@ -1,5 +1,8 @@
 #include "src/distributed/faults.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 #include <string>
 
 namespace dlsys {
@@ -48,6 +51,96 @@ Status ValidateFaultPlan(const FaultPlan& plan, int64_t workers) {
     }
   }
   return Status::OK();
+}
+
+namespace {
+
+/// Hex-float rendering so probabilities and slowdowns restore bit-for-bit.
+std::string HexDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+bool ParseHexDouble(const std::string& token, double* out) {
+  const char* s = token.c_str();
+  char* end = nullptr;
+  *out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+bool ParseInt(const std::string& token, int64_t* out) {
+  const char* s = token.c_str();
+  char* end = nullptr;
+  *out = std::strtoll(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool ParseUint(const std::string& token, uint64_t* out) {
+  const char* s = token.c_str();
+  char* end = nullptr;
+  *out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+std::string SerializeFaultPlan(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "seed " << plan.seed << "\n";
+  out << "crash_prob " << HexDouble(plan.crash_prob) << "\n";
+  out << "drop_prob " << HexDouble(plan.drop_prob) << "\n";
+  for (const CrashEvent& e : plan.crashes) {
+    out << "crash " << e.round << " " << e.worker << "\n";
+  }
+  for (const StragglerSpec& s : plan.stragglers) {
+    out << "straggler " << s.worker << " " << HexDouble(s.slowdown) << "\n";
+  }
+  return out.str();
+}
+
+Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string directive, a, b;
+    fields >> directive >> a >> b;
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (directive == "seed") {
+      if (!ParseUint(a, &plan.seed)) {
+        return Status::InvalidArgument("bad seed" + where);
+      }
+    } else if (directive == "crash_prob") {
+      if (!ParseHexDouble(a, &plan.crash_prob)) {
+        return Status::InvalidArgument("bad crash_prob" + where);
+      }
+    } else if (directive == "drop_prob") {
+      if (!ParseHexDouble(a, &plan.drop_prob)) {
+        return Status::InvalidArgument("bad drop_prob" + where);
+      }
+    } else if (directive == "crash") {
+      CrashEvent e;
+      if (!ParseInt(a, &e.round) || !ParseInt(b, &e.worker)) {
+        return Status::InvalidArgument("bad crash event" + where);
+      }
+      plan.crashes.push_back(e);
+    } else if (directive == "straggler") {
+      StragglerSpec s;
+      if (!ParseInt(a, &s.worker) || !ParseHexDouble(b, &s.slowdown)) {
+        return Status::InvalidArgument("bad straggler" + where);
+      }
+      plan.stragglers.push_back(s);
+    } else {
+      return Status::InvalidArgument("unknown fault-plan directive '" +
+                                     directive + "'" + where);
+    }
+  }
+  return plan;
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan, int64_t workers)

@@ -2,6 +2,7 @@
 #define DLSYS_DISTRIBUTED_FAULTS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/status.h"
@@ -56,6 +57,20 @@ struct FaultPlan {
 /// probabilities in [0, 1], worker indices in range, slowdowns >= 1,
 /// crash rounds non-negative. Returns InvalidArgument otherwise.
 Status ValidateFaultPlan(const FaultPlan& plan, int64_t workers);
+
+/// \brief Renders \p plan as a line-oriented text form ("seed <n>",
+/// "crash <round> <worker>", ...) that ParseFaultPlan restores exactly.
+/// Probabilities and slowdowns round-trip bit-for-bit (hex floats), so an
+/// injector rebuilt from the serialized plan reproduces every draw —
+/// the property that makes mid-run checkpoint/restore of a chaos run
+/// byte-stable (test_fault_tolerance locks it in).
+std::string SerializeFaultPlan(const FaultPlan& plan);
+
+/// \brief Parses SerializeFaultPlan output back into a plan. Returns
+/// InvalidArgument on unknown directives or malformed fields; the
+/// result is *not* re-validated against a worker count (callers run
+/// ValidateFaultPlan with their own cluster size).
+Result<FaultPlan> ParseFaultPlan(const std::string& text);
 
 /// \brief Answers fault queries for one run, deterministically.
 ///

@@ -1,0 +1,44 @@
+#include "src/distributed/network_model.h"
+
+#include <algorithm>
+
+namespace dlsys {
+
+double NetworkModel::TransferSeconds(int64_t bytes) const {
+  return latency_seconds +
+         static_cast<double>(bytes) / bandwidth_bytes_per_s;
+}
+
+double NetworkModel::RetryPenaltySeconds(int64_t failed) const {
+  // Past the retry cap no further attempts are made, so no further time
+  // accrues: the injector already clamps FailedAttempts to max_retries,
+  // and clamping here too keeps the accounting honest for direct callers.
+  const int64_t counted = std::min(failed, max_retries);
+  double total = 0.0;
+  double backoff = backoff_base_seconds;
+  for (int64_t i = 0; i < counted; ++i) {
+    total += timeout_seconds + backoff;
+    backoff *= 2.0;
+  }
+  return total;
+}
+
+double NetworkModel::TransferWithRetries(int64_t bytes, int64_t failed) const {
+  return RetryPenaltySeconds(failed) + TransferSeconds(bytes);
+}
+
+double NetworkModel::AllReduceSeconds(int64_t bytes, int64_t workers) const {
+  if (workers <= 1) return 0.0;
+  const double steps = 2.0 * static_cast<double>(workers - 1);
+  const double chunk =
+      static_cast<double>(bytes) / static_cast<double>(workers);
+  return steps * (latency_seconds + chunk / bandwidth_bytes_per_s);
+}
+
+NetworkModel NetworkModel::WithLatencyScaled(double factor) const {
+  NetworkModel scaled = *this;
+  scaled.latency_seconds *= factor;
+  return scaled;
+}
+
+}  // namespace dlsys

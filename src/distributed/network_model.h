@@ -9,7 +9,9 @@
 /// Substitution for real multi-node hardware (see DESIGN.md): the
 /// communication-efficiency techniques of Section 2.1 act purely on the
 /// *volume and frequency* of transfers, which an alpha-beta (latency +
-/// bandwidth) model captures exactly.
+/// bandwidth) model captures exactly. The serving fleet reuses the same
+/// model for request/response hops, inflating `latency_seconds` to stage
+/// slow-network partitions (see src/fleet/chaos.h).
 
 namespace dlsys {
 
@@ -26,37 +28,25 @@ struct NetworkModel {
   int64_t max_retries = 5;                ///< retransmits before giving up
 
   /// \brief Seconds to move \p bytes point-to-point.
-  double TransferSeconds(int64_t bytes) const {
-    return latency_seconds +
-           static_cast<double>(bytes) / bandwidth_bytes_per_s;
-  }
+  double TransferSeconds(int64_t bytes) const;
 
   /// \brief Seconds burned by \p failed lost attempts: each costs the
   /// detection timeout plus exponential backoff before the retransmit.
-  double RetryPenaltySeconds(int64_t failed) const {
-    double total = 0.0;
-    double backoff = backoff_base_seconds;
-    for (int64_t i = 0; i < failed; ++i) {
-      total += timeout_seconds + backoff;
-      backoff *= 2.0;
-    }
-    return total;
-  }
+  /// Counts no retransmit past max_retries (the capped attempt is the one
+  /// that succeeds), so \p failed above the cap accrues no further time.
+  double RetryPenaltySeconds(int64_t failed) const;
 
   /// \brief Total time to deliver \p bytes after \p failed drops.
-  double TransferWithRetries(int64_t bytes, int64_t failed) const {
-    return RetryPenaltySeconds(failed) + TransferSeconds(bytes);
-  }
+  double TransferWithRetries(int64_t bytes, int64_t failed) const;
 
   /// \brief Seconds for a ring all-reduce of \p bytes across \p workers:
   /// 2(N-1) message steps moving bytes/N each.
-  double AllReduceSeconds(int64_t bytes, int64_t workers) const {
-    if (workers <= 1) return 0.0;
-    const double steps = 2.0 * static_cast<double>(workers - 1);
-    const double chunk =
-        static_cast<double>(bytes) / static_cast<double>(workers);
-    return steps * (latency_seconds + chunk / bandwidth_bytes_per_s);
-  }
+  double AllReduceSeconds(int64_t bytes, int64_t workers) const;
+
+  /// \brief Copy of this model with per-message latency scaled by
+  /// \p factor (>= 0) — how the fleet chaos suite stages a slow-network
+  /// partition without touching bandwidth or the retry machinery.
+  NetworkModel WithLatencyScaled(double factor) const;
 };
 
 }  // namespace dlsys

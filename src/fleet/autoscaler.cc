@@ -1,0 +1,85 @@
+#include "src/fleet/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlsys {
+
+const char* ScalePolicyName(ScalePolicy policy) {
+  switch (policy) {
+    case ScalePolicy::kFixed:
+      return "fixed";
+    case ScalePolicy::kReactive:
+      return "reactive";
+    case ScalePolicy::kPredictive:
+      return "predictive";
+  }
+  return "unknown";
+}
+
+Status ValidateAutoscalerConfig(const AutoscalerConfig& config) {
+  if (!(config.decide_interval_ms > 0.0)) {
+    return Status::InvalidArgument("decide_interval_ms must be positive");
+  }
+  if (!(config.provision_lag_ms >= 0.0)) {
+    return Status::InvalidArgument("provision_lag_ms must be non-negative");
+  }
+  if (!(config.target_utilization > 0.0) || config.target_utilization > 1.0) {
+    return Status::InvalidArgument("target_utilization must be in (0, 1]");
+  }
+  if (config.min_replicas < 1 ||
+      config.max_replicas < config.min_replicas) {
+    return Status::InvalidArgument(
+        "need 1 <= min_replicas <= max_replicas");
+  }
+  if (config.scale_down_patience < 1) {
+    return Status::InvalidArgument("scale_down_patience must be >= 1");
+  }
+  return Status::OK();
+}
+
+Autoscaler::Autoscaler(const AutoscalerConfig& config,
+                       double replica_capacity_rps)
+    : config_(config), capacity_rps_(replica_capacity_rps) {}
+
+int Autoscaler::TargetFor(double rate_rps) const {
+  const double usable = config_.target_utilization * capacity_rps_;
+  const int raw = static_cast<int>(std::ceil(std::max(0.0, rate_rps) / usable));
+  return std::clamp(raw, config_.min_replicas, config_.max_replicas);
+}
+
+int Autoscaler::Desired(double window_rate_rps, int current) {
+  if (config_.policy == ScalePolicy::kFixed) return current;
+
+  double planning_rate = window_rate_rps;
+  if (config_.policy == ScalePolicy::kPredictive && prev_rate_rps_ >= 0.0) {
+    // Linear trend over the last two windows, extrapolated one provision
+    // lag ahead: capacity ordered now arrives then, so provision for the
+    // rate *then*. Negative trends are followed too (the scale-down
+    // patience below still damps them).
+    const double slope_per_ms = (window_rate_rps - prev_rate_rps_) /
+                                config_.decide_interval_ms;
+    planning_rate = std::max(
+        window_rate_rps,
+        window_rate_rps + slope_per_ms * config_.provision_lag_ms);
+  }
+  prev_rate_rps_ = window_rate_rps;
+
+  const int target = TargetFor(planning_rate);
+  if (target > current) {
+    low_streak_ = 0;
+    return target;
+  }
+  if (target < current) {
+    ++low_streak_;
+    if (low_streak_ >= config_.scale_down_patience) {
+      low_streak_ = 0;
+      return target;
+    }
+    return current;
+  }
+  low_streak_ = 0;
+  return current;
+}
+
+}  // namespace dlsys

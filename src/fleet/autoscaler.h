@@ -1,0 +1,79 @@
+#ifndef DLSYS_FLEET_AUTOSCALER_H_
+#define DLSYS_FLEET_AUTOSCALER_H_
+
+#include <cstdint>
+
+#include "src/core/status.h"
+
+/// \file autoscaler.h
+/// \brief Capacity policies deciding on the simulated clock.
+///
+/// Both policies are target-tracking over the windowed offered rate, in
+/// the spirit of MLSYSIM's first-principles capacity curves (2607.02558):
+/// desired = ceil(rate / (target_utilization × per-replica capacity)),
+/// clamped to [min, max]. The **reactive** policy tracks the rate it just
+/// measured, so every scale-up trails demand by the provision lag — the
+/// window where a flash crowd sheds. The **predictive** policy
+/// extrapolates the rate trend one provision lag ahead and provisions for
+/// the forecast, which is what buys back that window on ramps the trend
+/// can see (diurnal rises), and buys nothing on steps it cannot.
+///
+/// Scale-downs are damped by `scale_down_patience` consecutive
+/// under-target decisions so a single quiet window does not flap the
+/// fleet. All state is plain arithmetic on simulated inputs: decisions
+/// replay bit-for-bit.
+
+namespace dlsys {
+
+/// \brief Capacity policy of a fleet.
+enum class ScalePolicy {
+  kFixed,      ///< never changes the replica count
+  kReactive,   ///< target-tracking on the measured rate
+  kPredictive, ///< target-tracking on the trend-extrapolated rate
+};
+
+/// \brief Stable lowercase name ("fixed", "reactive", "predictive").
+const char* ScalePolicyName(ScalePolicy policy);
+
+struct AutoscalerConfig {
+  ScalePolicy policy = ScalePolicy::kFixed;
+  double decide_interval_ms = 1000.0;  ///< decision cadence (sim clock)
+  double provision_lag_ms = 2000.0;    ///< scale-up order → replica usable
+  double target_utilization = 0.6;     ///< of per-replica capacity
+  int min_replicas = 1;
+  int max_replicas = 8;
+  int scale_down_patience = 2;  ///< consecutive low decisions before down
+};
+
+/// \brief Validates intervals/lags positive, utilization in (0, 1],
+/// 1 <= min <= max, patience >= 1.
+Status ValidateAutoscalerConfig(const AutoscalerConfig& config);
+
+/// \brief One policy instance. Feed it the windowed offered rate at each
+/// decision tick; it answers the desired replica count.
+class Autoscaler {
+ public:
+  /// \p replica_capacity_rps is the declared-cost-model throughput of a
+  /// single replica at full batches (must be > 0).
+  Autoscaler(const AutoscalerConfig& config, double replica_capacity_rps);
+
+  /// \brief Desired replica count given the offered rate over the last
+  /// decision window. \p current is the present active+provisioning
+  /// count. Call exactly once per decision tick (the trend state
+  /// advances).
+  int Desired(double window_rate_rps, int current);
+
+  const AutoscalerConfig& config() const { return config_; }
+
+ private:
+  int TargetFor(double rate_rps) const;
+
+  AutoscalerConfig config_;
+  double capacity_rps_;
+  double prev_rate_rps_ = -1.0;  ///< last window's rate; -1 = no history
+  int low_streak_ = 0;           ///< consecutive decisions wanting fewer
+};
+
+}  // namespace dlsys
+
+#endif  // DLSYS_FLEET_AUTOSCALER_H_

@@ -170,6 +170,20 @@ void ResetTrace() {
   }
 }
 
+TraceBuffer SimTrackOnly(const TraceBuffer& buffer) {
+  TraceBuffer out;
+  for (const TraceEvent& ev : buffer.events) {
+    if (ev.pid != kSimTrack) continue;
+    TraceEvent copy = ev;
+    // Sim-track emitters run on one driver thread; normalizing the tid
+    // erases ring-registration order, which is the only run-to-run
+    // variance left in this slice.
+    copy.tid = 0;
+    out.events.push_back(copy);
+  }
+  return out;
+}
+
 std::string ChromeTraceJson(const TraceBuffer& buffer) {
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   char line[512];

@@ -175,6 +175,14 @@ TraceBuffer DrainTrace();
 /// quiescent points: no instrumented work may run concurrently.
 void ResetTrace();
 
+/// \brief The subset of \p buffer on the simulated-clock track (pid 2).
+/// Sim-track events carry simulated timestamps and are emitted by
+/// single-threaded event loops (the serving front door, the fleet
+/// driver), so this slice — unlike the wall-clock track — is
+/// byte-reproducible across runs and DLSYS_THREADS settings; the fleet
+/// determinism tests ChromeTraceJson this filtered buffer and compare.
+TraceBuffer SimTrackOnly(const TraceBuffer& buffer);
+
 /// \brief Renders \p buffer as a Chrome trace_event JSON document, one
 /// event per line, sim-track events converted to microseconds.
 std::string ChromeTraceJson(const TraceBuffer& buffer);

@@ -43,8 +43,25 @@ Status ValidateServerConfig(const ServerConfig& config) {
   return Status::OK();
 }
 
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kDeadlineInfeasible:
+      return "deadline_infeasible";
+    case ShedReason::kDraining:
+      return "draining";
+    case ShedReason::kUnhealthyReplica:
+      return "unhealthy_replica";
+  }
+  return "unknown";
+}
+
 AdmissionDecision DecideAdmission(const ServerConfig& config,
                                   const AdmissionInputs& in) {
+  if (in.draining) {
+    return AdmissionDecision::kShedDraining;
+  }
   if (in.queue_depth >= config.queue_capacity) {
     return AdmissionDecision::kShedQueueFull;
   }

@@ -62,11 +62,27 @@ struct ServerConfig {
 /// so errors surface as Status, not DLSYS_CHECK aborts.
 Status ValidateServerConfig(const ServerConfig& config);
 
+/// \brief Why a request was turned away. Every shed is attributed to
+/// exactly one structured reason and exported as its own
+/// `serve.shed.<reason>` counter (no aggregate shed count survives) so
+/// chaos-suite post-mortems can tell overload, infeasibility, drains,
+/// and routing blackouts apart.
+enum class ShedReason {
+  kQueueFull,           ///< the model's bounded queue is at capacity
+  kDeadlineInfeasible,  ///< predicted completion already misses the deadline
+  kDraining,            ///< the replica is draining ahead of scale-down
+  kUnhealthyReplica,    ///< the router found no healthy replica to take it
+};
+
+/// \brief Stable counter-key suffix for \p reason ("queue_full", ...).
+const char* ShedReasonName(ShedReason reason);
+
 /// \brief Verdict of the admission test for one arriving request.
 enum class AdmissionDecision {
   kAdmit,
-  kShedQueueFull,  ///< the model's bounded queue is at capacity
-  kShedDeadline,   ///< predicted completion already misses the deadline
+  kShedQueueFull,  ///< ShedReason::kQueueFull
+  kShedDeadline,   ///< ShedReason::kDeadlineInfeasible
+  kShedDraining,   ///< ShedReason::kDraining
 };
 
 /// \brief Everything the admission policy looks at, all simulated.
@@ -77,10 +93,12 @@ struct AdmissionInputs {
   double earliest_worker_free_ms = 0.0;
   double arrival_ms = 0.0;
   double deadline_budget_ms = 0.0;  ///< relative to arrival; > 0
+  bool draining = false;  ///< replica is emptying ahead of a scale-down
 };
 
-/// \brief Pure admission decision: bounded queue first, then deadline
-/// feasibility under the cost model. Deterministic.
+/// \brief Pure admission decision: drain state first (a draining replica
+/// takes nothing new), then the bounded queue, then deadline feasibility
+/// under the cost model. Deterministic.
 AdmissionDecision DecideAdmission(const ServerConfig& config,
                                   const AdmissionInputs& in);
 

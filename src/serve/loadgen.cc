@@ -43,6 +43,55 @@ void FinishReport(double first_ms, double last_finish_ms, double wall_seconds,
 
 }  // namespace
 
+double TraceRateAt(const TraceLoadConfig& config, double t_ms) {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  double rate = config.base_rps;
+  if (config.diurnal_amplitude != 0.0 && config.diurnal_period_ms > 0.0) {
+    rate *= 1.0 + config.diurnal_amplitude *
+                      std::sin(kTwoPi * (t_ms - config.start_ms) /
+                               config.diurnal_period_ms);
+  }
+  for (const FlashCrowd& crowd : config.crowds) {
+    if (t_ms >= crowd.start_ms && t_ms < crowd.start_ms + crowd.duration_ms) {
+      rate *= crowd.multiplier;
+    }
+  }
+  return std::max(0.0, rate);
+}
+
+double TracePeakRate(const TraceLoadConfig& config) {
+  // The diurnal peak is analytic; flash crowds multiply on top. Assume
+  // the worst case where every crowd interval sees the diurnal peak —
+  // the envelope only needs to dominate, not be tight.
+  double peak = config.base_rps * (1.0 + std::abs(config.diurnal_amplitude));
+  double crowd_peak = 1.0;
+  for (const FlashCrowd& crowd : config.crowds) {
+    crowd_peak = std::max(crowd_peak, crowd.multiplier);
+  }
+  return peak * crowd_peak;
+}
+
+std::vector<double> GenerateTraceArrivals(const TraceLoadConfig& config) {
+  std::vector<double> arrivals;
+  const double peak = TracePeakRate(config);
+  if (peak <= 0.0 || config.duration_ms <= 0.0) return arrivals;
+  Rng rng(config.seed);
+  Rng gaps = rng.Fork();
+  Rng keep = rng.Fork();
+  double t = config.start_ms;
+  const double end = config.start_ms + config.duration_ms;
+  while (true) {
+    t += -std::log(1.0 - gaps.Uniform()) / peak * 1000.0;
+    if (t >= end) break;
+    // Thinning: the candidate survives with probability rate(t) / peak,
+    // turning the homogeneous envelope into the shaped process.
+    if (keep.Uniform() * peak < TraceRateAt(config, t)) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
 LoadReport RunOpenLoop(Server* server, const OpenLoopConfig& config,
                        const std::function<void(int64_t)>& before_submit) {
   LoadReport report;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "src/core/metrics.h"
 #include "src/serve/server.h"
@@ -61,6 +62,43 @@ struct LoadReport {
   /// completed / wall_seconds (requests per real second; informational)
   double real_throughput_rps = 0.0;
 };
+
+/// \brief One flash crowd: offered rate multiplies by \p multiplier for
+/// [start_ms, start_ms + duration_ms) on top of the diurnal baseline.
+struct FlashCrowd {
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  double multiplier = 1.0;
+};
+
+/// \brief Trace-shaped open-loop workload: a diurnal sinusoid plus flash
+/// crowds, the canonical datacenter arrival pattern the fleet simulation
+/// replays. rate(t) = base_rps * (1 + diurnal_amplitude *
+/// sin(2*pi*(t - start_ms)/diurnal_period_ms)) * crowd(t), floored at 0.
+struct TraceLoadConfig {
+  uint64_t seed = 1;
+  double start_ms = 0.0;
+  double duration_ms = 10'000.0;
+  double base_rps = 1000.0;
+  double diurnal_amplitude = 0.0;     ///< in [0, 1): peak-to-mean swing
+  double diurnal_period_ms = 10'000.0;
+  std::vector<FlashCrowd> crowds;
+  double deadline_ms = 0.0;  ///< per-request budget; <= 0 uses the default
+  std::string model = "model";
+};
+
+/// \brief Instantaneous offered rate of \p config at simulated \p t_ms.
+double TraceRateAt(const TraceLoadConfig& config, double t_ms);
+
+/// \brief Peak of TraceRateAt over the window — the thinning envelope and
+/// the capacity planner's sizing input.
+double TracePeakRate(const TraceLoadConfig& config);
+
+/// \brief Materializes the arrival instants of \p config by thinning a
+/// seeded Poisson process at the peak rate: candidate gaps are drawn at
+/// TracePeakRate and kept with probability rate(t)/peak. Deterministic
+/// for a fixed config; independent of who consumes the arrivals.
+std::vector<double> GenerateTraceArrivals(const TraceLoadConfig& config);
 
 /// \brief Drives \p server with a seeded Poisson arrival stream and
 /// drains it. \p before_submit (optional) runs before each arrival with

@@ -129,6 +129,7 @@ Server::SubmitResult Server::Submit(const std::string& model,
   in.queue_depth = depth;
   in.arrival_ms = arrival_ms;
   in.deadline_budget_ms = budget;
+  in.draining = draining_;
   in.prospective_batch = joins_tail ? tail_size + 1 : 1;
   if (in.prospective_batch == mb) {
     in.batch_ready_ms = arrival_ms;  // this request completes the batch
@@ -142,27 +143,37 @@ Server::SubmitResult Server::Submit(const std::string& model,
   // the earliest-free worker under the cost model. Their own ready times
   // are ignored (assumed dispatchable at this arrival), which biases the
   // prediction optimistic — sheds under-, never over-trigger from it.
+  const ServiceCostModel scaled_cost = ScaledCost();
   std::vector<double> free = worker_free_ms_;
   for (int64_t g : ahead_sizes) {
     auto w = std::min_element(free.begin(), free.end());
-    *w = std::max(*w, arrival_ms) + EstimateServiceMs(config_.cost, g);
+    *w = std::max(*w, arrival_ms) + EstimateServiceMs(scaled_cost, g);
   }
   in.earliest_worker_free_ms = *std::min_element(free.begin(), free.end());
 
-  switch (DecideAdmission(config_, in)) {
+  ServerConfig decision_config = config_;
+  decision_config.cost = scaled_cost;
+  switch (DecideAdmission(decision_config, in)) {
     case AdmissionDecision::kShedQueueFull:
       ++shed_queue_full_;
-      DLSYS_COUNTER_ADD("serve.shed_queue_full", 1);
-      DLSYS_TRACE_INSTANT_SIM("serve.shed_queue_full", "serve", arrival_ms,
+      DLSYS_COUNTER_ADD("serve.shed.queue_full", 1);
+      DLSYS_TRACE_INSTANT_SIM("serve.shed.queue_full", "serve", arrival_ms,
                               result.id);
       result.outcome = Outcome::kShedQueueFull;
       return result;
     case AdmissionDecision::kShedDeadline:
       ++shed_deadline_;
-      DLSYS_COUNTER_ADD("serve.shed_deadline", 1);
-      DLSYS_TRACE_INSTANT_SIM("serve.shed_deadline", "serve", arrival_ms,
-                              result.id);
+      DLSYS_COUNTER_ADD("serve.shed.deadline_infeasible", 1);
+      DLSYS_TRACE_INSTANT_SIM("serve.shed.deadline_infeasible", "serve",
+                              arrival_ms, result.id);
       result.outcome = Outcome::kShedDeadline;
+      return result;
+    case AdmissionDecision::kShedDraining:
+      ++shed_draining_;
+      DLSYS_COUNTER_ADD("serve.shed.draining", 1);
+      DLSYS_TRACE_INSTANT_SIM("serve.shed.draining", "serve", arrival_ms,
+                              result.id);
+      result.outcome = Outcome::kShedDraining;
       return result;
     case AdmissionDecision::kAdmit:
       break;
@@ -186,6 +197,41 @@ Server::SubmitResult Server::Submit(const std::string& model,
   DispatchDue(arrival_ms, /*strict=*/false);
   result.outcome = Outcome::kAdmitted;
   return result;
+}
+
+ServiceCostModel Server::ScaledCost() const {
+  ServiceCostModel cost = config_.cost;
+  cost.fixed_ms *= cost_scale_;
+  cost.per_example_ms *= cost_scale_;
+  return cost;
+}
+
+int64_t Server::DropQueued() {
+  int64_t dropped = 0;
+  for (auto& [name, queue] : queues_) {
+    dropped += static_cast<int64_t>(queue.size());
+    queue.clear();
+  }
+  dropped_queued_ += dropped;
+  if (dropped > 0) {
+    DLSYS_COUNTER_ADD("serve.dropped_queued", dropped);
+    DLSYS_TRACE_INSTANT_SIM("serve.drop_queued", "serve", clock_ms_, -1);
+  }
+  return dropped;
+}
+
+int64_t Server::queue_depth() const {
+  int64_t depth = 0;
+  for (const auto& [name, queue] : queues_) {
+    depth += static_cast<int64_t>(queue.size());
+  }
+  return depth;
+}
+
+double Server::earliest_worker_free_ms() const {
+  const double free =
+      *std::min_element(worker_free_ms_.begin(), worker_free_ms_.end());
+  return std::max(free, clock_ms_);
 }
 
 void Server::AdvanceTo(double now_ms) {
@@ -263,7 +309,7 @@ void Server::StageDispatch(std::deque<QueueEntry>* queue, double dispatch_ms) {
   task.worker = worker;
   task.batch_size = n;
   task.dispatch_ms = dispatch_ms;
-  task.finish_ms = dispatch_ms + EstimateServiceMs(config_.cost, n);
+  task.finish_ms = dispatch_ms + EstimateServiceMs(ScaledCost(), n);
   task.members.reserve(static_cast<size_t>(n));
   ModelSnapshot::Replica& rep = task.snap->replicas[worker];
   for (int64_t j = 0; j < n; ++j) {
@@ -355,8 +401,11 @@ MetricsReport Server::metrics() const {
   MetricsReport report;
   report.Set("serve.offered", static_cast<double>(offered_));
   report.Set("serve.admitted", static_cast<double>(admitted_));
-  report.Set("serve.shed_queue_full", static_cast<double>(shed_queue_full_));
-  report.Set("serve.shed_deadline", static_cast<double>(shed_deadline_));
+  report.Set("serve.shed.queue_full", static_cast<double>(shed_queue_full_));
+  report.Set("serve.shed.deadline_infeasible",
+             static_cast<double>(shed_deadline_));
+  report.Set("serve.shed.draining", static_cast<double>(shed_draining_));
+  report.Set("serve.dropped_queued", static_cast<double>(dropped_queued_));
   report.Set("serve.no_such_model", static_cast<double>(no_such_model_));
   report.Set("serve.deadline_missed", static_cast<double>(deadline_missed_));
   report.Set("serve.batches", static_cast<double>(batches_));

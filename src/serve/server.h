@@ -60,6 +60,7 @@ class Server {
     kAdmitted,
     kShedQueueFull,
     kShedDeadline,
+    kShedDraining,
     kNoSuchModel,
   };
 
@@ -129,6 +130,33 @@ class Server {
   /// \brief Dispatches and executes everything still queued.
   void Drain();
 
+  /// \brief Marks the server draining (true) or serving (false). While
+  /// draining every Submit sheds with Outcome::kShedDraining; queued work
+  /// still dispatches, which is the graceful half of a fleet scale-down.
+  void SetDraining(bool draining) { draining_ = draining; }
+  bool draining() const { return draining_; }
+
+  /// \brief Scales the declared service-cost model by \p scale (>= 0) for
+  /// every *future* admission and dispatch decision — how the fleet
+  /// stages a gray failure (slow replica) or a slow bad model version on
+  /// the simulated clock. Already-dispatched batches keep their stamped
+  /// finish times. Deterministic: callers set it at simulated times.
+  void SetCostScale(double scale) { cost_scale_ = scale; }
+  double cost_scale() const { return cost_scale_; }
+
+  /// \brief Discards every admitted-but-undispatched request (a crash
+  /// loses its queue) and returns how many died. Completions are not
+  /// produced for them; the caller owns the accounting.
+  int64_t DropQueued();
+
+  /// \brief Admitted-but-undispatched requests across all models — the
+  /// load signal fleet routers compare replicas by.
+  int64_t queue_depth() const;
+
+  /// \brief Simulated time the least-busy worker frees up (clock_ms when
+  /// idle); the router's backlog tiebreaker.
+  double earliest_worker_free_ms() const;
+
   /// \brief Current simulated time.
   double clock_ms() const { return clock_ms_; }
   /// \brief All completions so far, in dispatch order.
@@ -141,10 +169,12 @@ class Server {
   const ServerConfig& config() const { return config_; }
 
   /// \brief Counters + latency quantiles under "serve.*" keys:
-  /// offered/admitted/shed_queue_full/shed_deadline/no_such_model/
-  /// deadline_missed/batches, per-model "serve.<model>.served_v<N>",
-  /// simulated latency under "serve.latency.*", and real engine wall
-  /// time under "serve.measured.*".
+  /// offered/admitted/no_such_model/deadline_missed/batches, structured
+  /// shed reasons as "serve.shed.<reason>" (queue_full /
+  /// deadline_infeasible / draining), per-model
+  /// "serve.<model>.served_v<N>", simulated latency under
+  /// "serve.latency.*", and real engine wall time under
+  /// "serve.measured.*".
   MetricsReport metrics() const;
 
  private:
@@ -171,6 +201,9 @@ class Server {
 
   Server(ModelRegistry* registry, const ServerConfig& config);
 
+  /// The declared cost model with the current fault scale applied.
+  ServiceCostModel ScaledCost() const;
+
   /// Size of the version-homogeneous FIFO prefix (<= max_batch) and the
   /// simulated time it becomes dispatchable.
   int64_t BatchPrefix(const std::deque<QueueEntry>& queue,
@@ -189,6 +222,8 @@ class Server {
 
   double clock_ms_ = 0.0;
   int64_t next_id_ = 0;
+  bool draining_ = false;
+  double cost_scale_ = 1.0;
   std::map<std::string, std::deque<QueueEntry>> queues_;
   std::vector<double> worker_free_ms_;
   std::vector<ExecTask> wave_;
@@ -200,6 +235,8 @@ class Server {
   int64_t admitted_ = 0;
   int64_t shed_queue_full_ = 0;
   int64_t shed_deadline_ = 0;
+  int64_t shed_draining_ = 0;
+  int64_t dropped_queued_ = 0;
   int64_t no_such_model_ = 0;
   int64_t deadline_missed_ = 0;
   int64_t batches_ = 0;

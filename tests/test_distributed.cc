@@ -34,6 +34,58 @@ TEST(NetworkModelTest, AllReduceScalesWithWorkersAtFixedBytes) {
             net.AllReduceSeconds(1 << 20, 16));
 }
 
+TEST(NetworkModelTest, RetryPenaltyIsTimeoutPlusDoublingBackoff) {
+  NetworkModel net;
+  net.timeout_seconds = 5e-3;
+  net.backoff_base_seconds = 1e-3;
+  net.max_retries = 5;
+  EXPECT_DOUBLE_EQ(net.RetryPenaltySeconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.RetryPenaltySeconds(1), 5e-3 + 1e-3);
+  // Each lost attempt pays the detection timeout plus a doubling backoff:
+  // 3 * 5ms + (1 + 2 + 4)ms.
+  EXPECT_DOUBLE_EQ(net.RetryPenaltySeconds(3), 3 * 5e-3 + 7e-3);
+  EXPECT_DOUBLE_EQ(net.TransferWithRetries(0, 1),
+                   net.RetryPenaltySeconds(1) + net.TransferSeconds(0));
+}
+
+TEST(NetworkModelTest, RetryPenaltySaturatesAtMaxRetries) {
+  NetworkModel net;
+  net.max_retries = 2;
+  const double capped = net.RetryPenaltySeconds(2);
+  // Drops past the cap accrue no further time: the capped attempt is the
+  // one that succeeds, so the penalty saturates instead of diverging.
+  EXPECT_DOUBLE_EQ(net.RetryPenaltySeconds(3), capped);
+  EXPECT_DOUBLE_EQ(net.RetryPenaltySeconds(1000), capped);
+  EXPECT_GT(capped, net.RetryPenaltySeconds(1));
+}
+
+TEST(NetworkModelTest, ZeroLatencyAndZeroBytesEdges) {
+  NetworkModel net{0.0, 1e6};  // zero-latency link, 1 MB/s
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(1000000), 1.0);
+  // All-reduce of zero bytes over a zero-latency link is free at any N.
+  EXPECT_DOUBLE_EQ(net.AllReduceSeconds(0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(net.TransferWithRetries(0, 0), 0.0);
+}
+
+TEST(NetworkModelTest, WithLatencyScaledTouchesOnlyLatency) {
+  NetworkModel net{1e-3, 1e9};
+  net.timeout_seconds = 7e-3;
+  net.backoff_base_seconds = 2e-3;
+  net.max_retries = 3;
+  const NetworkModel slow = net.WithLatencyScaled(10.0);
+  // The slow-partition knob: per-message latency inflates...
+  EXPECT_DOUBLE_EQ(slow.latency_seconds, 1e-2);
+  // ...while bandwidth and the retry machinery stay untouched.
+  EXPECT_DOUBLE_EQ(slow.bandwidth_bytes_per_s, net.bandwidth_bytes_per_s);
+  EXPECT_DOUBLE_EQ(slow.timeout_seconds, net.timeout_seconds);
+  EXPECT_DOUBLE_EQ(slow.backoff_base_seconds, net.backoff_base_seconds);
+  EXPECT_EQ(slow.max_retries, net.max_retries);
+  EXPECT_DOUBLE_EQ(slow.RetryPenaltySeconds(2), net.RetryPenaltySeconds(2));
+  // Scaling by zero is the degenerate-but-legal edge: a free link.
+  EXPECT_DOUBLE_EQ(net.WithLatencyScaled(0.0).TransferSeconds(0), 0.0);
+}
+
 // -------------------------------------------------------- Compressors
 
 TEST(CompressorTest, IdentityIsLossless) {

@@ -76,6 +76,119 @@ TEST(FaultInjectorTest, FailedAttemptsRespectsCap) {
   EXPECT_EQ(clean.FailedAttempts(0, 0, 0, 5), 0);
 }
 
+TEST(FaultInjectorTest, DrawsAreStableAcrossWorkerCountChanges) {
+  // Draws hash (seed, worker, round, ...) only — never the injector's
+  // worker count — so a fleet that resizes (autoscaling) keeps every
+  // overlapping (worker, round) answer bit-identical. This is what makes
+  // chaos schedules independent of how many replica slots exist.
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.crash_prob = 0.08;
+  plan.drop_prob = 0.25;
+  FaultInjector small(plan, 4);
+  FaultInjector large(plan, 16);
+  for (int64_t w = 0; w < 4; ++w) {
+    for (int64_t r = 0; r < 100; ++r) {
+      EXPECT_EQ(small.CrashesAt(w, r, 0), large.CrashesAt(w, r, 0))
+          << "w=" << w << " r=" << r;
+      EXPECT_EQ(small.CrashesAt(w, r, 3), large.CrashesAt(w, r, 3));
+      for (int64_t m = 0; m < 3; ++m) {
+        EXPECT_EQ(small.FailedAttempts(w, r, m, 5),
+                  large.FailedAttempts(w, r, m, 5));
+      }
+    }
+  }
+}
+
+TEST(FaultInjectorTest, GenerationsDecorrelateProbabilisticDraws) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.crash_prob = 0.1;
+  FaultInjector inj(plan, 4);
+  int differing = 0;
+  for (int64_t w = 0; w < 4; ++w) {
+    for (int64_t r = 0; r < 200; ++r) {
+      if (inj.CrashesAt(w, r, 0) != inj.CrashesAt(w, r, 1)) ++differing;
+    }
+  }
+  // A restarted incarnation must not deterministically re-crash at the
+  // same (worker, round) points.
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlanTest, SerializeParseRoundTripsBitwise) {
+  FaultPlan plan;
+  plan.seed = 0xDEADBEEFCAFEULL;
+  plan.crashes = {{3, 1}, {17, 0}};
+  plan.crash_prob = 0.013;
+  // An awkward float on purpose: hex-float serialization must round-trip
+  // it bit-for-bit, not to six decimal places.
+  plan.drop_prob = 0.1 + 0.2;
+  plan.stragglers = {{2, 3.7}};
+
+  auto parsed = ParseFaultPlan(SerializeFaultPlan(plan));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FaultPlan& back = parsed.value();
+  EXPECT_EQ(back.seed, plan.seed);
+  ASSERT_EQ(back.crashes.size(), 2u);
+  EXPECT_EQ(back.crashes[0].round, 3);
+  EXPECT_EQ(back.crashes[0].worker, 1);
+  EXPECT_EQ(back.crashes[1].round, 17);
+  EXPECT_EQ(back.crashes[1].worker, 0);
+  EXPECT_EQ(back.crash_prob, plan.crash_prob);  // exact, not approximate
+  EXPECT_EQ(back.drop_prob, plan.drop_prob);
+  ASSERT_EQ(back.stragglers.size(), 1u);
+  EXPECT_EQ(back.stragglers[0].worker, 2);
+  EXPECT_EQ(back.stragglers[0].slowdown, plan.stragglers[0].slowdown);
+
+  // Serialization is canonical: a second round trip emits the same text.
+  EXPECT_EQ(SerializeFaultPlan(back), SerializeFaultPlan(plan));
+}
+
+TEST(FaultPlanTest, InjectorRebuiltFromSerializedPlanReplaysMidRun) {
+  // The checkpoint/restore property: serialize the plan mid-run, rebuild
+  // an injector on the other side, consume the already-fired crashes, and
+  // every subsequent answer matches the uninterrupted original.
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.crashes = {{5, 1}, {40, 2}};
+  plan.crash_prob = 0.05;
+  plan.drop_prob = 0.15;
+  FaultInjector original(plan, 4);
+  // Run the original forward to round 20, consuming the round-5 crash.
+  EXPECT_TRUE(original.CrashesAt(1, 5, 0));
+  original.ConsumeCrash(1, 5);
+
+  auto restored_plan = ParseFaultPlan(SerializeFaultPlan(plan));
+  ASSERT_TRUE(restored_plan.ok());
+  FaultInjector restored(restored_plan.value(), 4);
+  restored.ConsumeCrash(1, 5);  // replay the consumed-crash log
+
+  for (int64_t w = 0; w < 4; ++w) {
+    for (int64_t r = 20; r < 60; ++r) {
+      EXPECT_EQ(original.CrashesAt(w, r, 1), restored.CrashesAt(w, r, 1))
+          << "w=" << w << " r=" << r;
+      EXPECT_EQ(original.FailedAttempts(w, r, 0, 5),
+                restored.FailedAttempts(w, r, 0, 5));
+      EXPECT_DOUBLE_EQ(original.Slowdown(w), restored.Slowdown(w));
+    }
+  }
+  // The unconsumed scheduled crash still fires exactly once on both.
+  EXPECT_TRUE(original.CrashesAt(2, 40, 1));
+  EXPECT_TRUE(restored.CrashesAt(2, 40, 1));
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedText) {
+  EXPECT_FALSE(ParseFaultPlan("warp_drive 9").ok());
+  EXPECT_FALSE(ParseFaultPlan("seed").ok());
+  EXPECT_FALSE(ParseFaultPlan("crash 3").ok());
+  EXPECT_FALSE(ParseFaultPlan("crash_prob banana").ok());
+  // Empty text is a valid (empty) plan.
+  auto empty = ParseFaultPlan("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().Empty());
+}
+
 TEST(FaultPlanTest, ValidationRejectsBadPlans) {
   FaultPlan plan;
   plan.crash_prob = 1.5;

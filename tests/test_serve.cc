@@ -229,7 +229,7 @@ TEST(ServerTest, ShedsWhenQueueIsFullInsteadOfQueuingUnboundedly) {
   const MetricsReport m = server->metrics();
   EXPECT_EQ(m.Get("serve.offered"), 10.0);
   EXPECT_EQ(m.Get("serve.admitted"), 8.0);
-  EXPECT_EQ(m.Get("serve.shed_queue_full"), 2.0);
+  EXPECT_EQ(m.Get("serve.shed.queue_full"), 2.0);
   EXPECT_EQ(m.Get("serve.batches"), 2.0);
   EXPECT_EQ(m.Get("serve.latency.count"), 8.0);
 }
@@ -260,8 +260,146 @@ TEST(ServerTest, ShedsWhenPredictedFinishMissesDeadline) {
   EXPECT_EQ(server->Submit("m", x, 6.0).outcome, Server::Outcome::kAdmitted);
   server->Drain();
   EXPECT_EQ(server->completions().size(), 2u);
-  EXPECT_EQ(server->metrics().Get("serve.shed_deadline"), 1.0);
+  EXPECT_EQ(server->metrics().Get("serve.shed.deadline_infeasible"), 1.0);
   EXPECT_EQ(server->metrics().Get("serve.deadline_missed"), 0.0);
+}
+
+TEST(AdmissionTest, StructuredShedReasonsAndNames) {
+  EXPECT_STREQ(ShedReasonName(ShedReason::kQueueFull), "queue_full");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kDeadlineInfeasible),
+               "deadline_infeasible");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kDraining), "draining");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kUnhealthyReplica),
+               "unhealthy_replica");
+
+  // The pure decision function attributes each shed to exactly one
+  // reason, tested in priority order: draining trumps queue state,
+  // queue bound trumps deadline feasibility.
+  ServerConfig config;
+  config.queue_capacity = 2;
+  config.batch.max_batch = 1;
+  config.cost = {10.0, 0.0};
+  AdmissionInputs in;
+  in.prospective_batch = 1;
+  in.deadline_budget_ms = 100.0;
+  EXPECT_EQ(DecideAdmission(config, in), AdmissionDecision::kAdmit);
+  in.draining = true;
+  in.queue_depth = 2;
+  EXPECT_EQ(DecideAdmission(config, in), AdmissionDecision::kShedDraining);
+  in.draining = false;
+  EXPECT_EQ(DecideAdmission(config, in), AdmissionDecision::kShedQueueFull);
+  in.queue_depth = 0;
+  in.deadline_budget_ms = 5.0;  // modeled 10ms service can never make it
+  EXPECT_EQ(DecideAdmission(config, in), AdmissionDecision::kShedDeadline);
+}
+
+TEST(ServerTest, DrainingShedsNewWorkButFinishesQueuedWork) {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.batch.max_batch = 4;
+  config.batch.max_delay_ms = 1000.0;  // hold the batch open
+  config.default_deadline_ms = 1e6;
+  config.cost = {1.0, 0.0};
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", MakeNet(1), {16}).ok());
+
+  Rng rng(4);
+  Tensor x({16});
+  x.FillGaussian(&rng, 1.0f);
+  EXPECT_EQ(server->Submit("m", x, 0.0).outcome, Server::Outcome::kAdmitted);
+  EXPECT_EQ(server->Submit("m", x, 0.0).outcome, Server::Outcome::kAdmitted);
+  EXPECT_EQ(server->queue_depth(), 2);
+
+  server->SetDraining(true);
+  EXPECT_TRUE(server->draining());
+  EXPECT_EQ(server->Submit("m", x, 1.0).outcome,
+            Server::Outcome::kShedDraining);
+  EXPECT_EQ(server->metrics().Get("serve.shed.draining"), 1.0);
+
+  // The graceful half of a scale-down: everything admitted before the
+  // drain still completes.
+  server->Drain();
+  EXPECT_EQ(server->completions().size(), 2u);
+  EXPECT_EQ(server->queue_depth(), 0);
+
+  server->SetDraining(false);
+  // Drain advanced the simulated clock; resume past it.
+  EXPECT_EQ(server->Submit("m", x, 2000.0).outcome,
+            Server::Outcome::kAdmitted);
+}
+
+TEST(ServerTest, DropQueuedLosesOnlyUndispatchedRequests) {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.batch.max_batch = 2;
+  config.batch.max_delay_ms = 1000.0;
+  config.default_deadline_ms = 1e6;
+  config.cost = {1.0, 0.0};
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", MakeNet(1), {16}).ok());
+
+  Rng rng(5);
+  Tensor x({16});
+  x.FillGaussian(&rng, 1.0f);
+  // First two form a full batch and dispatch immediately; the third
+  // stays queued behind the busy worker.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server->Submit("m", x, 0.0).outcome,
+              Server::Outcome::kAdmitted);
+  }
+  EXPECT_EQ(server->queue_depth(), 1);
+  EXPECT_EQ(server->DropQueued(), 1);  // the crash loses its queue...
+  EXPECT_EQ(server->queue_depth(), 0);
+  EXPECT_EQ(server->DropQueued(), 0);
+  server->Drain();
+  // ...but not the already-dispatched batch.
+  EXPECT_EQ(server->completions().size(), 2u);
+}
+
+TEST(ServerTest, CostScaleSlowsFutureDecisionsOnly) {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.batch.max_batch = 1;
+  config.batch.max_delay_ms = 0.0;
+  config.default_deadline_ms = 1e6;
+  config.cost = {2.0, 1.0};
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", MakeNet(1), {16}).ok());
+
+  Rng rng(6);
+  Tensor x({16});
+  x.FillGaussian(&rng, 1.0f);
+  EXPECT_EQ(server->Submit("m", x, 0.0).outcome, Server::Outcome::kAdmitted);
+  server->AdvanceTo(10.0);
+  ASSERT_EQ(server->completions().size(), 1u);
+  // Healthy modeled service: fixed 2 + per-example 1.
+  EXPECT_DOUBLE_EQ(server->completions()[0].finish_ms, 3.0);
+
+  // A gray failure quadruples the modeled cost for future dispatches.
+  server->SetCostScale(4.0);
+  EXPECT_DOUBLE_EQ(server->cost_scale(), 4.0);
+  EXPECT_EQ(server->Submit("m", x, 10.0).outcome,
+            Server::Outcome::kAdmitted);
+  EXPECT_DOUBLE_EQ(server->earliest_worker_free_ms(), 22.0);  // 10 + 4*3
+  server->Drain();
+  ASSERT_EQ(server->completions().size(), 2u);
+  EXPECT_DOUBLE_EQ(server->completions()[1].finish_ms, 22.0);
+
+  server->SetCostScale(1.0);
+  EXPECT_EQ(server->Submit("m", x, 30.0).outcome,
+            Server::Outcome::kAdmitted);
+  server->Drain();
+  ASSERT_EQ(server->completions().size(), 3u);
+  EXPECT_DOUBLE_EQ(server->completions()[2].finish_ms, 33.0);
 }
 
 TEST(ServerTest, UnknownModelIsReported) {
