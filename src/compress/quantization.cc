@@ -309,32 +309,37 @@ int64_t Q4BlockMatrix::PackedBytes() const {
              static_cast<int64_t>(sizeof(float));
 }
 
+void Q8BlockQuantizeRowInto(const float* row, int64_t cols, int8_t* values,
+                            float* scales) {
+  const int64_t kp = PadToQuantBlock(cols);
+  const int64_t nb = kp / kQuantBlock;
+  for (int64_t b = 0; b < nb; ++b) {
+    const int64_t j0 = b * kQuantBlock;
+    const int64_t j1 = std::min<int64_t>(j0 + kQuantBlock, cols);
+    float maxabs = 0.0f;
+    for (int64_t j = j0; j < j1; ++j) {
+      const float a = std::abs(row[j]);
+      maxabs = a > maxabs ? a : maxabs;
+    }
+    const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    const float inv = 1.0f / scale;
+    scales[b] = scale;
+    for (int64_t j = j0; j < j1; ++j) {
+      const long q = std::lround(row[j] * inv);
+      values[j] = static_cast<int8_t>(std::clamp<long>(q, -127, 127));
+    }
+    for (int64_t j = j1; j < j0 + kQuantBlock; ++j) values[j] = 0;
+  }
+}
+
 void Q8BlockQuantizeRowsInto(const float* x, int64_t rows, int64_t cols,
                              int8_t* values, float* scales) {
   const int64_t kp = PadToQuantBlock(cols);
   const int64_t nb = kp / kQuantBlock;
   ParallelFor(0, rows, 4, [=](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
-      const float* row = x + i * cols;
-      int8_t* vrow = values + i * kp;
-      float* srow = scales + i * nb;
-      for (int64_t b = 0; b < nb; ++b) {
-        const int64_t j0 = b * kQuantBlock;
-        const int64_t j1 = std::min<int64_t>(j0 + kQuantBlock, cols);
-        float maxabs = 0.0f;
-        for (int64_t j = j0; j < j1; ++j) {
-          const float a = std::abs(row[j]);
-          maxabs = a > maxabs ? a : maxabs;
-        }
-        const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
-        const float inv = 1.0f / scale;
-        srow[b] = scale;
-        for (int64_t j = j0; j < j1; ++j) {
-          const long q = std::lround(row[j] * inv);
-          vrow[j] = static_cast<int8_t>(std::clamp<long>(q, -127, 127));
-        }
-        for (int64_t j = j1; j < j0 + kQuantBlock; ++j) vrow[j] = 0;
-      }
+      Q8BlockQuantizeRowInto(x + i * cols, cols, values + i * kp,
+                             scales + i * nb);
     }
   });
 }
@@ -352,21 +357,12 @@ Q8BlockMatrix Q8BlockQuantizeRows(const Tensor& t) {
   return q;
 }
 
-Q4BlockMatrix Q4BlockQuantizeRows(const Tensor& t) {
-  DLSYS_CHECK(t.rank() == 2, "Q4BlockQuantizeRows requires rank 2");
-  Q4BlockMatrix q;
-  q.rows = t.dim(0);
-  q.cols = t.dim(1);
-  q.padded_cols = PadToQuantBlock(q.cols);
-  const int64_t nb = q.padded_cols / kQuantBlock;
-  const int64_t row_bytes = q.padded_cols / 2;
-  q.values.assign(static_cast<size_t>(q.rows * row_bytes), 0);
-  q.scales.resize(static_cast<size_t>(q.rows * nb));
-  const float* x = t.data();
-  const int64_t cols = q.cols;
-  uint8_t* values = q.values.data();
-  float* scales = q.scales.data();
-  ParallelFor(0, q.rows, 4, [=](int64_t r0, int64_t r1) {
+void Q4BlockQuantizeRowsInto(const float* x, int64_t rows, int64_t cols,
+                             uint8_t* values, float* scales) {
+  const int64_t kp = PadToQuantBlock(cols);
+  const int64_t nb = kp / kQuantBlock;
+  const int64_t row_bytes = kp / 2;
+  ParallelFor(0, rows, 4, [=](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const float* row = x + i * cols;
       uint8_t* vrow = values + i * row_bytes;
@@ -401,6 +397,20 @@ Q4BlockMatrix Q4BlockQuantizeRows(const Tensor& t) {
       }
     }
   });
+}
+
+Q4BlockMatrix Q4BlockQuantizeRows(const Tensor& t) {
+  DLSYS_CHECK(t.rank() == 2, "Q4BlockQuantizeRows requires rank 2");
+  Q4BlockMatrix q;
+  q.rows = t.dim(0);
+  q.cols = t.dim(1);
+  q.padded_cols = PadToQuantBlock(q.cols);
+  const int64_t nb = q.padded_cols / kQuantBlock;
+  const int64_t row_bytes = q.padded_cols / 2;
+  q.values.assign(static_cast<size_t>(q.rows * row_bytes), 0);
+  q.scales.resize(static_cast<size_t>(q.rows * nb));
+  Q4BlockQuantizeRowsInto(t.data(), q.rows, q.cols, q.values.data(),
+                          q.scales.data());
   return q;
 }
 

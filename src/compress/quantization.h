@@ -168,8 +168,25 @@ Q8BlockMatrix Q8BlockQuantizeRows(const Tensor& t);
 void Q8BlockQuantizeRowsInto(const float* x, int64_t rows, int64_t cols,
                              int8_t* values, float* scales);
 
+/// \brief Single-row body of Q8BlockQuantizeRowsInto: quantizes \p cols
+/// floats into PadToQuantBlock(cols) codes and one scale per block.
+/// Serial — callers parallelize across rows. The engine's quant/dequant
+/// elimination pass calls this from a GEMM epilogue so adjacent quantized
+/// layers hand codes straight through; extracting the shared body is what
+/// keeps that path bit-identical to a standalone re-quantization.
+void Q8BlockQuantizeRowInto(const float* row, int64_t cols, int8_t* values,
+                            float* scales);
+
 /// \brief Symmetric per-block q4 quantization of a rank-2 tensor.
 Q4BlockMatrix Q4BlockQuantizeRows(const Tensor& t);
+
+/// \brief Allocation-free q4 block quantization into caller storage
+/// (\p values: rows * PadToQuantBlock(cols)/2 bytes, \p scales: rows *
+/// PadToQuantBlock(cols)/kQuantBlock floats). Pad elements encode q = 0.
+/// Row-parallel; the engine's unfolded int4 path re-derives weight codes
+/// with this inside the zero-allocation hot loop.
+void Q4BlockQuantizeRowsInto(const float* x, int64_t rows, int64_t cols,
+                             uint8_t* values, float* scales);
 
 }  // namespace dlsys
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <utility>
 
@@ -88,6 +89,13 @@ Status ValidateFleetConfig(const FleetConfig& config) {
     return Status::InvalidArgument(
         "canary.max_degraded_fraction must be in [0, 1]");
   }
+  if (!(config.canary.max_p99_regression >= 0.0)) {
+    return Status::InvalidArgument(
+        "canary.max_p99_regression must be >= 0 (0 disables)");
+  }
+  if (config.canary.min_p99_samples < 1) {
+    return Status::InvalidArgument("canary.min_p99_samples must be >= 1");
+  }
   if (!(config.tick_ms > 0.0)) {
     return Status::InvalidArgument("tick_ms must be positive");
   }
@@ -137,6 +145,7 @@ std::string FleetReportJson(const FleetReport& report) {
   AppendI(&out, "restarts", report.restarts);
   AppendI(&out, "rollouts", report.rollouts);
   AppendI(&out, "rollbacks", report.rollbacks);
+  AppendI(&out, "p99_rollbacks", report.p99_rollbacks);
   AppendI(&out, "scale_ups", report.scale_ups);
   AppendI(&out, "scale_downs", report.scale_downs);
   AppendD(&out, "p99_ms", report.p99_ms);
@@ -197,6 +206,10 @@ struct Fleet::Replica {
   // Canary accounting, reset at each rollout.
   int64_t offered_since_rollout = 0;
   int64_t degraded_since_rollout = 0;
+  /// Client-observed latencies of every delivery this replica served, in
+  /// delivery order; the canary verdict compares the p99 of the bake
+  /// suffix against the pre-rollout prefix.
+  std::vector<double> lat_history;
 };
 
 Fleet::Fleet(const FleetConfig& config) : config_(config) {}
@@ -328,6 +341,9 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
     int replica = -1;
     double started_ms = 0.0;
     double severity = 1.0;
+    /// lat_history length at rollout: entries before it are the baseline,
+    /// entries after it are the bake window.
+    size_t baseline_lat = 0;
   };
   CanaryState canary;
   std::vector<bool> event_started(scenario.events.size(), false);
@@ -348,6 +364,10 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
     if (d.record_latency) {
       w.lat.push_back(d.latency_ms);
       all_lat.push_back(d.latency_ms);
+      if (d.replica >= 0) {
+        replicas_[static_cast<size_t>(d.replica)]->lat_history.push_back(
+            d.latency_ms);
+      }
     }
   };
 
@@ -490,7 +510,8 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
             cr.server->SetCostScale(ev.severity);
             cr.offered_since_rollout = 0;
             cr.degraded_since_rollout = 0;
-            canary = CanaryState{true, c, T, ev.severity};
+            canary = CanaryState{true, c, T, ev.severity,
+                                 cr.lat_history.size()};
             ++report.rollouts;
             DLSYS_COUNTER_ADD("fleet.rollout", 1);
             DLSYS_TRACE_INSTANT_SIM("fleet.rollout", "fleet", T, c);
@@ -526,7 +547,35 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
               ? static_cast<double>(cr.degraded_since_rollout) /
                     static_cast<double>(cr.offered_since_rollout)
               : 0.0;
-      if (degraded > config_.canary.max_degraded_fraction) {
+      // Windowed p99 regression: a latency lemon whose responses still
+      // land inside the deadline produces zero degraded deliveries, so
+      // the bake also compares the canary's p99 during the bake against
+      // its own pre-rollout baseline.
+      bool lat_regressed = false;
+      if (config_.canary.max_p99_regression > 0.0) {
+        const size_t mins =
+            static_cast<size_t>(config_.canary.min_p99_samples);
+        const size_t split =
+            std::min(canary.baseline_lat, cr.lat_history.size());
+        std::vector<double> base(cr.lat_history.begin(),
+                                 cr.lat_history.begin() +
+                                     static_cast<ptrdiff_t>(split));
+        std::vector<double> bake(cr.lat_history.begin() +
+                                     static_cast<ptrdiff_t>(split),
+                                 cr.lat_history.end());
+        if (base.size() >= mins && bake.size() >= mins) {
+          const double p99_base = Percentile(&base, 0.99);
+          const double p99_bake = Percentile(&bake, 0.99);
+          lat_regressed =
+              p99_base > 0.0 &&
+              p99_bake > config_.canary.max_p99_regression * p99_base;
+        }
+      }
+      if (degraded > config_.canary.max_degraded_fraction || lat_regressed) {
+        if (lat_regressed) {
+          DLSYS_COUNTER_ADD("fleet.canary.p99_regression", 1);
+          if (config_.canary.auto_rollback) ++report.p99_rollbacks;
+        }
         if (config_.canary.auto_rollback) {
           Status pub = republish(canary.replica);
           if (!pub.ok()) return pub;

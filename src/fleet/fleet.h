@@ -71,6 +71,15 @@ struct CanaryConfig {
   /// The canary fails its bake when (missed + shed) / offered on the
   /// canary replica since rollout exceeds this.
   double max_degraded_fraction = 0.2;
+  /// The canary also fails its bake when the windowed p99 of its
+  /// client-observed latency during the bake exceeds this factor times
+  /// its pre-rollout p99 — catching latency lemons whose responses still
+  /// land inside the deadline (so max_degraded_fraction never fires).
+  /// 0 disables the check.
+  double max_p99_regression = 3.0;
+  /// Minimum latency samples in both the pre-rollout baseline and the
+  /// bake window before the p99 comparison is trusted.
+  int min_p99_samples = 30;
 };
 
 struct FleetConfig {
@@ -128,6 +137,8 @@ struct FleetReport {
   int64_t restarts = 0;
   int64_t rollouts = 0;
   int64_t rollbacks = 0;
+  int64_t p99_rollbacks = 0;  ///< rollbacks where the windowed-p99
+                              ///< regression check (co-)fired
   int64_t scale_ups = 0;
   int64_t scale_downs = 0;
   double p99_ms = 0.0;              ///< overall client-observed p99

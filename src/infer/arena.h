@@ -47,6 +47,19 @@ class TensorArena {
   /// \brief Reserves \p count int32 elements. Aborts after Commit().
   BufferId ReserveInt32s(int64_t count);
 
+  /// \brief Places \p count floats at an explicit 64-byte-aligned byte
+  /// offset with an inclusive live interval [live_begin, live_end] of
+  /// schedule steps — the liveness-packed layout the pass pipeline's
+  /// packer computes. Commit() cross-checks every placed pair: two
+  /// buffers whose live intervals overlap must not overlap in bytes
+  /// (DLSYS_CHECK abort otherwise), so a packer bug dies loudly at plan
+  /// time instead of corrupting activations at serve time.
+  BufferId PlaceFloats(int64_t offset_bytes, int64_t count, int live_begin,
+                       int live_end);
+  /// \brief Int8 variant of PlaceFloats().
+  BufferId PlaceInt8s(int64_t offset_bytes, int64_t count, int live_begin,
+                      int live_end);
+
   /// \brief Performs the single backing allocation. Call exactly once.
   void Commit();
 
@@ -75,9 +88,14 @@ class TensorArena {
     int64_t offset = 0;  ///< bytes from base, 64-byte aligned
     int64_t count = 0;   ///< elements
     ElemType type = ElemType::kFloat;
+    bool placed = false;    ///< true for PlaceFloats/PlaceInt8s slots
+    int live_begin = 0;     ///< inclusive live interval (placed slots)
+    int live_end = 0;
   };
 
   BufferId Reserve(int64_t count, int64_t elem_bytes, ElemType type);
+  BufferId Place(int64_t offset_bytes, int64_t count, int64_t elem_bytes,
+                 ElemType type, int live_begin, int live_end);
   void* Resolve(BufferId id, ElemType type) const;
   void FreeStorage();
 

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "src/nn/conv.h"
+#include "src/infer/graph.h"
+#include "src/infer/passes.h"
 #include "src/obs/cost.h"
+#include "src/obs/counters.h"
 #include "src/obs/trace.h"
-#include "src/nn/layers.h"
 #include "src/runtime/runtime.h"
 #include "src/tensor/int8_gemm.h"
 #include "src/tensor/ops.h"
@@ -16,14 +19,23 @@
 namespace dlsys {
 namespace {
 
+using infer::LiveBuffer;
+using infer::OpGraph;
+using infer::OpKind;
+using infer::OpNode;
+
 constexpr int64_t kEwGrain = 1 << 15;  ///< elementwise elements per range
 
-Status ShapeError(const std::string& layer, const Shape& got,
-                  const std::string& want) {
-  return Status::InvalidArgument("inference compile: layer '" + layer +
-                                 "' cannot consume activations of shape " +
-                                 ShapeToString(got) + " (expected " + want +
-                                 ")");
+/// Must match TensorArena's slot alignment (src/infer/arena.cc): the
+/// unpacked-size accounting below mirrors what Reserve would commit.
+constexpr int64_t kArenaAlign = 64;
+
+int64_t AlignUp(int64_t v) {
+  return (v + kArenaAlign - 1) / kArenaAlign * kArenaAlign;
+}
+
+bool IsQuantDense(OpKind kind) {
+  return kind == OpKind::kDenseInt8 || kind == OpKind::kDenseInt4;
 }
 
 }  // namespace
@@ -44,213 +56,362 @@ Result<InferenceEngine> InferenceEngine::Compile(const Sequential& net,
 
   InferenceEngine eng;
   eng.config_ = config;
-  eng.in_shape_ = example_shape;
-  eng.in_elems_ = NumElements(example_shape);
+  eng.passes_ = infer::ResolvePassConfig(config.passes);
 
-  Shape cur = example_shape;
-  int cur_buf = 0;
-  int64_t max_act = eng.in_elems_;
-  int64_t max_patch = 0;  // im2col scratch floats (per image)
-  int64_t max_qin = 0;    // widest 32-padded quantized Dense input
+  DLSYS_TRACE_SPAN("engine.compile", "compile");
+  auto lowered = OpGraph::Lower(net, example_shape, config.numeric);
+  if (!lowered.ok()) return lowered.status();
+  eng.graph_ = std::move(lowered).value();
+  eng.stats_ = infer::RunPasses(&eng.graph_, eng.passes_);
+  eng.PlanAndEmit();
 
-  for (int64_t li = 0; li < net.size(); ++li) {
-    const Layer* layer = net.layer(li);
-    Step step;
-
-    if (const auto* dense = dynamic_cast<const Dense*>(layer)) {
-      if (cur.size() != 1 || cur[0] != dense->in_features()) {
-        return ShapeError(layer->name(), cur,
-                          "[" + std::to_string(dense->in_features()) + "]");
-      }
-      step.in_elems = dense->in_features();
-      step.out_elems = dense->out_features();
-      step.bias = dense->bias();
-      if (config.numeric == EngineNumeric::kInt8) {
-        step.kind = Step::Kind::kDenseInt8;
-        // Weights quantize once here, per 32-element block of each output
-        // feature's row: rows of W^T, q8 codes.
-        step.qweight8 = Q8BlockQuantizeRows(Transpose(dense->weight()));
-        max_qin = std::max(max_qin, PadToQuantBlock(step.in_elems));
-      } else if (config.numeric == EngineNumeric::kInt4) {
-        step.kind = Step::Kind::kDenseInt4;
-        step.qweight4 = Q4BlockQuantizeRows(Transpose(dense->weight()));
-        max_qin = std::max(max_qin, PadToQuantBlock(step.in_elems));
-      } else {
-        step.kind = Step::Kind::kDense;
-        step.weight = dense->weight();
-      }
-      step.in_buf = cur_buf;
-      step.out_buf = 1 - cur_buf;
-      cur_buf = step.out_buf;
-      cur = {step.out_elems};
-    } else if (const auto* conv = dynamic_cast<const Conv2D*>(layer)) {
-      if (cur.size() != 3 || cur[0] != conv->in_channels()) {
-        return ShapeError(layer->name(), cur,
-                          "[" + std::to_string(conv->in_channels()) +
-                              ", H, W]");
-      }
-      step.kind = Step::Kind::kConv;
-      step.in_ch = conv->in_channels();
-      step.out_ch = conv->out_channels();
-      step.kernel = conv->kernel();
-      step.stride = conv->stride();
-      step.pad = conv->pad();
-      step.h = cur[1];
-      step.w = cur[2];
-      step.ho = conv->OutExtent(step.h);
-      step.wo = conv->OutExtent(step.w);
-      if (step.ho <= 0 || step.wo <= 0) {
-        return ShapeError(layer->name(), cur,
-                          "extents yielding a positive output plane");
-      }
-      step.weight = conv->weight();
-      step.bias = conv->bias();
-      step.in_elems = NumElements(cur);
-      step.out_elems = step.out_ch * step.ho * step.wo;
-      if (config.conv_algo == ConvAlgo::kIm2col) {
-        max_patch = std::max(max_patch, step.ho * step.wo * step.in_ch *
-                                            step.kernel * step.kernel);
-      }
-      step.in_buf = cur_buf;
-      step.out_buf = 1 - cur_buf;
-      cur_buf = step.out_buf;
-      cur = {step.out_ch, step.ho, step.wo};
-    } else if (const auto* pool = dynamic_cast<const MaxPool2D*>(layer)) {
-      if (cur.size() != 3) {
-        return ShapeError(layer->name(), cur, "[C, H, W]");
-      }
-      step.kind = Step::Kind::kPool;
-      step.window = pool->window();
-      step.in_ch = cur[0];
-      step.h = cur[1];
-      step.w = cur[2];
-      step.ho = step.h / step.window;
-      step.wo = step.w / step.window;
-      if (step.ho <= 0 || step.wo <= 0) {
-        return ShapeError(layer->name(), cur,
-                          "extents at least one pooling window wide");
-      }
-      step.in_elems = NumElements(cur);
-      step.out_elems = step.in_ch * step.ho * step.wo;
-      step.in_buf = cur_buf;
-      step.out_buf = 1 - cur_buf;
-      cur_buf = step.out_buf;
-      cur = {step.in_ch, step.ho, step.wo};
-    } else if (const auto* bn = dynamic_cast<const BatchNorm1d*>(layer)) {
-      if (cur.size() != 1 || cur[0] != bn->features()) {
-        return ShapeError(layer->name(), cur,
-                          "[" + std::to_string(bn->features()) + "]");
-      }
-      step.kind = Step::Kind::kBatchNorm;
-      step.in_elems = step.out_elems = bn->features();
-      const int64_t f = bn->features();
-      step.bn_gamma.resize(static_cast<size_t>(f));
-      step.bn_beta.resize(static_cast<size_t>(f));
-      step.bn_mean.resize(static_cast<size_t>(f));
-      step.bn_inv.resize(static_cast<size_t>(f));
-      for (int64_t j = 0; j < f; ++j) {
-        step.bn_gamma[static_cast<size_t>(j)] = bn->gamma()[j];
-        step.bn_beta[static_cast<size_t>(j)] = bn->beta()[j];
-        step.bn_mean[static_cast<size_t>(j)] = bn->running_mean()[j];
-        // The exact float value the training path recomputes per element.
-        step.bn_inv[static_cast<size_t>(j)] =
-            1.0f / std::sqrt(bn->running_var()[j] + bn->epsilon());
-      }
-      step.in_buf = step.out_buf = cur_buf;
-    } else if (dynamic_cast<const ReLU*>(layer) != nullptr) {
-      step.kind = Step::Kind::kRelu;
-      step.in_elems = step.out_elems = NumElements(cur);
-      step.in_buf = step.out_buf = cur_buf;
-    } else if (dynamic_cast<const Sigmoid*>(layer) != nullptr) {
-      step.kind = Step::Kind::kSigmoid;
-      step.in_elems = step.out_elems = NumElements(cur);
-      step.in_buf = step.out_buf = cur_buf;
-    } else if (dynamic_cast<const Tanh*>(layer) != nullptr) {
-      step.kind = Step::Kind::kTanh;
-      step.in_elems = step.out_elems = NumElements(cur);
-      step.in_buf = step.out_buf = cur_buf;
-    } else if (dynamic_cast<const Flatten*>(layer) != nullptr) {
-      cur = {NumElements(cur)};  // row-major reshape: metadata only
-      continue;
-    } else if (dynamic_cast<const Dropout*>(layer) != nullptr) {
-      continue;  // identity at inference
-    } else {
-      return Status::Unimplemented(
-          "inference compile: unsupported layer '" + layer->name() + "'");
-    }
-
-    // Fix the step's trace/cost plan now so the hot path only scales by
-    // the batch: FLOPs from the layer's arithmetic, bytes from the
-    // activations it reads and writes plus its resident parameters.
-    int64_t param_elems =
-        step.weight.size() + step.bias.size() +
-        (step.qweight8.PackedBytes() + step.qweight4.PackedBytes() + 3) / 4;
-    switch (step.kind) {
-      case Step::Kind::kDense:
-        step.trace_name = "engine.dense";
-        step.flops_per_example = 2 * step.in_elems * step.out_elems;
-        break;
-      case Step::Kind::kDenseInt8:
-        step.trace_name = "engine.dense_int8";
-        step.flops_per_example = 2 * step.in_elems * step.out_elems;
-        break;
-      case Step::Kind::kDenseInt4:
-        step.trace_name = "engine.dense_int4";
-        step.flops_per_example = 2 * step.in_elems * step.out_elems;
-        break;
-      case Step::Kind::kConv:
-        step.trace_name = "engine.conv";
-        step.flops_per_example =
-            2 * step.out_elems * step.in_ch * step.kernel * step.kernel;
-        break;
-      case Step::Kind::kPool:
-        step.trace_name = "engine.pool";
-        step.flops_per_example = step.out_elems * step.window * step.window;
-        break;
-      case Step::Kind::kRelu:
-        step.trace_name = "engine.relu";
-        step.flops_per_example = step.in_elems;
-        break;
-      case Step::Kind::kSigmoid:
-        step.trace_name = "engine.sigmoid";
-        step.flops_per_example = 4 * step.in_elems;
-        break;
-      case Step::Kind::kTanh:
-        step.trace_name = "engine.tanh";
-        step.flops_per_example = 4 * step.in_elems;
-        break;
-      case Step::Kind::kBatchNorm:
-        step.trace_name = "engine.batchnorm";
-        step.flops_per_example = 4 * step.in_elems;
-        param_elems += 4 * step.in_elems;
-        break;
-    }
-    step.bytes_per_example =
-        4 * (step.in_elems + step.out_elems + param_elems);
-    max_act = std::max(max_act, std::max(step.in_elems, step.out_elems));
-    eng.steps_.push_back(std::move(step));
-  }
-
-  eng.out_shape_ = cur;
-  eng.out_elems_ = NumElements(cur);
-  eng.final_buf_ = cur_buf;
-
-  // All workspace is reserved here, once, and never grows afterwards: the
-  // arena aborts on any later Reserve, which is the in-place reuse
-  // guarantee tests exercise deliberately.
-  eng.act_[0] = eng.arena_.ReserveFloats(max_act * config.max_batch);
-  eng.act_[1] = eng.arena_.ReserveFloats(max_act * config.max_batch);
-  if (max_patch > 0) {
-    eng.im2col_ = eng.arena_.ReserveFloats(max_patch);
-  }
-  if (max_qin > 0) {
-    // max_qin is already 32-padded; one scale per block per example row.
-    eng.q_vals_ = eng.arena_.ReserveInt8s(max_qin * config.max_batch);
-    eng.q_scales_ = eng.arena_.ReserveFloats((max_qin / kQuantBlock) *
-                                             config.max_batch);
-  }
-  eng.arena_.Commit();
+  DLSYS_GAUGE_SET("infer.workspace_bytes", eng.arena_.total_bytes());
+  DLSYS_GAUGE_SET("infer.graph.nodes", eng.graph_.live_nodes());
+  DLSYS_GAUGE_SET("infer.graph.fused", eng.stats_.fused);
   return eng;
+}
+
+void InferenceEngine::PlanAndEmit() {
+  const OpGraph& g = graph_;
+  const int64_t kMaxB = config_.max_batch;
+  in_shape_ = g.in_shape;
+  out_shape_ = g.out_shape;
+  in_elems_ = NumElements(g.in_shape);
+  out_elems_ = NumElements(g.out_shape);
+
+  // ---- schedule order (live nodes, lowering order) --------------------
+  std::vector<int> order;
+  std::vector<int> node_step(g.nodes.size(), -1);
+  for (size_t i = 0; i < g.nodes.size(); ++i) {
+    if (g.nodes[i].dead) continue;
+    node_step[i] = static_cast<int>(order.size());
+    order.push_back(static_cast<int>(i));
+  }
+  const int num_steps = static_cast<int>(order.size());
+
+  // ---- activation alias groups + ping-pong slots ----------------------
+  //
+  // In-place (elementwise) nodes write into their input's storage, so
+  // their input and output tensors share one buffer: an alias group. The
+  // group is also what carries a ping-pong slot (0/1) for the pack-off
+  // layout, and a live interval [first def, last use] for the packed one.
+  const size_t num_tensors = g.tensors.size();
+  std::vector<int> group(num_tensors, -1);
+  std::vector<int> slot(num_tensors, -1);
+  int num_groups = 0;
+  group[static_cast<size_t>(g.input)] = num_groups++;
+  slot[static_cast<size_t>(g.input)] = 0;
+  for (const int ni : order) {
+    const OpNode& node = g.nodes[static_cast<size_t>(ni)];
+    const size_t tin = static_cast<size_t>(node.input);
+    const size_t tout = static_cast<size_t>(node.output);
+    if (node.in_place) {
+      group[tout] = group[tin];
+      slot[tout] = slot[tin];
+    } else {
+      group[tout] = num_groups++;
+      slot[tout] = 1 - slot[tin];
+    }
+  }
+
+  std::vector<int64_t> group_elems(static_cast<size_t>(num_groups), 0);
+  std::vector<int> group_begin(static_cast<size_t>(num_groups), num_steps);
+  std::vector<int> group_end(static_cast<size_t>(num_groups), 0);
+  for (size_t t = 0; t < num_tensors; ++t) {
+    if (group[t] < 0) continue;  // orphaned by a rewrite
+    const size_t gi = static_cast<size_t>(group[t]);
+    group_elems[gi] = std::max(group_elems[gi], g.tensors[t].elems);
+  }
+  group_begin[static_cast<size_t>(group[static_cast<size_t>(g.input)])] = 0;
+  for (int p = 0; p < num_steps; ++p) {
+    const OpNode& node = g.nodes[static_cast<size_t>(order[static_cast<size_t>(p)])];
+    const size_t gin = static_cast<size_t>(group[static_cast<size_t>(node.input)]);
+    const size_t gout = static_cast<size_t>(group[static_cast<size_t>(node.output)]);
+    group_begin[gout] = std::min(group_begin[gout], p);
+    group_end[gin] = std::max(group_end[gin], p);
+    group_end[gout] = std::max(group_end[gout], p);
+  }
+  // The output group survives past the last step for the copy-out.
+  const size_t out_group =
+      static_cast<size_t>(group[static_cast<size_t>(g.output)]);
+  group_end[out_group] = num_steps;
+  group_begin[out_group] = std::min(group_begin[out_group], num_steps);
+
+  // ---- steps + scratch requests ---------------------------------------
+  //
+  // Scratch buffers (im2col patches, activation codes, fold-off weight
+  // prep) are requested with live intervals; how they are satisfied
+  // depends on the pack pass. Fields name the Step member to bind.
+  enum ScratchField {
+    kIm2col,
+    kQinVals,
+    kQinScales,
+    kQoutVals,
+    kQoutScales,
+    kWt,
+    kWVals,
+    kWScales,
+  };
+  struct ScratchReq {
+    size_t step;
+    ScratchField field;
+    bool floats;
+    int64_t count;
+    int begin;
+    int end;
+  };
+  std::vector<ScratchReq> scratch;
+
+  steps_.clear();
+  steps_.reserve(static_cast<size_t>(num_steps));
+  for (int p = 0; p < num_steps; ++p) {
+    const int ni = order[static_cast<size_t>(p)];
+    const OpNode& node = g.nodes[static_cast<size_t>(ni)];
+    Step step;
+    step.node = ni;
+
+    if (node.kind == OpKind::kConv && config_.conv_algo == ConvAlgo::kIm2col) {
+      const int64_t patch =
+          node.ho * node.wo * node.in_ch * node.kernel * node.kernel;
+      scratch.push_back(
+          {static_cast<size_t>(p), kIm2col, true, patch, p, p});
+    }
+    if (IsQuantDense(node.kind)) {
+      const int64_t kp_in = PadToQuantBlock(node.in_elems);
+      if (!node.quant_in) {
+        scratch.push_back({static_cast<size_t>(p), kQinVals, false,
+                           kp_in * kMaxB, p, p});
+        scratch.push_back({static_cast<size_t>(p), kQinScales, true,
+                           (kp_in / kQuantBlock) * kMaxB, p, p});
+      }
+      if (node.quant_out) {
+        // Live until the (sole) consumer's step reads the codes.
+        const int consumer =
+            g.tensors[static_cast<size_t>(node.output)].consumers[0];
+        const int cpos = node_step[static_cast<size_t>(consumer)];
+        const int64_t kp_out = PadToQuantBlock(node.out_elems);
+        scratch.push_back({static_cast<size_t>(p), kQoutVals, false,
+                           kp_out * kMaxB, p, cpos});
+        scratch.push_back({static_cast<size_t>(p), kQoutScales, true,
+                           (kp_out / kQuantBlock) * kMaxB, p, cpos});
+      }
+      if (!node.folded) {
+        // Constant folding off: the step re-derives transposed block
+        // codes from the fp32 weight on every call, allocation-free.
+        scratch.push_back({static_cast<size_t>(p), kWt, true,
+                           node.in_elems * node.out_elems, p, p});
+        const int64_t code_bytes =
+            node.kind == OpKind::kDenseInt8
+                ? node.out_elems * kp_in
+                : node.out_elems * (kp_in / 2);  // nibble-packed q4
+        scratch.push_back({static_cast<size_t>(p), kWVals, false, code_bytes,
+                           p, p});
+        scratch.push_back({static_cast<size_t>(p), kWScales, true,
+                           node.out_elems * (kp_in / kQuantBlock), p, p});
+      }
+    }
+
+    // Fixed trace/cost plan: FLOPs from the node's arithmetic, bytes from
+    // the activations it reads/writes plus resident parameters, scaled by
+    // the batch at run time.
+    int64_t param_elems =
+        node.weight.size() + node.bias.size() +
+        (node.qweight8.PackedBytes() + node.qweight4.PackedBytes() + 3) / 4;
+    switch (node.kind) {
+      case OpKind::kDense:
+        step.trace_name =
+            node.relu_fused ? "engine.dense_relu" : "engine.dense";
+        step.flops_per_example = 2 * node.in_elems * node.out_elems;
+        break;
+      case OpKind::kDenseInt8:
+        step.trace_name =
+            node.relu_fused ? "engine.dense_int8_relu" : "engine.dense_int8";
+        step.flops_per_example = 2 * node.in_elems * node.out_elems;
+        break;
+      case OpKind::kDenseInt4:
+        step.trace_name =
+            node.relu_fused ? "engine.dense_int4_relu" : "engine.dense_int4";
+        step.flops_per_example = 2 * node.in_elems * node.out_elems;
+        break;
+      case OpKind::kConv:
+        step.trace_name =
+            node.relu_fused ? "engine.conv_relu" : "engine.conv";
+        step.flops_per_example =
+            2 * node.out_elems * node.in_ch * node.kernel * node.kernel;
+        break;
+      case OpKind::kPool:
+        step.trace_name = "engine.pool";
+        step.flops_per_example = node.out_elems * node.window * node.window;
+        break;
+      case OpKind::kRelu:
+        step.trace_name = "engine.relu";
+        step.flops_per_example = node.in_elems;
+        break;
+      case OpKind::kSigmoid:
+        step.trace_name = "engine.sigmoid";
+        step.flops_per_example = 4 * node.in_elems;
+        break;
+      case OpKind::kTanh:
+        step.trace_name = "engine.tanh";
+        step.flops_per_example = 4 * node.in_elems;
+        break;
+      case OpKind::kBatchNorm:
+        step.trace_name = "engine.batchnorm";
+        step.flops_per_example = 4 * node.in_elems;
+        param_elems += 4 * node.in_elems;
+        break;
+    }
+    if (node.relu_fused) step.flops_per_example += node.out_elems;
+    step.bytes_per_example =
+        4 * (node.in_elems + node.out_elems + param_elems);
+    steps_.push_back(step);
+  }
+
+  // ---- shared (ping-pong) sizing --------------------------------------
+  //
+  // The pack-off layout of this exact schedule: two max-sized activation
+  // buffers plus one shared buffer per scratch family. Computed always so
+  // unpacked_workspace_bytes() reports the before/after pair.
+  int64_t max_act = in_elems_;
+  for (int gi = 0; gi < num_groups; ++gi) {
+    max_act = std::max(max_act, group_elems[static_cast<size_t>(gi)]);
+  }
+  int64_t shared_max[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (const ScratchReq& req : scratch) {
+    // qout shares the activation-code buffer with qin in the ping-pong
+    // layout (the ParallelFor barrier between a GEMM and its epilogue
+    // makes the overwrite safe).
+    const int fam = req.field == kQoutVals     ? kQinVals
+                    : req.field == kQoutScales ? kQinScales
+                                               : req.field;
+    shared_max[fam] = std::max(shared_max[fam], req.count);
+  }
+  unpacked_bytes_ = 2 * AlignUp(4 * max_act * kMaxB);
+  for (int fam = 0; fam < 8; ++fam) {
+    if (shared_max[fam] == 0) continue;
+    const bool floats = fam == kIm2col || fam == kQinScales ||
+                        fam == kQoutScales || fam == kWt || fam == kWScales;
+    unpacked_bytes_ += AlignUp(shared_max[fam] * (floats ? 4 : 1));
+  }
+  unpacked_bytes_ = std::max<int64_t>(unpacked_bytes_, kArenaAlign);
+
+  auto bind = [&](Step* step, ScratchField field, TensorArena::BufferId id) {
+    switch (field) {
+      case kIm2col:
+        step->im2col = id;
+        return;
+      case kQinVals:
+        step->qin_vals = id;
+        return;
+      case kQinScales:
+        step->qin_scales = id;
+        return;
+      case kQoutVals:
+        step->qout_vals = id;
+        return;
+      case kQoutScales:
+        step->qout_scales = id;
+        return;
+      case kWt:
+        step->wt = id;
+        return;
+      case kWVals:
+        step->wvals = id;
+        return;
+      case kWScales:
+        step->wscales = id;
+    }
+  };
+
+  std::vector<TensorArena::BufferId> group_buf(
+      static_cast<size_t>(num_groups), -1);
+  if (passes_.pack) {
+    // Liveness-packed layout: first-fit offsets over per-buffer live
+    // intervals; disjoint lifetimes share bytes. Commit() cross-checks
+    // every placed pair, so a packer bug aborts at plan time.
+    DLSYS_TRACE_SPAN("infer.pass.pack", "compile");
+    std::vector<LiveBuffer> buffers;
+    buffers.reserve(static_cast<size_t>(num_groups) + scratch.size());
+    for (int gi = 0; gi < num_groups; ++gi) {
+      buffers.push_back(
+          LiveBuffer{4 * group_elems[static_cast<size_t>(gi)] * kMaxB,
+                     group_begin[static_cast<size_t>(gi)],
+                     group_end[static_cast<size_t>(gi)]});
+    }
+    for (const ScratchReq& req : scratch) {
+      buffers.push_back(LiveBuffer{req.count * (req.floats ? 4 : 1),
+                                   req.begin, req.end});
+    }
+    std::vector<int64_t> offsets;
+    const int64_t packed_bytes = infer::PackLiveRanges(buffers, &offsets);
+    DLSYS_COUNTER_ADD("infer.pass.pack.buffers",
+                      static_cast<int64_t>(buffers.size()));
+    (void)packed_bytes;  // the arena recomputes the same total from places
+    for (int gi = 0; gi < num_groups; ++gi) {
+      group_buf[static_cast<size_t>(gi)] = arena_.PlaceFloats(
+          offsets[static_cast<size_t>(gi)],
+          group_elems[static_cast<size_t>(gi)] * kMaxB,
+          group_begin[static_cast<size_t>(gi)],
+          group_end[static_cast<size_t>(gi)]);
+    }
+    for (size_t s = 0; s < scratch.size(); ++s) {
+      const ScratchReq& req = scratch[s];
+      const int64_t off = offsets[static_cast<size_t>(num_groups) + s];
+      const TensorArena::BufferId id =
+          req.floats
+              ? arena_.PlaceFloats(off, req.count, req.begin, req.end)
+              : arena_.PlaceInt8s(off, req.count, req.begin, req.end);
+      bind(&steps_[req.step], req.field, id);
+    }
+  } else {
+    // Ping-pong layout: the pre-pass-pipeline plan. Non-in-place steps
+    // flip between two max-sized activation buffers; scratch families
+    // share one max-sized buffer each.
+    const TensorArena::BufferId act0 = arena_.ReserveFloats(max_act * kMaxB);
+    const TensorArena::BufferId act1 = arena_.ReserveFloats(max_act * kMaxB);
+    for (size_t t = 0; t < num_tensors; ++t) {
+      if (group[t] < 0) continue;
+      group_buf[static_cast<size_t>(group[t])] = slot[t] == 0 ? act0 : act1;
+    }
+    TensorArena::BufferId shared[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    for (int fam = 0; fam < 8; ++fam) {
+      if (shared_max[fam] == 0) continue;
+      const bool floats = fam == kIm2col || fam == kQinScales ||
+                          fam == kQoutScales || fam == kWt || fam == kWScales;
+      shared[fam] = floats ? arena_.ReserveFloats(shared_max[fam])
+                           : arena_.ReserveInt8s(shared_max[fam]);
+    }
+    for (const ScratchReq& req : scratch) {
+      const int fam = req.field == kQoutVals     ? kQinVals
+                      : req.field == kQoutScales ? kQinScales
+                                                 : req.field;
+      bind(&steps_[req.step], req.field, shared[fam]);
+    }
+  }
+
+  // Bind activation buffers, then wire quant_in steps to their producer's
+  // qout codes (identical ids in the ping-pong layout; distinct placed
+  // buffers in the packed one).
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const OpNode& node = g.nodes[static_cast<size_t>(steps_[s].node)];
+    steps_[s].in =
+        group_buf[static_cast<size_t>(group[static_cast<size_t>(node.input)])];
+    steps_[s].out = group_buf[static_cast<size_t>(
+        group[static_cast<size_t>(node.output)])];
+    if (node.quant_in) {
+      const int producer =
+          g.tensors[static_cast<size_t>(node.input)].producer;
+      const Step& src = steps_[static_cast<size_t>(
+          node_step[static_cast<size_t>(producer)])];
+      steps_[s].qin_vals = src.qout_vals;
+      steps_[s].qin_scales = src.qout_scales;
+    }
+  }
+
+  input_buf_ =
+      group_buf[static_cast<size_t>(group[static_cast<size_t>(g.input)])];
+  output_buf_ = group_buf[out_group];
+  arena_.Commit();
 }
 
 Result<Tensor> InferenceEngine::Predict(const Tensor& batch) {
@@ -291,26 +452,34 @@ Status InferenceEngine::PredictInto(const float* batch, int64_t batch_size,
   DLSYS_PHASE_SCOPE(obs::Phase::kServe);
   DLSYS_TRACE_SPAN_COST("engine.predict", "serve", 0,
                         4 * batch_size * (in_elems_ + out_elems_));
-  std::copy(batch, batch + batch_size * in_elems_, arena_.Floats(act_[0]));
+  std::copy(batch, batch + batch_size * in_elems_, arena_.Floats(input_buf_));
   for (const Step& step : steps_) {
     DLSYS_TRACE_SPAN_COST(step.trace_name, "serve",
                           batch_size * step.flops_per_example,
                           batch_size * step.bytes_per_example);
-    RunStep(step, batch_size, arena_.Floats(act_[step.in_buf]),
-            arena_.Floats(act_[step.out_buf]));
+    RunStep(step, batch_size);
   }
-  const float* result = arena_.Floats(act_[final_buf_]);
+  const float* result = arena_.Floats(output_buf_);
   std::copy(result, result + batch_size * out_elems_, out);
   return Status::OK();
 }
 
-void InferenceEngine::RunStep(const Step& step, int64_t batch,
-                              const float* in, float* out) const {
-  switch (step.kind) {
-    case Step::Kind::kDense: {
-      const int64_t in_f = step.in_elems, out_f = step.out_elems;
-      MatMulInto(in, step.weight.data(), out, batch, in_f, out_f);
-      const float* pb = step.bias.data();
+void InferenceEngine::RunStep(const Step& step, int64_t batch) const {
+  const OpNode& node = graph_.nodes[static_cast<size_t>(step.node)];
+  const float* in = arena_.Floats(step.in);
+  float* out = arena_.Floats(step.out);
+  switch (node.kind) {
+    case OpKind::kDense: {
+      const int64_t in_f = node.in_elems, out_f = node.out_elems;
+      const float* pb = node.bias.data();
+      if (node.epilogue_fused) {
+        // Fusion pass on: bias (+ absorbed relu) runs in the GEMM range
+        // kernel's epilogue — same float ops, fewer output passes.
+        MatMulBiasActInto(in, node.weight.data(), pb, out, batch, in_f,
+                          out_f, node.relu_fused);
+        return;
+      }
+      MatMulInto(in, node.weight.data(), out, batch, in_f, out_f);
       ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
         for (int64_t i = r0; i < r1; ++i) {
           float* row = out + i * out_f;
@@ -319,46 +488,109 @@ void InferenceEngine::RunStep(const Step& step, int64_t batch,
       });
       return;
     }
-    case Step::Kind::kDenseInt8: {
-      const int64_t in_f = step.in_elems, out_f = step.out_elems;
-      const int64_t kp = step.qweight8.padded_cols;
-      int8_t* qv = arena_.Int8s(q_vals_);
-      float* qs = arena_.Floats(q_scales_);
-      Q8BlockQuantizeRowsInto(in, batch, in_f, qv, qs);
-      // Dequantization is fused into the GEMM (fp32 out); only the bias
-      // remains for the epilogue.
-      Q8BlockGemmTransBInto(qv, qs, step.qweight8.values.data(),
-                            step.qweight8.scales.data(), out, batch, kp,
-                            out_f);
-      const float* pb = step.bias.data();
+    case OpKind::kDenseInt8:
+    case OpKind::kDenseInt4: {
+      const int64_t in_f = node.in_elems, out_f = node.out_elems;
+      const int64_t kp = PadToQuantBlock(in_f);
+      // Weight codes: folded at compile time, or re-derived here from the
+      // fp32 weight (transpose + block-quantize into arena scratch —
+      // identical codes, recomputed every call).
+      const int8_t* wv8 = nullptr;
+      const uint8_t* wv4 = nullptr;
+      const float* ws = nullptr;
+      if (node.folded) {
+        if (node.kind == OpKind::kDenseInt8) {
+          wv8 = node.qweight8.values.data();
+          ws = node.qweight8.scales.data();
+        } else {
+          wv4 = node.qweight4.values.data();
+          ws = node.qweight4.scales.data();
+        }
+      } else {
+        const float* w = node.weight.data();
+        float* wt = arena_.Floats(step.wt);
+        ParallelFor(0, out_f, 8, [=](int64_t o0, int64_t o1) {
+          for (int64_t o = o0; o < o1; ++o) {
+            float* trow = wt + o * in_f;
+            for (int64_t i = 0; i < in_f; ++i) trow[i] = w[i * out_f + o];
+          }
+        });
+        float* wscales = arena_.Floats(step.wscales);
+        if (node.kind == OpKind::kDenseInt8) {
+          int8_t* wvals = arena_.Int8s(step.wvals);
+          Q8BlockQuantizeRowsInto(wt, out_f, in_f, wvals, wscales);
+          wv8 = wvals;
+        } else {
+          uint8_t* wvals = reinterpret_cast<uint8_t*>(arena_.Int8s(step.wvals));
+          Q4BlockQuantizeRowsInto(wt, out_f, in_f, wvals, wscales);
+          wv4 = wvals;
+        }
+        ws = wscales;
+      }
+      // Input codes: the quant-elimination pass hands the producer's q8
+      // codes straight through; otherwise quantize the fp32 batch here.
+      const int8_t* qv;
+      const float* qs;
+      if (node.quant_in) {
+        qv = arena_.Int8s(step.qin_vals);
+        qs = arena_.Floats(step.qin_scales);
+      } else {
+        int8_t* qv_mut = arena_.Int8s(step.qin_vals);
+        float* qs_mut = arena_.Floats(step.qin_scales);
+        Q8BlockQuantizeRowsInto(in, batch, in_f, qv_mut, qs_mut);
+        qv = qv_mut;
+        qs = qs_mut;
+      }
+      if (node.kind == OpKind::kDenseInt8) {
+        Q8BlockGemmTransBInto(qv, qs, wv8, ws, out, batch, kp, out_f);
+      } else {
+        Q4BlockGemmTransBInto(qv, qs, wv4, ws, out, batch, kp, out_f);
+      }
+      // Epilogue: bias, absorbed relu, and (under quant elimination) the
+      // row quantization the consumer would otherwise redo. The GEMM's
+      // ParallelFor join above guarantees the input codes are fully
+      // consumed before a shared code buffer is overwritten.
+      const float* pb = node.bias.data();
+      const bool relu = node.relu_fused;
+      int8_t* oqv =
+          node.quant_out ? arena_.Int8s(step.qout_vals) : nullptr;
+      float* oqs =
+          node.quant_out ? arena_.Floats(step.qout_scales) : nullptr;
+      const int64_t kp_out = PadToQuantBlock(out_f);
+      if (node.epilogue_fused) {
+        ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            float* row = out + i * out_f;
+            for (int64_t j = 0; j < out_f; ++j) {
+              const float v = row[j] + pb[j];
+              row[j] = relu ? (v > 0.0f ? v : 0.0f) : v;
+            }
+            if (oqv != nullptr) {
+              Q8BlockQuantizeRowInto(row, out_f, oqv + i * kp_out,
+                                     oqs + i * (kp_out / kQuantBlock));
+            }
+          }
+        });
+        return;
+      }
       ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
         for (int64_t i = r0; i < r1; ++i) {
           float* row = out + i * out_f;
           for (int64_t j = 0; j < out_f; ++j) row[j] += pb[j];
         }
       });
+      if (oqv != nullptr) {
+        ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            Q8BlockQuantizeRowInto(out + i * out_f, out_f, oqv + i * kp_out,
+                                   oqs + i * (kp_out / kQuantBlock));
+          }
+        });
+      }
       return;
     }
-    case Step::Kind::kDenseInt4: {
-      const int64_t in_f = step.in_elems, out_f = step.out_elems;
-      const int64_t kp = step.qweight4.padded_cols;
-      int8_t* qv = arena_.Int8s(q_vals_);
-      float* qs = arena_.Floats(q_scales_);
-      Q8BlockQuantizeRowsInto(in, batch, in_f, qv, qs);
-      Q4BlockGemmTransBInto(qv, qs, step.qweight4.values.data(),
-                            step.qweight4.scales.data(), out, batch, kp,
-                            out_f);
-      const float* pb = step.bias.data();
-      ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          float* row = out + i * out_f;
-          for (int64_t j = 0; j < out_f; ++j) row[j] += pb[j];
-        }
-      });
-      return;
-    }
-    case Step::Kind::kRelu: {
-      ParallelFor(0, batch * step.in_elems, kEwGrain,
+    case OpKind::kRelu: {
+      ParallelFor(0, batch * node.in_elems, kEwGrain,
                   [=](int64_t lo, int64_t hi) {
                     for (int64_t i = lo; i < hi; ++i) {
                       out[i] = in[i] > 0.0f ? in[i] : 0.0f;
@@ -366,8 +598,8 @@ void InferenceEngine::RunStep(const Step& step, int64_t batch,
                   });
       return;
     }
-    case Step::Kind::kSigmoid: {
-      ParallelFor(0, batch * step.in_elems, kEwGrain,
+    case OpKind::kSigmoid: {
+      ParallelFor(0, batch * node.in_elems, kEwGrain,
                   [=](int64_t lo, int64_t hi) {
                     for (int64_t i = lo; i < hi; ++i) {
                       out[i] = 1.0f / (1.0f + std::exp(-in[i]));
@@ -375,8 +607,8 @@ void InferenceEngine::RunStep(const Step& step, int64_t batch,
                   });
       return;
     }
-    case Step::Kind::kTanh: {
-      ParallelFor(0, batch * step.in_elems, kEwGrain,
+    case OpKind::kTanh: {
+      ParallelFor(0, batch * node.in_elems, kEwGrain,
                   [=](int64_t lo, int64_t hi) {
                     for (int64_t i = lo; i < hi; ++i) {
                       out[i] = std::tanh(in[i]);
@@ -384,26 +616,44 @@ void InferenceEngine::RunStep(const Step& step, int64_t batch,
                   });
       return;
     }
-    case Step::Kind::kBatchNorm: {
-      const int64_t f = step.in_elems;
-      const float* g = step.bn_gamma.data();
-      const float* bt = step.bn_beta.data();
-      const float* mu = step.bn_mean.data();
-      const float* inv = step.bn_inv.data();
+    case OpKind::kBatchNorm: {
+      const int64_t f = node.in_elems;
+      const float* gamma = node.bn_gamma.data();
+      const float* bt = node.bn_beta.data();
+      const float* mu = node.bn_mean.data();
+      if (node.folded) {
+        const float* inv = node.bn_inv.data();
+        ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const float* xrow = in + i * f;
+            float* yrow = out + i * f;
+            for (int64_t j = 0; j < f; ++j) {
+              yrow[j] = gamma[j] * (xrow[j] - mu[j]) * inv[j] + bt[j];
+            }
+          }
+        });
+        return;
+      }
+      // Folding off: recompute 1/sqrt(var+eps) per element — the exact
+      // float the folded path precomputed, so results are identical.
+      const float* var = node.bn_var.data();
+      const float eps = node.bn_eps;
       ParallelFor(0, batch, 8, [=](int64_t r0, int64_t r1) {
         for (int64_t i = r0; i < r1; ++i) {
           const float* xrow = in + i * f;
           float* yrow = out + i * f;
           for (int64_t j = 0; j < f; ++j) {
-            yrow[j] = g[j] * (xrow[j] - mu[j]) * inv[j] + bt[j];
+            yrow[j] = gamma[j] * (xrow[j] - mu[j]) *
+                          (1.0f / std::sqrt(var[j] + eps)) +
+                      bt[j];
           }
         }
       });
       return;
     }
-    case Step::Kind::kPool: {
-      const int64_t c = step.in_ch, h = step.h, w = step.w;
-      const int64_t ho = step.ho, wo = step.wo, window = step.window;
+    case OpKind::kPool: {
+      const int64_t c = node.in_ch, h = node.h, w = node.w;
+      const int64_t ho = node.ho, wo = node.wo, window = node.window;
       ParallelFor(0, batch * c, 1, [=](int64_t t0, int64_t t1) {
         for (int64_t t = t0; t < t1; ++t) {
           const float* xplane = in + t * h * w;
@@ -425,17 +675,18 @@ void InferenceEngine::RunStep(const Step& step, int64_t batch,
       });
       return;
     }
-    case Step::Kind::kConv: {
-      const int64_t ic = step.in_ch, oc = step.out_ch;
-      const int64_t kernel = step.kernel, stride = step.stride,
-                    pad = step.pad;
-      const int64_t h = step.h, w = step.w, ho = step.ho, wo = step.wo;
-      const float* pw = step.weight.data();
-      const float* pb = step.bias.data();
+    case OpKind::kConv: {
+      const int64_t ic = node.in_ch, oc = node.out_ch;
+      const int64_t kernel = node.kernel, stride = node.stride,
+                    pad = node.pad;
+      const int64_t h = node.h, w = node.w, ho = node.ho, wo = node.wo;
+      const float* pw = node.weight.data();
+      const float* pb = node.bias.data();
+      const bool relu = node.relu_fused;
       if (config_.conv_algo == ConvAlgo::kIm2col) {
         const int64_t kk = ic * kernel * kernel;  // patch width
         const int64_t positions = ho * wo;
-        float* patches = arena_.Floats(im2col_);
+        float* patches = arena_.Floats(step.im2col);
         for (int64_t img = 0; img < batch; ++img) {
           const float* xin = in + img * ic * h * w;
           // Patch layout: row = output position, columns in (ic, ky, kx)
@@ -462,8 +713,15 @@ void InferenceEngine::RunStep(const Step& step, int64_t batch,
               }
             }
           });
-          ConvGemmBiasInto(pw, patches, pb, out + img * oc * positions, oc,
-                           kk, positions);
+          if (relu) {
+            // Fusion pass on: the absorbed ReLU runs in the conv GEMM's
+            // column epilogue instead of as a separate output pass.
+            ConvGemmBiasActInto(pw, patches, pb, out + img * oc * positions,
+                                oc, kk, positions, true);
+          } else {
+            ConvGemmBiasInto(pw, patches, pb, out + img * oc * positions,
+                             oc, kk, positions);
+          }
         }
       } else {
         // Direct reference: the plain clipped loop nest, one worker per
@@ -495,7 +753,8 @@ void InferenceEngine::RunStep(const Step& step, int64_t batch,
                     }
                   }
                 }
-                yplane[oy * wo + ox] = static_cast<float>(acc);
+                const float v = static_cast<float>(acc);
+                yplane[oy * wo + ox] = relu ? (v > 0.0f ? v : 0.0f) : v;
               }
             }
           }

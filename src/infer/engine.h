@@ -7,65 +7,68 @@
 #include "src/compress/quantization.h"
 #include "src/core/status.h"
 #include "src/infer/arena.h"
+#include "src/infer/graph.h"
+#include "src/infer/passes.h"
 #include "src/nn/sequential.h"
 #include "src/tensor/tensor.h"
 
 /// \file engine.h
-/// \brief Batched inference engine: a trained Sequential compiled into a
-/// preplanned, allocation-free execution schedule.
+/// \brief Batched inference engine: a trained Sequential compiled through a
+/// graph pass pipeline into a preplanned, allocation-free schedule.
 ///
 /// Training optimizes for flexibility (any batch size, caches for the
 /// backward pass); serving optimizes for steady-state latency. Compile()
-/// walks the layer pipeline once, recognizes each layer, fixes every
-/// intermediate shape for a declared batch ceiling, and reserves all
-/// workspace in a TensorArena. After compilation the hot path
-/// (PredictInto) performs **zero heap allocations** for any batch size up
-/// to the ceiling and any DLSYS_THREADS setting.
+/// lowers the layer pipeline into an explicit op graph (src/infer/graph.h),
+/// runs the rewrite passes (src/infer/passes.h) — operator fusion,
+/// quant/dequant elimination, constant folding, liveness-packed arena
+/// layout — and emits an executable schedule whose workspace is reserved
+/// once in a TensorArena. After compilation the hot path (PredictInto)
+/// performs **zero heap allocations** for any batch size up to the declared
+/// ceiling and any DLSYS_THREADS setting.
 ///
 /// ## Numerics contract
 ///
 /// In fp32 mode the engine's output is **bitwise identical** to
-/// `Sequential::Forward(x, CacheMode::kNoCache)` for both conv algorithms:
-/// every kernel reproduces the training path's per-element operation
-/// sequence (see DESIGN.md §"inference engine"). The im2col algorithm
+/// `Sequential::Forward(x, CacheMode::kNoCache)` for both conv algorithms
+/// AND for every pass combination: every kernel reproduces the training
+/// path's per-element operation sequence, and every rewrite pass is
+/// bitwise-neutral (fusion removes stores/reloads and kernel launches,
+/// folding moves where identical float expressions evaluate, packing moves
+/// where buffers live — see src/infer/passes.h). The im2col algorithm
 /// rewrites convolution as patch-matrix GEMM with zero-filled padding
 /// taps; a zero product leaves a finite accumulator unchanged, so the
 /// result matches the direct path's clipped loops bit for bit.
 ///
 /// In int8 mode Dense layers run as ggml-style block-quantized integer
-/// GEMM (src/compress/quantization.h): weights quantize at compile time to
-/// q8 codes with one scale per 32-element block of each output feature's
-/// row, activations quantize per block at run time, and dequantization is
-/// fused into the GEMM inner loop — per block an exact int32 dot scaled by
-/// float(dot) * scale_x * scale_w accumulates in ascending block order,
-/// then the bias adds at the layer boundary. int4 mode is identical except
-/// weights store 4-bit codes (scale = max|block|/7), halving weight bytes
-/// again; activations stay q8. Non-Dense layers keep fp32 arithmetic in
-/// both modes. The per-element operation sequence is fixed (int32 dots are
-/// associative; the float chain is sequential per element), so both
-/// quantized paths are bitwise deterministic across thread counts AND
-/// across SIMD ISAs — divergence from fp32 is pure quantization error.
+/// GEMM (src/compress/quantization.h): weights quantize to q8 codes with
+/// one scale per 32-element block of each output feature's row (at compile
+/// time under the fold pass, per call without it — same bits either way),
+/// activations quantize per block at run time unless the quant-elimination
+/// pass lets the producing layer hand codes through directly, and
+/// dequantization is fused into the GEMM inner loop. int4 mode is
+/// identical except weights store 4-bit codes (scale = max|block|/7),
+/// halving weight bytes again; activations stay q8. Non-Dense layers keep
+/// fp32 arithmetic in both modes. The per-element operation sequence is
+/// fixed, so both quantized paths are bitwise deterministic across thread
+/// counts, SIMD ISAs, and pass combinations — divergence from fp32 is pure
+/// quantization error.
 
 namespace dlsys {
 
-/// \brief Convolution execution strategy.
-enum class ConvAlgo {
-  kIm2col,  ///< patch-matrix GEMM through ConvGemmBiasInto (default)
-  kDirect,  ///< reference loop nest; retained for bit-comparison and bench
-};
-
-/// \brief Arithmetic used for Dense layers.
-enum class EngineNumeric {
-  kFp32,  ///< full float pipeline, bitwise equal to training forward
-  kInt8,  ///< q8-block weights x q8-block activations, fused dequant GEMM
-  kInt4,  ///< q4-block weights x q8-block activations, fused dequant GEMM
-};
-
-/// \brief Compile-time engine options.
+/// \brief Compile-time engine options. (ConvAlgo and EngineNumeric live in
+/// src/infer/graph.h with the IR; PassConfig in src/infer/passes.h.)
 struct EngineConfig {
+  EngineConfig() = default;
+  /// Convenience: every default except the batch bound.
+  explicit EngineConfig(int64_t batch) : max_batch(batch) {}
+
   int64_t max_batch = 64;  ///< largest batch PredictInto will accept
   ConvAlgo conv_algo = ConvAlgo::kIm2col;
   EngineNumeric numeric = EngineNumeric::kFp32;
+  /// Which rewrite passes Compile runs (all on by default). The
+  /// DLSYS_PASSES environment variable overrides this field — see
+  /// src/infer/passes.h for the accepted spellings.
+  PassConfig passes;
 };
 
 /// \brief A compiled, arena-backed forward pipeline for one model.
@@ -109,69 +112,76 @@ class InferenceEngine {
   int64_t output_elems_per_example() const { return out_elems_; }
   /// \brief Batch ceiling declared at compile time.
   int64_t max_batch() const { return config_.max_batch; }
-  /// \brief The compile-time configuration.
+  /// \brief The compile-time configuration (as passed; see pass_config()
+  /// for the effective pass set after the DLSYS_PASSES override).
   const EngineConfig& config() const { return config_; }
-  /// \brief Committed workspace bytes (activations + scratch).
+  /// \brief Committed workspace bytes (activations + scratch) under the
+  /// emitted layout — liveness-packed when the pack pass ran.
   int64_t workspace_bytes() const { return arena_.total_bytes(); }
+  /// \brief Workspace bytes the ping-pong (pack-off) layout of the same
+  /// schedule would commit; with packing on, the before/after pair
+  /// (unpacked_workspace_bytes(), workspace_bytes()) quantifies the win.
+  int64_t unpacked_workspace_bytes() const { return unpacked_bytes_; }
   /// \brief Number of executable steps in the compiled schedule.
   int64_t step_count() const { return static_cast<int64_t>(steps_.size()); }
+  /// \brief Live op-graph nodes after the rewrite passes (== step count).
+  int64_t graph_node_count() const { return graph_.live_nodes(); }
+  /// \brief What the rewrite passes did at compile time.
+  const infer::PassStats& pass_stats() const { return stats_; }
+  /// \brief The effective pass set (config after DLSYS_PASSES override).
+  const PassConfig& pass_config() const { return passes_; }
 
  private:
+  /// One executable schedule entry: a live graph node plus the arena
+  /// buffers the emitter assigned it. Constants and rewrite flags stay on
+  /// the OpNode; the step only binds storage and the fixed trace/cost
+  /// plan.
   struct Step {
-    enum class Kind {
-      kDense,
-      kDenseInt8,
-      kDenseInt4,
-      kConv,
-      kPool,
-      kRelu,
-      kSigmoid,
-      kTanh,
-      kBatchNorm,
-    };
+    int node = -1;  ///< index into graph_.nodes (never a dead node)
+    TensorArena::BufferId in = -1;   ///< input activations (floats)
+    TensorArena::BufferId out = -1;  ///< output activations (== in when
+                                     ///< the node runs in place)
+    TensorArena::BufferId im2col = -1;  ///< conv patch scratch (per image)
+    /// Quantized dense: q8 codes + per-block scales of the input batch.
+    /// With quant_in these alias the producer step's qout buffers.
+    TensorArena::BufferId qin_vals = -1;
+    TensorArena::BufferId qin_scales = -1;
+    /// quant_out: codes + scales this step's epilogue writes for the
+    /// consumer (live from this step through the consumer's step).
+    TensorArena::BufferId qout_vals = -1;
+    TensorArena::BufferId qout_scales = -1;
+    /// Fold-off scratch: transposed fp32 weight and the block codes +
+    /// scales re-derived from it on every call.
+    TensorArena::BufferId wt = -1;
+    TensorArena::BufferId wvals = -1;
+    TensorArena::BufferId wscales = -1;
 
-    Kind kind = Kind::kRelu;
-    int in_buf = 0;   ///< index into act_ (ping-pong pair)
-    int out_buf = 0;  ///< == in_buf for in-place steps
-    int64_t in_elems = 0;   ///< per-example input elements
-    int64_t out_elems = 0;  ///< per-example output elements
-
-    /// Trace/cost plan, fixed at compile time: span name plus
-    /// per-example FLOPs and bytes moved (activations + parameters),
-    /// scaled by the batch at run time.
+    /// Trace/cost plan, fixed at compile time: span name plus per-example
+    /// FLOPs and bytes moved, scaled by the batch at run time.
     const char* trace_name = "engine.step";
     int64_t flops_per_example = 0;
     int64_t bytes_per_example = 0;
-
-    Tensor weight;  ///< dense: (in, out); conv: (oc, ic, k, k)
-    Tensor bias;
-    Q8BlockMatrix qweight8;  ///< int8 dense: (out_features, in_features)
-    Q4BlockMatrix qweight4;  ///< int4 dense: (out_features, in_features)
-
-    int64_t in_ch = 0, out_ch = 0, kernel = 0, stride = 0, pad = 0;
-    int64_t h = 0, w = 0, ho = 0, wo = 0;  ///< spatial extents
-    int64_t window = 0;                    ///< pooling
-
-    /// BatchNorm inference constants; inv[j] = 1/sqrt(running_var+eps),
-    /// the exact value the training path recomputes per element.
-    std::vector<float> bn_gamma, bn_beta, bn_mean, bn_inv;
   };
 
   InferenceEngine() = default;
 
-  void RunStep(const Step& step, int64_t batch, const float* in,
-               float* out) const;
+  /// Assigns schedule positions, computes tensor live intervals, places
+  /// every buffer (packed first-fit or ping-pong), and commits the arena.
+  void PlanAndEmit();
+
+  void RunStep(const Step& step, int64_t batch) const;
 
   EngineConfig config_;
+  PassConfig passes_;        ///< effective passes (after DLSYS_PASSES)
+  infer::PassStats stats_;   ///< what the passes did
+  infer::OpGraph graph_;     ///< rewritten IR; owns all constants
   Shape in_shape_, out_shape_;
   int64_t in_elems_ = 0, out_elems_ = 0;
   std::vector<Step> steps_;
   TensorArena arena_;
-  TensorArena::BufferId act_[2] = {-1, -1};  ///< ping-pong activations
-  TensorArena::BufferId im2col_ = -1;        ///< per-image patch scratch
-  TensorArena::BufferId q_vals_ = -1;    ///< q8 activation codes (32-padded)
-  TensorArena::BufferId q_scales_ = -1;  ///< per-block activation scales
-  int final_buf_ = 0;  ///< act_ index holding the last step's output
+  TensorArena::BufferId input_buf_ = -1;   ///< where PredictInto copies in
+  TensorArena::BufferId output_buf_ = -1;  ///< where the result lands
+  int64_t unpacked_bytes_ = 0;  ///< ping-pong layout size of this schedule
 };
 
 }  // namespace dlsys

@@ -100,6 +100,21 @@ struct KernelTable {
                        const uint8_t* b, const float* b_scales, float* c,
                        int64_t i0, int64_t i1, int64_t kp,
                        int64_t n) = nullptr;
+  /// C[i0:i1, :] = act(A(MxK) * B(KxN) + bias(N)) rows (C rows pre-zeroed
+  /// by caller; act = relu when relu != 0, else identity). The fused
+  /// dense epilogue the graph compiler's fusion pass dispatches: the GEMM
+  /// op sequence is untouched, the bias add and activation run while the
+  /// rows are still cache-hot instead of as separate output passes.
+  void (*matmul_bias_act_range)(const float* a, const float* b,
+                                const float* bias, float* c, int64_t i0,
+                                int64_t i1, int64_t k, int64_t n,
+                                int relu) = nullptr;
+  /// conv_gemm_bias_cols with the activation fused into the column pass
+  /// (relu != 0 applies max(x, 0) to each finished output element).
+  void (*conv_gemm_bias_act_cols)(const float* a, const float* b,
+                                  const float* bias, float* c, int64_t m,
+                                  int64_t k, int64_t n, int64_t j0,
+                                  int64_t j1, int relu) = nullptr;
 };
 
 /// \brief True when \p isa is both compiled into this binary and runnable

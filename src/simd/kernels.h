@@ -69,6 +69,13 @@ void Q8GemmRowsScalar(const int8_t* a, const float* a_scales, const int8_t* b,
 void Q4GemmRowsScalar(const int8_t* a, const float* a_scales,
                       const uint8_t* b, const float* b_scales, float* c,
                       int64_t i0, int64_t i1, int64_t kp, int64_t n);
+void MatMulBiasActRangeScalar(const float* a, const float* b,
+                              const float* bias, float* c, int64_t i0,
+                              int64_t i1, int64_t k, int64_t n, int relu);
+void ConvGemmBiasActColsScalar(const float* a, const float* b,
+                               const float* bias, float* c, int64_t m,
+                               int64_t k, int64_t n, int64_t j0, int64_t j1,
+                               int relu);
 
 }  // namespace simd
 }  // namespace dlsys

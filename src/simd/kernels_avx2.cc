@@ -215,6 +215,53 @@ void ConvGemmBiasColsAvx2(const float* a, const float* b, const float* bias,
   }
 }
 
+// ------------------------------------------------------ fused epilogues
+//
+// GEMM body untouched; bias + optional relu applied to the stored rows.
+// Store/reload of a float is the identical bit pattern, and
+// _mm256_max_ps(v, 0) with zero as the SECOND operand returns the second
+// operand on NaN and on the -0/+0 tie, matching the scalar
+// `v > 0.0f ? v : 0.0f` exactly — so fusion stays bitwise neutral.
+
+void MatMulBiasActRangeAvx2(const float* a, const float* b, const float* bias,
+                            float* c, int64_t i0, int64_t i1, int64_t k,
+                            int64_t n, int relu) {
+  MatMulRangeAvx2(a, b, c, i0, i1, k, n);
+  const __m256 zero = _mm256_setzero_ps();
+  for (int64_t i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 v = _mm256_add_ps(_mm256_loadu_ps(crow + j),
+                               _mm256_loadu_ps(bias + j));
+      if (relu != 0) v = _mm256_max_ps(v, zero);
+      _mm256_storeu_ps(crow + j, v);
+    }
+    for (; j < n; ++j) {
+      const float v = crow[j] + bias[j];
+      crow[j] = relu != 0 ? (v > 0.0f ? v : 0.0f) : v;
+    }
+  }
+}
+
+void ConvGemmBiasActColsAvx2(const float* a, const float* b,
+                             const float* bias, float* c, int64_t m,
+                             int64_t k, int64_t n, int64_t j0, int64_t j1,
+                             int relu) {
+  ConvGemmBiasColsAvx2(a, b, bias, c, m, k, n, j0, j1);
+  if (relu == 0) return;
+  const __m256 zero = _mm256_setzero_ps();
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    int64_t j = j0;
+    for (; j + 8 <= j1; j += 8) {
+      _mm256_storeu_ps(crow + j,
+                       _mm256_max_ps(_mm256_loadu_ps(crow + j), zero));
+    }
+    for (; j < j1; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+  }
+}
+
 // ---------------------------------------------------------------- int8
 
 inline int32_t HorizontalSumI32(__m256i v) {
@@ -354,6 +401,8 @@ const KernelTable kAvx2Table = {
     &Int8GemmRowsAvx2,
     &Q8GemmRowsAvx2,
     &Q4GemmRowsAvx2,
+    &MatMulBiasActRangeAvx2,
+    &ConvGemmBiasActColsAvx2,
 };
 
 }  // namespace

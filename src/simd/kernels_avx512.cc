@@ -254,6 +254,52 @@ void ConvGemmBiasColsAvx512(const float* a, const float* b, const float* bias,
   }
 }
 
+// ------------------------------------------------------ fused epilogues
+//
+// GEMM body untouched; bias + optional relu applied to the stored rows.
+// _mm512_max_ps(v, 0) with zero as the second operand matches the scalar
+// `v > 0.0f ? v : 0.0f` on NaN and the -0/+0 tie, so fusion stays
+// bitwise neutral (see the AVX2 TU for the full argument).
+
+void MatMulBiasActRangeAvx512(const float* a, const float* b,
+                              const float* bias, float* c, int64_t i0,
+                              int64_t i1, int64_t k, int64_t n, int relu) {
+  MatMulRangeAvx512(a, b, c, i0, i1, k, n);
+  const __m512 zero = _mm512_setzero_ps();
+  for (int64_t i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m512 v = _mm512_add_ps(_mm512_loadu_ps(crow + j),
+                               _mm512_loadu_ps(bias + j));
+      if (relu != 0) v = _mm512_max_ps(v, zero);
+      _mm512_storeu_ps(crow + j, v);
+    }
+    for (; j < n; ++j) {
+      const float v = crow[j] + bias[j];
+      crow[j] = relu != 0 ? (v > 0.0f ? v : 0.0f) : v;
+    }
+  }
+}
+
+void ConvGemmBiasActColsAvx512(const float* a, const float* b,
+                               const float* bias, float* c, int64_t m,
+                               int64_t k, int64_t n, int64_t j0, int64_t j1,
+                               int relu) {
+  ConvGemmBiasColsAvx512(a, b, bias, c, m, k, n, j0, j1);
+  if (relu == 0) return;
+  const __m512 zero = _mm512_setzero_ps();
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    int64_t j = j0;
+    for (; j + 16 <= j1; j += 16) {
+      _mm512_storeu_ps(crow + j,
+                       _mm512_max_ps(_mm512_loadu_ps(crow + j), zero));
+    }
+    for (; j < j1; ++j) crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+  }
+}
+
 // ---------------------------------------------------------------- int8
 
 /// Exact int32 dot via sign-extend + vpmaddwd on 512-bit lanes.
@@ -375,6 +421,8 @@ const KernelTable kAvx512Table = {
     &Int8GemmRowsAvx512,
     &Q8GemmRowsAvx512,
     &Q4GemmRowsAvx512,
+    &MatMulBiasActRangeAvx512,
+    &ConvGemmBiasActColsAvx512,
 };
 
 }  // namespace

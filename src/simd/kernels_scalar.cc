@@ -168,6 +168,41 @@ void ConvGemmBiasColsScalar(const float* a, const float* b, const float* bias,
   }
 }
 
+// ------------------------------------------------------ fused epilogues
+//
+// The fusion pass's dense epilogue: run the untouched GEMM range, then
+// add the bias and (optionally) apply relu to the finished rows while
+// they are cache-hot. A float stored and reloaded is the identical bit
+// pattern, so folding the former separate bias/relu output passes into
+// the kernel cannot change any result.
+
+void MatMulBiasActRangeScalar(const float* a, const float* b,
+                              const float* bias, float* c, int64_t i0,
+                              int64_t i1, int64_t k, int64_t n, int relu) {
+  MatMulRangeScalar(a, b, c, i0, i1, k, n);
+  for (int64_t i = i0; i < i1; ++i) {
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float v = crow[j] + bias[j];
+      crow[j] = relu != 0 ? (v > 0.0f ? v : 0.0f) : v;
+    }
+  }
+}
+
+void ConvGemmBiasActColsScalar(const float* a, const float* b,
+                               const float* bias, float* c, int64_t m,
+                               int64_t k, int64_t n, int64_t j0, int64_t j1,
+                               int relu) {
+  ConvGemmBiasColsScalar(a, b, bias, c, m, k, n, j0, j1);
+  if (relu == 0) return;
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (int64_t j = j0; j < j1; ++j) {
+      crow[j] = crow[j] > 0.0f ? crow[j] : 0.0f;
+    }
+  }
+}
+
 // ---------------------------------------------------------------- int8
 
 void Int8GemmRowsScalar(const int8_t* a, const int8_t* b, int32_t* c,
@@ -280,6 +315,8 @@ const KernelTable kScalarTable = {
     &Int8GemmRowsScalar,
     &Q8GemmRowsScalar,
     &Q4GemmRowsScalar,
+    &MatMulBiasActRangeScalar,
+    &ConvGemmBiasActColsScalar,
 };
 }  // namespace
 

@@ -126,6 +126,39 @@ void ConvGemmBiasInto(const float* a, const float* b, const float* bias,
   });
 }
 
+void MatMulBiasActInto(const float* a, const float* b, const float* bias,
+                       float* c, int64_t m, int64_t k, int64_t n,
+                       bool relu) {
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.matmul_bias_act", kt.span_cat,
+                            2 * m * k * n, 4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
+  auto* kernel = kt.matmul_bias_act_range;
+  const int relu_flag = relu ? 1 : 0;
+  ParallelFor(0, m, kRowGrain, [=](int64_t i0, int64_t i1) {
+    // Same zeroing contract as MatMulInto: the fused kernel runs the
+    // accumulate-into-C GEMM first, then its bias/act epilogue.
+    std::fill(c + i0 * n, c + i1 * n, 0.0f);
+    kernel(a, b, bias, c, i0, i1, k, n, relu_flag);
+  });
+}
+
+void ConvGemmBiasActInto(const float* a, const float* b, const float* bias,
+                         float* c, int64_t m, int64_t k, int64_t n,
+                         bool relu) {
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  simd::CountDispatch(kt);
+  DLSYS_TRACE_SPAN_COST_CAT("gemm.conv_gemm_bias_act", kt.span_cat,
+                            2 * m * k * n, 4 * (m * k + k * n + m * n));
+  DLSYS_COST_FLOPS(2 * m * k * n);
+  auto* kernel = kt.conv_gemm_bias_act_cols;
+  const int relu_flag = relu ? 1 : 0;
+  ParallelFor(0, n, 64, [=](int64_t j0, int64_t j1) {
+    kernel(a, b, bias, c, m, k, n, j0, j1, relu_flag);
+  });
+}
+
 // ------------------------------------------------- naive references
 //
 // The seed library's loop nests, retained verbatim minus the

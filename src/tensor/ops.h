@@ -68,6 +68,27 @@ void MatMulInto(const float* a, const float* b, float* c, int64_t m,
 void ConvGemmBiasInto(const float* a, const float* b, const float* bias,
                       float* c, int64_t m, int64_t k, int64_t n);
 
+/// \brief C(MxN) = act(A(MxK) * B(KxN) + bias(N)) into caller storage —
+/// MatMulInto with the bias add and optional relu fused into the range
+/// kernel's epilogue (act = relu when \p relu is true, identity
+/// otherwise).
+///
+/// The GEMM accumulation sequence is exactly MatMulInto's; the epilogue
+/// adds bias[j] to each finished element and applies
+/// `v > 0.0f ? v : 0.0f`, so the result is bitwise identical to
+/// MatMulInto followed by separate bias / relu output passes. The graph
+/// compiler's fusion pass (src/infer/passes.h) dispatches dense layers
+/// through this entry point.
+void MatMulBiasActInto(const float* a, const float* b, const float* bias,
+                       float* c, int64_t m, int64_t k, int64_t n, bool relu);
+
+/// \brief ConvGemmBiasInto with an optional relu fused into the column
+/// kernel (applied to each finished output element; bitwise identical to
+/// a separate relu pass over the output).
+void ConvGemmBiasActInto(const float* a, const float* b, const float* bias,
+                         float* c, int64_t m, int64_t k, int64_t n,
+                         bool relu);
+
 /// \brief Returns a + b elementwise (same shape required).
 Tensor Add(const Tensor& a, const Tensor& b);
 /// \brief Returns a - b elementwise (same shape required).

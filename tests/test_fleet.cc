@@ -297,6 +297,12 @@ TEST(FleetTest, ValidateRejectsBadConfigs) {
   config = TestFleetConfig();
   config.canary.max_degraded_fraction = 1.5;
   EXPECT_FALSE(ValidateFleetConfig(config).ok());
+  config = TestFleetConfig();
+  config.canary.max_p99_regression = -0.5;
+  EXPECT_FALSE(ValidateFleetConfig(config).ok());
+  config = TestFleetConfig();
+  config.canary.min_p99_samples = 0;
+  EXPECT_FALSE(ValidateFleetConfig(config).ok());
 }
 
 TEST(FleetTest, RunRequiresDeployAndMatchingModel) {
@@ -380,6 +386,51 @@ TEST(FleetTest, BadVersionRollsBackAndRecovers) {
   EXPECT_GE(r.time_to_recover_ms, 0.0) << "fleet never recovered";
   // Bound: bake window (1.5 s) + rollback + recovery streak slack.
   EXPECT_LE(r.time_to_recover_ms, 4000.0);
+}
+
+// Acceptance: a latency lemon — a version slow enough to multiply tail
+// latency but fast enough that every response still lands inside the
+// deadline — produces zero degraded deliveries, so the degraded-fraction
+// verdict alone would pass the bake and push the lemon fleet-wide. The
+// windowed-p99 regression check must catch it and roll back.
+TEST(FleetTest, LatencyLemonInsideDeadlineTriggersP99Rollback) {
+  ChaosScenario scenario;
+  scenario.name = "latency_lemon";
+  scenario.seed = 12;
+  FleetFaultEvent ev;
+  ev.kind = FaultKind::kBadVersionRollout;
+  ev.start_ms = 4000.0;
+  ev.fraction = 1.0;
+  // ~8x service time: client latency rises from ~3 ms to ~15-25 ms,
+  // still comfortably under the 50 ms deadline.
+  ev.severity = 8.0;
+  scenario.events.push_back(ev);
+
+  FleetConfig config = TestFleetConfig();
+  config.canary.bake_ms = 1500.0;
+  config.canary.max_degraded_fraction = 0.2;
+  config.canary.max_p99_regression = 3.0;
+  config.canary.min_p99_samples = 30;
+  auto report = RunFleet(config, scenario, TestLoad());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const FleetReport& r = report.value();
+  EXPECT_EQ(r.rollouts, 1);
+  EXPECT_EQ(r.rollbacks, 1) << "the p99 check should have tripped";
+  EXPECT_EQ(r.p99_rollbacks, 1);
+  EXPECT_EQ(r.missed, 0) << "a true lemon misses nothing — that is the "
+                            "blind spot this check closes";
+  const std::string json = FleetReportJson(r);
+  EXPECT_NE(json.find("\"p99_rollbacks\": 1"), std::string::npos);
+
+  // Control: with the p99 check disabled the same lemon sails through
+  // its bake and rolls out fleet-wide — the pre-existing blind spot.
+  FleetConfig blind = config;
+  blind.canary.max_p99_regression = 0.0;
+  auto unchecked = RunFleet(blind, scenario, TestLoad());
+  ASSERT_TRUE(unchecked.ok()) << unchecked.status().ToString();
+  EXPECT_EQ(unchecked.value().rollouts, 1);
+  EXPECT_EQ(unchecked.value().rollbacks, 0);
+  EXPECT_EQ(unchecked.value().p99_rollbacks, 0);
 }
 
 TEST(FleetTest, ReactiveAutoscalerAddsReplicasUnderFlashCrowd) {

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/compress/quantization.h"
@@ -16,6 +18,8 @@
 #include "src/infer/arena.h"
 #include "src/infer/batcher.h"
 #include "src/infer/engine.h"
+#include "src/infer/passes.h"
+#include "src/obs/counters.h"
 #include "src/nn/conv.h"
 #include "src/nn/layers.h"
 #include "src/nn/train.h"
@@ -33,6 +37,36 @@ bool BitwiseEqual(const Tensor& a, const Tensor& b) {
          std::memcmp(a.data(), b.data(),
                      static_cast<size_t>(a.bytes())) == 0;
 }
+
+/// Pins DLSYS_PASSES for a test's lifetime and restores the prior value on
+/// exit. The env var overrides EngineConfig::passes in every Compile, so
+/// tests that assert graph structure must pin it — otherwise the CI
+/// passes-off job (which exports DLSYS_PASSES=none for the whole suite)
+/// would disable the rewrites they are asserting on.
+class PassEnvOverride {
+ public:
+  explicit PassEnvOverride(const char* value) {
+    const char* prev = std::getenv("DLSYS_PASSES");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value != nullptr) {
+      setenv("DLSYS_PASSES", value, 1);
+    } else {
+      unsetenv("DLSYS_PASSES");
+    }
+  }
+  ~PassEnvOverride() {
+    if (had_prev_) {
+      setenv("DLSYS_PASSES", prev_.c_str(), 1);
+    } else {
+      unsetenv("DLSYS_PASSES");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
 
 // ------------------------------------------------------------ TensorArena
 
@@ -637,6 +671,342 @@ TEST(MicroBatcherTest, FlushOnEmptyQueueIsNoOp) {
   batcher.Flush();  // idempotent after a real flush too
   EXPECT_EQ(batcher.batches_run(), 1);
   EXPECT_EQ(batcher.completions().size(), 1u);
+}
+
+// ------------------------------------------------- graph pass pipeline
+
+TEST(PassPipelineTest, Fp32BitwiseInvariantAcrossPassesIsasThreads) {
+  // The acceptance bar for every rewrite pass: fp32 output with all
+  // passes on is bitwise identical to the unfused (all-off) schedule and
+  // to the training forward, at threads 1/2/8 under each supported ISA.
+  Rng rng(50);
+  Sequential mlp = MakeMlp(16, {32, 24}, 4);
+  mlp.Init(&rng);
+  Sequential mixed = MakeMixedMlp();
+  mixed.Init(&rng);
+  Tensor warm({32, 16});
+  warm.FillGaussian(&rng, 1.0f);
+  mixed.Forward(warm, CacheMode::kCache);
+  Sequential cnn = MakeCnn(12, 4, 6, 5);
+  cnn.Init(&rng);
+
+  struct Case {
+    Sequential* net;
+    Shape shape;
+    Tensor x;
+    const char* label;
+  };
+  Tensor x_mlp({9, 16}), x_mixed({9, 16}), x_cnn({3, 1, 12, 12});
+  x_mlp.FillGaussian(&rng, 1.0f);
+  x_mixed.FillGaussian(&rng, 1.0f);
+  x_cnn.FillGaussian(&rng, 1.0f);
+  Case cases[] = {{&mlp, {16}, std::move(x_mlp), "mlp"},
+                  {&mixed, {16}, std::move(x_mixed), "mixed"},
+                  {&cnn, {1, 12, 12}, std::move(x_cnn), "cnn"}};
+
+  const simd::Isa initial_isa = simd::ActiveIsa();
+  for (Case& c : cases) {
+    RuntimeConfig::SetThreads(1);
+    const Tensor ref = c.net->Forward(c.x, CacheMode::kNoCache);
+    for (const char* passes : {"all", "none", "fuse", "fuse,pack"}) {
+      PassEnvOverride env(passes);
+      auto compiled = InferenceEngine::Compile(*c.net, c.shape,
+                                               EngineConfig{16});
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      InferenceEngine engine = std::move(compiled).value();
+      for (simd::Isa isa :
+           {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+        if (!simd::IsaSupported(isa)) continue;
+        simd::SetIsa(isa);
+        for (int threads : {1, 2, 8}) {
+          RuntimeConfig::SetThreads(threads);
+          auto y = engine.Predict(c.x);
+          ASSERT_TRUE(y.ok()) << y.status().ToString();
+          EXPECT_TRUE(BitwiseEqual(*y, ref))
+              << c.label << " passes=" << passes
+              << " isa=" << simd::IsaName(isa) << " threads=" << threads;
+        }
+      }
+      simd::SetIsa(initial_isa);
+    }
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
+TEST(PassPipelineTest, QuantizedOutputsIdenticalWithPassesOnAndOff) {
+  // In the quantized paths the passes move *where* identical work happens
+  // (weights fold at compile time, codes pass through layer boundaries),
+  // so all-on and all-off must still agree bit for bit.
+  Rng rng(51);
+  Sequential net = MakeMlp(16, {48, 32}, 4);
+  net.Init(&rng);
+  Tensor x({8, 16});
+  x.FillGaussian(&rng, 1.0f);
+  for (EngineNumeric numeric : {EngineNumeric::kInt8, EngineNumeric::kInt4}) {
+    EngineConfig config;
+    config.max_batch = 8;
+    config.numeric = numeric;
+    Tensor ref;
+    {
+      PassEnvOverride env("none");
+      auto compiled = InferenceEngine::Compile(net, {16}, config);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      ref = std::move(std::move(compiled).value().Predict(x)).value();
+    }
+    for (const char* passes : {"all", "fuse,quant_elim", "fold"}) {
+      PassEnvOverride env(passes);
+      auto compiled = InferenceEngine::Compile(net, {16}, config);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      InferenceEngine engine = std::move(compiled).value();
+      for (int threads : {1, 2, 8}) {
+        RuntimeConfig::SetThreads(threads);
+        const Tensor y = std::move(engine.Predict(x)).value();
+        EXPECT_TRUE(BitwiseEqual(y, ref))
+            << "numeric="
+            << (numeric == EngineNumeric::kInt8 ? "int8" : "int4")
+            << " passes=" << passes << " threads=" << threads;
+      }
+    }
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
+TEST(PassPipelineTest, FusionAbsorbsReluNodesIntoProducers) {
+  Rng rng(52);
+  Sequential net = MakeMlp(16, {32, 24}, 4);  // 3 dense + 2 relu layers
+  net.Init(&rng);
+  {
+    PassEnvOverride env("none");
+    auto compiled = InferenceEngine::Compile(net, {16}, EngineConfig{8});
+    ASSERT_TRUE(compiled.ok());
+    const InferenceEngine engine = std::move(compiled).value();
+    EXPECT_EQ(engine.graph_node_count(), 5);
+    EXPECT_EQ(engine.step_count(), 5);
+    EXPECT_EQ(engine.pass_stats().fused, 0);
+    EXPECT_FALSE(engine.pass_config().fuse);
+  }
+  {
+    PassEnvOverride env("all");
+    auto compiled = InferenceEngine::Compile(net, {16}, EngineConfig{8});
+    ASSERT_TRUE(compiled.ok());
+    const InferenceEngine engine = std::move(compiled).value();
+    // Both relus fold into their dense producers; all three dense nodes
+    // carry a fused epilogue.
+    EXPECT_EQ(engine.graph_node_count(), 3);
+    EXPECT_EQ(engine.step_count(), 3);
+    EXPECT_EQ(engine.pass_stats().fused, 3);
+  }
+}
+
+TEST(PassPipelineTest, QuantElimRequiresAdjacencyThroughFusion) {
+  Rng rng(53);
+  Sequential net = MakeMlp(16, {48, 32}, 4);
+  net.Init(&rng);
+  EngineConfig config;
+  config.max_batch = 8;
+  config.numeric = EngineNumeric::kInt8;
+  {
+    // Without fusion the relu between quantized denses blocks elision:
+    // its fp32 output must materialize, so codes cannot pass through.
+    PassEnvOverride env("quant_elim");
+    auto compiled = InferenceEngine::Compile(net, {16}, config);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_EQ(std::move(compiled).value().pass_stats().quant_elided, 0);
+  }
+  {
+    // Fusion runs first and absorbs the relus, making the dense layers
+    // adjacent: both interior boundaries elide their quant/dequant pair.
+    PassEnvOverride env("fuse,quant_elim");
+    auto compiled = InferenceEngine::Compile(net, {16}, config);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_EQ(std::move(compiled).value().pass_stats().quant_elided, 2);
+  }
+}
+
+TEST(PassPipelineTest, ConstantFoldingQuantizesWeightsAtCompileTime) {
+  Rng rng(54);
+  Sequential net = MakeMlp(16, {48}, 4);
+  net.Init(&rng);
+  EngineConfig config;
+  config.max_batch = 8;
+  config.numeric = EngineNumeric::kInt8;
+  PassEnvOverride env("fold");
+  auto compiled = InferenceEngine::Compile(net, {16}, config);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(std::move(compiled).value().pass_stats().folded, 2);
+}
+
+TEST(PassPipelineTest, LivenessPackingShrinksWorkspaceOnFunnelMlp) {
+  // A funnel MLP (widths strictly shrinking) is where first-fit liveness
+  // packing beats the ping-pong pair: the pair charges 2x the *widest*
+  // activation, while packing overlaps wide early buffers with the
+  // narrow late ones.
+  Rng rng(55);
+  Sequential net = MakeMlp(512, {256, 128, 64, 32}, 8);  // 9 layers
+  net.Init(&rng);
+  PassEnvOverride env("all");
+  auto compiled = InferenceEngine::Compile(net, {512}, EngineConfig{8});
+  ASSERT_TRUE(compiled.ok());
+  InferenceEngine engine = std::move(compiled).value();
+  EXPECT_LT(engine.workspace_bytes(), engine.unpacked_workspace_bytes())
+      << "packed=" << engine.workspace_bytes()
+      << " unpacked=" << engine.unpacked_workspace_bytes();
+
+  // And packing must never *grow* the plan on any model.
+  PassEnvOverride env_off("fuse,quant_elim,fold");
+  auto unpacked = InferenceEngine::Compile(net, {512}, EngineConfig{8});
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(std::move(unpacked).value().workspace_bytes(),
+            engine.unpacked_workspace_bytes());
+}
+
+TEST(PassPipelineTest, DlsysPassesEnvOverridesConfig) {
+  Rng rng(56);
+  Sequential net = MakeMlp(16, {32}, 4);
+  net.Init(&rng);
+  EngineConfig config;
+  config.max_batch = 8;
+  config.passes = PassConfig{false, false, false, false};
+  {
+    PassEnvOverride env("all");  // env wins over the all-off config
+    auto compiled = InferenceEngine::Compile(net, {16}, config);
+    ASSERT_TRUE(compiled.ok());
+    const InferenceEngine engine = std::move(compiled).value();
+    EXPECT_TRUE(engine.pass_config().fuse);
+    EXPECT_TRUE(engine.pass_config().pack);
+    EXPECT_GT(engine.pass_stats().fused, 0);
+  }
+  {
+    PassEnvOverride env("fuse");  // single-pass spelling
+    auto compiled = InferenceEngine::Compile(net, {16}, EngineConfig{8});
+    ASSERT_TRUE(compiled.ok());
+    const InferenceEngine engine = std::move(compiled).value();
+    EXPECT_TRUE(engine.pass_config().fuse);
+    EXPECT_FALSE(engine.pass_config().quant_elim);
+    EXPECT_FALSE(engine.pass_config().fold);
+    EXPECT_FALSE(engine.pass_config().pack);
+  }
+  {
+    PassEnvOverride env(nullptr);  // no env: the config stands
+    auto compiled = InferenceEngine::Compile(net, {16}, config);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_FALSE(std::move(compiled).value().pass_config().fuse);
+  }
+}
+
+TEST(PassPipelineTest, ParsePassListSpellings) {
+  PassConfig c;
+  EXPECT_TRUE(infer::ParsePassList("all", &c).ok());
+  EXPECT_TRUE(c.fuse && c.quant_elim && c.fold && c.pack);
+  EXPECT_TRUE(infer::ParsePassList("none", &c).ok());
+  EXPECT_FALSE(c.fuse || c.quant_elim || c.fold || c.pack);
+  EXPECT_TRUE(infer::ParsePassList("fold,pack", &c).ok());
+  EXPECT_FALSE(c.fuse);
+  EXPECT_FALSE(c.quant_elim);
+  EXPECT_TRUE(c.fold);
+  EXPECT_TRUE(c.pack);
+  EXPECT_FALSE(infer::ParsePassList("warp_drive", &c).ok());
+  EXPECT_FALSE(infer::ParsePassList("fuse,,pack", &c).ok());
+}
+
+#if DLSYS_OBS
+TEST(PassPipelineTest, CompileExportsWorkspaceAndGraphGauges) {
+  Rng rng(57);
+  Sequential net = MakeMlp(16, {32, 24}, 4);
+  net.Init(&rng);
+  PassEnvOverride env("all");
+  auto compiled = InferenceEngine::Compile(net, {16}, EngineConfig{8});
+  ASSERT_TRUE(compiled.ok());
+  const InferenceEngine engine = std::move(compiled).value();
+  obs::CounterRegistry& reg = obs::CounterRegistry::Global();
+  EXPECT_EQ(reg.gauge("infer.workspace_bytes")->Value(),
+            engine.workspace_bytes());
+  EXPECT_EQ(reg.gauge("infer.graph.nodes")->Value(),
+            engine.graph_node_count());
+  EXPECT_EQ(reg.gauge("infer.graph.fused")->Value(),
+            engine.pass_stats().fused);
+}
+#endif  // DLSYS_OBS
+
+// ------------------------------------------------- liveness packing unit
+
+TEST(PackLiveRangesTest, DisjointLifetimesShareOffsets) {
+  // Two buffers alive at different steps first-fit into the same bytes.
+  std::vector<int64_t> offsets;
+  const int64_t total = infer::PackLiveRanges(
+      {{256, 0, 1}, {256, 2, 3}}, &offsets);
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_EQ(offsets[0], offsets[1]);
+  EXPECT_EQ(total, 256);
+}
+
+TEST(PackLiveRangesTest, OverlappingLifetimesGetDisjointRanges) {
+  std::vector<int64_t> offsets;
+  const int64_t total = infer::PackLiveRanges(
+      {{100, 0, 2}, {100, 1, 3}, {100, 3, 4}}, &offsets);
+  ASSERT_EQ(offsets.size(), 3u);
+  // 0 and 1 overlap at step 1-2; 1 and 2 overlap at step 3; 0 and 2 are
+  // disjoint, so the third buffer reuses the first's offset.
+  EXPECT_NE(offsets[0], offsets[1]);
+  EXPECT_EQ(offsets[2], offsets[0]);
+  EXPECT_EQ(offsets[1] % 64, 0);
+  EXPECT_EQ(total, 256);  // two 64-aligned 100-byte lanes
+}
+
+TEST(PackLiveRangesTest, OffsetsAreAlwaysAligned) {
+  std::vector<int64_t> offsets;
+  infer::PackLiveRanges({{1, 0, 9}, {65, 0, 9}, {128, 0, 9}, {0, 5, 5}},
+                        &offsets);
+  for (const int64_t off : offsets) EXPECT_EQ(off % 64, 0) << off;
+}
+
+// ------------------------------------------------- arena move + placement
+
+TEST(TensorArenaTest, MoveTransfersCommittedStorage) {
+  TensorArena arena;
+  const TensorArena::BufferId id = arena.ReserveFloats(32);
+  arena.Commit();
+  float* data = arena.Floats(id);
+  for (int i = 0; i < 32; ++i) data[i] = static_cast<float>(i);
+  const int64_t bytes = arena.total_bytes();
+
+  TensorArena moved(std::move(arena));
+  EXPECT_TRUE(moved.committed());
+  EXPECT_EQ(moved.total_bytes(), bytes);
+  EXPECT_EQ(moved.Floats(id), data);  // same backing storage, same bits
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(data[i], static_cast<float>(i));
+
+  TensorArena assigned;
+  assigned.ReserveInt8s(16);
+  assigned.Commit();
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.Floats(id), data);
+  EXPECT_EQ(assigned.total_bytes(), bytes);
+}
+
+TEST(TensorArenaTest, PlacedBuffersResolveAtTheirOffsets) {
+  TensorArena arena;
+  const TensorArena::BufferId a = arena.PlaceFloats(0, 16, 0, 1);
+  const TensorArena::BufferId b = arena.PlaceInt8s(64, 100, 0, 1);
+  const TensorArena::BufferId c = arena.PlaceFloats(0, 16, 2, 3);  // reuse
+  arena.Commit();
+  uint8_t* base = reinterpret_cast<uint8_t*>(arena.Floats(a));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(base) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uint8_t*>(arena.Int8s(b)), base + 64);
+  EXPECT_EQ(arena.Floats(c), arena.Floats(a));  // disjoint lifetimes alias
+  EXPECT_GE(arena.total_bytes(), 64 + 100);
+}
+
+TEST(TensorArenaDeathTest, OverlappingLifetimesAtSameBytesAbort) {
+  TensorArena arena;
+  arena.PlaceFloats(0, 16, 0, 2);
+  arena.PlaceFloats(0, 16, 1, 3);  // lifetimes intersect at steps 1-2
+  EXPECT_DEATH(arena.Commit(), "overlapping-lifetime");
+}
+
+TEST(TensorArenaDeathTest, MisalignedPlaceAborts) {
+  TensorArena arena;
+  EXPECT_DEATH(arena.PlaceFloats(32, 16, 0, 1), "align");
 }
 
 }  // namespace

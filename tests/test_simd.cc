@@ -186,6 +186,89 @@ TEST(SimdParityTest, ConvGemmBiasBitwiseAcrossIsasAndThreads) {
   RuntimeConfig::SetThreads(1);
 }
 
+TEST(SimdParityTest, MatMulBiasActBitwiseEqualsSeparatePasses) {
+  // The fused-epilogue contract: MatMulBiasActInto must equal MatMulInto
+  // followed by separate bias and relu output passes, bit for bit, at
+  // every ISA and thread count — fusion may only remove stores/reloads,
+  // never change a float operation. Gaussian data lands on both sides of
+  // zero, so the relu branch takes both arms.
+  IsaRestore restore;
+  Rng rng(35);
+  for (const GemmShape& s : kTailShapes) {
+    Tensor a({s.m, s.k}), b({s.k, s.n}), bias({s.n});
+    a.FillGaussian(&rng, 1.0f);
+    b.FillGaussian(&rng, 1.0f);
+    bias.FillGaussian(&rng, 1.0f);
+
+    for (const bool relu : {false, true}) {
+      // Reference: unfused pipeline on the scalar table, single thread.
+      simd::SetIsa(simd::Isa::kScalar);
+      RuntimeConfig::SetThreads(1);
+      std::vector<float> ref(static_cast<size_t>(s.m * s.n));
+      MatMulInto(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+      for (int64_t i = 0; i < s.m; ++i) {
+        for (int64_t j = 0; j < s.n; ++j) {
+          float& v = ref[static_cast<size_t>(i * s.n + j)];
+          v += bias[j];
+          if (relu) v = v > 0.0f ? v : 0.0f;
+        }
+      }
+      std::vector<float> c(static_cast<size_t>(s.m * s.n));
+      for (simd::Isa isa : SupportedIsas()) {
+        simd::SetIsa(isa);
+        for (int threads : {1, 2, 8}) {
+          RuntimeConfig::SetThreads(threads);
+          std::fill(c.begin(), c.end(), -1.0f);
+          MatMulBiasActInto(a.data(), b.data(), bias.data(), c.data(), s.m,
+                            s.k, s.n, relu);
+          EXPECT_TRUE(BitwiseEqual(c.data(), ref.data(), s.m * s.n))
+              << "isa=" << simd::IsaName(isa) << " threads=" << threads
+              << " relu=" << relu << " m=" << s.m << " k=" << s.k
+              << " n=" << s.n;
+        }
+      }
+    }
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
+TEST(SimdParityTest, ConvGemmBiasActBitwiseEqualsSeparateRelu) {
+  IsaRestore restore;
+  Rng rng(36);
+  for (const GemmShape& s : kTailShapes) {
+    Tensor a({s.m, s.k}), bt({s.n, s.k}), bias({s.m});
+    a.FillGaussian(&rng, 1.0f);
+    bt.FillGaussian(&rng, 1.0f);
+    bias.FillGaussian(&rng, 1.0f);
+
+    for (const bool relu : {false, true}) {
+      simd::SetIsa(simd::Isa::kScalar);
+      RuntimeConfig::SetThreads(1);
+      std::vector<float> ref(static_cast<size_t>(s.m * s.n));
+      ConvGemmBiasInto(a.data(), bt.data(), bias.data(), ref.data(), s.m,
+                       s.k, s.n);
+      if (relu) {
+        for (float& v : ref) v = v > 0.0f ? v : 0.0f;
+      }
+      std::vector<float> c(static_cast<size_t>(s.m * s.n));
+      for (simd::Isa isa : SupportedIsas()) {
+        simd::SetIsa(isa);
+        for (int threads : {1, 2, 8}) {
+          RuntimeConfig::SetThreads(threads);
+          std::fill(c.begin(), c.end(), -1.0f);
+          ConvGemmBiasActInto(a.data(), bt.data(), bias.data(), c.data(),
+                              s.m, s.k, s.n, relu);
+          EXPECT_TRUE(BitwiseEqual(c.data(), ref.data(), s.m * s.n))
+              << "isa=" << simd::IsaName(isa) << " threads=" << threads
+              << " relu=" << relu << " m=" << s.m << " k=" << s.k
+              << " n=" << s.n;
+        }
+      }
+    }
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
 // ---------------------------------------------- integer bit-exactness
 
 TEST(SimdParityTest, Int8GemmBitExactAcrossIsasAndThreads) {
