@@ -261,6 +261,112 @@ SwapResult BenchHotSwap() {
   return result;
 }
 
+// ------------------------------------- 4. multi-tenant QoS (E37)
+
+struct TenantBenchRow {
+  std::string tenant;
+  int64_t offered = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;
+  double goodput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct QosRun {
+  std::string mode;  ///< scheduler configuration under test
+  double offered_rps = 0.0;
+  double aggregate_goodput_rps = 0.0;
+  double max_min_goodput_ratio = 0.0;
+  std::vector<TenantBenchRow> tenants;
+};
+
+/// One tenanted open-loop run. `use_slots` false is the legacy FIFO
+/// baseline; `fair` toggles DWFQ + per-tenant quotas (quota = a fair
+/// quarter of declared capacity) in slot mode.
+QosRun BenchTenantMix(const std::string& mode, bool use_slots, bool fair,
+                      const std::vector<TenantShare>& mix,
+                      double load_multiplier) {
+  ServerConfig config;
+  config.workers = 2;
+  config.batch.max_batch = 8;
+  config.batch.max_delay_ms = 0.2;
+  config.queue_capacity = 8 * config.batch.max_batch;
+  // A tight deadline — about five full-batch steps — keeps the run in
+  // the admission-controlled regime: the hot tenant's excess sheds at
+  // admission (its quota cannot fund the backlog in time) instead of
+  // camping in the queue and dragging every tenant into queue-full.
+  config.default_deadline_ms =
+      5.0 * EstimateServiceMs(config.cost, config.batch.max_batch);
+  config.scheduler.use_slots = use_slots;
+  config.scheduler.fair_queueing = fair;
+  config.scheduler.enforce_quotas = fair;
+  if (fair) {
+    // Per-tenant quota just under a fair quarter of capacity (so the
+    // four quotas sum to 3/4 of the fleet, leaving headroom), plus a
+    // burst of one full batch. An unthrottled tenant stays under it;
+    // the 8x hot tenant pins against it.
+    config.scheduler.default_policy.rate_rps = 0.1875 * CapacityRps(config);
+    config.scheduler.default_policy.burst =
+        static_cast<double>(config.batch.max_batch);
+  }
+  ServerUnderTest sut = MakeServer(config);
+
+  TenantedLoadConfig load;
+  load.seed = 76;
+  load.requests = g_smoke ? 400 : 4000;
+  load.rate_rps = load_multiplier * CapacityRps(config);
+  load.deadline_ms = config.default_deadline_ms;
+  load.model = "m";
+  load.mix = mix;
+  const TenantedLoadReport report =
+      RunTenantedOpenLoop(sut.server.get(), load);
+
+  QosRun run;
+  run.mode = mode;
+  run.offered_rps = load.rate_rps;
+  run.aggregate_goodput_rps =
+      report.total.duration_ms > 0.0
+          ? static_cast<double>(report.total.completed -
+                                report.total.deadline_missed) /
+                (report.total.duration_ms / 1000.0)
+          : 0.0;
+  run.max_min_goodput_ratio = report.max_min_goodput_ratio;
+  for (const auto& [tenant, per] : report.by_tenant) {
+    TenantBenchRow row;
+    row.tenant = tenant;
+    row.offered = per.offered;
+    row.admitted = per.admitted;
+    row.shed = per.shed;
+    row.goodput_rps = report.goodput_rps.at(tenant);
+    row.p50_ms = per.latency.Quantile(0.5);
+    row.p99_ms = per.latency.Quantile(0.99);
+    run.tenants.push_back(row);
+  }
+  return run;
+}
+
+std::vector<QosRun> BenchTenantQos() {
+  const std::vector<TenantShare> balanced = BalancedTenantMix(4);
+  const std::vector<TenantShare> hot = HotTenantMix(4, 8.0);
+  std::vector<QosRun> runs;
+  // Balanced mix at a feasible load: the slot scheduler must not tax the
+  // E32 FIFO plateau.
+  runs.push_back(
+      BenchTenantMix("fifo_balanced", /*use_slots=*/false, false, balanced,
+                     0.8));
+  runs.push_back(
+      BenchTenantMix("slots_balanced", /*use_slots=*/true, false, balanced,
+                     0.8));
+  // Adversarial hot tenant at 1.4x capacity: DWFQ + quotas bound the
+  // skew; the FIFO control shows the starvation they prevent.
+  runs.push_back(BenchTenantMix("slots_fair_hot", /*use_slots=*/true, true,
+                                hot, 1.375));
+  runs.push_back(BenchTenantMix("slots_fifo_hot", /*use_slots=*/true, false,
+                                hot, 1.375));
+  return runs;
+}
+
 }  // namespace
 }  // namespace dlsys
 
@@ -309,6 +415,32 @@ int main(int argc, char** argv) {
       swap.p99_during_ms, swap.p99_after_ms);
   DLSYS_CHECK(swap.lost == 0, "hot swap lost admitted requests");
 
+  const std::vector<QosRun> qos = BenchTenantQos();
+  for (const QosRun& run : qos) {
+    std::printf("tenant %-14s offered %8.0f r/s | goodput %8.0f r/s | "
+                "max/min %6.2f\n",
+                run.mode.c_str(), run.offered_rps, run.aggregate_goodput_rps,
+                run.max_min_goodput_ratio);
+    for (const TenantBenchRow& row : run.tenants) {
+      std::printf("  %-4s offered %5lld | admitted %5lld | shed %5lld | "
+                  "goodput %8.0f r/s | p50 %6.3f ms | p99 %6.3f ms\n",
+                  row.tenant.c_str(), static_cast<long long>(row.offered),
+                  static_cast<long long>(row.admitted),
+                  static_cast<long long>(row.shed), row.goodput_rps,
+                  row.p50_ms, row.p99_ms);
+    }
+  }
+  // E37 acceptance, bench-enforced: continuous batching keeps the E32
+  // FIFO plateau at a balanced mix, and DWFQ + quotas bound the hot-
+  // tenant skew the FIFO control demonstrates.
+  DLSYS_CHECK(qos[1].aggregate_goodput_rps >=
+                  0.95 * qos[0].aggregate_goodput_rps,
+              "slot scheduler lost the balanced-mix goodput plateau");
+  DLSYS_CHECK(qos[2].max_min_goodput_ratio <= 3.0,
+              "fair scheduling failed to bound hot-tenant goodput skew");
+  DLSYS_CHECK(qos[3].max_min_goodput_ratio > qos[2].max_min_goodput_ratio,
+              "FIFO control should show more skew than fair scheduling");
+
   FILE* out = std::fopen("BENCH_serving.json", "w");
   if (out == nullptr) {
     std::printf("cannot open BENCH_serving.json\n");
@@ -346,8 +478,7 @@ int main(int argc, char** argv) {
       "\"completed\": %lld, \"lost\": %lld,\n"
       "               \"served_v1\": %lld, \"served_v2\": %lld, "
       "\"p99_before_ms\": %.4f, \"p99_during_ms\": %.4f, "
-      "\"p99_after_ms\": %.4f}\n"
-      "}\n",
+      "\"p99_after_ms\": %.4f},\n",
       static_cast<long long>(swap.offered),
       static_cast<long long>(swap.admitted),
       static_cast<long long>(swap.completed),
@@ -355,6 +486,30 @@ int main(int argc, char** argv) {
       static_cast<long long>(swap.served_v1),
       static_cast<long long>(swap.served_v2), swap.p99_before_ms,
       swap.p99_during_ms, swap.p99_after_ms);
+  std::fprintf(out, "  \"tenant\": [\n");
+  for (size_t i = 0; i < qos.size(); ++i) {
+    const QosRun& run = qos[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"offered_rps\": %.0f, "
+                 "\"aggregate_goodput_rps\": %.0f, "
+                 "\"max_min_goodput_ratio\": %.4f, \"tenants\": [\n",
+                 run.mode.c_str(), run.offered_rps, run.aggregate_goodput_rps,
+                 run.max_min_goodput_ratio);
+    for (size_t j = 0; j < run.tenants.size(); ++j) {
+      const TenantBenchRow& row = run.tenants[j];
+      std::fprintf(
+          out,
+          "      {\"tenant\": \"%s\", \"offered\": %lld, \"admitted\": %lld, "
+          "\"shed\": %lld, \"goodput_rps\": %.0f, \"p50_ms\": %.4f, "
+          "\"p99_ms\": %.4f}%s\n",
+          row.tenant.c_str(), static_cast<long long>(row.offered),
+          static_cast<long long>(row.admitted),
+          static_cast<long long>(row.shed), row.goodput_rps, row.p50_ms,
+          row.p99_ms, j + 1 < run.tenants.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", i + 1 < qos.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote BENCH_serving.json\n");
   return 0;

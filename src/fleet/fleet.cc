@@ -156,6 +156,22 @@ std::string FleetReportJson(const FleetReport& report) {
   AppendD(&out, "steady_goodput_rps", report.steady_goodput_rps);
   AppendD(&out, "fault_start_ms", report.fault_start_ms);
   AppendD(&out, "time_to_recover_ms", report.time_to_recover_ms);
+  out += "\"tenants\": {";
+  {
+    bool first = true;
+    for (const auto& [name, row] : report.tenants) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + name + "\": {";
+      AppendI(&out, "offered", row.offered);
+      AppendI(&out, "admitted", row.admitted);
+      AppendI(&out, "completed_ok", row.completed_ok);
+      AppendI(&out, "missed", row.missed);
+      AppendI(&out, "shed", row.shed, /*comma=*/false);
+      out += "}";
+    }
+  }
+  out += "}, ";
   out += "\"windows\": [";
   for (size_t i = 0; i < report.windows.size(); ++i) {
     const FleetWindow& w = report.windows[i];
@@ -192,6 +208,7 @@ struct Fleet::Replica {
     double client_t_ms = 0.0;
     double client_deadline_ms = 0.0;  ///< absolute end-to-end deadline
     double return_hop_ms = 0.0;
+    std::string tenant;  ///< empty when the load is untenanted
   };
 
   std::unique_ptr<ModelRegistry> registry;
@@ -286,6 +303,11 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
   Autoscaler autoscaler(scale_cfg, ReplicaCapacityRps(config_.server));
 
   const std::vector<double> arrivals = GenerateTraceArrivals(load);
+  // Tenant attribution of the arrival stream (empty mix = untenanted,
+  // byte-identical behavior); rid indexes this in step 7.
+  const std::vector<std::string> tenant_of =
+      AssignTenants(load.tenant_mix, load.seed,
+                    static_cast<int64_t>(arrivals.size()));
   const double deadline_ms = load.deadline_ms > 0.0
                                  ? load.deadline_ms
                                  : config_.server.default_deadline_ms;
@@ -333,6 +355,7 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
     int replica = -1;
     int64_t incarnation = 0;
     double finish_ms = 0.0;  ///< server-side finish; 0 for dead routes
+    std::string tenant;      ///< empty when the load is untenanted
   };
   std::vector<Delivery> outstanding;
 
@@ -354,9 +377,11 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
     if (d.ok) {
       ++w.ok;
       ++report.completed_ok;
+      if (!d.tenant.empty()) ++report.tenants[d.tenant].completed_ok;
     } else {
       ++w.missed;
       ++report.missed;
+      if (!d.tenant.empty()) ++report.tenants[d.tenant].missed;
       if (canary.active && d.replica == canary.replica) {
         ++replicas_[static_cast<size_t>(d.replica)]->degraded_since_rollout;
       }
@@ -386,6 +411,7 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
       d.replica = slot;
       d.incarnation = r.incarnation;
       d.finish_ms = c.finish_ms;
+      d.tenant = it->second.tenant;
       outstanding.push_back(d);
       r.pending.erase(it);
     }
@@ -403,6 +429,9 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
     WindowAcc& w = window_at(at_ms);
     w.missed += static_cast<int64_t>(r.pending.size());
     report.missed += static_cast<int64_t>(r.pending.size());
+    for (const auto& [id, p] : r.pending) {
+      if (!p.tenant.empty()) ++report.tenants[p.tenant].missed;
+    }
     r.pending.clear();
     for (Delivery& d : outstanding) {
       if (d.replica == slot && d.incarnation == r.incarnation &&
@@ -685,6 +714,13 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
       const int64_t rid = request_index++;
       ++arrivals_in_decide;
       ++report.offered;
+      // rid counts every arrival in order, so it indexes tenant_of.
+      const std::string tenant =
+          tenant_of.empty() ? std::string()
+                            : tenant_of[static_cast<size_t>(rid)];
+      FleetReport::TenantRow* trow =
+          tenant.empty() ? nullptr : &report.tenants[tenant];
+      if (trow != nullptr) ++trow->offered;
       WindowAcc& aw = window_at(t);
       ++aw.offered;
       for (int i = 0; i < slots; ++i) {
@@ -709,6 +745,7 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
                                 rid);
         ++report.shed_unhealthy;
         ++aw.shed;
+        if (trow != nullptr) ++trow->shed;
         continue;
       }
       Replica& r = *replicas_[static_cast<size_t>(pick)];
@@ -736,6 +773,7 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
         d.record_latency = false;
         d.replica = pick;
         d.incarnation = r.incarnation;
+        d.tenant = tenant;
         outstanding.push_back(d);
         continue;
       }
@@ -744,15 +782,17 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
       const double ta = std::max(t + fwd_ms, r.server->clock_ms());
       const double budget = (t + deadline_ms) - ret_ms - ta;
       example.FillGaussian(&payloads, 1.0f);
-      const Server::SubmitResult sr =
-          r.server->Submit(model_, example, ta, budget > 0.0 ? budget : 1e-9);
+      const Server::SubmitResult sr = r.server->Submit(
+          model_, example, ta, budget > 0.0 ? budget : 1e-9, tenant);
       const bool admitted = sr.outcome == Server::Outcome::kAdmitted;
       if (admitted) {
         ++report.admitted;
+        if (trow != nullptr) ++trow->admitted;
         r.pending[sr.id] =
-            Replica::PendingReq{t, t + deadline_ms, ret_ms};
+            Replica::PendingReq{t, t + deadline_ms, ret_ms, tenant};
       } else {
         ++aw.shed;
+        if (trow != nullptr) ++trow->shed;
         if (canary.active && pick == canary.replica) {
           ++r.degraded_since_rollout;
         }

@@ -148,6 +148,18 @@ struct FleetReport {
   double time_to_recover_ms = -1.0; ///< -1: no fault or never recovered
   std::vector<FleetWindow> windows;
 
+  /// \brief Per-tenant slice of the fleet's end-to-end accounting, filled
+  /// when the load declares a tenant_mix (empty otherwise).
+  struct TenantRow {
+    int64_t offered = 0;
+    int64_t admitted = 0;
+    int64_t completed_ok = 0;
+    int64_t missed = 0;  ///< late/lost deliveries incl. dead-replica routes
+    int64_t shed = 0;    ///< turned away at admission or routing
+  };
+  /// Keyed by tenant name; map order makes the JSON export byte-stable.
+  std::map<std::string, TenantRow> tenants;
+
   double goodput_rps() const;       ///< completed_ok over duration_ms
   double miss_fraction() const;     ///< missed / offered
   double shed_fraction() const;     ///< all sheds / offered

@@ -5,6 +5,32 @@
 
 namespace dlsys {
 
+namespace {
+
+/// One tenant policy's field checks; \p who names the policy in the
+/// error ("scheduler.default_policy" or "scheduler.tenants[<name>]").
+Status ValidateTenantPolicy(const std::string& who, const TenantPolicy& policy,
+                            int priority_classes) {
+  if (!std::isfinite(policy.rate_rps)) {
+    return Status::InvalidArgument(who + ".rate_rps must be finite");
+  }
+  if (!(policy.burst >= 1.0) || !std::isfinite(policy.burst)) {
+    return Status::InvalidArgument(
+        who + ".burst must be finite and >= 1 (one request must fit)");
+  }
+  if (!(policy.weight > 0.0) || !std::isfinite(policy.weight)) {
+    return Status::InvalidArgument(
+        who + ".weight must be finite and positive");
+  }
+  if (policy.priority < 0 || policy.priority >= priority_classes) {
+    return Status::InvalidArgument(
+        who + ".priority must lie in [0, scheduler.priority_classes)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 double EstimateServiceMs(const ServiceCostModel& cost, int64_t batch_size) {
   return cost.fixed_ms +
          cost.per_example_ms * static_cast<double>(batch_size);
@@ -39,6 +65,25 @@ Status ValidateServerConfig(const ServerConfig& config) {
       !std::isfinite(config.cost.per_example_ms)) {
     return Status::InvalidArgument(
         "cost.per_example_ms must be finite and non-negative");
+  }
+  const SlotSchedulerConfig& sched = config.scheduler;
+  if (sched.slots_per_worker < 0) {
+    return Status::InvalidArgument(
+        "scheduler.slots_per_worker must be >= 0 (0 selects batch.max_batch)");
+  }
+  if (sched.priority_classes < 1) {
+    return Status::InvalidArgument("scheduler.priority_classes must be >= 1");
+  }
+  DLSYS_RETURN_NOT_OK(ValidateTenantPolicy(
+      "scheduler.default_policy", sched.default_policy,
+      sched.priority_classes));
+  for (const auto& [tenant, policy] : sched.tenants) {
+    if (tenant.empty()) {
+      return Status::InvalidArgument(
+          "scheduler.tenants keys must be non-empty tenant names");
+    }
+    DLSYS_RETURN_NOT_OK(ValidateTenantPolicy(
+        "scheduler.tenants[" + tenant + "]", policy, sched.priority_classes));
   }
   return Status::OK();
 }

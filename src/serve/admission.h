@@ -2,6 +2,8 @@
 #define DLSYS_SERVE_ADMISSION_H_
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "src/core/status.h"
 #include "src/infer/batcher.h"
@@ -37,6 +39,53 @@ struct ServiceCostModel {
 /// \brief Modeled service time for a batch of \p batch_size examples.
 double EstimateServiceMs(const ServiceCostModel& cost, int64_t batch_size);
 
+/// \brief QoS contract of one tenant: a token-bucket quota plus its
+/// weighted-fair share and priority class.
+///
+/// Quotas shape *service order*, not admission: a tenant past its rate
+/// waits for tokens instead of being turned away, and the wait feeds the
+/// deadline-feasibility test, so sustained abuse converts into deadline
+/// sheds charged to the abuser rather than queueing delay charged to
+/// everyone (the paper's Part-3 who-gets-served question, answered at
+/// the systems layer).
+struct TenantPolicy {
+  /// Sustained token refill in requests per simulated second; <= 0 means
+  /// unlimited (no quota applied).
+  double rate_rps = 0.0;
+  /// Bucket depth in requests (>= 1): how far a tenant may burst above
+  /// its sustained rate.
+  double burst = 8.0;
+  /// Deficit-weighted-fair share (> 0): a weight-2 tenant is offered
+  /// twice the slots of a weight-1 tenant when both are backlogged.
+  double weight = 1.0;
+  /// Priority class in [0, priority_classes): class 0 is served strictly
+  /// before class 1, and so on.
+  int priority = 0;
+};
+
+/// \brief Configuration of the continuous-batching slot scheduler.
+struct SlotSchedulerConfig {
+  /// Selects the slot scheduler. The legacy FIFO-prefix batching path
+  /// stays the default for one release migration window; it is retired
+  /// next release.
+  bool use_slots = false;
+  /// Slot lanes per worker; each lane holds one in-flight request. 0
+  /// selects batch.max_batch (a full engine batch per worker).
+  int slots_per_worker = 0;
+  /// Number of strict priority classes (>= 1).
+  int priority_classes = 1;
+  /// Deficit-weighted-fair selection across tenants. Off, freed slots
+  /// fill in global FIFO order — the starvation control the fairness
+  /// test demonstrates.
+  bool fair_queueing = true;
+  /// Token-bucket quota enforcement. Off, every tenant is unlimited.
+  bool enforce_quotas = true;
+  /// Policy applied to tenants without an explicit entry below.
+  TenantPolicy default_policy;
+  /// Per-tenant overrides, keyed by tenant name.
+  std::map<std::string, TenantPolicy> tenants;
+};
+
 /// \brief Front-door configuration for a Server.
 struct ServerConfig {
   /// Engine replicas serving concurrently; each drives its own
@@ -53,13 +102,18 @@ struct ServerConfig {
   double default_deadline_ms = 50.0;
   /// The declared service-time model used for admission and scheduling.
   ServiceCostModel cost;
+  /// Continuous-batching slot scheduler with multi-tenant QoS; see
+  /// SlotSchedulerConfig. Default off (legacy FIFO path) this release.
+  SlotSchedulerConfig scheduler;
 };
 
 /// \brief Validates every user-settable field of \p config: worker count
 /// >= 1, queue bound >= max_batch >= 1, non-negative finite delay,
-/// positive finite deadline, non-negative finite cost terms. Returns
-/// InvalidArgument on the first violation — configuration is user input,
-/// so errors surface as Status, not DLSYS_CHECK aborts.
+/// positive finite deadline, non-negative finite cost terms, and the
+/// slot-scheduler QoS block (slot count, priority classes, per-tenant
+/// rate/burst/weight/priority). Returns InvalidArgument on the first
+/// violation — configuration is user input, so errors surface as Status,
+/// not DLSYS_CHECK aborts.
 Status ValidateServerConfig(const ServerConfig& config);
 
 /// \brief Why a request was turned away. Every shed is attributed to

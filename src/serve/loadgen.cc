@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -42,6 +43,142 @@ void FinishReport(double first_ms, double last_finish_ms, double wall_seconds,
 }
 
 }  // namespace
+
+std::vector<TenantShare> BalancedTenantMix(int n) {
+  std::vector<TenantShare> mix;
+  mix.reserve(static_cast<size_t>(std::max(0, n)));
+  for (int i = 0; i < n; ++i) {
+    mix.push_back({"t" + std::to_string(i), 1.0});
+  }
+  return mix;
+}
+
+std::vector<TenantShare> HotTenantMix(int n, double hot_factor) {
+  std::vector<TenantShare> mix = BalancedTenantMix(n);
+  if (!mix.empty()) mix[0].share = hot_factor;
+  return mix;
+}
+
+std::vector<std::string> AssignTenants(const std::vector<TenantShare>& mix,
+                                       uint64_t seed, int64_t n) {
+  std::vector<std::string> assignment;
+  if (mix.empty() || n <= 0) return assignment;
+  double total = 0.0;
+  for (const TenantShare& share : mix) total += std::max(0.0, share.share);
+  // The third fork of the seed's root: RunTenantedOpenLoop spends the
+  // first two on arrival gaps and payloads, so a caller with its own
+  // arrival process reproduces the identical assignment from (mix, seed).
+  Rng root(seed);
+  root.Fork();
+  root.Fork();
+  Rng draws = root.Fork();
+  assignment.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const double u = draws.Uniform() * total;
+    double cum = 0.0;
+    size_t pick = mix.size() - 1;
+    for (size_t j = 0; j < mix.size(); ++j) {
+      cum += std::max(0.0, mix[j].share);
+      if (u < cum) {
+        pick = j;
+        break;
+      }
+    }
+    assignment.push_back(mix[pick].tenant);
+  }
+  return assignment;
+}
+
+TenantedLoadReport RunTenantedOpenLoop(Server* server,
+                                       const TenantedLoadConfig& config) {
+  TenantedLoadReport report;
+  std::shared_ptr<ModelSnapshot> snap =
+      server->registry()->Acquire(config.model);
+  const int64_t in_elems = snap == nullptr ? 1 : snap->in_elems;
+  snap.reset();
+
+  Rng root(config.seed);
+  Rng arrivals = root.Fork();
+  Rng payloads = root.Fork();
+  const std::vector<std::string> tenant_of =
+      AssignTenants(config.mix, config.seed, config.requests);
+  const size_t completions_before = server->completions().size();
+  Tensor example({in_elems});
+
+  Stopwatch wall;
+  double t = std::max(config.start_ms, server->clock_ms());
+  const double first_ms = t;
+  std::map<int64_t, std::string> owner;  // request id -> tenant
+  for (int64_t i = 0; i < config.requests; ++i) {
+    t += -std::log(1.0 - arrivals.Uniform()) / config.rate_rps * 1000.0;
+    const std::string tenant =
+        tenant_of.empty() ? std::string("default")
+                          : tenant_of[static_cast<size_t>(i)];
+    example.FillGaussian(&payloads, 1.0f);
+    const Server::SubmitResult r =
+        server->Submit(config.model, example, t, config.deadline_ms, tenant);
+    LoadReport& per = report.by_tenant[tenant];
+    ++report.total.offered;
+    ++per.offered;
+    if (r.outcome == Server::Outcome::kAdmitted) {
+      ++report.total.admitted;
+      ++per.admitted;
+      owner[r.id] = tenant;
+    } else {
+      ++report.total.shed;
+      ++per.shed;
+    }
+  }
+  server->Drain();
+
+  double last_finish = 0.0;
+  const std::vector<Server::Completion>& done = server->completions();
+  for (size_t i = completions_before; i < done.size(); ++i) {
+    const Server::Completion& c = done[i];
+    auto it = owner.find(c.id);
+    if (it == owner.end()) continue;  // earlier traffic, not this run's
+    LoadReport& per = report.by_tenant[it->second];
+    ++report.total.completed;
+    ++per.completed;
+    if (c.deadline_missed) {
+      ++report.total.deadline_missed;
+      ++per.deadline_missed;
+    }
+    const double latency = c.finish_ms - c.arrival_ms;
+    report.total.latency.Record(latency);
+    per.latency.Record(latency);
+    last_finish = std::max(last_finish, c.finish_ms);
+  }
+  FinishReport(first_ms, last_finish, wall.Seconds(), &report.total);
+
+  // Per-tenant goodput over the run's simulated makespan, and the
+  // max/min ratio the fairness tests bound. A tenant that offered load
+  // but got nothing through makes the ratio infinite (starvation).
+  const double duration_s = report.total.duration_ms / 1000.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (auto& [tenant, per] : report.by_tenant) {
+    const double good =
+        duration_s > 0.0
+            ? static_cast<double>(per.completed - per.deadline_missed) /
+                  duration_s
+            : 0.0;
+    report.goodput_rps[tenant] = good;
+    per.duration_ms = report.total.duration_ms;
+    if (per.offered > 0) {
+      lo = std::min(lo, good);
+      hi = std::max(hi, good);
+    }
+  }
+  if (report.by_tenant.empty() || !std::isfinite(lo)) {
+    report.max_min_goodput_ratio = 1.0;
+  } else if (lo <= 0.0) {
+    report.max_min_goodput_ratio = std::numeric_limits<double>::infinity();
+  } else {
+    report.max_min_goodput_ratio = hi / lo;
+  }
+  return report;
+}
 
 double TraceRateAt(const TraceLoadConfig& config, double t_ms) {
   constexpr double kTwoPi = 6.283185307179586476925286766559;

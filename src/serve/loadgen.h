@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,58 @@ struct LoadReport {
   double real_throughput_rps = 0.0;
 };
 
+/// \brief One tenant's slice of a multi-tenant arrival stream: requests
+/// are attributed to \p tenant with probability share / sum(shares).
+struct TenantShare {
+  std::string tenant;
+  double share = 1.0;
+};
+
+/// \brief \p n equal-share tenants named "t0" .. "t<n-1>".
+std::vector<TenantShare> BalancedTenantMix(int n);
+
+/// \brief Adversarial mix: "t0" offers \p hot_factor times the share of
+/// each of the other \p n - 1 tenants — the hot-tenant workload the
+/// fairness tests and bench E37 drive.
+std::vector<TenantShare> HotTenantMix(int n, double hot_factor);
+
+/// \brief Materializes the per-arrival tenant assignment for \p n
+/// arrivals: seeded categorical draws over the shares of \p mix.
+/// Deterministic, and independent of the arrival-gap and payload streams
+/// RunTenantedOpenLoop forks from the same seed — callers with their own
+/// arrival process (the fleet) get the identical assignment by calling
+/// this with the same (mix, seed, n). Empty mix returns an empty vector.
+std::vector<std::string> AssignTenants(const std::vector<TenantShare>& mix,
+                                       uint64_t seed, int64_t n);
+
+/// \brief Seeded Poisson open-loop workload attributed across tenants.
+struct TenantedLoadConfig {
+  uint64_t seed = 1;         ///< drives arrivals, payloads, and tenants
+  int64_t requests = 1000;   ///< total arrivals to offer
+  double rate_rps = 1000.0;  ///< aggregate mean arrival rate
+  double deadline_ms = 0.0;  ///< per-request budget; <= 0 uses the default
+  std::string model = "model";
+  double start_ms = 0.0;
+  std::vector<TenantShare> mix;  ///< empty behaves as one "default" tenant
+};
+
+/// \brief Per-tenant breakdown of one tenanted load run.
+struct TenantedLoadReport {
+  LoadReport total;
+  std::map<std::string, LoadReport> by_tenant;
+  /// (completed - deadline_missed) / simulated duration, per tenant.
+  std::map<std::string, double> goodput_rps;
+  /// max over min per-tenant goodput — the fairness bound the tests pin;
+  /// infinity when some offered-to tenant got no goodput at all.
+  double max_min_goodput_ratio = 1.0;
+};
+
+/// \brief Drives \p server with a seeded Poisson stream whose requests
+/// carry tenant ids drawn from config.mix, then drains it. The tenant
+/// assignment is exactly AssignTenants(mix, seed, requests).
+TenantedLoadReport RunTenantedOpenLoop(Server* server,
+                                       const TenantedLoadConfig& config);
+
 /// \brief One flash crowd: offered rate multiplies by \p multiplier for
 /// [start_ms, start_ms + duration_ms) on top of the diurnal baseline.
 struct FlashCrowd {
@@ -85,6 +138,10 @@ struct TraceLoadConfig {
   std::vector<FlashCrowd> crowds;
   double deadline_ms = 0.0;  ///< per-request budget; <= 0 uses the default
   std::string model = "model";
+  /// Tenant attribution of the arrivals (AssignTenants over this mix and
+  /// the same seed); empty leaves the stream untenanted — byte-identical
+  /// behavior to before the QoS layer existed.
+  std::vector<TenantShare> tenant_mix;
 };
 
 /// \brief Instantaneous offered rate of \p config at simulated \p t_ms.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <utility>
 
 #include "src/obs/counters.h"
@@ -11,6 +12,33 @@ namespace dlsys {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The DLSYS_COUNTER_ADD macro caches its Counter* in a function-local
+// static, which is wrong for names built from tenant ids; tenant-keyed
+// counters go through the registry directly.
+void TenantCounterAdd(const std::string& tenant, const char* what,
+                      int64_t delta) {
+#if DLSYS_OBS
+  obs::CounterRegistry::Global()
+      .counter("serve.tenant." + tenant + "." + what)
+      ->Add(delta);
+#else
+  (void)tenant;
+  (void)what;
+  (void)delta;
+#endif
+}
+
+void TenantLatencyRecord(const std::string& tenant, double ms) {
+#if DLSYS_OBS
+  obs::CounterRegistry::Global()
+      .histogram("serve.tenant." + tenant + ".latency_ms")
+      ->Record(ms);
+#else
+  (void)tenant;
+  (void)ms;
+#endif
+}
 }  // namespace
 
 Result<std::unique_ptr<Server>> Server::Create(ModelRegistry* registry,
@@ -26,15 +54,34 @@ Server::Server(ModelRegistry* registry, const ServerConfig& config)
     : registry_(registry),
       config_(config),
       pool_(config.workers - 1),
-      worker_free_ms_(static_cast<size_t>(config.workers), 0.0) {}
+      worker_free_ms_(static_cast<size_t>(config.workers), 0.0) {
+  if (config_.scheduler.use_slots) {
+    scheduler_ = std::make_unique<TenantScheduler>(config_.scheduler);
+    slots_ = std::make_unique<SlotPool>(
+        config_.workers, static_cast<int>(lanes_per_worker()));
+    loaded_.resize(static_cast<size_t>(config_.workers));
+  }
+}
+
+int64_t Server::lanes_per_worker() const {
+  return config_.scheduler.slots_per_worker > 0
+             ? config_.scheduler.slots_per_worker
+             : config_.batch.max_batch;
+}
 
 Result<int64_t> Server::Publish(const std::string& model,
                                 const Sequential& net,
                                 const Shape& example_shape,
                                 const EngineConfig& engine_config) {
   EngineConfig ec = engine_config;
-  if (ec.max_batch < config_.batch.max_batch) {
-    ec.max_batch = config_.batch.max_batch;
+  // In slot mode a step batches every loaded lane, so staging must fit a
+  // full lane complement as well as the legacy batch ceiling.
+  const int64_t floor = config_.scheduler.use_slots
+                            ? std::max(config_.batch.max_batch,
+                                       lanes_per_worker())
+                            : config_.batch.max_batch;
+  if (ec.max_batch < floor) {
+    ec.max_batch = floor;
   }
   auto snap = CompileSnapshot(net, example_shape, config_.workers, ec);
   if (!snap.ok()) return snap.status();
@@ -66,18 +113,31 @@ int64_t Server::BatchPrefix(const std::deque<QueueEntry>& queue,
 
 Server::SubmitResult Server::Submit(const std::string& model,
                                     const Tensor& example, double arrival_ms,
-                                    double deadline_budget_ms) {
+                                    double deadline_budget_ms,
+                                    const std::string& tenant) {
   DLSYS_CHECK(arrival_ms >= clock_ms_, "Submit arrivals must be monotone");
-  // Batches due strictly before this arrival dispatch first; one whose
-  // delay expires exactly at arrival_ms instead waits to coalesce this
-  // request (same-tick semantics, matching MicroBatcher::Submit).
-  DispatchDue(arrival_ms, /*strict=*/true);
+  const bool slot_mode = scheduler_ != nullptr;
+  // Work due strictly before this arrival happens first; a batch delay or
+  // step completion landing exactly at arrival_ms instead waits for the
+  // non-strict pass below, so it can coalesce (or seat) this request
+  // (same-tick semantics, matching MicroBatcher::Submit).
+  if (slot_mode) {
+    SlotAdvance(arrival_ms, /*strict=*/true);
+  } else {
+    DispatchDue(arrival_ms, /*strict=*/true);
+  }
   clock_ms_ = arrival_ms;
+
+  const std::string tenant_name =
+      tenant.empty() ? std::string("default") : tenant;
+  TenantStats& ts = tenants_[tenant_name];
 
   SubmitResult result;
   result.id = next_id_++;
   ++offered_;
+  ++ts.offered;
   DLSYS_COUNTER_ADD("serve.offered", 1);
+  TenantCounterAdd(tenant_name, "offered", 1);
 
   std::shared_ptr<ModelSnapshot> snap = registry_->Acquire(model);
   if (snap == nullptr) {
@@ -90,87 +150,120 @@ Server::SubmitResult Server::Submit(const std::string& model,
               "snapshot has fewer replicas than serving workers");
   DLSYS_CHECK(snap->engine_config.max_batch >= config_.batch.max_batch,
               "snapshot engine batch ceiling below the server batch policy");
+  if (slot_mode) {
+    DLSYS_CHECK(snap->engine_config.max_batch >= lanes_per_worker(),
+                "snapshot engine batch ceiling below the slot lane count");
+  }
   DLSYS_CHECK(example.size() == snap->in_elems,
               "example does not match the model's per-example input shape");
   result.version = snap->version;
 
   const double budget = deadline_budget_ms > 0.0 ? deadline_budget_ms
                                                  : config_.default_deadline_ms;
-  const int64_t mb = config_.batch.max_batch;
-
-  // Predict this request's batch from the queue's FIFO grouping: it joins
-  // the trailing group when that group shares its snapshot and has room,
-  // otherwise it opens a new group behind everything queued.
-  auto qit = queues_.find(model);
-  const int64_t depth =
-      qit == queues_.end() ? 0 : static_cast<int64_t>(qit->second.size());
-  std::vector<int64_t> ahead_sizes;
-  int64_t tail_size = 0;
-  double tail_front_arrival = 0.0;
-  const ModelSnapshot* tail_snap = nullptr;
-  for (int64_t i = 0; i < depth;) {
-    const std::deque<QueueEntry>& q = qit->second;
-    const ModelSnapshot* gs = q[i].snap.get();
-    int64_t n = 0;
-    while (i + n < depth && n < mb && q[i + n].snap.get() == gs) ++n;
-    if (i + n == depth) {
-      tail_size = n;
-      tail_front_arrival = q[i].arrival_ms;
-      tail_snap = gs;
-    } else {
-      ahead_sizes.push_back(n);
-    }
-    i += n;
-  }
-  const bool joins_tail = tail_snap == snap.get() && tail_size < mb;
-  if (!joins_tail && tail_size > 0) ahead_sizes.push_back(tail_size);
+  const ServiceCostModel scaled_cost = ScaledCost();
 
   AdmissionInputs in;
-  in.queue_depth = depth;
   in.arrival_ms = arrival_ms;
   in.deadline_budget_ms = budget;
   in.draining = draining_;
-  in.prospective_batch = joins_tail ? tail_size + 1 : 1;
-  if (in.prospective_batch == mb) {
-    in.batch_ready_ms = arrival_ms;  // this request completes the batch
-  } else if (joins_tail) {
-    in.batch_ready_ms =
-        std::max(arrival_ms, tail_front_arrival + config_.batch.max_delay_ms);
+  if (slot_mode) {
+    // Slot-mode prediction: the backlog is everything queued or loaded;
+    // the request can start no earlier than its tenant's quota opens, and
+    // no earlier than the backlog clears at the pool's steady drain rate
+    // (workers * lanes requests per full step). Like the legacy branch
+    // the prediction is biased optimistic, so sheds under-trigger.
+    const int64_t lanes = lanes_per_worker();
+    const int64_t backlog = scheduler_->depth() + slots_->TotalLoaded();
+    in.queue_depth = backlog;
+    in.prospective_batch = std::min<int64_t>(lanes, backlog + 1);
+    in.batch_ready_ms = std::max(
+        arrival_ms, scheduler_->QuotaBacklogMs(tenant_name, arrival_ms));
+    const double step_ms = EstimateServiceMs(scaled_cost, lanes);
+    const double backlog_ms =
+        step_ms > 0.0 ? static_cast<double>(backlog) * step_ms /
+                            (static_cast<double>(config_.workers) *
+                             static_cast<double>(lanes))
+                      : 0.0;
+    const double free =
+        *std::min_element(worker_free_ms_.begin(), worker_free_ms_.end());
+    in.earliest_worker_free_ms = std::max(free, arrival_ms) + backlog_ms;
   } else {
-    in.batch_ready_ms = arrival_ms + config_.batch.max_delay_ms;
+    const int64_t mb = config_.batch.max_batch;
+    // Predict this request's batch from the queue's FIFO grouping: it
+    // joins the trailing group when that group shares its snapshot and
+    // has room, otherwise it opens a new group behind everything queued.
+    auto qit = queues_.find(model);
+    const int64_t depth =
+        qit == queues_.end() ? 0 : static_cast<int64_t>(qit->second.size());
+    std::vector<int64_t> ahead_sizes;
+    int64_t tail_size = 0;
+    double tail_front_arrival = 0.0;
+    const ModelSnapshot* tail_snap = nullptr;
+    for (int64_t i = 0; i < depth;) {
+      const std::deque<QueueEntry>& q = qit->second;
+      const ModelSnapshot* gs = q[i].snap.get();
+      int64_t n = 0;
+      while (i + n < depth && n < mb && q[i + n].snap.get() == gs) ++n;
+      if (i + n == depth) {
+        tail_size = n;
+        tail_front_arrival = q[i].arrival_ms;
+        tail_snap = gs;
+      } else {
+        ahead_sizes.push_back(n);
+      }
+      i += n;
+    }
+    const bool joins_tail = tail_snap == snap.get() && tail_size < mb;
+    if (!joins_tail && tail_size > 0) ahead_sizes.push_back(tail_size);
+
+    in.queue_depth = depth;
+    in.prospective_batch = joins_tail ? tail_size + 1 : 1;
+    if (in.prospective_batch == mb) {
+      in.batch_ready_ms = arrival_ms;  // this request completes the batch
+    } else if (joins_tail) {
+      in.batch_ready_ms = std::max(
+          arrival_ms, tail_front_arrival + config_.batch.max_delay_ms);
+    } else {
+      in.batch_ready_ms = arrival_ms + config_.batch.max_delay_ms;
+    }
+    // Predicted worker availability: replay the queued-ahead groups onto
+    // the earliest-free worker under the cost model. Their own ready times
+    // are ignored (assumed dispatchable at this arrival), which biases the
+    // prediction optimistic — sheds under-, never over-trigger from it.
+    std::vector<double> free = worker_free_ms_;
+    for (int64_t g : ahead_sizes) {
+      auto w = std::min_element(free.begin(), free.end());
+      *w = std::max(*w, arrival_ms) + EstimateServiceMs(scaled_cost, g);
+    }
+    in.earliest_worker_free_ms = *std::min_element(free.begin(), free.end());
   }
-  // Predicted worker availability: replay the queued-ahead groups onto
-  // the earliest-free worker under the cost model. Their own ready times
-  // are ignored (assumed dispatchable at this arrival), which biases the
-  // prediction optimistic — sheds under-, never over-trigger from it.
-  const ServiceCostModel scaled_cost = ScaledCost();
-  std::vector<double> free = worker_free_ms_;
-  for (int64_t g : ahead_sizes) {
-    auto w = std::min_element(free.begin(), free.end());
-    *w = std::max(*w, arrival_ms) + EstimateServiceMs(scaled_cost, g);
-  }
-  in.earliest_worker_free_ms = *std::min_element(free.begin(), free.end());
 
   ServerConfig decision_config = config_;
   decision_config.cost = scaled_cost;
   switch (DecideAdmission(decision_config, in)) {
     case AdmissionDecision::kShedQueueFull:
       ++shed_queue_full_;
+      ++ts.shed_queue_full;
       DLSYS_COUNTER_ADD("serve.shed.queue_full", 1);
+      TenantCounterAdd(tenant_name, "shed.queue_full", 1);
       DLSYS_TRACE_INSTANT_SIM("serve.shed.queue_full", "serve", arrival_ms,
                               result.id);
       result.outcome = Outcome::kShedQueueFull;
       return result;
     case AdmissionDecision::kShedDeadline:
       ++shed_deadline_;
+      ++ts.shed_deadline;
       DLSYS_COUNTER_ADD("serve.shed.deadline_infeasible", 1);
+      TenantCounterAdd(tenant_name, "shed.deadline_infeasible", 1);
       DLSYS_TRACE_INSTANT_SIM("serve.shed.deadline_infeasible", "serve",
                               arrival_ms, result.id);
       result.outcome = Outcome::kShedDeadline;
       return result;
     case AdmissionDecision::kShedDraining:
       ++shed_draining_;
+      ++ts.shed_draining;
       DLSYS_COUNTER_ADD("serve.shed.draining", 1);
+      TenantCounterAdd(tenant_name, "shed.draining", 1);
       DLSYS_TRACE_INSTANT_SIM("serve.shed.draining", "serve", arrival_ms,
                               result.id);
       result.outcome = Outcome::kShedDraining;
@@ -180,21 +273,42 @@ Server::SubmitResult Server::Submit(const std::string& model,
   }
 
   ++admitted_;
+  ++ts.admitted;
   DLSYS_COUNTER_ADD("serve.admitted", 1);
+  TenantCounterAdd(tenant_name, "admitted", 1);
   DLSYS_TRACE_INSTANT_SIM("serve.admit", "serve", arrival_ms, result.id);
-  QueueEntry entry;
-  entry.id = result.id;
-  entry.arrival_ms = arrival_ms;
-  entry.deadline_ms = arrival_ms + budget;
-  entry.input = Tensor({snap->in_elems});
-  std::copy(example.data(), example.data() + snap->in_elems,
-            entry.input.data());
-  entry.snap = std::move(snap);
-  queues_[model].push_back(std::move(entry));
 
-  // Now dispatch anything due *at* arrival_ms too — a full batch formed
-  // by this request, or a delay expiring on this exact tick.
-  DispatchDue(arrival_ms, /*strict=*/false);
+  if (slot_mode) {
+    SlotRequest req;
+    req.id = result.id;
+    req.tenant = tenant_name;
+    req.priority = scheduler_->PolicyFor(tenant_name).priority;
+    req.arrival_ms = arrival_ms;
+    req.deadline_ms = arrival_ms + budget;
+    req.input = Tensor({snap->in_elems});
+    std::copy(example.data(), example.data() + snap->in_elems,
+              req.input.data());
+    req.snap = std::move(snap);
+    scheduler_->Enqueue(std::move(req));
+    // Seat the request immediately if a lane is free (or frees exactly
+    // now), and let idle workers depart with whatever is loaded.
+    SlotAdvance(arrival_ms, /*strict=*/false);
+  } else {
+    QueueEntry entry;
+    entry.id = result.id;
+    entry.tenant = tenant_name;
+    entry.arrival_ms = arrival_ms;
+    entry.deadline_ms = arrival_ms + budget;
+    entry.input = Tensor({snap->in_elems});
+    std::copy(example.data(), example.data() + snap->in_elems,
+              entry.input.data());
+    entry.snap = std::move(snap);
+    queues_[model].push_back(std::move(entry));
+
+    // Now dispatch anything due *at* arrival_ms too — a full batch formed
+    // by this request, or a delay expiring on this exact tick.
+    DispatchDue(arrival_ms, /*strict=*/false);
+  }
   result.outcome = Outcome::kAdmitted;
   return result;
 }
@@ -208,6 +322,11 @@ ServiceCostModel Server::ScaledCost() const {
 
 int64_t Server::DropQueued() {
   int64_t dropped = 0;
+  if (scheduler_ != nullptr) {
+    dropped += scheduler_->DropAll();
+    dropped += slots_->DropLoaded(clock_ms_);
+    for (std::vector<QueueEntry>& lane : loaded_) lane.clear();
+  }
   for (auto& [name, queue] : queues_) {
     dropped += static_cast<int64_t>(queue.size());
     queue.clear();
@@ -222,6 +341,9 @@ int64_t Server::DropQueued() {
 
 int64_t Server::queue_depth() const {
   int64_t depth = 0;
+  if (scheduler_ != nullptr) {
+    depth += scheduler_->depth() + slots_->TotalLoaded();
+  }
   for (const auto& [name, queue] : queues_) {
     depth += static_cast<int64_t>(queue.size());
   }
@@ -236,19 +358,46 @@ double Server::earliest_worker_free_ms() const {
 
 void Server::AdvanceTo(double now_ms) {
   DLSYS_CHECK(now_ms >= clock_ms_, "AdvanceTo must be monotone");
-  DispatchDue(now_ms, /*strict=*/false);
+  if (scheduler_ != nullptr) {
+    SlotAdvance(now_ms, /*strict=*/false);
+  } else {
+    DispatchDue(now_ms, /*strict=*/false);
+  }
   clock_ms_ = now_ms;
 }
 
 double Server::NextActionableMs() const {
   double best = -1.0;
+  const auto consider = [&best](double t) {
+    if (best < 0.0 || t < best) best = t;
+  };
+  if (scheduler_ != nullptr) {
+    // In-flight steps complete at their modeled finish times; each
+    // completion frees lanes and may start the worker's next step.
+    bool any_free_lane = false;
+    for (int w = 0; w < config_.workers; ++w) {
+      if (slots_->ExecutingCount(w) > 0) consider(worker_free_ms_[w]);
+      if (slots_->FreeLanes(w) > 0) any_free_lane = true;
+    }
+    // A quota refill strictly in the future can unblock a queued request.
+    // Anything eligible *now* is already seated (SlotAdvance leaves the
+    // pool saturated), so a refill at or before the clock is not an
+    // event; and if free lanes exist only behind a version-homogeneity
+    // constraint, the constraining worker is necessarily executing, so a
+    // completion event already covers progress.
+    if (scheduler_->depth() > 0 && any_free_lane) {
+      const double q = scheduler_->NextEligibleMs(clock_ms_);
+      if (q > clock_ms_) consider(q);
+    }
+    return best;
+  }
   for (const auto& [name, queue] : queues_) {
     if (queue.empty()) continue;
     double ready = 0.0;
     BatchPrefix(queue, &ready);
     const double t = std::max(
         ready, *std::min_element(worker_free_ms_.begin(), worker_free_ms_.end()));
-    if (best < 0.0 || t < best) best = t;
+    consider(t);
   }
   return best;
 }
@@ -359,6 +508,7 @@ void Server::FlushWave() {
       Completion c;
       c.id = entry.id;
       c.model = task.snap->model;
+      c.tenant = entry.tenant.empty() ? std::string("default") : entry.tenant;
       c.version = task.snap->version;
       c.arrival_ms = entry.arrival_ms;
       c.dispatch_ms = task.dispatch_ms;
@@ -391,10 +541,153 @@ void Server::FlushWave() {
                            c.finish_ms - c.dispatch_ms, c.id);
       DLSYS_TRACE_INSTANT_SIM("serve.respond", "serve", c.finish_ms, c.id);
       ++served_[c.model][c.version];
+      RecordTenantCompletion(c);
       completions_.push_back(std::move(c));
     }
   }
   wave_.clear();
+}
+
+void Server::RecordTenantCompletion(const Completion& completion) {
+  TenantStats& ts = tenants_[completion.tenant];
+  ++ts.completed;
+  TenantCounterAdd(completion.tenant, "completed", 1);
+  if (completion.deadline_missed) {
+    ++ts.deadline_missed;
+    TenantCounterAdd(completion.tenant, "deadline_missed", 1);
+  }
+  const double latency = completion.finish_ms - completion.arrival_ms;
+  ts.latency.Record(latency);
+  TenantLatencyRecord(completion.tenant, latency);
+}
+
+void Server::SlotAdvance(double limit_ms, bool strict) {
+  // Seat anything already eligible at the current clock (usually a no-op:
+  // every public mutation leaves the pool saturated).
+  double cursor = clock_ms_;
+  SlotRefillAndStart(cursor);
+  while (true) {
+    // Next event: the earliest in-flight step completion, or the earliest
+    // strictly-future quota refill that could seat a queued request.
+    double next = kInf;
+    bool any_free_lane = false;
+    for (int w = 0; w < config_.workers; ++w) {
+      if (slots_->ExecutingCount(w) > 0) {
+        next = std::min(next, worker_free_ms_[w]);
+      }
+      if (slots_->FreeLanes(w) > 0) any_free_lane = true;
+    }
+    if (scheduler_->depth() > 0 && any_free_lane) {
+      const double q = scheduler_->NextEligibleMs(cursor);
+      if (q > cursor) next = std::min(next, q);
+    }
+    if (next == kInf) break;
+    if (strict ? next >= limit_ms : next > limit_ms) break;
+    cursor = std::max(cursor, next);
+    // Complete every step due at the event time; freed lanes refill from
+    // the scheduler at once and idle workers depart immediately — no
+    // drain barrier between steps.
+    for (int w = 0; w < config_.workers; ++w) {
+      if (slots_->ExecutingCount(w) > 0 && worker_free_ms_[w] <= cursor) {
+        slots_->CompleteStep(w, cursor);
+      }
+    }
+    SlotRefillAndStart(cursor);
+  }
+  FlushWave();
+}
+
+int Server::SlotRefillAndStart(double now_ms) {
+  int placed_total = 0;
+  while (true) {
+    int placed = 0;
+    // Fill workers in service order — the worker whose next step departs
+    // soonest first, lowest index on ties — so a request the scheduler
+    // releases lands where it completes earliest.
+    std::vector<int> order(static_cast<size_t>(config_.workers));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return std::max(worker_free_ms_[a], now_ms) <
+             std::max(worker_free_ms_[b], now_ms);
+    });
+    for (int w : order) {
+      while (slots_->FreeLanes(w) > 0) {
+        // A worker's pending lanes stay version-homogeneous: once a lane
+        // is loaded, further loads must match its snapshot. An empty
+        // worker accepts anything.
+        TenantScheduler::SnapFilter filter;
+        if (!loaded_[static_cast<size_t>(w)].empty()) {
+          const ModelSnapshot* pending =
+              loaded_[static_cast<size_t>(w)].front().snap.get();
+          filter = [pending](const ModelSnapshot* s) { return s == pending; };
+        }
+        std::optional<SlotRequest> pick = scheduler_->PickNext(now_ms, filter);
+        if (!pick.has_value()) break;
+        const int slot = slots_->Load(w, pick->id, now_ms);
+        QueueEntry entry;
+        entry.id = pick->id;
+        entry.tenant = std::move(pick->tenant);
+        entry.slot = slot;
+        entry.arrival_ms = pick->arrival_ms;
+        entry.deadline_ms = pick->deadline_ms;
+        entry.snap = std::move(pick->snap);
+        entry.input = std::move(pick->input);
+        loaded_[static_cast<size_t>(w)].push_back(std::move(entry));
+        ++placed;
+        ++placed_total;
+      }
+    }
+    int started = 0;
+    for (int w = 0; w < config_.workers; ++w) {
+      if (slots_->ExecutingCount(w) == 0 &&
+          !loaded_[static_cast<size_t>(w)].empty()) {
+        SlotStartStep(w, now_ms);
+        ++started;
+      }
+    }
+    // A departed step clears its worker's version constraint, which can
+    // unlock further loads — loop until the pool is saturated.
+    if (placed == 0 && started == 0) break;
+  }
+  return placed_total;
+}
+
+void Server::SlotStartStep(int worker, double now_ms) {
+  std::vector<QueueEntry>& members = loaded_[static_cast<size_t>(worker)];
+  const int n = slots_->BeginStep(worker, now_ms);
+  DLSYS_CHECK(n == static_cast<int>(members.size()),
+              "loaded payloads out of sync with loaded lanes");
+  const std::shared_ptr<ModelSnapshot>& snap = members.front().snap;
+  // A replica's staging buffers hold exactly one batch; if this (snapshot,
+  // worker) pair is already staged in the pending wave, execute the wave
+  // before overwriting them.
+  for (const ExecTask& t : wave_) {
+    if (t.snap.get() == snap.get() && t.worker == worker) {
+      FlushWave();
+      break;
+    }
+  }
+
+  ExecTask task;
+  task.snap = snap;
+  task.worker = worker;
+  task.batch_size = n;
+  task.dispatch_ms = now_ms;
+  task.finish_ms = now_ms + EstimateServiceMs(ScaledCost(), n);
+  task.members.reserve(members.size());
+  ModelSnapshot::Replica& rep = task.snap->replicas[worker];
+  for (size_t j = 0; j < members.size(); ++j) {
+    std::copy(members[j].input.data(),
+              members[j].input.data() + task.snap->in_elems,
+              rep.in_staging.data() + static_cast<int64_t>(j) *
+                                          task.snap->in_elems);
+    task.members.push_back(std::move(members[j]));
+  }
+  members.clear();
+  worker_free_ms_[worker] = task.finish_ms;
+  ++batches_;
+  DLSYS_COUNTER_ADD("serve.batches", 1);
+  wave_.push_back(std::move(task));
 }
 
 MetricsReport Server::metrics() const {
@@ -418,6 +711,21 @@ MetricsReport Server::metrics() const {
   }
   latency_.ReportInto(&report, "serve.latency");
   measured_.ReportInto(&report, "serve.measured");
+  for (const auto& [name, ts] : tenants_) {
+    const std::string prefix = "serve.tenant." + name;
+    report.Set(prefix + ".offered", static_cast<double>(ts.offered));
+    report.Set(prefix + ".admitted", static_cast<double>(ts.admitted));
+    report.Set(prefix + ".completed", static_cast<double>(ts.completed));
+    report.Set(prefix + ".deadline_missed",
+               static_cast<double>(ts.deadline_missed));
+    report.Set(prefix + ".shed.queue_full",
+               static_cast<double>(ts.shed_queue_full));
+    report.Set(prefix + ".shed.deadline_infeasible",
+               static_cast<double>(ts.shed_deadline));
+    report.Set(prefix + ".shed.draining",
+               static_cast<double>(ts.shed_draining));
+    ts.latency.ReportInto(&report, prefix + ".latency");
+  }
   return report;
 }
 

@@ -13,6 +13,8 @@
 #include "src/runtime/thread_pool.h"
 #include "src/serve/admission.h"
 #include "src/serve/registry.h"
+#include "src/serve/scheduler.h"
+#include "src/serve/slots.h"
 
 /// \file server.h
 /// \brief The serving front door: bounded queues, deadline-aware
@@ -32,10 +34,24 @@
 /// (`Completion::measured_service_ms`), so benches can compare the model
 /// against reality.
 ///
+/// ## Two scheduling modes
+///
+/// With `config.scheduler.use_slots` off (the default this release) the
+/// server batches version-homogeneous FIFO prefixes per model queue,
+/// coalescing up to batch.max_delay_ms — the legacy PR-4 path. With it
+/// on, the server runs *continuous batching* over a fixed pool of
+/// per-worker request slots (src/serve/slots.h): a freed slot refills
+/// immediately from the TenantScheduler (src/serve/scheduler.h) under
+/// priority classes, per-tenant token-bucket quotas, and deficit-
+/// weighted-fair queueing, and an idle worker dispatches whatever is
+/// loaded without waiting for a batch to fill or drain. Requests carry a
+/// tenant id either way; per-tenant accounting is mode-independent.
+///
 /// ## Version binding and hot swap
 ///
 /// Each admitted request binds the model snapshot current *at admission*
-/// (one registry Acquire). Batches are version-homogeneous FIFO prefixes,
+/// (one registry Acquire). Batches are version-homogeneous in both modes
+/// (slot loading never mixes snapshots within a worker's pending lanes),
 /// so a Publish mid-load never mixes versions inside a batch and never
 /// loses a request: queued requests finish on the snapshot they bound.
 ///
@@ -76,6 +92,7 @@ class Server {
   struct Completion {
     int64_t id = 0;
     std::string model;
+    std::string tenant;         ///< normalized tenant id ("default" if none)
     int64_t version = 0;        ///< snapshot version bound at admission
     double arrival_ms = 0.0;    ///< simulated
     double dispatch_ms = 0.0;   ///< simulated batch start
@@ -109,13 +126,18 @@ class Server {
   /// \brief Offers one request at simulated time \p arrival_ms (monotone;
   /// checked). \p example must match the model's per-example input shape.
   /// \p deadline_budget_ms <= 0 selects config.default_deadline_ms.
+  /// \p tenant attributes the request for QoS and accounting; empty maps
+  /// to "default".
   ///
   /// Order of operations: dispatch every batch due strictly before
-  /// arrival_ms, then decide admission against the declared cost model,
-  /// then (if admitted) enqueue and dispatch anything due at arrival_ms —
-  /// so a batch whose delay expires exactly now coalesces this request.
+  /// arrival_ms, then decide admission against the declared cost model
+  /// (in slot mode the prediction folds in the tenant's token-bucket
+  /// wait and the slot backlog), then (if admitted) enqueue and dispatch
+  /// anything due at arrival_ms — so a batch whose delay expires exactly
+  /// now coalesces this request, and a slot freed exactly now takes it.
   SubmitResult Submit(const std::string& model, const Tensor& example,
-                      double arrival_ms, double deadline_budget_ms = 0.0);
+                      double arrival_ms, double deadline_budget_ms = 0.0,
+                      const std::string& tenant = std::string());
 
   /// \brief Advances the simulated clock to \p now_ms (monotone; checked),
   /// dispatching every batch whose dispatch time is due, and executes
@@ -168,19 +190,48 @@ class Server {
   /// \brief The validated configuration.
   const ServerConfig& config() const { return config_; }
 
+  /// \brief Per-tenant serving tallies (mode-independent; the fairness
+  /// bound and the E37 bench read goodput from these).
+  struct TenantStats {
+    int64_t offered = 0;
+    int64_t admitted = 0;
+    int64_t completed = 0;
+    int64_t deadline_missed = 0;
+    int64_t shed_queue_full = 0;
+    int64_t shed_deadline = 0;
+    int64_t shed_draining = 0;
+    LatencyHistogram latency;  ///< simulated finish - arrival
+  };
+
+  /// \brief Tallies per normalized tenant name, in name order.
+  const std::map<std::string, TenantStats>& tenant_stats() const {
+    return tenants_;
+  }
+
+  /// \brief The slot pool (occupancy timeline, per-slot states), or
+  /// nullptr when the legacy FIFO path is active.
+  const SlotPool* slot_pool() const { return slots_.get(); }
+
+  /// \brief Resolved slot lanes per worker (scheduler.slots_per_worker,
+  /// or batch.max_batch when 0).
+  int64_t lanes_per_worker() const;
+
   /// \brief Counters + latency quantiles under "serve.*" keys:
   /// offered/admitted/no_such_model/deadline_missed/batches, structured
   /// shed reasons as "serve.shed.<reason>" (queue_full /
   /// deadline_infeasible / draining), per-model
   /// "serve.<model>.served_v<N>", simulated latency under
-  /// "serve.latency.*", and real engine wall time under
-  /// "serve.measured.*".
+  /// "serve.latency.*", real engine wall time under "serve.measured.*",
+  /// and per-tenant "serve.tenant.<name>.*" tallies with
+  /// "serve.tenant.<name>.latency.*" quantiles.
   MetricsReport metrics() const;
 
  private:
   /// One admitted, not-yet-dispatched request.
   struct QueueEntry {
     int64_t id = 0;
+    std::string tenant;        ///< normalized tenant id
+    int slot = -1;             ///< bound slot index (slot mode only)
     double arrival_ms = 0.0;
     double deadline_ms = 0.0;  ///< absolute
     std::shared_ptr<ModelSnapshot> snap;
@@ -216,6 +267,18 @@ class Server {
   /// Runs the staged wave on the thread pool and records completions.
   void FlushWave();
 
+  /// Slot-mode event loop: processes step completions and quota refills
+  /// in simulated-time order, strictly before \p limit_ms when \p strict,
+  /// else at or before it. Ends with a FlushWave.
+  void SlotAdvance(double limit_ms, bool strict);
+  /// Refills free lanes from the scheduler and starts steps on idle
+  /// workers at \p now_ms; returns how many requests were placed.
+  int SlotRefillAndStart(double now_ms);
+  /// Departs \p worker's loaded lanes as one real batch at \p now_ms.
+  void SlotStartStep(int worker, double now_ms);
+  /// Folds one finished request into per-tenant and global accounting.
+  void RecordTenantCompletion(const Completion& completion);
+
   ModelRegistry* registry_;
   ServerConfig config_;
   ThreadPool pool_;  ///< workers - 1 threads; chunk 0 runs on the caller
@@ -227,6 +290,13 @@ class Server {
   std::map<std::string, std::deque<QueueEntry>> queues_;
   std::vector<double> worker_free_ms_;
   std::vector<ExecTask> wave_;
+
+  // Slot mode (config_.scheduler.use_slots): the tenant scheduler holds
+  // queued requests, the pool tracks lane states, loaded_[w] holds the
+  // payloads bound to worker w's loaded lanes in load order.
+  std::unique_ptr<TenantScheduler> scheduler_;
+  std::unique_ptr<SlotPool> slots_;
+  std::vector<std::vector<QueueEntry>> loaded_;
 
   std::vector<Completion> completions_;
   LatencyHistogram latency_;
@@ -242,6 +312,8 @@ class Server {
   int64_t batches_ = 0;
   /// served request count per (model, version)
   std::map<std::string, std::map<int64_t, int64_t>> served_;
+  /// per-tenant tallies, mode-independent (name order)
+  std::map<std::string, TenantStats> tenants_;
 };
 
 }  // namespace dlsys

@@ -336,6 +336,51 @@ TEST(FleetTest, SteadyScenarioServesEverything) {
   EXPECT_NE(json.find("\"windows\": ["), std::string::npos);
 }
 
+TEST(FleetTest, TenantedLoadSlicesEveryRequestAndReplays) {
+  auto scenario = MakeScenario("steady", 0.5);
+  ASSERT_TRUE(scenario.ok());
+  TraceLoadConfig load = TestLoad();
+  load.tenant_mix = HotTenantMix(3, 4.0);
+
+  const auto run = [&]() {
+    auto report = RunFleet(TestFleetConfig(), scenario.value(), load);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  };
+  const FleetReport r1 = run();
+
+  // Every request lands in exactly one tenant row, and each row obeys
+  // the same identities as the aggregate counters.
+  ASSERT_EQ(r1.tenants.size(), 3u);
+  int64_t offered = 0, admitted = 0, ok = 0, missed = 0, shed = 0;
+  for (const auto& [tenant, row] : r1.tenants) {
+    EXPECT_GT(row.offered, 0) << tenant;
+    EXPECT_EQ(row.offered, row.admitted + row.shed) << tenant;
+    EXPECT_EQ(row.admitted, row.completed_ok + row.missed) << tenant;
+    offered += row.offered;
+    admitted += row.admitted;
+    ok += row.completed_ok;
+    missed += row.missed;
+    shed += row.shed;
+  }
+  EXPECT_EQ(offered, r1.offered);
+  EXPECT_EQ(admitted, r1.admitted);
+  EXPECT_EQ(ok, r1.completed_ok);
+  EXPECT_EQ(missed, r1.missed);
+  EXPECT_EQ(shed, r1.shed_queue_full + r1.shed_deadline + r1.shed_draining +
+                      r1.shed_unhealthy);
+  // The hot tenant carries ~2/3 of the offered load.
+  EXPECT_GT(r1.tenants.at("t0").offered, 2 * r1.tenants.at("t1").offered);
+
+  // The export grows a byte-stable "tenants" section, and the whole
+  // tenanted run replays byte-for-byte.
+  const std::string json = FleetReportJson(r1);
+  EXPECT_NE(json.find("\"tenants\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"t0\": {"), std::string::npos);
+  const FleetReport r2 = run();
+  EXPECT_EQ(json, FleetReportJson(r2));
+}
+
 // Acceptance: a crash storm with checkpointed restarts must lose work
 // (queued requests die, the detection gap fails requests) and then
 // recover goodput to >= 90% of the pre-fault steady state within a

@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/core/rng.h"
@@ -18,7 +22,9 @@
 #include "src/serve/admission.h"
 #include "src/serve/loadgen.h"
 #include "src/serve/registry.h"
+#include "src/serve/scheduler.h"
 #include "src/serve/server.h"
+#include "src/serve/slots.h"
 
 namespace dlsys {
 namespace {
@@ -666,6 +672,428 @@ TEST(LoadGenTest, ClosedLoopCompletesEveryClientBudget) {
   EXPECT_EQ(report.completed, 60);
   EXPECT_EQ(report.latency.count(), 60);
   EXPECT_GT(report.sim_throughput_rps, 0.0);
+}
+
+// ------------------------------------------------- slot scheduler QoS
+
+TEST(ServerConfigTest, ValidateCatchesBadQosFields) {
+  ServerConfig c;
+  c.scheduler.use_slots = true;
+  EXPECT_TRUE(ValidateServerConfig(c).ok());
+
+  c = ServerConfig{};
+  c.scheduler.slots_per_worker = -1;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.scheduler.priority_classes = 0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.scheduler.default_policy.burst = 0.5;  // must hold a whole request
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.scheduler.default_policy.weight = 0.0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.scheduler.default_policy.rate_rps = 1.0 / 0.0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.scheduler.default_policy.priority = 1;  // out of [0, priority_classes)
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.scheduler.tenants[""] = TenantPolicy{};
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.scheduler.priority_classes = 2;
+  c.scheduler.tenants["a"].priority = 2;  // valid classes are {0, 1}
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ServerConfig{};
+  c.scheduler.tenants["a"].weight = -1.0;
+  EXPECT_EQ(ValidateServerConfig(c).code(), StatusCode::kInvalidArgument);
+}
+
+SlotRequest MakeSlotRequest(int64_t id, const std::string& tenant,
+                            int priority = 0) {
+  SlotRequest r;
+  r.id = id;
+  r.tenant = tenant;
+  r.priority = priority;
+  return r;
+}
+
+TEST(TenantSchedulerTest, TokenBucketGatesAndRefillsDeterministically) {
+  SlotSchedulerConfig config;
+  config.use_slots = true;
+  config.default_policy.rate_rps = 100.0;  // one token per 10 simulated ms
+  config.default_policy.burst = 1.0;
+  TenantScheduler sched(config);
+  for (int64_t id = 0; id < 3; ++id) {
+    sched.Enqueue(MakeSlotRequest(id, "a"));
+  }
+  EXPECT_EQ(sched.depth(), 3);
+
+  // The bucket starts full: the first pick is free, then the quota gates.
+  auto first = sched.PickNext(0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 0);
+  EXPECT_FALSE(sched.PickNext(5.0).has_value());  // only 0.5 tokens back
+  EXPECT_DOUBLE_EQ(sched.NextEligibleMs(5.0), 10.0);
+
+  auto second = sched.PickNext(10.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, 1);
+  EXPECT_DOUBLE_EQ(sched.NextEligibleMs(10.0), 20.0);
+  // The backlog-aware horizon sees the still-queued request ahead: one
+  // more request behind it needs two token arrivals from an empty bucket.
+  EXPECT_DOUBLE_EQ(sched.QuotaBacklogMs("a", 10.0), 30.0);
+  EXPECT_EQ(sched.served("a"), 2);
+  EXPECT_EQ(sched.depth(), 1);
+}
+
+TEST(TenantSchedulerTest, DeficitWeightedFairSharesFollowWeights) {
+  SlotSchedulerConfig config;
+  config.use_slots = true;
+  config.enforce_quotas = false;
+  config.tenants["a"].weight = 2.0;
+  config.tenants["b"].weight = 1.0;
+  TenantScheduler sched(config);
+  for (int64_t id = 0; id < 60; ++id) {
+    sched.Enqueue(MakeSlotRequest(id, id % 2 == 0 ? "a" : "b"));
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(sched.PickNext(0.0).has_value()) << i;
+  }
+  // Both tenants stayed backlogged the whole time, so DWFQ hands out
+  // slots in exact weight proportion: 2/3 to a, 1/3 to b.
+  EXPECT_EQ(sched.served("a"), 20);
+  EXPECT_EQ(sched.served("b"), 10);
+}
+
+TEST(TenantSchedulerTest, StrictPriorityYieldsOnlyToEligibleWork) {
+  SlotSchedulerConfig config;
+  config.use_slots = true;
+  config.priority_classes = 2;
+  config.tenants["hi"].priority = 0;
+  config.tenants["hi"].rate_rps = 100.0;
+  config.tenants["hi"].burst = 1.0;
+  config.tenants["lo"].priority = 1;
+  TenantScheduler sched(config);
+  sched.Enqueue(MakeSlotRequest(0, "lo", 1));
+  sched.Enqueue(MakeSlotRequest(1, "hi", 0));
+  sched.Enqueue(MakeSlotRequest(2, "hi", 0));
+  sched.Enqueue(MakeSlotRequest(3, "lo", 1));
+
+  // Class 0 wins despite the higher request id...
+  auto p1 = sched.PickNext(0.0);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->tenant, "hi");
+  // ...but a quota-blocked class 0 does not hold class 1 hostage:
+  // priority is strict over *eligible* work only.
+  auto p2 = sched.PickNext(0.0);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->tenant, "lo");
+  // Once the bucket refills, class 0 preempts again.
+  auto p3 = sched.PickNext(10.0);
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(p3->tenant, "hi");
+}
+
+TEST(TenantSchedulerTest, FifoControlServesGloballyByRequestId) {
+  SlotSchedulerConfig config;
+  config.use_slots = true;
+  config.fair_queueing = false;
+  config.enforce_quotas = false;
+  config.tenants["a"].weight = 5.0;  // ignored by the FIFO control path
+  TenantScheduler sched(config);
+  sched.Enqueue(MakeSlotRequest(0, "a"));
+  sched.Enqueue(MakeSlotRequest(1, "b"));
+  sched.Enqueue(MakeSlotRequest(2, "a"));
+  for (int64_t want = 0; want < 3; ++want) {
+    auto pick = sched.PickNext(0.0);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(pick->id, want);
+  }
+}
+
+// ------------------------------------------- continuous batching slots
+
+struct SlotTrace {
+  std::vector<int64_t> ids;
+  std::vector<double> dispatches;
+  std::vector<double> finishes;
+  std::vector<double> arrivals;
+  std::vector<int> workers;
+  std::vector<int64_t> batch_sizes;
+  std::vector<std::vector<float>> outputs;
+  std::vector<std::pair<double, int>> occupancy;
+  int peak_occupancy = 0;
+  LoadReport report;
+};
+
+/// Sustained 1.5x-overload open loop against the slot scheduler.
+SlotTrace RunSlotScenario() {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = 512;  // hold the full overload backlog
+  config.batch.max_batch = 4;   // = slot lanes per worker
+  config.default_deadline_ms = 1e6;
+  config.scheduler.use_slots = true;
+  auto created = Server::Create(&registry, config);
+  EXPECT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  EXPECT_TRUE(server->Publish("m", MakeNet(61), {16}).ok());
+
+  // Capacity: 2 workers * 4 lanes / 0.09 ms per step ~ 89 req/ms.
+  OpenLoopConfig load;
+  load.seed = 9;
+  load.requests = 300;
+  load.rate_rps = 133'000.0;  // ~1.5x capacity: the pool never starves
+  load.model = "m";
+
+  SlotTrace trace;
+  trace.report = RunOpenLoop(server.get(), load);
+  for (const Server::Completion& c : server->completions()) {
+    trace.ids.push_back(c.id);
+    trace.dispatches.push_back(c.dispatch_ms);
+    trace.finishes.push_back(c.finish_ms);
+    trace.arrivals.push_back(c.arrival_ms);
+    trace.workers.push_back(c.worker);
+    trace.batch_sizes.push_back(c.batch_size);
+    trace.outputs.emplace_back(c.output.data(),
+                               c.output.data() + c.output.size());
+  }
+  EXPECT_NE(server->slot_pool(), nullptr);
+  trace.occupancy = server->slot_pool()->occupancy_timeline();
+  trace.peak_occupancy = server->slot_pool()->peak_occupancy();
+  return trace;
+}
+
+TEST(SlotServerTest, ContinuousBatchingNeverDrainsAndReplaysBitwise) {
+  SlotTrace first;
+  for (int threads : {1, 2, 8}) {
+    RuntimeConfig::SetThreads(threads);
+    SlotTrace trace = RunSlotScenario();
+
+    ASSERT_EQ(trace.report.offered, 300);
+    EXPECT_EQ(trace.report.shed, 0);
+    EXPECT_EQ(trace.report.completed, 300);
+    // Under sustained overload every lane fills.
+    EXPECT_EQ(trace.peak_occupancy, 8);
+
+    // The continuous-batching acceptance: once load is established, slot
+    // occupancy never touches zero — freed lanes refill the same instant
+    // their step completes, with no drain barrier between batches.
+    ASSERT_EQ(trace.ids.size(), 300u);
+    double t_lo = 0.0;
+    for (size_t i = 0; i < trace.ids.size(); ++i) {
+      if (trace.ids[i] >= 20) t_lo = std::max(t_lo, trace.dispatches[i]);
+      if (trace.ids[i] >= 21) break;
+    }
+    const double t_hi =
+        *std::max_element(trace.dispatches.begin(), trace.dispatches.end());
+    int checked = 0;
+    for (const auto& [t, occ] : trace.occupancy) {
+      if (t < t_lo || t > t_hi) continue;
+      EXPECT_GT(occ, 0) << "pool drained at t=" << t;
+      ++checked;
+    }
+    EXPECT_GT(checked, 50);
+
+    // A request that arrived mid-step rides the very next step of the
+    // same worker the instant the in-flight one finishes.
+    bool joined_mid_step = false;
+    for (size_t i = 0; i < trace.ids.size() && !joined_mid_step; ++i) {
+      for (size_t j = 0; j < trace.ids.size(); ++j) {
+        if (trace.workers[j] != trace.workers[i]) continue;
+        if (trace.dispatches[j] != trace.finishes[i]) continue;
+        if (trace.arrivals[j] > trace.dispatches[i] &&
+            trace.arrivals[j] < trace.finishes[i]) {
+          joined_mid_step = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(joined_mid_step);
+
+    // Bit-for-bit replay at every thread count: the whole schedule, the
+    // outputs, and the occupancy timeline.
+    if (threads == 1) {
+      first = std::move(trace);
+    } else {
+      EXPECT_EQ(trace.ids, first.ids) << "threads=" << threads;
+      EXPECT_EQ(trace.dispatches, first.dispatches) << "threads=" << threads;
+      EXPECT_EQ(trace.finishes, first.finishes) << "threads=" << threads;
+      EXPECT_EQ(trace.workers, first.workers) << "threads=" << threads;
+      EXPECT_EQ(trace.batch_sizes, first.batch_sizes)
+          << "threads=" << threads;
+      EXPECT_EQ(trace.outputs, first.outputs) << "threads=" << threads;
+      EXPECT_EQ(trace.occupancy, first.occupancy) << "threads=" << threads;
+    }
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
+// --------------------------------------------------- multi-tenant QoS
+
+/// Hot-tenant overload: t0 offers 8x the load of t1..t3; per-tenant
+/// quotas cap everyone at 1500 rps against ~8000 rps capacity.
+TenantedLoadReport RunHotTenantMix(bool fair) {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.batch.max_batch = 4;
+  config.default_deadline_ms = 5.0;
+  config.cost.fixed_ms = 0.2;
+  config.cost.per_example_ms = 0.2;  // step(4) = 1 ms -> ~8 req/ms fleet
+  config.scheduler.use_slots = true;
+  config.scheduler.fair_queueing = fair;
+  config.scheduler.enforce_quotas = fair;
+  config.scheduler.default_policy.rate_rps = 1500.0;
+  config.scheduler.default_policy.burst = 4.0;
+  auto created = Server::Create(&registry, config);
+  EXPECT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  EXPECT_TRUE(server->Publish("m", MakeNet(71), {16}).ok());
+
+  TenantedLoadConfig load;
+  load.seed = 11;
+  load.requests = 600;
+  load.rate_rps = 11'000.0;  // hot tenant ~8000, cold tenants ~1000 each
+  load.deadline_ms = 5.0;
+  load.model = "m";
+  load.mix = HotTenantMix(4, 8.0);
+  return RunTenantedOpenLoop(server.get(), load);
+}
+
+TEST(SlotServerTest, WeightedFairnessBoundsHotTenantSkew) {
+  // With DWFQ + quotas on, the hot tenant's excess converts into sheds
+  // charged to itself: per-tenant goodput stays within a small ratio.
+  const TenantedLoadReport fair = RunHotTenantMix(/*fair=*/true);
+  ASSERT_EQ(fair.by_tenant.size(), 4u);
+  for (const auto& [tenant, per] : fair.by_tenant) {
+    EXPECT_GT(per.completed - per.deadline_missed, 0) << tenant;
+  }
+  EXPECT_LE(fair.max_min_goodput_ratio, 2.0)
+      << "WFQ + quotas must bound tenant goodput skew";
+
+  // Control: with fair queueing and quotas off, service follows arrival
+  // share and the hot tenant starves the rest (~8:1).
+  const TenantedLoadReport fifo = RunHotTenantMix(/*fair=*/false);
+  EXPECT_GT(fifo.max_min_goodput_ratio, 3.0)
+      << "FIFO control should show the starvation WFQ prevents";
+  EXPECT_GT(fair.max_min_goodput_ratio, 0.0);
+}
+
+TEST(SlotServerTest, TenantStatsAndMetricsAccountEveryRequest) {
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 2;
+  config.batch.max_batch = 4;
+  config.default_deadline_ms = 1e6;
+  config.scheduler.use_slots = true;
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", MakeNet(81), {16}).ok());
+
+  TenantedLoadConfig load;
+  load.seed = 13;
+  load.requests = 120;
+  load.rate_rps = 5'000.0;
+  load.model = "m";
+  load.mix = BalancedTenantMix(3);
+  const TenantedLoadReport report = RunTenantedOpenLoop(server.get(), load);
+
+  // The server's per-tenant accounting matches the loadgen's exactly.
+  const auto& stats = server->tenant_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  int64_t offered = 0;
+  MetricsReport metrics = server->metrics();
+  for (const auto& [tenant, ts] : stats) {
+    const auto it = report.by_tenant.find(tenant);
+    ASSERT_NE(it, report.by_tenant.end()) << tenant;
+    EXPECT_EQ(ts.offered, it->second.offered) << tenant;
+    EXPECT_EQ(ts.admitted, it->second.admitted) << tenant;
+    EXPECT_EQ(ts.completed, it->second.completed) << tenant;
+    EXPECT_EQ(ts.deadline_missed, it->second.deadline_missed) << tenant;
+    EXPECT_EQ(ts.latency.count(), it->second.latency.count()) << tenant;
+    offered += ts.offered;
+    // The structured per-tenant keys flow through metrics().
+    EXPECT_EQ(metrics.Get("serve.tenant." + tenant + ".offered"),
+              static_cast<double>(ts.offered))
+        << tenant;
+    EXPECT_EQ(metrics.Get("serve.tenant." + tenant + ".completed"),
+              static_cast<double>(ts.completed))
+        << tenant;
+  }
+  EXPECT_EQ(offered, 120);
+  // Completions carry the tenant id.
+  for (const Server::Completion& c : server->completions()) {
+    EXPECT_TRUE(stats.count(c.tenant) == 1) << c.tenant;
+  }
+}
+
+TEST(LoadGenTest, TenantedOpenLoopReplaysBitForBit) {
+  const std::vector<TenantShare> mix = HotTenantMix(3, 4.0);
+  const std::vector<std::string> a = AssignTenants(mix, 17, 3000);
+  const std::vector<std::string> b = AssignTenants(mix, 17, 3000);
+  EXPECT_EQ(a, b);
+  std::map<std::string, int64_t> counts;
+  for (const std::string& t : a) ++counts[t];
+  // Shares 4:1:1 over 3000 draws: the hot tenant gets about 2000.
+  EXPECT_GT(counts["t0"], 1800);
+  EXPECT_LT(counts["t0"], 2200);
+  EXPECT_GT(counts["t1"], 350);
+  EXPECT_GT(counts["t2"], 350);
+
+  const auto run = [&]() {
+    ModelRegistry registry;
+    ServerConfig config;
+    config.workers = 2;
+    config.batch.max_batch = 4;
+    config.scheduler.use_slots = true;
+    auto created = Server::Create(&registry, config);
+    EXPECT_TRUE(created.ok());
+    std::unique_ptr<Server> server = std::move(created).value();
+    EXPECT_TRUE(server->Publish("m", MakeNet(91), {16}).ok());
+    TenantedLoadConfig load;
+    load.seed = 19;
+    load.requests = 200;
+    load.rate_rps = 60'000.0;  // hot enough that some requests shed
+    load.deadline_ms = 2.0;
+    load.model = "m";
+    load.mix = mix;
+    return RunTenantedOpenLoop(server.get(), load);
+  };
+  const TenantedLoadReport r1 = run();
+  const TenantedLoadReport r2 = run();
+
+  EXPECT_EQ(r1.total.offered, 200);
+  EXPECT_EQ(r1.total.offered, r1.total.admitted + r1.total.shed);
+  EXPECT_EQ(r1.total.completed, r1.total.admitted);
+  EXPECT_EQ(r1.total.admitted, r2.total.admitted);
+  EXPECT_EQ(r1.total.shed, r2.total.shed);
+  EXPECT_EQ(r1.total.duration_ms, r2.total.duration_ms);
+  EXPECT_EQ(r1.max_min_goodput_ratio, r2.max_min_goodput_ratio);
+  ASSERT_EQ(r1.by_tenant.size(), r2.by_tenant.size());
+  for (const auto& [tenant, per] : r1.by_tenant) {
+    const auto it = r2.by_tenant.find(tenant);
+    ASSERT_NE(it, r2.by_tenant.end()) << tenant;
+    EXPECT_EQ(per.offered, it->second.offered) << tenant;
+    EXPECT_EQ(per.admitted, it->second.admitted) << tenant;
+    EXPECT_EQ(per.completed, it->second.completed) << tenant;
+    EXPECT_EQ(per.deadline_missed, it->second.deadline_missed) << tenant;
+    EXPECT_EQ(per.latency.sum_ms(), it->second.latency.sum_ms()) << tenant;
+  }
 }
 
 }  // namespace
