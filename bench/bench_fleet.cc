@@ -10,8 +10,12 @@
 // reported numbers replay bit-for-bit for a fixed seed at any
 // DLSYS_THREADS. `--export PATH` writes one canonical chaos cell's
 // FleetReportJson to PATH and exits — the CI determinism step runs it
-// at DLSYS_THREADS=1 and 8 and byte-compares the two files. Pass
-// --smoke (or DLSYS_BENCH_SMOKE=1) for a seconds-scale CI run.
+// at DLSYS_THREADS=1 and 8 and byte-compares the two files.
+// `--export-attr PATH` and `--export-trace PATH` ride the same run and
+// additionally write the critical-path attribution report and the
+// sim-track request-trace slice, which must be byte-identical across
+// thread counts too. Pass --smoke (or DLSYS_BENCH_SMOKE=1) for a
+// seconds-scale CI run.
 
 #include <cstdint>
 #include <cstdio>
@@ -27,6 +31,8 @@
 #include "src/fleet/fleet.h"
 #include "src/fleet/router.h"
 #include "src/nn/train.h"
+#include "src/obs/attribution.h"
+#include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
 #include "src/serve/loadgen.h"
 
@@ -129,27 +135,48 @@ Result<FleetReport> RunCell(const PolicyBundle& bundle,
   return fleet.value()->Run(scenario.value(), GridLoad(scenario_name));
 }
 
-int ExportCanonicalCell(const char* path) {
-  // The canonical determinism cell: crash storm under the least-loaded
-  // reactive bundle — every fault class of machinery (routing, health,
-  // restart, autoscaling) is on the decision path.
-  auto report = RunCell(Bundles()[1], "crash_storm");
-  if (!report.ok()) {
-    std::printf("export run failed: %s\n",
-                report.status().ToString().c_str());
-    return 1;
-  }
+int WriteTextFile(const char* path, const std::string& body) {
   FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::printf("cannot open %s\n", path);
     return 1;
   }
-  const std::string json = FleetReportJson(report.value());
-  std::fwrite(json.data(), 1, json.size(), out);
-  std::fputc('\n', out);
+  std::fwrite(body.data(), 1, body.size(), out);
   std::fclose(out);
   std::printf("wrote %s\n", path);
   return 0;
+}
+
+int ExportCanonicalCell(const char* path, const char* attr_path,
+                        const char* trace_path) {
+  // The canonical determinism cell: crash storm under the least-loaded
+  // reactive bundle — every fault class of machinery (routing, health,
+  // restart, autoscaling) is on the decision path.
+  if (trace_path != nullptr) {
+    obs::ResetTrace();
+    obs::SetTracingEnabled(true);
+  }
+  auto report = RunCell(Bundles()[1], "crash_storm");
+  std::string trace_json;
+  if (trace_path != nullptr) {
+    obs::SetTracingEnabled(false);
+    trace_json = obs::ChromeTraceJson(obs::SimTrackOnly(obs::DrainTrace()));
+    obs::ResetTrace();
+  }
+  if (!report.ok()) {
+    std::printf("export run failed: %s\n",
+                report.status().ToString().c_str());
+    return 1;
+  }
+  int rc = WriteTextFile(path, FleetReportJson(report.value()) + "\n");
+  if (rc == 0 && attr_path != nullptr) {
+    rc = WriteTextFile(attr_path,
+                       obs::AttributionReportJson(report.value().attribution));
+  }
+  if (rc == 0 && trace_path != nullptr) {
+    rc = WriteTextFile(trace_path, trace_json);
+  }
+  return rc;
 }
 
 }  // namespace
@@ -158,10 +185,18 @@ int ExportCanonicalCell(const char* path) {
 int main(int argc, char** argv) {
   using namespace dlsys;
   const char* export_path = nullptr;
+  const char* export_attr_path = nullptr;
+  const char* export_trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
     if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
       export_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--export-attr") == 0 && i + 1 < argc) {
+      export_attr_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--export-trace") == 0 && i + 1 < argc) {
+      export_trace_path = argv[i + 1];
     }
   }
   if (const char* env = std::getenv("DLSYS_BENCH_SMOKE");
@@ -172,7 +207,8 @@ int main(int argc, char** argv) {
     // Export mode leaves DLSYS_THREADS in charge so the CI determinism
     // step can byte-compare runs at different thread counts.
     g_smoke = true;
-    return ExportCanonicalCell(export_path);
+    return ExportCanonicalCell(export_path, export_attr_path,
+                               export_trace_path);
   }
   // Keep intra-op kernels single-threaded: each replica's worker pool
   // provides the parallelism (see bench_serving).

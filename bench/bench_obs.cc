@@ -10,6 +10,14 @@
 // comparison is a separate -DDLSYS_OBS=0 build (exercised in CI), which
 // this binary also runs under — there all four rows coincide.
 //
+// E38 (request tracing + attribution): the same 2% bar applied to the
+// fleet layer — a chaos run with request-scoped span emission, critical-
+// path attribution, and burn-rate alerting enabled ("traced") against
+// the identical run with tracing disabled ("untraced"), interleaved
+// min-of-reps. Tracing must also be a pure observer: the traced and
+// untraced FleetReportJson exports must be bitwise identical (enforced
+// in every mode — the sim is deterministic, so any divergence is a bug).
+//
 // Pass --smoke (or set DLSYS_BENCH_SMOKE=1) for a seconds-scale CI run.
 
 #include <algorithm>
@@ -22,11 +30,14 @@
 
 #include "src/core/metrics.h"
 #include "src/core/rng.h"
+#include "src/fleet/chaos.h"
+#include "src/fleet/fleet.h"
 #include "src/infer/engine.h"
 #include "src/nn/train.h"
 #include "src/obs/counters.h"
 #include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
+#include "src/serve/loadgen.h"
 
 namespace dlsys {
 namespace {
@@ -140,6 +151,104 @@ std::vector<OverheadRow> BenchOverhead() {
   return rows;
 }
 
+// ------------------------------------------------ E38: fleet tracing
+
+struct FleetTracingResult {
+  double untraced_ms = 0.0;  ///< min wall ms for the whole fleet run
+  double traced_ms = 0.0;
+  double overhead_pct = 0.0;
+  int64_t sim_events = 0;    ///< request spans on the sim track (traced)
+  bool reports_equal = false;  ///< traced vs untraced FleetReportJson
+};
+
+/// One full chaos run, returning the wall time of Fleet::Run only (the
+/// build/deploy cost is identical in both modes and excluded).
+double OneFleetRunMs(const FleetConfig& config, const ChaosScenario& scenario,
+                     const TraceLoadConfig& load, bool traced,
+                     std::string* json, int64_t* sim_events) {
+  obs::ResetTrace();
+  obs::SetTracingEnabled(traced);
+  auto fleet = Fleet::Create(config);
+  DLSYS_CHECK(fleet.ok(), "fleet create failed");
+  Rng rng(3);
+  // Full runs use a model heavy enough that real batch execution — not
+  // span bookkeeping — dominates the wall clock, mirroring how the <2%
+  // bar is measured in E33: the cost being amortized is per-request, so
+  // a toy model would measure the ring write, not the overhead ratio a
+  // real deployment sees.
+  Sequential net =
+      MakeMlp(16, {g_smoke ? 24 : 1024, g_smoke ? 24 : 1024}, 4);
+  net.Init(&rng);
+  DLSYS_CHECK(fleet.value()->Deploy("m", std::move(net), {16}).ok(),
+              "deploy failed");
+  Stopwatch watch;
+  auto report = fleet.value()->Run(scenario, load);
+  const double ms = watch.Seconds() * 1000.0;
+  DLSYS_CHECK(report.ok(), "fleet run failed");
+  *json = FleetReportJson(report.value());
+  obs::SetTracingEnabled(false);
+  if (traced && sim_events != nullptr) {
+    *sim_events = static_cast<int64_t>(
+        obs::SimTrackOnly(obs::DrainTrace()).events.size());
+  }
+  obs::ResetTrace();
+  return ms;
+}
+
+FleetTracingResult BenchFleetTracing() {
+  FleetConfig config;
+  config.replica_slots = 4;
+  config.initial_replicas = 4;
+  config.server.workers = 2;
+  config.server.queue_capacity = 64;
+  config.server.batch.max_batch = 8;
+  config.server.batch.max_delay_ms = 1.0;
+  config.server.cost.fixed_ms = 1.0;
+  config.server.cost.per_example_ms = 0.25;
+  config.server.default_deadline_ms = 50.0;
+  config.autoscale.policy = ScalePolicy::kFixed;
+  config.tick_ms = 50.0;
+  config.window_ms = 500.0;
+  config.slo.slo_latency_ms = 8.0;  // the alerter has work to do
+
+  const double scale = g_smoke ? 0.25 : 0.5;
+  auto scenario = MakeScenario("gray_failure", scale);
+  DLSYS_CHECK(scenario.ok(), "scenario failed");
+  TraceLoadConfig load;
+  load.seed = 7;
+  load.duration_ms = g_smoke ? 4000.0 : 12'000.0;
+  load.base_rps = g_smoke ? 300.0 : 600.0;
+  load.deadline_ms = 50.0;
+  load.model = "m";
+
+  FleetTracingResult result;
+  result.untraced_ms = 1e300;
+  result.traced_ms = 1e300;
+  std::string json_untraced, json_traced;
+  const int reps = g_smoke ? 2 : 7;
+  for (int r = 0; r < reps; ++r) {
+    // Alternate which mode goes first so slow system phases hit both.
+    for (int slot = 0; slot < 2; ++slot) {
+      const bool traced = ((slot + r) % 2) == 1;
+      std::string json;
+      const double ms = OneFleetRunMs(config, scenario.value(), load, traced,
+                                      &json, &result.sim_events);
+      if (traced) {
+        result.traced_ms = std::min(result.traced_ms, ms);
+        json_traced = json;
+      } else {
+        result.untraced_ms = std::min(result.untraced_ms, ms);
+        json_untraced = json;
+      }
+    }
+  }
+  result.overhead_pct =
+      100.0 * (result.traced_ms - result.untraced_ms) / result.untraced_ms;
+  result.reports_equal =
+      !json_traced.empty() && json_traced == json_untraced;
+  return result;
+}
+
 }  // namespace
 }  // namespace dlsys
 
@@ -163,6 +272,14 @@ int main(int argc, char** argv) {
         static_cast<long long>(row.events));
   }
 
+  const FleetTracingResult fleet = BenchFleetTracing();
+  std::printf(
+      "e38 fleet     untraced %8.1f ms | traced %8.1f ms | overhead "
+      "%+6.2f%% | %lld sim events | reports %s\n",
+      fleet.untraced_ms, fleet.traced_ms, fleet.overhead_pct,
+      static_cast<long long>(fleet.sim_events),
+      fleet.reports_equal ? "bitwise-equal" : "DIVERGED");
+
   FILE* out = std::fopen("BENCH_obs.json", "w");
   if (out == nullptr) {
     std::printf("cannot open BENCH_obs.json\n");
@@ -181,7 +298,13 @@ int main(int argc, char** argv) {
                  row.overhead_pct, static_cast<long long>(row.events),
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out,
+               "  ],\n  \"fleet_tracing\": {\"untraced_ms\": %.1f, "
+               "\"traced_ms\": %.1f, \"overhead_pct\": %.2f, "
+               "\"sim_events\": %lld, \"reports_bitwise_equal\": %s}\n}\n",
+               fleet.untraced_ms, fleet.traced_ms, fleet.overhead_pct,
+               static_cast<long long>(fleet.sim_events),
+               fleet.reports_equal ? "true" : "false");
   std::fclose(out);
   std::printf("wrote BENCH_obs.json\n");
 
@@ -192,6 +315,17 @@ int main(int argc, char** argv) {
   if (!g_smoke && rows[1].overhead_pct >= 2.0) {
     std::printf("FAIL: disabled-tracing overhead %.2f%% >= 2%%\n",
                 rows[1].overhead_pct);
+    return 1;
+  }
+  // E38: request tracing + attribution + alerting must never perturb the
+  // simulated results, and on full runs must cost < 2% wall time.
+  if (!fleet.reports_equal) {
+    std::printf("FAIL: traced fleet report diverged from untraced\n");
+    return 1;
+  }
+  if (!g_smoke && fleet.overhead_pct >= 2.0) {
+    std::printf("FAIL: fleet tracing overhead %.2f%% >= 2%%\n",
+                fleet.overhead_pct);
     return 1;
   }
   return 0;

@@ -105,6 +105,31 @@ Status ValidateFleetConfig(const FleetConfig& config) {
   if (config.recover_streak < 1) {
     return Status::InvalidArgument("recover_streak must be >= 1");
   }
+  if (!(config.attribution.window_ms > 0.0)) {
+    return Status::InvalidArgument("attribution.window_ms must be positive");
+  }
+  if (config.attribution.exemplars_per_window < 0) {
+    return Status::InvalidArgument(
+        "attribution.exemplars_per_window must be >= 0");
+  }
+  if (!(config.slo.slo_target > 0.0) || !(config.slo.slo_target < 1.0)) {
+    return Status::InvalidArgument("slo.slo_target must be in (0, 1)");
+  }
+  if (!(config.slo.window_ms > 0.0)) {
+    return Status::InvalidArgument("slo.window_ms must be positive");
+  }
+  if (config.slo.fast_windows < 1 ||
+      config.slo.slow_windows < config.slo.fast_windows) {
+    return Status::InvalidArgument(
+        "need 1 <= slo.fast_windows <= slo.slow_windows");
+  }
+  if (!(config.slo.fast_burn_threshold > 0.0) ||
+      !(config.slo.slow_burn_threshold > 0.0)) {
+    return Status::InvalidArgument("slo burn thresholds must be positive");
+  }
+  if (config.slo.min_requests < 0) {
+    return Status::InvalidArgument("slo.min_requests must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -172,6 +197,7 @@ std::string FleetReportJson(const FleetReport& report) {
     }
   }
   out += "}, ";
+  out += "\"alerts\": " + obs::BurnAlertsJson(report.alerts) + ", ";
   out += "\"windows\": [";
   for (size_t i = 0; i < report.windows.size(); ++i) {
     const FleetWindow& w = report.windows[i];
@@ -346,6 +372,10 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
   };
   std::vector<double> all_lat;
 
+  // ---- critical-path attribution + burn-rate alerting -------------
+  obs::AttributionAggregator aggregator(config_.attribution);
+  obs::BurnRateAlerter alerter(config_.slo);
+
   // ---- in-flight deliveries ---------------------------------------
   struct Delivery {
     double deliver_ms = 0.0;
@@ -356,6 +386,11 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
     int64_t incarnation = 0;
     double finish_ms = 0.0;  ///< server-side finish; 0 for dead routes
     std::string tenant;      ///< empty when the load is untenanted
+    /// Critical-path boundary stamps, valid when has_record. Built at
+    /// harvest but fed to the aggregator/alerter only at finalize, when
+    /// the delivery is known to have survived crash invalidation.
+    obs::RequestPathRecord record;
+    bool has_record = false;
   };
   std::vector<Delivery> outstanding;
 
@@ -393,6 +428,22 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
         replicas_[static_cast<size_t>(d.replica)]->lat_history.push_back(
             d.latency_ms);
       }
+      if (d.has_record) {
+        const obs::RequestPathRecord& rec = d.record;
+#if DLSYS_OBS
+        const int64_t root = obs::RequestSpanId(rec.rid);
+        DLSYS_TRACE_EMIT_SIM_NS("fleet.request", "fleet", rec.send_ns,
+                                rec.deliver_ns - rec.send_ns, rec.rid, root,
+                                -1);
+        DLSYS_TRACE_EMIT_SIM_NS(
+            "fleet.return", "fleet", rec.finish_ns,
+            rec.deliver_ns - rec.finish_ns, rec.rid,
+            obs::ComponentSpanId(rec.rid, obs::PathComponent::kReturnHop),
+            root);
+#endif
+        report.path_records.push_back(rec);
+        alerter.Record(rec, aggregator.Record(rec));
+      }
     }
   };
 
@@ -412,6 +463,22 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
       d.incarnation = r.incarnation;
       d.finish_ms = c.finish_ms;
       d.tenant = it->second.tenant;
+      // Quantize the path boundaries to integer sim-ns with the same
+      // quantizer the sim-track spans use, so the decomposition sums
+      // bitwise to the rendered end-to-end span.
+      d.record.rid = c.rid;
+      d.record.tenant = c.tenant;
+      d.record.replica = slot;
+      d.record.incarnation = r.incarnation;
+      d.record.slot = c.slot;
+      d.record.send_ns = obs::SimNs(it->second.client_t_ms);
+      d.record.admit_ns = obs::SimNs(c.arrival_ms);
+      d.record.quota_open_ns = obs::SimNs(c.quota_open_ms);
+      d.record.dispatch_ns = obs::SimNs(c.dispatch_ms);
+      d.record.finish_ns = obs::SimNs(c.finish_ms);
+      d.record.deliver_ns = obs::SimNs(d.deliver_ms);
+      d.record.deadline_ok = d.ok;
+      d.has_record = true;
       outstanding.push_back(d);
       r.pending.erase(it);
     }
@@ -781,9 +848,15 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
       // submits stay monotone even when retry penalties vary.
       const double ta = std::max(t + fwd_ms, r.server->clock_ms());
       const double budget = (t + deadline_ms) - ret_ms - ta;
+      DLSYS_TRACE_EMIT_SIM_NS(
+          "fleet.route", "fleet", obs::SimNs(t), obs::SimNs(ta) - obs::SimNs(t),
+          rid, obs::ComponentSpanId(rid, obs::PathComponent::kRouteHop),
+          obs::RequestSpanId(rid));
       example.FillGaussian(&payloads, 1.0f);
-      const Server::SubmitResult sr = r.server->Submit(
-          model_, example, ta, budget > 0.0 ? budget : 1e-9, tenant);
+      const obs::RequestTrace rtrace{rid, r.incarnation};
+      const Server::SubmitResult sr =
+          r.server->Submit(model_, example, ta, budget > 0.0 ? budget : 1e-9,
+                           tenant, &rtrace);
       const bool admitted = sr.outcome == Server::Outcome::kAdmitted;
       if (admitted) {
         ++report.admitted;
@@ -867,6 +940,8 @@ Result<FleetReport> Fleet::Run(const ChaosScenario& scenario,
   }
   for (const Delivery& d : outstanding) finalize(d);
   outstanding.clear();
+  report.attribution = aggregator.report();
+  report.alerts = alerter.Evaluate();
 
   // ---- fold windows into the report -------------------------------
   report.p99_ms = Percentile(&all_lat, 0.99);

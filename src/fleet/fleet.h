@@ -14,6 +14,8 @@
 #include "src/fleet/chaos.h"
 #include "src/fleet/router.h"
 #include "src/nn/sequential.h"
+#include "src/obs/attribution.h"
+#include "src/obs/slo.h"
 #include "src/serve/loadgen.h"
 #include "src/serve/server.h"
 
@@ -102,6 +104,12 @@ struct FleetConfig {
   /// pre-fault mean before the fleet counts as recovered.
   int recover_streak = 3;
   uint64_t seed = 1;        ///< routing draws (folded with scenario seed)
+  /// Critical-path attribution series (window width, exemplar count).
+  obs::AttributionConfig attribution;
+  /// Multi-window SLO burn-rate alerting over the per-request critical
+  /// paths. slo.slo_latency_ms <= 0 counts only missed deadlines as
+  /// budget burn (the default).
+  obs::BurnRateConfig slo;
 };
 
 /// \brief Validates every user-settable field (server config included).
@@ -159,6 +167,18 @@ struct FleetReport {
   };
   /// Keyed by tenant name; map order makes the JSON export byte-stable.
   std::map<std::string, TenantRow> tenants;
+
+  /// One critical-path record per delivered request (deliver order):
+  /// boundary timestamps in integer sim-ns whose component differences
+  /// sum bitwise to the client-observed latency. Crash-invalidated and
+  /// dead-replica requests have no record (their latency is unmeasured).
+  std::vector<obs::RequestPathRecord> path_records;
+  /// Windowed per-component series (fleet / tenant / replica scopes)
+  /// with k-slowest exemplars; export with AttributionReportJson.
+  obs::AttributionReport attribution;
+  /// Burn-rate alert edges (time, scope, dominant component), in time
+  /// order; empty on clean runs under the default thresholds.
+  std::vector<obs::BurnAlert> alerts;
 
   double goodput_rps() const;       ///< completed_ok over duration_ms
   double miss_fraction() const;     ///< missed / offered

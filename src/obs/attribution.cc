@@ -1,0 +1,213 @@
+#include "src/obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/core/status.h"
+
+namespace dlsys {
+namespace obs {
+
+namespace {
+
+const char* kComponentNames[kPathComponents] = {
+    "route_hop", "admission", "quota_delay",
+    "slot_wait", "execute",   "return_hop",
+};
+
+void AppendI(std::string* out, const char* key, int64_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %lld", key,
+                static_cast<long long>(value));
+  *out += buf;
+}
+
+void AppendD(std::string* out, const char* key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6f", key, value);
+  *out += buf;
+}
+
+void AppendComponents(std::string* out, const PathComponents& c) {
+  *out += "{";
+  for (int i = 0; i < kPathComponents; ++i) {
+    if (i > 0) *out += ", ";
+    AppendI(out, kComponentNames[i], c.ns[i]);
+  }
+  *out += "}";
+}
+
+void AppendWindowSeries(std::string* out,
+                        const std::vector<AttributionWindow>& series) {
+  *out += "[";
+  for (size_t w = 0; w < series.size(); ++w) {
+    const AttributionWindow& win = series[w];
+    if (w > 0) *out += ", ";
+    *out += "{";
+    AppendI(out, "count", win.count);
+    *out += ", ";
+    AppendI(out, "violations", win.violations);
+    *out += ", \"sums\": ";
+    AppendComponents(out, win.sums);
+    *out += ", \"exemplars\": [";
+    for (size_t e = 0; e < win.exemplars.size(); ++e) {
+      const PathExemplar& ex = win.exemplars[e];
+      if (e > 0) *out += ", ";
+      *out += "{";
+      AppendI(out, "rid", ex.rid);
+      *out += ", ";
+      AppendI(out, "total_ns", ex.total_ns);
+      *out += ", \"components\": ";
+      AppendComponents(out, ex.components);
+      *out += "}";
+    }
+    *out += "]}";
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+const char* PathComponentName(PathComponent component) {
+  return kComponentNames[static_cast<int>(component)];
+}
+
+int64_t PathComponents::total_ns() const {
+  int64_t total = 0;
+  for (int i = 0; i < kPathComponents; ++i) total += ns[i];
+  return total;
+}
+
+PathComponents DecomposePath(const RequestPathRecord& record) {
+  DLSYS_CHECK(record.admit_ns >= record.send_ns,
+              "path record: admit before send");
+  DLSYS_CHECK(record.quota_open_ns >= record.admit_ns,
+              "path record: quota_open before admit");
+  DLSYS_CHECK(record.dispatch_ns >= record.quota_open_ns,
+              "path record: dispatch before quota_open");
+  DLSYS_CHECK(record.finish_ns >= record.dispatch_ns,
+              "path record: finish before dispatch");
+  DLSYS_CHECK(record.deliver_ns >= record.finish_ns,
+              "path record: deliver before finish");
+  PathComponents c;
+  c[PathComponent::kRouteHop] = record.admit_ns - record.send_ns;
+  // Admission decides in zero simulated time in this cost model; the
+  // component slot stays so a future admission cost is attributed here.
+  c[PathComponent::kAdmission] = 0;
+  c[PathComponent::kQuotaDelay] = record.quota_open_ns - record.admit_ns;
+  c[PathComponent::kSlotWait] = record.dispatch_ns - record.quota_open_ns;
+  c[PathComponent::kExecute] = record.finish_ns - record.dispatch_ns;
+  c[PathComponent::kReturnHop] = record.deliver_ns - record.finish_ns;
+  return c;
+}
+
+std::map<int64_t, PathComponents> ComponentsFromTrace(
+    const TraceBuffer& buffer) {
+  std::map<int64_t, PathComponents> out;
+  struct SpanName {
+    const char* name;
+    PathComponent component;
+  };
+  static const SpanName kSpans[] = {
+      {"fleet.route", PathComponent::kRouteHop},
+      {"serve.quota_wait", PathComponent::kQuotaDelay},
+      {"serve.slot_wait", PathComponent::kSlotWait},
+      {"serve.execute", PathComponent::kExecute},
+      {"fleet.return", PathComponent::kReturnHop},
+  };
+  for (const TraceEvent& ev : buffer.events) {
+    if (ev.pid != kSimTrack || ev.name == nullptr || ev.dur_ns < 0 ||
+        ev.rid < 0) {
+      continue;
+    }
+    for (const SpanName& span : kSpans) {
+      if (std::strcmp(ev.name, span.name) != 0) continue;
+      out[ev.rid][span.component] += ev.dur_ns;
+      break;
+    }
+  }
+  return out;
+}
+
+std::string AttributionReportJson(const AttributionReport& report) {
+  std::string out = "{";
+  AppendD(&out, "window_ms", report.window_ms);
+  out += ", \"fleet\": ";
+  AppendWindowSeries(&out, report.fleet);
+  out += ", \"tenants\": {";
+  bool first = true;
+  for (const auto& [tenant, series] : report.tenants) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + tenant + "\": ";
+    AppendWindowSeries(&out, series);
+  }
+  out += "}, \"replicas\": {";
+  first = true;
+  for (const auto& [replica, series] : report.replicas) {
+    if (!first) out += ", ";
+    first = false;
+    char key[32];
+    std::snprintf(key, sizeof(key), "\"%d\": ", replica);
+    out += key;
+    AppendWindowSeries(&out, series);
+  }
+  out += "}}";
+  out += "\n";
+  return out;
+}
+
+AttributionAggregator::AttributionAggregator(const AttributionConfig& config)
+    : config_(config) {
+  DLSYS_CHECK(config_.window_ms > 0.0, "attribution window_ms must be > 0");
+  DLSYS_CHECK(config_.exemplars_per_window >= 0,
+              "attribution exemplars_per_window must be >= 0");
+  report_.window_ms = config_.window_ms;
+}
+
+AttributionWindow& AttributionAggregator::WindowAt(
+    std::vector<AttributionWindow>* series, size_t index) {
+  if (series->size() <= index) series->resize(index + 1);
+  return (*series)[index];
+}
+
+PathComponents AttributionAggregator::Record(const RequestPathRecord& record) {
+  const PathComponents components = DecomposePath(record);
+  const int64_t total = components.total_ns();
+  const double deliver_ms = static_cast<double>(record.deliver_ns) / 1e6;
+  const size_t w = static_cast<size_t>(deliver_ms / config_.window_ms);
+
+  auto fold = [&](AttributionWindow& win, bool with_exemplar) {
+    win.count += 1;
+    if (!record.deadline_ok) win.violations += 1;
+    for (int i = 0; i < kPathComponents; ++i) win.sums.ns[i] += components.ns[i];
+    if (!with_exemplar || config_.exemplars_per_window <= 0) return;
+    PathExemplar ex;
+    ex.rid = record.rid;
+    ex.total_ns = total;
+    ex.components = components;
+    auto slower = [](const PathExemplar& a, const PathExemplar& b) {
+      if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+      return a.rid < b.rid;
+    };
+    auto pos = std::lower_bound(win.exemplars.begin(), win.exemplars.end(),
+                                ex, slower);
+    win.exemplars.insert(pos, ex);
+    if (win.exemplars.size() >
+        static_cast<size_t>(config_.exemplars_per_window)) {
+      win.exemplars.pop_back();
+    }
+  };
+
+  fold(WindowAt(&report_.fleet, w), /*with_exemplar=*/true);
+  fold(WindowAt(&report_.tenants[record.tenant], w), /*with_exemplar=*/false);
+  if (record.replica >= 0) {
+    fold(WindowAt(&report_.replicas[record.replica], w),
+         /*with_exemplar=*/false);
+  }
+  return components;
+}
+
+}  // namespace obs
+}  // namespace dlsys

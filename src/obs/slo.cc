@@ -1,0 +1,148 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/status.h"
+
+namespace dlsys {
+namespace obs {
+
+std::string BurnAlertsJson(const std::vector<BurnAlert>& alerts) {
+  std::string out = "[";
+  char buf[256];
+  for (size_t i = 0; i < alerts.size(); ++i) {
+    const BurnAlert& a = alerts[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"t_ms\": %.6f, \"scope\": \"%s\", "
+                  "\"fast_burn\": %.6f, \"slow_burn\": %.6f, "
+                  "\"dominant\": \"%s\", \"dominant_share\": %.6f}",
+                  i > 0 ? ", " : "", a.t_ms, a.scope.c_str(), a.fast_burn,
+                  a.slow_burn, PathComponentName(a.dominant),
+                  a.dominant_share);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+BurnRateAlerter::BurnRateAlerter(const BurnRateConfig& config)
+    : config_(config) {
+  DLSYS_CHECK(config_.slo_target > 0.0 && config_.slo_target < 1.0,
+              "slo_target must be in (0, 1)");
+  DLSYS_CHECK(config_.window_ms > 0.0, "slo window_ms must be > 0");
+  DLSYS_CHECK(config_.fast_windows >= 1, "fast_windows must be >= 1");
+  DLSYS_CHECK(config_.slow_windows >= config_.fast_windows,
+              "slow_windows must be >= fast_windows");
+  DLSYS_CHECK(config_.fast_burn_threshold > 0.0 &&
+                  config_.slow_burn_threshold > 0.0,
+              "burn thresholds must be > 0");
+}
+
+void BurnRateAlerter::Record(const RequestPathRecord& record,
+                             const PathComponents& components) {
+  const double deliver_ms = static_cast<double>(record.deliver_ns) / 1e6;
+  const size_t b = static_cast<size_t>(deliver_ms / config_.window_ms);
+  bool violation = !record.deadline_ok;
+  if (config_.slo_latency_ms > 0.0) {
+    const int64_t slo_ns = SimNs(config_.slo_latency_ms);
+    if (components.total_ns() > slo_ns) violation = true;
+  }
+  auto fold = [&](std::vector<Bucket>* series) {
+    if (series->size() <= b) series->resize(b + 1);
+    Bucket& bucket = (*series)[b];
+    bucket.count += 1;
+    if (violation) {
+      bucket.violations += 1;
+      for (int i = 0; i < kPathComponents; ++i) {
+        bucket.violator_sums.ns[i] += components.ns[i];
+      }
+    }
+  };
+  fold(&fleet_);
+  fold(&tenants_[record.tenant]);
+}
+
+std::vector<BurnAlert> BurnRateAlerter::EvaluateScope(
+    const std::string& scope, const std::vector<Bucket>& series) const {
+  std::vector<BurnAlert> alerts;
+  const double budget = 1.0 - config_.slo_target;
+  const size_t fast_n = static_cast<size_t>(config_.fast_windows);
+  const size_t slow_n = static_cast<size_t>(config_.slow_windows);
+  bool armed = true;
+  for (size_t b = 0; b < series.size(); ++b) {
+    auto range_stats = [&](size_t n, int64_t* count, int64_t* violations,
+                           PathComponents* sums) {
+      *count = 0;
+      *violations = 0;
+      *sums = PathComponents();
+      const size_t lo = b + 1 >= n ? b + 1 - n : 0;
+      for (size_t i = lo; i <= b; ++i) {
+        *count += series[i].count;
+        *violations += series[i].violations;
+        for (int c = 0; c < kPathComponents; ++c) {
+          sums->ns[c] += series[i].violator_sums.ns[c];
+        }
+      }
+    };
+    int64_t fast_count = 0, fast_viol = 0;
+    int64_t slow_count = 0, slow_viol = 0;
+    PathComponents fast_sums, slow_sums;
+    range_stats(fast_n, &fast_count, &fast_viol, &fast_sums);
+    range_stats(slow_n, &slow_count, &slow_viol, &slow_sums);
+    const double fast_burn =
+        fast_count > 0
+            ? (static_cast<double>(fast_viol) / fast_count) / budget
+            : 0.0;
+    const double slow_burn =
+        slow_count > 0
+            ? (static_cast<double>(slow_viol) / slow_count) / budget
+            : 0.0;
+    const bool firing = slow_count >= config_.min_requests &&
+                        fast_burn >= config_.fast_burn_threshold &&
+                        slow_burn >= config_.slow_burn_threshold;
+    if (firing && armed) {
+      armed = false;
+      BurnAlert alert;
+      alert.t_ms = static_cast<double>(b + 1) * config_.window_ms;
+      alert.scope = scope;
+      alert.fast_burn = fast_burn;
+      alert.slow_burn = slow_burn;
+      int dominant = 0;
+      int64_t total = 0;
+      for (int c = 0; c < kPathComponents; ++c) {
+        total += slow_sums.ns[c];
+        if (slow_sums.ns[c] > slow_sums.ns[dominant]) dominant = c;
+      }
+      alert.dominant = static_cast<PathComponent>(dominant);
+      alert.dominant_share =
+          total > 0
+              ? static_cast<double>(slow_sums.ns[dominant]) / total
+              : 0.0;
+      alerts.push_back(alert);
+    } else if (!firing && fast_burn < config_.fast_burn_threshold) {
+      // Re-arm only once the fast window cools off, so one sustained
+      // incident pages once instead of once per bucket.
+      armed = true;
+    }
+  }
+  return alerts;
+}
+
+std::vector<BurnAlert> BurnRateAlerter::Evaluate() const {
+  std::vector<BurnAlert> alerts = EvaluateScope("fleet", fleet_);
+  for (const auto& [tenant, series] : tenants_) {
+    const std::vector<BurnAlert> scoped =
+        EvaluateScope("tenant:" + tenant, series);
+    alerts.insert(alerts.end(), scoped.begin(), scoped.end());
+  }
+  std::stable_sort(alerts.begin(), alerts.end(),
+                   [](const BurnAlert& a, const BurnAlert& b) {
+                     if (a.t_ms != b.t_ms) return a.t_ms < b.t_ms;
+                     return a.scope < b.scope;
+                   });
+  return alerts;
+}
+
+}  // namespace obs
+}  // namespace dlsys

@@ -1,0 +1,123 @@
+#ifndef DLSYS_OBS_SLO_H_
+#define DLSYS_OBS_SLO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/attribution.h"
+
+/// \file slo.h
+/// \brief Multi-window SLO burn-rate alerting with per-component
+/// budget attribution.
+///
+/// ## Burn rate
+///
+/// An SLO of target T (e.g. 0.99 "delivered in time") leaves an error
+/// budget of 1-T. The burn rate over a range of request windows is
+///
+///   burn = violation_fraction / (1 - T)
+///
+/// i.e. burn 1.0 spends the budget exactly at the sustainable rate and
+/// burn 14.4 exhausts a 30-day budget in ~2 days (the classic fast-page
+/// threshold). A request *violates* when it misses its end-to-end
+/// deadline or, when `slo_latency_ms` is set, exceeds that latency.
+///
+/// ## Multi-window AND
+///
+/// Alerting on one window forces a choice between latency (long window)
+/// and flappiness (short window). The standard fix is to require a fast
+/// window (here `fast_windows` aggregation buckets) AND a slow window
+/// (`slow_windows` buckets) to both exceed their thresholds: the slow
+/// window proves the burn is sustained, the fast window proves it is
+/// still happening. Alerts are edge-triggered per scope (fleet-wide and
+/// per tenant) and re-arm once the fast window drops back under its
+/// threshold, so a single incident pages once.
+///
+/// ## Component attribution
+///
+/// Each alert names the *dominant component*: the critical-path stage
+/// (route hop, quota delay, slot wait, execute, return hop, ...) with
+/// the largest summed time among violating requests in the slow window
+/// range. That classifies E35 chaos at detection time — a gray failure
+/// (compute 8x) alerts execute-dominant, a slow partition (hop 40x)
+/// alerts route_hop-dominant — instead of leaving diagnosis to a human
+/// scrolling traces.
+///
+/// The alerter consumes the same RequestPathRecords as the attribution
+/// aggregator and is evaluated deterministically over the finished
+/// window series, so alert output is bit-replayable at any
+/// DLSYS_THREADS.
+
+namespace dlsys {
+namespace obs {
+
+/// \brief Burn-rate alerting knobs. `slo_latency_ms <= 0` restricts
+/// violations to missed deadlines only.
+struct BurnRateConfig {
+  double slo_target = 0.99;     ///< fraction of requests that must be ok
+  double slo_latency_ms = 0.0;  ///< per-request latency SLO (<=0: off)
+  double window_ms = 100.0;     ///< aggregation bucket width
+  int fast_windows = 1;         ///< buckets in the fast window
+  int slow_windows = 10;        ///< buckets in the slow window
+  double fast_burn_threshold = 14.4;  ///< fast window must burn >= this
+  double slow_burn_threshold = 6.0;   ///< slow window must burn >= this
+  int64_t min_requests = 20;    ///< slow-window request floor (guards
+                                ///< against tiny-sample flapping)
+};
+
+/// \brief One fired alert: where, when, how hard the budget was burning,
+/// and which critical-path component was burning it.
+struct BurnAlert {
+  double t_ms = 0.0;        ///< close of the bucket that tripped it
+  std::string scope;        ///< "fleet" or "tenant:<name>"
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  PathComponent dominant = PathComponent::kExecute;
+  double dominant_share = 0.0;  ///< dominant's share of violator time
+};
+
+/// \brief Deterministic JSON array of \p alerts (fixed field order and
+/// formatting; byte-comparable across runs and DLSYS_THREADS).
+std::string BurnAlertsJson(const std::vector<BurnAlert>& alerts);
+
+/// \brief Accumulates per-request outcomes into fixed buckets and, at
+/// evaluation, sweeps them with the multi-window burn-rate rule per
+/// scope. Single-threaded; deterministic given the same record sequence.
+class BurnRateAlerter {
+ public:
+  explicit BurnRateAlerter(const BurnRateConfig& config);
+
+  /// \brief Accounts one completed request (bucket = delivery time).
+  /// \p components must be DecomposePath(record).
+  void Record(const RequestPathRecord& record,
+              const PathComponents& components);
+
+  /// \brief Sweeps all buckets in time order and returns every alert
+  /// edge, fleet-wide and per tenant, ordered by (time, scope).
+  std::vector<BurnAlert> Evaluate() const;
+
+  const BurnRateConfig& config() const { return config_; }
+
+ private:
+  /// One scope's per-bucket tallies.
+  struct Bucket {
+    int64_t count = 0;
+    int64_t violations = 0;
+    PathComponents violator_sums;  ///< component time of violators only
+  };
+
+  std::vector<BurnAlert> EvaluateScope(const std::string& scope,
+                                       const std::vector<Bucket>& series)
+      const;
+
+  BurnRateConfig config_;
+  std::vector<Bucket> fleet_;
+  std::map<std::string, std::vector<Bucket>> tenants_;
+};
+
+}  // namespace obs
+}  // namespace dlsys
+
+#endif  // DLSYS_OBS_SLO_H_

@@ -1,13 +1,14 @@
 #include "src/obs/trace.h"
 
 #include <algorithm>
-#include <array>
 #include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
+
+#include "src/obs/counters.h"
 
 namespace dlsys {
 namespace obs {
@@ -27,12 +28,20 @@ int64_t NowNs() {
 
 namespace {
 
+/// Wall-clock ring capacity per thread.
+constexpr uint64_t kWallCapacity = 1 << 14;  ///< 16384 events
+/// Simulated-clock ring capacity per emitting thread. Larger: sim events
+/// are one lifecycle record per request (not per kernel), and their drop
+/// horizon must not move with wall-event volume, which varies with
+/// DLSYS_THREADS.
+constexpr uint64_t kSimCapacity = 1 << 17;  ///< 131072 events
+
 /// One thread's append-only event ring. Slots are written exactly once
 /// per reset epoch (drop-on-full), then published by a release store of
 /// head_, so drains that acquire head_ read fully-constructed events.
 struct Ring {
-  static constexpr uint64_t kCapacity = 1 << 14;  ///< 16384 events
-  std::array<TraceEvent, kCapacity> events;
+  explicit Ring(uint64_t capacity) : events(capacity) {}
+  std::vector<TraceEvent> events;
   std::atomic<uint64_t> head{0};
   std::atomic<int64_t> dropped{0};
   uint64_t drained = 0;  ///< guarded by Rings::mu (drain side only)
@@ -44,6 +53,7 @@ struct Ring {
 struct Rings {
   std::mutex mu;
   std::vector<std::unique_ptr<Ring>> all;
+  uint32_t next_tid = 0;
 
   static Rings& Get() {
     static Rings* r = new Rings;  // leaked: threads may outlive main
@@ -51,24 +61,42 @@ struct Rings {
   }
 };
 
-Ring* ThisThreadRing() {
-  thread_local Ring* ring = [] {
+/// This thread's rings: the wall ring is made on first record; the sim
+/// ring only on threads that emit sim events (driver threads), so worker
+/// threads pay nothing for the split.
+struct ThreadRings {
+  Ring* wall = nullptr;
+  Ring* sim = nullptr;
+  uint32_t tid = 0;
+  bool has_tid = false;
+};
+
+Ring* ThisThreadRing(bool sim_track) {
+  thread_local ThreadRings tr;
+  Ring*& slot = sim_track ? tr.sim : tr.wall;
+  if (slot == nullptr) {
     Rings& rings = Rings::Get();
     std::lock_guard<std::mutex> lock(rings.mu);
-    rings.all.push_back(std::make_unique<Ring>());
-    rings.all.back()->tid = static_cast<uint32_t>(rings.all.size() - 1);
-    return rings.all.back().get();
-  }();
-  return ring;
+    if (!tr.has_tid) {
+      tr.tid = rings.next_tid++;
+      tr.has_tid = true;
+    }
+    rings.all.push_back(
+        std::make_unique<Ring>(sim_track ? kSimCapacity : kWallCapacity));
+    rings.all.back()->tid = tr.tid;
+    slot = rings.all.back().get();
+  }
+  return slot;
 }
 
 }  // namespace
 
 void Record(const TraceEvent& ev) {
-  Ring* ring = ThisThreadRing();
+  Ring* ring = ThisThreadRing(ev.pid == kSimTrack);
   const uint64_t h = ring->head.load(std::memory_order_relaxed);
-  if (h >= Ring::kCapacity) {
+  if (h >= ring->events.size()) {
     ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    DLSYS_COUNTER_ADD("obs.trace.dropped_spans", 1);
     return;
   }
   ring->events[h] = ev;
@@ -132,6 +160,22 @@ void TraceEmitSim(const char* name, const char* cat, double ts_ms,
   internal::Record(ev);
 }
 
+void TraceEmitSimSpanNs(const char* name, const char* cat, int64_t ts_ns,
+                        int64_t dur_ns, int64_t rid, int64_t span,
+                        int64_t parent) {
+  if (!TracingEnabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.rid = rid;
+  ev.span = span;
+  ev.parent = parent;
+  ev.pid = kSimTrack;
+  internal::Record(ev);
+}
+
 void TraceInstantSim(const char* name, const char* cat, double ts_ms,
                      int64_t rid) {
   if (!TracingEnabled()) return;
@@ -185,16 +229,47 @@ TraceBuffer SimTrackOnly(const TraceBuffer& buffer) {
 }
 
 std::string ChromeTraceJson(const TraceBuffer& buffer) {
-  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  char line[512];
-  bool first = true;
+  // Rendered in (pid, tid, ts, -dur) order: drains interleave rings in
+  // registration order, so sorting both makes timestamps monotone per
+  // track (viewer- and test-friendly) and erases ring-registration
+  // nondeterminism from the rendered document. stable_sort keeps
+  // emission order among equal keys, which single-threaded sim emitters
+  // make deterministic.
+  std::vector<const TraceEvent*> order;
+  order.reserve(buffer.events.size());
   for (const TraceEvent& ev : buffer.events) {
     if (ev.name == nullptr) continue;
+    order.push_back(&ev);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->pid != b->pid) return a->pid < b->pid;
+                     if (a->tid != b->tid) return a->tid < b->tid;
+                     if (a->ts_ns != b->ts_ns) return a->ts_ns < b->ts_ns;
+                     return a->dur_ns > b->dur_ns;
+                   });
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  char line[640];
+  bool first = true;
+  for (const TraceEvent* evp : order) {
+    const TraceEvent& ev = *evp;
     std::string args;
     char argbuf[96];
     if (ev.rid >= 0) {
       std::snprintf(argbuf, sizeof(argbuf), "\"rid\": %lld",
                     static_cast<long long>(ev.rid));
+      args += argbuf;
+    }
+    if (ev.span >= 0) {
+      std::snprintf(argbuf, sizeof(argbuf), "%s\"id\": %lld",
+                    args.empty() ? "" : ", ",
+                    static_cast<long long>(ev.span));
+      args += argbuf;
+    }
+    if (ev.parent >= 0) {
+      std::snprintf(argbuf, sizeof(argbuf), "%s\"parent\": %lld",
+                    args.empty() ? "" : ", ",
+                    static_cast<long long>(ev.parent));
       args += argbuf;
     }
     if (ev.flops > 0) {

@@ -24,14 +24,22 @@
 ///
 /// ## Ring-buffer drain protocol
 ///
-/// Each thread owns one append-only ring registered in a global list.
-/// The writer publishes an event by storing the slot then releasing the
-/// head index; DrainTrace() acquires the head and copies `[drained,
-/// head)`, so every drained event is happens-before ordered and the
-/// protocol is race-free under TSan even while other threads keep
-/// tracing. Slots are never recycled between resets: a full ring *drops*
-/// new events (counted) instead of overwriting, and ResetTrace() — which
-/// rewinds the rings — must only run at quiescent points (no concurrent
+/// Each thread owns up to two append-only rings registered in a global
+/// list: one for wall-clock events and a larger one, lazily created only
+/// on threads that emit them, for simulated-clock events. Splitting the
+/// tracks matters for determinism: wall-event volume on the driver
+/// thread varies with DLSYS_THREADS (inline ParallelFor chunks), so if
+/// both tracks shared a ring, overflow would drop a thread-count-
+/// dependent *sim* suffix and break the byte-compared sim slice. With
+/// split rings, sim drops depend only on sim volume. The writer
+/// publishes an event by storing the slot then releasing the head index;
+/// DrainTrace() acquires the head and copies `[drained, head)`, so every
+/// drained event is happens-before ordered and the protocol is race-free
+/// under TSan even while other threads keep tracing. Slots are never
+/// recycled between resets: a full ring *drops* new events — counted in
+/// TraceBuffer::dropped and in the `obs.trace.dropped_spans` registry
+/// counter — instead of overwriting, and ResetTrace() — which rewinds
+/// the rings — must only run at quiescent points (no concurrent
 /// instrumented work), the same discipline benches already need for
 /// timing sections.
 ///
@@ -64,6 +72,8 @@ struct TraceEvent {
   int64_t ts_ns = 0;    ///< start; wall track: ns since process trace epoch
   int64_t dur_ns = -1;  ///< -1 encodes an instant event
   int64_t rid = -1;     ///< request id, -1 when not request-scoped
+  int64_t span = -1;    ///< causal span id, -1 when unlinked
+  int64_t parent = -1;  ///< parent span id, -1 for roots / unlinked
   int64_t flops = 0;    ///< attributed floating-point work (0 = untagged)
   int64_t bytes = 0;    ///< attributed bytes moved (0 = untagged)
   int32_t pid = 1;      ///< 1 = wall-clock track, 2 = simulated-clock track
@@ -161,6 +171,16 @@ void TraceEmitSim(const char* name, const char* cat, double ts_ms,
 void TraceInstantSim(const char* name, const char* cat, double ts_ms,
                      int64_t rid);
 
+/// \brief Emits a causally-linked complete span on the simulated-clock
+/// track with timestamps in **integer simulated nanoseconds** — the
+/// exact quantization the critical-path decomposer works in, so a
+/// span's rendered duration equals its attribution component bitwise.
+/// \p span / \p parent link the request's spans into a tree (use the
+/// span-id helpers in attribution.h); pass -1 for unlinked/root.
+void TraceEmitSimSpanNs(const char* name, const char* cat, int64_t ts_ns,
+                        int64_t dur_ns, int64_t rid, int64_t span,
+                        int64_t parent);
+
 /// \brief Everything drained from the rings so far.
 struct TraceBuffer {
   std::vector<TraceEvent> events;
@@ -229,12 +249,17 @@ std::vector<SpanStat> SelfTimeByName(const TraceBuffer& buffer);
   ::dlsys::obs::TraceEmitSim(name, cat, ts_ms, dur_ms, rid)
 #define DLSYS_TRACE_INSTANT_SIM(name, cat, ts_ms, rid) \
   ::dlsys::obs::TraceInstantSim(name, cat, ts_ms, rid)
+#define DLSYS_TRACE_EMIT_SIM_NS(name, cat, ts_ns, dur_ns, rid, span, parent) \
+  ::dlsys::obs::TraceEmitSimSpanNs(name, cat, ts_ns, dur_ns, rid, span,      \
+                                   parent)
 #else
 #define DLSYS_TRACE_SPAN(name, cat) ((void)0)
 #define DLSYS_TRACE_SPAN_COST(name, cat, flops, bytes) ((void)0)
 #define DLSYS_TRACE_SPAN_COST_CAT(name, cat, flops, bytes) ((void)0)
 #define DLSYS_TRACE_EMIT_SIM(name, cat, ts_ms, dur_ms, rid) ((void)0)
 #define DLSYS_TRACE_INSTANT_SIM(name, cat, ts_ms, rid) ((void)0)
+#define DLSYS_TRACE_EMIT_SIM_NS(name, cat, ts_ns, dur_ns, rid, span, parent) \
+  ((void)0)
 #endif
 
 #endif  // DLSYS_OBS_TRACE_H_

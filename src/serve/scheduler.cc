@@ -39,6 +39,14 @@ TenantScheduler::TenantState& TenantScheduler::StateFor(
 
 void TenantScheduler::Enqueue(SlotRequest request) {
   TenantState& state = StateFor(request.tenant);
+  // Stamp the quota horizon the admission predictor already computes:
+  // the earliest the bucket funds this request behind the tenant's
+  // current backlog. Attribution reads it back as the quota/slot-wait
+  // boundary (clamped to [arrival, dispatch] at completion, since DWFQ
+  // rotation can serve slightly before or after the prediction).
+  request.quota_open_ms =
+      std::max(request.arrival_ms,
+               QuotaBacklogMs(request.tenant, request.arrival_ms));
   state.queue.push_back(std::move(request));
   ++depth_;
 }

@@ -15,13 +15,12 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // The DLSYS_COUNTER_ADD macro caches its Counter* in a function-local
 // static, which is wrong for names built from tenant ids; tenant-keyed
-// counters go through the registry directly.
+// metrics go through the registry-direct dynamic-name helpers. The
+// DLSYS_OBS guard keeps the name concatenation out of obs-off builds.
 void TenantCounterAdd(const std::string& tenant, const char* what,
                       int64_t delta) {
 #if DLSYS_OBS
-  obs::CounterRegistry::Global()
-      .counter("serve.tenant." + tenant + "." + what)
-      ->Add(delta);
+  obs::CounterAddDynamic("serve.tenant." + tenant + "." + what, delta);
 #else
   (void)tenant;
   (void)what;
@@ -31,9 +30,7 @@ void TenantCounterAdd(const std::string& tenant, const char* what,
 
 void TenantLatencyRecord(const std::string& tenant, double ms) {
 #if DLSYS_OBS
-  obs::CounterRegistry::Global()
-      .histogram("serve.tenant." + tenant + ".latency_ms")
-      ->Record(ms);
+  obs::HistogramRecordDynamic("serve.tenant." + tenant + ".latency_ms", ms);
 #else
   (void)tenant;
   (void)ms;
@@ -114,7 +111,8 @@ int64_t Server::BatchPrefix(const std::deque<QueueEntry>& queue,
 Server::SubmitResult Server::Submit(const std::string& model,
                                     const Tensor& example, double arrival_ms,
                                     double deadline_budget_ms,
-                                    const std::string& tenant) {
+                                    const std::string& tenant,
+                                    const obs::RequestTrace* rtrace) {
   DLSYS_CHECK(arrival_ms >= clock_ms_, "Submit arrivals must be monotone");
   const bool slot_mode = scheduler_ != nullptr;
   // Work due strictly before this arrival happens first; a batch delay or
@@ -134,6 +132,12 @@ Server::SubmitResult Server::Submit(const std::string& model,
 
   SubmitResult result;
   result.id = next_id_++;
+  // All sim-track events of this request key on the fleet rid when the
+  // caller threads one through, so the exported trace stitches router-
+  // and replica-side spans of one request under one id.
+  const int64_t trace_rid =
+      rtrace != nullptr && rtrace->rid >= 0 ? rtrace->rid : -1;
+  const int64_t erid = trace_rid >= 0 ? trace_rid : result.id;
   ++offered_;
   ++ts.offered;
   DLSYS_COUNTER_ADD("serve.offered", 1);
@@ -247,7 +251,7 @@ Server::SubmitResult Server::Submit(const std::string& model,
       DLSYS_COUNTER_ADD("serve.shed.queue_full", 1);
       TenantCounterAdd(tenant_name, "shed.queue_full", 1);
       DLSYS_TRACE_INSTANT_SIM("serve.shed.queue_full", "serve", arrival_ms,
-                              result.id);
+                              erid);
       result.outcome = Outcome::kShedQueueFull;
       return result;
     case AdmissionDecision::kShedDeadline:
@@ -256,7 +260,7 @@ Server::SubmitResult Server::Submit(const std::string& model,
       DLSYS_COUNTER_ADD("serve.shed.deadline_infeasible", 1);
       TenantCounterAdd(tenant_name, "shed.deadline_infeasible", 1);
       DLSYS_TRACE_INSTANT_SIM("serve.shed.deadline_infeasible", "serve",
-                              arrival_ms, result.id);
+                              arrival_ms, erid);
       result.outcome = Outcome::kShedDeadline;
       return result;
     case AdmissionDecision::kShedDraining:
@@ -265,7 +269,7 @@ Server::SubmitResult Server::Submit(const std::string& model,
       DLSYS_COUNTER_ADD("serve.shed.draining", 1);
       TenantCounterAdd(tenant_name, "shed.draining", 1);
       DLSYS_TRACE_INSTANT_SIM("serve.shed.draining", "serve", arrival_ms,
-                              result.id);
+                              erid);
       result.outcome = Outcome::kShedDraining;
       return result;
     case AdmissionDecision::kAdmit:
@@ -276,11 +280,12 @@ Server::SubmitResult Server::Submit(const std::string& model,
   ++ts.admitted;
   DLSYS_COUNTER_ADD("serve.admitted", 1);
   TenantCounterAdd(tenant_name, "admitted", 1);
-  DLSYS_TRACE_INSTANT_SIM("serve.admit", "serve", arrival_ms, result.id);
+  DLSYS_TRACE_INSTANT_SIM("serve.admit", "serve", arrival_ms, erid);
 
   if (slot_mode) {
     SlotRequest req;
     req.id = result.id;
+    req.trace_rid = trace_rid;
     req.tenant = tenant_name;
     req.priority = scheduler_->PolicyFor(tenant_name).priority;
     req.arrival_ms = arrival_ms;
@@ -296,8 +301,12 @@ Server::SubmitResult Server::Submit(const std::string& model,
   } else {
     QueueEntry entry;
     entry.id = result.id;
+    entry.trace_rid = trace_rid;
     entry.tenant = tenant_name;
     entry.arrival_ms = arrival_ms;
+    // Legacy batch mode has no quota gate: the whole queue wait is slot
+    // (batch) wait in the decomposition.
+    entry.quota_open_ms = arrival_ms;
     entry.deadline_ms = arrival_ms + budget;
     entry.input = Tensor({snap->in_elems});
     std::copy(example.data(), example.data() + snap->in_elems,
@@ -507,15 +516,22 @@ void Server::FlushWave() {
       QueueEntry& entry = task.members[j];
       Completion c;
       c.id = entry.id;
+      c.rid = entry.trace_rid >= 0 ? entry.trace_rid : entry.id;
       c.model = task.snap->model;
       c.tenant = entry.tenant.empty() ? std::string("default") : entry.tenant;
       c.version = task.snap->version;
       c.arrival_ms = entry.arrival_ms;
+      // The quota horizon was a prediction at enqueue time; DWFQ rotation
+      // can serve before or after it, so clamp it into the realized
+      // [arrival, dispatch] interval the decomposition splits.
+      c.quota_open_ms = std::max(
+          entry.arrival_ms, std::min(entry.quota_open_ms, task.dispatch_ms));
       c.dispatch_ms = task.dispatch_ms;
       c.finish_ms = task.finish_ms;
       c.deadline_ms = entry.deadline_ms;
       c.batch_size = task.batch_size;
       c.worker = task.worker;
+      c.slot = entry.slot;
       c.deadline_missed = task.finish_ms > entry.deadline_ms;
       c.measured_service_ms = task.measured_service_ms;
       c.output = Tensor(task.snap->example_output_shape);
@@ -530,16 +546,43 @@ void Server::FlushWave() {
       DLSYS_HISTOGRAM_RECORD("serve.latency_ms", c.finish_ms - c.arrival_ms);
       DLSYS_COUNTER_ADD("serve.completed", 1);
       // The request's whole life on the simulated-clock track, keyed by
-      // rid: queued (admission -> batch dispatch), executing (dispatch ->
-      // modeled finish), then an instant respond marker. Together with
-      // the admit instant from Submit, the exported Chrome trace
-      // reconstructs the full admit -> queue -> batch -> execute ->
-      // respond path of any single request.
-      DLSYS_TRACE_EMIT_SIM("serve.queue", "serve", c.arrival_ms,
-                           c.dispatch_ms - c.arrival_ms, c.id);
-      DLSYS_TRACE_EMIT_SIM("serve.execute", "serve", c.dispatch_ms,
-                           c.finish_ms - c.dispatch_ms, c.id);
-      DLSYS_TRACE_INSTANT_SIM("serve.respond", "serve", c.finish_ms, c.id);
+      // rid: a queue umbrella (admission -> dispatch) with quota-wait and
+      // slot-wait children splitting it at the quota horizon, the execute
+      // span, then an instant respond marker. Span boundaries are emitted
+      // in the decomposer's integer sim-ns quantization, so each span's
+      // rendered duration equals its critical-path component bitwise, and
+      // span/parent ids chain them under the fleet's root request span
+      // (parentless when serving standalone). Together with the admit
+      // instant from Submit, the exported Chrome trace reconstructs the
+      // full admit -> quota -> slot -> execute -> respond path of any
+      // single request.
+#if DLSYS_OBS
+      const int64_t arrival_ns = obs::SimNs(c.arrival_ms);
+      const int64_t quota_open_ns = obs::SimNs(c.quota_open_ms);
+      const int64_t dispatch_ns = obs::SimNs(c.dispatch_ms);
+      const int64_t finish_ns = obs::SimNs(c.finish_ms);
+      const int64_t root =
+          entry.trace_rid >= 0 ? obs::RequestSpanId(c.rid) : -1;
+      const int64_t queue_span = obs::QueueSpanId(c.rid);
+      DLSYS_TRACE_EMIT_SIM_NS("serve.queue", "serve", arrival_ns,
+                              dispatch_ns - arrival_ns, c.rid, queue_span,
+                              root);
+      DLSYS_TRACE_EMIT_SIM_NS(
+          "serve.quota_wait", "serve", arrival_ns, quota_open_ns - arrival_ns,
+          c.rid,
+          obs::ComponentSpanId(c.rid, obs::PathComponent::kQuotaDelay),
+          queue_span);
+      DLSYS_TRACE_EMIT_SIM_NS(
+          "serve.slot_wait", "serve", quota_open_ns,
+          dispatch_ns - quota_open_ns, c.rid,
+          obs::ComponentSpanId(c.rid, obs::PathComponent::kSlotWait),
+          queue_span);
+      DLSYS_TRACE_EMIT_SIM_NS(
+          "serve.execute", "serve", dispatch_ns, finish_ns - dispatch_ns,
+          c.rid, obs::ComponentSpanId(c.rid, obs::PathComponent::kExecute),
+          root);
+      DLSYS_TRACE_INSTANT_SIM("serve.respond", "serve", c.finish_ms, c.rid);
+#endif
       ++served_[c.model][c.version];
       RecordTenantCompletion(c);
       completions_.push_back(std::move(c));
@@ -626,9 +669,11 @@ int Server::SlotRefillAndStart(double now_ms) {
         const int slot = slots_->Load(w, pick->id, now_ms);
         QueueEntry entry;
         entry.id = pick->id;
+        entry.trace_rid = pick->trace_rid;
         entry.tenant = std::move(pick->tenant);
         entry.slot = slot;
         entry.arrival_ms = pick->arrival_ms;
+        entry.quota_open_ms = pick->quota_open_ms;
         entry.deadline_ms = pick->deadline_ms;
         entry.snap = std::move(pick->snap);
         entry.input = std::move(pick->input);

@@ -10,6 +10,7 @@
 
 #include "src/core/metrics.h"
 #include "src/core/status.h"
+#include "src/obs/attribution.h"
 #include "src/runtime/thread_pool.h"
 #include "src/serve/admission.h"
 #include "src/serve/registry.h"
@@ -91,15 +92,24 @@ class Server {
   /// \brief One finished request, in dispatch order.
   struct Completion {
     int64_t id = 0;
+    /// Trace rid: the fleet-global request id when Submit carried a
+    /// RequestTrace, else the server-assigned id — the key every sim
+    /// span of this request was emitted under.
+    int64_t rid = 0;
     std::string model;
     std::string tenant;         ///< normalized tenant id ("default" if none)
     int64_t version = 0;        ///< snapshot version bound at admission
     double arrival_ms = 0.0;    ///< simulated
+    /// Simulated time the tenant's quota funded the request, clamped to
+    /// [arrival_ms, dispatch_ms] — the quota-delay / slot-wait boundary
+    /// of the critical-path decomposition. arrival_ms in legacy mode.
+    double quota_open_ms = 0.0;
     double dispatch_ms = 0.0;   ///< simulated batch start
     double finish_ms = 0.0;     ///< dispatch + modeled service time
     double deadline_ms = 0.0;   ///< absolute simulated deadline
     int64_t batch_size = 0;     ///< requests sharing the dispatch
     int worker = 0;             ///< replica index that executed it
+    int slot = -1;              ///< slot-pool lane (-1 in legacy mode)
     bool deadline_missed = false;  ///< finish_ms > deadline_ms
     /// Real wall time of the batch's engine call (informational only;
     /// never feeds scheduling).
@@ -135,9 +145,15 @@ class Server {
   /// wait and the slot backlog), then (if admitted) enqueue and dispatch
   /// anything due at arrival_ms — so a batch whose delay expires exactly
   /// now coalesces this request, and a slot freed exactly now takes it.
+  ///
+  /// \p rtrace, when non-null, is the fleet's request context: every sim
+  /// span and instant this request emits is keyed by rtrace->rid instead
+  /// of the server-assigned id, and its spans parent under the fleet's
+  /// root request span — the distributed-tracing hook.
   SubmitResult Submit(const std::string& model, const Tensor& example,
                       double arrival_ms, double deadline_budget_ms = 0.0,
-                      const std::string& tenant = std::string());
+                      const std::string& tenant = std::string(),
+                      const obs::RequestTrace* rtrace = nullptr);
 
   /// \brief Advances the simulated clock to \p now_ms (monotone; checked),
   /// dispatching every batch whose dispatch time is due, and executes
@@ -230,9 +246,12 @@ class Server {
   /// One admitted, not-yet-dispatched request.
   struct QueueEntry {
     int64_t id = 0;
+    int64_t trace_rid = -1;    ///< fleet rid from RequestTrace, -1 local
     std::string tenant;        ///< normalized tenant id
     int slot = -1;             ///< bound slot index (slot mode only)
     double arrival_ms = 0.0;
+    double quota_open_ms = 0.0;  ///< predicted quota horizon (= arrival
+                                 ///< in legacy mode)
     double deadline_ms = 0.0;  ///< absolute
     std::shared_ptr<ModelSnapshot> snap;
     Tensor input;  ///< flat copy, (in_elems)

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,8 @@
 #include "src/fleet/fleet.h"
 #include "src/fleet/router.h"
 #include "src/nn/train.h"
+#include "src/obs/attribution.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
 #include "src/serve/loadgen.h"
@@ -303,6 +307,25 @@ TEST(FleetTest, ValidateRejectsBadConfigs) {
   config = TestFleetConfig();
   config.canary.min_p99_samples = 0;
   EXPECT_FALSE(ValidateFleetConfig(config).ok());
+  config = TestFleetConfig();
+  config.attribution.window_ms = 0.0;
+  EXPECT_FALSE(ValidateFleetConfig(config).ok());
+  config = TestFleetConfig();
+  config.attribution.exemplars_per_window = -1;
+  EXPECT_FALSE(ValidateFleetConfig(config).ok());
+  config = TestFleetConfig();
+  config.slo.slo_target = 1.0;
+  EXPECT_FALSE(ValidateFleetConfig(config).ok());
+  config = TestFleetConfig();
+  config.slo.fast_windows = 5;
+  config.slo.slow_windows = 2;
+  EXPECT_FALSE(ValidateFleetConfig(config).ok());
+  config = TestFleetConfig();
+  config.slo.slow_burn_threshold = 0.0;
+  EXPECT_FALSE(ValidateFleetConfig(config).ok());
+  config = TestFleetConfig();
+  config.slo.min_requests = -1;
+  EXPECT_FALSE(ValidateFleetConfig(config).ok());
 }
 
 TEST(FleetTest, RunRequiresDeployAndMatchingModel) {
@@ -511,8 +534,8 @@ TEST(FleetTest, ChaosRunReplaysBitwiseAcrossThreadCounts) {
   ASSERT_TRUE(scenario.ok());
   const TraceLoadConfig load = TestLoad(8000.0, 400.0);
 
-  const auto run_at = [&](int threads, std::string* json,
-                          std::string* trace) {
+  const auto run_at = [&](int threads, std::string* json, std::string* trace,
+                          std::string* attr) {
     RuntimeConfig::SetThreads(threads);
     obs::ResetTrace();
     obs::SetTracingEnabled(true);
@@ -521,12 +544,13 @@ TEST(FleetTest, ChaosRunReplaysBitwiseAcrossThreadCounts) {
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     *json = FleetReportJson(report.value());
     *trace = obs::ChromeTraceJson(obs::SimTrackOnly(obs::DrainTrace()));
+    *attr = obs::AttributionReportJson(report.value().attribution);
     obs::ResetTrace();
   };
 
-  std::string json1, trace1, json8, trace8;
-  run_at(1, &json1, &trace1);
-  run_at(8, &json8, &trace8);
+  std::string json1, trace1, attr1, json8, trace8, attr8;
+  run_at(1, &json1, &trace1, &attr1);
+  run_at(8, &json8, &trace8, &attr8);
   RuntimeConfig::SetThreads(1);
 
   EXPECT_EQ(json1, json8)
@@ -534,6 +558,174 @@ TEST(FleetTest, ChaosRunReplaysBitwiseAcrossThreadCounts) {
   EXPECT_FALSE(trace1.empty());
   EXPECT_EQ(trace1, trace8)
       << "sim-track trace slice must be bitwise thread-count independent";
+  EXPECT_FALSE(attr1.empty());
+  EXPECT_EQ(attr1, attr8)
+      << "attribution report must be bitwise thread-count independent";
+}
+
+// ------------------------------- critical-path attribution + burn rate
+
+/// Oracle the burn-rate alerter must beat: the close of the first SLO
+/// window whose p99 regresses past 3x the pre-fault mean — the signal
+/// the PR-6 canary's windowed-p99 check keys on. -1 when it never fires.
+double P99CanaryDetectionMs(const FleetReport& r, double window_ms) {
+  double pre_sum = 0.0;
+  int pre_n = 0;
+  for (const FleetWindow& w : r.windows) {
+    if (w.start_ms + window_ms <= r.fault_start_ms && w.p99_ms > 0.0) {
+      pre_sum += w.p99_ms;
+      ++pre_n;
+    }
+  }
+  if (pre_n == 0) return -1.0;
+  const double baseline = pre_sum / static_cast<double>(pre_n);
+  for (const FleetWindow& w : r.windows) {
+    if (w.start_ms + window_ms > r.fault_start_ms &&
+        w.p99_ms > 3.0 * baseline) {
+      return w.start_ms + window_ms;
+    }
+  }
+  return -1.0;
+}
+
+/// TestFleetConfig + an 8 ms latency SLO: steady-state client latency is
+/// ~2-4 ms (hops are 0.1 ms, service 1-3 ms), so clean runs never burn,
+/// while both E35 gray scenarios push affected requests past 8 ms.
+FleetConfig SloFleetConfig() {
+  FleetConfig config = TestFleetConfig();
+  config.slo.slo_latency_ms = 8.0;
+  return config;
+}
+
+TEST(AttributionFleetTest, PathRecordsDecomposeBitwiseAtAnyThreadCount) {
+  auto scenario = MakeScenario("crash_storm", 0.5);
+  ASSERT_TRUE(scenario.ok());
+  const TraceLoadConfig load = TestLoad(8000.0, 400.0);
+  std::string first_attr;
+  for (int threads : {1, 2, 8}) {
+    RuntimeConfig::SetThreads(threads);
+    auto report = RunFleet(TestFleetConfig(), scenario.value(), load);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const FleetReport& r = report.value();
+    ASSERT_FALSE(r.path_records.empty());
+    for (const obs::RequestPathRecord& rec : r.path_records) {
+      const obs::PathComponents comp = obs::DecomposePath(rec);
+      ASSERT_EQ(comp.total_ns(), rec.deliver_ns - rec.send_ns)
+          << "rid " << rec.rid << " at threads " << threads;
+      ASSERT_GT(comp[obs::PathComponent::kRouteHop], 0) << "rid " << rec.rid;
+      ASSERT_GT(comp[obs::PathComponent::kReturnHop], 0) << "rid " << rec.rid;
+    }
+    const std::string attr = obs::AttributionReportJson(r.attribution);
+    if (first_attr.empty()) {
+      first_attr = attr;
+      EXPECT_NE(attr.find("\"exemplars\": ["), std::string::npos);
+    } else {
+      EXPECT_EQ(first_attr, attr) << "threads " << threads;
+    }
+  }
+  RuntimeConfig::SetThreads(1);
+}
+
+#if DLSYS_OBS
+// Needs real span emission; under -DDLSYS_OBS=0 the rings are compiled
+// out (the record-side decomposition tests above still run there).
+TEST(AttributionFleetTest, TraceDerivedComponentsMatchRecordsBitwise) {
+  auto scenario = MakeScenario("steady", 0.5);
+  ASSERT_TRUE(scenario.ok());
+  RuntimeConfig::SetThreads(1);
+  obs::ResetTrace();
+  obs::SetTracingEnabled(true);
+  auto report =
+      RunFleet(TestFleetConfig(), scenario.value(), TestLoad(6000.0, 300.0));
+  obs::SetTracingEnabled(false);
+  const obs::TraceBuffer buf = obs::SimTrackOnly(obs::DrainTrace());
+  obs::ResetTrace();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const FleetReport& r = report.value();
+  ASSERT_FALSE(r.path_records.empty());
+  EXPECT_EQ(buf.dropped, 0) << "sim ring must hold the whole run";
+
+  // The span tree and the records are two views of the same boundaries:
+  // re-deriving the decomposition from span durations alone must agree
+  // bitwise, component by component, for every delivered request.
+  const std::map<int64_t, obs::PathComponents> from_trace =
+      obs::ComponentsFromTrace(buf);
+  for (const obs::RequestPathRecord& rec : r.path_records) {
+    const auto it = from_trace.find(rec.rid);
+    ASSERT_NE(it, from_trace.end()) << "no spans for rid " << rec.rid;
+    const obs::PathComponents want = obs::DecomposePath(rec);
+    for (int c = 0; c < obs::kPathComponents; ++c) {
+      ASSERT_EQ(it->second.ns[c], want.ns[c])
+          << "rid " << rec.rid << " component "
+          << obs::PathComponentName(static_cast<obs::PathComponent>(c));
+    }
+  }
+}
+#endif  // DLSYS_OBS
+
+TEST(AttributionFleetTest, SteadyRunRaisesNoAlerts) {
+  auto scenario = MakeScenario("steady", 0.5);
+  ASSERT_TRUE(scenario.ok());
+  auto report = RunFleet(SloFleetConfig(), scenario.value(), TestLoad());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const FleetReport& r = report.value();
+  EXPECT_TRUE(r.alerts.empty()) << "clean run burned budget: "
+                                << obs::BurnAlertsJson(r.alerts);
+  // Every in-time delivery leaves exactly one path record.
+  EXPECT_EQ(static_cast<int64_t>(r.path_records.size()), r.completed_ok);
+  EXPECT_NE(FleetReportJson(r).find("\"alerts\": []"), std::string::npos);
+}
+
+TEST(AttributionFleetTest, GrayFailureAlertsExecuteDominantBeforeCanary) {
+  auto scenario = MakeScenario("gray_failure", 0.5);  // compute 8x at 4 s
+  ASSERT_TRUE(scenario.ok());
+  const FleetConfig config = SloFleetConfig();
+  auto report = RunFleet(config, scenario.value(), TestLoad());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const FleetReport& r = report.value();
+
+  std::vector<obs::BurnAlert> fleet_alerts;
+  for (const obs::BurnAlert& a : r.alerts) {
+    if (a.scope == "fleet") fleet_alerts.push_back(a);
+  }
+  ASSERT_FALSE(fleet_alerts.empty()) << "gray failure never alerted";
+  const obs::BurnAlert& first = fleet_alerts.front();
+  // Zero false alarms: nothing fires before the fault exists.
+  EXPECT_GE(first.t_ms, r.fault_start_ms);
+  // The alert classifies the fault at detection time: compute 8x burns
+  // budget in the execute stage.
+  EXPECT_EQ(first.dominant, obs::PathComponent::kExecute);
+  EXPECT_GT(first.dominant_share, 0.5);
+  EXPECT_GE(first.fast_burn, config.slo.fast_burn_threshold);
+  EXPECT_GE(first.slow_burn, config.slo.slow_burn_threshold);
+
+  // Faster than the windowed-p99 canary signal over the same run.
+  const double canary_ms = P99CanaryDetectionMs(r, config.window_ms);
+  ASSERT_GT(canary_ms, 0.0) << "oracle must also see an 8x compute fault";
+  EXPECT_LE(first.t_ms, canary_ms);
+}
+
+TEST(AttributionFleetTest, SlowPartitionAlertsRouteHopDominant) {
+  auto scenario = MakeScenario("slow_partition", 0.5);  // hop 40x at 4 s
+  ASSERT_TRUE(scenario.ok());
+  const FleetConfig config = SloFleetConfig();
+  auto report = RunFleet(config, scenario.value(), TestLoad());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const FleetReport& r = report.value();
+
+  std::vector<obs::BurnAlert> fleet_alerts;
+  for (const obs::BurnAlert& a : r.alerts) {
+    if (a.scope == "fleet") fleet_alerts.push_back(a);
+  }
+  ASSERT_FALSE(fleet_alerts.empty()) << "slow partition never alerted";
+  const obs::BurnAlert& first = fleet_alerts.front();
+  EXPECT_GE(first.t_ms, r.fault_start_ms);
+  // Same alerter, opposite verdict from the gray failure: a 40x network
+  // hop burns budget in the route stage (the forward hop carries the
+  // 4096-byte request, so it strictly dominates the 512-byte return).
+  EXPECT_EQ(first.dominant, obs::PathComponent::kRouteHop);
+  EXPECT_LE(first.t_ms, r.fault_start_ms + 2000.0)
+      << "detection should land within a couple of slow buckets";
 }
 
 }  // namespace

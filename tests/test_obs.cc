@@ -2,8 +2,10 @@
 // real concurrency, snapshot/diff semantics, registry exporters, span
 // recording and the ring drain protocol, Chrome trace export, request
 // lifecycle reconstruction by rid, per-phase cost attribution feeding
-// src/green, and the determinism contract (traced and untraced engine
-// outputs bitwise identical at DLSYS_THREADS 1/2/8).
+// src/green, critical-path latency decomposition (bitwise telescoping,
+// trace-derived rebuild, windowed series with exemplars), multi-window
+// SLO burn-rate alerting, and the determinism contract (traced and
+// untraced engine outputs bitwise identical at DLSYS_THREADS 1/2/8).
 //
 // Everything that touches the *macro* sites or span recording is guarded
 // with #if DLSYS_OBS so the suite also passes in a -DDLSYS_OBS=0 build
@@ -17,18 +19,26 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/core/rng.h"
+#include "src/data/synthetic.h"
+#include "src/fleet/chaos.h"
+#include "src/fleet/fleet.h"
 #include "src/green/energy.h"
 #include "src/infer/engine.h"
 #include "src/nn/train.h"
+#include "src/obs/attribution.h"
 #include "src/obs/cost.h"
 #include "src/obs/counters.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
+#include "src/serve/loadgen.h"
 #include "src/serve/registry.h"
 #include "src/serve/server.h"
 
@@ -179,6 +189,232 @@ TEST(PhaseCostTest, EstimatePhaseFootprintRows) {
   HardwareProfile bad = hw;
   bad.utilization = 0.0;
   EXPECT_FALSE(EstimatePhaseFootprint(cost, bad, region).ok());
+}
+
+// ---------------------------------------- critical-path decomposition
+
+/// Builds a path record from boundary times in simulated ms, quantized
+/// with the same SimNs the production emitters use.
+obs::RequestPathRecord PathRecord(int64_t rid, double send_ms,
+                                  double admit_ms, double quota_ms,
+                                  double dispatch_ms, double finish_ms,
+                                  double deliver_ms, bool ok = true,
+                                  const std::string& tenant = "default",
+                                  int replica = 0) {
+  obs::RequestPathRecord r;
+  r.rid = rid;
+  r.tenant = tenant;
+  r.replica = replica;
+  r.slot = 0;
+  r.send_ns = obs::SimNs(send_ms);
+  r.admit_ns = obs::SimNs(admit_ms);
+  r.quota_open_ns = obs::SimNs(quota_ms);
+  r.dispatch_ns = obs::SimNs(dispatch_ms);
+  r.finish_ns = obs::SimNs(finish_ms);
+  r.deliver_ns = obs::SimNs(deliver_ms);
+  r.deadline_ok = ok;
+  return r;
+}
+
+TEST(AttributionTest, DecomposePathTelescopesBitwise) {
+  // Awkward fractions that do not round-trip in binary floating point:
+  // the integer telescoping must still sum exactly, with admission a
+  // zero-width schema slot.
+  const obs::RequestPathRecord rec =
+      PathRecord(7, 0.1, 0.30000000000000004, 1.7, 2.9, 7.77, 8.03);
+  const obs::PathComponents c = obs::DecomposePath(rec);
+  EXPECT_EQ(c[obs::PathComponent::kRouteHop], rec.admit_ns - rec.send_ns);
+  EXPECT_EQ(c[obs::PathComponent::kAdmission], 0);
+  EXPECT_EQ(c[obs::PathComponent::kQuotaDelay],
+            rec.quota_open_ns - rec.admit_ns);
+  EXPECT_EQ(c[obs::PathComponent::kSlotWait],
+            rec.dispatch_ns - rec.quota_open_ns);
+  EXPECT_EQ(c[obs::PathComponent::kExecute], rec.finish_ns - rec.dispatch_ns);
+  EXPECT_EQ(c[obs::PathComponent::kReturnHop],
+            rec.deliver_ns - rec.finish_ns);
+  EXPECT_EQ(c.total_ns(), rec.deliver_ns - rec.send_ns);
+  // Component names are stable: they key dashboards and alert payloads.
+  EXPECT_STREQ(obs::PathComponentName(obs::PathComponent::kRouteHop),
+               "route_hop");
+  EXPECT_STREQ(obs::PathComponentName(obs::PathComponent::kExecute),
+               "execute");
+  // The span-id scheme never collides across requests or stages.
+  EXPECT_EQ(obs::RequestSpanId(7), 7 * obs::kSpanStride);
+  EXPECT_EQ(obs::ComponentSpanId(7, obs::PathComponent::kRouteHop),
+            7 * obs::kSpanStride + 1);
+  EXPECT_EQ(obs::QueueSpanId(7), 7 * obs::kSpanStride + 7);
+  EXPECT_LT(obs::QueueSpanId(7), obs::RequestSpanId(8));
+}
+
+TEST(AttributionTest, ComponentsFromTraceRebuildsPerRidSums) {
+  obs::TraceBuffer buf;
+  const auto push = [&](const char* name, int64_t rid, int64_t ts,
+                        int64_t dur) {
+    obs::TraceEvent ev;
+    ev.name = name;
+    ev.cat = "test";
+    ev.ts_ns = ts;
+    ev.dur_ns = dur;
+    ev.rid = rid;
+    ev.pid = obs::kSimTrack;
+    buf.events.push_back(ev);
+  };
+  push("fleet.route", 3, 0, 100);
+  push("serve.quota_wait", 3, 100, 40);
+  push("serve.slot_wait", 3, 140, 60);
+  push("serve.execute", 3, 200, 500);
+  push("fleet.return", 3, 700, 25);
+  push("serve.execute", 4, 0, 80);
+  push("serve.queue", 3, 100, 100);  // umbrella span: not a component
+  push("fleet.request", 3, 0, 725);  // root span: not a component
+  const std::map<int64_t, obs::PathComponents> by_rid =
+      obs::ComponentsFromTrace(buf);
+  ASSERT_EQ(by_rid.size(), 2u);
+  const obs::PathComponents& c = by_rid.at(3);
+  EXPECT_EQ(c[obs::PathComponent::kRouteHop], 100);
+  EXPECT_EQ(c[obs::PathComponent::kQuotaDelay], 40);
+  EXPECT_EQ(c[obs::PathComponent::kSlotWait], 60);
+  EXPECT_EQ(c[obs::PathComponent::kExecute], 500);
+  EXPECT_EQ(c[obs::PathComponent::kReturnHop], 25);
+  EXPECT_EQ(c.total_ns(), 725);
+  EXPECT_EQ(by_rid.at(4)[obs::PathComponent::kExecute], 80);
+}
+
+TEST(AttributionTest, AggregatorWindowsSumsAndExemplars) {
+  obs::AttributionConfig config;
+  config.window_ms = 10.0;
+  config.exemplars_per_window = 2;
+  obs::AttributionAggregator agg(config);
+  // Window 0 (by delivery time): totals 3 ms, 5 ms, 4 ms.
+  agg.Record(PathRecord(0, 0.0, 1.0, 1.0, 2.0, 3.0, 3.0, true, "a", 0));
+  agg.Record(PathRecord(1, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, false, "b", 1));
+  agg.Record(PathRecord(2, 2.0, 3.0, 3.0, 4.0, 5.0, 6.0, true, "a", 0));
+  // Window 2; the gap window 1 must render as an explicit empty window.
+  agg.Record(PathRecord(3, 24.0, 25.0, 25.0, 26.0, 27.0, 27.0, true, "b", 1));
+
+  const obs::AttributionReport& rep = agg.report();
+  ASSERT_EQ(rep.fleet.size(), 3u);
+  EXPECT_EQ(rep.fleet[0].count, 3);
+  EXPECT_EQ(rep.fleet[0].violations, 1);
+  EXPECT_EQ(rep.fleet[1].count, 0);
+  EXPECT_EQ(rep.fleet[2].count, 1);
+  // Sums telescope: 1 ms of route hop per request in window 0.
+  EXPECT_EQ(rep.fleet[0].sums[obs::PathComponent::kRouteHop],
+            obs::SimNs(3.0));
+  // Exemplars keep the k slowest, slowest first: rid 1 (5 ms), rid 2
+  // (4 ms); rid 0 (3 ms) is evicted.
+  ASSERT_EQ(rep.fleet[0].exemplars.size(), 2u);
+  EXPECT_EQ(rep.fleet[0].exemplars[0].rid, 1);
+  EXPECT_EQ(rep.fleet[0].exemplars[1].rid, 2);
+  EXPECT_EQ(rep.fleet[0].exemplars[0].total_ns, obs::SimNs(5.0));
+  // Tenant and replica slices fold the same records.
+  ASSERT_EQ(rep.tenants.count("a"), 1u);
+  EXPECT_EQ(rep.tenants.at("a")[0].count, 2);
+  EXPECT_EQ(rep.tenants.at("b")[0].violations, 1);
+  EXPECT_EQ(rep.replicas.at(1)[0].count, 1);
+
+  const std::string json = obs::AttributionReportJson(rep);
+  EXPECT_NE(json.find("\"fleet\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"tenants\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"replicas\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"route_hop\""), std::string::npos);
+  EXPECT_NE(json.find("\"exemplars\": ["), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json, obs::AttributionReportJson(rep)) << "render is stable";
+}
+
+// --------------------------------------------- SLO burn-rate alerting
+
+TEST(SloTest, BurnAlerterEdgeTriggersWithDominantComponent) {
+  obs::BurnRateConfig config;
+  config.slo_target = 0.9;  // 10% error budget
+  config.window_ms = 10.0;
+  config.fast_windows = 1;
+  config.slow_windows = 5;
+  config.fast_burn_threshold = 5.0;  // fast violation fraction >= 0.5
+  config.slow_burn_threshold = 2.0;  // slow violation fraction >= 0.2
+  config.min_requests = 5;
+  obs::BurnRateAlerter alerter(config);
+  // Execute-heavy path: 0.2 ms route, 2.0 ms execute, 0.2 ms return.
+  const auto feed = [&](int64_t rid, double t_ms, bool ok) {
+    const obs::RequestPathRecord r =
+        PathRecord(rid, t_ms - 2.4, t_ms - 2.2, t_ms - 2.2, t_ms - 2.2,
+                   t_ms - 0.2, t_ms, ok);
+    alerter.Record(r, obs::DecomposePath(r));
+  };
+  int64_t rid = 0;
+  const auto bucket = [&](int b, bool ok) {
+    for (int i = 0; i < 4; ++i) feed(rid++, b * 10.0 + 3.0, ok);
+  };
+  for (int b = 0; b < 5; ++b) bucket(b, true);    // clean baseline
+  for (int b = 5; b < 8; ++b) bucket(b, false);   // sustained incident
+  for (int b = 8; b < 13; ++b) bucket(b, true);   // recovered
+  for (int b = 13; b < 16; ++b) bucket(b, false); // second incident
+
+  const std::vector<obs::BurnAlert> alerts = alerter.Evaluate();
+  std::vector<obs::BurnAlert> fleet;
+  for (const obs::BurnAlert& a : alerts) {
+    if (a.scope == "fleet") fleet.push_back(a);
+  }
+  ASSERT_EQ(fleet.size(), 2u)
+      << "edge-triggered: one page per incident, re-armed between them";
+  // First page at the close of bucket 5: fast window fully violating
+  // (burn 10), slow window at 4/20 = 0.2 (burn 2.0, exactly at the
+  // threshold).
+  EXPECT_DOUBLE_EQ(fleet[0].t_ms, 60.0);
+  EXPECT_DOUBLE_EQ(fleet[0].fast_burn, 10.0);
+  EXPECT_DOUBLE_EQ(fleet[0].slow_burn, 2.0);
+  EXPECT_DOUBLE_EQ(fleet[1].t_ms, 140.0);
+  for (const obs::BurnAlert& a : fleet) {
+    EXPECT_EQ(a.dominant, obs::PathComponent::kExecute);
+    EXPECT_NEAR(a.dominant_share, 2.0 / 2.4, 1e-9);
+  }
+  // The single tenant mirrors the fleet scope, and the export is a
+  // deterministic array ordered by (time, scope).
+  const std::string json = obs::BurnAlertsJson(alerts);
+  EXPECT_NE(json.find("\"scope\": \"fleet\""), std::string::npos);
+  EXPECT_NE(json.find("\"scope\": \"tenant:default\""), std::string::npos);
+  EXPECT_NE(json.find("\"dominant\": \"execute\""), std::string::npos);
+  for (size_t i = 1; i < alerts.size(); ++i) {
+    EXPECT_LE(alerts[i - 1].t_ms, alerts[i].t_ms);
+  }
+}
+
+TEST(SloTest, LatencySloCountsSlowButDeliveredRequests) {
+  obs::BurnRateConfig config;
+  config.slo_target = 0.9;
+  config.slo_latency_ms = 1.0;  // every 2.4 ms path below violates
+  config.window_ms = 10.0;
+  config.fast_windows = 1;
+  config.slow_windows = 2;
+  config.fast_burn_threshold = 5.0;
+  config.slow_burn_threshold = 2.0;
+  config.min_requests = 1;
+  obs::BurnRateAlerter alerter(config);
+  for (int64_t rid = 0; rid < 8; ++rid) {
+    const obs::RequestPathRecord r =
+        PathRecord(rid, 1.0, 1.2, 1.2, 1.2, 3.2, 3.4, /*ok=*/true);
+    alerter.Record(r, obs::DecomposePath(r));
+  }
+  const std::vector<obs::BurnAlert> alerts = alerter.Evaluate();
+  ASSERT_FALSE(alerts.empty())
+      << "inside-deadline requests over the latency SLO must burn budget";
+  EXPECT_EQ(alerts[0].dominant, obs::PathComponent::kExecute);
+}
+
+TEST(SloTest, CleanSeriesRaisesNoAlerts) {
+  obs::BurnRateConfig config;
+  config.min_requests = 1;
+  obs::BurnRateAlerter alerter(config);
+  for (int64_t rid = 0; rid < 200; ++rid) {
+    const obs::RequestPathRecord r = PathRecord(
+        rid, rid * 1.0, rid * 1.0 + 0.1, rid * 1.0 + 0.1, rid * 1.0 + 0.2,
+        rid * 1.0 + 1.2, rid * 1.0 + 1.3, /*ok=*/true);
+    alerter.Record(r, obs::DecomposePath(r));
+  }
+  EXPECT_TRUE(alerter.Evaluate().empty());
+  EXPECT_EQ(obs::BurnAlertsJson({}), "[]");
 }
 
 #if DLSYS_OBS
@@ -534,6 +770,238 @@ TEST(TraceTest, EngineStepsCarryCostTags) {
   const auto serve_i = static_cast<size_t>(obs::Phase::kServe);
   EXPECT_GE(cost_after.flops[serve_i] - cost_before.flops[serve_i],
             4 * (2 * 32 * 48 + 2 * 48 * 10));
+}
+
+// -------------------------------------- dynamic-name registry helpers
+
+TEST(CounterRegistryTest, DynamicNameHelpersReachRegistry) {
+  CounterRegistry& reg = CounterRegistry::Global();
+  const std::string tenant = "dyn0";
+  const std::string counter_name = "test.dynamic." + tenant + ".count";
+  const std::string hist_name = "test.dynamic." + tenant + ".latency_ms";
+  const std::string gauge_name = "test.dynamic." + tenant + ".gauge";
+  const int64_t before = reg.counter(counter_name)->Value();
+  // The DLSYS_COUNTER_* macros cache their handle in a function-local
+  // static, which is wrong for names built at runtime; these helpers hit
+  // the registry per call, so every distinct name gets its own metric.
+  obs::CounterAddDynamic(counter_name, 2);
+  obs::CounterAddDynamic(counter_name, 3);
+  obs::HistogramRecordDynamic(hist_name, 1.5);
+  obs::HistogramRecordDynamic(hist_name, 2.5);
+  obs::GaugeSetDynamic(gauge_name, 17);
+  EXPECT_EQ(reg.counter(counter_name)->Value() - before, 5);
+  EXPECT_GE(reg.histogram(hist_name)->Count(), 2);
+  EXPECT_EQ(reg.gauge(gauge_name)->Value(), 17);
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find(counter_name), std::string::npos);
+  EXPECT_NE(json.find(hist_name), std::string::npos);
+}
+
+// ----------------------------------------------- ring overflow drops
+
+TEST(TraceTest, RingOverflowBumpsDroppedSpansCounter) {
+  obs::SetTracingEnabled(false);
+  obs::ResetTrace();  // quiescent: rewind so capacity is known-free
+  CounterRegistry& reg = CounterRegistry::Global();
+  const CounterRegistry::Snapshot base = reg.SnapshotCounters();
+
+  obs::SetTracingEnabled(true);
+  obs::SetTraceSampling(1);
+  constexpr int kSpans = 40'000;  // far past the per-thread ring capacity
+  for (int i = 0; i < kSpans; ++i) {
+    DLSYS_TRACE_SPAN("test.overflow", "test");
+  }
+  obs::SetTracingEnabled(false);
+
+  const obs::TraceBuffer buf = obs::DrainTrace();
+  EXPECT_GT(buf.dropped, 0) << "the ring must drop, never overwrite";
+  EXPECT_LT(buf.events.size(), static_cast<size_t>(kSpans));
+  // Every drop lands in the exported registry counter, so fleet ops can
+  // alert on trace loss instead of silently reading partial traces.
+  const CounterRegistry::Snapshot diff =
+      CounterRegistry::Diff(reg.SnapshotCounters(), base);
+  ASSERT_EQ(diff.count("obs.trace.dropped_spans"), 1u);
+  EXPECT_EQ(diff.at("obs.trace.dropped_spans"), buf.dropped);
+  EXPECT_NE(reg.ExportJson().find("obs.trace.dropped_spans"),
+            std::string::npos);
+  obs::ResetTrace();  // leave a fresh ring for later tests
+}
+
+// ------------------------------- Chrome export well-formedness contract
+
+/// Structural JSON scan: strings (with escapes) and balanced {} / []
+/// nesting, no raw control characters inside strings.
+bool JsonStructureValid(const std::string& s) {
+  std::vector<char> stack;
+  bool in_str = false, esc = false;
+  for (const char c : s) {
+    if (in_str) {
+      if (esc) {
+        esc = false;
+      } else if (c == '\\') {
+        esc = true;
+      } else if (c == '"') {
+        in_str = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_str = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return stack.empty() && !in_str;
+}
+
+/// Numeric field scrape from one exported event line; false if absent.
+bool FieldD(const std::string& line, const std::string& key, double* out) {
+  const std::string token = "\"" + key + "\": ";
+  const size_t at = line.find(token);
+  if (at == std::string::npos) return false;
+  *out = std::atof(line.c_str() + at + token.size());
+  return true;
+}
+
+/// The export contract on a drained buffer: structurally valid JSON,
+/// every duration event non-negative (balanced begin/end), timestamps
+/// monotone within each (pid, tid) track, and the file write a byte-
+/// exact round trip.
+void ExpectChromeExportWellFormed(const obs::TraceBuffer& buf,
+                                  const char* what) {
+  const std::string json = obs::ChromeTraceJson(buf);
+  EXPECT_TRUE(JsonStructureValid(json)) << what;
+  std::map<std::pair<double, double>, double> last_ts;
+  size_t events = 0, durations = 0;
+  size_t start = 0;
+  while (start < json.size()) {
+    size_t end = json.find('\n', start);
+    if (end == std::string::npos) end = json.size();
+    const std::string line = json.substr(start, end - start);
+    start = end + 1;
+    double ts = 0.0;
+    if (!FieldD(line, "ts", &ts)) continue;  // header/footer lines
+    ++events;
+    double pid = 0.0, tid = 0.0, dur = 0.0;
+    EXPECT_TRUE(FieldD(line, "pid", &pid)) << what << ": " << line;
+    EXPECT_TRUE(FieldD(line, "tid", &tid)) << what << ": " << line;
+    if (line.find("\"ph\": \"X\"") != std::string::npos) {
+      ++durations;
+      ASSERT_TRUE(FieldD(line, "dur", &dur)) << what << ": " << line;
+      EXPECT_GE(dur, 0.0) << what << ": " << line;
+    }
+    const auto track = std::make_pair(pid, tid);
+    const auto it = last_ts.find(track);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << what << ": track (" << pid << ", " << tid
+                                << ") timestamps must be monotone";
+    }
+    last_ts[track] = ts;
+  }
+  EXPECT_EQ(events, buf.events.size()) << what;
+  EXPECT_GT(durations, 0u) << what;
+
+  const std::string path =
+      ::testing::TempDir() + "/dlsys_trace_wellformed.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(path, buf).ok()) << what;
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << what;
+  std::string readback(json.size(), '\0');
+  const size_t got = std::fread(readback.data(), 1, readback.size(), f);
+  EXPECT_EQ(std::fgetc(f), EOF) << what << ": file longer than the render";
+  std::fclose(f);
+  ASSERT_EQ(got, json.size()) << what;
+  EXPECT_EQ(readback, json) << what << ": write must round-trip byte-exact";
+}
+
+TEST(TraceTest, ChromeExportWellFormedAcrossTrainServeAndFleet) {
+  obs::SetTracingEnabled(false);
+  obs::ResetTrace();
+  const int saved_threads = RuntimeConfig::Threads();
+  RuntimeConfig::SetThreads(2);
+  obs::SetTraceSampling(1);
+  obs::SetTracingEnabled(true);
+
+  {  // train: wall-track spans from the engine and parallel runtime
+    Rng rng(31);
+    Dataset data = MakeGaussianBlobs(128, 8, 3, 3.0, &rng);
+    Sequential net = MakeMlp(8, {16}, 3);
+    net.Init(&rng);
+    Sgd opt(0.05, 0.9);
+    TrainConfig tc;
+    tc.epochs = 2;
+    (void)Train(&net, &opt, data, tc);
+  }
+  {  // serve: sim-track lifecycle spans keyed by rid
+    ModelRegistry registry;
+    ServerConfig config;
+    config.workers = 1;
+    config.batch.max_batch = 4;
+    config.default_deadline_ms = 1e6;
+    auto created = Server::Create(&registry, config);
+    ASSERT_TRUE(created.ok());
+    Sequential net = MakeMlp(16, {24}, 4);
+    Rng rng(32);
+    net.Init(&rng);
+    ASSERT_TRUE((*created)->Publish("m", net, {16}).ok());
+    Tensor x({16});
+    for (int i = 0; i < 12; ++i) {
+      x.FillGaussian(&rng, 1.0f);
+      ASSERT_EQ((*created)->Submit("m", x, i * 0.3).outcome,
+                Server::Outcome::kAdmitted);
+    }
+    (*created)->Drain();
+  }
+  {  // fleet: causally-linked request trees over both hops
+    FleetConfig config;
+    config.replica_slots = 2;
+    config.initial_replicas = 2;
+    config.server.workers = 1;
+    config.server.batch.max_batch = 4;
+    config.server.default_deadline_ms = 50.0;
+    config.autoscale.policy = ScalePolicy::kFixed;
+    auto fleet = Fleet::Create(config);
+    ASSERT_TRUE(fleet.ok());
+    Sequential net = MakeMlp(16, {24}, 4);
+    Rng rng(33);
+    net.Init(&rng);
+    ASSERT_TRUE(fleet.value()->Deploy("m", std::move(net), {16}).ok());
+    TraceLoadConfig load;
+    load.seed = 5;
+    load.duration_ms = 1500.0;
+    load.base_rps = 300.0;
+    load.deadline_ms = 50.0;
+    load.model = "m";
+    ChaosScenario steady;
+    steady.name = "steady";
+    ASSERT_TRUE(fleet.value()->Run(steady, load).ok());
+  }
+
+  obs::SetTracingEnabled(false);
+  RuntimeConfig::SetThreads(saved_threads);
+  const obs::TraceBuffer buf = obs::DrainTrace();
+  ASSERT_EQ(buf.dropped, 0) << "well-formedness run must not overflow";
+  ExpectChromeExportWellFormed(buf, "train+serve+fleet");
+  // The sim slice alone must satisfy the same contract (it is what the
+  // fleet determinism tests byte-compare).
+  ExpectChromeExportWellFormed(obs::SimTrackOnly(buf), "sim slice");
+  obs::ResetTrace();
 }
 
 #endif  // DLSYS_OBS

@@ -18,6 +18,7 @@
 
 #include "src/core/rng.h"
 #include "src/nn/train.h"
+#include "src/obs/attribution.h"
 #include "src/runtime/runtime.h"
 #include "src/serve/admission.h"
 #include "src/serve/loadgen.h"
@@ -1039,6 +1040,131 @@ TEST(SlotServerTest, TenantStatsAndMetricsAccountEveryRequest) {
   // Completions carry the tenant id.
   for (const Server::Completion& c : server->completions()) {
     EXPECT_TRUE(stats.count(c.tenant) == 1) << c.tenant;
+  }
+}
+
+// ----------------------------------- critical-path completion contract
+
+/// Standalone-server path record from a completion: no network hops, so
+/// send == admit and deliver == finish.
+obs::RequestPathRecord RecordFromCompletion(const Server::Completion& c) {
+  obs::RequestPathRecord rec;
+  rec.rid = c.rid;
+  rec.tenant = c.tenant;
+  rec.slot = c.slot;
+  rec.send_ns = obs::SimNs(c.arrival_ms);
+  rec.admit_ns = obs::SimNs(c.arrival_ms);
+  rec.quota_open_ns = obs::SimNs(c.quota_open_ms);
+  rec.dispatch_ns = obs::SimNs(c.dispatch_ms);
+  rec.finish_ns = obs::SimNs(c.finish_ms);
+  rec.deliver_ns = obs::SimNs(c.finish_ms);
+  rec.deadline_ok = !c.deadline_missed;
+  return rec;
+}
+
+TEST(SlotServerTest, CompletionBoundariesDecomposeBitwise) {
+  RuntimeConfig::SetThreads(1);
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 64;
+  config.batch.max_batch = 2;
+  config.default_deadline_ms = 1e6;
+  config.cost.fixed_ms = 1.0;
+  config.cost.per_example_ms = 0.25;
+  config.scheduler.use_slots = true;
+  config.scheduler.enforce_quotas = true;
+  // 1 token per 2 ms against 0.2 ms arrival spacing: the token bucket
+  // must delay most of the burst, making quota_open > arrival.
+  config.scheduler.default_policy.rate_rps = 500.0;
+  config.scheduler.default_policy.burst = 1.0;
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", MakeNet(101), {16}).ok());
+
+  Rng rng(102);
+  Tensor x({16});
+  constexpr int kRequests = 20;
+  for (int i = 0; i < kRequests; ++i) {
+    x.FillGaussian(&rng, 1.0f);
+    // A RequestTrace rekeys the lifecycle under the caller's rid.
+    const obs::RequestTrace rtrace{500 + i, 0};
+    ASSERT_EQ(server
+                  ->Submit("m", x, static_cast<double>(i) * 0.2,
+                           /*deadline_budget_ms=*/0.0, "a", &rtrace)
+                  .outcome,
+              Server::Outcome::kAdmitted);
+  }
+  server->Drain();
+
+  const std::vector<Server::Completion>& done = server->completions();
+  ASSERT_EQ(done.size(), static_cast<size_t>(kRequests));
+  std::vector<int64_t> rids;
+  int64_t quota_delayed = 0;
+  for (const Server::Completion& c : done) {
+    rids.push_back(c.rid);
+    // The quota boundary is clamped into [arrival, dispatch].
+    EXPECT_GE(c.quota_open_ms, c.arrival_ms);
+    EXPECT_LE(c.quota_open_ms, c.dispatch_ms);
+    EXPECT_GE(c.slot, 0) << "slot mode must stamp the lane";
+    const obs::RequestPathRecord rec = RecordFromCompletion(c);
+    const obs::PathComponents comp = obs::DecomposePath(rec);
+    // The decomposition sums bitwise to the served latency, with the
+    // network components exactly zero for a standalone server.
+    EXPECT_EQ(comp.total_ns(), rec.finish_ns - rec.send_ns);
+    EXPECT_EQ(comp[obs::PathComponent::kRouteHop], 0);
+    EXPECT_EQ(comp[obs::PathComponent::kAdmission], 0);
+    EXPECT_EQ(comp[obs::PathComponent::kReturnHop], 0);
+    EXPECT_EQ(comp[obs::PathComponent::kQuotaDelay] +
+                  comp[obs::PathComponent::kSlotWait] +
+                  comp[obs::PathComponent::kExecute],
+              obs::SimNs(c.finish_ms) - obs::SimNs(c.arrival_ms));
+    if (comp[obs::PathComponent::kQuotaDelay] > 0) ++quota_delayed;
+  }
+  EXPECT_GT(quota_delayed, kRequests / 2)
+      << "the overloaded bucket should show up as quota delay, not slot "
+         "wait";
+  std::sort(rids.begin(), rids.end());
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(rids[static_cast<size_t>(i)], 500 + i)
+        << "completions must carry the fleet rid from RequestTrace";
+  }
+}
+
+TEST(ServerTest, LegacyModeChargesQueueWaitToSlotWait) {
+  RuntimeConfig::SetThreads(1);
+  ModelRegistry registry;
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 32;
+  config.batch.max_batch = 4;
+  config.default_deadline_ms = 1e6;
+  config.cost.fixed_ms = 1.0;
+  config.cost.per_example_ms = 0.25;
+  auto created = Server::Create(&registry, config);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<Server> server = std::move(created).value();
+  ASSERT_TRUE(server->Publish("m", MakeNet(103), {16}).ok());
+  Rng rng(104);
+  Tensor x({16});
+  for (int i = 0; i < 8; ++i) {
+    x.FillGaussian(&rng, 1.0f);
+    ASSERT_EQ(server->Submit("m", x, static_cast<double>(i) * 0.1).outcome,
+              Server::Outcome::kAdmitted);
+  }
+  server->Drain();
+  for (const Server::Completion& c : server->completions()) {
+    EXPECT_EQ(c.slot, -1);
+    EXPECT_EQ(c.rid, c.id) << "no RequestTrace: rid falls back to the id";
+    // Legacy batching has no quota stage: the whole queue wait is slot
+    // wait, so quota_open degenerates to the arrival.
+    EXPECT_DOUBLE_EQ(c.quota_open_ms, c.arrival_ms);
+    const obs::PathComponents comp =
+        obs::DecomposePath(RecordFromCompletion(c));
+    EXPECT_EQ(comp[obs::PathComponent::kQuotaDelay], 0);
+    EXPECT_EQ(comp.total_ns(),
+              obs::SimNs(c.finish_ms) - obs::SimNs(c.arrival_ms));
   }
 }
 
